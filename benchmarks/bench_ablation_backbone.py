@@ -1,0 +1,73 @@
+"""Ablation: private-backbone advantage.
+
+Hyperscalers enter the ISP edge through private backbones; Digital Ocean,
+Linode and Vultr ride the public Internet.  The model grants private
+backbones a modest path/peering discount — this ablation verifies the
+effect is visible in per-provider medians but small enough that the
+paper's conclusions hold for every provider (as the paper reports).
+"""
+
+import numpy as np
+from conftest import print_banner
+
+from repro.cloud.providers import get_provider
+from repro.constants import PL_MS
+from repro.core.distributions import provider_comparison
+from repro.core.filtering import unprivileged_mask
+from repro.viz import table
+
+
+def test_ablation_backbone(small_dataset, benchmark):
+    frame = benchmark.pedantic(
+        lambda: provider_comparison(small_dataset), rounds=2, iterations=1
+    )
+
+    print_banner("Ablation: private vs public backbone, per-provider medians")
+    print(table(frame))
+
+    medians = {
+        str(row["provider"]): float(row["median"]) for row in frame.iter_rows()
+    }
+    private = [m for slug, m in medians.items()
+               if get_provider(slug).has_private_backbone]
+    public = [m for slug, m in medians.items()
+              if not get_provider(slug).has_private_backbone]
+    print(f"\nmean median RTT: private backbone {np.mean(private):.1f} ms, "
+          f"public transit {np.mean(public):.1f} ms")
+
+    # A raw comparison is confounded by geography (hyperscalers operate
+    # remote regions the small providers do not), so compare medians
+    # *city-matched*: only targets in cities hosting both backbone types,
+    # pairing each probe's samples to co-located private/public regions.
+    mask = unprivileged_mask(small_dataset)
+    target_city = np.asarray(
+        [f"{vm.region.city}|{vm.region.country_code}" for vm in small_dataset.targets]
+    )
+    target_private = np.asarray(
+        [vm.region.provider.has_private_backbone for vm in small_dataset.targets]
+    )
+    cities_with_both = {
+        city
+        for city in np.unique(target_city)
+        if len(np.unique(target_private[target_city == city])) == 2
+    }
+    sample_city = target_city[small_dataset.column("target_index")]
+    sample_private = target_private[small_dataset.column("target_index")]
+    rtts = small_dataset.column("rtt_min")
+    matched = mask & np.isin(sample_city, list(cities_with_both))
+    matched_private = float(np.median(rtts[matched & sample_private]))
+    matched_public = float(np.median(rtts[matched & ~sample_private]))
+    print(f"city-matched comparison over {len(cities_with_both)} cities: "
+          f"private {matched_private:.1f} ms, public {matched_public:.1f} ms")
+
+    # The discount is real but modest: visible, far under 2x.
+    assert matched_private < matched_public
+    assert matched_public < 1.5 * matched_private
+    # And every provider still serves its footprint within PL in the
+    # median — the paper's story is provider-independent.
+    eu_mask = mask & (small_dataset.probe_continents() == "EU") & (
+        small_dataset.target_continents() == "EU"
+    )
+    providers_eu = small_dataset.target_providers()[eu_mask]
+    for slug in medians:
+        assert float(np.median(rtts[eu_mask][providers_eu == slug])) <= PL_MS

@@ -1,0 +1,57 @@
+"""Ablation: the 1 GB/day bandwidth threshold of the feasibility zone.
+
+DESIGN.md flags the FZ's bandwidth boundary as an estimate ("we estimate
+1GB/entity data generation to be a fitting threshold").  This ablation
+(a) derives the threshold from the last-mile capacity model for each
+access technology, and (b) sweeps the FZ boundary an order of magnitude
+in both directions to see which verdicts are actually sensitive to it.
+"""
+
+from conftest import print_banner
+
+from repro.apps.catalog import all_applications
+from repro.apps.feasibility import FeasibilityZone, Verdict, assess
+from repro.net.bandwidth import aggregation_threshold_gb_day
+from repro.net.lastmile import AccessTechnology
+
+
+def _in_zone_slugs(threshold_gb_day: float):
+    zone = FeasibilityZone(bandwidth_min_gb_day=threshold_gb_day)
+    return {
+        app.slug
+        for app in all_applications()
+        if assess(app, zone) is Verdict.IN_ZONE
+    }
+
+
+def test_ablation_bandwidth_threshold(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: {t: _in_zone_slugs(t) for t in (0.1, 1.0, 10.0)},
+        rounds=3,
+        iterations=1,
+    )
+
+    print_banner("Ablation: FZ bandwidth threshold")
+    print("derived last-mile congestion thresholds (GB/day/entity):")
+    for tech in (
+        AccessTechnology.LTE,
+        AccessTechnology.DSL,
+        AccessTechnology.CABLE,
+        AccessTechnology.FIBRE,
+    ):
+        value = aggregation_threshold_gb_day(tech, 2)
+        print(f"  {tech.value:10s} {value:8.2f}")
+    print("\napps in zone per FZ threshold:")
+    for threshold, slugs in sorted(sweep.items()):
+        print(f"  {threshold:5.1f} GB/day: {len(slugs):2d} apps  "
+              f"({', '.join(sorted(slugs))})")
+
+    # Monotonicity: a stricter bandwidth bar shrinks the zone.
+    assert sweep[0.1] >= sweep[1.0] >= sweep[10.0]
+    # The headline residents are robust across the sweep.
+    assert "traffic-monitoring" in sweep[10.0]
+    assert "cloud-gaming" in sweep[1.0]
+    # The derived LTE/DSL thresholds bracket the paper's 1 GB/day.
+    lte = aggregation_threshold_gb_day(AccessTechnology.LTE, 2)
+    dsl = aggregation_threshold_gb_day(AccessTechnology.DSL, 2)
+    assert min(lte, dsl) <= 1.0 <= max(lte, dsl) * 2.0

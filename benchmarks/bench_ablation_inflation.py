@@ -1,0 +1,50 @@
+"""Ablation: domestic path-inflation factors.
+
+DESIGN.md calls out path inflation as a key modelling choice: the factor
+by which national fiber routes exceed the great circle.  Collapsing it to
+1.0 (perfectly straight fiber) makes eastern Europe and Latin America
+unrealistically fast, shifting Figure 4's bucket counts; raising it
+degrades everything.  This ablation quantifies the sensitivity.
+"""
+
+import pytest
+from conftest import print_banner
+
+from repro.core.campaign import Campaign, CampaignScale
+from repro.core.proximity import bucket_counts, country_min_latency
+from repro.net import topology
+
+
+@pytest.fixture(scope="module")
+def inflation_sweep():
+    """Run TINY campaigns with scaled domestic inflation."""
+    baseline = dict(topology.DOMESTIC_INFLATION)
+    results = {}
+    try:
+        for factor in (0.55, 1.0, 1.4):
+            for tier, value in baseline.items():
+                # Scale the stretch component (value - 1), keep >= 1.0.
+                topology.DOMESTIC_INFLATION[tier] = 1.0 + (value - 1.0) * factor
+            dataset = Campaign.from_paper(scale=CampaignScale.TINY, seed=41).run()
+            results[factor] = bucket_counts(country_min_latency(dataset))
+    finally:
+        topology.DOMESTIC_INFLATION.update(baseline)
+    return results
+
+
+def test_ablation_path_inflation(inflation_sweep, benchmark):
+    benchmark.pedantic(lambda: dict(inflation_sweep), rounds=1, iterations=1)
+
+    print_banner("Ablation: domestic path inflation (Figure 4 buckets)")
+    print(f"{'inflation scale':>16s}  {'<10ms':>6s}  {'10-20':>6s}  "
+          f"{'20-50':>6s}  {'50-100':>7s}  {'>100':>5s}")
+    for factor, counts in sorted(inflation_sweep.items()):
+        print(f"{factor:>16.2f}  {counts['<10 ms']:>6d}  "
+              f"{counts['10-20 ms']:>6d}  {counts['20-50 ms']:>6d}  "
+              f"{counts['50-100 ms']:>7d}  {counts['>100 ms']:>5d}")
+
+    # Straighter fiber -> more fast countries; more stretch -> fewer.
+    assert inflation_sweep[0.55]["<10 ms"] >= inflation_sweep[1.0]["<10 ms"]
+    assert inflation_sweep[1.4]["<10 ms"] <= inflation_sweep[1.0]["<10 ms"]
+    # And the >PL tail grows with inflation.
+    assert inflation_sweep[1.4][">100 ms"] >= inflation_sweep[0.55][">100 ms"]

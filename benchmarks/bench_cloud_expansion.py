@@ -1,0 +1,63 @@
+"""Extension bench: wider cloud deployment as the alternative to edge.
+
+Paper §5: "many applications in the edge FZ can be supported by a wider
+deployment of cloud/network infrastructure, especially in Asia, Latin
+America, and Africa."  This bench runs the greedy expansion study: add 8
+new cloud regions and compare against the edge deployments of
+`bench_edge_gains.py`.  Shape targets: the chosen regions land in
+AS/SA/AF, beyond-PL country count drops substantially, and a handful of
+regions recovers much of what a 166-site edge would deliver.
+"""
+
+from conftest import print_banner
+
+from repro.cloud.expansion import ExpansionStudy, candidate_regions
+from repro.edge.gains import gains_by_continent
+from repro.edge.sites import national_deployment
+from repro.geo.countries import get_country
+
+
+def test_cloud_expansion(small_dataset, benchmark):
+    study = ExpansionStudy(small_dataset, candidates=candidate_regions(limit=20))
+    chosen = benchmark.pedantic(lambda: study.greedy(8), rounds=1, iterations=1)
+    report = study.report(chosen)
+
+    print_banner("Cloud expansion: 8 new regions vs the status quo")
+    print("chosen regions: "
+          + ", ".join(f"{c.country_code} ({get_country(c.country_code).name})"
+                      for c in chosen))
+    for key, value in report.items():
+        print(f"  {key:30s} {value:10.2f}")
+
+    # Shape targets.
+    continents = {get_country(c.country_code).continent for c in chosen}
+    assert continents <= {"AS", "SA", "AF"}
+    assert report["countries_beyond_pl_after"] < report["countries_beyond_pl_before"]
+    assert report["pw_latency_after"] < report["pw_latency_before"]
+
+    # Reachability: eight regions must pull a solid share of the
+    # beyond-PL countries inside the threshold.
+    assert report["countries_beyond_pl_after"] <= max(
+        0.7 * report["countries_beyond_pl_before"], 1
+    )
+
+    # Context against the national edge (166 sites): the edge wins the
+    # *median* AF probe by construction — it has a server in every
+    # country — but per site deployed, the cloud expansion is the far
+    # more efficient way to buy reachability.
+    edge = gains_by_continent(small_dataset, national_deployment(1))
+    after = study.minima_with(chosen)
+    before = study.baseline
+    af_probe_ids = [
+        pid for pid in before
+        if small_dataset.probe(pid).continent == "AF"
+    ]
+    af_gains = sorted(before[pid] - after[pid] for pid in af_probe_ids)
+    af_median_gain = af_gains[len(af_gains) // 2]
+    improved_share = sum(1 for g in af_gains if g > 10.0) / len(af_gains)
+    print(f"\nAF gains: expansion median {af_median_gain:.1f} ms "
+          f"({improved_share:.0%} of AF probes improved >10 ms) vs "
+          f"national edge median {edge['AF'].median_gain_ms:.1f} ms "
+          f"(166 sites vs 8 regions)")
+    assert af_median_gain >= 0.0
+    assert improved_share >= 0.25

@@ -1,0 +1,42 @@
+"""Extension bench: IPv4 vs IPv6 reachability.
+
+The platform supports af=6 measurements end to end; this bench runs the
+dual-stack comparison from European dual-stack probes towards Frankfurt
+and reports the per-continent v6 penalty.  Shape target: a positive but
+single-digit-millisecond penalty — v6 is usable, v4 still wins (the
+circa-2019 state of deployment).
+"""
+
+from conftest import BENCH_SEED, print_banner
+
+from repro.atlas.platform import AtlasPlatform
+from repro.core.ipv6 import dual_stack_comparison, v6_penalty_by_continent
+from repro.viz import table
+
+T0 = 1_567_296_000
+
+
+def test_dual_stack_penalty(benchmark):
+    platform = AtlasPlatform(seed=BENCH_SEED)
+    comparison = benchmark.pedantic(
+        lambda: dual_stack_comparison(
+            platform,
+            "aws:eu-central-1",
+            T0,
+            probes_per_country=2,
+            countries=("DE", "FR", "NL", "GB", "PL", "CZ", "AT", "CH", "IT", "ES"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    penalties = v6_penalty_by_continent(comparison)
+
+    print_banner("Dual-stack: IPv6 penalty towards aws:eu-central-1")
+    print(table(comparison, max_rows=20))
+    print(f"\nmedian v6 penalty by continent: "
+          + "  ".join(f"{c}={v:.2f} ms" for c, v in sorted(penalties.items())))
+
+    assert len(comparison) >= 10
+    assert 0.0 < penalties["EU"] < 10.0
+    positive = sum(1 for row in comparison.iter_rows() if row["v6_penalty_ms"] > 0)
+    assert positive / len(comparison) >= 0.7

@@ -1,0 +1,47 @@
+"""Extension bench: edge-deployment latency gains (paper §6).
+
+Quantifies "plausible deployments": how much latency would gateway,
+national, and basestation-colocated edge deployments actually save over
+the measured cloud, per continent — and at what cost per improved user.
+Shape targets: gains small in NA/EU, large in AF/SA; basestation
+colocation is wildly cost-ineffective.
+"""
+
+from conftest import print_banner
+
+from repro.edge.gains import cost_per_improved_user_kusd, gains_by_continent, gains_frame
+from repro.edge.sites import (
+    basestation_deployment,
+    gateway_deployment,
+    national_deployment,
+)
+from repro.viz import table
+
+
+def test_edge_deployment_gains(small_dataset, benchmark):
+    national = national_deployment(1)
+    summaries = benchmark.pedantic(
+        lambda: gains_by_continent(small_dataset, national), rounds=2, iterations=1
+    )
+
+    print_banner("Edge-deployment gains over the measured cloud (section 6)")
+    for name, sites in (
+        ("gateway", gateway_deployment()),
+        ("national", national),
+        ("basestation", basestation_deployment()),
+    ):
+        cost = cost_per_improved_user_kusd(small_dataset, sites)
+        print(f"\n--- {name} deployment ({len(sites)} sites, "
+              f"{cost:,.0f} kUSD per meaningfully-improved probe) ---")
+        print(table(gains_frame(small_dataset, sites)))
+
+    # Shape targets: the paper's conclusions.
+    assert summaries["AF"].median_gain_ms > summaries["EU"].median_gain_ms + 10
+    assert summaries["SA"].median_gain_ms > summaries["NA"].median_gain_ms
+    assert summaries["NA"].median_gain_ms < 15.0  # little benefit when connected
+    assert summaries["AF"].share_meaningful > 0.5
+    # Basestation colocation costs at least an order of magnitude more
+    # per improved user than a national footprint.
+    assert cost_per_improved_user_kusd(
+        small_dataset, basestation_deployment()
+    ) > 10 * cost_per_improved_user_kusd(small_dataset, national)

@@ -1,0 +1,42 @@
+"""F1 — Figure 1: edge vs cloud searches and publications, 2004-2019.
+
+Paper artifact: two-axis time series showing the CDN -> Cloud -> Edge eras.
+Shape targets: cloud search interest peaks ~2012 then declines; edge
+publications explode after ~2015 while remaining below cloud's peak.
+"""
+
+from conftest import print_banner
+
+from repro.core.trends import collect_figure1, detect_eras, growth_summary
+from repro.scholar.crawler import ScholarCrawler
+from repro.viz import line_chart
+
+
+def test_fig1_trends(benchmark):
+    figure1 = benchmark.pedantic(
+        lambda: collect_figure1(ScholarCrawler(seed=7), seed=7),
+        rounds=3,
+        iterations=1,
+    )
+    eras = detect_eras(figure1)
+    growth = growth_summary(figure1)
+
+    print_banner("Figure 1: zeitgeist of edge vs cloud computing")
+    series = {}
+    for keyword in ("cloud computing", "edge computing"):
+        sub = figure1.filter(figure1["keyword"] == keyword)
+        series[f"{keyword.split()[0]}-interest"] = [
+            (int(y), float(v)) for y, v in zip(sub["year"], sub["search_interest"])
+        ]
+    print(line_chart(series))
+    print(f"\neras: CDN until {eras.cdn_until}, Cloud from {eras.cloud_from}, "
+          f"Edge from {eras.edge_from}")
+    print(f"growth: {growth}")
+
+    # Shape assertions (the figure's story).
+    assert 2011 <= growth["cloud_interest_peak_year"] <= 2013
+    assert eras.cloud_from < eras.edge_from
+    cloud = figure1.filter(figure1["keyword"] == "cloud computing")
+    edge = figure1.filter(figure1["keyword"] == "edge computing")
+    assert max(edge["publications"]) > 5_000
+    assert max(cloud["publications"]) > max(edge["publications"])

@@ -1,0 +1,35 @@
+"""F2 — Figure 2: driving applications on the latency/bandwidth plane.
+
+Paper artifact: application ellipses grouped into quadrants Q1-Q4 with
+market-share coloring.  Shape targets: Q2 holds the hyped, big-market
+apps; Q4 holds the uncompelling ones.
+"""
+
+from conftest import print_banner
+
+from repro.apps.catalog import all_applications
+from repro.apps.quadrants import Quadrant, market_share_by_quadrant, quadrant_table
+from repro.viz import bar_chart
+
+
+def test_fig2_quadrants(benchmark):
+    table = benchmark(quadrant_table)
+    shares = market_share_by_quadrant()
+
+    print_banner("Figure 2: application quadrants")
+    for quadrant, apps in table.items():
+        print(f"\n{quadrant.name} ({quadrant.value}): "
+              f"{shares[quadrant]:.0f} B$ expected by 2025")
+        for app in apps:
+            print(f"   {app.name:28s} lat {app.latency_low_ms:>8.0f}-"
+                  f"{app.latency_high_ms:<9.0f} ms   "
+                  f"data {app.bandwidth_low_gb_day:>5.2f}-"
+                  f"{app.bandwidth_high_gb_day:<6.1f} GB/day   "
+                  f"{app.market_2025_busd:.0f} B$")
+    print("\nmarket by quadrant:")
+    print(bar_chart({q.name: s for q, s in shares.items()}, fmt="{:.0f} B$"))
+
+    # Shape assertions.
+    assert sum(len(apps) for apps in table.values()) == len(all_applications())
+    assert shares[Quadrant.Q2] == max(shares.values())
+    assert {a.slug for a in table[Quadrant.Q2]} >= {"ar-vr", "autonomous-vehicles"}

@@ -1,0 +1,49 @@
+"""F3 — Figure 3: the measurement footprint.
+
+Paper artifact: (a) 101 cloud regions of 7 providers in 21 countries;
+(b) 3200+ RIPE Atlas probes in 166 countries as vantage points.
+"""
+
+from conftest import print_banner
+
+from repro.atlas.population import generate_population, population_summary
+from repro.cloud.regions import all_regions, datacenter_countries, regions_per_provider
+from repro.geo.continents import CONTINENT_CODES
+from repro.viz import bar_chart
+
+
+def test_fig3a_cloud_regions(benchmark):
+    regions = benchmark(all_regions)
+
+    print_banner("Figure 3a: cloud regions of the seven providers")
+    per_provider = regions_per_provider()
+    print(bar_chart(per_provider, fmt="{:.0f} regions"))
+    per_continent = {}
+    for region in regions:
+        per_continent[region.continent] = per_continent.get(region.continent, 0) + 1
+    print("\nby continent:")
+    print(bar_chart(per_continent, fmt="{:.0f}"))
+    print(f"\ntotal regions: {len(regions)}   "
+          f"countries: {len(datacenter_countries())}")
+
+    assert len(regions) == 101
+    assert len(datacenter_countries()) == 21
+    assert len(per_provider) == 7
+
+
+def test_fig3b_probe_population(benchmark):
+    probes = benchmark.pedantic(
+        lambda: generate_population(seed=1234), rounds=2, iterations=1
+    )
+
+    print_banner("Figure 3b: RIPE Atlas probe population")
+    per_continent = {code: 0 for code in CONTINENT_CODES}
+    for probe in probes:
+        per_continent[probe.continent] += 1
+    print(bar_chart(per_continent, fmt="{:.0f} probes"))
+    summary = population_summary(seed=1234)
+    print(f"\n{summary}")
+
+    assert summary["probes"] >= 3200
+    assert summary["countries"] == 166
+    assert per_continent["EU"] == max(per_continent.values())

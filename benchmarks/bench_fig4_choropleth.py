@@ -1,0 +1,39 @@
+"""F4 — Figure 4: minimum latency to the nearest datacenter, per country.
+
+Paper artifact: world choropleth.  Headline claims: 32 countries under
+10 ms, another 21 within 10-20 ms, and all but 16 countries (mostly in
+Africa) within the PL threshold.
+"""
+
+from conftest import print_banner
+
+from repro.core.proximity import (
+    bucket_counts,
+    countries_beyond_pl,
+    country_min_latency,
+)
+from repro.geo.countries import get_country
+from repro.viz import bucket_listing, world_map
+
+
+def test_fig4_choropleth(small_dataset, benchmark):
+    frame = benchmark.pedantic(
+        lambda: country_min_latency(small_dataset), rounds=3, iterations=1
+    )
+    counts = bucket_counts(frame)
+    losers = countries_beyond_pl(frame)
+
+    print_banner("Figure 4: minimum RTT to nearest datacenter, per country")
+    print(world_map(frame))
+    print()
+    print(bucket_listing(frame))
+    print(f"\npaper: 32 / 21 / - / - / 16      "
+          f"measured: {counts['<10 ms']} / {counts['10-20 ms']} / "
+          f"{counts['20-50 ms']} / {counts['50-100 ms']} / {counts['>100 ms']}")
+
+    # Shape targets (generous bands; orderings exact).
+    assert 22 <= counts["<10 ms"] <= 42
+    assert 13 <= counts["10-20 ms"] <= 30
+    assert 8 <= len(losers) <= 26
+    african = sum(1 for c in losers if get_country(c).continent == "AF")
+    assert african >= len(losers) / 2  # "mostly in Africa"

@@ -1,0 +1,38 @@
+"""F5 — Figure 5: CDF of every probe's minimum RTT, by continent.
+
+Paper claims: ~80 % of EU and NA probes (~50 % of all probes) reach a
+datacenter within MTP; Oceania almost entirely within 50 ms; ~75 % of
+Africa and Latin America probes within PL.
+"""
+
+from conftest import print_banner
+
+from repro.constants import MTP_MS, PL_MS
+from repro.core.proximity import min_rtt_cdf_by_continent
+from repro.viz import cdf_plot
+
+
+def test_fig5_min_rtt_cdf(small_dataset, benchmark):
+    cdfs = benchmark.pedantic(
+        lambda: min_rtt_cdf_by_continent(small_dataset), rounds=3, iterations=1
+    )
+
+    print_banner("Figure 5: CDF of minimum RTT per probe, by continent")
+    print(cdf_plot(cdfs, x_max=200.0))
+    print("\ncontinent  n      <MTP    <50ms   <PL")
+    for continent in ("NA", "EU", "OC", "AS", "SA", "AF"):
+        cdf = cdfs[continent]
+        print(f"  {continent}      {len(cdf):5d}  "
+              f"{cdf.fraction_below(MTP_MS):6.0%}  "
+              f"{cdf.fraction_below(50.0):6.0%}  "
+              f"{cdf.fraction_below(PL_MS):6.0%}")
+
+    # Shape targets.
+    assert cdfs["EU"].fraction_below(MTP_MS) >= 0.65   # paper ~80 %
+    assert cdfs["NA"].fraction_below(MTP_MS) >= 0.65
+    assert cdfs["OC"].fraction_below(50.0) >= 0.6      # "almost all"
+    assert cdfs["AF"].fraction_below(PL_MS) >= 0.6     # paper ~75 %
+    assert cdfs["SA"].fraction_below(PL_MS) >= 0.6
+    # Ordering: well-connected continents dominate.
+    assert cdfs["EU"].quantile(0.5) < cdfs["AS"].quantile(0.5)
+    assert cdfs["AS"].quantile(0.5) < cdfs["AF"].quantile(0.5)

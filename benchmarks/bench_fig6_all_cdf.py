@@ -1,0 +1,51 @@
+"""F6 — Figure 6: CDF of *all* ping measurements, by continent.
+
+Paper claims: >75 % of NA/EU/OC samples below the PL threshold; the top
+25 % of NA and EU can even support MTP; the EU tail (eastern Europe) is
+largely missing from NA; Africa worst.
+"""
+
+import numpy as np
+from conftest import print_banner
+
+from repro.constants import MTP_MS, PL_MS
+from repro.core.distributions import (
+    all_samples_cdf_by_continent,
+    eu_tail_analysis,
+    threshold_table,
+)
+from repro.viz import cdf_plot, table
+
+
+def test_fig6_all_samples_cdf(small_dataset, benchmark):
+    cdfs = benchmark.pedantic(
+        lambda: all_samples_cdf_by_continent(small_dataset), rounds=3, iterations=1
+    )
+
+    print_banner("Figure 6: CDF of all ping samples, by continent")
+    print(cdf_plot(cdfs, x_max=300.0))
+    print()
+    print(table(threshold_table(small_dataset)))
+    tail = eu_tail_analysis(small_dataset)
+    print(f"\nEU tail analysis: {tail}")
+
+    # Shape targets.
+    for continent in ("NA", "EU"):
+        assert cdfs[continent].fraction_below(PL_MS) >= 0.75, continent
+    assert cdfs["OC"].fraction_below(PL_MS) >= 0.72
+    for continent in ("AS", "SA"):
+        assert cdfs[continent].fraction_below(PL_MS) <= 0.90, continent
+    assert cdfs["AF"].fraction_below(PL_MS) <= 0.60
+    # Under-served continents clearly trail the well-connected ones.
+    floor = min(cdfs["NA"].fraction_below(PL_MS), cdfs["EU"].fraction_below(PL_MS))
+    for continent in ("AS", "SA", "AF"):
+        assert cdfs[continent].fraction_below(PL_MS) < floor - 0.05, continent
+    # Top quartile of NA/EU supports MTP.
+    for continent in ("NA", "EU"):
+        assert cdfs[continent].quantile(0.25) <= MTP_MS, continent
+    # The EU tail comes from eastern Europe and is absent in NA.
+    assert tail["eu_eastern_median"] > tail["eu_western_median"]
+    assert tail["na_p95"] < tail["eu_p95"]
+    # Africa is the worst-served continent.
+    medians = {c: cdf.quantile(0.5) for c, cdf in cdfs.items()}
+    assert max(medians, key=medians.get) == "AF"

@@ -1,0 +1,50 @@
+"""F7 — Figure 7: wired vs wireless last-mile RTT over the campaign.
+
+Paper claims: probes tagged wireless take ~2.5x longer to reach the
+nearest cloud region, consistently over the measurement period; prior
+work's 10-40 ms added wireless latency.
+"""
+
+import math
+
+from conftest import print_banner
+
+from repro.core.lastmile import (
+    added_wireless_latency_ms,
+    cohort_timeseries,
+    wireless_penalty,
+)
+from repro.core.filtering import cohort_sizes
+from repro.viz import line_chart
+
+
+def test_fig7_wired_vs_wireless(small_dataset, benchmark):
+    penalty = benchmark.pedantic(
+        lambda: wireless_penalty(small_dataset), rounds=2, iterations=1
+    )
+    frame = cohort_timeseries(small_dataset, bucket_s=2 * 86_400)
+    wired_n, wireless_n = cohort_sizes(small_dataset)
+    added = added_wireless_latency_ms(small_dataset)
+
+    print_banner("Figure 7: wired vs wireless access RTT")
+    series = {"wired": [], "lte/wifi/wlan": []}
+    start = float(frame["bucket_start"][0])
+    for row in frame.iter_rows():
+        day = (float(row["bucket_start"]) - start) / 86_400
+        if not math.isnan(row["wired_median"]):
+            series["wired"].append((day, float(row["wired_median"])))
+        if not math.isnan(row["wireless_median"]):
+            series["lte/wifi/wlan"].append((day, float(row["wireless_median"])))
+    print(line_chart(series))
+    print(f"\ncohorts: {wired_n} wired, {wireless_n} wireless probes")
+    print(f"penalty: {penalty:.2f}x (paper ~2.5x)    "
+          f"added latency: {added:.1f} ms (prior work: 10-40 ms)")
+
+    # Shape targets.
+    assert 1.8 <= penalty <= 3.5
+    assert 8.0 <= added <= 50.0
+    # Wireless sits above wired in every populated bucket.
+    for row in frame.iter_rows():
+        if math.isnan(row["wired_median"]) or math.isnan(row["wireless_median"]):
+            continue
+        assert row["wireless_median"] > row["wired_median"]

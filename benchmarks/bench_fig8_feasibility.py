@@ -1,0 +1,52 @@
+"""F8 — Figure 8: the edge feasibility zone.
+
+Paper claims: the FZ spans ~10 ms (wireless floor) to HRT on the latency
+axis and >= ~1 GB/day on the data axis; the hyped Q2 drivers (AR/VR,
+autonomous vehicles) fall OUTSIDE it; the in-zone apps (traffic camera
+monitoring, cloud gaming) carry far less market value than the out-of-
+zone ones.
+"""
+
+from conftest import print_banner
+
+from repro.apps.catalog import all_applications, get_application
+from repro.apps.feasibility import (
+    FeasibilityZone,
+    Verdict,
+    assess_all,
+    zone_market_share,
+)
+from repro.core.feasibility import feasibility_matrix
+from repro.viz import table
+
+
+def test_fig8_feasibility_zone(small_dataset, benchmark):
+    verdicts = benchmark(assess_all)
+    zone = FeasibilityZone()
+    inside, outside = zone_market_share()
+
+    print_banner("Figure 8: edge feasibility zone")
+    print(f"FZ: latency [{zone.latency_low_ms:.0f}, {zone.latency_high_ms:.0f}] ms, "
+          f"bandwidth >= {zone.bandwidth_min_gb_day:.0f} GB/day\n")
+    for app in all_applications():
+        print(f"  {app.name:28s} overlap {zone.overlap(app):5.0%}  "
+              f"-> {verdicts[app.slug].value}")
+    print(f"\nmarket inside FZ: {inside:.0f} B$   outside: {outside:.0f} B$")
+
+    print("\nmeasurement-informed matrix:")
+    print(table(feasibility_matrix(small_dataset)))
+
+    # Shape targets: the paper's punchline.
+    assert verdicts["traffic-monitoring"] is Verdict.IN_ZONE
+    assert verdicts["cloud-gaming"] is Verdict.IN_ZONE
+    assert verdicts["ar-vr"] is Verdict.ONBOARD_REQUIRED
+    assert verdicts["autonomous-vehicles"] is Verdict.ONBOARD_REQUIRED
+    assert verdicts["smart-home"] is Verdict.CLOUD_SUFFICIENT
+    assert verdicts["wearables"] is Verdict.CLOUD_SUFFICIENT
+    assert outside > 2 * inside
+    # The hyped (largest-market) apps are not FZ residents.
+    hyped_in_zone = [
+        app for app in all_applications()
+        if app.market_2025_busd >= 150 and verdicts[app.slug] is Verdict.IN_ZONE
+    ]
+    assert not hyped_in_zone

@@ -1,0 +1,43 @@
+"""Extension bench: data locality (paper §6, privacy direction).
+
+Quantifies "processing local data locally": for each probe, is the
+nearest cloud region domestic?  Shape targets: locality is a privilege of
+the 21 datacenter countries; most measured countries cannot keep cloud
+traffic at home, and Africa has almost no domestic reach — which is the
+substrate of the paper's privacy argument for edge.
+"""
+
+from conftest import print_banner
+
+from repro.core.locality import (
+    cloud_locality_summary,
+    domestic_share_by_continent,
+    locality_with_national_edge,
+)
+from repro.viz import bar_chart
+
+
+def test_data_locality(small_dataset, benchmark):
+    summary = benchmark.pedantic(
+        lambda: cloud_locality_summary(small_dataset), rounds=2, iterations=1
+    )
+    shares = domestic_share_by_continent(small_dataset)
+    edge_delta = locality_with_national_edge(small_dataset)
+
+    print_banner("Data locality: probes whose nearest region is domestic")
+    print(bar_chart(
+        {c: shares[c] for c in ("NA", "EU", "OC", "AS", "SA", "AF") if c in shares},
+        fmt="{:.0%}",
+    ))
+    print(f"\noverall: {summary['probe_share_domestic']:.0%} of probes, "
+          f"{summary['population_share_domestic']:.0%} of covered population")
+    print(f"countries with zero domestic reach: "
+          f"{summary['countries_fully_foreign']}")
+    print(f"a national edge would give locality to "
+          f"{edge_delta['countries_gaining_locality']} more countries")
+
+    # Shape targets.
+    assert shares["NA"] > 0.8
+    assert shares["AF"] < 0.25
+    assert summary["countries_fully_foreign"] > 100
+    assert edge_delta["probe_share_domestic_after"] == 1.0

@@ -1,0 +1,39 @@
+"""T1 — the paper's in-text headline statistics.
+
+The paper states its quantitative claims in prose (sections 1, 4, 5); T1
+collects them as one table: country bucket counts, per-continent MTP/PL
+shares, the ~2.5x wireless penalty, the Facebook 40 ms checkpoint, and
+population coverage.
+"""
+
+from conftest import print_banner
+
+from repro.core.report import headline_report
+
+
+def test_t1_headline_statistics(small_dataset, benchmark):
+    report = benchmark.pedantic(
+        lambda: headline_report(small_dataset), rounds=2, iterations=1
+    )
+
+    print_banner("T1: headline statistics, paper vs measured")
+    print(report.summary())
+    print()
+    print(f"{'claim':38s} {'paper':>10s} {'measured':>10s}")
+    print("-" * 60)
+    for claim, values in report.paper_comparison().items():
+        print(f"{claim:38s} {values['paper']:>10.2f} {values['measured']:>10.2f}")
+
+    comparison = report.paper_comparison()
+    # Every claim within a generous factor-of-two band, orderings exact.
+    assert 0.5 <= (
+        comparison["countries < 10 ms"]["measured"]
+        / comparison["countries < 10 ms"]["paper"]
+    ) <= 1.5
+    assert 0.5 <= (
+        comparison["wireless penalty (x)"]["measured"]
+        / comparison["wireless penalty (x)"]["paper"]
+    ) <= 1.5
+    assert comparison["samples < 40 ms, NA+EU (share)"]["measured"] >= 0.7
+    assert report.population_share_under_pl > 0.75
+    assert report.sample_share_under_pl["EU"] > report.sample_share_under_pl["AF"]

@@ -1,0 +1,48 @@
+"""Extension bench: the 5G what-if table (paper §5).
+
+Recomputes the feasibility zone under hypothetical wireless floors.
+Shape targets: early measured 5G rescues nothing; only the IMT-2020
+marketing number (1 ms) pulls AR/VR and autonomous vehicles into the
+zone — which is exactly why the paper calls those promises "waiting to
+be delivered".
+"""
+
+from conftest import print_banner
+
+from repro.apps.feasibility import Verdict
+from repro.core.whatif import (
+    SCENARIOS,
+    rescued_market_busd,
+    scenario_report,
+    scenario_verdicts,
+    verdict_changes,
+)
+
+
+def test_whatif_5g(benchmark):
+    report = benchmark(scenario_report)
+
+    print_banner("What-if: feasibility zone under future last-mile floors")
+    print(f"{'scenario':16s} {'floor ms':>9s} {'apps in zone':>13s} "
+          f"{'rescued market B$':>18s}")
+    for name in SCENARIOS:
+        row = report[name]
+        print(f"{name:16s} {row['wireless_floor_ms']:>9.1f} "
+              f"{row['apps_in_zone']:>13d} {row['rescued_market_busd']:>18.0f}")
+    print("\nverdict changes under promised (1 ms) 5G:")
+    for change in verdict_changes("5g-promised"):
+        print(f"  {change.slug:24s} {change.baseline.name} -> {change.scenario.name}")
+
+    # Shape targets.
+    measured = scenario_verdicts("5g-measured")
+    promised = scenario_verdicts("5g-promised")
+    assert measured["ar-vr"] is not Verdict.IN_ZONE
+    assert promised["ar-vr"] is Verdict.IN_ZONE
+    assert promised["autonomous-vehicles"] is Verdict.IN_ZONE
+    assert rescued_market_busd("5g-promised") > 500.0
+    assert rescued_market_busd("5g-measured") == 0.0
+    assert (
+        report["lte-today"]["apps_in_zone"]
+        <= report["wireless-2020"]["apps_in_zone"]
+        <= report["5g-promised"]["apps_in_zone"]
+    )

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's figures (or the
+in-text headline table T1): it times the analysis step with
+pytest-benchmark and prints the same rows/series the paper reports, so a
+run of ``pytest benchmarks/ --benchmark-only`` doubles as a full
+reproduction report.
+
+The campaign datasets are generated once per session and shared; only the
+analysis functions are timed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignScale
+from repro.core.dataset import CampaignDataset
+
+BENCH_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> CampaignDataset:
+    return Campaign.from_paper(scale=CampaignScale.TINY, seed=BENCH_SEED).run()
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> CampaignDataset:
+    """The reproduction-quality dataset (~275 k samples, ~20 s to build)."""
+    return Campaign.from_paper(scale=CampaignScale.SMALL, seed=BENCH_SEED).run()
+
+
+def print_banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Scenario: can the cloud already host cloud gaming, or does it need edge?
+
+Cloud gaming is one of the paper's feasibility-zone residents: its input
+lag must stay under the perceivable-latency threshold, and it streams
+enough data to strain backhaul.  This example runs a campaign, then walks
+the application through the paper's section 5 reasoning for every
+continent: does measured cloud latency meet the requirement, would an edge
+placement help, or is the app infeasible over any network?
+
+Usage::
+
+    python examples/cloud_gaming_feasibility.py
+"""
+
+from repro.apps import FeasibilityZone, assess, get_application
+from repro.core import (
+    Campaign,
+    CampaignScale,
+    app_verdict_for_continent,
+    edge_beneficiaries,
+    feasibility_matrix,
+    measured_latency,
+)
+from repro.viz import table
+
+
+def main() -> None:
+    gaming = get_application("cloud-gaming")
+    zone = FeasibilityZone()
+    print(f"Application: {gaming.name}")
+    print(f"  latency requirement : {gaming.latency_low_ms:.0f}-"
+          f"{gaming.latency_high_ms:.0f} ms")
+    print(f"  data generated      : {gaming.bandwidth_low_gb_day:.1f}-"
+          f"{gaming.bandwidth_high_gb_day:.1f} GB/day per entity")
+    print(f"  static FZ verdict   : {assess(gaming, zone).value}")
+    print(f"  FZ overlap          : {zone.overlap(gaming):.0%}\n")
+
+    print("Running campaign (TINY scale)...")
+    dataset = Campaign.from_paper(scale=CampaignScale.TINY, seed=11).run()
+
+    print("\nPer-continent verdict for cloud gaming:")
+    for continent, latency in sorted(measured_latency(dataset).items()):
+        verdict = app_verdict_for_continent(gaming, latency, zone)
+        print(f"  {continent}: median cloud RTT {latency.median:6.1f} ms "
+              f"(p25 {latency.p25:6.1f}) -> {verdict}")
+
+    print("\nApplications a real edge deployment would actually help:")
+    for slug in edge_beneficiaries(dataset):
+        print(f"  - {get_application(slug).name}")
+
+    print("\nFull feasibility matrix (Figure 8 companion):")
+    print(table(feasibility_matrix(dataset)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Scenario: has the bottleneck moved from the core to the last mile?
+
+Edge computing was conceived when the core network was the bottleneck
+(circa 2009); the paper's premise is that a decade of backbone build-out
+inverted that.  This example uses the anchor mesh (wired, datacenter-
+grade endpoints: core-only RTT) against home probes reaching the same
+datacenter countries, and splits each path into core and access shares.
+
+Usage::
+
+    python examples/core_vs_lastmile.py
+"""
+
+from repro.atlas import AtlasPlatform
+from repro.core.corevsaccess import survey
+from repro.viz import table
+
+T0 = 1_567_296_000
+TIMESTAMPS = [T0 + k * 21_600 for k in range(8)]
+
+#: (probe country, datacenter country) pairs spanning the regimes the
+#: paper discusses: metro-local, continental, and intercontinental.
+PAIRS = (
+    ("DE", "DE"),   # Frankfurt metro
+    ("FR", "DE"),   # western-EU continental
+    ("PL", "DE"),   # eastern-EU continental
+    ("UA", "DE"),   # EU periphery
+    ("DE", "US"),   # transatlantic
+    ("BR", "US"),   # Miami trombone
+)
+
+
+def main() -> None:
+    platform = AtlasPlatform(seed=9)
+    print("Decomposing core vs last-mile latency via the anchor mesh...\n")
+    frame = survey(platform, PAIRS, TIMESTAMPS)
+    print(table(frame))
+    print(
+        "\nReading: within well-connected regions the core is a handful of\n"
+        "milliseconds and the *wireless* access dominates (bottleneck =\n"
+        "access) — the situation that obsoletes edge's original latency\n"
+        "argument.  Only on long-haul paths does the core dominate again,\n"
+        "and no edge placement shortens those."
+    )
+
+
+if __name__ == "__main__":
+    main()

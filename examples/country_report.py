@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Per-country cloud-reachability report.
+
+Answers Figure 4's question for one country: with what latency can it
+reach the nearest cloud datacenter, which region wins, and how do its
+probes compare to the continent?
+
+Usage::
+
+    python examples/country_report.py [ISO2]    # default: KE (Kenya)
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps import strictest_satisfied
+from repro.core import Campaign, CampaignScale
+from repro.core.filtering import unprivileged_mask
+from repro.geo import get_country
+
+
+def main() -> None:
+    iso2 = (sys.argv[1] if len(sys.argv) > 1 else "KE").upper()
+    country = get_country(iso2)
+    print(f"=== {country.name} ({iso2}) ===")
+    print(f"continent: {country.continent}  infra tier: {country.infra_tier}  "
+          f"atlas probes: {country.atlas_probes}")
+
+    print("\nRunning campaign (SMALL scale, ~20s)...")
+    dataset = Campaign.from_paper(scale=CampaignScale.SMALL, seed=17).run()
+
+    mask = unprivileged_mask(dataset) & (dataset.probe_countries() == iso2)
+    if not np.any(mask):
+        raise SystemExit(f"no valid samples for {iso2} at this scale")
+    rtts = dataset.column("rtt_min")[mask]
+    targets = dataset.column("target_index")[mask]
+
+    print(f"\nsamples: {len(rtts):,}")
+    print(f"min RTT : {rtts.min():7.1f} ms   "
+          f"(threshold met: {strictest_satisfied(float(rtts.min()))})")
+    print(f"median  : {np.median(rtts):7.1f} ms")
+    print(f"p95     : {np.percentile(rtts, 95):7.1f} ms")
+
+    print("\nFive best-reachable regions:")
+    by_target = {}
+    for target_index, rtt in zip(targets, rtts):
+        record = by_target.setdefault(int(target_index), [])
+        record.append(rtt)
+    ranked = sorted(
+        (float(np.min(values)), index) for index, values in by_target.items()
+    )
+    for best, index in ranked[:5]:
+        region = dataset.targets[index].region
+        print(f"  {best:7.1f} ms  {region.key:28s} ({region.city}, "
+              f"{region.country_code})")
+
+    continent_mask = unprivileged_mask(dataset) & (
+        dataset.probe_continents() == country.continent
+    )
+    continent_median = float(np.median(dataset.column("rtt_min")[continent_mask]))
+    print(f"\ncontinent ({country.continent}) median for comparison: "
+          f"{continent_median:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Drive the Atlas client API directly (the cousteau/sagan workflow).
+
+This is the code a researcher would have written against the real
+platform: create a ping and a TCP traceroute measurement towards one
+region, stream the results, and parse them with the sagan-style parsers.
+The TCP traceroute exercises the paper's planned future-work extension
+(section 5, "TCP-based probing techniques").
+
+Usage::
+
+    python examples/custom_measurement.py [region-key]
+"""
+
+import sys
+
+from repro.atlas import AtlasPlatform
+from repro.atlas.api import (
+    AtlasCreateRequest,
+    AtlasResultsRequest,
+    AtlasSource,
+    AtlasStream,
+    Ping,
+    Traceroute,
+)
+from repro.atlas.results import PingResult, Result, TracerouteResult
+from repro.cloud import vm_for_region
+
+DAY = 86_400
+T0 = 1_567_296_000
+
+
+def main() -> None:
+    region_key = sys.argv[1] if len(sys.argv) > 1 else "aws:eu-central-1"
+    platform = AtlasPlatform(seed=21)
+    target = platform.hostname_for(vm_for_region(region_key))
+    print(f"Target: {target}")
+
+    sources = [
+        AtlasSource(
+            type="country", value="DE", requested=5,
+            tags_exclude=("datacentre", "cloud"),
+        )
+    ]
+    ok, response = AtlasCreateRequest(
+        measurements=[
+            Ping(target=target, description="custom ping", interval=21_600),
+            Traceroute(
+                target=target, description="tcp traceroute", interval=43_200,
+                protocol="TCP", port=443,
+            ),
+        ],
+        sources=sources,
+        start_time=T0,
+        stop_time=T0 + DAY,
+        platform=platform,
+    ).create()
+    if not ok:
+        raise SystemExit(f"creation failed: {response}")
+    ping_id, trace_id = response["measurements"]
+    print(f"Created measurements: ping={ping_id}, traceroute={trace_id}\n")
+
+    ok, raw_results = AtlasResultsRequest(msm_id=ping_id, platform=platform).create()
+    assert ok
+    print(f"Ping results: {len(raw_results)}")
+    for raw in raw_results[:5]:
+        parsed = Result.get(raw)
+        assert isinstance(parsed, PingResult)
+        print(f"  probe {parsed.probe_id}: min={parsed.rtt_min} ms "
+              f"median={parsed.rtt_median} ms loss={parsed.packet_loss:.0%}")
+
+    print("\nStreaming traceroute results:")
+    stream = AtlasStream(platform=platform)
+    shown = 0
+
+    def on_result(raw: dict) -> None:
+        nonlocal shown
+        if shown >= 3:
+            return
+        parsed = Result.get(raw)
+        assert isinstance(parsed, TracerouteResult)
+        print(f"  probe {parsed.probe_id}: {parsed.total_hops} hops, "
+              f"last rtt {parsed.last_rtt} ms, "
+              f"destination responded: {parsed.destination_ip_responded}")
+        shown += 1
+
+    stream.bind_channel("atlas_result", on_result)
+    stream.start_stream(stream_type="result", msm=trace_id)
+    delivered = stream.timeout()
+    print(f"  ... {delivered} results streamed in total")
+
+    account = platform.accounts["REPRO-0000-DEFAULT-KEY"]
+    print(f"\nCredits spent: {account.spent_total:,}")
+
+
+if __name__ == "__main__":
+    main()

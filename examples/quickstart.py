@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: run a reduced campaign and print the paper's headline results.
+
+Reproduces, at small scale, the measurement study of "Pruning Edge Research
+with Latency Shears" (HotNets '20): 3200+ synthetic RIPE Atlas probes ping
+101 cloud regions, and the analysis answers whether the cloud is already
+"close enough".
+
+Usage::
+
+    python examples/quickstart.py [seed]
+"""
+
+import sys
+import time
+
+from repro.core import (
+    Campaign,
+    CampaignScale,
+    headline_report,
+    min_rtt_cdf_by_continent,
+)
+from repro.viz import cdf_plot
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 7
+    print("Building platform and running a TINY campaign "
+          "(one probe per country, 4 days)...")
+    started = time.time()
+    campaign = Campaign.from_paper(scale=CampaignScale.TINY, seed=seed)
+    dataset = campaign.run()
+    print(f"Collected {dataset.num_samples:,} ping samples "
+          f"in {time.time() - started:.1f}s\n")
+
+    report = headline_report(dataset)
+    print("=== Headline results (paper section 4) ===")
+    print(report.summary())
+
+    print("\n=== Figure 5: CDF of minimum RTT per probe, by continent ===")
+    print(cdf_plot(min_rtt_cdf_by_continent(dataset), x_max=200.0))
+
+    print("\n=== Paper vs. measured ===")
+    for claim, values in report.paper_comparison().items():
+        print(f"  {claim:36s} paper={values['paper']:<8.2f} "
+              f"measured={values['measured']:.2f}")
+
+
+if __name__ == "__main__":
+    main()

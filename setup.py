@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517/660 editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation`` take the legacy ``setup.py
+develop`` path instead.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

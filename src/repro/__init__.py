@@ -1,0 +1,17 @@
+"""repro — reproduction of "Pruning Edge Research with Latency Shears".
+
+A synthetic, fully offline re-implementation of the HotNets '20 measurement
+study: a RIPE-Atlas-style measurement platform, an Internet latency
+simulator, a catalog of 101 cloud regions from 7 providers, and the analysis
+pipeline that regenerates every figure and headline statistic in the paper.
+
+Quickstart::
+
+    from repro.core import Campaign, CampaignScale
+    campaign = Campaign.from_paper(scale=CampaignScale.SMALL, seed=7)
+    dataset = campaign.run()
+    report = campaign.headline_report(dataset)
+    print(report.summary())
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,57 @@
+"""Application requirement taxonomy (Figures 2 and 8)."""
+
+from repro.apps.catalog import (
+    Application,
+    all_applications,
+    get_application,
+    hyped_applications,
+)
+from repro.apps.feasibility import (
+    FeasibilityZone,
+    Verdict,
+    assess,
+    assess_all,
+    zone_market_share,
+)
+from repro.apps.quadrants import (
+    Quadrant,
+    classify,
+    market_share_by_quadrant,
+    quadrant_table,
+)
+from repro.apps.thresholds import (
+    ALL_THRESHOLDS,
+    HRT,
+    MTP,
+    PL,
+    Threshold,
+    classify_latency,
+    hud_budget_ms,
+    mtp_network_budget_ms,
+    strictest_satisfied,
+)
+
+__all__ = [
+    "ALL_THRESHOLDS",
+    "Application",
+    "FeasibilityZone",
+    "HRT",
+    "MTP",
+    "PL",
+    "Quadrant",
+    "Threshold",
+    "Verdict",
+    "all_applications",
+    "assess",
+    "assess_all",
+    "classify",
+    "classify_latency",
+    "get_application",
+    "hud_budget_ms",
+    "hyped_applications",
+    "market_share_by_quadrant",
+    "mtp_network_budget_ms",
+    "quadrant_table",
+    "strictest_satisfied",
+    "zone_market_share",
+]

@@ -1,0 +1,168 @@
+"""The driving edge applications (paper §3, Figure 2).
+
+Each application is an ellipse on the (bandwidth, latency) plane: a latency
+requirement range, a per-entity data-generation range, and an expected
+2025 market size that colors the figure.  Requirement values follow the
+sources the paper cites ([7, 37, 42, 54, 64]); the ellipse widths
+"overcompensate for estimation errors" exactly as the paper does.
+
+Latency is the *required response latency* in milliseconds; bandwidth is
+*data generated per entity per day* in gigabytes (the paper's x-axis).
+Both are geometric ranges because the plane is log-log.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Application:
+    """One edge-motivating application as drawn in Figure 2."""
+
+    slug: str
+    name: str
+    latency_low_ms: float
+    latency_high_ms: float
+    bandwidth_low_gb_day: float
+    bandwidth_high_gb_day: float
+    market_2025_busd: float
+    human_centric: bool
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 < self.latency_low_ms <= self.latency_high_ms:
+            raise ReproError(f"{self.slug}: bad latency range")
+        if not 0 < self.bandwidth_low_gb_day <= self.bandwidth_high_gb_day:
+            raise ReproError(f"{self.slug}: bad bandwidth range")
+        if self.market_2025_busd < 0:
+            raise ReproError(f"{self.slug}: market size must be non-negative")
+
+    @property
+    def latency_center_ms(self) -> float:
+        """Geometric center of the latency requirement."""
+        return math.sqrt(self.latency_low_ms * self.latency_high_ms)
+
+    @property
+    def bandwidth_center_gb_day(self) -> float:
+        return math.sqrt(self.bandwidth_low_gb_day * self.bandwidth_high_gb_day)
+
+    @property
+    def latency_strictness(self) -> float:
+        """How narrow the latency requirement is (1 = a point, ->0 = loose)."""
+        return 1.0 / (1.0 + math.log10(self.latency_high_ms / self.latency_low_ms))
+
+
+# slug: (name, lat_lo, lat_hi, bw_lo, bw_hi, market, human_centric, notes)
+_RAW: Dict[str, Tuple[str, float, float, float, float, float, bool, str]] = {
+    "wearables": (
+        "Wearables",
+        50.0, 200.0, 0.01, 0.1, 70.0, True,
+        "Interaction within PL; tiny sensor payloads.",
+    ),
+    "health-monitoring": (
+        "Health monitoring",
+        80.0, 500.0, 0.02, 0.2, 25.0, True,
+        "Alert latencies beyond PL; periodic vitals.",
+    ),
+    "smart-home": (
+        "Smart home",
+        500.0, 10_000.0, 0.05, 0.5, 120.0, True,
+        "Switches and thermostats tolerate seconds.",
+    ),
+    "weather-monitoring": (
+        "Weather monitoring",
+        60_000.0, 3_600_000.0, 0.01, 0.1, 3.0, False,
+        "Minutes-to-hour reporting cycles.",
+    ),
+    "smart-city": (
+        "Smart city",
+        10_000.0, 600_000.0, 2.0, 50.0, 400.0, False,
+        "Aggregation-heavy; relaxed control loops.",
+    ),
+    "smart-parking": (
+        "Smart parking",
+        5_000.0, 60_000.0, 0.5, 5.0, 10.0, False,
+        "Occupancy updates every tens of seconds.",
+    ),
+    "traffic-monitoring": (
+        "Traffic camera monitoring",
+        100.0, 1_000.0, 5.0, 100.0, 25.0, False,
+        "Continuous video feeds; sub-second analytics.",
+    ),
+    "video-analytics": (
+        "Real-time video analytics",
+        50.0, 500.0, 10.0, 200.0, 30.0, False,
+        "The 'killer app' of Ananthanarayanan et al. [4].",
+    ),
+    "cloud-gaming": (
+        "Cloud gaming",
+        30.0, 100.0, 1.0, 10.0, 7.0, True,
+        "Input lag must stay under PL; streamed frames.",
+    ),
+    "ar-vr": (
+        "AR/VR",
+        4.0, 12.0, 5.0, 50.0, 160.0, True,
+        "MTP-bound; of the ~20 ms budget ~13 ms goes to the display, so "
+        "the network+compute share is ~7 ms (down to 2.5 ms for HUDs).",
+    ),
+    "360-streaming": (
+        "360-degree streaming",
+        15.0, 40.0, 8.0, 60.0, 20.0, True,
+        "Viewport prediction relaxes MTP slightly.",
+    ),
+    "autonomous-vehicles": (
+        "Autonomous vehicles",
+        2.0, 10.0, 30.0, 300.0, 550.0, False,
+        "Control loops tighter than any network supports.",
+    ),
+    "industrial-robots": (
+        "Industrial robotics",
+        1.0, 10.0, 0.5, 5.0, 15.0, False,
+        "Closed-loop control at kilohertz rates.",
+    ),
+    "remote-surgery": (
+        "Remote surgery",
+        100.0, 250.0, 2.0, 20.0, 50.0, True,
+        "Active human engagement within HRT.",
+    ),
+    "teleoperation": (
+        "Teleoperated vehicles",
+        80.0, 250.0, 5.0, 50.0, 35.0, True,
+        "HRT-bound remote driving.",
+    ),
+    "video-streaming": (
+        "Video streaming",
+        1_000.0, 30_000.0, 0.5, 5.0, 100.0, True,
+        "Buffered playback hides seconds of delay.",
+    ),
+}
+
+_CATALOG: Dict[str, Application] = {
+    slug: Application(slug, *fields) for slug, fields in _RAW.items()
+}
+
+
+def get_application(slug: str) -> Application:
+    """Look up an application by slug."""
+    try:
+        return _CATALOG[slug]
+    except KeyError:
+        raise ReproError(f"unknown application: {slug!r}") from None
+
+
+def all_applications() -> Tuple[Application, ...]:
+    """All cataloged applications, in catalog order."""
+    return tuple(_CATALOG.values())
+
+
+def hyped_applications() -> Tuple[Application, ...]:
+    """The apps the paper calls the 'primary drivers of edge hype':
+    the largest expected markets (AR/VR, autonomous vehicles, smart city...).
+    """
+    ranked = sorted(_CATALOG.values(), key=lambda a: a.market_2025_busd, reverse=True)
+    return tuple(ranked[:4])

@@ -1,0 +1,137 @@
+"""The edge feasibility zone (paper §5, Figure 8).
+
+The paper overlays two "reality boundaries" on Figure 2:
+
+* **latency gain zone** — edge can only help between ~10 ms (the wireless
+  last-mile floor: below this no network placement helps) and HRT
+  (~250 ms: above this the cloud already suffices almost globally);
+* **bandwidth gain zone** — edge aggregation only pays off for entities
+  generating >= ~1 GB/day.
+
+Their intersection is the **feasibility zone (FZ)**.  Each application's
+requirement ellipse overlaps the FZ to some degree; the paper's punchline
+is that the hyped Q2 drivers mostly *miss* it.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.apps.catalog import Application, all_applications
+from repro.constants import (
+    FZ_BANDWIDTH_GB_PER_DAY,
+    FZ_LATENCY_HIGH_MS,
+    FZ_LATENCY_LOW_MS,
+)
+from repro.errors import ReproError
+
+#: Upper bound of the bandwidth axis used for overlap geometry (GB/day).
+#: Figure 8's blue zone is open-ended to the right; we close it far out.
+_BANDWIDTH_AXIS_MAX = 10_000.0
+
+
+class Verdict(enum.Enum):
+    """Where an application lands relative to the feasibility zone."""
+
+    IN_ZONE = "edge feasibility zone"
+    ONBOARD_REQUIRED = "requires onboard processing"
+    CLOUD_SUFFICIENT = "supported by current cloud"
+    AGGREGATION_ONLY = "edge useful only for bandwidth aggregation"
+
+
+@dataclass(frozen=True)
+class FeasibilityZone:
+    """The FZ rectangle in (latency, bandwidth) space."""
+
+    latency_low_ms: float = FZ_LATENCY_LOW_MS
+    latency_high_ms: float = FZ_LATENCY_HIGH_MS
+    bandwidth_min_gb_day: float = FZ_BANDWIDTH_GB_PER_DAY
+
+    def __post_init__(self) -> None:
+        if not 0 < self.latency_low_ms < self.latency_high_ms:
+            raise ReproError("invalid FZ latency bounds")
+        if self.bandwidth_min_gb_day <= 0:
+            raise ReproError("invalid FZ bandwidth bound")
+
+    # -- geometry (log-space overlap, matching the log-log figure) ---------
+
+    @staticmethod
+    def _log_overlap(a_low: float, a_high: float, b_low: float, b_high: float) -> float:
+        """Fractional overlap of [a_low, a_high] with [b_low, b_high] in log space.
+
+        Returns the share of interval *a* covered by *b* (0..1).  A point
+        interval counts as fully covered when it lies inside *b*.
+        """
+        la, ha = math.log10(a_low), math.log10(a_high)
+        lb, hb = math.log10(b_low), math.log10(b_high)
+        width = ha - la
+        covered = max(0.0, min(ha, hb) - max(la, lb))
+        if width == 0.0:
+            return 1.0 if lb <= la <= hb else 0.0
+        return covered / width
+
+    def latency_overlap(self, app: Application) -> float:
+        return self._log_overlap(
+            app.latency_low_ms,
+            app.latency_high_ms,
+            self.latency_low_ms,
+            self.latency_high_ms,
+        )
+
+    def bandwidth_overlap(self, app: Application) -> float:
+        return self._log_overlap(
+            app.bandwidth_low_gb_day,
+            app.bandwidth_high_gb_day,
+            self.bandwidth_min_gb_day,
+            _BANDWIDTH_AXIS_MAX,
+        )
+
+    def overlap(self, app: Application) -> float:
+        """Joint FZ overlap (product of the axis overlaps)."""
+        return self.latency_overlap(app) * self.bandwidth_overlap(app)
+
+
+#: Minimum joint overlap for an application to count as "in the zone".
+_IN_ZONE_MIN_OVERLAP = 0.25
+
+
+def assess(app: Application, zone: FeasibilityZone = None) -> Verdict:
+    """Verdict for one application, following §5's reasoning."""
+    zone = zone if zone is not None else FeasibilityZone()
+    if zone.overlap(app) >= _IN_ZONE_MIN_OVERLAP:
+        return Verdict.IN_ZONE
+    # Too strict for any network placement: most of the latency range lies
+    # below the wireless last-mile floor.
+    if app.latency_center_ms < zone.latency_low_ms:
+        return Verdict.ONBOARD_REQUIRED
+    # Latency is relaxed enough for the cloud; does volume still argue for
+    # edge aggregation?
+    if app.bandwidth_center_gb_day >= zone.bandwidth_min_gb_day:
+        return Verdict.AGGREGATION_ONLY
+    return Verdict.CLOUD_SUFFICIENT
+
+
+def assess_all(zone: FeasibilityZone = None) -> Dict[str, Verdict]:
+    """Verdicts for the whole catalog, keyed by application slug."""
+    zone = zone if zone is not None else FeasibilityZone()
+    return {app.slug: assess(app, zone) for app in all_applications()}
+
+
+def zone_market_share(zone: FeasibilityZone = None) -> Tuple[float, float]:
+    """(market inside FZ, market outside FZ), billions USD.
+
+    The paper: "the predicted market share of applications within the edge
+    FZ pales compared to those for which edge does not provide much
+    benefit."
+    """
+    zone = zone if zone is not None else FeasibilityZone()
+    inside = outside = 0.0
+    for app in all_applications():
+        if assess(app, zone) is Verdict.IN_ZONE:
+            inside += app.market_2025_busd
+        else:
+            outside += app.market_2025_busd
+    return inside, outside

@@ -1,0 +1,69 @@
+"""Quadrant classification of applications (paper §3).
+
+Figure 2 groups applications into four quadrants by their latency
+strictness and data volume:
+
+* **Q1** low latency, low bandwidth (wearables, health monitoring);
+* **Q2** low latency, high bandwidth (AR/VR, autonomous vehicles, gaming)
+  — "popularly heralded as the driving force behind edge computing";
+* **Q3** high latency, high bandwidth (smart city, parking) — aggregation;
+* **Q4** high latency, low bandwidth (smart home, weather) — "do not offer
+  compelling reasons for deploying edge servers".
+
+The split lines are the PL threshold on the latency axis and the paper's
+1 GB/day-per-entity bandwidth threshold on the data axis.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Tuple
+
+from repro.apps.catalog import Application, all_applications
+from repro.constants import FZ_BANDWIDTH_GB_PER_DAY, PL_MS
+
+
+class Quadrant(enum.Enum):
+    """Figure 2 quadrants."""
+
+    Q1 = "low latency, low bandwidth"
+    Q2 = "low latency, high bandwidth"
+    Q3 = "high latency, high bandwidth"
+    Q4 = "high latency, low bandwidth"
+
+    @property
+    def latency_sensitive(self) -> bool:
+        return self in (Quadrant.Q1, Quadrant.Q2)
+
+    @property
+    def bandwidth_heavy(self) -> bool:
+        return self in (Quadrant.Q2, Quadrant.Q3)
+
+
+def classify(app: Application) -> Quadrant:
+    """Quadrant of an application, by its requirement ellipse center."""
+    low_latency = app.latency_center_ms <= PL_MS
+    high_bandwidth = app.bandwidth_center_gb_day >= FZ_BANDWIDTH_GB_PER_DAY
+    if low_latency and not high_bandwidth:
+        return Quadrant.Q1
+    if low_latency and high_bandwidth:
+        return Quadrant.Q2
+    if not low_latency and high_bandwidth:
+        return Quadrant.Q3
+    return Quadrant.Q4
+
+
+def quadrant_table() -> Dict[Quadrant, Tuple[Application, ...]]:
+    """All cataloged applications grouped by quadrant."""
+    table: Dict[Quadrant, List[Application]] = {q: [] for q in Quadrant}
+    for app in all_applications():
+        table[classify(app)].append(app)
+    return {q: tuple(apps) for q, apps in table.items()}
+
+
+def market_share_by_quadrant() -> Dict[Quadrant, float]:
+    """Total expected 2025 market (billion USD) per quadrant."""
+    totals: Dict[Quadrant, float] = {q: 0.0 for q in Quadrant}
+    for app in all_applications():
+        totals[classify(app)] += app.market_2025_busd
+    return totals

@@ -1,0 +1,87 @@
+"""Human-perception latency thresholds (paper §3).
+
+The paper anchors application feasibility on three human limits — MTP, PL
+and HRT — plus the display-pipeline budget arithmetic that shrinks MTP's
+network share to a few milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.constants import (
+    HRT_MS,
+    MTP_COMPUTE_BUDGET_MS,
+    MTP_DISPLAY_MS,
+    MTP_HUD_MS,
+    MTP_MS,
+    PL_MS,
+)
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """A named human-perception latency threshold."""
+
+    code: str
+    name: str
+    limit_ms: float
+    description: str
+
+
+MTP = Threshold(
+    "MTP",
+    "Motion-to-Photon",
+    MTP_MS,
+    "Input and rendered effect must stay in sync to avoid motion sickness.",
+)
+PL = Threshold(
+    "PL",
+    "Perceivable Latency",
+    PL_MS,
+    "Delay between input and visual feedback becomes noticeable.",
+)
+HRT = Threshold(
+    "HRT",
+    "Human Reaction Time",
+    HRT_MS,
+    "Stimulus-to-motor-response delay of an engaged human.",
+)
+
+#: Thresholds in ascending strictness order (strictest first).
+ALL_THRESHOLDS: Tuple[Threshold, ...] = (MTP, PL, HRT)
+
+
+def classify_latency(rtt_ms: float) -> Tuple[str, ...]:
+    """Codes of all thresholds an RTT satisfies (e.g. ``("PL", "HRT")``)."""
+    if rtt_ms < 0:
+        raise ReproError(f"RTT must be non-negative: {rtt_ms}")
+    return tuple(t.code for t in ALL_THRESHOLDS if rtt_ms <= t.limit_ms)
+
+
+def strictest_satisfied(rtt_ms: float) -> str:
+    """Code of the strictest threshold an RTT meets, or ``"NONE"``."""
+    satisfied = classify_latency(rtt_ms)
+    return satisfied[0] if satisfied else "NONE"
+
+
+def mtp_network_budget_ms(display_ms: float = MTP_DISPLAY_MS) -> float:
+    """Network+compute budget left inside MTP after the display pipeline.
+
+    The paper: of the ~20 ms MTP budget, ~13 ms goes to refresh/pixel
+    switching, leaving ~7 ms for compute and rendering including the RTT
+    to the server.
+    """
+    if not 0.0 <= display_ms <= MTP_MS:
+        raise ReproError(f"display budget must be within [0, {MTP_MS}]: {display_ms}")
+    return MTP_MS - display_ms
+
+
+def hud_budget_ms() -> float:
+    """The NASA HUD worst case: compute share of MTP as low as 2.5 ms."""
+    return MTP_HUD_MS
+
+
+assert MTP_COMPUTE_BUDGET_MS == mtp_network_budget_ms()

@@ -1,0 +1,49 @@
+"""RIPE Atlas platform simulator: probes, API, results, credits."""
+
+from repro.atlas.anchors import (
+    anchors_in,
+    anchors_of,
+    country_pair_median,
+    mesh_ping,
+    mesh_sample,
+)
+from repro.atlas.credits import (
+    DEFAULT_BALANCE,
+    DEFAULT_DAILY_LIMIT,
+    PING_COST_PER_PACKET,
+    TRACEROUTE_COST,
+    CreditAccount,
+    ping_result_cost,
+)
+from repro.atlas.platform import DEFAULT_KEY, AtlasPlatform, StoredMeasurement
+from repro.atlas.population import (
+    FIRST_PROBE_ID,
+    generate_population,
+    population_summary,
+    probes_by_country,
+)
+from repro.atlas.probes import Probe, ProbeEnvironment, ProbeStatus
+
+__all__ = [
+    "AtlasPlatform",
+    "CreditAccount",
+    "DEFAULT_BALANCE",
+    "DEFAULT_DAILY_LIMIT",
+    "DEFAULT_KEY",
+    "FIRST_PROBE_ID",
+    "PING_COST_PER_PACKET",
+    "Probe",
+    "ProbeEnvironment",
+    "ProbeStatus",
+    "StoredMeasurement",
+    "TRACEROUTE_COST",
+    "anchors_in",
+    "anchors_of",
+    "country_pair_median",
+    "generate_population",
+    "mesh_ping",
+    "mesh_sample",
+    "ping_result_cost",
+    "population_summary",
+    "probes_by_country",
+]

@@ -1,0 +1,124 @@
+"""Anchor mesh measurements.
+
+RIPE Atlas *anchors* are well-connected, datacenter-grade probes that
+continuously ping each other (the "anchoring mesh").  Because both ends
+sit behind wired, core-network connections, mesh RTTs expose the state of
+the **core** network with no last-mile contribution — the counterpart to
+the probe-to-cloud measurements that include it.
+
+The paper's historical argument needs exactly this lens: circa 2009 the
+core was the bottleneck (Krishnan et al. [39]), while today the last mile
+is.  :mod:`repro.core.corevsaccess` quantifies that with mesh data from
+this module.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.atlas.platform import AtlasPlatform
+from repro.atlas.probes import Probe
+from repro.errors import AtlasError
+from repro.net.pathmodel import PingObservation
+from repro.net.rng import stream
+
+
+def anchors_of(platform: AtlasPlatform) -> Tuple[Probe, ...]:
+    """All anchors on the platform."""
+    return tuple(probe for probe in platform.probes if probe.is_anchor)
+
+
+def anchors_in(platform: AtlasPlatform, country_code: str) -> Tuple[Probe, ...]:
+    return tuple(
+        probe for probe in anchors_of(platform)
+        if probe.country_code == country_code.upper()
+    )
+
+
+def mesh_ping(
+    platform: AtlasPlatform,
+    source_id: int,
+    target_id: int,
+    timestamp: int,
+    packets: int = 3,
+) -> PingObservation:
+    """One anchor-to-anchor ping.
+
+    Both endpoints must be anchors (the platform schedules the mesh only
+    between anchors, as the real service does).
+    """
+    source = platform.probe(source_id)
+    target = platform.probe(target_id)
+    if not source.is_anchor or not target.is_anchor:
+        raise AtlasError("mesh measurements run only between anchors")
+    if source_id == target_id:
+        raise AtlasError("an anchor does not mesh-ping itself")
+    rng = stream(platform.seed, "mesh", source_id, target_id, timestamp)
+    return platform.model.ping(
+        source.location,
+        source.country,
+        source.access,
+        target.location,
+        target.country,
+        timestamp,
+        origin_id=source_id,
+        target_id=f"anchor:{target_id}",
+        packets=packets,
+        rng=rng,
+    )
+
+
+def mesh_sample(
+    platform: AtlasPlatform,
+    sources: Sequence[Probe],
+    targets: Sequence[Probe],
+    timestamps: Sequence[int],
+) -> List[dict]:
+    """A batch of mesh observations as flat records.
+
+    Returns dicts with source/target ids, countries, timestamp, and the
+    ping minimum — the shape the core-vs-access analysis consumes.
+    """
+    records: List[dict] = []
+    for source in sources:
+        for target in targets:
+            if source.probe_id == target.probe_id:
+                continue
+            for timestamp in timestamps:
+                obs = mesh_ping(
+                    platform, source.probe_id, target.probe_id, timestamp
+                )
+                if not obs.succeeded:
+                    continue
+                records.append(
+                    {
+                        "src": source.probe_id,
+                        "dst": target.probe_id,
+                        "src_country": source.country_code,
+                        "dst_country": target.country_code,
+                        "timestamp": timestamp,
+                        "rtt_min": obs.rtt_min,
+                    }
+                )
+    return records
+
+
+def country_pair_median(
+    platform: AtlasPlatform,
+    source_country: str,
+    target_country: str,
+    timestamps: Sequence[int],
+    max_anchors: int = 4,
+) -> float:
+    """Median mesh RTT between two countries' anchors."""
+    sources = anchors_in(platform, source_country)[:max_anchors]
+    targets = anchors_in(platform, target_country)[:max_anchors]
+    if not sources or not targets:
+        raise AtlasError(
+            f"no anchors for pair ({source_country}, {target_country})"
+        )
+    records = mesh_sample(platform, sources, targets, timestamps)
+    if not records:
+        raise AtlasError("mesh sample produced no successful pings")
+    values = sorted(record["rtt_min"] for record in records)
+    return values[len(values) // 2]

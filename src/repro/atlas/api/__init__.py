@@ -1,0 +1,36 @@
+"""Cousteau-style client API for the simulated Atlas platform."""
+
+from repro.atlas.api.client import (
+    AtlasCreateRequest,
+    AtlasResultsRequest,
+    AtlasStopRequest,
+    MeasurementRequest,
+    ProbeRequest,
+    default_platform,
+)
+from repro.atlas.api.measurements import (
+    DEFAULT_PING_PACKETS,
+    MIN_INTERVAL_S,
+    MeasurementDefinition,
+    Ping,
+    Traceroute,
+)
+from repro.atlas.api.sources import AtlasSource, select_all
+from repro.atlas.api.stream import AtlasStream
+
+__all__ = [
+    "AtlasCreateRequest",
+    "AtlasResultsRequest",
+    "AtlasSource",
+    "AtlasStopRequest",
+    "AtlasStream",
+    "DEFAULT_PING_PACKETS",
+    "MIN_INTERVAL_S",
+    "MeasurementDefinition",
+    "MeasurementRequest",
+    "Ping",
+    "ProbeRequest",
+    "Traceroute",
+    "default_platform",
+    "select_all",
+]

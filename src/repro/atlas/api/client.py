@@ -1,0 +1,181 @@
+"""Cousteau-style request objects.
+
+Mirrors the ``ripe.atlas.cousteau`` API surface the paper's tooling used:
+
+* :class:`AtlasCreateRequest` — register measurements;
+* :class:`AtlasResultsRequest` — download results for a window;
+* :class:`AtlasStopRequest` — stop an ongoing measurement;
+* :class:`MeasurementRequest` — measurement metadata;
+* :class:`ProbeRequest` — iterate the probe directory.
+
+Each ``create()`` returns ``(is_success, response)`` exactly like
+cousteau, so analysis code ports across with only the import changed.
+The transport is an in-process :class:`~repro.atlas.platform.AtlasPlatform`
+instead of HTTPS; pass one explicitly or rely on the process-wide default.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.atlas.api.measurements import MeasurementDefinition
+from repro.atlas.api.sources import AtlasSource
+from repro.atlas.platform import DEFAULT_KEY, AtlasPlatform
+from repro.errors import AtlasAPIError, AtlasError
+
+
+@lru_cache(maxsize=1)
+def default_platform() -> AtlasPlatform:
+    """Process-wide default platform (seed 0), built on first use."""
+    return AtlasPlatform(seed=0)
+
+
+class _BaseRequest:
+    """Shared plumbing: resolve the platform to talk to."""
+
+    def __init__(self, platform: AtlasPlatform = None):
+        self._platform = platform if platform is not None else default_platform()
+
+    @property
+    def platform(self) -> AtlasPlatform:
+        return self._platform
+
+
+class AtlasCreateRequest(_BaseRequest):
+    """Register one or more measurements (cousteau-compatible shape)."""
+
+    def __init__(
+        self,
+        *,
+        measurements: Sequence[MeasurementDefinition],
+        sources: Sequence[AtlasSource],
+        start_time: int,
+        stop_time: int,
+        key: str = DEFAULT_KEY,
+        is_oneoff: bool = False,
+        platform: AtlasPlatform = None,
+    ):
+        super().__init__(platform)
+        if not measurements:
+            raise AtlasError("at least one measurement is required")
+        if not sources:
+            raise AtlasError("at least one source is required")
+        self.measurements = list(measurements)
+        self.sources = list(sources)
+        self.start_time = int(start_time)
+        self.stop_time = int(stop_time)
+        self.key = key
+        self.is_oneoff = is_oneoff
+
+    def create(self) -> Tuple[bool, dict]:
+        """Returns ``(True, {"measurements": [ids...]})`` or ``(False, error)``."""
+        created: List[int] = []
+        try:
+            for definition in self.measurements:
+                if self.is_oneoff:
+                    definition.is_oneoff = True
+                    definition.interval = None
+                struct = definition.build_api_struct()
+                msm_id = self.platform.create_measurement(
+                    struct,
+                    self.sources,
+                    self.start_time,
+                    self.stop_time,
+                    key=self.key,
+                )
+                created.append(msm_id)
+        except (AtlasAPIError, AtlasError) as exc:
+            return False, {"error": {"detail": str(exc)}, "measurements": created}
+        return True, {"measurements": created}
+
+
+class AtlasResultsRequest(_BaseRequest):
+    """Fetch results of a measurement, optionally windowed."""
+
+    def __init__(
+        self,
+        *,
+        msm_id: int,
+        start: int = None,
+        stop: int = None,
+        probe_ids: Sequence[int] = None,
+        platform: AtlasPlatform = None,
+    ):
+        super().__init__(platform)
+        self.msm_id = int(msm_id)
+        self.start = start
+        self.stop = stop
+        self.probe_ids = list(probe_ids) if probe_ids is not None else None
+
+    def create(self) -> Tuple[bool, List[dict]]:
+        try:
+            results = self.platform.results(
+                self.msm_id, self.start, self.stop, self.probe_ids
+            )
+        except AtlasAPIError as exc:
+            return False, [{"error": {"detail": str(exc)}}]
+        return True, results
+
+
+class AtlasStopRequest(_BaseRequest):
+    """Stop an ongoing measurement."""
+
+    def __init__(
+        self, *, msm_id: int, key: str = DEFAULT_KEY, platform: AtlasPlatform = None
+    ):
+        super().__init__(platform)
+        self.msm_id = int(msm_id)
+        self.key = key
+
+    def create(self) -> Tuple[bool, dict]:
+        try:
+            self.platform.stop_measurement(self.msm_id, key=self.key)
+        except AtlasAPIError as exc:
+            return False, {"error": {"detail": str(exc)}}
+        return True, {}
+
+
+class MeasurementRequest(_BaseRequest):
+    """Measurement metadata lookup."""
+
+    def __init__(self, *, msm_id: int, platform: AtlasPlatform = None):
+        super().__init__(platform)
+        self.msm_id = int(msm_id)
+
+    def get(self) -> dict:
+        return self.platform.measurement(self.msm_id).as_api_dict()
+
+
+class ProbeRequest(_BaseRequest):
+    """Iterate probe metadata, cousteau-generator style.
+
+    Example::
+
+        for probe in ProbeRequest(country_code="DE", tags=["lte"]):
+            print(probe["id"], probe["tags"])
+    """
+
+    def __init__(
+        self,
+        country_code: str = None,
+        tags: Sequence[str] = None,
+        is_anchor: bool = None,
+        platform: AtlasPlatform = None,
+    ):
+        super().__init__(platform)
+        self.country_code = country_code
+        self.tags = list(tags) if tags else None
+        self.is_anchor = is_anchor
+
+    def __iter__(self) -> Iterator[dict]:
+        probes = self.platform.filter_probes(
+            country_code=self.country_code,
+            tags=self.tags,
+            is_anchor=self.is_anchor,
+        )
+        for probe in probes:
+            yield probe.as_api_dict()
+
+    def total_count(self) -> int:
+        return sum(1 for _ in self)

@@ -1,0 +1,128 @@
+"""Measurement definitions, in the style of ``ripe.atlas.cousteau``.
+
+``Ping`` and ``Traceroute`` objects describe *what* to measure; they are
+attached to an :class:`~repro.atlas.api.client.AtlasCreateRequest` together
+with probe sources describing *from where*.  ``build_api_struct()`` returns
+the JSON body the real REST API would receive, which the simulated platform
+consumes directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import AtlasError
+
+#: Minimum allowed measurement interval, seconds (Atlas enforces 60).
+MIN_INTERVAL_S = 60
+
+#: Default ping packet count.
+DEFAULT_PING_PACKETS = 3
+
+
+@dataclass
+class MeasurementDefinition:
+    """Common fields of all measurement types."""
+
+    target: str
+    description: str = ""
+    af: int = 4
+    interval: Optional[int] = None
+    is_oneoff: bool = False
+    resolve_on_probe: bool = False
+
+    #: Set by subclasses.
+    measurement_type: str = field(default="", init=False)
+
+    def validate(self) -> None:
+        if not self.target:
+            raise AtlasError("measurement target must be non-empty")
+        if self.af not in (4, 6):
+            raise AtlasError(f"af must be 4 or 6, got {self.af}")
+        if self.is_oneoff and self.interval is not None:
+            raise AtlasError("one-off measurements cannot have an interval")
+        if not self.is_oneoff:
+            interval = self.effective_interval
+            if interval < MIN_INTERVAL_S:
+                raise AtlasError(
+                    f"interval {interval}s below platform minimum {MIN_INTERVAL_S}s"
+                )
+
+    @property
+    def effective_interval(self) -> int:
+        """The scheduling interval, applying the platform default."""
+        return self.interval if self.interval is not None else 900
+
+    def build_api_struct(self) -> Dict[str, Any]:
+        self.validate()
+        struct: Dict[str, Any] = {
+            "target": self.target,
+            "description": self.description,
+            "type": self.measurement_type,
+            "af": self.af,
+            "is_oneoff": self.is_oneoff,
+            "resolve_on_probe": self.resolve_on_probe,
+        }
+        if not self.is_oneoff:
+            struct["interval"] = self.effective_interval
+        return struct
+
+
+@dataclass
+class Ping(MeasurementDefinition):
+    """An ICMP ping measurement (the study's §4.1 workhorse)."""
+
+    packets: int = DEFAULT_PING_PACKETS
+    size: int = 48
+
+    def __post_init__(self) -> None:
+        self.measurement_type = "ping"
+
+    def validate(self) -> None:
+        super().validate()
+        if not 1 <= self.packets <= 16:
+            raise AtlasError(f"ping packets must be in [1, 16]: {self.packets}")
+        if not 1 <= self.size <= 2048:
+            raise AtlasError(f"ping size must be in [1, 2048]: {self.size}")
+
+    def build_api_struct(self) -> Dict[str, Any]:
+        struct = super().build_api_struct()
+        struct["packets"] = self.packets
+        struct["size"] = self.size
+        return struct
+
+
+@dataclass
+class Traceroute(MeasurementDefinition):
+    """A traceroute measurement.
+
+    The paper plans TCP-based probing as future work (§5, "Network vs.
+    application latency"); ``protocol="TCP"`` with ``port=443`` models the
+    ``tcptraceroute`` extension it cites.
+    """
+
+    protocol: str = "ICMP"
+    port: int = 80
+    max_hops: int = 32
+    paris: int = 16
+
+    def __post_init__(self) -> None:
+        self.measurement_type = "traceroute"
+
+    def validate(self) -> None:
+        super().validate()
+        if self.protocol not in ("ICMP", "UDP", "TCP"):
+            raise AtlasError(f"unsupported traceroute protocol {self.protocol!r}")
+        if not 1 <= self.max_hops <= 255:
+            raise AtlasError(f"max_hops must be in [1, 255]: {self.max_hops}")
+        if not 0 < self.port < 65536:
+            raise AtlasError(f"port must be in (0, 65536): {self.port}")
+
+    def build_api_struct(self) -> Dict[str, Any]:
+        struct = super().build_api_struct()
+        struct["protocol"] = self.protocol
+        struct["port"] = self.port
+        struct["max_hops"] = self.max_hops
+        struct["paris"] = self.paris
+        return struct

@@ -1,0 +1,87 @@
+"""Result streaming, in the style of cousteau's ``AtlasStream``.
+
+The real streaming API pushes results over a socket as probes deliver
+them.  The simulated stream replays a measurement's results in global
+timestamp order, invoking registered callbacks — enough to port
+streaming-based consumer code unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterator, List, Sequence
+
+from repro.atlas.api.client import default_platform
+from repro.atlas.platform import AtlasPlatform
+from repro.errors import AtlasError
+
+ResultCallback = Callable[[dict], None]
+
+
+class AtlasStream:
+    """Replay measurement results in timestamp order.
+
+    Example::
+
+        stream = AtlasStream(platform=platform)
+        stream.bind_channel("atlas_result", on_result)
+        stream.start_stream(stream_type="result", msm=msm_id)
+        stream.timeout(seconds=None)   # drain everything
+    """
+
+    def __init__(self, platform: AtlasPlatform = None):
+        self.platform = platform if platform is not None else default_platform()
+        self._callbacks: Dict[str, List[ResultCallback]] = {}
+        self._subscriptions: List[dict] = []
+
+    # -- cousteau-compatible surface ----------------------------------------
+
+    def connect(self) -> None:
+        """No-op: the in-process stream needs no socket."""
+
+    def disconnect(self) -> None:
+        self._subscriptions.clear()
+
+    def bind_channel(self, channel: str, callback: ResultCallback) -> None:
+        if channel not in ("atlas_result",):
+            raise AtlasError(f"unknown stream channel {channel!r}")
+        self._callbacks.setdefault(channel, []).append(callback)
+
+    def start_stream(self, stream_type: str = "result", **parameters) -> None:
+        if stream_type != "result":
+            raise AtlasError(f"unsupported stream type {stream_type!r}")
+        if "msm" not in parameters:
+            raise AtlasError("start_stream requires msm=<measurement id>")
+        self._subscriptions.append(dict(parameters))
+
+    def timeout(self, seconds: float = None) -> int:
+        """Drain subscribed measurements through the callbacks.
+
+        Returns the number of results delivered.  ``seconds`` is accepted
+        for interface compatibility and ignored (replay is instantaneous).
+        """
+        delivered = 0
+        for result in self.iter_merged():
+            for callback in self._callbacks.get("atlas_result", []):
+                callback(result)
+            delivered += 1
+        return delivered
+
+    # -- iteration ------------------------------------------------------------
+
+    def iter_merged(self) -> Iterator[dict]:
+        """All subscribed measurements' results, merged by timestamp."""
+        iterators = []
+        for subscription in self._subscriptions:
+            msm_id = int(subscription["msm"])
+            start = subscription.get("start")
+            stop = subscription.get("stop")
+            probe_ids: Sequence[int] = subscription.get("probe_ids")
+            iterators.append(
+                self.platform.iter_results(msm_id, start, stop, probe_ids)
+            )
+        merged = heapq.merge(
+            *[sorted(it, key=lambda r: r["timestamp"]) for it in iterators],
+            key=lambda r: r["timestamp"],
+        )
+        return iter(merged)

@@ -1,0 +1,88 @@
+"""Credit accounting for the simulated Atlas platform.
+
+RIPE Atlas meters measurements in *credits*: each ping result costs a few
+credits (one per packet), traceroutes cost more.  Accounts have a balance
+and a daily spending limit.  The paper's acknowledgements thank the Atlas
+team "for supporting our measurements with increased quota limits" — a
+nine-month, 3200-probe campaign is far beyond the default quota, and the
+simulator reproduces that constraint faithfully: the default account will
+refuse the paper-scale campaign unless granted a quota raise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import AtlasError, QuotaExceededError
+
+#: Credits charged per ping packet (so a 3-packet ping result costs 3).
+PING_COST_PER_PACKET = 1
+
+#: Credits charged per traceroute result.
+TRACEROUTE_COST = 10
+
+#: Default daily spending limit of a regular account.
+DEFAULT_DAILY_LIMIT = 1_000_000
+
+#: Default starting balance of a regular account.
+DEFAULT_BALANCE = 5_000_000
+
+_DAY_S = 86_400
+
+
+def ping_result_cost(packets: int) -> int:
+    """Credit cost of one ping result with ``packets`` echo requests."""
+    if packets <= 0:
+        raise AtlasError(f"packets must be positive: {packets}")
+    return PING_COST_PER_PACKET * packets
+
+
+@dataclass
+class CreditAccount:
+    """A metered Atlas account."""
+
+    key: str
+    balance: int = DEFAULT_BALANCE
+    daily_limit: int = DEFAULT_DAILY_LIMIT
+    spent_total: int = 0
+    _spent_by_day: Dict[int, int] = field(default_factory=dict)
+
+    def charge(self, amount: int, timestamp: int) -> None:
+        """Charge ``amount`` credits at ``timestamp``.
+
+        Raises :class:`QuotaExceededError` when the balance or the daily
+        limit would be exceeded; the charge is then not applied.
+        """
+        if amount < 0:
+            raise AtlasError(f"cannot charge a negative amount: {amount}")
+        if amount > self.balance:
+            raise QuotaExceededError(
+                f"account {self.key!r} balance {self.balance} cannot cover {amount}"
+            )
+        day = timestamp // _DAY_S
+        day_spent = self._spent_by_day.get(day, 0)
+        if day_spent + amount > self.daily_limit:
+            raise QuotaExceededError(
+                f"account {self.key!r} daily limit {self.daily_limit} exceeded"
+            )
+        self.balance -= amount
+        self.spent_total += amount
+        self._spent_by_day[day] = day_spent + amount
+
+    def grant(self, amount: int) -> None:
+        """Top up the account (earning credits by hosting probes)."""
+        if amount < 0:
+            raise AtlasError(f"cannot grant a negative amount: {amount}")
+        self.balance += amount
+
+    def raise_quota(self, daily_limit: int, balance: int = None) -> None:
+        """The 'increased quota limits' from the paper's acknowledgements."""
+        if daily_limit <= 0:
+            raise AtlasError("daily limit must be positive")
+        self.daily_limit = daily_limit
+        if balance is not None:
+            self.balance = max(self.balance, balance)
+
+    def spent_on_day(self, timestamp: int) -> int:
+        return self._spent_by_day.get(timestamp // _DAY_S, 0)

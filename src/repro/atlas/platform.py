@@ -1,0 +1,502 @@
+"""The simulated RIPE Atlas backend.
+
+:class:`AtlasPlatform` plays the role of the REST service behind
+``atlas.ripe.net``: it owns the probe fleet, accepts measurement
+specifications (the JSON structs the cousteau-style client builds),
+resolves probe sources, meters credits, and *materializes results on
+demand* by driving the latency simulator.
+
+Results are a pure function of ``(platform seed, measurement, probe,
+tick)``: fetching the same window twice returns byte-identical data, and
+extending a window only appends.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.atlas.credits import (
+    PING_COST_PER_PACKET,
+    TRACEROUTE_COST,
+    CreditAccount,
+)
+from repro.atlas.population import generate_population
+from repro.atlas.probes import Probe
+from repro.cloud.vm import TargetVM, deploy_fleet
+from repro.errors import AtlasAPIError, MeasurementNotFoundError
+from repro.net.pathmodel import LatencyModel, PingObservation
+from repro.net.physics import estimate_hop_count
+from repro.net.rng import stream
+
+#: Default API key registered on a fresh platform.
+DEFAULT_KEY = "REPRO-0000-DEFAULT-KEY"
+
+#: Firmware version stamped on generated results (a real Atlas value).
+_FIRMWARE = 5020
+
+#: First measurement id handed out.
+_FIRST_MSM_ID = 100_001
+
+#: IPv6 paths run a hair longer than IPv4 (sparser peering, occasional
+#: tunnels) — the familiar small v6 penalty of the late 2010s.
+_V6_PATH_FACTOR = 1.03
+_V6_PEERING_FACTOR = 1.20
+_V6_EXTRA_MS = 1.5
+
+
+@dataclass
+class StoredMeasurement:
+    """A measurement registered on the platform."""
+
+    msm_id: int
+    definition: dict
+    probes: Tuple[Probe, ...]
+    start_time: int
+    stop_time: int
+    key: str
+    status: str = "Ongoing"
+
+    @property
+    def measurement_type(self) -> str:
+        return self.definition["type"]
+
+    @property
+    def interval(self) -> int:
+        return self.definition.get("interval", 0)
+
+    @property
+    def is_oneoff(self) -> bool:
+        return bool(self.definition.get("is_oneoff"))
+
+    def as_api_dict(self) -> dict:
+        return {
+            "id": self.msm_id,
+            "type": self.measurement_type,
+            "target": self.definition["target"],
+            "description": self.definition.get("description", ""),
+            "af": self.definition.get("af", 4),
+            "interval": self.interval or None,
+            "is_oneoff": self.is_oneoff,
+            "start_time": self.start_time,
+            "stop_time": self.stop_time,
+            "status": {"name": self.status},
+            "participant_count": len(self.probes),
+        }
+
+
+class AtlasPlatform:
+    """The measurement platform backend."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        probes: Sequence[Probe] = None,
+        fleet: Sequence[TargetVM] = None,
+        model: LatencyModel = None,
+    ):
+        self.seed = int(seed)
+        self.probes: Tuple[Probe, ...] = (
+            tuple(probes) if probes is not None else generate_population(seed)
+        )
+        self.fleet: Tuple[TargetVM, ...] = (
+            tuple(fleet) if fleet is not None else deploy_fleet()
+        )
+        self.model = model if model is not None else LatencyModel(seed=seed)
+        self.accounts: Dict[str, CreditAccount] = {
+            DEFAULT_KEY: CreditAccount(key=DEFAULT_KEY)
+        }
+        self._measurements: Dict[int, StoredMeasurement] = {}
+        self._next_msm_id = itertools.count(_FIRST_MSM_ID)
+        self._probe_by_id = {probe.probe_id: probe for probe in self.probes}
+        self._vm_by_address = {vm.address: vm for vm in self.fleet}
+        self._vm_by_hostname = {self.hostname_for(vm): vm for vm in self.fleet}
+
+    # -- naming ----------------------------------------------------------------
+
+    @staticmethod
+    def hostname_for(vm: TargetVM) -> str:
+        """Synthetic DNS name of a target VM."""
+        return f"{vm.region.code}.{vm.region.provider_slug}.repro.cloud"
+
+    def resolve_target(self, target: str) -> TargetVM:
+        """Resolve a measurement target (address or hostname) to a VM."""
+        vm = self._vm_by_address.get(target) or self._vm_by_hostname.get(target)
+        if vm is None:
+            raise AtlasAPIError(400, f"unresolvable measurement target {target!r}")
+        return vm
+
+    # -- accounts ------------------------------------------------------------
+
+    def register_account(self, account: CreditAccount) -> None:
+        self.accounts[account.key] = account
+
+    def account_for(self, key: str) -> CreditAccount:
+        try:
+            return self.accounts[key]
+        except KeyError:
+            raise AtlasAPIError(403, "invalid API key") from None
+
+    # -- probes ------------------------------------------------------------------
+
+    def probe(self, probe_id: int) -> Probe:
+        try:
+            return self._probe_by_id[probe_id]
+        except KeyError:
+            raise AtlasAPIError(404, f"probe {probe_id} not found") from None
+
+    def filter_probes(
+        self,
+        country_code: str = None,
+        tags: Iterable[str] = None,
+        is_anchor: bool = None,
+    ) -> List[Probe]:
+        """Probe directory query (backs the cousteau ``ProbeRequest``)."""
+        wanted_tags = {tag.lower() for tag in tags} if tags else set()
+        out = []
+        for probe in self.probes:
+            if country_code is not None and probe.country_code != country_code.upper():
+                continue
+            if wanted_tags and not wanted_tags.issubset(probe.tags):
+                continue
+            if is_anchor is not None and probe.is_anchor != is_anchor:
+                continue
+            out.append(probe)
+        return out
+
+    # -- measurement lifecycle -----------------------------------------------------
+
+    def create_measurement(
+        self,
+        definition: dict,
+        sources,
+        start_time: int,
+        stop_time: int,
+        key: str = DEFAULT_KEY,
+    ) -> int:
+        """Register a measurement; charges the account up front.
+
+        Returns the new measurement id.  Raises
+        :class:`~repro.errors.QuotaExceededError` when the account cannot
+        cover the scheduled results (partial charges are not rolled back,
+        mirroring the real platform's day-by-day metering).
+        """
+        if stop_time <= start_time:
+            raise AtlasAPIError(400, "stop_time must be after start_time")
+        # Imported here: the api package imports this module at load time.
+        from repro.atlas.api.sources import select_all
+
+        account = self.account_for(key)
+        self.resolve_target(definition["target"])  # validate early
+        probes = select_all(sources, self.probes)
+        if definition.get("af") == 6:
+            probes = [probe for probe in probes if probe.has_ipv6]
+            if not probes:
+                raise AtlasAPIError(
+                    400, "no selected probe has working IPv6 for an af=6 measurement"
+                )
+        msm = StoredMeasurement(
+            msm_id=next(self._next_msm_id),
+            definition=dict(definition),
+            probes=tuple(probes),
+            start_time=int(start_time),
+            stop_time=int(stop_time),
+            key=key,
+        )
+        self._charge_for(msm, account)
+        self._measurements[msm.msm_id] = msm
+        return msm.msm_id
+
+    def _charge_for(self, msm: StoredMeasurement, account: CreditAccount) -> None:
+        if msm.measurement_type == "ping":
+            per_result = PING_COST_PER_PACKET * msm.definition.get("packets", 3)
+        elif msm.measurement_type == "traceroute":
+            per_result = TRACEROUTE_COST
+        else:
+            raise AtlasAPIError(
+                400, f"unsupported measurement type {msm.measurement_type!r}"
+            )
+        if msm.is_oneoff:
+            account.charge(per_result * len(msm.probes), msm.start_time)
+            return
+        # Periodic: charge day by day so daily limits bite realistically.
+        day_s = 86_400
+        results_per_day_per_probe = max(1, day_s // msm.interval)
+        daily_cost = per_result * results_per_day_per_probe * len(msm.probes)
+        for day_start in range(msm.start_time, msm.stop_time, day_s):
+            remaining = min(day_s, msm.stop_time - day_start)
+            fraction = remaining / day_s
+            account.charge(int(daily_cost * fraction), day_start)
+
+    def measurement(self, msm_id: int) -> StoredMeasurement:
+        try:
+            return self._measurements[msm_id]
+        except KeyError:
+            raise MeasurementNotFoundError(msm_id) from None
+
+    def list_measurements(
+        self, key: str = None, measurement_type: str = None, status: str = None
+    ) -> List[StoredMeasurement]:
+        """Directory of registered measurements, optionally filtered."""
+        out = []
+        for msm in self._measurements.values():
+            if key is not None and msm.key != key:
+                continue
+            if measurement_type is not None and msm.measurement_type != measurement_type:
+                continue
+            if status is not None and msm.status != status:
+                continue
+            out.append(msm)
+        return out
+
+    def expected_result_count(self, msm_id: int, probe_id: int) -> int:
+        """Results a probe *should* deliver for a measurement (online ticks).
+
+        The gap between this and the delivered count is probe churn —
+        the completeness analysis consumes the pair.
+        """
+        msm = self.measurement(msm_id)
+        probe = self.probe(probe_id)
+        if all(p.probe_id != probe_id for p in msm.probes):
+            raise AtlasAPIError(404, f"probe {probe_id} not on measurement {msm_id}")
+        return sum(
+            1 for tick, _ts in self._tick_times(msm, probe) if probe.is_online(tick)
+        )
+
+    def scheduled_tick_count(self, msm_id: int, probe_id: int) -> int:
+        """All scheduled ticks for a probe, online or not."""
+        msm = self.measurement(msm_id)
+        probe = self.probe(probe_id)
+        return sum(1 for _ in self._tick_times(msm, probe))
+
+    def stop_measurement(self, msm_id: int, key: str = DEFAULT_KEY) -> None:
+        msm = self.measurement(msm_id)
+        if msm.key != key:
+            raise AtlasAPIError(403, "measurement belongs to a different key")
+        msm.status = "Stopped"
+
+    # -- result materialization ------------------------------------------------------
+
+    def _tick_times(self, msm: StoredMeasurement, probe: Probe) -> Iterator[Tuple[int, int]]:
+        """(tick_index, timestamp) pairs for a probe on a measurement.
+
+        The platform spreads probes across the interval (as real Atlas
+        does) with a stable per-probe offset.
+        """
+        if msm.is_oneoff:
+            yield 0, msm.start_time
+            return
+        spread = (probe.probe_id * 2_654_435_761) % msm.interval
+        tick = 0
+        timestamp = msm.start_time + spread
+        while timestamp < msm.stop_time:
+            yield tick, timestamp
+            tick += 1
+            timestamp += msm.interval
+
+    def iter_results(
+        self,
+        msm_id: int,
+        start: int = None,
+        stop: int = None,
+        probe_ids: Sequence[int] = None,
+    ) -> Iterator[dict]:
+        """Lazily generate raw results for a window, probe-major order."""
+        msm = self.measurement(msm_id)
+        vm = self.resolve_target(msm.definition["target"])
+        window_start = msm.start_time if start is None else max(start, msm.start_time)
+        window_stop = msm.stop_time if stop is None else min(stop, msm.stop_time)
+        if probe_ids is None:
+            probes = msm.probes
+        else:
+            wanted = set(probe_ids)
+            probes = tuple(p for p in msm.probes if p.probe_id in wanted)
+        for probe in probes:
+            rng = stream(self.seed, "results", msm_id, probe.probe_id)
+            for tick, timestamp in self._tick_times(msm, probe):
+                if not probe.is_online(tick):
+                    # Burn the tick's draws to keep later ticks stable
+                    # regardless of the query window.
+                    continue
+                if timestamp < window_start or timestamp >= window_stop:
+                    if timestamp >= window_stop:
+                        break
+                    # Before the window: still consume this tick's RNG so
+                    # in-window results are window-independent.
+                    self._generate(msm, probe, vm, timestamp, rng)
+                    continue
+                yield self._generate(msm, probe, vm, timestamp, rng)
+
+    def results(
+        self,
+        msm_id: int,
+        start: int = None,
+        stop: int = None,
+        probe_ids: Sequence[int] = None,
+    ) -> List[dict]:
+        return list(self.iter_results(msm_id, start, stop, probe_ids))
+
+    # -- result synthesis ---------------------------------------------------------------
+
+    def _generate(
+        self,
+        msm: StoredMeasurement,
+        probe: Probe,
+        vm: TargetVM,
+        timestamp: int,
+        rng,
+    ) -> dict:
+        if msm.measurement_type == "ping":
+            return self._ping_result(msm, probe, vm, timestamp, rng)
+        return self._traceroute_result(msm, probe, vm, timestamp, rng)
+
+    def _observe(
+        self,
+        probe: Probe,
+        vm: TargetVM,
+        timestamp: int,
+        packets: int,
+        rng,
+        af: int = 4,
+    ) -> PingObservation:
+        adjustment = vm.adjustment
+        if af == 6:
+            from repro.net.pathmodel import EndpointAdjustment
+
+            adjustment = EndpointAdjustment(
+                path_factor=adjustment.path_factor * _V6_PATH_FACTOR,
+                peering_factor=adjustment.peering_factor * _V6_PEERING_FACTOR,
+                extra_ms=adjustment.extra_ms + _V6_EXTRA_MS,
+            )
+        return self.model.ping(
+            probe.location,
+            probe.country,
+            probe.access,
+            vm.region.location,
+            vm.region.country,
+            timestamp,
+            origin_id=probe.probe_id,
+            target_id=vm.key if af == 4 else f"{vm.key}#v6",
+            packets=packets,
+            adjustment=adjustment,
+            rng=rng,
+        )
+
+    def _ping_result(
+        self, msm: StoredMeasurement, probe: Probe, vm: TargetVM, timestamp: int, rng
+    ) -> dict:
+        packets = msm.definition.get("packets", 3)
+        af = msm.definition.get("af", 4)
+        obs = self._observe(probe, vm, timestamp, packets, rng, af=af)
+        entries: List[dict] = [{"rtt": rtt} for rtt in obs.rtts_ms]
+        entries += [{"x": "*"}] * (obs.sent - obs.received)
+        return {
+            "af": af,
+            "avg": round(obs.rtt_avg, 3) if obs.succeeded else -1,
+            "dst_addr": vm.address,
+            "dst_name": msm.definition["target"],
+            "dup": 0,
+            "from": probe.address_v6 if af == 6 else probe.address,
+            "fw": _FIRMWARE,
+            "group_id": msm.msm_id,
+            "lts": 20,
+            "max": round(obs.rtt_max, 3) if obs.succeeded else -1,
+            "min": round(obs.rtt_min, 3) if obs.succeeded else -1,
+            "msm_id": msm.msm_id,
+            "msm_name": "Ping",
+            "prb_id": probe.probe_id,
+            "proto": "ICMP",
+            "rcvd": obs.received,
+            "result": entries,
+            "sent": obs.sent,
+            "size": msm.definition.get("size", 48),
+            "step": msm.interval or None,
+            "timestamp": timestamp,
+            "ttl": 54,
+            "type": "ping",
+        }
+
+    def _traceroute_result(
+        self, msm: StoredMeasurement, probe: Probe, vm: TargetVM, timestamp: int, rng
+    ) -> dict:
+        obs = self._observe(probe, vm, timestamp, 1, rng)
+        route = self.model.route(
+            probe.location, probe.country, vm.region.location, vm.region.country
+        )
+        total_rtt = obs.rtts_ms[0] if obs.succeeded else None
+        hop_count = estimate_hop_count(route.path_km)
+        access_ms = None
+        if total_rtt is not None:
+            # Hop 2 is the ISP access concentrator: it carries the whole
+            # last-mile contribution, so path decomposition can attribute
+            # delay to access vs core exactly as tcptraceroute users do.
+            transit = self.model.transit_floor_ms(
+                probe.location,
+                probe.country,
+                vm.region.location,
+                vm.region.country,
+                vm.adjustment,
+            )
+            access_ms = max(total_rtt - transit, 0.2)
+        hops: List[dict] = []
+        for hop_index in range(1, hop_count + 1):
+            hops.append(
+                self._traceroute_hop(
+                    probe, vm, hop_index, hop_count, total_rtt, access_ms, rng
+                )
+            )
+        return {
+            "af": msm.definition.get("af", 4),
+            "dst_addr": vm.address,
+            "dst_name": msm.definition["target"],
+            "from": probe.address,
+            "fw": _FIRMWARE,
+            "msm_id": msm.msm_id,
+            "msm_name": "Traceroute",
+            "paris_id": msm.definition.get("paris", 16),
+            "prb_id": probe.probe_id,
+            "proto": msm.definition.get("protocol", "ICMP"),
+            "result": hops,
+            "size": 40,
+            "timestamp": timestamp,
+            "type": "traceroute",
+        }
+
+    def _traceroute_hop(
+        self,
+        probe: Probe,
+        vm: TargetVM,
+        hop_index: int,
+        hop_count: int,
+        total_rtt: Optional[float],
+        access_ms: Optional[float],
+        rng,
+    ) -> dict:
+        if total_rtt is None or rng.random() < 0.04:
+            # Silent hop (filtered ICMP) or failed path.
+            return {"hop": hop_index, "result": [{"x": "*"}] * 3}
+        # Cumulative RTT profile: the home gateway answers in ~1 ms, the
+        # access concentrator (hop 2) already carries the last mile, and
+        # the remaining hops spread the wide-area transit evenly.
+        if hop_index == 1:
+            base = min(1.0, total_rtt * 0.5)
+        elif hop_index == 2 or hop_count <= 2:
+            base = min(access_ms + 1.0, total_rtt)
+        else:
+            core = max(total_rtt - access_ms - 1.0, 0.0)
+            progress = (hop_index - 2) / max(1, hop_count - 2)
+            base = access_ms + 1.0 + core * progress
+        if hop_index == hop_count:
+            hop_addr = vm.address
+        elif hop_index == 1:
+            hop_addr = "192.168.0.1"
+        else:
+            hop_addr = f"10.{hop_index}.{probe.probe_id % 250}.{(hop_index * 7) % 250}"
+        replies = []
+        for _ in range(3):
+            rtt = base + float(rng.exponential(0.4)) + float(rng.uniform(0.0, 0.3))
+            replies.append(
+                {"from": hop_addr, "rtt": round(rtt, 3), "size": 28, "ttl": 64 - hop_index}
+            )
+        return {"hop": hop_index, "result": replies}

@@ -1,0 +1,225 @@
+"""Synthetic probe population generator.
+
+Recreates the measurement study's vantage-point footprint (§4.1, Figure
+3b): 3200+ probes across 166 countries, with the real platform's biases —
+heavy European density, mostly wired probes hosted by network-savvy
+volunteers, a minority of wireless probes, and a small population of
+probes sitting in datacenters or clouds whose tags the paper uses to
+exclude them.
+
+Determinism: the population is a pure function of the seed.  Probe
+attributes are drawn from per-probe label-derived streams, so inserting a
+country or changing one probe's draw never reshuffles the rest.
+"""
+
+from __future__ import annotations
+
+import zlib
+from functools import lru_cache
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.atlas import tags as tag_vocab
+from repro.atlas.probes import Probe, ProbeEnvironment
+from repro.geo.coordinates import LatLon, destination_point
+from repro.geo.countries import Country, countries_with_probes
+from repro.net.lastmile import AccessTechnology, choose_technology
+from repro.net.rng import stream
+
+#: First probe id handed out (real Atlas ids are four to seven digits).
+FIRST_PROBE_ID = 6001
+
+#: Environment mix of the probe fleet.
+_ENVIRONMENTS: Tuple[Tuple[ProbeEnvironment, float], ...] = (
+    (ProbeEnvironment.HOME, 0.68),
+    (ProbeEnvironment.OFFICE, 0.15),
+    (ProbeEnvironment.CORE, 0.07),
+    (ProbeEnvironment.DATACENTRE, 0.07),
+    (ProbeEnvironment.CLOUD, 0.03),
+)
+
+#: Probability a host declares an access-technology user tag.
+_P_ACCESS_TAG = 0.55
+
+#: Probability a host declares an environment user tag.
+_P_ENVIRONMENT_TAG = 0.50
+
+#: Probability a privileged probe is *recognizably* tagged as such
+#: ("clearly installed in privileged locations", §4.1).
+_P_PRIVILEGED_TAG = 0.80
+
+#: Fraction of probes that are anchors (always wired, well-connected).
+_P_ANCHOR = 0.05
+
+#: Share of probes with working IPv6, by infrastructure tier (circa-2019
+#: deployment: strong in well-connected countries, sparse elsewhere).
+_P_IPV6: Dict[int, float] = {1: 0.70, 2: 0.50, 3: 0.35, 4: 0.20}
+
+#: Probe-scatter centers for countries whose *population* (and hence probe
+#: hosts) concentrates far from the geographic centroid: Australians live
+#: on the southeast coast, Canadians along the US border, Russians west of
+#: the Urals, and so on.  Scatter radii are also tightened for these.
+PROBE_CENTER_OVERRIDES: Dict[str, Tuple[float, float, float]] = {
+    # iso2: (lat, lon, scatter_radius_km)
+    "AU": (-34.5, 148.5, 500.0),
+    "CA": (45.6, -77.0, 700.0),
+    "RU": (55.7, 42.0, 900.0),
+    "BR": (-22.5, -46.5, 800.0),
+    "CL": (-33.4, -70.9, 400.0),
+    "AR": (-34.6, -60.5, 500.0),
+    "EG": (30.0, 31.2, 250.0),
+    "CN": (31.5, 114.0, 900.0),
+    "US": (39.0, -89.0, 900.0),
+    "KZ": (49.8, 73.1, 600.0),
+    "SA": (24.7, 46.7, 500.0),
+    "DZ": (36.0, 3.0, 300.0),
+    "LY": (32.5, 15.0, 300.0),
+    "PE": (-11.0, -76.5, 400.0),
+    "CO": (4.7, -74.5, 300.0),
+    "MX": (20.5, -100.0, 500.0),
+    "ID": (-6.5, 108.0, 600.0),
+    "FI": (61.0, 25.3, 250.0),
+    "SE": (59.0, 16.5, 300.0),
+    "NO": (59.9, 10.0, 300.0),
+    "NZ": (-38.5, 175.5, 400.0),
+}
+
+_ENV_TAG: Dict[ProbeEnvironment, str] = {
+    ProbeEnvironment.HOME: tag_vocab.TAG_HOME,
+    ProbeEnvironment.OFFICE: tag_vocab.TAG_OFFICE,
+    ProbeEnvironment.CORE: tag_vocab.TAG_CORE,
+    ProbeEnvironment.DATACENTRE: tag_vocab.TAG_DATACENTRE,
+    ProbeEnvironment.CLOUD: tag_vocab.TAG_CLOUD,
+}
+
+
+def _draw_environment(rng: np.random.Generator) -> ProbeEnvironment:
+    weights = np.asarray([weight for _, weight in _ENVIRONMENTS])
+    index = rng.choice(len(_ENVIRONMENTS), p=weights / weights.sum())
+    return _ENVIRONMENTS[index][0]
+
+
+def _draw_location(country: Country, rng: np.random.Generator):
+    """Scatter a probe around the country's population center (Rayleigh)."""
+    override = PROBE_CENTER_OVERRIDES.get(country.iso2)
+    if override:
+        lat, lon, radius = override
+        center = LatLon(lat, lon)
+    else:
+        center = country.centroid
+        radius = country.scatter_radius_km
+    distance = min(float(rng.rayleigh(radius / 1.6)), radius * 1.25)
+    bearing = float(rng.uniform(0.0, 360.0))
+    point = destination_point(center, bearing, distance)
+    # Keep probes at plausible inhabited latitudes.
+    lat = min(max(point.lat, -55.0), 70.0)
+    return type(point)(lat, point.lon)
+
+
+def _draw_access(
+    country: Country, environment: ProbeEnvironment, rng: np.random.Generator
+) -> AccessTechnology:
+    if environment in (
+        ProbeEnvironment.CORE,
+        ProbeEnvironment.DATACENTRE,
+        ProbeEnvironment.CLOUD,
+    ):
+        return AccessTechnology.ETHERNET
+    return choose_technology(country.infra_tier, rng)
+
+
+def _draw_tags(
+    environment: ProbeEnvironment,
+    access: AccessTechnology,
+    rng: np.random.Generator,
+) -> Tuple[str, ...]:
+    tags: List[str] = []
+    if environment.is_privileged:
+        if rng.random() < _P_PRIVILEGED_TAG:
+            tags.append(_ENV_TAG[environment])
+    elif rng.random() < _P_ENVIRONMENT_TAG:
+        tags.append(_ENV_TAG[environment])
+    if rng.random() < _P_ACCESS_TAG:
+        tags.append(access.atlas_tag)
+        # Hosts often add a second, broader tag.
+        if access is AccessTechnology.ETHERNET and rng.random() < 0.3:
+            tags.append(tag_vocab.TAG_BROADBAND)
+        if access is AccessTechnology.LTE and rng.random() < 0.3:
+            tags.append(tag_vocab.TAG_4G)
+        if access is AccessTechnology.WIFI and rng.random() < 0.3:
+            tags.append(tag_vocab.TAG_WLAN)
+    return tuple(tags)
+
+
+def _draw_stability(access: AccessTechnology, rng: np.random.Generator) -> float:
+    if access.is_wireless:
+        base = 0.90
+    else:
+        base = 0.965
+    jitter = float(rng.beta(8.0, 2.0)) * 0.04
+    return min(1.0, base + jitter - 0.02)
+
+
+def _build_probe(
+    probe_id: int, country: Country, index_in_country: int, seed: int
+) -> Probe:
+    rng = stream(seed, "probe", country.iso2, index_in_country)
+    environment = _draw_environment(rng)
+    access = _draw_access(country, environment, rng)
+    location = _draw_location(country, rng)
+    is_anchor = bool(rng.random() < _P_ANCHOR) and not access.is_wireless
+    if is_anchor:
+        environment = ProbeEnvironment.CORE
+        access = AccessTechnology.ETHERNET
+    # zlib.crc32 is stable across processes (str hash() is randomized).
+    country_slot = zlib.crc32(country.iso2.encode("ascii")) % 400
+    asn = 64512 + country_slot * 16 + int(rng.integers(0, 12))
+    has_ipv6 = bool(rng.random() < _P_IPV6[country.infra_tier]) or is_anchor
+    return Probe(
+        probe_id=probe_id,
+        country_code=country.iso2,
+        location=location,
+        asn=asn,
+        access=access,
+        environment=environment,
+        is_anchor=is_anchor,
+        has_ipv6=has_ipv6,
+        stability=_draw_stability(access, rng),
+        user_tags=_draw_tags(environment, access, rng),
+    )
+
+
+@lru_cache(maxsize=4)
+def generate_population(seed: int = 0) -> Tuple[Probe, ...]:
+    """The full synthetic probe fleet for a seed (3200+ probes)."""
+    probes: List[Probe] = []
+    probe_id = FIRST_PROBE_ID
+    for country in countries_with_probes():
+        for index in range(country.atlas_probes):
+            probes.append(_build_probe(probe_id, country, index, seed))
+            probe_id += 1
+    return tuple(probes)
+
+
+def probes_by_country(seed: int = 0) -> Dict[str, Tuple[Probe, ...]]:
+    """Probes grouped by ISO country code."""
+    grouped: Dict[str, List[Probe]] = {}
+    for probe in generate_population(seed):
+        grouped.setdefault(probe.country_code, []).append(probe)
+    return {code: tuple(probes) for code, probes in grouped.items()}
+
+
+def population_summary(seed: int = 0) -> Dict[str, float]:
+    """Headline statistics of the generated fleet."""
+    probes = generate_population(seed)
+    wireless = sum(1 for probe in probes if probe.access.is_wireless)
+    privileged = sum(1 for probe in probes if probe.environment.is_privileged)
+    anchors = sum(1 for probe in probes if probe.is_anchor)
+    return {
+        "probes": len(probes),
+        "countries": len({probe.country_code for probe in probes}),
+        "wireless_share": wireless / len(probes),
+        "privileged_share": privileged / len(probes),
+        "anchor_share": anchors / len(probes),
+    }

@@ -1,0 +1,136 @@
+"""Probe model.
+
+A :class:`Probe` mirrors the metadata the RIPE Atlas API exposes per probe
+(id, ASN, country, coordinates, status, tags) plus the hidden ground truth
+the simulator needs (actual access technology, environment, stability).
+Analysis code must only rely on the *observable* fields — the paper could
+not see the ground truth either, which is exactly why its tag-based
+filtering matters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.atlas import tags as tag_vocab
+from repro.errors import AtlasError
+from repro.geo.coordinates import LatLon
+from repro.geo.countries import Country, get_country
+from repro.net.lastmile import AccessTechnology
+
+
+class ProbeEnvironment(enum.Enum):
+    """Where a probe is physically installed."""
+
+    HOME = "home"
+    OFFICE = "office"
+    CORE = "core"
+    DATACENTRE = "datacentre"
+    CLOUD = "cloud"
+
+    @property
+    def is_privileged(self) -> bool:
+        """Privileged locations the paper filters out (§4.1)."""
+        return self in (ProbeEnvironment.DATACENTRE, ProbeEnvironment.CLOUD)
+
+
+class ProbeStatus(enum.Enum):
+    """Connection status as reported by the Atlas API."""
+
+    CONNECTED = "Connected"
+    DISCONNECTED = "Disconnected"
+    ABANDONED = "Abandoned"
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One RIPE Atlas probe."""
+
+    probe_id: int
+    country_code: str
+    location: LatLon
+    asn: int
+    access: AccessTechnology
+    environment: ProbeEnvironment
+    status: ProbeStatus = ProbeStatus.CONNECTED
+    is_anchor: bool = False
+    #: Whether the probe's network delivers working IPv6.
+    has_ipv6: bool = False
+    #: Fraction of scheduled ticks the probe is online for.
+    stability: float = 0.97
+    #: User tags as the host declared them (may be empty or partial —
+    #: hosts under-tag on the real platform too).
+    user_tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.probe_id <= 0:
+            raise AtlasError(f"probe id must be positive: {self.probe_id}")
+        if not 0.0 < self.stability <= 1.0:
+            raise AtlasError(f"stability must be in (0, 1]: {self.stability}")
+        get_country(self.country_code)  # validate
+
+    @property
+    def country(self) -> Country:
+        return get_country(self.country_code)
+
+    @property
+    def continent(self) -> str:
+        return self.country.continent
+
+    @property
+    def system_tags(self) -> Tuple[str, ...]:
+        tags = [tag_vocab.SYSTEM_IPV4_WORKS, tag_vocab.SYSTEM_V3]
+        if self.has_ipv6:
+            tags.append(tag_vocab.SYSTEM_IPV6_WORKS)
+        if self.is_anchor:
+            tags.append(tag_vocab.SYSTEM_ANCHOR)
+        return tuple(tags)
+
+    @property
+    def tags(self) -> Tuple[str, ...]:
+        """All tags, system and user, as the API would report them."""
+        return tag_vocab.normalize(self.system_tags + self.user_tags)
+
+    @property
+    def address(self) -> str:
+        """Synthetic source address, stable per probe id."""
+        high, mid = divmod(self.probe_id, 65536)
+        mid, low = divmod(mid, 256)
+        return f"172.{16 + high % 16}.{mid}.{low}"
+
+    @property
+    def address_v6(self) -> str:
+        """Synthetic IPv6 source address (empty when v6 is unavailable)."""
+        if not self.has_ipv6:
+            return ""
+        return f"2001:db8:{self.probe_id >> 16:x}:{self.probe_id & 0xFFFF:x}::1"
+
+    def is_online(self, tick_index: int) -> bool:
+        """Deterministic churn: online for ``stability`` of ticks.
+
+        Uses a low-discrepancy rotation so outages spread over the campaign
+        rather than clustering at its start.
+        """
+        if self.status is not ProbeStatus.ABANDONED:
+            phase = (tick_index * 0.618033988749895 + self.probe_id * 0.382) % 1.0
+            return phase < self.stability
+        return False
+
+    def as_api_dict(self) -> dict:
+        """Probe metadata in (abbreviated) Atlas REST API shape."""
+        return {
+            "id": self.probe_id,
+            "address_v4": self.address,
+            "address_v6": self.address_v6 or None,
+            "asn_v4": self.asn,
+            "country_code": self.country_code,
+            "geometry": {
+                "type": "Point",
+                "coordinates": [self.location.lon, self.location.lat],
+            },
+            "is_anchor": self.is_anchor,
+            "status": {"name": self.status.value},
+            "tags": list(self.tags),
+        }

@@ -1,0 +1,15 @@
+"""Sagan-style result parsers."""
+
+from repro.atlas.results.base import Result, register
+from repro.atlas.results.ping import Packet, PingResult
+from repro.atlas.results.traceroute import Hop, HopReply, TracerouteResult
+
+__all__ = [
+    "Hop",
+    "HopReply",
+    "Packet",
+    "PingResult",
+    "Result",
+    "TracerouteResult",
+    "register",
+]

@@ -1,0 +1,80 @@
+"""Sagan-style result parsing: the :class:`Result` base class.
+
+``ripe.atlas.sagan`` exposes ``Result.get(raw)`` which dispatches on the
+raw blob's ``type`` field and returns a typed parser object.  We reproduce
+that contract for the two measurement types the study uses (ping and
+traceroute) so analysis code written against sagan ports unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from typing import Any, Dict, Type
+
+from repro.errors import ResultParseError
+
+
+class Result:
+    """Base parser for one raw Atlas result blob."""
+
+    #: Populated by :func:`register`; maps ``type`` values to subclasses.
+    _REGISTRY: Dict[str, Type["Result"]] = {}
+
+    def __init__(self, raw: Dict[str, Any]):
+        if not isinstance(raw, dict):
+            raise ResultParseError(f"raw result must be a dict, got {type(raw)}")
+        self.raw_data = raw
+        self.firmware = int(raw.get("fw", 0))
+        self.measurement_id = self._require(raw, "msm_id", int)
+        self.probe_id = self._require(raw, "prb_id", int)
+        self.origin = raw.get("from", "")
+        self.af = int(raw.get("af", 4))
+        timestamp = self._require(raw, "timestamp", int)
+        self.created_timestamp = timestamp
+        self.created = datetime.fromtimestamp(timestamp, tz=timezone.utc)
+        self.is_error = False
+        self.error_message = None
+        if "error" in raw:
+            self.is_error = True
+            self.error_message = str(raw["error"])
+
+    # -- factory -------------------------------------------------------------
+
+    @classmethod
+    def get(cls, raw) -> "Result":
+        """Parse a raw blob (dict or JSON string) into a typed result."""
+        if isinstance(raw, (str, bytes)):
+            try:
+                raw = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ResultParseError(f"invalid result JSON: {exc}") from exc
+        result_type = raw.get("type") if isinstance(raw, dict) else None
+        if result_type not in cls._REGISTRY:
+            raise ResultParseError(f"unknown result type {result_type!r}")
+        return cls._REGISTRY[result_type](raw)
+
+    @staticmethod
+    def _require(raw: Dict[str, Any], field: str, caster):
+        try:
+            return caster(raw[field])
+        except KeyError:
+            raise ResultParseError(f"result is missing field {field!r}") from None
+        except (TypeError, ValueError) as exc:
+            raise ResultParseError(f"field {field!r} is malformed: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(msm={self.measurement_id}, "
+            f"probe={self.probe_id}, t={self.created_timestamp})"
+        )
+
+
+def register(result_type: str):
+    """Class decorator: register a parser for a ``type`` value."""
+
+    def decorator(cls: Type[Result]) -> Type[Result]:
+        Result._REGISTRY[result_type] = cls
+        return cls
+
+    return decorator

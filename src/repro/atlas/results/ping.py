@@ -1,0 +1,79 @@
+"""Ping result parsing (sagan ``PingResult`` equivalent)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+from typing import List, Optional
+
+from repro.atlas.results.base import Result, register
+from repro.errors import ResultParseError
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One echo reply (or timeout) within a ping burst."""
+
+    rtt: Optional[float]
+
+    @property
+    def timed_out(self) -> bool:
+        return self.rtt is None
+
+
+@register("ping")
+class PingResult(Result):
+    """Typed view over a raw ping result.
+
+    Exposes the fields the paper's analysis consumes: minimum/average/
+    median/maximum RTT, packet counts, and loss.  Failed measurements
+    (no replies) have ``rtt_min is None`` and ``packet_loss == 1.0``.
+    """
+
+    def __init__(self, raw):
+        super().__init__(raw)
+        if raw.get("type") != "ping":
+            raise ResultParseError(f"not a ping result: type={raw.get('type')!r}")
+        self.destination_address = raw.get("dst_addr")
+        self.destination_name = raw.get("dst_name")
+        self.packets_sent = self._require(raw, "sent", int)
+        self.packets_received = self._require(raw, "rcvd", int)
+        self.packet_size = int(raw.get("size", 0))
+        self.protocol = raw.get("proto", "ICMP")
+        self.step = raw.get("step")
+        self.packets = self._parse_packets(raw.get("result", []))
+        rtts = [packet.rtt for packet in self.packets if packet.rtt is not None]
+        if len(rtts) != self.packets_received:
+            raise ResultParseError(
+                f"rcvd={self.packets_received} but {len(rtts)} RTTs present"
+            )
+        self.rtt_min = min(rtts) if rtts else None
+        self.rtt_max = max(rtts) if rtts else None
+        self.rtt_average = sum(rtts) / len(rtts) if rtts else None
+        self.rtt_median = median(rtts) if rtts else None
+
+    @staticmethod
+    def _parse_packets(entries) -> List[Packet]:
+        packets: List[Packet] = []
+        for entry in entries:
+            if not isinstance(entry, dict):
+                raise ResultParseError(f"malformed packet entry: {entry!r}")
+            if "rtt" in entry:
+                rtt = float(entry["rtt"])
+                if rtt < 0:
+                    raise ResultParseError(f"negative RTT: {rtt}")
+                packets.append(Packet(rtt=rtt))
+            else:
+                packets.append(Packet(rtt=None))
+        return packets
+
+    @property
+    def packet_loss(self) -> float:
+        """Fraction of echo requests that went unanswered."""
+        if self.packets_sent == 0:
+            return 0.0
+        return 1.0 - self.packets_received / self.packets_sent
+
+    @property
+    def succeeded(self) -> bool:
+        return self.packets_received > 0

@@ -1,0 +1,105 @@
+"""Traceroute result parsing (sagan ``TracerouteResult`` equivalent)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.atlas.results.base import Result, register
+from repro.errors import ResultParseError
+
+
+@dataclass(frozen=True)
+class HopReply:
+    """One reply within a traceroute hop."""
+
+    origin: Optional[str]
+    rtt: Optional[float]
+
+    @property
+    def timed_out(self) -> bool:
+        return self.rtt is None
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One TTL step of a traceroute."""
+
+    index: int
+    replies: Tuple[HopReply, ...]
+
+    @property
+    def responded(self) -> bool:
+        return any(not reply.timed_out for reply in self.replies)
+
+    @property
+    def best_rtt(self) -> Optional[float]:
+        rtts = [reply.rtt for reply in self.replies if reply.rtt is not None]
+        return min(rtts) if rtts else None
+
+    @property
+    def origin(self) -> Optional[str]:
+        for reply in self.replies:
+            if reply.origin is not None:
+                return reply.origin
+        return None
+
+
+@register("traceroute")
+class TracerouteResult(Result):
+    """Typed view over a raw traceroute result."""
+
+    def __init__(self, raw):
+        super().__init__(raw)
+        if raw.get("type") != "traceroute":
+            raise ResultParseError(
+                f"not a traceroute result: type={raw.get('type')!r}"
+            )
+        self.destination_address = raw.get("dst_addr")
+        self.destination_name = raw.get("dst_name")
+        self.protocol = raw.get("proto", "ICMP")
+        self.paris_id = raw.get("paris_id")
+        self.hops = self._parse_hops(raw.get("result", []))
+
+    @staticmethod
+    def _parse_hops(entries) -> List[Hop]:
+        hops: List[Hop] = []
+        for entry in entries:
+            if not isinstance(entry, dict) or "hop" not in entry:
+                raise ResultParseError(f"malformed hop entry: {entry!r}")
+            replies = []
+            for reply in entry.get("result", []):
+                if "rtt" in reply:
+                    replies.append(
+                        HopReply(origin=reply.get("from"), rtt=float(reply["rtt"]))
+                    )
+                else:
+                    replies.append(HopReply(origin=None, rtt=None))
+            hops.append(Hop(index=int(entry["hop"]), replies=tuple(replies)))
+        hops.sort(key=lambda hop: hop.index)
+        return hops
+
+    @property
+    def total_hops(self) -> int:
+        return len(self.hops)
+
+    @property
+    def destination_ip_responded(self) -> bool:
+        """Did the final hop answer from the measurement target?"""
+        if not self.hops:
+            return False
+        last = self.hops[-1]
+        return last.responded and last.origin == self.destination_address
+
+    @property
+    def last_rtt(self) -> Optional[float]:
+        """Best RTT at the final responding hop (end-to-end latency)."""
+        for hop in reversed(self.hops):
+            if hop.responded:
+                return hop.best_rtt
+        return None
+
+    @property
+    def ip_path(self) -> Tuple[Optional[str], ...]:
+        """Responding address per hop (None for silent hops)."""
+        return tuple(hop.origin for hop in self.hops)

@@ -1,0 +1,106 @@
+"""RIPE Atlas probe tags.
+
+Atlas probes carry *system tags* (set automatically by the platform, e.g.
+``system-ipv4-works``) and *user tags* (set by the probe host, e.g.
+``home``, ``lte``, ``datacentre``).  The paper leans on user tags twice:
+
+* §4.1 — probes "clearly installed in privileged locations (e.g.,
+  datacenters, cloud network)" are excluded via tags;
+* §4.3 — the wired/wireless cohorts of Figure 7 are selected by access-
+  technology tags (``ethernet``/``broadband`` vs ``lte``/``wifi``/``wlan``).
+
+This module defines the vocabulary and the cohort predicates.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+# --- system tags ------------------------------------------------------------
+
+SYSTEM_IPV4_WORKS = "system-ipv4-works"
+SYSTEM_IPV6_WORKS = "system-ipv6-works"
+SYSTEM_ANCHOR = "system-anchor"
+SYSTEM_V3 = "system-v3"
+
+# --- environment user tags ---------------------------------------------------
+
+TAG_HOME = "home"
+TAG_OFFICE = "office"
+TAG_CORE = "core"
+TAG_DATACENTRE = "datacentre"
+TAG_CLOUD = "cloud"
+TAG_ACADEMIC = "academic"
+
+#: Environments the paper excludes as "privileged locations" (§4.1).
+PRIVILEGED_TAGS: FrozenSet[str] = frozenset({TAG_DATACENTRE, TAG_CLOUD})
+
+# --- access-technology user tags ---------------------------------------------
+
+TAG_ETHERNET = "ethernet"
+TAG_BROADBAND = "broadband"
+TAG_FIBRE = "fibre"
+TAG_DSL = "dsl"
+TAG_CABLE = "cable"
+TAG_WIFI = "wifi"
+TAG_WLAN = "wlan"
+TAG_LTE = "lte"
+TAG_4G = "4g"
+TAG_SATELLITE = "satellite"
+
+#: Tags the paper treats as indicating a wired last mile (§4.3).
+WIRED_TAGS: FrozenSet[str] = frozenset(
+    {TAG_ETHERNET, TAG_BROADBAND, TAG_FIBRE, TAG_DSL, TAG_CABLE}
+)
+
+#: Tags the paper treats as indicating a wireless last mile (§4.3).
+WIRELESS_TAGS: FrozenSet[str] = frozenset(
+    {TAG_WIFI, TAG_WLAN, TAG_LTE, TAG_4G, TAG_SATELLITE}
+)
+
+ALL_KNOWN_TAGS: FrozenSet[str] = (
+    frozenset({SYSTEM_IPV4_WORKS, SYSTEM_IPV6_WORKS, SYSTEM_ANCHOR, SYSTEM_V3})
+    | PRIVILEGED_TAGS
+    | WIRED_TAGS
+    | WIRELESS_TAGS
+    | frozenset({TAG_HOME, TAG_OFFICE, TAG_CORE, TAG_ACADEMIC})
+)
+
+
+def is_privileged(tags: Iterable[str]) -> bool:
+    """True when the tag set marks a datacenter/cloud-hosted probe."""
+    return bool(PRIVILEGED_TAGS.intersection(tags))
+
+
+def is_wired(tags: Iterable[str]) -> bool:
+    """True when the tag set declares a wired last mile."""
+    return bool(WIRED_TAGS.intersection(tags))
+
+
+def is_wireless(tags: Iterable[str]) -> bool:
+    """True when the tag set declares a wireless last mile."""
+    return bool(WIRELESS_TAGS.intersection(tags))
+
+
+def classify_lastmile(tags: Iterable[str]) -> str:
+    """Cohort of a probe: ``wired``, ``wireless``, ``ambiguous`` or ``untagged``.
+
+    Probes tagged with both kinds (it happens on the real platform) are
+    ``ambiguous`` and excluded from Figure 7's cohorts, mirroring the
+    paper's filtering.
+    """
+    tags = set(tags)
+    wired = is_wired(tags)
+    wireless = is_wireless(tags)
+    if wired and wireless:
+        return "ambiguous"
+    if wired:
+        return "wired"
+    if wireless:
+        return "wireless"
+    return "untagged"
+
+
+def normalize(tags: Iterable[str]) -> Tuple[str, ...]:
+    """Lower-case, deduplicate and sort a tag collection."""
+    return tuple(sorted({tag.strip().lower() for tag in tags if tag.strip()}))

@@ -1,0 +1,266 @@
+"""Command-line interface.
+
+Exposes the reproduction as a small tool::
+
+    repro footprint                 # Figure 3: regions + probe fleet
+    repro run --scale tiny          # run a campaign, print headline report
+    repro figure 5 --scale tiny     # regenerate one figure as text
+    repro apps                      # Figure 2/8 catalog and verdicts
+    repro whatif                    # 5G what-if scenario table
+    repro export --out DIR          # campaign + figure-data bundles
+
+Every subcommand accepts ``--seed`` (default 7).  Designed to be driven
+programmatically too: :func:`main` takes an argv list and returns an exit
+code, printing to stdout only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--scale",
+        choices=["tiny", "small", "medium", "full"],
+        default="tiny",
+        help="campaign size (default tiny)",
+    )
+
+
+def _campaign_dataset(args):
+    from repro.core.campaign import Campaign, CampaignScale
+
+    scale = next(s for s in CampaignScale if s.label == args.scale)
+    campaign = Campaign.from_paper(scale=scale, seed=args.seed)
+    return campaign.run()
+
+
+def _cmd_footprint(args) -> int:
+    from repro.atlas.population import population_summary
+    from repro.cloud.regions import datacenter_countries, regions_per_provider
+    from repro.viz import bar_chart
+
+    print("Cloud regions per provider:")
+    print(bar_chart(regions_per_provider(), fmt="{:.0f}"))
+    print(f"\ndatacenter countries: {len(datacenter_countries())}")
+    print(f"probe fleet: {population_summary(seed=args.seed)}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.core.report import headline_report
+
+    dataset = _campaign_dataset(args)
+    report = headline_report(dataset)
+    print(report.summary())
+    print()
+    for claim, values in report.paper_comparison().items():
+        print(f"{claim:38s} paper={values['paper']:<8.2f} "
+              f"measured={values['measured']:.2f}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.viz import bucket_listing, cdf_plot, line_chart, table, world_map
+
+    number = args.number
+    if number in (1, 2, 8):
+        # Figures that need no campaign.
+        if number == 1:
+            from repro.core.trends import collect_figure1, detect_eras
+
+            figure1 = collect_figure1(seed=args.seed)
+            eras = detect_eras(figure1)
+            series = {}
+            for keyword in ("cloud computing", "edge computing"):
+                sub = figure1.filter(figure1["keyword"] == keyword)
+                series[keyword.split()[0]] = [
+                    (int(y), float(v))
+                    for y, v in zip(sub["year"], sub["search_interest"])
+                ]
+            print(line_chart(series))
+            print(f"eras: CDN until {eras.cdn_until}, cloud from "
+                  f"{eras.cloud_from}, edge from {eras.edge_from}")
+            return 0
+        if number == 2:
+            from repro.apps.quadrants import quadrant_table
+
+            for quadrant, apps in quadrant_table().items():
+                print(f"{quadrant.name}: " + ", ".join(a.name for a in apps))
+            return 0
+        from repro.apps.feasibility import assess_all
+
+        for slug, verdict in assess_all().items():
+            print(f"{slug:24s} {verdict.value}")
+        return 0
+
+    dataset = _campaign_dataset(args)
+    if number == 3:
+        print(f"targets: {len(dataset.targets)}  probes: {len(dataset.probes)}")
+        return 0
+    if number == 4:
+        from repro.core.proximity import country_min_latency
+
+        frame = country_min_latency(dataset)
+        print(world_map(frame))
+        print()
+        print(bucket_listing(frame))
+        return 0
+    if number == 5:
+        from repro.core.proximity import min_rtt_cdf_by_continent
+
+        print(cdf_plot(min_rtt_cdf_by_continent(dataset), x_max=200.0))
+        return 0
+    if number == 6:
+        from repro.core.distributions import all_samples_cdf_by_continent, threshold_table
+
+        print(cdf_plot(all_samples_cdf_by_continent(dataset), x_max=300.0))
+        print()
+        print(table(threshold_table(dataset)))
+        return 0
+    if number == 7:
+        from repro.core.lastmile import cohort_timeseries, wireless_penalty
+
+        print(table(cohort_timeseries(dataset, bucket_s=2 * 86_400)))
+        print(f"\nwireless penalty: {wireless_penalty(dataset):.2f}x")
+        return 0
+    print(f"unknown figure number: {number}", file=sys.stderr)
+    return 2
+
+
+def _cmd_apps(args) -> int:
+    from repro.apps.catalog import all_applications
+    from repro.apps.feasibility import FeasibilityZone, assess
+    from repro.apps.quadrants import classify
+
+    zone = FeasibilityZone()
+    print(f"{'application':26s} {'quadrant':9s} {'overlap':>8s}  verdict")
+    for app in all_applications():
+        print(f"{app.name:26s} {classify(app).name:9s} "
+              f"{zone.overlap(app):>7.0%}  {assess(app, zone).value}")
+    return 0
+
+
+def _cmd_whatif(args) -> int:
+    from repro.core.whatif import SCENARIOS, scenario_report, verdict_changes
+
+    report = scenario_report()
+    print(f"{'scenario':14s} {'floor ms':>9s} {'in zone':>8s} {'rescued B$':>11s}")
+    for name in SCENARIOS:
+        row = report[name]
+        print(f"{name:14s} {row['wireless_floor_ms']:>9.1f} "
+              f"{row['apps_in_zone']:>8d} {row['rescued_market_busd']:>11.0f}")
+    print("\nverdict changes under promised 5G:")
+    for change in verdict_changes("5g-promised"):
+        print(f"  {change.slug}: {change.baseline.name} -> {change.scenario.name}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.core.report import headline_report
+    from repro.core.validation import all_pass, summary_text, validate
+
+    dataset = _campaign_dataset(args)
+    results = validate(headline_report(dataset))
+    print(summary_text(results))
+    return 0 if all_pass(results) else 1
+
+
+def _cmd_report(args) -> int:
+    from repro.core.paper_report import generate_report, write_report
+
+    dataset = _campaign_dataset(args)
+    if args.out:
+        write_report(dataset, args.out, seed=args.seed)
+        print(f"report written to {args.out}")
+    else:
+        print(generate_report(dataset, seed=args.seed))
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from pathlib import Path
+
+    from repro.core.distributions import all_samples_cdf_by_continent
+    from repro.core.proximity import country_min_latency, min_rtt_cdf_by_continent
+    from repro.viz import ecdf_payload, export_figure, frame_payload
+
+    dataset = _campaign_dataset(args)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    dataset.export_csv(out / "dataset.csv")
+    export_figure(out / "fig4.json", figure="fig4",
+                  data=frame_payload(country_min_latency(dataset)))
+    export_figure(out / "fig5.json", figure="fig5",
+                  data=ecdf_payload(min_rtt_cdf_by_continent(dataset)))
+    export_figure(out / "fig6.json", figure="fig6",
+                  data=ecdf_payload(all_samples_cdf_by_continent(dataset)))
+    print(f"exported dataset + figure bundles to {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Latency Shears reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    footprint = sub.add_parser("footprint", help="Figure 3 footprint")
+    _add_common(footprint)
+    footprint.set_defaults(func=_cmd_footprint)
+
+    run = sub.add_parser("run", help="run a campaign, print headline report")
+    _add_common(run)
+    run.set_defaults(func=_cmd_run)
+
+    figure = sub.add_parser("figure", help="regenerate a figure as text")
+    figure.add_argument("number", type=int, choices=range(1, 9))
+    _add_common(figure)
+    figure.set_defaults(func=_cmd_figure)
+
+    apps = sub.add_parser("apps", help="application catalog and verdicts")
+    _add_common(apps)
+    apps.set_defaults(func=_cmd_apps)
+
+    whatif = sub.add_parser("whatif", help="5G what-if scenario table")
+    _add_common(whatif)
+    whatif.set_defaults(func=_cmd_whatif)
+
+    export = sub.add_parser("export", help="export dataset + figure bundles")
+    _add_common(export)
+    export.add_argument("--out", default="out")
+    export.set_defaults(func=_cmd_export)
+
+    validate = sub.add_parser(
+        "validate",
+        help="check a campaign against the paper's shape "
+        "(use --scale small; tiny under-samples some claims)",
+    )
+    _add_common(validate)
+    validate.set_defaults(func=_cmd_validate)
+
+    report = sub.add_parser(
+        "report", help="render the full Markdown reproduction report"
+    )
+    _add_common(report)
+    report.add_argument("--out", default=None)
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

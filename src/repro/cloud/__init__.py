@@ -1,0 +1,44 @@
+"""Cloud-provider catalog: providers, the 101 regions, VMs, backbones."""
+
+from repro.cloud.backbone import PRIVATE_BACKBONE, adjustment_for, adjustment_for_slug
+from repro.cloud.expansion import CandidateRegion, ExpansionStudy, candidate_regions
+from repro.cloud.providers import (
+    PROVIDER_SLUGS,
+    BackboneType,
+    Provider,
+    all_providers,
+    get_provider,
+)
+from repro.cloud.regions import (
+    CloudRegion,
+    all_regions,
+    datacenter_countries,
+    get_region,
+    iter_regions,
+    regions_per_provider,
+)
+from repro.cloud.vm import TargetVM, deploy_fleet, vm_by_address, vm_for_region
+
+__all__ = [
+    "BackboneType",
+    "CandidateRegion",
+    "CloudRegion",
+    "ExpansionStudy",
+    "candidate_regions",
+    "PRIVATE_BACKBONE",
+    "PROVIDER_SLUGS",
+    "Provider",
+    "TargetVM",
+    "adjustment_for",
+    "adjustment_for_slug",
+    "all_providers",
+    "all_regions",
+    "datacenter_countries",
+    "deploy_fleet",
+    "get_provider",
+    "get_region",
+    "iter_regions",
+    "regions_per_provider",
+    "vm_by_address",
+    "vm_for_region",
+]

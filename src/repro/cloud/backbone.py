@@ -1,0 +1,34 @@
+"""Provider backbone quality as latency adjustments.
+
+Hyperscalers (Amazon, Google, Microsoft, Alibaba) haul traffic over
+private backbones entered at the ISP edge through wide peering: paths are
+a little tighter and peering penalties much smaller.  Providers riding the
+public Internet (Digital Ocean, Linode, Vultr) see the unadjusted transit
+model.  The effect is deliberately modest — the paper's §4 results hold
+across all seven providers — but it is real and ablated in
+``benchmarks/bench_ablation_backbone.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cloud.providers import Provider, get_provider
+from repro.net.pathmodel import PUBLIC_INTERNET, EndpointAdjustment
+
+#: Adjustment applied when the target sits behind a private backbone.
+PRIVATE_BACKBONE = EndpointAdjustment(path_factor=0.95, peering_factor=0.55)
+
+_BY_BACKBONE: Dict[bool, EndpointAdjustment] = {
+    True: PRIVATE_BACKBONE,
+    False: PUBLIC_INTERNET,
+}
+
+
+def adjustment_for(provider: Provider) -> EndpointAdjustment:
+    """Latency adjustment for a provider's regions."""
+    return _BY_BACKBONE[provider.has_private_backbone]
+
+
+def adjustment_for_slug(slug: str) -> EndpointAdjustment:
+    return adjustment_for(get_provider(slug))

@@ -1,0 +1,167 @@
+"""Cloud-expansion analysis (paper §5).
+
+"Further, many applications in the edge FZ can be supported by a wider
+deployment of cloud/network infrastructure, especially in Asia, Latin
+America, and Africa."  This module quantifies that alternative to edge:
+candidate new cloud regions in under-served countries, a greedy placement
+that maximizes population-weighted latency improvement, and before/after
+reachability reports comparable to the edge-deployment gains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cloud.regions import datacenter_countries
+from repro.constants import PL_MS
+from repro.errors import ReproError
+from repro.geo.coordinates import LatLon
+from repro.geo.countries import countries_with_probes, get_country
+from repro.net.pathmodel import LatencyModel
+
+
+@dataclass(frozen=True)
+class CandidateRegion:
+    """A potential new cloud region."""
+
+    country_code: str
+    location: LatLon
+
+    @property
+    def label(self) -> str:
+        return f"new:{self.country_code}"
+
+
+def candidate_regions(limit: int = 30) -> Tuple[CandidateRegion, ...]:
+    """Candidate countries for new regions: the most populous countries
+    currently without a datacenter, at their population centers."""
+    from repro.atlas.population import PROBE_CENTER_OVERRIDES
+
+    existing = set(datacenter_countries())
+    candidates = [
+        country
+        for country in countries_with_probes()
+        if country.iso2 not in existing
+    ]
+    candidates.sort(key=lambda country: country.population_m, reverse=True)
+    out = []
+    for country in candidates[:limit]:
+        override = PROBE_CENTER_OVERRIDES.get(country.iso2)
+        location = (
+            LatLon(override[0], override[1]) if override else country.centroid
+        )
+        out.append(CandidateRegion(country_code=country.iso2, location=location))
+    return tuple(out)
+
+
+class ExpansionStudy:
+    """Greedy cloud expansion against a measured campaign."""
+
+    def __init__(
+        self,
+        dataset,
+        candidates: Sequence[CandidateRegion] = None,
+        model: LatencyModel = None,
+    ):
+        # Imported here: repro.core depends on repro.cloud at load time,
+        # so this module must not import repro.core at its own load time.
+        from repro.core.proximity import per_probe_min
+
+        self.dataset = dataset
+        self.model = model if model is not None else LatencyModel(seed=0)
+        self.candidates = (
+            tuple(candidates) if candidates is not None else candidate_regions()
+        )
+        if not self.candidates:
+            raise ReproError("no expansion candidates")
+        self.baseline: Dict[int, float] = per_probe_min(dataset)
+        # Precompute each probe's floor to every candidate once.
+        self._floor: Dict[Tuple[int, str], float] = {}
+        for probe_id in self.baseline:
+            probe = dataset.probe(probe_id)
+            for candidate in self.candidates:
+                self._floor[(probe_id, candidate.label)] = self.model.floor_rtt_ms(
+                    probe.location,
+                    probe.country,
+                    probe.access,
+                    candidate.location,
+                    get_country(candidate.country_code),
+                )
+
+    # -- metrics --------------------------------------------------------------
+
+    def minima_with(self, chosen: Sequence[CandidateRegion]) -> Dict[int, float]:
+        """Per-probe minimum RTT with the chosen regions added."""
+        out = {}
+        for probe_id, base in self.baseline.items():
+            best = base
+            for candidate in chosen:
+                floor = self._floor[(probe_id, candidate.label)]
+                if floor < best:
+                    best = floor
+            out[probe_id] = best
+        return out
+
+    def population_weighted_latency(self, minima: Dict[int, float]) -> float:
+        """Population-weighted mean of per-country best-probe minima."""
+        best_by_country: Dict[str, float] = {}
+        for probe_id, value in minima.items():
+            country = self.dataset.probe(probe_id).country_code
+            if country not in best_by_country or value < best_by_country[country]:
+                best_by_country[country] = value
+        total_pop = 0.0
+        weighted = 0.0
+        for country, value in best_by_country.items():
+            pop = get_country(country).population_m
+            total_pop += pop
+            weighted += pop * value
+        return weighted / total_pop
+
+    def countries_beyond_pl(self, minima: Dict[int, float]) -> int:
+        best_by_country: Dict[str, float] = {}
+        for probe_id, value in minima.items():
+            country = self.dataset.probe(probe_id).country_code
+            if country not in best_by_country or value < best_by_country[country]:
+                best_by_country[country] = value
+        return sum(1 for value in best_by_country.values() if value > PL_MS)
+
+    # -- greedy placement -------------------------------------------------------
+
+    def greedy(self, k: int) -> List[CandidateRegion]:
+        """Pick ``k`` regions greedily by population-weighted improvement."""
+        if k <= 0:
+            raise ReproError(f"k must be positive: {k}")
+        chosen: List[CandidateRegion] = []
+        remaining = list(self.candidates)
+        for _ in range(min(k, len(remaining))):
+            scores = []
+            for candidate in remaining:
+                minima = self.minima_with(chosen + [candidate])
+                scores.append(
+                    (self.population_weighted_latency(minima), candidate)
+                )
+            scores.sort(key=lambda item: item[0])
+            best_score, best_candidate = scores[0]
+            chosen.append(best_candidate)
+            remaining.remove(best_candidate)
+        return chosen
+
+    def report(self, chosen: Sequence[CandidateRegion]) -> Dict[str, float]:
+        """Before/after summary of an expansion."""
+        before = self.baseline
+        after = self.minima_with(chosen)
+        gains = np.asarray(
+            [before[pid] - after[pid] for pid in before], dtype=np.float64
+        )
+        return {
+            "regions_added": len(chosen),
+            "pw_latency_before": self.population_weighted_latency(before),
+            "pw_latency_after": self.population_weighted_latency(after),
+            "countries_beyond_pl_before": self.countries_beyond_pl(before),
+            "countries_beyond_pl_after": self.countries_beyond_pl(after),
+            "median_probe_gain_ms": float(np.median(gains)),
+            "share_probes_improved": float(np.mean(gains > 0.5)),
+        }

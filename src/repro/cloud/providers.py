@@ -1,0 +1,63 @@
+"""The seven cloud providers measured by the paper (§4.1).
+
+The paper distinguishes providers operating *private* wide-area backbones
+with wide ISP peering (Amazon, Google, Microsoft, Alibaba) from providers
+that largely ride the *public* Internet (Digital Ocean, Linode, Vultr).
+:mod:`repro.cloud.backbone` turns this into latency adjustments.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ReproError
+
+
+class BackboneType(enum.Enum):
+    """How a provider's traffic traverses the wide area."""
+
+    PRIVATE = "private"
+    PUBLIC = "public"
+
+
+@dataclass(frozen=True)
+class Provider:
+    """A cloud provider in the study."""
+
+    slug: str
+    name: str
+    backbone: BackboneType
+    #: Year the provider launched its first compute region.
+    founded_cloud: int
+
+    @property
+    def has_private_backbone(self) -> bool:
+        return self.backbone is BackboneType.PRIVATE
+
+
+_PROVIDERS: Dict[str, Provider] = {
+    "aws": Provider("aws", "Amazon Web Services", BackboneType.PRIVATE, 2006),
+    "gcp": Provider("gcp", "Google Cloud Platform", BackboneType.PRIVATE, 2008),
+    "azure": Provider("azure", "Microsoft Azure", BackboneType.PRIVATE, 2010),
+    "alibaba": Provider("alibaba", "Alibaba Cloud", BackboneType.PRIVATE, 2009),
+    "digitalocean": Provider("digitalocean", "DigitalOcean", BackboneType.PUBLIC, 2011),
+    "linode": Provider("linode", "Linode", BackboneType.PUBLIC, 2003),
+    "vultr": Provider("vultr", "Vultr", BackboneType.PUBLIC, 2014),
+}
+
+#: Provider slugs in a stable order (hyperscalers first).
+PROVIDER_SLUGS: Tuple[str, ...] = tuple(_PROVIDERS)
+
+
+def get_provider(slug: str) -> Provider:
+    """Look up a provider by slug."""
+    try:
+        return _PROVIDERS[slug.lower()]
+    except KeyError:
+        raise ReproError(f"unknown provider: {slug!r}") from None
+
+
+def all_providers() -> Tuple[Provider, ...]:
+    return tuple(_PROVIDERS.values())

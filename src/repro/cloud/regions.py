@@ -1,0 +1,218 @@
+"""The 101 cloud regions targeted by the measurement campaign.
+
+A curated snapshot of the compute-region footprint of the seven providers
+around the campaign period (September 2019 - June 2020): 101 regions in
+exactly 21 countries, matching the paper's §4.1 ("101 cloud regions with
+compute datacenters ... in 21 countries").  Coordinates are the metro areas
+the regions are commonly attributed to; region codes are the providers'
+own.
+
+This catalog is *real data*, not simulation — the geography of the cloud is
+the causal variable in the study, so we keep it faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import ReproError
+from repro.geo.coordinates import LatLon
+from repro.geo.countries import Country, get_country
+from repro.cloud.providers import Provider, get_provider
+
+
+@dataclass(frozen=True)
+class CloudRegion:
+    """One provider region with compute datacenters."""
+
+    provider_slug: str
+    code: str
+    city: str
+    country_code: str
+    location: LatLon
+
+    @property
+    def key(self) -> str:
+        """Globally unique identifier, e.g. ``aws:eu-central-1``."""
+        return f"{self.provider_slug}:{self.code}"
+
+    @property
+    def provider(self) -> Provider:
+        return get_provider(self.provider_slug)
+
+    @property
+    def country(self) -> Country:
+        return get_country(self.country_code)
+
+    @property
+    def continent(self) -> str:
+        return self.country.continent
+
+
+# provider, code, city, country, lat, lon
+_RAW: Tuple[Tuple[str, str, str, str, float, float], ...] = (
+    # --- Amazon Web Services (17) ---
+    ("aws", "us-east-1", "Ashburn", "US", 39.04, -77.49),
+    ("aws", "us-east-2", "Columbus", "US", 39.96, -83.00),
+    ("aws", "us-west-1", "San Jose", "US", 37.34, -121.89),
+    ("aws", "us-west-2", "Boardman", "US", 45.84, -119.70),
+    ("aws", "ca-central-1", "Montreal", "CA", 45.50, -73.57),
+    ("aws", "sa-east-1", "Sao Paulo", "BR", -23.55, -46.63),
+    ("aws", "eu-west-1", "Dublin", "IE", 53.35, -6.26),
+    ("aws", "eu-west-2", "London", "GB", 51.51, -0.13),
+    ("aws", "eu-west-3", "Paris", "FR", 48.86, 2.35),
+    ("aws", "eu-central-1", "Frankfurt", "DE", 50.11, 8.68),
+    ("aws", "eu-north-1", "Stockholm", "SE", 59.33, 18.06),
+    ("aws", "ap-south-1", "Mumbai", "IN", 19.08, 72.88),
+    ("aws", "ap-northeast-1", "Tokyo", "JP", 35.68, 139.69),
+    ("aws", "ap-northeast-2", "Seoul", "KR", 37.57, 126.98),
+    ("aws", "ap-southeast-1", "Singapore", "SG", 1.35, 103.82),
+    ("aws", "ap-southeast-2", "Sydney", "AU", -33.87, 151.21),
+    ("aws", "ap-east-1", "Hong Kong", "HK", 22.32, 114.17),
+    # --- Google Cloud Platform (16) ---
+    ("gcp", "us-central1", "Council Bluffs", "US", 41.26, -95.86),
+    ("gcp", "us-east1", "Moncks Corner", "US", 33.20, -80.01),
+    ("gcp", "us-east4", "Ashburn", "US", 39.04, -77.49),
+    ("gcp", "us-west1", "The Dalles", "US", 45.59, -121.18),
+    ("gcp", "northamerica-northeast1", "Montreal", "CA", 45.50, -73.57),
+    ("gcp", "southamerica-east1", "Sao Paulo", "BR", -23.55, -46.63),
+    ("gcp", "europe-west2", "London", "GB", 51.51, -0.13),
+    ("gcp", "europe-west3", "Frankfurt", "DE", 50.11, 8.68),
+    ("gcp", "europe-west4", "Eemshaven", "NL", 53.43, 6.83),
+    ("gcp", "europe-west6", "Zurich", "CH", 47.38, 8.54),
+    ("gcp", "europe-north1", "Hamina", "FI", 60.57, 27.20),
+    ("gcp", "asia-south1", "Mumbai", "IN", 19.08, 72.88),
+    ("gcp", "asia-southeast1", "Jurong West", "SG", 1.35, 103.70),
+    ("gcp", "asia-east2", "Hong Kong", "HK", 22.32, 114.17),
+    ("gcp", "asia-northeast1", "Tokyo", "JP", 35.68, 139.69),
+    ("gcp", "australia-southeast1", "Sydney", "AU", -33.87, 151.21),
+    # --- Microsoft Azure (22) ---
+    ("azure", "eastus", "Richmond", "US", 37.54, -77.44),
+    ("azure", "centralus", "Des Moines", "US", 41.59, -93.62),
+    ("azure", "southcentralus", "San Antonio", "US", 29.42, -98.49),
+    ("azure", "westus", "San Francisco Bay", "US", 37.77, -122.42),
+    ("azure", "westus2", "Quincy", "US", 47.23, -119.85),
+    ("azure", "canadacentral", "Toronto", "CA", 43.65, -79.38),
+    ("azure", "brazilsouth", "Sao Paulo", "BR", -23.55, -46.63),
+    ("azure", "northeurope", "Dublin", "IE", 53.35, -6.26),
+    ("azure", "westeurope", "Amsterdam", "NL", 52.37, 4.90),
+    ("azure", "uksouth", "London", "GB", 51.51, -0.13),
+    ("azure", "francecentral", "Paris", "FR", 48.86, 2.35),
+    ("azure", "germanywestcentral", "Frankfurt", "DE", 50.11, 8.68),
+    ("azure", "switzerlandnorth", "Zurich", "CH", 47.38, 8.54),
+    ("azure", "norwayeast", "Oslo", "NO", 59.91, 10.75),
+    ("azure", "uaenorth", "Dubai", "AE", 25.20, 55.27),
+    ("azure", "southafricanorth", "Johannesburg", "ZA", -26.20, 28.05),
+    ("azure", "centralindia", "Pune", "IN", 18.52, 73.86),
+    ("azure", "eastasia", "Hong Kong", "HK", 22.32, 114.17),
+    ("azure", "southeastasia", "Singapore", "SG", 1.35, 103.82),
+    ("azure", "japaneast", "Tokyo", "JP", 35.68, 139.69),
+    ("azure", "koreacentral", "Seoul", "KR", 37.57, 126.98),
+    ("azure", "australiaeast", "Sydney", "AU", -33.87, 151.21),
+    # --- DigitalOcean (9) ---
+    ("digitalocean", "nyc1", "New York", "US", 40.71, -74.01),
+    ("digitalocean", "nyc3", "New York", "US", 40.71, -74.01),
+    ("digitalocean", "sfo2", "San Francisco", "US", 37.77, -122.42),
+    ("digitalocean", "tor1", "Toronto", "CA", 43.65, -79.38),
+    ("digitalocean", "lon1", "London", "GB", 51.51, -0.13),
+    ("digitalocean", "ams3", "Amsterdam", "NL", 52.37, 4.90),
+    ("digitalocean", "fra1", "Frankfurt", "DE", 50.11, 8.68),
+    ("digitalocean", "sgp1", "Singapore", "SG", 1.35, 103.82),
+    ("digitalocean", "blr1", "Bangalore", "IN", 12.97, 77.59),
+    # --- Linode (11) ---
+    ("linode", "us-east", "Newark", "US", 40.74, -74.17),
+    ("linode", "us-west", "Fremont", "US", 37.55, -121.99),
+    ("linode", "us-central", "Dallas", "US", 32.78, -96.80),
+    ("linode", "us-southeast", "Atlanta", "US", 33.75, -84.39),
+    ("linode", "ca-central", "Toronto", "CA", 43.65, -79.38),
+    ("linode", "eu-west", "London", "GB", 51.51, -0.13),
+    ("linode", "eu-central", "Frankfurt", "DE", 50.11, 8.68),
+    ("linode", "ap-west", "Mumbai", "IN", 19.08, 72.88),
+    ("linode", "ap-south", "Singapore", "SG", 1.35, 103.82),
+    ("linode", "ap-northeast", "Tokyo", "JP", 35.68, 139.69),
+    ("linode", "ap-southeast", "Sydney", "AU", -33.87, 151.21),
+    # --- Vultr (12) ---
+    ("vultr", "ewr", "New Jersey", "US", 40.73, -74.17),
+    ("vultr", "sjc", "Silicon Valley", "US", 37.34, -121.89),
+    ("vultr", "lax", "Los Angeles", "US", 34.05, -118.24),
+    ("vultr", "mia", "Miami", "US", 25.76, -80.19),
+    ("vultr", "yto", "Toronto", "CA", 43.65, -79.38),
+    ("vultr", "lhr", "London", "GB", 51.51, -0.13),
+    ("vultr", "cdg", "Paris", "FR", 48.86, 2.35),
+    ("vultr", "fra", "Frankfurt", "DE", 50.11, 8.68),
+    ("vultr", "ams", "Amsterdam", "NL", 52.37, 4.90),
+    ("vultr", "nrt", "Tokyo", "JP", 35.68, 139.69),
+    ("vultr", "sgp", "Singapore", "SG", 1.35, 103.82),
+    ("vultr", "syd", "Sydney", "AU", -33.87, 151.21),
+    # --- Alibaba Cloud (14) ---
+    ("alibaba", "cn-beijing", "Beijing", "CN", 39.90, 116.41),
+    ("alibaba", "cn-shanghai", "Shanghai", "CN", 31.23, 121.47),
+    ("alibaba", "cn-shenzhen", "Shenzhen", "CN", 22.54, 114.06),
+    ("alibaba", "cn-hangzhou", "Hangzhou", "CN", 30.27, 120.16),
+    ("alibaba", "cn-hongkong", "Hong Kong", "HK", 22.32, 114.17),
+    ("alibaba", "ap-southeast-1", "Singapore", "SG", 1.35, 103.82),
+    ("alibaba", "ap-south-1", "Mumbai", "IN", 19.08, 72.88),
+    ("alibaba", "ap-northeast-1", "Tokyo", "JP", 35.68, 139.69),
+    ("alibaba", "ap-southeast-2", "Sydney", "AU", -33.87, 151.21),
+    ("alibaba", "eu-central-1", "Frankfurt", "DE", 50.11, 8.68),
+    ("alibaba", "eu-west-1", "London", "GB", 51.51, -0.13),
+    ("alibaba", "me-east-1", "Dubai", "AE", 25.20, 55.27),
+    ("alibaba", "us-west-1", "Silicon Valley", "US", 37.34, -121.89),
+    ("alibaba", "us-east-1", "Ashburn", "US", 39.04, -77.49),
+)
+
+_BY_KEY: Dict[str, CloudRegion] = {}
+for _provider, _code, _city, _cc, _lat, _lon in _RAW:
+    get_provider(_provider)  # validate eagerly
+    get_country(_cc)
+    _region = CloudRegion(
+        provider_slug=_provider,
+        code=_code,
+        city=_city,
+        country_code=_cc,
+        location=LatLon(_lat, _lon),
+    )
+    if _region.key in _BY_KEY:
+        raise ReproError(f"duplicate region key {_region.key}")
+    _BY_KEY[_region.key] = _region
+del _provider, _code, _city, _cc, _lat, _lon, _region
+
+
+def get_region(key: str) -> CloudRegion:
+    """Look up a region by its ``provider:code`` key."""
+    try:
+        return _BY_KEY[key]
+    except KeyError:
+        raise ReproError(f"unknown cloud region: {key!r}") from None
+
+
+def all_regions() -> Tuple[CloudRegion, ...]:
+    """All 101 regions, in catalog order."""
+    return tuple(_BY_KEY.values())
+
+
+def iter_regions(
+    provider: str = None, continent: str = None, country: str = None
+) -> Iterator[CloudRegion]:
+    """Iterate regions with optional filters."""
+    for region in _BY_KEY.values():
+        if provider is not None and region.provider_slug != provider.lower():
+            continue
+        if continent is not None and region.continent != continent.upper():
+            continue
+        if country is not None and region.country_code != country.upper():
+            continue
+        yield region
+
+
+def datacenter_countries() -> Tuple[str, ...]:
+    """Sorted ISO codes of the countries hosting at least one region."""
+    return tuple(sorted({region.country_code for region in _BY_KEY.values()}))
+
+
+def regions_per_provider() -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for region in _BY_KEY.values():
+        counts[region.provider_slug] = counts.get(region.provider_slug, 0) + 1
+    return counts

@@ -1,0 +1,76 @@
+"""Measurement-target VMs.
+
+The authors "established a VM in every selected location" (§4.1).  A
+:class:`TargetVM` is the ping destination the Atlas platform resolves a
+measurement against: a stable synthetic address, the region it lives in,
+and the backbone adjustment its provider earns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.cloud.backbone import adjustment_for
+from repro.cloud.regions import CloudRegion, all_regions, get_region
+from repro.errors import ReproError
+from repro.net.pathmodel import EndpointAdjustment
+
+
+@dataclass(frozen=True)
+class TargetVM:
+    """A ping-target VM deployed in one cloud region."""
+
+    region: CloudRegion
+    address: str
+
+    @property
+    def key(self) -> str:
+        return self.region.key
+
+    @property
+    def adjustment(self) -> EndpointAdjustment:
+        return adjustment_for(self.region.provider)
+
+
+def _synthetic_address(region: CloudRegion, index: int) -> str:
+    """A stable, documentation-range IPv4 address for a region's VM.
+
+    Uses TEST-NET-3 (203.0.113.0/24) style addressing extended into a
+    synthetic 10.x space keyed by catalog position, so addresses are unique
+    and reproducible but obviously not routable.
+    """
+    high, low = divmod(index, 250)
+    return f"10.{200 + high}.{low + 1}.10"
+
+
+@lru_cache(maxsize=1)
+def deploy_fleet() -> Tuple[TargetVM, ...]:
+    """One VM per region — the study's 101 endpoints."""
+    return tuple(
+        TargetVM(region=region, address=_synthetic_address(region, index))
+        for index, region in enumerate(all_regions())
+    )
+
+
+@lru_cache(maxsize=1)
+def _fleet_by_address() -> Dict[str, TargetVM]:
+    return {vm.address: vm for vm in deploy_fleet()}
+
+
+def vm_for_region(key: str) -> TargetVM:
+    """The VM deployed in region ``provider:code``."""
+    region = get_region(key)
+    for vm in deploy_fleet():
+        if vm.region.key == region.key:
+            return vm
+    raise ReproError(f"no VM deployed in region {key!r}")  # pragma: no cover
+
+
+def vm_by_address(address: str) -> TargetVM:
+    """Resolve a VM by its synthetic address (as the Atlas platform does)."""
+    try:
+        return _fleet_by_address()[address]
+    except KeyError:
+        raise ReproError(f"no VM with address {address!r}") from None

@@ -1,0 +1,170 @@
+"""The paper's analysis pipeline: campaign, dataset, figures, report."""
+
+from repro.core.campaign import Campaign, CampaignPlan, CampaignScale
+from repro.core.dataset import CampaignDataset
+from repro.core.distributions import (
+    all_samples_cdf_by_continent,
+    eu_tail_analysis,
+    provider_comparison,
+    samples_by_continent,
+    threshold_table,
+)
+from repro.core.feasibility import (
+    ContinentLatency,
+    app_verdict_for_continent,
+    cloud_sufficient_share,
+    edge_beneficiaries,
+    feasibility_matrix,
+    measured_latency,
+)
+from repro.core.filtering import cohort_masks, cohort_sizes, unprivileged_mask
+from repro.core.nearest import nearest_target_by_probe, nearest_target_mask
+from repro.core.lastmile import (
+    added_wireless_latency_ms,
+    cohort_timeseries,
+    wireless_penalty,
+)
+from repro.core.proximity import (
+    BUCKET_LABELS,
+    bucket_counts,
+    bucket_label,
+    countries_beyond_pl,
+    country_min_latency,
+    min_rtt_cdf_by_continent,
+    per_probe_min,
+    population_within,
+)
+from repro.core.diurnal import (
+    continent_matrix,
+    hourly_profile,
+    peak_hour,
+    peak_to_trough,
+)
+from repro.core.pathdecomp import (
+    PathSplit,
+    access_share_by_cohort,
+    decompose,
+    decompose_all,
+    run_traceroute_survey,
+)
+from repro.core.completeness import completeness_frame, fleet_summary
+from repro.core.corevsaccess import CorePair, decompose_pair, survey as core_access_survey
+from repro.core.ipv6 import dual_stack_comparison, v6_penalty_by_continent
+from repro.core.locality import (
+    cloud_locality_summary,
+    domestic_share_by_continent,
+    locality_with_national_edge,
+    nearest_region_locality,
+)
+from repro.core.providers import (
+    footprint_summary,
+    provider_continent_medians,
+    provider_matrix,
+    provider_rankings,
+)
+from repro.core.paper_report import generate_report, write_report
+from repro.core.report import HeadlineReport, headline_report
+from repro.core.validation import (
+    PAPER_CHECKS,
+    Check,
+    CheckResult,
+    all_pass,
+    summary_text,
+    validate,
+)
+from repro.core.whatif import (
+    SCENARIOS,
+    VerdictChange,
+    rescued_market_busd,
+    scenario_report,
+    scenario_verdicts,
+    verdict_changes,
+    zone_for_scenario,
+)
+from repro.core.trends import (
+    FIGURE1_KEYWORDS,
+    EraBoundaries,
+    collect_figure1,
+    detect_eras,
+    growth_summary,
+)
+
+__all__ = [
+    "BUCKET_LABELS",
+    "Campaign",
+    "CampaignDataset",
+    "CampaignPlan",
+    "CampaignScale",
+    "ContinentLatency",
+    "EraBoundaries",
+    "FIGURE1_KEYWORDS",
+    "Check",
+    "CheckResult",
+    "HeadlineReport",
+    "PAPER_CHECKS",
+    "PathSplit",
+    "CorePair",
+    "all_pass",
+    "cloud_locality_summary",
+    "completeness_frame",
+    "core_access_survey",
+    "domestic_share_by_continent",
+    "locality_with_national_edge",
+    "nearest_region_locality",
+    "decompose_pair",
+    "dual_stack_comparison",
+    "fleet_summary",
+    "footprint_summary",
+    "provider_continent_medians",
+    "provider_matrix",
+    "provider_rankings",
+    "generate_report",
+    "summary_text",
+    "v6_penalty_by_continent",
+    "validate",
+    "write_report",
+    "SCENARIOS",
+    "VerdictChange",
+    "access_share_by_cohort",
+    "added_wireless_latency_ms",
+    "decompose",
+    "decompose_all",
+    "rescued_market_busd",
+    "run_traceroute_survey",
+    "scenario_report",
+    "scenario_verdicts",
+    "verdict_changes",
+    "zone_for_scenario",
+    "all_samples_cdf_by_continent",
+    "app_verdict_for_continent",
+    "bucket_counts",
+    "bucket_label",
+    "cloud_sufficient_share",
+    "cohort_masks",
+    "cohort_sizes",
+    "cohort_timeseries",
+    "collect_figure1",
+    "continent_matrix",
+    "countries_beyond_pl",
+    "hourly_profile",
+    "peak_hour",
+    "peak_to_trough",
+    "country_min_latency",
+    "detect_eras",
+    "edge_beneficiaries",
+    "eu_tail_analysis",
+    "feasibility_matrix",
+    "growth_summary",
+    "headline_report",
+    "measured_latency",
+    "min_rtt_cdf_by_continent",
+    "nearest_target_by_probe",
+    "nearest_target_mask",
+    "per_probe_min",
+    "population_within",
+    "provider_comparison",
+    "samples_by_continent",
+    "threshold_table",
+    "unprivileged_mask",
+    "wireless_penalty",
+]

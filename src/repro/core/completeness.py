@@ -1,0 +1,89 @@
+"""Dataset completeness: probe churn accounting.
+
+Nine months of measurements never arrive complete — probes go offline,
+reboot, or vanish.  The paper notes its results "include probes without a
+stable Internet connection".  This analysis reconciles the dataset
+against the platform's schedule: per probe, how many results were
+expected (online ticks), how many arrived, and which cohorts flake.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.campaign import Campaign
+from repro.core.dataset import CampaignDataset
+from repro.errors import CampaignError
+from repro.frame import Frame
+
+
+def completeness_frame(campaign: Campaign, dataset: CampaignDataset) -> Frame:
+    """Per-probe delivery accounting over the whole campaign."""
+    if not campaign.measurement_ids:
+        raise CampaignError("campaign has no measurements")
+    platform = campaign.platform
+
+    delivered: Dict[int, int] = {}
+    probe_ids = dataset.column("probe_id")
+    for probe_id, count in zip(*np.unique(probe_ids, return_counts=True)):
+        delivered[int(probe_id)] = int(count)
+
+    expected: Dict[int, int] = {}
+    scheduled: Dict[int, int] = {}
+    for msm_id in campaign.measurement_ids:
+        msm = platform.measurement(msm_id)
+        for probe in msm.probes:
+            expected[probe.probe_id] = expected.get(
+                probe.probe_id, 0
+            ) + platform.expected_result_count(msm_id, probe.probe_id)
+            scheduled[probe.probe_id] = scheduled.get(
+                probe.probe_id, 0
+            ) + platform.scheduled_tick_count(msm_id, probe.probe_id)
+
+    records = []
+    for probe_id in sorted(expected):
+        probe = platform.probe(probe_id)
+        exp = expected[probe_id]
+        got = delivered.get(probe_id, 0)
+        records.append(
+            {
+                "probe_id": probe_id,
+                "country": probe.country_code,
+                "wireless": probe.access.is_wireless,
+                "stability": round(probe.stability, 4),
+                "scheduled": scheduled[probe_id],
+                "expected": exp,
+                "delivered": got,
+                "completeness": round(got / exp, 4) if exp else 0.0,
+                "uptime": round(exp / scheduled[probe_id], 4)
+                if scheduled[probe_id]
+                else 0.0,
+            }
+        )
+    return Frame.from_records(
+        records,
+        columns=[
+            "probe_id", "country", "wireless", "stability",
+            "scheduled", "expected", "delivered", "completeness", "uptime",
+        ],
+    )
+
+
+def fleet_summary(frame: Frame) -> Dict[str, float]:
+    """Aggregate completeness statistics."""
+    delivered = float(np.sum(frame["delivered"]))
+    expected = float(np.sum(frame["expected"]))
+    scheduled = float(np.sum(frame["scheduled"]))
+    wireless_mask = frame["wireless"].astype(bool)
+    uptimes = frame["uptime"].astype(float)
+    return {
+        "probes": len(frame),
+        "delivery_rate": delivered / expected if expected else 0.0,
+        "uptime_rate": expected / scheduled if scheduled else 0.0,
+        "wired_uptime": float(np.mean(uptimes[~wireless_mask])),
+        "wireless_uptime": float(np.mean(uptimes[wireless_mask]))
+        if np.any(wireless_mask)
+        else float("nan"),
+    }

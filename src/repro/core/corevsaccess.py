@@ -1,0 +1,161 @@
+"""Core vs last-mile latency (paper §4, historical argument).
+
+When edge computing was conceived (~2009), the *core* network was the
+latency bottleneck; a decade of backbone build-out inverted that, and the
+paper's premise is that today the *last mile* dominates.  This analysis
+makes the comparison explicit using two instruments the platform offers:
+
+* the **anchor mesh** — wired, datacenter-grade endpoints: core-only RTT;
+* **home probes to the same destinations** — core plus a last mile.
+
+For a set of (country, datacenter-country) pairs, the difference between
+a home probe's cloud RTT and the anchor mesh RTT along the same country
+pair estimates the last-mile cost; comparing it against the core RTT
+itself answers "where is the delay?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.atlas.anchors import country_pair_median
+from repro.atlas.platform import AtlasPlatform
+from repro.atlas.probes import Probe, ProbeEnvironment
+from repro.errors import AtlasError, CampaignError
+from repro.frame import Frame
+from repro.net.rng import stream
+
+
+@dataclass(frozen=True)
+class CorePair:
+    """Core-vs-access decomposition for one country pair."""
+
+    source_country: str
+    target_country: str
+    core_ms: float
+    wired_access_ms: float
+    wireless_access_ms: float
+
+    @property
+    def wired_bottleneck(self) -> str:
+        return "access" if self.wired_access_ms > self.core_ms else "core"
+
+    @property
+    def wireless_bottleneck(self) -> str:
+        return "access" if self.wireless_access_ms > self.core_ms else "core"
+
+
+def _home_probes(
+    platform: AtlasPlatform, country: str, wireless: bool, limit: int = 6
+) -> Tuple[Probe, ...]:
+    chosen = [
+        probe
+        for probe in platform.probes
+        if probe.country_code == country.upper()
+        and probe.environment is ProbeEnvironment.HOME
+        and probe.access.is_wireless == wireless
+    ]
+    return tuple(chosen[:limit])
+
+
+def _probe_cloud_median(
+    platform: AtlasPlatform,
+    probes: Sequence[Probe],
+    target_country: str,
+    timestamps: Sequence[int],
+) -> float:
+    """Median RTT from home probes to a datacenter in ``target_country``."""
+    vms = [
+        vm for vm in platform.fleet if vm.region.country_code == target_country.upper()
+    ]
+    if not vms:
+        raise CampaignError(f"no datacenter in {target_country}")
+    vm = vms[0]
+    values: List[float] = []
+    for probe in probes:
+        rng = stream(platform.seed, "cva", probe.probe_id, vm.key)
+        for timestamp in timestamps:
+            obs = platform.model.ping(
+                probe.location,
+                probe.country,
+                probe.access,
+                vm.region.location,
+                vm.region.country,
+                timestamp,
+                origin_id=probe.probe_id,
+                target_id=vm.key,
+                adjustment=vm.adjustment,
+                rng=rng,
+            )
+            if obs.succeeded:
+                values.append(obs.rtt_min)
+    if not values:
+        raise CampaignError("no successful probe pings for the pair")
+    return float(np.median(values))
+
+
+def decompose_pair(
+    platform: AtlasPlatform,
+    source_country: str,
+    target_country: str,
+    timestamps: Sequence[int],
+) -> CorePair:
+    """Core vs access decomposition for one (source, DC-country) pair."""
+    core = country_pair_median(platform, source_country, target_country, timestamps)
+    wired = _home_probes(platform, source_country, wireless=False)
+    wireless = _home_probes(platform, source_country, wireless=True)
+    if not wired:
+        raise AtlasError(f"no wired home probes in {source_country}")
+    wired_total = _probe_cloud_median(platform, wired, target_country, timestamps)
+    if wireless:
+        wireless_total = _probe_cloud_median(
+            platform, wireless, target_country, timestamps
+        )
+    else:
+        wireless_total = float("nan")
+    return CorePair(
+        source_country=source_country.upper(),
+        target_country=target_country.upper(),
+        core_ms=core,
+        wired_access_ms=max(wired_total - core, 0.0),
+        wireless_access_ms=(
+            max(wireless_total - core, 0.0)
+            if not np.isnan(wireless_total)
+            else float("nan")
+        ),
+    )
+
+
+def survey(
+    platform: AtlasPlatform,
+    pairs: Sequence[Tuple[str, str]],
+    timestamps: Sequence[int],
+) -> Frame:
+    """Decompose several country pairs into a Frame."""
+    records = []
+    for source, target in pairs:
+        pair = decompose_pair(platform, source, target, timestamps)
+        records.append(
+            {
+                "src": pair.source_country,
+                "dst": pair.target_country,
+                "core_ms": round(pair.core_ms, 2),
+                "wired_access_ms": round(pair.wired_access_ms, 2),
+                "wireless_access_ms": (
+                    round(pair.wireless_access_ms, 2)
+                    if not np.isnan(pair.wireless_access_ms)
+                    else float("nan")
+                ),
+                "wireless_bottleneck": pair.wireless_bottleneck,
+            }
+        )
+    return Frame.from_records(
+        records,
+        columns=[
+            "src", "dst", "core_ms", "wired_access_ms",
+            "wireless_access_ms", "wireless_bottleneck",
+        ],
+    )

@@ -1,0 +1,222 @@
+"""The collected measurement dataset.
+
+A campaign produces millions of ping samples; holding them as dicts would
+not scale, so :class:`CampaignDataset` stores them in compact numpy
+columns keyed by integer probe ids and target indices, with small metadata
+tables (probes, targets) carrying everything the analyses join against.
+
+The paper published its raw dataset "for public use" [18];
+:meth:`CampaignDataset.export_csv` / :meth:`load_csv` reproduce that
+artifact for the synthetic equivalent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.atlas.probes import Probe
+from repro.atlas.tags import classify_lastmile, is_privileged
+from repro.cloud.vm import TargetVM
+from repro.errors import CampaignError
+from repro.frame import Frame, read_csv, write_csv
+
+
+@dataclass
+class _SampleBuffer:
+    """Append-only growable column set for samples."""
+
+    probe_id: List[int] = field(default_factory=list)
+    target_index: List[int] = field(default_factory=list)
+    timestamp: List[int] = field(default_factory=list)
+    rtt_min: List[float] = field(default_factory=list)
+    rtt_avg: List[float] = field(default_factory=list)
+    sent: List[int] = field(default_factory=list)
+    rcvd: List[int] = field(default_factory=list)
+
+
+class CampaignDataset:
+    """Samples plus the probe/target metadata needed to analyze them."""
+
+    def __init__(self, probes: Sequence[Probe], targets: Sequence[TargetVM]):
+        if not probes:
+            raise CampaignError("dataset needs at least one probe")
+        if not targets:
+            raise CampaignError("dataset needs at least one target")
+        self.probes: Tuple[Probe, ...] = tuple(probes)
+        self.targets: Tuple[TargetVM, ...] = tuple(targets)
+        self._probe_by_id: Dict[int, Probe] = {
+            probe.probe_id: probe for probe in self.probes
+        }
+        self._target_index: Dict[str, int] = {
+            vm.key: index for index, vm in enumerate(self.targets)
+        }
+        self._buffer = _SampleBuffer()
+        self._frozen: Dict[str, np.ndarray] = {}
+
+    # -- building ------------------------------------------------------------
+
+    def target_index_of(self, key: str) -> int:
+        try:
+            return self._target_index[key]
+        except KeyError:
+            raise CampaignError(f"unknown target {key!r}") from None
+
+    def probe(self, probe_id: int) -> Probe:
+        try:
+            return self._probe_by_id[probe_id]
+        except KeyError:
+            raise CampaignError(f"unknown probe {probe_id}") from None
+
+    def append(
+        self,
+        probe_id: int,
+        target_key: str,
+        timestamp: int,
+        rtt_min: float,
+        rtt_avg: float,
+        sent: int,
+        rcvd: int,
+    ) -> None:
+        """Append one sample.  Failed pings carry NaN RTTs."""
+        if self._frozen:
+            raise CampaignError("dataset is frozen; no further appends")
+        buffer = self._buffer
+        buffer.probe_id.append(probe_id)
+        buffer.target_index.append(self.target_index_of(target_key))
+        buffer.timestamp.append(timestamp)
+        buffer.rtt_min.append(rtt_min)
+        buffer.rtt_avg.append(rtt_avg)
+        buffer.sent.append(sent)
+        buffer.rcvd.append(rcvd)
+
+    def freeze(self) -> None:
+        """Convert buffers to immutable numpy columns."""
+        if self._frozen:
+            return
+        buffer = self._buffer
+        self._frozen = {
+            "probe_id": np.asarray(buffer.probe_id, dtype=np.int32),
+            "target_index": np.asarray(buffer.target_index, dtype=np.int32),
+            "timestamp": np.asarray(buffer.timestamp, dtype=np.int64),
+            "rtt_min": np.asarray(buffer.rtt_min, dtype=np.float64),
+            "rtt_avg": np.asarray(buffer.rtt_avg, dtype=np.float64),
+            "sent": np.asarray(buffer.sent, dtype=np.int16),
+            "rcvd": np.asarray(buffer.rcvd, dtype=np.int16),
+        }
+        self._buffer = _SampleBuffer()
+
+    # -- access ---------------------------------------------------------------
+
+    def column(self, name: str) -> np.ndarray:
+        self.freeze()
+        try:
+            return self._frozen[name]
+        except KeyError:
+            raise CampaignError(f"no sample column {name!r}") from None
+
+    @property
+    def num_samples(self) -> int:
+        self.freeze()
+        return len(self._frozen["probe_id"])
+
+    def __len__(self) -> int:
+        return self.num_samples
+
+    # -- derived per-probe vectors (aligned with samples) ----------------------
+
+    def _probe_lookup(self, fn) -> np.ndarray:
+        """Vector of ``fn(probe)`` aligned with the sample rows.
+
+        Vectorized via a sorted-id lookup table: millions of samples map
+        onto a few thousand probes.
+        """
+        sorted_ids = np.asarray(sorted(self._probe_by_id), dtype=np.int64)
+        table = np.asarray([fn(self._probe_by_id[pid]) for pid in sorted_ids])
+        ids = self.column("probe_id")
+        positions = np.searchsorted(sorted_ids, ids)
+        return table[positions]
+
+    def probe_continents(self) -> np.ndarray:
+        return self._probe_lookup(lambda probe: probe.continent)
+
+    def probe_countries(self) -> np.ndarray:
+        return self._probe_lookup(lambda probe: probe.country_code)
+
+    def probe_privileged(self) -> np.ndarray:
+        """Privileged flag as the *analysis* sees it: from tags only."""
+        return self._probe_lookup(lambda probe: is_privileged(probe.tags))
+
+    def probe_cohorts(self) -> np.ndarray:
+        """wired / wireless / ambiguous / untagged, from tags only."""
+        return self._probe_lookup(lambda probe: classify_lastmile(probe.tags))
+
+    def target_continents(self) -> np.ndarray:
+        continents = np.asarray([vm.region.continent for vm in self.targets])
+        return continents[self.column("target_index")]
+
+    def target_providers(self) -> np.ndarray:
+        providers = np.asarray([vm.region.provider_slug for vm in self.targets])
+        return providers[self.column("target_index")]
+
+    def succeeded_mask(self) -> np.ndarray:
+        return self.column("rcvd") > 0
+
+    # -- Frame views --------------------------------------------------------------
+
+    def to_frame(self, mask: np.ndarray = None) -> Frame:
+        """Materialize (a subset of) the samples as an analysis Frame."""
+        self.freeze()
+        columns = {
+            "probe_id": self.column("probe_id"),
+            "country": self.probe_countries(),
+            "continent": self.probe_continents(),
+            "cohort": self.probe_cohorts(),
+            "privileged": self.probe_privileged(),
+            "target": np.asarray([vm.key for vm in self.targets])[
+                self.column("target_index")
+            ],
+            "provider": self.target_providers(),
+            "target_continent": self.target_continents(),
+            "timestamp": self.column("timestamp"),
+            "rtt_min": self.column("rtt_min"),
+            "rtt_avg": self.column("rtt_avg"),
+            "sent": self.column("sent"),
+            "rcvd": self.column("rcvd"),
+        }
+        frame = Frame(columns)
+        if mask is not None:
+            frame = frame.filter(mask)
+        return frame
+
+    # -- integrity / summary --------------------------------------------------------
+
+    def integrity_report(self) -> Dict[str, float]:
+        """Dataset-level sanity statistics."""
+        self.freeze()
+        rcvd = self.column("rcvd")
+        sent = self.column("sent")
+        rtt = self.column("rtt_min")
+        ok = rcvd > 0
+        return {
+            "samples": int(len(rcvd)),
+            "failed_share": float(np.mean(~ok)) if len(rcvd) else 0.0,
+            "loss_share": float(1.0 - rcvd.sum() / sent.sum()) if sent.sum() else 0.0,
+            "probes_seen": int(len(np.unique(self.column("probe_id")))),
+            "targets_seen": int(len(np.unique(self.column("target_index")))),
+            "rtt_min_overall": float(np.nanmin(rtt)) if len(rtt) else float("nan"),
+        }
+
+    # -- export / load ---------------------------------------------------------------
+
+    def export_csv(self, path) -> None:
+        """Write the public-dataset artifact (samples with denormalized keys)."""
+        write_csv(self.to_frame(), Path(path))
+
+    @staticmethod
+    def load_csv(path) -> Frame:
+        """Load an exported dataset back as an analysis Frame."""
+        return read_csv(Path(path))

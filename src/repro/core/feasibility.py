@@ -1,0 +1,131 @@
+"""Measurement-informed feasibility analysis (paper §5, Figure 8).
+
+:mod:`repro.apps.feasibility` defines the *static* feasibility zone from
+literature constants; this module closes the loop with the campaign's own
+measurements: per continent, which applications can the measured cloud
+already serve, where would edge placement actually help, and which apps
+remain infeasible over any network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.apps.catalog import Application, all_applications
+from repro.apps.feasibility import FeasibilityZone, Verdict, assess
+from repro.constants import FZ_LATENCY_LOW_MS
+from repro.core.dataset import CampaignDataset
+from repro.core.distributions import samples_by_continent
+from repro.errors import CampaignError
+from repro.frame import Frame
+
+
+@dataclass(frozen=True)
+class ContinentLatency:
+    """Measured cloud-access latency summary for one continent."""
+
+    continent: str
+    p25: float
+    median: float
+    p75: float
+
+    @classmethod
+    def from_samples(cls, continent: str, values: np.ndarray) -> "ContinentLatency":
+        if len(values) == 0:
+            raise CampaignError(f"no samples for continent {continent}")
+        return cls(
+            continent=continent,
+            p25=float(np.percentile(values, 25)),
+            median=float(np.median(values)),
+            p75=float(np.percentile(values, 75)),
+        )
+
+
+def measured_latency(dataset: CampaignDataset) -> Dict[str, ContinentLatency]:
+    """Per-continent measured latency summaries."""
+    return {
+        continent: ContinentLatency.from_samples(continent, values)
+        for continent, values in samples_by_continent(dataset).items()
+    }
+
+
+def app_verdict_for_continent(
+    app: Application, latency: ContinentLatency, zone: FeasibilityZone = None
+) -> str:
+    """Where an application stands in one continent, measurements in hand.
+
+    * ``cloud`` — the continent's median cloud RTT already meets the app's
+      latency requirement;
+    * ``edge`` — the cloud median misses it, but an edge placement (the
+      wireless-floor latency) would meet it *and* the app sits in the FZ;
+    * ``onboard`` — even the wireless floor misses the requirement;
+    * ``cloud-marginal`` — cloud p25 meets it but the median does not
+      (well-connected users only).
+    """
+    zone = zone if zone is not None else FeasibilityZone()
+    requirement = app.latency_high_ms
+    if latency.median <= requirement:
+        return "cloud"
+    if latency.p25 <= requirement:
+        return "cloud-marginal"
+    # Edge only helps when the app's *typical* requirement clears the
+    # wireless last-mile floor; below it, no network placement suffices.
+    if app.latency_center_ms >= FZ_LATENCY_LOW_MS:
+        return "edge"
+    return "onboard"
+
+
+def feasibility_matrix(dataset: CampaignDataset) -> Frame:
+    """The full Figure 8 companion table: app x continent verdicts,
+    static FZ verdict included."""
+    latencies = measured_latency(dataset)
+    zone = FeasibilityZone()
+    records = []
+    for app in all_applications():
+        static = assess(app, zone)
+        row = {
+            "application": app.slug,
+            "fz_verdict": static.name,
+            "fz_overlap": round(zone.overlap(app), 3),
+        }
+        for continent in sorted(latencies):
+            row[continent] = app_verdict_for_continent(app, latencies[continent], zone)
+        records.append(row)
+    columns = ["application", "fz_verdict", "fz_overlap"] + sorted(latencies)
+    return Frame.from_records(records, columns=columns)
+
+
+def edge_beneficiaries(dataset: CampaignDataset) -> Tuple[str, ...]:
+    """Apps that are in the FZ *and* under-served by the measured cloud in
+    at least one continent — the ones a real edge deployment would help."""
+    matrix = feasibility_matrix(dataset)
+    continents = [c for c in matrix.columns if len(c) == 2]
+    out = []
+    for row in matrix.iter_rows():
+        if row["fz_verdict"] != Verdict.IN_ZONE.name:
+            continue
+        if any(row[c] == "edge" for c in continents):
+            out.append(str(row["application"]))
+    return tuple(out)
+
+
+def cloud_sufficient_share(dataset: CampaignDataset) -> Dict[str, float]:
+    """Per continent: share of cataloged apps the measured cloud serves.
+
+    Backs the conclusion that "in well-connected areas ... the cloud is
+    able to satisfy almost all application requirements".
+    """
+    latencies = measured_latency(dataset)
+    apps = all_applications()
+    shares = {}
+    for continent, latency in latencies.items():
+        served = sum(
+            1
+            for app in apps
+            if app_verdict_for_continent(app, latency) in ("cloud", "cloud-marginal")
+        )
+        shares[continent] = served / len(apps)
+    return shares

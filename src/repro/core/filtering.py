@@ -1,0 +1,85 @@
+"""Probe filtering and cohort construction (paper §4.1, §4.3).
+
+Two filters from the methodology:
+
+* **privileged-location exclusion** — probes whose tags reveal a
+  datacenter/cloud installation are dropped from all analyses ("We filter
+  out all the probes that are clearly installed in privileged locations");
+* **last-mile cohorts** — Figure 7 compares probes tagged wired
+  (``ethernet``/``broadband``/...) against probes tagged wireless
+  (``lte``/``wifi``/``wlan``/...), additionally requiring each cohort
+  member's baseline latency to be in line with its country's average
+  (dropping mis-tagged probes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.dataset import CampaignDataset
+from repro.errors import CampaignError
+
+#: Figure 7 sanity filter: a probe whose baseline (median) latency is more
+#: than this factor away from its country median is considered mis-tagged.
+BASELINE_TOLERANCE = 6.0
+
+
+def unprivileged_mask(dataset: CampaignDataset) -> np.ndarray:
+    """Sample mask excluding privileged probes and failed pings."""
+    return ~dataset.probe_privileged() & dataset.succeeded_mask()
+
+
+def cohort_masks(dataset: CampaignDataset) -> Dict[str, np.ndarray]:
+    """Sample masks for the wired and wireless cohorts (Figure 7).
+
+    Applies, in order: privileged exclusion, tag-based cohort selection,
+    and the per-probe baseline sanity check against the country median.
+    """
+    base = unprivileged_mask(dataset)
+    cohorts = dataset.probe_cohorts()
+    rtt = dataset.column("rtt_min")
+    countries = dataset.probe_countries()
+    probe_ids = dataset.column("probe_id")
+
+    # Country medians over all valid samples (the "country average"
+    # yardstick the paper verifies against).
+    country_median: Dict[str, float] = {}
+    for country in np.unique(countries[base]):
+        values = rtt[base & (countries == country)]
+        if len(values):
+            country_median[str(country)] = float(np.median(values))
+
+    masks: Dict[str, np.ndarray] = {}
+    for cohort in ("wired", "wireless"):
+        mask = base & (cohorts == cohort)
+        keep = mask.copy()
+        for probe_id in np.unique(probe_ids[mask]):
+            probe_mask = mask & (probe_ids == probe_id)
+            values = rtt[probe_mask]
+            if not len(values):
+                continue
+            country = str(countries[probe_mask][0])
+            reference = country_median.get(country)
+            if reference is None or reference <= 0:
+                continue
+            baseline = float(np.median(values))
+            if baseline > reference * BASELINE_TOLERANCE:
+                keep &= ~probe_mask
+        masks[cohort] = keep
+    return masks
+
+
+def cohort_sizes(dataset: CampaignDataset) -> Tuple[int, int]:
+    """(wired probes, wireless probes) after all Figure 7 filtering."""
+    masks = cohort_masks(dataset)
+    probe_ids = dataset.column("probe_id")
+    wired = len(np.unique(probe_ids[masks["wired"]]))
+    wireless = len(np.unique(probe_ids[masks["wireless"]]))
+    if wired == 0 or wireless == 0:
+        raise CampaignError(
+            "cohort construction produced an empty cohort; "
+            "campaign too small for Figure 7"
+        )
+    return wired, wireless

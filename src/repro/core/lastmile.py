@@ -1,0 +1,92 @@
+"""Wired vs wireless last mile (paper §4.3, Figure 7).
+
+Figure 7 tracks the RTT of tag-selected wired and wireless probe cohorts
+over the measurement period; the paper finds wireless probes take ~2.5x
+longer to reach the nearest cloud region, consistent with the 10-40 ms
+added wireless latency reported by prior studies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.dataset import CampaignDataset
+from repro.core.filtering import cohort_masks
+from repro.core.nearest import nearest_target_mask
+from repro.errors import CampaignError
+from repro.frame import Frame
+
+#: Seconds per time-series bucket in :func:`cohort_timeseries` (one week).
+WEEK_S = 7 * 86_400
+
+
+def _nearest_region_rtts(dataset: CampaignDataset, mask: np.ndarray) -> np.ndarray:
+    """Per-sample mask restricted to each probe's *nearest* region.
+
+    Figure 7 measures access "to the nearest cloud region"; we identify
+    each probe's nearest region as the one with the smallest median RTT,
+    then keep only samples towards it.
+    """
+    return nearest_target_mask(dataset, mask)
+
+
+def cohort_timeseries(dataset: CampaignDataset, bucket_s: int = WEEK_S) -> Frame:
+    """Figure 7's series: median nearest-region RTT per cohort per week."""
+    if bucket_s <= 0:
+        raise CampaignError(f"bucket size must be positive: {bucket_s}")
+    masks = cohort_masks(dataset)
+    timestamps = dataset.column("timestamp")
+    rtts = dataset.column("rtt_min")
+    records = []
+    nearest = {
+        cohort: _nearest_region_rtts(dataset, mask) for cohort, mask in masks.items()
+    }
+    start = int(timestamps.min())
+    stop = int(timestamps.max()) + 1
+    for bucket_start in range(start, stop, bucket_s):
+        bucket_mask = (timestamps >= bucket_start) & (timestamps < bucket_start + bucket_s)
+        row = {"bucket_start": bucket_start}
+        for cohort in ("wired", "wireless"):
+            values = rtts[nearest[cohort] & bucket_mask]
+            row[f"{cohort}_median"] = (
+                float(np.median(values)) if len(values) else float("nan")
+            )
+            row[f"{cohort}_samples"] = int(len(values))
+        records.append(row)
+    return Frame.from_records(
+        records,
+        columns=[
+            "bucket_start",
+            "wired_median", "wired_samples",
+            "wireless_median", "wireless_samples",
+        ],
+    )
+
+
+def wireless_penalty(dataset: CampaignDataset) -> float:
+    """The headline multiplier: wireless median / wired median (~2.5x)."""
+    masks = cohort_masks(dataset)
+    rtts = dataset.column("rtt_min")
+    medians: Dict[str, float] = {}
+    for cohort, mask in masks.items():
+        keep = _nearest_region_rtts(dataset, mask)
+        values = rtts[keep]
+        if len(values) == 0:
+            raise CampaignError(f"no samples in cohort {cohort!r}")
+        medians[cohort] = float(np.median(values))
+    if medians["wired"] <= 0:
+        raise CampaignError("wired cohort median is non-positive")
+    return medians["wireless"] / medians["wired"]
+
+
+def added_wireless_latency_ms(dataset: CampaignDataset) -> float:
+    """Absolute added latency of the wireless cohort (paper cites 10-40 ms)."""
+    masks = cohort_masks(dataset)
+    rtts = dataset.column("rtt_min")
+    values = {}
+    for cohort, mask in masks.items():
+        keep = _nearest_region_rtts(dataset, mask)
+        values[cohort] = float(np.median(rtts[keep]))
+    return values["wireless"] - values["wired"]

@@ -1,0 +1,103 @@
+"""Data locality: whose traffic has to leave the country? (paper §6)
+
+The paper's privacy direction argues edge computing is attractive where
+"processing local data locally and not sending it to the cloud oligopoly"
+matters — i.e., wherever using the cloud means crossing a border.  This
+analysis measures that: for each probe, is the nearest (best) cloud
+region domestic, and how does a national edge deployment change the
+share of users whose data can stay home?
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.dataset import CampaignDataset
+from repro.core.filtering import unprivileged_mask
+from repro.core.nearest import nearest_target_by_probe
+from repro.errors import CampaignError
+from repro.frame import Frame
+from repro.geo.countries import get_country
+
+
+def nearest_region_locality(dataset: CampaignDataset) -> Frame:
+    """Per-probe: nearest region, whether it is domestic, and continent."""
+    best = nearest_target_by_probe(dataset, unprivileged_mask(dataset))
+    if not best:
+        raise CampaignError("no probes with valid samples")
+    records = []
+    for probe_id, target_index in sorted(best.items()):
+        probe = dataset.probe(probe_id)
+        region = dataset.targets[target_index].region
+        records.append(
+            {
+                "probe_id": probe_id,
+                "country": probe.country_code,
+                "continent": probe.continent,
+                "nearest_region": region.key,
+                "region_country": region.country_code,
+                "domestic": probe.country_code == region.country_code,
+            }
+        )
+    return Frame.from_records(
+        records,
+        columns=[
+            "probe_id", "country", "continent",
+            "nearest_region", "region_country", "domestic",
+        ],
+    )
+
+
+def domestic_share_by_continent(dataset: CampaignDataset) -> Dict[str, float]:
+    """Share of probes whose nearest cloud region is in their own country."""
+    frame = nearest_region_locality(dataset)
+    continents = frame["continent"]
+    domestic = frame["domestic"].astype(bool)
+    return {
+        str(continent): float(np.mean(domestic[continents == continent]))
+        for continent in np.unique(continents)
+    }
+
+
+def cloud_locality_summary(dataset: CampaignDataset) -> Dict[str, float]:
+    """Headline locality numbers for the §6 privacy discussion."""
+    frame = nearest_region_locality(dataset)
+    domestic = frame["domestic"].astype(bool)
+    countries = frame["country"]
+    # Population whose country's probes stay domestic (majority rule).
+    population_home = 0.0
+    population_total = 0.0
+    for country in np.unique(countries):
+        country_share = float(np.mean(domestic[countries == country]))
+        population = get_country(str(country)).population_m
+        population_total += population
+        if country_share >= 0.5:
+            population_home += population
+    return {
+        "probes": len(frame),
+        "probe_share_domestic": float(np.mean(domestic)),
+        "population_share_domestic": population_home / population_total,
+        "countries_fully_foreign": int(
+            sum(
+                1
+                for country in np.unique(countries)
+                if not np.any(domestic[countries == country])
+            )
+        ),
+    }
+
+
+def locality_with_national_edge(dataset: CampaignDataset) -> Dict[str, float]:
+    """What a one-site-per-country edge does for data locality.
+
+    By construction a national edge keeps every covered country's traffic
+    domestic — this returns the delta the §6 privacy argument rests on.
+    """
+    baseline = cloud_locality_summary(dataset)
+    return {
+        "probe_share_domestic_before": baseline["probe_share_domestic"],
+        "probe_share_domestic_after": 1.0,
+        "countries_gaining_locality": baseline["countries_fully_foreign"],
+    }

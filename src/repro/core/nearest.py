@@ -1,0 +1,65 @@
+"""Nearest-datacenter sample selection.
+
+Figures 6 and 7 are defined over pings "to the closest datacenter": for
+each probe, the target region with the lowest typical RTT.  This module
+identifies that region per probe (by median RTT over the given samples)
+and returns the mask of samples towards it — fully vectorized, since the
+inner loop would otherwise dominate analysis time on million-sample
+datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.dataset import CampaignDataset
+from repro.errors import CampaignError
+
+
+def nearest_target_by_probe(
+    dataset: CampaignDataset, mask: np.ndarray
+) -> Dict[int, int]:
+    """Per-probe nearest target index (lowest median RTT), over ``mask``."""
+    probe_ids = dataset.column("probe_id")[mask]
+    targets = dataset.column("target_index")[mask]
+    rtts = dataset.column("rtt_min")[mask]
+    if len(probe_ids) == 0:
+        raise CampaignError("no samples selected for nearest-target analysis")
+
+    num_targets = len(dataset.targets)
+    pair_key = probe_ids.astype(np.int64) * num_targets + targets
+    order = np.lexsort((rtts, pair_key))
+    sorted_key = pair_key[order]
+    sorted_rtt = rtts[order]
+
+    boundaries = np.flatnonzero(np.diff(sorted_key)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(sorted_key)]))
+    # Lower median of each (probe, target) group.
+    medians = sorted_rtt[(starts + ends - 1) // 2]
+    group_probe = (sorted_key[starts] // num_targets).astype(np.int64)
+    group_target = (sorted_key[starts] % num_targets).astype(np.int64)
+
+    best: Dict[int, int] = {}
+    best_median: Dict[int, float] = {}
+    for probe, target, median in zip(group_probe, group_target, medians):
+        probe = int(probe)
+        if probe not in best or median < best_median[probe]:
+            best[probe] = int(target)
+            best_median[probe] = float(median)
+    return best
+
+
+def nearest_target_mask(dataset: CampaignDataset, mask: np.ndarray) -> np.ndarray:
+    """Restrict ``mask`` to each probe's nearest-region samples."""
+    best = nearest_target_by_probe(dataset, mask)
+    probe_ids = dataset.column("probe_id")
+    targets = dataset.column("target_index")
+    # Lookup table over the probe-id range (ids are dense and small).
+    max_id = int(probe_ids.max())
+    table = np.full(max_id + 2, -1, dtype=np.int64)
+    for probe, target in best.items():
+        table[probe] = target
+    return mask & (table[probe_ids] == targets)

@@ -1,0 +1,125 @@
+"""Full reproduction report generator.
+
+Renders one self-contained Markdown document from a campaign dataset:
+every figure as text, the headline table, the validation checklist, and
+the extension analyses.  Used by ``repro report`` and handy as a single
+artifact to diff between runs or attach to a paper-reproduction record.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.dataset import CampaignDataset
+from repro.core.distributions import all_samples_cdf_by_continent, threshold_table
+from repro.core.lastmile import cohort_timeseries, wireless_penalty
+from repro.core.proximity import (
+    bucket_counts,
+    country_min_latency,
+    min_rtt_cdf_by_continent,
+)
+from repro.core.report import headline_report
+from repro.core.trends import collect_figure1, detect_eras
+from repro.core.validation import summary_text, validate
+from repro.core.whatif import scenario_report
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n{body}\n"
+
+
+def _code(text: str) -> str:
+    return f"```\n{text}\n```"
+
+
+def generate_report(dataset: CampaignDataset, seed: int = 0) -> str:
+    """Render the full Markdown reproduction report."""
+    # Imported here: repro.viz renders figures *of* repro.core results, so
+    # importing it at module load time would be circular.
+    from repro.viz import bucket_listing, cdf_plot, table, world_map
+
+    report = headline_report(dataset)
+    sections: List[str] = [
+        "# Latency Shears — reproduction report\n",
+        f"Dataset: {dataset.num_samples:,} samples, "
+        f"{report.probes} probes, {report.countries} countries, "
+        f"{report.targets} targets.\n",
+    ]
+
+    sections.append(
+        _section("Headline statistics (T1)", _code(report.summary()))
+    )
+
+    checks = validate(report)
+    sections.append(
+        _section("Paper-shape validation", _code(summary_text(checks)))
+    )
+
+    figure1 = collect_figure1(seed=seed)
+    eras = detect_eras(figure1)
+    sections.append(
+        _section(
+            "Figure 1 — eras",
+            f"CDN until {eras.cdn_until}, Cloud from {eras.cloud_from}, "
+            f"Edge from {eras.edge_from}.",
+        )
+    )
+
+    country_frame = country_min_latency(dataset)
+    counts = bucket_counts(country_frame)
+    sections.append(
+        _section(
+            "Figure 4 — minimum RTT per country",
+            _code(world_map(country_frame))
+            + "\n\n"
+            + _code(bucket_listing(country_frame))
+            + f"\n\nBucket counts: {counts}",
+        )
+    )
+
+    sections.append(
+        _section(
+            "Figure 5 — per-probe minimum RTT CDFs",
+            _code(cdf_plot(min_rtt_cdf_by_continent(dataset), x_max=200.0)),
+        )
+    )
+
+    sections.append(
+        _section(
+            "Figure 6 — all samples to the closest datacenter",
+            _code(cdf_plot(all_samples_cdf_by_continent(dataset), x_max=300.0))
+            + "\n\n"
+            + _code(table(threshold_table(dataset))),
+        )
+    )
+
+    penalty = wireless_penalty(dataset)
+    sections.append(
+        _section(
+            "Figure 7 — wired vs wireless",
+            _code(table(cohort_timeseries(dataset, bucket_s=2 * 86_400)))
+            + f"\n\nWireless penalty: **{penalty:.2f}x** (paper ~2.5x).",
+        )
+    )
+
+    scenarios = scenario_report()
+    lines = [
+        f"| {name} | {row['wireless_floor_ms']:.1f} | {row['apps_in_zone']} "
+        f"| {row['rescued_market_busd']:.0f} |"
+        for name, row in scenarios.items()
+    ]
+    sections.append(
+        _section(
+            "What-if — future last miles",
+            "| scenario | floor ms | apps in zone | rescued B$ |\n"
+            "|---|---|---|---|\n" + "\n".join(lines),
+        )
+    )
+
+    return "\n".join(sections)
+
+
+def write_report(dataset: CampaignDataset, path, seed: int = 0) -> None:
+    from pathlib import Path
+
+    Path(path).write_text(generate_report(dataset, seed=seed), encoding="utf-8")

@@ -1,0 +1,161 @@
+"""Where is the delay? Traceroute-based path decomposition (paper §4.3/§5).
+
+The paper attributes most end-user latency to the last mile and plans
+"TCP-based probing techniques" as future work.  This module implements
+that extension: it runs a traceroute survey through the client API,
+parses the results sagan-style, and splits each path's RTT into
+
+* **access** — up to the ISP concentrator (hop 2);
+* **core** — everything beyond it, to the datacenter.
+
+Grouping the split by last-mile cohort quantifies the "last mile is the
+bottleneck" consensus the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.atlas.api.client import AtlasCreateRequest, AtlasResultsRequest
+from repro.atlas.api.measurements import Traceroute
+from repro.atlas.api.sources import AtlasSource
+from repro.atlas.platform import AtlasPlatform
+from repro.atlas.results.base import Result
+from repro.atlas.results.traceroute import TracerouteResult
+from repro.atlas.tags import classify_lastmile
+from repro.errors import CampaignError
+from repro.frame import Frame
+
+#: Default survey shape: one day of 6-hourly TCP traceroutes.
+_SURVEY_INTERVAL_S = 21_600
+_SURVEY_DURATION_S = 86_400
+
+
+@dataclass(frozen=True)
+class PathSplit:
+    """One traceroute's access/core decomposition."""
+
+    probe_id: int
+    target_key: str
+    access_ms: float
+    core_ms: float
+    total_ms: float
+
+    @property
+    def access_share(self) -> float:
+        return self.access_ms / self.total_ms if self.total_ms > 0 else 0.0
+
+
+def run_traceroute_survey(
+    platform: AtlasPlatform,
+    target_keys: Sequence[str],
+    probe_ids: Sequence[int],
+    start_time: int,
+    protocol: str = "TCP",
+) -> List[TracerouteResult]:
+    """Run a traceroute survey through the client API and parse results."""
+    if not target_keys or not probe_ids:
+        raise CampaignError("survey needs targets and probes")
+    source = AtlasSource(
+        type="probes",
+        value=",".join(str(pid) for pid in probe_ids),
+        requested=len(probe_ids),
+    )
+    parsed: List[TracerouteResult] = []
+    for key in target_keys:
+        vm = next(vm for vm in platform.fleet if vm.key == key)
+        ok, response = AtlasCreateRequest(
+            measurements=[
+                Traceroute(
+                    target=platform.hostname_for(vm),
+                    description=f"path survey {key}",
+                    interval=_SURVEY_INTERVAL_S,
+                    protocol=protocol,
+                    port=443,
+                )
+            ],
+            sources=[source],
+            start_time=start_time,
+            stop_time=start_time + _SURVEY_DURATION_S,
+            platform=platform,
+        ).create()
+        if not ok:
+            raise CampaignError(
+                f"traceroute survey failed for {key}: {response['error']['detail']}"
+            )
+        ok, raw_results = AtlasResultsRequest(
+            msm_id=response["measurements"][0], platform=platform
+        ).create()
+        if not ok:
+            raise CampaignError(f"result fetch failed for {key}")
+        for raw in raw_results:
+            result = Result.get(raw)
+            if isinstance(result, TracerouteResult):
+                result.target_key = key  # annotate for the split
+                parsed.append(result)
+    return parsed
+
+
+def decompose(result: TracerouteResult) -> "PathSplit | None":
+    """Split one traceroute into access and core delay.
+
+    Returns None for paths whose hop 2 or destination did not respond
+    (they cannot be decomposed, as with real traceroute data).
+    """
+    if result.total_hops < 2 or result.last_rtt is None:
+        return None
+    hop2 = next((hop for hop in result.hops if hop.index == 2), None)
+    if hop2 is None or not hop2.responded:
+        return None
+    access = hop2.best_rtt
+    total = result.last_rtt
+    if total < access:
+        return None
+    return PathSplit(
+        probe_id=result.probe_id,
+        target_key=getattr(result, "target_key", result.destination_name or ""),
+        access_ms=access,
+        core_ms=total - access,
+        total_ms=total,
+    )
+
+
+def decompose_all(results: Sequence[TracerouteResult]) -> List[PathSplit]:
+    splits = [decompose(result) for result in results]
+    return [split for split in splits if split is not None]
+
+
+def access_share_by_cohort(
+    platform: AtlasPlatform, splits: Sequence[PathSplit]
+) -> Frame:
+    """Median access share and absolute access delay per last-mile cohort."""
+    if not splits:
+        raise CampaignError("no decomposable paths")
+    grouped: Dict[str, List[PathSplit]] = {}
+    for split in splits:
+        probe = platform.probe(split.probe_id)
+        cohort = classify_lastmile(probe.tags)
+        if cohort == "untagged":
+            # Fall back to ground truth for survey purposes: the survey
+            # is an internal study, not a tag-blind reproduction.
+            cohort = "wireless" if probe.access.is_wireless else "wired"
+        grouped.setdefault(cohort, []).append(split)
+    records = []
+    for cohort in sorted(grouped):
+        shares = np.asarray([split.access_share for split in grouped[cohort]])
+        access = np.asarray([split.access_ms for split in grouped[cohort]])
+        records.append(
+            {
+                "cohort": cohort,
+                "paths": len(shares),
+                "median_access_ms": float(np.median(access)),
+                "median_access_share": float(np.median(shares)),
+            }
+        )
+    return Frame.from_records(
+        records,
+        columns=["cohort", "paths", "median_access_ms", "median_access_share"],
+    )

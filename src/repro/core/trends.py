@@ -1,0 +1,129 @@
+"""Era analysis of the edge/cloud zeitgeist (paper §2, Figure 1).
+
+Collects the two Figure 1 series — publications via the Scholar-style
+crawler, search interest via the Trends substrate — and derives the three
+eras the paper narrates: CDN, Cloud, and Edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.frame import Frame
+from repro.scholar.corpus import FIRST_YEAR, LAST_YEAR
+from repro.scholar.crawler import ScholarCrawler
+from repro.scholar.trends import normalized_series, yearly_average
+
+#: The two keywords Figure 1 compares.
+FIGURE1_KEYWORDS: Tuple[str, str] = ("cloud computing", "edge computing")
+
+
+@dataclass(frozen=True)
+class EraBoundaries:
+    """Transition years between the three eras of §2."""
+
+    cdn_until: int
+    cloud_from: int
+    edge_from: int
+
+    def era_of(self, year: int) -> str:
+        if year < self.cloud_from:
+            return "CDN"
+        if year < self.edge_from:
+            return "Cloud"
+        return "Edge"
+
+
+def collect_figure1(
+    crawler: ScholarCrawler = None,
+    keywords: Sequence[str] = FIGURE1_KEYWORDS,
+    first: int = FIRST_YEAR,
+    last: int = LAST_YEAR,
+    seed: int = 0,
+) -> Frame:
+    """The full Figure 1 data: per keyword per year, publications and
+    (jointly normalized) search interest."""
+    crawler = crawler if crawler is not None else ScholarCrawler(seed=seed)
+    interest = {
+        keyword: yearly_average(series)
+        for keyword, series in normalized_series(keywords, first, last, seed).items()
+    }
+    records = []
+    for keyword in keywords:
+        publications = crawler.yearly_counts(keyword, first, last)
+        for year in range(first, last + 1):
+            records.append(
+                {
+                    "keyword": keyword,
+                    "year": year,
+                    "publications": publications[year],
+                    "search_interest": round(interest[keyword].get(year, 0.0), 2),
+                }
+            )
+    return Frame.from_records(
+        records, columns=["keyword", "year", "publications", "search_interest"]
+    )
+
+
+def detect_eras(figure1: Frame) -> EraBoundaries:
+    """Derive the CDN/Cloud/Edge era transitions from the Figure 1 data.
+
+    * the Cloud era starts the first year "cloud computing" search
+      interest exceeds 10 % of its own peak;
+    * the Edge era starts the first year "edge computing" publications
+      exceed 10 % of cloud's concurrent volume.
+    """
+    cloud = figure1.filter(figure1["keyword"] == "cloud computing")
+    edge = figure1.filter(figure1["keyword"] == "edge computing")
+    if cloud.is_empty() or edge.is_empty():
+        raise ReproError("figure1 frame must contain both keywords")
+
+    cloud_interest = cloud["search_interest"]
+    cloud_years = cloud["year"]
+    peak = float(cloud_interest.max())
+    cloud_from = None
+    for year, value in zip(cloud_years, cloud_interest):
+        if value > 0.10 * peak:
+            cloud_from = int(year)
+            break
+    if cloud_from is None:
+        raise ReproError("cloud era never starts in this window")
+
+    cloud_pubs = {int(y): float(p) for y, p in zip(cloud_years, cloud["publications"])}
+    edge_from = None
+    for year, pubs in zip(edge["year"], edge["publications"]):
+        year = int(year)
+        reference = cloud_pubs.get(year, 0.0)
+        if reference > 0 and float(pubs) > 0.10 * reference:
+            edge_from = year
+            break
+    if edge_from is None:
+        raise ReproError("edge era never starts in this window")
+    if edge_from <= cloud_from:
+        raise ReproError(
+            f"era ordering violated: edge {edge_from} <= cloud {cloud_from}"
+        )
+    return EraBoundaries(
+        cdn_until=cloud_from - 1, cloud_from=cloud_from, edge_from=edge_from
+    )
+
+
+def growth_summary(figure1: Frame) -> Dict[str, float]:
+    """Headline dynamics: cloud peak year, edge growth multiple, crossover."""
+    out: Dict[str, float] = {}
+    for keyword in FIGURE1_KEYWORDS:
+        sub = figure1.filter(figure1["keyword"] == keyword)
+        interest = sub["search_interest"]
+        years = sub["year"]
+        peak_index = int(max(range(len(interest)), key=lambda i: interest[i]))
+        out[f"{keyword.split()[0]}_interest_peak_year"] = int(years[peak_index])
+        pubs = sub["publications"]
+        first_nonzero = next(
+            (float(p) for p in pubs if p > 0), 0.0
+        )
+        out[f"{keyword.split()[0]}_pub_growth"] = (
+            float(pubs[-1]) / first_nonzero if first_nonzero else float("inf")
+        )
+    return out

@@ -1,0 +1,141 @@
+"""Validation of a campaign against the paper's published shape.
+
+Encodes every quantitative claim as a named :class:`Check` with a band
+and an ordering rule, so calibration tests, the CLI (``repro validate``)
+and EXPERIMENTS.md all share one source of truth.  Bands are generous —
+the substrate is a simulator — but orderings are the paper's and exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.core.report import HeadlineReport
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one paper-shape check."""
+
+    name: str
+    passed: bool
+    measured: float
+    expected: str
+    detail: str = ""
+
+    def line(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name}: measured {self.measured:.3g} (expect {self.expected})"
+
+
+@dataclass(frozen=True)
+class Check:
+    """One claim: a measurement extractor plus acceptance logic."""
+
+    name: str
+    expected: str
+    extract: Callable[[HeadlineReport], float]
+    accept: Callable[[float, HeadlineReport], bool]
+
+    def run(self, report: HeadlineReport) -> CheckResult:
+        value = self.extract(report)
+        return CheckResult(
+            name=self.name,
+            passed=bool(self.accept(value, report)),
+            measured=value,
+            expected=self.expected,
+        )
+
+
+def _band(low: float, high: float) -> Callable[[float, HeadlineReport], bool]:
+    return lambda value, _report: low <= value <= high
+
+
+PAPER_CHECKS: Tuple[Check, ...] = (
+    Check(
+        "countries under 10 ms (paper: 32)",
+        "22..42",
+        lambda r: r.countries_under_10ms,
+        _band(22, 42),
+    ),
+    Check(
+        "countries in 10-20 ms (paper: 21)",
+        "13..30",
+        lambda r: r.countries_10_to_20ms,
+        _band(13, 30),
+    ),
+    Check(
+        "countries beyond PL (paper: 16)",
+        "8..26",
+        lambda r: r.countries_over_pl,
+        _band(8, 26),
+    ),
+    Check(
+        "EU probes under MTP (paper: ~0.80)",
+        ">= 0.65",
+        lambda r: r.probe_share_under_mtp.get("EU", 0.0),
+        lambda v, _r: v >= 0.65,
+    ),
+    Check(
+        "NA probes under MTP (paper: ~0.80)",
+        ">= 0.65",
+        lambda r: r.probe_share_under_mtp.get("NA", 0.0),
+        lambda v, _r: v >= 0.65,
+    ),
+    Check(
+        "EU samples under PL (paper: > 0.75)",
+        ">= 0.75",
+        lambda r: r.sample_share_under_pl.get("EU", 0.0),
+        lambda v, _r: v >= 0.75,
+    ),
+    Check(
+        "AF samples under PL (paper: a fraction)",
+        "<= 0.60",
+        lambda r: r.sample_share_under_pl.get("AF", 1.0),
+        lambda v, _r: v <= 0.60,
+    ),
+    Check(
+        "under-served trail well-connected (ordering)",
+        "AS,SA,AF < min(NA,EU) - 0.05",
+        lambda r: max(
+            r.sample_share_under_pl.get(c, 0.0) for c in ("AS", "SA", "AF")
+        ),
+        lambda v, r: v
+        < min(r.sample_share_under_pl[c] for c in ("NA", "EU")) - 0.05,
+    ),
+    Check(
+        "wireless penalty (paper: ~2.5x)",
+        "1.8..3.5",
+        lambda r: r.wireless_penalty,
+        _band(1.8, 3.5),
+    ),
+    Check(
+        "NA+EU samples under 40 ms (Facebook checkpoint)",
+        ">= 0.70",
+        lambda r: r.facebook_share_under_40ms,
+        lambda v, _r: v >= 0.70,
+    ),
+    Check(
+        "population within PL, best case (majority of the world)",
+        ">= 0.75",
+        lambda r: r.population_share_under_pl,
+        lambda v, _r: v >= 0.75,
+    ),
+)
+
+
+def validate(report: HeadlineReport) -> List[CheckResult]:
+    """Run every paper-shape check against a headline report."""
+    return [check.run(report) for check in PAPER_CHECKS]
+
+
+def all_pass(results: List[CheckResult]) -> bool:
+    return all(result.passed for result in results)
+
+
+def summary_text(results: List[CheckResult]) -> str:
+    lines = [result.line() for result in results]
+    passed = sum(1 for result in results if result.passed)
+    lines.append(f"{passed}/{len(results)} paper-shape checks passed")
+    return "\n".join(lines)

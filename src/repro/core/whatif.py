@@ -1,0 +1,95 @@
+"""What-if analysis: future last-mile technologies (paper §5).
+
+The paper is openly skeptical of the 5G marketing numbers: LTE promised
+sub-10 ms in 2011 and delivers tens of milliseconds with multi-second
+bufferbloat; early 5G measurements (Narayanan et al.) are "sub-optimal".
+This module recomputes the feasibility zone under hypothetical wireless
+floors — the promised 1 ms, the measured early deployments, and today's
+LTE — and reports which applications change verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.apps.catalog import all_applications
+from repro.apps.feasibility import FeasibilityZone, Verdict, assess
+from repro.errors import ReproError
+
+#: Named last-mile scenarios: wireless access floor in milliseconds.
+SCENARIOS: Dict[str, float] = {
+    # Today's LTE, per the measurement literature the paper cites.
+    "lte-today": 18.0,
+    # The paper's Figure 8 boundary: ~10 ms current wireless state.
+    "wireless-2020": 10.0,
+    # Early commercial 5G as measured by Narayanan et al. (2020):
+    # better than LTE, nowhere near the marketing number.
+    "5g-measured": 14.0,
+    # The IMT-2020 marketing number.
+    "5g-promised": 1.0,
+    # Wired fibre-to-the-home for comparison.
+    "fibre": 1.5,
+}
+
+
+@dataclass(frozen=True)
+class VerdictChange:
+    """An application whose FZ verdict changes under a scenario."""
+
+    slug: str
+    baseline: Verdict
+    scenario: Verdict
+
+
+def zone_for_scenario(name: str) -> FeasibilityZone:
+    """The feasibility zone with the scenario's wireless floor."""
+    try:
+        floor = SCENARIOS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+    return FeasibilityZone(latency_low_ms=floor)
+
+
+def scenario_verdicts(name: str) -> Dict[str, Verdict]:
+    """All application verdicts under a scenario's zone."""
+    zone = zone_for_scenario(name)
+    return {app.slug: assess(app, zone) for app in all_applications()}
+
+
+def verdict_changes(scenario: str, baseline: str = "wireless-2020") -> Tuple[VerdictChange, ...]:
+    """Applications whose verdict differs between two scenarios."""
+    base = scenario_verdicts(baseline)
+    new = scenario_verdicts(scenario)
+    return tuple(
+        VerdictChange(slug=slug, baseline=base[slug], scenario=new[slug])
+        for slug in base
+        if base[slug] is not new[slug]
+    )
+
+
+def rescued_market_busd(scenario: str, baseline: str = "wireless-2020") -> float:
+    """Market value (B$) of apps a scenario pulls *into* the zone."""
+    from repro.apps.catalog import get_application
+
+    total = 0.0
+    for change in verdict_changes(scenario, baseline):
+        if change.scenario is Verdict.IN_ZONE and change.baseline is not Verdict.IN_ZONE:
+            total += get_application(change.slug).market_2025_busd
+    return total
+
+
+def scenario_report() -> Dict[str, Dict[str, float]]:
+    """Per-scenario summary: in-zone app count and rescued market value."""
+    report = {}
+    for name in SCENARIOS:
+        verdicts = scenario_verdicts(name)
+        in_zone = sum(1 for v in verdicts.values() if v is Verdict.IN_ZONE)
+        report[name] = {
+            "wireless_floor_ms": SCENARIOS[name],
+            "apps_in_zone": in_zone,
+            "rescued_market_busd": rescued_market_busd(name),
+        }
+    return report

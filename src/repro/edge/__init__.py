@@ -1,0 +1,43 @@
+"""Hypothetical edge deployments: sites, latency floors, gains over cloud."""
+
+from repro.edge.gains import (
+    GainSummary,
+    cost_per_improved_user_kusd,
+    deployment_gains,
+    gains_by_continent,
+    gains_frame,
+)
+from repro.edge.latency import (
+    BASESTATION_PROCESSING_MS,
+    edge_floor_rtt_ms,
+    evaluate_deployment,
+)
+from repro.edge.sites import (
+    SITE_COST_KUSD,
+    DeploymentStrategy,
+    EdgeSite,
+    basestation_deployment,
+    deployment_cost_kusd,
+    deployment_for,
+    gateway_deployment,
+    national_deployment,
+)
+
+__all__ = [
+    "BASESTATION_PROCESSING_MS",
+    "DeploymentStrategy",
+    "EdgeSite",
+    "GainSummary",
+    "SITE_COST_KUSD",
+    "basestation_deployment",
+    "cost_per_improved_user_kusd",
+    "deployment_cost_kusd",
+    "deployment_for",
+    "deployment_gains",
+    "edge_floor_rtt_ms",
+    "evaluate_deployment",
+    "gains_by_continent",
+    "gains_frame",
+    "gateway_deployment",
+    "national_deployment",
+]

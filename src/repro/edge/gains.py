@@ -1,0 +1,125 @@
+"""Edge-over-cloud latency gains.
+
+The paper's §6 verdict: "General-purpose edge yields little benefit in
+well-connected areas, but in developing regions, gains are more
+significant."  This module computes exactly that: per-probe *gain* =
+(measured best cloud RTT) - (hypothetical edge floor RTT), aggregated by
+continent, plus a crude cost-effectiveness figure to back the
+economies-of-scale discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.dataset import CampaignDataset
+from repro.core.proximity import per_probe_min
+from repro.edge.latency import evaluate_deployment
+from repro.edge.sites import EdgeSite, deployment_cost_kusd
+from repro.errors import ReproError
+from repro.frame import Frame
+from repro.net.pathmodel import LatencyModel
+
+
+@dataclass(frozen=True)
+class GainSummary:
+    """Gain statistics for one continent."""
+
+    continent: str
+    probes: int
+    median_gain_ms: float
+    p90_gain_ms: float
+    share_improved: float
+    share_meaningful: float  # gain > 10 ms
+
+
+def deployment_gains(
+    dataset: CampaignDataset,
+    sites: Sequence[EdgeSite],
+    model: LatencyModel = None,
+) -> Dict[int, float]:
+    """Per-probe gain (ms) of the deployment over the measured cloud.
+
+    Positive gain means the edge would be faster than the best cloud
+    region the probe ever reached.
+    """
+    model = model if model is not None else LatencyModel(seed=0)
+    cloud = per_probe_min(dataset)
+    probes = [dataset.probe(pid) for pid in cloud]
+    edge = evaluate_deployment(probes, sites, model)
+    return {pid: cloud[pid] - edge[pid] for pid in cloud}
+
+
+def gains_by_continent(
+    dataset: CampaignDataset,
+    sites: Sequence[EdgeSite],
+    model: LatencyModel = None,
+) -> Dict[str, GainSummary]:
+    """Gain summaries grouped by probe continent."""
+    gains = deployment_gains(dataset, sites, model)
+    if not gains:
+        raise ReproError("no probes with cloud measurements")
+    grouped: Dict[str, list] = {}
+    for pid, gain in gains.items():
+        grouped.setdefault(dataset.probe(pid).continent, []).append(gain)
+    out = {}
+    for continent, values in grouped.items():
+        array = np.asarray(values)
+        out[continent] = GainSummary(
+            continent=continent,
+            probes=len(array),
+            median_gain_ms=float(np.median(array)),
+            p90_gain_ms=float(np.percentile(array, 90)),
+            share_improved=float(np.mean(array > 0)),
+            share_meaningful=float(np.mean(array > 10.0)),
+        )
+    return out
+
+
+def gains_frame(
+    dataset: CampaignDataset,
+    sites: Sequence[EdgeSite],
+    model: LatencyModel = None,
+) -> Frame:
+    """Gain summaries as a Frame, figure-order rows."""
+    summaries = gains_by_continent(dataset, sites, model)
+    order = ("NA", "EU", "OC", "AS", "SA", "AF")
+    records = [
+        {
+            "continent": c,
+            "probes": summaries[c].probes,
+            "median_gain_ms": round(summaries[c].median_gain_ms, 2),
+            "p90_gain_ms": round(summaries[c].p90_gain_ms, 2),
+            "share_improved": round(summaries[c].share_improved, 3),
+            "share_meaningful": round(summaries[c].share_meaningful, 3),
+        }
+        for c in order
+        if c in summaries
+    ]
+    return Frame.from_records(
+        records,
+        columns=[
+            "continent", "probes", "median_gain_ms", "p90_gain_ms",
+            "share_improved", "share_meaningful",
+        ],
+    )
+
+
+def cost_per_improved_user_kusd(
+    dataset: CampaignDataset,
+    sites: Sequence[EdgeSite],
+    model: LatencyModel = None,
+) -> float:
+    """Deployment cost divided by meaningfully-improved probe count.
+
+    A blunt instrument, but enough to show why "marked gains in latency
+    are possible only via a wide and expensive deployment" (§5).
+    """
+    gains = deployment_gains(dataset, sites, model)
+    improved = sum(1 for gain in gains.values() if gain > 10.0)
+    if improved == 0:
+        return float("inf")
+    return deployment_cost_kusd(tuple(sites)) / improved

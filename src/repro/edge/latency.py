@@ -1,0 +1,77 @@
+"""Probe-to-edge latency evaluation.
+
+Evaluates a hypothetical deployment against the probe fleet using the
+same latency machinery as the cloud measurements, so cloud-vs-edge
+comparisons are apples-to-apples:
+
+* gateway/national sites: last-mile + domestic/gateway transit to the
+  nearest site (floor RTT, i.e. the same optimistic lens as Figure 4/5);
+* basestation sites: last-mile + a fixed processing hop — the best any
+  network placement can ever do, which is exactly the bound the paper
+  uses to argue MTP-class apps are unreachable over radio.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.atlas.probes import Probe
+from repro.edge.sites import DeploymentStrategy, EdgeSite
+from repro.errors import ReproError
+from repro.net.lastmile import floor_ms
+from repro.net.pathmodel import LatencyModel
+from repro.geo.countries import get_country
+
+#: RTT spent inside a basestation-colocated edge server (scheduling,
+#: virtualization) — generous, per Hadzic et al.'s measurements.
+BASESTATION_PROCESSING_MS = 1.5
+
+#: Only sites within this many candidate evaluations are considered per
+#: probe (nearest by great circle first) — a performance guard.
+_CANDIDATE_SITES = 6
+
+
+def edge_floor_rtt_ms(
+    probe: Probe,
+    sites: Sequence[EdgeSite],
+    model: LatencyModel,
+) -> Tuple[float, EdgeSite]:
+    """Best-case RTT from ``probe`` to its best site, and that site."""
+    if not sites:
+        raise ReproError("no edge sites to evaluate")
+    if sites[0].strategy is DeploymentStrategy.BASESTATION:
+        access = floor_ms(probe.access, probe.country.infra_tier)
+        marker = next(
+            (s for s in sites if s.country_code == probe.country_code), sites[0]
+        )
+        return access + BASESTATION_PROCESSING_MS, marker
+
+    ranked = sorted(
+        sites, key=lambda site: probe.location.distance_km(site.location)
+    )[:_CANDIDATE_SITES]
+    best_rtt = None
+    best_site = None
+    for site in ranked:
+        rtt = model.floor_rtt_ms(
+            probe.location,
+            probe.country,
+            probe.access,
+            site.location,
+            get_country(site.country_code),
+        )
+        if best_rtt is None or rtt < best_rtt:
+            best_rtt = rtt
+            best_site = site
+    return best_rtt, best_site
+
+
+def evaluate_deployment(
+    probes: Sequence[Probe],
+    sites: Sequence[EdgeSite],
+    model: LatencyModel,
+) -> Dict[int, float]:
+    """Floor RTT per probe id for a deployment."""
+    return {
+        probe.probe_id: edge_floor_rtt_ms(probe, sites, model)[0]
+        for probe in probes
+    }

@@ -1,0 +1,166 @@
+"""Hypothetical edge-server deployments.
+
+The paper's discussion (§5-6) keeps asking: *if* someone deployed a
+general-purpose edge, where would it sit and what would it cost?  This
+module materializes the three deployment shapes that debate revolves
+around:
+
+* **gateway** — servers at the interconnection metros (the ISP/IXP edge
+  the paper notes cloud providers are already moving into);
+* **national** — one or more sites per country, near the population
+  center (the "telco edge" of MEC standardization);
+* **basestation** — compute colocated with the access network itself,
+  the radical fringe of the edge vision (Hadzic et al., whom the paper
+  cites, measured exactly this).
+
+Each strategy yields :class:`EdgeSite` records that
+:mod:`repro.edge.latency` can evaluate against the probe fleet.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ReproError
+from repro.geo.coordinates import LatLon
+from repro.geo.countries import countries_with_probes
+from repro.net.cables import GATEWAYS
+
+
+class DeploymentStrategy(enum.Enum):
+    """Where the hypothetical edge servers are placed."""
+
+    GATEWAY = "gateway"
+    NATIONAL = "national"
+    BASESTATION = "basestation"
+
+
+@dataclass(frozen=True)
+class EdgeSite:
+    """One edge-server location."""
+
+    site_id: str
+    country_code: str
+    location: LatLon
+    strategy: DeploymentStrategy
+
+    @property
+    def is_basestation(self) -> bool:
+        return self.strategy is DeploymentStrategy.BASESTATION
+
+
+#: Rough cost of building and operating one edge site for a year, in
+#: thousands of USD, by the host country's infrastructure tier.  Poorer
+#: infrastructure means higher build-out cost (the paper's economies-of-
+#: scale argument, §5).
+SITE_COST_KUSD: Dict[int, float] = {1: 180.0, 2: 220.0, 3: 290.0, 4: 400.0}
+
+
+def gateway_deployment() -> Tuple[EdgeSite, ...]:
+    """One edge site at every interconnection gateway (~60 sites)."""
+    sites = []
+    for name, gateway in GATEWAYS.items():
+        sites.append(
+            EdgeSite(
+                site_id=f"gw:{name}",
+                country_code=gateway.country,
+                location=gateway.location,
+                strategy=DeploymentStrategy.GATEWAY,
+            )
+        )
+    return tuple(sites)
+
+
+def national_deployment(sites_per_country: int = 1) -> Tuple[EdgeSite, ...]:
+    """``sites_per_country`` edge sites in every probed country.
+
+    The first site sits at the population center; extra sites spread on a
+    ring around it (a crude national footprint).
+    """
+    if sites_per_country < 1:
+        raise ReproError(f"sites_per_country must be >= 1: {sites_per_country}")
+    from repro.atlas.population import PROBE_CENTER_OVERRIDES
+    from repro.geo.coordinates import destination_point
+
+    sites: List[EdgeSite] = []
+    for country in countries_with_probes():
+        override = PROBE_CENTER_OVERRIDES.get(country.iso2)
+        if override:
+            center = LatLon(override[0], override[1])
+            ring_km = min(override[2], country.scatter_radius_km)
+        else:
+            center = country.centroid
+            ring_km = country.scatter_radius_km
+        sites.append(
+            EdgeSite(
+                site_id=f"nat:{country.iso2}:0",
+                country_code=country.iso2,
+                location=center,
+                strategy=DeploymentStrategy.NATIONAL,
+            )
+        )
+        for extra in range(1, sites_per_country):
+            bearing = 360.0 * (extra - 1) / max(1, sites_per_country - 1)
+            spot = destination_point(center, bearing, ring_km * 0.7)
+            sites.append(
+                EdgeSite(
+                    site_id=f"nat:{country.iso2}:{extra}",
+                    country_code=country.iso2,
+                    location=spot,
+                    strategy=DeploymentStrategy.NATIONAL,
+                )
+            )
+    return tuple(sites)
+
+
+def basestation_deployment() -> Tuple[EdgeSite, ...]:
+    """The degenerate 'everywhere' deployment.
+
+    Basestation colocation means every probe has a site at its own access
+    point; there is no site list to enumerate, so this returns a single
+    marker site per country and :mod:`repro.edge.latency` special-cases
+    the strategy (RTT = last-mile + a processing hop).
+    """
+    return tuple(
+        EdgeSite(
+            site_id=f"bs:{country.iso2}",
+            country_code=country.iso2,
+            location=country.centroid,
+            strategy=DeploymentStrategy.BASESTATION,
+        )
+        for country in countries_with_probes()
+    )
+
+
+def deployment_for(strategy: DeploymentStrategy, sites_per_country: int = 1):
+    """Site list for a strategy (convenience dispatcher)."""
+    if strategy is DeploymentStrategy.GATEWAY:
+        return gateway_deployment()
+    if strategy is DeploymentStrategy.NATIONAL:
+        return national_deployment(sites_per_country)
+    if strategy is DeploymentStrategy.BASESTATION:
+        return basestation_deployment()
+    raise ReproError(f"unknown strategy: {strategy}")  # pragma: no cover
+
+
+def deployment_cost_kusd(sites: Tuple[EdgeSite, ...]) -> float:
+    """Annualized cost of a deployment, thousands of USD.
+
+    Basestation deployments are priced per *country-wide basestation
+    fleet*: one marker site stands for ~N basestations, so the marker is
+    multiplied out by a density factor.
+    """
+    from repro.geo.countries import get_country
+
+    total = 0.0
+    for site in sites:
+        tier = get_country(site.country_code).infra_tier
+        unit = SITE_COST_KUSD[tier]
+        if site.is_basestation:
+            # One compute blade per ~50 basestations, thousands of them
+            # per country: two orders of magnitude above a metro site.
+            unit *= 100.0
+        total += unit
+    return total

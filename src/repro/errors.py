@@ -1,0 +1,83 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GeoError(ReproError):
+    """Invalid geographic input (unknown country, bad coordinates, ...)."""
+
+
+class UnknownCountryError(GeoError):
+    """A country lookup failed."""
+
+    def __init__(self, code: str):
+        super().__init__(f"unknown country: {code!r}")
+        self.code = code
+
+
+class FrameError(ReproError):
+    """Invalid dataframe operation."""
+
+
+class ColumnError(FrameError):
+    """A column lookup or column-shape constraint failed."""
+
+
+class NetworkModelError(ReproError):
+    """The latency model was asked for an impossible path or parameter."""
+
+
+class AtlasError(ReproError):
+    """Base class for RIPE-Atlas-simulator errors."""
+
+
+class AtlasAPIError(AtlasError):
+    """The simulated Atlas API rejected a request.
+
+    Mirrors the error envelope of the real REST API: a status code plus a
+    human-readable detail string.
+    """
+
+    def __init__(self, status: int, detail: str):
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = status
+        self.detail = detail
+
+
+class QuotaExceededError(AtlasAPIError):
+    """The requesting account ran out of credits or hit a rate limit."""
+
+    def __init__(self, detail: str = "credit quota exceeded"):
+        super().__init__(402, detail)
+
+
+class MeasurementNotFoundError(AtlasAPIError):
+    """A measurement id does not exist on the platform."""
+
+    def __init__(self, msm_id: int):
+        super().__init__(404, f"measurement {msm_id} not found")
+        self.msm_id = msm_id
+
+
+class ProbeSelectionError(AtlasError):
+    """A probe source expression matched no usable probes."""
+
+
+class ResultParseError(AtlasError):
+    """A raw result blob could not be parsed (sagan-style)."""
+
+
+class CampaignError(ReproError):
+    """Campaign configuration or execution failed."""
+
+
+class CrawlerError(ReproError):
+    """The scholar crawler hit a terminal condition (e.g. blocked)."""

@@ -1,0 +1,41 @@
+"""Mini column-store dataframe (pandas stand-in for the offline environment)."""
+
+from repro.frame.columns import Column, as_column_array
+from repro.frame.frame import Frame
+from repro.frame.groupby import REDUCERS, aggregate, count_by, group_by, group_indices
+from repro.frame.io import (
+    from_csv_text,
+    from_json_text,
+    read_csv,
+    read_json,
+    to_csv_text,
+    to_json_text,
+    write_csv,
+    write_json,
+)
+from repro.frame.stats import ECDF, Summary, bucketize, ecdf, fraction_below, summarize
+
+__all__ = [
+    "Column",
+    "ECDF",
+    "Frame",
+    "REDUCERS",
+    "Summary",
+    "aggregate",
+    "as_column_array",
+    "bucketize",
+    "count_by",
+    "ecdf",
+    "fraction_below",
+    "from_csv_text",
+    "from_json_text",
+    "group_by",
+    "group_indices",
+    "read_csv",
+    "read_json",
+    "summarize",
+    "to_csv_text",
+    "to_json_text",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,166 @@
+"""Typed column store underlying :class:`repro.frame.Frame`.
+
+pandas is not available in the offline environment, so the analysis layer
+runs on this small column abstraction: a named, 1-D numpy array with a
+handful of type-aware conveniences.  Numeric columns are stored as
+``float64``/``int64`` arrays; string columns as ``object`` arrays (numpy
+unicode arrays silently truncate, which we must not risk with country names).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ColumnError
+
+ArrayLike = Union[Sequence[Any], np.ndarray]
+
+
+def as_column_array(values: ArrayLike) -> np.ndarray:
+    """Coerce ``values`` into a 1-D array suitable for a column.
+
+    Numeric input becomes ``float64`` or ``int64``; booleans stay boolean;
+    everything else is stored as ``object``.
+    """
+    if isinstance(values, np.ndarray):
+        array = values
+    else:
+        values = list(values)
+        array = np.asarray(values)
+        if array.dtype.kind in ("U", "S"):
+            # Re-wrap strings as objects to avoid fixed-width truncation
+            # on later appends.
+            array = np.asarray(values, dtype=object)
+    if array.ndim != 1:
+        raise ColumnError(f"columns must be 1-D, got shape {array.shape}")
+    if array.dtype.kind in ("U", "S"):
+        array = array.astype(object)
+    return array
+
+
+class Column:
+    """A named, immutable-by-convention 1-D array."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str, values: ArrayLike):
+        if not name:
+            raise ColumnError("column name must be non-empty")
+        self.name = name
+        self.values = as_column_array(values)
+
+    # -- basic protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __getitem__(self, index):
+        return self.values[index]
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, n={len(self)}, dtype={self.values.dtype})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return self.name == other.name and np.array_equal(
+            self.values, other.values
+        )
+
+    # -- type information --------------------------------------------------
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.values.dtype.kind in ("f", "i", "u")
+
+    @property
+    def is_boolean(self) -> bool:
+        return self.values.dtype.kind == "b"
+
+    # -- transformations ---------------------------------------------------
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """New column with rows reordered/selected by integer ``indices``."""
+        return Column(self.name, self.values[indices])
+
+    def mask(self, predicate: np.ndarray) -> "Column":
+        """New column with rows where the boolean ``predicate`` holds."""
+        if predicate.dtype.kind != "b":
+            raise ColumnError("mask expects a boolean array")
+        if len(predicate) != len(self):
+            raise ColumnError(
+                f"mask length {len(predicate)} != column length {len(self)}"
+            )
+        return Column(self.name, self.values[predicate])
+
+    def rename(self, name: str) -> "Column":
+        return Column(name, self.values)
+
+    def astype(self, dtype) -> "Column":
+        return Column(self.name, self.values.astype(dtype))
+
+    def concat(self, other: "Column") -> "Column":
+        """This column followed by ``other`` (names must match)."""
+        if other.name != self.name:
+            raise ColumnError(
+                f"cannot concat column {other.name!r} onto {self.name!r}"
+            )
+        if self.values.dtype == object or other.values.dtype == object:
+            merged = np.concatenate(
+                [self.values.astype(object), other.values.astype(object)]
+            )
+        else:
+            merged = np.concatenate([self.values, other.values])
+        return Column(self.name, merged)
+
+    # -- reductions ----------------------------------------------------------
+
+    def _require_numeric(self, op: str) -> np.ndarray:
+        if not self.is_numeric:
+            raise ColumnError(f"{op}() requires a numeric column, not {self.name!r}")
+        return self.values
+
+    def min(self) -> float:
+        return float(np.min(self._require_numeric("min")))
+
+    def max(self) -> float:
+        return float(np.max(self._require_numeric("max")))
+
+    def mean(self) -> float:
+        return float(np.mean(self._require_numeric("mean")))
+
+    def median(self) -> float:
+        return float(np.median(self._require_numeric("median")))
+
+    def sum(self) -> float:
+        return float(np.sum(self._require_numeric("sum")))
+
+    def std(self) -> float:
+        return float(np.std(self._require_numeric("std")))
+
+    def percentile(self, q: float) -> float:
+        if not 0.0 <= q <= 100.0:
+            raise ColumnError(f"percentile q must be in [0, 100], got {q}")
+        return float(np.percentile(self._require_numeric("percentile"), q))
+
+    def unique(self) -> list:
+        """Distinct values in first-appearance order."""
+        seen = set()
+        out = []
+        for value in self.values:
+            if value not in seen:
+                seen.add(value)
+                out.append(value)
+        return out
+
+    def value_counts(self) -> dict:
+        """Mapping value -> occurrence count, insertion-ordered."""
+        counts: dict = {}
+        for value in self.values:
+            counts[value] = counts.get(value, 0) + 1
+        return counts

@@ -1,0 +1,324 @@
+"""The :class:`Frame` column-store dataframe.
+
+A deliberately small subset of the pandas API, sufficient for the paper's
+analysis pipeline: construction from dicts/records, boolean filtering,
+column projection, sorting, concatenation, and row access.  Group-by lives
+in :mod:`repro.frame.groupby`, distribution statistics in
+:mod:`repro.frame.stats`, and serialization in :mod:`repro.frame.io`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ColumnError, FrameError
+from repro.frame.columns import ArrayLike, Column
+
+
+class Frame:
+    """An ordered collection of equal-length named columns."""
+
+    def __init__(self, columns: Mapping[str, ArrayLike] = None):
+        self._columns: Dict[str, Column] = {}
+        self._length = 0
+        if columns:
+            for name, values in columns.items():
+                self._add_column(Column(name, values))
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls, records: Iterable[Mapping[str, Any]], columns: Sequence[str] = None
+    ) -> "Frame":
+        """Build a frame from an iterable of dict-like rows.
+
+        ``columns`` fixes the column set and order; when omitted it is taken
+        from the first record (all records must then share its keys).
+        """
+        records = list(records)
+        if not records and columns is None:
+            return cls()
+        if columns is None:
+            columns = list(records[0].keys())
+        data: Dict[str, list] = {name: [] for name in columns}
+        for i, record in enumerate(records):
+            for name in columns:
+                try:
+                    data[name].append(record[name])
+                except KeyError:
+                    raise FrameError(
+                        f"record {i} is missing column {name!r}"
+                    ) from None
+        return cls(data)
+
+    @classmethod
+    def from_columns(cls, columns: Iterable[Column]) -> "Frame":
+        frame = cls()
+        for column in columns:
+            frame._add_column(column)
+        return frame
+
+    def _add_column(self, column: Column) -> None:
+        if column.name in self._columns:
+            raise ColumnError(f"duplicate column {column.name!r}")
+        if self._columns and len(column) != self._length:
+            raise ColumnError(
+                f"column {column.name!r} has length {len(column)}, "
+                f"frame has {self._length}"
+            )
+        self._columns[column.name] = column
+        self._length = len(column)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(self._columns)
+
+    @property
+    def num_rows(self) -> int:
+        return self._length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __repr__(self) -> str:
+        return f"Frame(rows={self._length}, columns={list(self._columns)})"
+
+    def is_empty(self) -> bool:
+        return self._length == 0
+
+    # -- column access -----------------------------------------------------------
+
+    def col(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise ColumnError(
+                f"no column {name!r}; available: {list(self._columns)}"
+            ) from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.col(name).values
+
+    # -- row access ----------------------------------------------------------------
+
+    def row(self, index: int) -> Dict[str, Any]:
+        if not -self._length <= index < self._length:
+            raise FrameError(f"row index {index} out of range for {self._length} rows")
+        return {name: col.values[index] for name, col in self._columns.items()}
+
+    def iter_rows(self) -> Iterator[Dict[str, Any]]:
+        for i in range(self._length):
+            yield self.row(i)
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        return list(self.iter_rows())
+
+    # -- transformations ---------------------------------------------------------------
+
+    def select(self, names: Sequence[str]) -> "Frame":
+        """Project onto the given columns, in the given order."""
+        return Frame.from_columns(self.col(name) for name in names)
+
+    def with_column(self, name: str, values: ArrayLike) -> "Frame":
+        """New frame with an extra (or replaced) column appended."""
+        frame = Frame()
+        for col_name, column in self._columns.items():
+            if col_name != name:
+                frame._add_column(column)
+        frame._add_column(Column(name, values))
+        return frame
+
+    def rename(self, mapping: Mapping[str, str]) -> "Frame":
+        frame = Frame()
+        for name, column in self._columns.items():
+            frame._add_column(column.rename(mapping.get(name, name)))
+        return frame
+
+    def filter(self, predicate) -> "Frame":
+        """Rows where ``predicate`` holds.
+
+        ``predicate`` is either a boolean numpy array of frame length, or a
+        callable applied to each row dict (slower; for convenience in tests
+        and examples).
+        """
+        if callable(predicate):
+            mask = np.fromiter(
+                (bool(predicate(row)) for row in self.iter_rows()),
+                dtype=bool,
+                count=self._length,
+            )
+        else:
+            mask = np.asarray(predicate)
+            if mask.dtype.kind != "b":
+                raise FrameError("filter mask must be boolean")
+            if len(mask) != self._length:
+                raise FrameError(
+                    f"filter mask length {len(mask)} != frame length {self._length}"
+                )
+        return Frame.from_columns(col.mask(mask) for col in self._columns.values())
+
+    def take(self, indices: ArrayLike) -> "Frame":
+        indices = np.asarray(indices, dtype=np.intp)
+        return Frame.from_columns(col.take(indices) for col in self._columns.values())
+
+    def head(self, n: int = 5) -> "Frame":
+        return self.take(np.arange(min(n, self._length)))
+
+    def sort_by(self, name: str, descending: bool = False) -> "Frame":
+        """Stable sort by one column."""
+        order = np.argsort(self.col(name).values, kind="stable")
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def concat(self, other: "Frame") -> "Frame":
+        """This frame's rows followed by ``other``'s (same column sets)."""
+        if self.is_empty() and not self._columns:
+            return other
+        if other.is_empty() and not other._columns:
+            return self
+        if set(self.columns) != set(other.columns):
+            raise FrameError(
+                f"cannot concat frames with columns {self.columns} and {other.columns}"
+            )
+        return Frame.from_columns(
+            self._columns[name].concat(other.col(name)) for name in self.columns
+        )
+
+    @staticmethod
+    def concat_all(frames: Iterable["Frame"]) -> "Frame":
+        result = Frame()
+        for frame in frames:
+            result = result.concat(frame)
+        return result
+
+    def join(self, other: "Frame", on: str, how: str = "inner") -> "Frame":
+        """Join with ``other`` on an equality key.
+
+        ``how`` is ``"inner"`` (drop unmatched left rows) or ``"left"``
+        (keep them, filling the right side's columns with ``None``).
+        ``other`` must have unique key values — this is a lookup join,
+        which is all the analysis layer needs (joining samples against
+        probe or country metadata).
+        """
+        if how not in ("inner", "left"):
+            raise FrameError(f"unsupported join type {how!r}")
+        right_keys = list(other.col(on).values)
+        if len(set(right_keys)) != len(right_keys):
+            raise FrameError(f"join key {on!r} is not unique in the right frame")
+        lookup = {key: index for index, key in enumerate(right_keys)}
+        right_columns = [name for name in other.columns if name != on]
+        data: Dict[str, list] = {name: [] for name in self.columns}
+        for name in right_columns:
+            if name in data:
+                raise FrameError(f"join would duplicate column {name!r}")
+            data[name] = []
+        for row_index in range(self._length):
+            key = self.col(on).values[row_index]
+            match = lookup.get(key)
+            if match is None and how == "inner":
+                continue
+            for name in self.columns:
+                data[name].append(self.col(name).values[row_index])
+            for name in right_columns:
+                value = other.col(name).values[match] if match is not None else None
+                data[name].append(value)
+        return Frame(data)
+
+    def pivot(self, index: str, columns: str, values: str, fill=None) -> "Frame":
+        """Long-to-wide reshape.
+
+        Distinct values of ``columns`` become new columns holding
+        ``values``, one row per distinct ``index`` value.  Duplicate
+        (index, column) cells raise; missing cells take ``fill``.
+        """
+        column_names = []
+        for value in self.col(columns).values:
+            if value not in column_names:
+                column_names.append(value)
+        rows: Dict[Any, Dict[Any, Any]] = {}
+        order: List[Any] = []
+        idx_values = self.col(index).values
+        col_values = self.col(columns).values
+        val_values = self.col(values).values
+        for i in range(self._length):
+            key = idx_values[i]
+            if key not in rows:
+                rows[key] = {}
+                order.append(key)
+            if col_values[i] in rows[key]:
+                raise FrameError(
+                    f"pivot cell ({key!r}, {col_values[i]!r}) is duplicated"
+                )
+            rows[key][col_values[i]] = val_values[i]
+        data: Dict[str, list] = {index: order}
+        for name in column_names:
+            data[str(name)] = [rows[key].get(name, fill) for key in order]
+        return Frame(data)
+
+    def map_column(self, name: str, func: Callable[[Any], Any], out: str = None) -> "Frame":
+        """Apply ``func`` element-wise to column ``name``.
+
+        The result is stored under ``out`` (defaults to overwriting ``name``).
+        """
+        values = [func(value) for value in self.col(name).values]
+        return self.with_column(out or name, values)
+
+    # -- summaries -----------------------------------------------------------
+
+    def describe(self) -> "Frame":
+        """Summary statistics of every numeric column (pandas-style)."""
+        numeric = [name for name in self.columns if self.col(name).is_numeric]
+        if not numeric:
+            raise FrameError("describe() needs at least one numeric column")
+        stats = ("count", "mean", "std", "min", "median", "max")
+        data: Dict[str, list] = {"stat": list(stats)}
+        for name in numeric:
+            column = self.col(name)
+            data[name] = [
+                float(len(column)),
+                column.mean(),
+                column.std(),
+                column.min(),
+                column.median(),
+                column.max(),
+            ]
+        return Frame(data)
+
+    def to_markdown(self, float_fmt: str = "{:.2f}", max_rows: int = 50) -> str:
+        """Render as a GitHub-flavored Markdown table."""
+        header = "| " + " | ".join(self.columns) + " |"
+        separator = "|" + "|".join("---" for _ in self.columns) + "|"
+        lines = [header, separator]
+        for index, row in enumerate(self.iter_rows()):
+            if index >= max_rows:
+                lines.append(
+                    "| " + " | ".join("..." for _ in self.columns) + " |"
+                )
+                break
+            cells = []
+            for name in self.columns:
+                value = row[name]
+                if isinstance(value, float):
+                    cells.append(float_fmt.format(value))
+                else:
+                    cells.append(str(value))
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+    # -- equality (mostly for tests) -------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Frame):
+            return NotImplemented
+        if self.columns != other.columns or len(self) != len(other):
+            return False
+        return all(self._columns[name] == other._columns[name] for name in self.columns)

@@ -1,0 +1,111 @@
+"""Group-by engine for :class:`repro.frame.Frame`.
+
+Supports grouping on one or more key columns and aggregating value columns
+with named reducers — the operations the paper's per-country and
+per-continent analyses need.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import FrameError
+from repro.frame.frame import Frame
+
+#: Built-in reducer names accepted by :func:`aggregate`.
+REDUCERS: Dict[str, Callable[[np.ndarray], float]] = {
+    "min": lambda v: float(np.min(v)),
+    "max": lambda v: float(np.max(v)),
+    "mean": lambda v: float(np.mean(v)),
+    "median": lambda v: float(np.median(v)),
+    "sum": lambda v: float(np.sum(v)),
+    "std": lambda v: float(np.std(v)),
+    "count": lambda v: int(len(v)),
+    "p25": lambda v: float(np.percentile(v, 25)),
+    "p75": lambda v: float(np.percentile(v, 75)),
+    "p90": lambda v: float(np.percentile(v, 90)),
+    "p95": lambda v: float(np.percentile(v, 95)),
+    "p99": lambda v: float(np.percentile(v, 99)),
+}
+
+Reducer = Union[str, Callable[[np.ndarray], Any]]
+GroupKey = Union[Any, Tuple[Any, ...]]
+
+
+def _resolve_reducer(spec: Reducer) -> Callable[[np.ndarray], Any]:
+    if callable(spec):
+        return spec
+    try:
+        return REDUCERS[spec]
+    except KeyError:
+        raise FrameError(
+            f"unknown reducer {spec!r}; known: {sorted(REDUCERS)}"
+        ) from None
+
+
+def group_indices(frame: Frame, keys: Sequence[str]) -> "Dict[GroupKey, np.ndarray]":
+    """Row indices of each distinct key combination, insertion-ordered.
+
+    Single-key grouping uses the bare value as the group key; multi-key
+    grouping uses a tuple.
+    """
+    if not keys:
+        raise FrameError("group_indices requires at least one key column")
+    key_arrays = [frame.col(name).values for name in keys]
+    groups: Dict[GroupKey, List[int]] = {}
+    single = len(key_arrays) == 1
+    for i in range(len(frame)):
+        if single:
+            key: GroupKey = key_arrays[0][i]
+        else:
+            key = tuple(array[i] for array in key_arrays)
+        groups.setdefault(key, []).append(i)
+    return {key: np.asarray(rows, dtype=np.intp) for key, rows in groups.items()}
+
+
+def group_by(frame: Frame, keys: Sequence[str]) -> Iterator[Tuple[GroupKey, Frame]]:
+    """Yield ``(key, subframe)`` for each group, insertion-ordered."""
+    for key, indices in group_indices(frame, keys).items():
+        yield key, frame.take(indices)
+
+
+def aggregate(
+    frame: Frame,
+    keys: Sequence[str],
+    spec: Mapping[str, Tuple[str, Reducer]],
+) -> Frame:
+    """Aggregate ``frame`` grouped by ``keys``.
+
+    ``spec`` maps *output column* -> ``(input column, reducer)`` where the
+    reducer is a name from :data:`REDUCERS` or any callable on a numpy array.
+
+    Example::
+
+        aggregate(samples, ["continent"], {
+            "rtt_min": ("rtt", "min"),
+            "rtt_p95": ("rtt", "p95"),
+            "n": ("rtt", "count"),
+        })
+    """
+    keys = list(keys)
+    out: Dict[str, list] = {name: [] for name in keys}
+    for output_name in spec:
+        if output_name in out:
+            raise FrameError(f"aggregate output {output_name!r} collides with a key")
+        out[output_name] = []
+
+    for key, indices in group_indices(frame, keys).items():
+        key_values = key if isinstance(key, tuple) and len(keys) > 1 else (key,)
+        for name, value in zip(keys, key_values):
+            out[name].append(value)
+        for output_name, (input_name, reducer) in spec.items():
+            values = frame.col(input_name).values[indices]
+            out[output_name].append(_resolve_reducer(reducer)(values))
+    return Frame(out)
+
+
+def count_by(frame: Frame, key: str) -> Frame:
+    """Convenience: rows per distinct value of ``key``."""
+    return aggregate(frame, [key], {"count": (key, "count")})

@@ -1,0 +1,98 @@
+"""Frame serialization: CSV and JSON round-trips.
+
+The paper publishes its raw dataset for public use; :mod:`repro.core.dataset`
+uses these helpers to export the synthetic equivalent in the same spirit.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import FrameError
+from repro.frame.frame import Frame
+
+PathLike = Union[str, Path]
+
+
+def _coerce(text: str):
+    """Best-effort typed parse of a CSV cell: int, then float, then str."""
+    if text == "":
+        return ""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def to_csv_text(frame: Frame) -> str:
+    """Serialize a frame to CSV text (header + rows)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(frame.columns)
+    for row in frame.iter_rows():
+        writer.writerow([row[name] for name in frame.columns])
+    return buffer.getvalue()
+
+
+def from_csv_text(text: str) -> Frame:
+    """Parse CSV text produced by :func:`to_csv_text`.
+
+    Numeric-looking cells are coerced to int/float; this matches how the
+    frame was numeric before serialization for all datasets we produce.
+    """
+    reader = csv.reader(io.StringIO(text))
+    rows = list(reader)
+    if not rows:
+        raise FrameError("cannot parse empty CSV")
+    header = rows[0]
+    records = [
+        {name: _coerce(cell) for name, cell in zip(header, row)} for row in rows[1:]
+    ]
+    return Frame.from_records(records, columns=header)
+
+
+def write_csv(frame: Frame, path: PathLike) -> None:
+    Path(path).write_text(to_csv_text(frame), encoding="utf-8")
+
+
+def read_csv(path: PathLike) -> Frame:
+    return from_csv_text(Path(path).read_text(encoding="utf-8"))
+
+
+def to_json_text(frame: Frame, indent: int = None) -> str:
+    """Serialize to a JSON object of column arrays (compact and typed)."""
+    payload = {}
+    for name in frame.columns:
+        values = frame[name]
+        payload[name] = [_jsonable(value) for value in values]
+    return json.dumps(payload, indent=indent)
+
+
+def _jsonable(value):
+    """Convert numpy scalars to plain Python for json.dumps."""
+    if hasattr(value, "item"):
+        return value.item()
+    return value
+
+
+def from_json_text(text: str) -> Frame:
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise FrameError("frame JSON must be an object of column arrays")
+    return Frame(payload)
+
+
+def write_json(frame: Frame, path: PathLike, indent: int = None) -> None:
+    Path(path).write_text(to_json_text(frame, indent=indent), encoding="utf-8")
+
+
+def read_json(path: PathLike) -> Frame:
+    return from_json_text(Path(path).read_text(encoding="utf-8"))

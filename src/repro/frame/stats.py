@@ -1,0 +1,150 @@
+"""Distribution statistics: ECDFs, percentiles, and summary tables.
+
+The paper's core figures (5 and 6) are CDFs of latency samples; this module
+implements the empirical CDF machinery those figures and their benchmark
+harnesses share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import FrameError
+
+
+@dataclass(frozen=True)
+class ECDF:
+    """An empirical cumulative distribution function.
+
+    ``x`` is sorted ascending; ``p[i]`` is the fraction of samples ``<= x[i]``.
+    """
+
+    x: np.ndarray
+    p: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.p):
+            raise FrameError("ECDF x and p must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.x)
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of samples ``<= threshold``."""
+        if len(self.x) == 0:
+            raise FrameError("fraction_below on empty ECDF")
+        idx = np.searchsorted(self.x, threshold, side="right")
+        if idx == 0:
+            return 0.0
+        return float(self.p[idx - 1])
+
+    def quantile(self, q: float) -> float:
+        """Smallest x with cumulative probability >= q (q in [0, 1])."""
+        if not 0.0 <= q <= 1.0:
+            raise FrameError(f"quantile q must be in [0, 1], got {q}")
+        if len(self.x) == 0:
+            raise FrameError("quantile on empty ECDF")
+        idx = np.searchsorted(self.p, q, side="left")
+        idx = min(idx, len(self.x) - 1)
+        return float(self.x[idx])
+
+    def sample_points(self, num: int = 100) -> "ECDF":
+        """Downsample to ~``num`` evenly spaced points for plotting/export."""
+        if num <= 0:
+            raise FrameError("sample_points needs num > 0")
+        if len(self.x) <= num:
+            return self
+        indices = np.linspace(0, len(self.x) - 1, num).astype(np.intp)
+        return ECDF(self.x[indices], self.p[indices])
+
+
+def ecdf(values: Sequence[float]) -> ECDF:
+    """Build an ECDF from raw samples."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise FrameError("ecdf expects a 1-D sample array")
+    if len(array) == 0:
+        return ECDF(np.empty(0), np.empty(0))
+    x = np.sort(array)
+    p = np.arange(1, len(x) + 1, dtype=np.float64) / len(x)
+    return ECDF(x, p)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    minimum: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+    mean: float
+    std: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "p95": self.p95,
+            "max": self.maximum,
+            "mean": self.mean,
+            "std": self.std,
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of a non-empty numeric sample."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise FrameError("summarize on empty sample")
+    return Summary(
+        count=int(array.size),
+        minimum=float(np.min(array)),
+        p25=float(np.percentile(array, 25)),
+        median=float(np.median(array)),
+        p75=float(np.percentile(array, 75)),
+        p95=float(np.percentile(array, 95)),
+        maximum=float(np.max(array)),
+        mean=float(np.mean(array)),
+        std=float(np.std(array)),
+    )
+
+
+def fraction_below(values: Sequence[float], threshold: float) -> float:
+    """Fraction of ``values`` at or below ``threshold``."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise FrameError("fraction_below on empty sample")
+    return float(np.count_nonzero(array <= threshold) / array.size)
+
+
+def bucketize(values: Sequence[float], edges: Sequence[float]) -> Tuple[int, ...]:
+    """Count samples per bucket.
+
+    ``edges`` are ascending upper bounds; bucket ``i`` holds samples in
+    ``(edges[i-1], edges[i]]`` with bucket 0 being ``(-inf, edges[0]]``.
+    A final implicit bucket catches everything above the last edge, so the
+    returned tuple has ``len(edges) + 1`` entries.
+    """
+    edges = list(edges)
+    if edges != sorted(edges):
+        raise FrameError("bucketize edges must be ascending")
+    array = np.asarray(values, dtype=np.float64)
+    counts = [0] * (len(edges) + 1)
+    for value in array:
+        for i, edge in enumerate(edges):
+            if value <= edge:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    return tuple(counts)

@@ -1,0 +1,76 @@
+"""Continent registry.
+
+The paper groups results by six continents (Figures 5 and 6): North America,
+Europe, Oceania, Latin America, Asia, and Africa.  Note that the paper's
+"Latin America" grouping covers South America plus Central America and the
+Caribbean, so Mexico belongs to ``SA`` here even though it is geographically
+part of North America.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import GeoError
+
+
+@dataclass(frozen=True)
+class Continent:
+    """A continent as grouped by the paper's analysis."""
+
+    code: str
+    name: str
+    #: Display order used by the paper's figures (best connectivity first).
+    figure_order: int
+
+
+_CONTINENTS: Dict[str, Continent] = {
+    "NA": Continent("NA", "North America", 0),
+    "EU": Continent("EU", "Europe", 1),
+    "OC": Continent("OC", "Oceania", 2),
+    "AS": Continent("AS", "Asia", 3),
+    "SA": Continent("SA", "Latin America", 4),
+    "AF": Continent("AF", "Africa", 5),
+}
+
+#: Continent codes in the paper's figure order.
+CONTINENT_CODES: Tuple[str, ...] = tuple(
+    sorted(_CONTINENTS, key=lambda code: _CONTINENTS[code].figure_order)
+)
+
+#: Continents the paper calls "well-connected" (§5, §7).
+WELL_CONNECTED: Tuple[str, ...] = ("NA", "EU", "OC")
+
+#: Continents the paper identifies as under-served (§4.3, §6).
+UNDER_SERVED: Tuple[str, ...] = ("AS", "SA", "AF")
+
+#: Cross-continent measurement fallbacks (§4.1): probes in continents with
+#: low datacenter density also measure to adjacent continents.
+ADJACENT_TARGETS: Dict[str, Tuple[str, ...]] = {
+    "AF": ("EU",),
+    "SA": ("NA",),
+}
+
+
+def get_continent(code: str) -> Continent:
+    """Look up a continent by its two-letter code."""
+    try:
+        return _CONTINENTS[code.upper()]
+    except KeyError:
+        raise GeoError(f"unknown continent code: {code!r}") from None
+
+
+def all_continents() -> Tuple[Continent, ...]:
+    """All continents in the paper's figure order."""
+    return tuple(_CONTINENTS[code] for code in CONTINENT_CODES)
+
+
+def is_well_connected(code: str) -> bool:
+    """True when the paper treats this continent as well-connected."""
+    return get_continent(code).code in WELL_CONNECTED
+
+
+def adjacent_target_continents(code: str) -> Tuple[str, ...]:
+    """Extra continents probes in ``code`` measure to (paper §4.1)."""
+    return ADJACENT_TARGETS.get(get_continent(code).code, ())

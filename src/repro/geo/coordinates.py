@@ -1,0 +1,131 @@
+"""Geodesic coordinate math.
+
+The latency model is driven by great-circle distances between probes and
+datacenters, so this module provides a small, well-tested set of spherical
+geometry helpers.  Distances use the haversine formula on a spherical Earth,
+which is accurate to ~0.5 % — far below the path-inflation uncertainty of the
+latency model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.errors import GeoError
+
+#: Mean Earth radius in kilometres (IUGG).
+EARTH_RADIUS_KM = 6371.0088
+
+
+@dataclass(frozen=True, order=True)
+class LatLon:
+    """A point on the Earth's surface in decimal degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise GeoError(f"latitude out of range: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise GeoError(f"longitude out of range: {self.lon}")
+
+    def distance_km(self, other: "LatLon") -> float:
+        """Great-circle distance to ``other`` in kilometres."""
+        return haversine_km(self.lat, self.lon, other.lat, other.lon)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        return (self.lat, self.lon)
+
+
+def haversine_km(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance between two (lat, lon) points in kilometres."""
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2.0) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    )
+    # Clamp against floating-point drift before the asin.
+    a = min(1.0, max(0.0, a))
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(a))
+
+
+def initial_bearing_deg(origin: LatLon, target: LatLon) -> float:
+    """Initial bearing from ``origin`` to ``target`` in degrees [0, 360)."""
+    phi1 = math.radians(origin.lat)
+    phi2 = math.radians(target.lat)
+    dlam = math.radians(target.lon - origin.lon)
+    y = math.sin(dlam) * math.cos(phi2)
+    x = math.cos(phi1) * math.sin(phi2) - math.sin(phi1) * math.cos(phi2) * math.cos(dlam)
+    return (math.degrees(math.atan2(y, x)) + 360.0) % 360.0
+
+
+def destination_point(origin: LatLon, bearing_deg: float, distance_km: float) -> LatLon:
+    """Point reached travelling ``distance_km`` from ``origin`` at ``bearing_deg``."""
+    if distance_km < 0:
+        raise GeoError(f"distance must be non-negative, got {distance_km}")
+    delta = distance_km / EARTH_RADIUS_KM
+    theta = math.radians(bearing_deg)
+    phi1 = math.radians(origin.lat)
+    lam1 = math.radians(origin.lon)
+    sin_phi2 = math.sin(phi1) * math.cos(delta) + math.cos(phi1) * math.sin(delta) * math.cos(theta)
+    sin_phi2 = min(1.0, max(-1.0, sin_phi2))
+    phi2 = math.asin(sin_phi2)
+    y = math.sin(theta) * math.sin(delta) * math.cos(phi1)
+    x = math.cos(delta) - math.sin(phi1) * sin_phi2
+    lam2 = lam1 + math.atan2(y, x)
+    lon = math.degrees(lam2)
+    # Normalize longitude into [-180, 180].
+    lon = (lon + 540.0) % 360.0 - 180.0
+    return LatLon(math.degrees(phi2), lon)
+
+
+def midpoint(a: LatLon, b: LatLon) -> LatLon:
+    """Geodesic midpoint between two points."""
+    phi1 = math.radians(a.lat)
+    lam1 = math.radians(a.lon)
+    phi2 = math.radians(b.lat)
+    dlam = math.radians(b.lon - a.lon)
+    bx = math.cos(phi2) * math.cos(dlam)
+    by = math.cos(phi2) * math.sin(dlam)
+    phi3 = math.atan2(
+        math.sin(phi1) + math.sin(phi2),
+        math.sqrt((math.cos(phi1) + bx) ** 2 + by**2),
+    )
+    lam3 = lam1 + math.atan2(by, math.cos(phi1) + bx)
+    lon = (math.degrees(lam3) + 540.0) % 360.0 - 180.0
+    return LatLon(math.degrees(phi3), lon)
+
+
+def nearest(point: LatLon, candidates: Iterable[Tuple[str, LatLon]]) -> Tuple[str, float]:
+    """Return ``(key, distance_km)`` of the candidate closest to ``point``.
+
+    ``candidates`` is an iterable of ``(key, LatLon)`` pairs.  Raises
+    :class:`GeoError` when the iterable is empty.
+    """
+    best_key = None
+    best_dist = math.inf
+    for key, loc in candidates:
+        dist = point.distance_km(loc)
+        if dist < best_dist:
+            best_key, best_dist = key, dist
+    if best_key is None:
+        raise GeoError("nearest() called with no candidates")
+    return best_key, best_dist
+
+
+def bounding_box(points: Iterable[LatLon]) -> Tuple[LatLon, LatLon]:
+    """Axis-aligned bounding box ``(south_west, north_east)`` of ``points``."""
+    lats = []
+    lons = []
+    for point in points:
+        lats.append(point.lat)
+        lons.append(point.lon)
+    if not lats:
+        raise GeoError("bounding_box() called with no points")
+    return LatLon(min(lats), min(lons)), LatLon(max(lats), max(lons))

@@ -1,0 +1,314 @@
+"""Country database for the measurement study.
+
+Each record carries the attributes the reproduction needs:
+
+* ``centroid`` — drives geodesic distance in the latency model;
+* ``area_kkm2`` — controls how widely synthetic probes scatter inside the
+  country (thousands of square kilometres);
+* ``population_m`` / ``internet_share`` — used for reporting what share of
+  the world's population various latency bounds cover (paper abstract:
+  "majority of the world's population");
+* ``infra_tier`` — domestic network infrastructure quality, 1 (excellent)
+  to 4 (poor); feeds last-mile latency and path inflation in ``repro.net``;
+* ``atlas_probes`` — number of probes the synthetic Atlas population places
+  in the country.  The distribution mirrors the real platform's heavy
+  European bias.  Exactly 166 countries have at least one probe and the
+  total exceeds 3200, matching the paper's §4.1 footprint.
+
+Values are approximate circa-2019 figures; the latency model only depends on
+their relative magnitudes, never on their exact decimals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import UnknownCountryError
+from repro.geo.continents import get_continent
+from repro.geo.coordinates import LatLon
+
+
+@dataclass(frozen=True)
+class Country:
+    """A country (or territory) participating in the study."""
+
+    iso2: str
+    name: str
+    continent: str
+    centroid: LatLon
+    area_kkm2: float
+    population_m: float
+    internet_share: float
+    infra_tier: int
+    atlas_probes: int
+
+    @property
+    def internet_users_m(self) -> float:
+        """Estimated number of Internet users, in millions."""
+        return self.population_m * self.internet_share
+
+    @property
+    def scatter_radius_km(self) -> float:
+        """Radius within which synthetic probes scatter around the centroid.
+
+        Approximated as half the radius of a circle with the country's area,
+        capped so continental giants (RU, CA, US) do not scatter probes into
+        empty wilderness: population clusters are far smaller than the
+        landmass.
+        """
+        radius = (self.area_kkm2 * 1000.0 / 3.14159) ** 0.5 * 0.5
+        return min(radius, 900.0)
+
+
+# Record layout:
+#  iso2, name, continent, lat, lon, area_kkm2, pop_m, net_share, tier, probes
+_RAW: Tuple[Tuple[str, str, str, float, float, float, float, float, int, int], ...] = (
+    # --- Europe -----------------------------------------------------------
+    ("DE", "Germany", "EU", 51.2, 10.4, 357, 83.0, 0.93, 1, 420),
+    ("FR", "France", "EU", 46.6, 2.5, 549, 67.0, 0.91, 1, 290),
+    ("GB", "United Kingdom", "EU", 54.0, -2.5, 244, 66.8, 0.95, 1, 200),
+    ("NL", "Netherlands", "EU", 52.2, 5.5, 42, 17.3, 0.96, 1, 160),
+    ("RU", "Russia", "EU", 55.8, 49.1, 17098, 144.4, 0.83, 2, 120),
+    ("IT", "Italy", "EU", 42.9, 12.5, 301, 60.3, 0.85, 1, 105),
+    ("CZ", "Czechia", "EU", 49.8, 15.5, 79, 10.7, 0.88, 1, 80),
+    ("ES", "Spain", "EU", 40.3, -3.7, 506, 47.1, 0.93, 1, 70),
+    ("CH", "Switzerland", "EU", 46.8, 8.2, 41, 8.6, 0.96, 1, 70),
+    ("BE", "Belgium", "EU", 50.6, 4.7, 31, 11.5, 0.94, 1, 65),
+    ("SE", "Sweden", "EU", 60.1, 15.0, 450, 10.3, 0.96, 1, 65),
+    ("PL", "Poland", "EU", 52.1, 19.4, 313, 38.0, 0.85, 2, 65),
+    ("AT", "Austria", "EU", 47.6, 14.1, 84, 8.9, 0.90, 1, 55),
+    ("UA", "Ukraine", "EU", 49.0, 31.4, 604, 44.4, 0.75, 2, 50),
+    ("FI", "Finland", "EU", 62.9, 26.0, 338, 5.5, 0.96, 1, 45),
+    ("DK", "Denmark", "EU", 56.0, 9.6, 43, 5.8, 0.98, 1, 40),
+    ("NO", "Norway", "EU", 61.2, 8.8, 324, 5.3, 0.98, 1, 40),
+    ("RO", "Romania", "EU", 45.9, 24.9, 238, 19.4, 0.79, 2, 32),
+    ("GR", "Greece", "EU", 39.1, 22.9, 132, 10.7, 0.78, 2, 32),
+    ("IE", "Ireland", "EU", 53.2, -8.1, 70, 4.9, 0.92, 1, 30),
+    ("PT", "Portugal", "EU", 39.6, -8.0, 92, 10.3, 0.78, 1, 28),
+    ("BG", "Bulgaria", "EU", 42.8, 25.2, 111, 7.0, 0.70, 2, 26),
+    ("HU", "Hungary", "EU", 47.2, 19.4, 93, 9.8, 0.84, 2, 26),
+    ("SK", "Slovakia", "EU", 48.7, 19.5, 49, 5.5, 0.83, 2, 18),
+    ("HR", "Croatia", "EU", 45.1, 15.2, 57, 4.1, 0.79, 2, 14),
+    ("SI", "Slovenia", "EU", 46.1, 14.8, 20, 2.1, 0.83, 1, 12),
+    ("RS", "Serbia", "EU", 44.2, 20.8, 88, 7.0, 0.78, 2, 12),
+    ("LU", "Luxembourg", "EU", 49.8, 6.1, 3, 0.6, 0.97, 1, 12),
+    ("LT", "Lithuania", "EU", 55.3, 23.9, 65, 2.8, 0.82, 2, 10),
+    ("EE", "Estonia", "EU", 58.7, 25.5, 45, 1.3, 0.90, 1, 10),
+    ("LV", "Latvia", "EU", 56.9, 24.9, 65, 1.9, 0.87, 2, 9),
+    ("BY", "Belarus", "EU", 53.7, 28.0, 208, 9.4, 0.79, 2, 8),
+    ("IS", "Iceland", "EU", 64.9, -18.6, 103, 0.36, 0.99, 1, 8),
+    ("CY", "Cyprus", "EU", 35.0, 33.2, 9, 1.2, 0.86, 2, 5),
+    ("MT", "Malta", "EU", 35.9, 14.4, 0.3, 0.5, 0.86, 1, 4),
+    ("MD", "Moldova", "EU", 47.2, 28.5, 34, 2.7, 0.76, 3, 4),
+    ("BA", "Bosnia and Herzegovina", "EU", 44.2, 17.8, 51, 3.3, 0.72, 3, 4),
+    ("MK", "North Macedonia", "EU", 41.6, 21.7, 26, 2.1, 0.79, 3, 3),
+    ("AL", "Albania", "EU", 41.1, 20.1, 29, 2.9, 0.72, 3, 3),
+    ("ME", "Montenegro", "EU", 42.8, 19.3, 14, 0.6, 0.74, 3, 2),
+    ("AD", "Andorra", "EU", 42.5, 1.5, 0.5, 0.08, 0.92, 1, 1),
+    ("MC", "Monaco", "EU", 43.7, 7.4, 0.002, 0.04, 0.97, 1, 0),
+    ("LI", "Liechtenstein", "EU", 47.2, 9.5, 0.2, 0.04, 0.98, 1, 0),
+    ("SM", "San Marino", "EU", 43.9, 12.5, 0.06, 0.03, 0.60, 1, 0),
+    # --- North America ----------------------------------------------------
+    ("US", "United States", "NA", 39.8, -98.6, 9834, 328.2, 0.89, 1, 330),
+    ("CA", "Canada", "NA", 56.1, -106.3, 9985, 37.6, 0.93, 1, 75),
+    ("BM", "Bermuda", "NA", 32.3, -64.8, 0.05, 0.06, 0.98, 2, 0),
+    ("GL", "Greenland", "NA", 71.7, -42.6, 2166, 0.06, 0.69, 3, 0),
+    # --- Latin America (paper groups Central/South America + Caribbean) ---
+    ("BR", "Brazil", "SA", -14.2, -51.9, 8516, 211.0, 0.74, 3, 50),
+    ("MX", "Mexico", "SA", 23.6, -102.5, 1964, 127.6, 0.70, 3, 18),
+    ("AR", "Argentina", "SA", -38.4, -63.6, 2780, 44.9, 0.80, 3, 16),
+    ("CL", "Chile", "SA", -35.7, -71.5, 756, 19.0, 0.82, 2, 13),
+    ("CO", "Colombia", "SA", 4.6, -74.3, 1142, 50.3, 0.65, 3, 9),
+    ("PE", "Peru", "SA", -9.2, -75.0, 1285, 32.5, 0.60, 3, 6),
+    ("UY", "Uruguay", "SA", -32.5, -55.8, 176, 3.5, 0.83, 2, 5),
+    ("EC", "Ecuador", "SA", -1.8, -78.2, 276, 17.4, 0.57, 3, 4),
+    ("CR", "Costa Rica", "SA", 9.7, -83.8, 51, 5.0, 0.81, 3, 4),
+    ("VE", "Venezuela", "SA", 6.4, -66.6, 912, 28.5, 0.64, 4, 3),
+    ("PA", "Panama", "SA", 8.5, -80.8, 75, 4.2, 0.64, 3, 3),
+    ("BO", "Bolivia", "SA", -16.3, -63.6, 1099, 11.5, 0.44, 4, 2),
+    ("PY", "Paraguay", "SA", -23.4, -58.4, 407, 7.0, 0.65, 4, 2),
+    ("GT", "Guatemala", "SA", 15.8, -90.2, 109, 17.6, 0.41, 4, 2),
+    ("DO", "Dominican Republic", "SA", 18.7, -70.2, 49, 10.7, 0.74, 3, 2),
+    ("TT", "Trinidad and Tobago", "SA", 10.7, -61.2, 5, 1.4, 0.77, 3, 2),
+    ("HN", "Honduras", "SA", 15.2, -86.2, 113, 9.7, 0.32, 4, 1),
+    ("SV", "El Salvador", "SA", 13.8, -88.9, 21, 6.5, 0.34, 4, 1),
+    ("NI", "Nicaragua", "SA", 12.9, -85.2, 130, 6.5, 0.28, 4, 1),
+    ("CU", "Cuba", "SA", 21.5, -77.8, 110, 11.3, 0.57, 4, 1),
+    ("JM", "Jamaica", "SA", 18.1, -77.3, 11, 2.9, 0.55, 3, 1),
+    ("BS", "Bahamas", "SA", 25.0, -77.4, 14, 0.39, 0.85, 3, 1),
+    ("BB", "Barbados", "SA", 13.2, -59.5, 0.4, 0.29, 0.82, 3, 1),
+    ("HT", "Haiti", "SA", 19.0, -72.7, 28, 11.3, 0.32, 4, 0),
+    ("BZ", "Belize", "SA", 17.2, -88.7, 23, 0.39, 0.47, 4, 0),
+    ("SR", "Suriname", "SA", 4.0, -56.0, 164, 0.58, 0.49, 4, 0),
+    ("GY", "Guyana", "SA", 4.9, -58.9, 215, 0.78, 0.37, 4, 0),
+    ("CW", "Curacao", "SA", 12.2, -69.0, 0.4, 0.16, 0.68, 3, 0),
+    # --- Asia ---------------------------------------------------------------
+    ("JP", "Japan", "AS", 36.2, 138.3, 378, 126.3, 0.93, 1, 50),
+    ("IN", "India", "AS", 21.0, 78.0, 3287, 1366.4, 0.41, 3, 40),
+    ("SG", "Singapore", "AS", 1.35, 103.8, 0.7, 5.7, 0.89, 1, 24),
+    ("TR", "Turkey", "AS", 39.0, 35.2, 784, 83.4, 0.74, 2, 22),
+    ("CN", "China", "AS", 35.0, 105.0, 9597, 1397.7, 0.64, 2, 18),
+    ("IL", "Israel", "AS", 31.4, 35.0, 21, 9.1, 0.88, 1, 18),
+    ("HK", "Hong Kong", "AS", 22.3, 114.2, 1.1, 7.5, 0.92, 1, 14),
+    ("ID", "Indonesia", "AS", -2.5, 118.0, 1905, 270.6, 0.48, 3, 14),
+    ("KR", "South Korea", "AS", 36.5, 127.8, 100, 51.7, 0.96, 1, 13),
+    ("TH", "Thailand", "AS", 15.1, 101.0, 513, 69.6, 0.67, 3, 11),
+    ("IR", "Iran", "AS", 32.4, 53.7, 1648, 82.9, 0.70, 3, 10),
+    ("MY", "Malaysia", "AS", 4.2, 102.0, 331, 31.9, 0.84, 2, 9),
+    ("AE", "United Arab Emirates", "AS", 23.4, 53.8, 84, 9.8, 0.99, 1, 9),
+    ("TW", "Taiwan", "AS", 23.7, 121.0, 36, 23.6, 0.90, 1, 8),
+    ("PH", "Philippines", "AS", 12.9, 121.8, 300, 108.1, 0.43, 3, 7),
+    ("VN", "Vietnam", "AS", 14.1, 108.3, 331, 96.5, 0.69, 3, 7),
+    ("PK", "Pakistan", "AS", 30.4, 69.3, 881, 216.6, 0.25, 4, 6),
+    ("SA", "Saudi Arabia", "AS", 23.9, 45.1, 2150, 34.3, 0.93, 2, 6),
+    ("KZ", "Kazakhstan", "AS", 48.0, 66.9, 2725, 18.5, 0.79, 3, 6),
+    ("BD", "Bangladesh", "AS", 23.7, 90.4, 148, 163.0, 0.15, 4, 4),
+    ("GE", "Georgia", "AS", 42.3, 43.4, 70, 3.7, 0.69, 3, 4),
+    ("LK", "Sri Lanka", "AS", 7.9, 80.8, 66, 21.8, 0.34, 3, 3),
+    ("NP", "Nepal", "AS", 28.4, 84.1, 147, 28.6, 0.34, 4, 3),
+    ("JO", "Jordan", "AS", 31.3, 36.4, 89, 10.1, 0.67, 3, 3),
+    ("AM", "Armenia", "AS", 40.1, 45.0, 30, 3.0, 0.65, 3, 3),
+    ("AZ", "Azerbaijan", "AS", 40.1, 47.6, 87, 10.0, 0.80, 3, 3),
+    ("UZ", "Uzbekistan", "AS", 41.4, 64.6, 447, 33.6, 0.55, 4, 3),
+    ("MM", "Myanmar", "AS", 21.9, 96.0, 677, 54.0, 0.31, 4, 2),
+    ("KH", "Cambodia", "AS", 12.5, 104.9, 181, 16.5, 0.40, 4, 2),
+    ("MN", "Mongolia", "AS", 46.9, 103.8, 1564, 3.2, 0.51, 4, 2),
+    ("KG", "Kyrgyzstan", "AS", 41.2, 74.8, 200, 6.5, 0.38, 4, 2),
+    ("LB", "Lebanon", "AS", 33.9, 35.9, 10, 6.9, 0.78, 3, 2),
+    ("KW", "Kuwait", "AS", 29.3, 47.5, 18, 4.2, 0.99, 2, 2),
+    ("QA", "Qatar", "AS", 25.3, 51.2, 12, 2.8, 0.99, 1, 2),
+    ("BH", "Bahrain", "AS", 26.0, 50.5, 0.8, 1.6, 0.99, 1, 2),
+    ("OM", "Oman", "AS", 21.5, 55.9, 310, 5.0, 0.92, 2, 2),
+    ("IQ", "Iraq", "AS", 33.2, 43.7, 438, 39.3, 0.49, 4, 2),
+    ("TJ", "Tajikistan", "AS", 38.9, 71.3, 141, 9.3, 0.22, 4, 1),
+    ("TM", "Turkmenistan", "AS", 38.9, 59.6, 488, 5.9, 0.21, 4, 1),
+    ("LA", "Laos", "AS", 19.9, 102.5, 237, 7.2, 0.26, 4, 1),
+    ("BT", "Bhutan", "AS", 27.5, 90.4, 38, 0.76, 0.48, 4, 1),
+    ("MV", "Maldives", "AS", 3.2, 73.2, 0.3, 0.53, 0.63, 3, 1),
+    ("BN", "Brunei", "AS", 4.5, 114.7, 6, 0.43, 0.95, 2, 1),
+    ("AF", "Afghanistan", "AS", 33.9, 67.7, 653, 38.0, 0.14, 4, 0),
+    ("YE", "Yemen", "AS", 15.6, 48.0, 528, 29.2, 0.27, 4, 0),
+    ("SY", "Syria", "AS", 34.8, 39.0, 185, 17.1, 0.34, 4, 0),
+    ("PS", "Palestine", "AS", 31.9, 35.2, 6, 4.7, 0.65, 4, 0),
+    ("MO", "Macao", "AS", 22.2, 113.5, 0.03, 0.64, 0.84, 1, 0),
+    # --- Oceania ------------------------------------------------------------
+    ("AU", "Australia", "OC", -25.3, 133.8, 7692, 25.4, 0.87, 1, 55),
+    ("NZ", "New Zealand", "OC", -41.8, 172.8, 268, 4.9, 0.91, 1, 22),
+    ("FJ", "Fiji", "OC", -17.7, 178.0, 18, 0.89, 0.50, 4, 2),
+    ("NC", "New Caledonia", "OC", -21.3, 165.6, 19, 0.27, 0.82, 3, 2),
+    ("PF", "French Polynesia", "OC", -17.7, -149.4, 4, 0.28, 0.73, 3, 2),
+    ("PG", "Papua New Guinea", "OC", -6.3, 143.9, 463, 8.8, 0.11, 4, 1),
+    ("GU", "Guam", "OC", 13.4, 144.8, 0.5, 0.17, 0.81, 2, 1),
+    ("WS", "Samoa", "OC", -13.8, -172.1, 3, 0.20, 0.34, 4, 1),
+    ("VU", "Vanuatu", "OC", -15.4, 166.9, 12, 0.30, 0.26, 4, 1),
+    ("TO", "Tonga", "OC", -21.2, -175.2, 0.7, 0.10, 0.41, 4, 0),
+    # --- Africa -------------------------------------------------------------
+    ("ZA", "South Africa", "AF", -29.0, 24.7, 1221, 58.6, 0.56, 3, 28),
+    ("KE", "Kenya", "AF", 0.0, 37.9, 580, 52.6, 0.23, 3, 9),
+    ("NG", "Nigeria", "AF", 9.1, 8.7, 924, 201.0, 0.42, 4, 7),
+    ("EG", "Egypt", "AF", 26.8, 30.8, 1002, 100.4, 0.57, 3, 7),
+    ("MA", "Morocco", "AF", 31.8, -7.1, 447, 36.5, 0.74, 3, 6),
+    ("TN", "Tunisia", "AF", 33.9, 9.6, 164, 11.7, 0.67, 3, 4),
+    ("GH", "Ghana", "AF", 7.9, -1.0, 239, 30.4, 0.39, 4, 4),
+    ("DZ", "Algeria", "AF", 28.0, 1.7, 2382, 43.1, 0.49, 4, 3),
+    ("TZ", "Tanzania", "AF", -6.4, 34.9, 947, 58.0, 0.25, 4, 3),
+    ("UG", "Uganda", "AF", 1.4, 32.3, 241, 44.3, 0.24, 4, 3),
+    ("SN", "Senegal", "AF", 14.5, -14.5, 197, 16.3, 0.46, 4, 3),
+    ("MU", "Mauritius", "AF", -20.3, 57.6, 2, 1.3, 0.64, 3, 3),
+    ("CI", "Ivory Coast", "AF", 7.5, -5.5, 322, 25.7, 0.36, 4, 2),
+    ("CM", "Cameroon", "AF", 7.4, 12.3, 475, 25.9, 0.23, 4, 2),
+    ("ZW", "Zimbabwe", "AF", -19.0, 29.2, 391, 14.6, 0.27, 4, 2),
+    ("ZM", "Zambia", "AF", -13.1, 27.8, 753, 17.9, 0.14, 4, 2),
+    ("AO", "Angola", "AF", -11.2, 17.9, 1247, 31.8, 0.14, 4, 2),
+    ("NA", "Namibia", "AF", -22.9, 18.5, 824, 2.5, 0.37, 3, 2),
+    ("BW", "Botswana", "AF", -22.3, 24.7, 582, 2.3, 0.47, 3, 2),
+    ("RE", "Reunion", "AF", -21.1, 55.5, 2.5, 0.86, 0.83, 2, 2),
+    ("ET", "Ethiopia", "AF", 9.1, 40.5, 1104, 112.1, 0.19, 4, 2),
+    ("RW", "Rwanda", "AF", -1.9, 29.9, 26, 12.6, 0.22, 4, 2),
+    ("CD", "DR Congo", "AF", -4.0, 21.8, 2345, 86.8, 0.09, 4, 2),
+    ("MZ", "Mozambique", "AF", -18.7, 35.5, 799, 30.4, 0.10, 4, 1),
+    ("MG", "Madagascar", "AF", -18.8, 47.0, 587, 27.0, 0.10, 4, 1),
+    ("SD", "Sudan", "AF", 12.9, 30.2, 1886, 42.8, 0.31, 4, 1),
+    ("LY", "Libya", "AF", 26.3, 17.2, 1760, 6.8, 0.22, 4, 1),
+    ("BJ", "Benin", "AF", 9.3, 2.3, 115, 11.8, 0.20, 4, 1),
+    ("BF", "Burkina Faso", "AF", 12.2, -1.6, 274, 20.3, 0.16, 4, 1),
+    ("ML", "Mali", "AF", 17.6, -4.0, 1240, 19.7, 0.13, 4, 1),
+    ("NE", "Niger", "AF", 17.6, 8.1, 1267, 23.3, 0.05, 4, 1),
+    ("TD", "Chad", "AF", 15.5, 18.7, 1284, 15.9, 0.07, 4, 1),
+    ("TG", "Togo", "AF", 8.6, 0.8, 57, 8.1, 0.12, 4, 1),
+    ("GA", "Gabon", "AF", -0.8, 11.6, 268, 2.2, 0.50, 4, 1),
+    ("CG", "Congo", "AF", -0.2, 15.8, 342, 5.4, 0.09, 4, 1),
+    ("SO", "Somalia", "AF", 5.2, 46.2, 638, 15.4, 0.02, 4, 1),
+    ("DJ", "Djibouti", "AF", 11.8, 42.6, 23, 0.97, 0.56, 4, 1),
+    ("GM", "Gambia", "AF", 13.4, -15.3, 11, 2.3, 0.20, 4, 1),
+    ("GN", "Guinea", "AF", 9.9, -9.7, 246, 12.8, 0.18, 4, 1),
+    ("SL", "Sierra Leone", "AF", 8.5, -11.8, 72, 7.8, 0.09, 4, 1),
+    ("LR", "Liberia", "AF", 6.4, -9.4, 111, 4.9, 0.08, 4, 1),
+    ("MW", "Malawi", "AF", -13.3, 34.3, 118, 18.6, 0.14, 4, 1),
+    ("LS", "Lesotho", "AF", -29.6, 28.2, 30, 2.1, 0.29, 4, 1),
+    ("SZ", "Eswatini", "AF", -26.5, 31.5, 17, 1.1, 0.47, 4, 1),
+    ("SC", "Seychelles", "AF", -4.7, 55.5, 0.5, 0.10, 0.59, 3, 1),
+    ("CV", "Cabo Verde", "AF", 16.0, -24.0, 4, 0.55, 0.57, 4, 1),
+    ("BI", "Burundi", "AF", -3.4, 29.9, 28, 11.5, 0.03, 4, 1),
+    ("MR", "Mauritania", "AF", 21.0, -10.9, 1031, 4.5, 0.21, 4, 1),
+)
+
+_BY_CODE: Dict[str, Country] = {}
+for _row in _RAW:
+    _iso2, _name, _cont, _lat, _lon, _area, _pop, _net, _tier, _probes = _row
+    get_continent(_cont)  # validate continent code eagerly
+    _BY_CODE[_iso2] = Country(
+        iso2=_iso2,
+        name=_name,
+        continent=_cont,
+        centroid=LatLon(_lat, _lon),
+        area_kkm2=_area,
+        population_m=_pop,
+        internet_share=_net,
+        infra_tier=_tier,
+        atlas_probes=_probes,
+    )
+del _row, _iso2, _name, _cont, _lat, _lon, _area, _pop, _net, _tier, _probes
+
+
+def get_country(code: str) -> Country:
+    """Look up a country by ISO-3166 alpha-2 code (case-insensitive)."""
+    try:
+        return _BY_CODE[code.upper()]
+    except KeyError:
+        raise UnknownCountryError(code) from None
+
+
+def all_countries() -> Tuple[Country, ...]:
+    """Every country in the database, in a stable (insertion) order."""
+    return tuple(_BY_CODE.values())
+
+
+def iter_countries(continent: str = None) -> Iterator[Country]:
+    """Iterate countries, optionally restricted to one continent."""
+    if continent is not None:
+        continent = get_continent(continent).code
+    for country in _BY_CODE.values():
+        if continent is None or country.continent == continent:
+            yield country
+
+
+def countries_with_probes() -> Tuple[Country, ...]:
+    """Countries hosting at least one Atlas probe (the paper's 166)."""
+    return tuple(c for c in _BY_CODE.values() if c.atlas_probes > 0)
+
+
+def total_probe_count() -> int:
+    """Total number of synthetic Atlas probes across all countries."""
+    return sum(c.atlas_probes for c in _BY_CODE.values())
+
+
+def world_population_m() -> float:
+    """Population covered by the database, in millions."""
+    return sum(c.population_m for c in _BY_CODE.values())
+
+
+def world_internet_users_m() -> float:
+    """Estimated Internet users covered by the database, in millions."""
+    return sum(c.internet_users_m for c in _BY_CODE.values())

@@ -1,0 +1,97 @@
+"""Sub-continental regions (UN M49-style groupings).
+
+The paper's Figure 6 discussion attributes the European latency tail to
+"probes in eastern EU and countries without local or neighboring
+datacenters".  This module gives that statement a precise, reusable
+definition: every country carries a subregion, and analyses group by it
+instead of hard-coding country sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from repro.errors import GeoError
+from repro.geo.countries import all_countries, get_country
+
+#: subregion -> ISO2 members.  Countries absent from every set fall into
+#: the continent-level default returned by :func:`subregion_of`.
+SUBREGIONS: Dict[str, FrozenSet[str]] = {
+    "western-europe": frozenset(
+        {"GB", "IE", "FR", "BE", "NL", "LU", "DE", "CH", "AT", "LI", "MC", "AD"}
+    ),
+    "northern-europe": frozenset(
+        {"DK", "NO", "SE", "FI", "IS", "EE", "LV", "LT"}
+    ),
+    "southern-europe": frozenset(
+        {"PT", "ES", "IT", "MT", "SM", "GR", "CY", "SI", "HR"}
+    ),
+    "eastern-europe": frozenset(
+        {"PL", "CZ", "SK", "HU", "RO", "BG", "RS", "BA", "MK", "AL", "ME",
+         "MD", "UA", "BY", "RU"}
+    ),
+    "northern-america": frozenset({"US", "CA", "BM", "GL"}),
+    "central-america": frozenset(
+        {"MX", "GT", "BZ", "HN", "SV", "NI", "CR", "PA"}
+    ),
+    "caribbean": frozenset(
+        {"CU", "JM", "HT", "DO", "BS", "BB", "TT", "CW"}
+    ),
+    "south-america": frozenset(
+        {"BR", "AR", "CL", "CO", "PE", "UY", "EC", "VE", "BO", "PY", "SR", "GY"}
+    ),
+    "western-asia": frozenset(
+        {"TR", "IL", "PS", "JO", "LB", "SY", "IQ", "SA", "AE", "QA", "BH",
+         "KW", "OM", "YE", "GE", "AM", "AZ"}
+    ),
+    "central-asia": frozenset({"KZ", "UZ", "KG", "TJ", "TM"}),
+    "southern-asia": frozenset(
+        {"IN", "PK", "BD", "LK", "NP", "BT", "MV", "AF", "IR"}
+    ),
+    "southeastern-asia": frozenset(
+        {"SG", "MY", "TH", "ID", "PH", "VN", "MM", "KH", "LA", "BN"}
+    ),
+    "eastern-asia": frozenset({"CN", "HK", "MO", "TW", "JP", "KR", "MN"}),
+    "northern-africa": frozenset({"MA", "DZ", "TN", "LY", "EG", "SD", "MR"}),
+    "western-africa": frozenset(
+        {"NG", "GH", "CI", "SN", "ML", "BF", "NE", "TG", "BJ", "GM", "GN",
+         "SL", "LR", "CV"}
+    ),
+    "eastern-africa": frozenset(
+        {"KE", "TZ", "UG", "RW", "BI", "ET", "SO", "DJ", "MZ", "MG", "MW",
+         "MU", "RE", "SC"}
+    ),
+    "middle-africa": frozenset({"CM", "TD", "CD", "CG", "GA", "AO"}),
+    "southern-africa": frozenset({"ZA", "NA", "BW", "ZW", "ZM", "LS", "SZ"}),
+    "australia-nz": frozenset({"AU", "NZ"}),
+    "pacific-islands": frozenset(
+        {"FJ", "PG", "NC", "PF", "GU", "WS", "VU", "TO"}
+    ),
+}
+
+_BY_COUNTRY: Dict[str, str] = {}
+for _name, _members in SUBREGIONS.items():
+    for _code in _members:
+        if _code in _BY_COUNTRY:
+            raise GeoError(f"{_code} assigned to two subregions")
+        _BY_COUNTRY[_code] = _name
+del _name, _members, _code
+
+
+def subregion_of(country_code: str) -> str:
+    """Subregion of a country (falls back to ``other-<continent>``)."""
+    country = get_country(country_code)
+    return _BY_COUNTRY.get(country.iso2, f"other-{country.continent.lower()}")
+
+
+def countries_in_subregion(name: str) -> Tuple[str, ...]:
+    """ISO codes of a subregion's members present in the database."""
+    if name not in SUBREGIONS:
+        raise GeoError(f"unknown subregion {name!r}; known: {sorted(SUBREGIONS)}")
+    known = {country.iso2 for country in all_countries()}
+    return tuple(sorted(SUBREGIONS[name] & known))
+
+
+def is_eastern_europe(country_code: str) -> bool:
+    """The Figure 6 tail cohort."""
+    return subregion_of(country_code) == "eastern-europe"

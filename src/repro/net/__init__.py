@@ -1,0 +1,93 @@
+"""Internet latency simulator: physics, cables, routing, last mile, noise."""
+
+from repro.net.bandwidth import (
+    CAPACITIES,
+    LinkCapacity,
+    aggregation_threshold_gb_day,
+    bandwidth_pressure,
+    needs_aggregation,
+    sustained_mbps,
+    uplink_capacity_mbps,
+)
+from repro.net.cables import GATEWAYS, LINKS, Gateway, link_length_km
+from repro.net.congestion import local_hour, queue_delay_ms, utilization
+from repro.net.lastmile import (
+    PROFILES,
+    AccessProfile,
+    AccessTechnology,
+    choose_technology,
+    floor_ms,
+    sample_ms,
+)
+from repro.net.loss import packet_loss_probability, packets_received
+from repro.net.pathmodel import (
+    PUBLIC_INTERNET,
+    EndpointAdjustment,
+    LatencyModel,
+    PingObservation,
+)
+from repro.net.physics import (
+    BASE_PATH_INFLATION,
+    DATACENTER_INTERNAL_RTT_MS,
+    FIBER_KM_PER_MS,
+    PER_HOP_RTT_MS,
+    RTT_MS_PER_KM,
+    estimate_hop_count,
+    hop_rtt_ms,
+    propagation_rtt_ms,
+    wire_rtt_ms,
+)
+from repro.net.rng import SeedSequenceTree, derive_seed, stream
+from repro.net.topology import (
+    DOMESTIC_INFLATION,
+    TIER_PEERING_RTT_MS,
+    Route,
+    TransitModel,
+    default_transit_model,
+)
+
+__all__ = [
+    "AccessProfile",
+    "AccessTechnology",
+    "CAPACITIES",
+    "LinkCapacity",
+    "aggregation_threshold_gb_day",
+    "bandwidth_pressure",
+    "needs_aggregation",
+    "sustained_mbps",
+    "uplink_capacity_mbps",
+    "BASE_PATH_INFLATION",
+    "DATACENTER_INTERNAL_RTT_MS",
+    "DOMESTIC_INFLATION",
+    "EndpointAdjustment",
+    "FIBER_KM_PER_MS",
+    "GATEWAYS",
+    "Gateway",
+    "LINKS",
+    "LatencyModel",
+    "PER_HOP_RTT_MS",
+    "PROFILES",
+    "PUBLIC_INTERNET",
+    "PingObservation",
+    "RTT_MS_PER_KM",
+    "Route",
+    "SeedSequenceTree",
+    "TIER_PEERING_RTT_MS",
+    "TransitModel",
+    "choose_technology",
+    "default_transit_model",
+    "derive_seed",
+    "estimate_hop_count",
+    "floor_ms",
+    "hop_rtt_ms",
+    "link_length_km",
+    "local_hour",
+    "packet_loss_probability",
+    "packets_received",
+    "propagation_rtt_ms",
+    "queue_delay_ms",
+    "sample_ms",
+    "stream",
+    "utilization",
+    "wire_rtt_ms",
+]

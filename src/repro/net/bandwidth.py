@@ -1,0 +1,123 @@
+"""Last-mile bandwidth model — the second axis of the feasibility zone.
+
+Figure 8's blue region ("bandwidth gain zone") rests on an estimate the
+paper derives from the home-broadband literature: edge aggregation starts
+paying off around **1 GB generated per entity per day**, because that is
+where sustained uplink demand begins to congest a typical last mile
+shared by several entities.
+
+This module makes that arithmetic explicit instead of hard-coding the
+threshold: access technologies have uplink capacities, an entity may
+sustainably use a fraction of the link it shares with its siblings, and
+the GB/day threshold *falls out*.  The ablation bench sweeps the inputs
+to show the conclusion is robust to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import NetworkModelError
+from repro.net.lastmile import AccessTechnology, TIER_SCALE
+
+#: Sustained Mbps produced by 1 GB/day of generated data.
+MBPS_PER_GB_DAY = 8_000.0 / 86_400.0  # ~0.0926
+
+
+@dataclass(frozen=True)
+class LinkCapacity:
+    """Nominal capacity of one access link, Mbps."""
+
+    downlink_mbps: float
+    uplink_mbps: float
+
+
+#: Circa-2019 nominal capacities per technology.
+CAPACITIES: Dict[AccessTechnology, LinkCapacity] = {
+    AccessTechnology.ETHERNET: LinkCapacity(500.0, 500.0),
+    AccessTechnology.FIBRE: LinkCapacity(500.0, 250.0),
+    AccessTechnology.CABLE: LinkCapacity(200.0, 20.0),
+    AccessTechnology.DSL: LinkCapacity(40.0, 8.0),
+    AccessTechnology.WIFI: LinkCapacity(120.0, 60.0),
+    AccessTechnology.LTE: LinkCapacity(40.0, 12.0),
+    AccessTechnology.SATELLITE: LinkCapacity(25.0, 4.0),
+}
+
+#: Entities sharing one access link (cameras per street cabinet,
+#: sensors per gateway) in the paper's motivating scenarios.
+DEFAULT_ENTITIES_PER_LINK = 8
+
+#: Fraction of the uplink one application may sustainably consume before
+#: it counts as "congesting the network" (contention, other traffic).
+DEFAULT_SUSTAINABLE_SHARE = 0.10
+
+
+def uplink_capacity_mbps(tech: AccessTechnology, tier: int) -> float:
+    """Effective uplink of a link on a given infrastructure tier.
+
+    Poorer tiers deliver a fraction of nominal capacity (over-subscribed
+    DSLAMs, congested cells) — reuse the latency tier scale inverted.
+    """
+    try:
+        scale = TIER_SCALE[tier]
+    except KeyError:
+        raise NetworkModelError(f"unknown infrastructure tier: {tier}") from None
+    return CAPACITIES[tech].uplink_mbps / scale
+
+
+def sustained_mbps(gb_per_day: float) -> float:
+    """Sustained uplink rate of an entity generating ``gb_per_day``."""
+    if gb_per_day < 0:
+        raise NetworkModelError(f"volume must be non-negative: {gb_per_day}")
+    return gb_per_day * MBPS_PER_GB_DAY
+
+
+def bandwidth_pressure(
+    gb_per_day: float,
+    tech: AccessTechnology,
+    tier: int,
+    entities_per_link: int = DEFAULT_ENTITIES_PER_LINK,
+) -> float:
+    """Share of the sustainable uplink the entities on a link consume.
+
+    Values above 1.0 mean the last mile is congested and aggregation
+    before the uplink (i.e. an edge) would genuinely help.
+    """
+    if entities_per_link <= 0:
+        raise NetworkModelError(
+            f"entities_per_link must be positive: {entities_per_link}"
+        )
+    budget = uplink_capacity_mbps(tech, tier) * DEFAULT_SUSTAINABLE_SHARE
+    demand = sustained_mbps(gb_per_day) * entities_per_link
+    return demand / budget
+
+
+def aggregation_threshold_gb_day(
+    tech: AccessTechnology,
+    tier: int,
+    entities_per_link: int = DEFAULT_ENTITIES_PER_LINK,
+    sustainable_share: float = DEFAULT_SUSTAINABLE_SHARE,
+) -> float:
+    """GB/day per entity at which the last mile congests.
+
+    The paper's 1 GB/day figure corresponds to an LTE/DSL-class link on
+    mid-tier infrastructure shared by a handful of entities.
+    """
+    if not 0.0 < sustainable_share <= 1.0:
+        raise NetworkModelError(
+            f"sustainable_share must be in (0, 1]: {sustainable_share}"
+        )
+    budget = uplink_capacity_mbps(tech, tier) * sustainable_share
+    per_entity_mbps = budget / entities_per_link
+    return per_entity_mbps / MBPS_PER_GB_DAY
+
+
+def needs_aggregation(
+    gb_per_day: float,
+    tech: AccessTechnology = AccessTechnology.LTE,
+    tier: int = 2,
+    entities_per_link: int = DEFAULT_ENTITIES_PER_LINK,
+) -> bool:
+    """Would edge aggregation materially relieve this workload's uplink?"""
+    return bandwidth_pressure(gb_per_day, tech, tier, entities_per_link) > 1.0

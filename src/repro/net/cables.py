@@ -1,0 +1,429 @@
+"""Inter-continental connectivity: gateways and cable systems.
+
+Wide-area latency is dominated by *where traffic can physically cross
+oceans*.  We model this with a graph of ~60 interconnection **gateways**
+(IXP metros and submarine-cable landing stations) joined by **links** that
+mirror the real circa-2019 cable map at coarse granularity:
+
+* transatlantic: London/Paris/Lisbon <-> US East Coast;
+* Latin America trombones through Miami (plus Google's Curie cable to LA);
+* West Africa lands in Lisbon/London, East Africa in Marseille/Mumbai —
+  the famous "African traffic detours through Europe" effect the paper's
+  Figure 6 tail depends on;
+* Asia interconnects via the SEA-ME-WE corridor (Marseille-Cairo-Dubai-
+  Mumbai-Singapore) and the transpacific Tokyo/LA systems;
+* Oceania reaches the world via Sydney-LA (Southern Cross) and
+  Perth-Singapore.
+
+Gateway-to-gateway distances are great-circle kilometres times a slack
+factor (cables are never straight).  :mod:`repro.net.topology` composes
+these into probe-to-datacenter routes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import NetworkModelError
+from repro.geo.coordinates import LatLon, haversine_km
+
+#: Extra length of a terrestrial backbone segment over the great circle.
+TERRESTRIAL_SLACK = 1.10
+
+#: Extra length of a submarine cable over the great circle.
+SUBMARINE_SLACK = 1.18
+
+
+@dataclass(frozen=True)
+class Gateway:
+    """An interconnection metro (IXP and/or cable landing station)."""
+
+    name: str
+    country: str
+    continent: str
+    location: LatLon
+
+
+# name: (country, continent, lat, lon)
+_GATEWAYS: Dict[str, Tuple[str, str, float, float]] = {
+    # Europe
+    "london": ("GB", "EU", 51.51, -0.13),
+    "amsterdam": ("NL", "EU", 52.37, 4.90),
+    "frankfurt": ("DE", "EU", 50.11, 8.68),
+    "paris": ("FR", "EU", 48.86, 2.35),
+    "marseille": ("FR", "EU", 43.30, 5.37),
+    "lisbon": ("PT", "EU", 38.72, -9.14),
+    "madrid": ("ES", "EU", 40.42, -3.70),
+    "milan": ("IT", "EU", 45.46, 9.19),
+    "vienna": ("AT", "EU", 48.21, 16.37),
+    "warsaw": ("PL", "EU", 52.23, 21.01),
+    "stockholm": ("SE", "EU", 59.33, 18.06),
+    "helsinki": ("FI", "EU", 60.17, 24.94),
+    "moscow": ("RU", "EU", 55.76, 37.62),
+    "kyiv": ("UA", "EU", 50.45, 30.52),
+    "sofia": ("BG", "EU", 42.70, 23.32),
+    "dublin": ("IE", "EU", 53.35, -6.26),
+    "zurich": ("CH", "EU", 47.38, 8.54),
+    "copenhagen": ("DK", "EU", 55.68, 12.57),
+    "bucharest": ("RO", "EU", 44.43, 26.10),
+    # North America
+    "new-york": ("US", "NA", 40.71, -74.01),
+    "ashburn": ("US", "NA", 39.04, -77.49),
+    "miami": ("US", "NA", 25.76, -80.19),
+    "chicago": ("US", "NA", 41.88, -87.63),
+    "dallas": ("US", "NA", 32.78, -96.80),
+    "los-angeles": ("US", "NA", 34.05, -118.24),
+    "san-jose": ("US", "NA", 37.34, -121.89),
+    "seattle": ("US", "NA", 47.61, -122.33),
+    "toronto": ("CA", "NA", 43.65, -79.38),
+    "montreal": ("CA", "NA", 45.50, -73.57),
+    # Latin America
+    "mexico-city": ("MX", "SA", 19.43, -99.13),
+    "panama-city": ("PA", "SA", 8.98, -79.52),
+    "bogota": ("CO", "SA", 4.71, -74.07),
+    "fortaleza": ("BR", "SA", -3.73, -38.53),
+    "sao-paulo": ("BR", "SA", -23.55, -46.63),
+    "buenos-aires": ("AR", "SA", -34.60, -58.38),
+    "santiago": ("CL", "SA", -33.45, -70.67),
+    "lima": ("PE", "SA", -12.05, -77.04),
+    # Asia
+    "istanbul": ("TR", "AS", 41.01, 28.98),
+    "dubai": ("AE", "AS", 25.20, 55.27),
+    "mumbai": ("IN", "AS", 19.08, 72.88),
+    "chennai": ("IN", "AS", 13.08, 80.27),
+    "singapore": ("SG", "AS", 1.35, 103.82),
+    "jakarta": ("ID", "AS", -6.21, 106.85),
+    "bangkok": ("TH", "AS", 13.76, 100.50),
+    "hong-kong": ("HK", "AS", 22.32, 114.17),
+    "taipei": ("TW", "AS", 25.03, 121.57),
+    "shanghai": ("CN", "AS", 31.23, 121.47),
+    "beijing": ("CN", "AS", 39.90, 116.41),
+    "seoul": ("KR", "AS", 37.57, 126.98),
+    "tokyo": ("JP", "AS", 35.68, 139.69),
+    "tel-aviv": ("IL", "AS", 32.09, 34.78),
+    # Africa
+    "cairo": ("EG", "AF", 30.04, 31.24),
+    "casablanca": ("MA", "AF", 33.57, -7.59),
+    "dakar": ("SN", "AF", 14.72, -17.47),
+    "lagos": ("NG", "AF", 6.52, 3.38),
+    "accra": ("GH", "AF", 5.60, -0.19),
+    "djibouti": ("DJ", "AF", 11.59, 43.15),
+    "mombasa": ("KE", "AF", -4.04, 39.67),
+    "johannesburg": ("ZA", "AF", -26.20, 28.05),
+    "cape-town": ("ZA", "AF", -33.92, 18.42),
+    # Oceania
+    "sydney": ("AU", "OC", -33.87, 151.21),
+    "perth": ("AU", "OC", -31.95, 115.86),
+    "auckland": ("NZ", "OC", -36.85, 174.76),
+    "honolulu": ("US", "OC", 21.31, -157.86),
+    "guam": ("GU", "OC", 13.44, 144.79),
+    "suva": ("FJ", "OC", -18.14, 178.44),
+}
+
+GATEWAYS: Dict[str, Gateway] = {
+    name: Gateway(name, country, continent, LatLon(lat, lon))
+    for name, (country, continent, lat, lon) in _GATEWAYS.items()
+}
+
+# (gateway a, gateway b, kind).  kind is "terrestrial" or "submarine".
+LINKS: Tuple[Tuple[str, str, str], ...] = (
+    # --- European backbone mesh ---
+    ("london", "amsterdam", "terrestrial"),
+    ("london", "paris", "terrestrial"),
+    ("london", "frankfurt", "terrestrial"),
+    ("london", "dublin", "submarine"),
+    ("amsterdam", "frankfurt", "terrestrial"),
+    ("amsterdam", "paris", "terrestrial"),
+    ("amsterdam", "copenhagen", "terrestrial"),
+    ("frankfurt", "paris", "terrestrial"),
+    ("frankfurt", "zurich", "terrestrial"),
+    ("frankfurt", "milan", "terrestrial"),
+    ("frankfurt", "vienna", "terrestrial"),
+    ("frankfurt", "warsaw", "terrestrial"),
+    ("frankfurt", "copenhagen", "terrestrial"),
+    ("paris", "marseille", "terrestrial"),
+    ("paris", "madrid", "terrestrial"),
+    ("madrid", "lisbon", "terrestrial"),
+    ("madrid", "marseille", "terrestrial"),
+    ("marseille", "milan", "terrestrial"),
+    ("milan", "vienna", "terrestrial"),
+    ("milan", "sofia", "terrestrial"),
+    ("vienna", "warsaw", "terrestrial"),
+    ("vienna", "sofia", "terrestrial"),
+    ("vienna", "bucharest", "terrestrial"),
+    ("sofia", "istanbul", "terrestrial"),
+    ("sofia", "bucharest", "terrestrial"),
+    ("bucharest", "kyiv", "terrestrial"),
+    ("warsaw", "kyiv", "terrestrial"),
+    ("warsaw", "stockholm", "submarine"),
+    ("copenhagen", "stockholm", "terrestrial"),
+    ("stockholm", "helsinki", "submarine"),
+    ("helsinki", "moscow", "terrestrial"),
+    ("stockholm", "moscow", "terrestrial"),
+    ("moscow", "kyiv", "terrestrial"),
+    # --- Transatlantic ---
+    ("london", "new-york", "submarine"),
+    ("dublin", "new-york", "submarine"),
+    ("paris", "ashburn", "submarine"),
+    ("lisbon", "new-york", "submarine"),
+    # --- North American backbone ---
+    ("new-york", "ashburn", "terrestrial"),
+    ("new-york", "chicago", "terrestrial"),
+    ("new-york", "toronto", "terrestrial"),
+    ("new-york", "montreal", "terrestrial"),
+    ("ashburn", "miami", "terrestrial"),
+    ("ashburn", "chicago", "terrestrial"),
+    ("ashburn", "dallas", "terrestrial"),
+    ("chicago", "toronto", "terrestrial"),
+    ("chicago", "dallas", "terrestrial"),
+    ("chicago", "seattle", "terrestrial"),
+    ("dallas", "los-angeles", "terrestrial"),
+    ("dallas", "miami", "terrestrial"),
+    ("los-angeles", "san-jose", "terrestrial"),
+    ("san-jose", "seattle", "terrestrial"),
+    # --- Latin America (Miami trombone + Curie) ---
+    ("mexico-city", "dallas", "terrestrial"),
+    ("mexico-city", "miami", "submarine"),
+    ("panama-city", "miami", "submarine"),
+    ("bogota", "miami", "submarine"),
+    ("bogota", "panama-city", "submarine"),
+    ("lima", "panama-city", "submarine"),
+    ("lima", "santiago", "terrestrial"),
+    ("santiago", "los-angeles", "submarine"),  # Curie (2019)
+    ("santiago", "buenos-aires", "terrestrial"),
+    ("buenos-aires", "sao-paulo", "terrestrial"),
+    ("sao-paulo", "fortaleza", "terrestrial"),
+    ("fortaleza", "miami", "submarine"),
+    ("fortaleza", "lisbon", "submarine"),  # Atlantis-2 (low capacity)
+    # --- Africa ---
+    ("casablanca", "lisbon", "submarine"),
+    ("casablanca", "marseille", "submarine"),
+    ("dakar", "lisbon", "submarine"),      # ACE
+    ("dakar", "casablanca", "submarine"),
+    ("accra", "dakar", "submarine"),       # WACS / ACE west coast
+    ("accra", "lagos", "submarine"),
+    ("lagos", "lisbon", "submarine"),      # MainOne
+    ("lagos", "london", "submarine"),      # Glo-1
+    ("lagos", "cape-town", "submarine"),   # WACS southern segment
+    ("cape-town", "johannesburg", "terrestrial"),
+    ("johannesburg", "mombasa", "terrestrial"),  # EASSy feeder route
+    ("mombasa", "djibouti", "submarine"),  # EASSy
+    ("mombasa", "mumbai", "submarine"),    # SEACOM
+    ("djibouti", "cairo", "submarine"),    # Red Sea corridor
+    ("djibouti", "dubai", "submarine"),
+    ("cairo", "marseille", "submarine"),   # SEA-ME-WE landing
+    ("cairo", "tel-aviv", "terrestrial"),
+    # --- Middle East / South Asia (SEA-ME-WE corridor) ---
+    ("marseille", "tel-aviv", "submarine"),
+    ("tel-aviv", "istanbul", "terrestrial"),
+    ("istanbul", "dubai", "terrestrial"),
+    ("cairo", "dubai", "submarine"),
+    ("dubai", "mumbai", "submarine"),
+    ("mumbai", "chennai", "terrestrial"),
+    ("chennai", "singapore", "submarine"),
+    ("mumbai", "singapore", "submarine"),
+    # --- East / Southeast Asia ---
+    ("singapore", "jakarta", "submarine"),
+    ("singapore", "bangkok", "terrestrial"),
+    ("singapore", "hong-kong", "submarine"),
+    ("bangkok", "hong-kong", "submarine"),
+    ("hong-kong", "taipei", "submarine"),
+    ("hong-kong", "shanghai", "terrestrial"),
+    ("shanghai", "beijing", "terrestrial"),
+    ("beijing", "seoul", "submarine"),
+    ("shanghai", "tokyo", "submarine"),
+    ("taipei", "tokyo", "submarine"),
+    ("seoul", "tokyo", "submarine"),
+    ("moscow", "beijing", "terrestrial"),  # TEA terrestrial (long)
+    # --- Transpacific ---
+    ("tokyo", "seattle", "submarine"),
+    ("tokyo", "los-angeles", "submarine"),
+    ("tokyo", "guam", "submarine"),
+    ("hong-kong", "los-angeles", "submarine"),
+    # --- Oceania ---
+    ("sydney", "auckland", "submarine"),
+    ("sydney", "perth", "terrestrial"),
+    ("perth", "singapore", "submarine"),   # ASC
+    ("sydney", "los-angeles", "submarine"),  # Southern Cross
+    ("auckland", "los-angeles", "submarine"),
+    ("sydney", "suva", "submarine"),
+    ("suva", "honolulu", "submarine"),
+    ("honolulu", "los-angeles", "submarine"),
+    ("honolulu", "sydney", "submarine"),
+    ("guam", "sydney", "submarine"),
+    ("guam", "singapore", "submarine"),
+)
+
+
+def link_length_km(a: str, b: str, kind: str) -> float:
+    """Cable length of a link, great-circle distance times slack."""
+    try:
+        ga, gb = GATEWAYS[a], GATEWAYS[b]
+    except KeyError as exc:
+        raise NetworkModelError(f"unknown gateway in link ({a}, {b})") from exc
+    if kind == "terrestrial":
+        slack = TERRESTRIAL_SLACK
+    elif kind == "submarine":
+        slack = SUBMARINE_SLACK
+    else:
+        raise NetworkModelError(f"unknown link kind {kind!r}")
+    return haversine_km(*ga.location.as_tuple(), *gb.location.as_tuple()) * slack
+
+
+#: Curated gateway assignments for countries whose traffic demonstrably
+#: exits somewhere other than the nearest gateway (colonial-era cable
+#: geography, politics, ...).  Everyone else gets the nearest gateways in
+#: their continent automatically (see ``repro.net.topology``).
+COUNTRY_GATEWAY_OVERRIDES: Dict[str, Tuple[str, ...]] = {
+    # East African traffic exits at Mombasa (SEACOM/EASSy).
+    "KE": ("mombasa",),
+    "TZ": ("mombasa",),
+    "UG": ("mombasa",),
+    "RW": ("mombasa",),
+    "BI": ("mombasa",),
+    "ET": ("djibouti", "mombasa"),
+    "SO": ("djibouti",),
+    "MW": ("mombasa", "johannesburg"),
+    "MZ": ("johannesburg", "mombasa"),
+    "MG": ("mombasa",),
+    "MU": ("mombasa", "johannesburg"),
+    "RE": ("mombasa", "johannesburg"),
+    "SC": ("mombasa",),
+    # Southern Africa exits via Johannesburg / Cape Town.
+    "ZA": ("johannesburg", "cape-town"),
+    "ZW": ("johannesburg",),
+    "ZM": ("johannesburg",),
+    "BW": ("johannesburg",),
+    "NA": ("johannesburg", "cape-town"),
+    "LS": ("johannesburg",),
+    "SZ": ("johannesburg",),
+    "AO": ("cape-town", "lagos"),
+    "CD": ("lagos", "johannesburg"),
+    "CG": ("lagos",),
+    "GA": ("lagos",),
+    "CM": ("lagos",),
+    # West Africa lands at Lagos / Accra / Dakar.
+    "NG": ("lagos",),
+    "GH": ("accra",),
+    "CI": ("accra", "dakar"),
+    "TG": ("accra", "lagos"),
+    "BJ": ("lagos",),
+    "SN": ("dakar",),
+    "GM": ("dakar",),
+    "GN": ("dakar",),
+    "SL": ("dakar",),
+    "LR": ("accra", "dakar"),
+    "ML": ("dakar",),
+    "BF": ("accra", "dakar"),
+    "NE": ("lagos",),
+    "TD": ("lagos", "cairo"),
+    "MR": ("dakar", "casablanca"),
+    "CV": ("dakar",),
+    # North Africa lands on the Mediterranean coast.
+    "MA": ("casablanca",),
+    "DZ": ("casablanca", "marseille"),
+    "TN": ("marseille",),
+    "LY": ("cairo", "marseille"),
+    "EG": ("cairo",),
+    "SD": ("cairo", "djibouti"),
+    "DJ": ("djibouti",),
+    # Middle East.
+    "IL": ("tel-aviv",),
+    "PS": ("tel-aviv",),
+    "JO": ("tel-aviv", "dubai"),
+    "LB": ("tel-aviv", "istanbul"),
+    "SY": ("istanbul",),
+    "IQ": ("istanbul", "dubai"),
+    "SA": ("dubai",),
+    "AE": ("dubai",),
+    "QA": ("dubai",),
+    "BH": ("dubai",),
+    "KW": ("dubai",),
+    "OM": ("dubai",),
+    "YE": ("djibouti", "dubai"),
+    "IR": ("dubai", "istanbul"),
+    # Central / South Asia.
+    "PK": ("mumbai", "dubai"),
+    "AF": ("dubai",),
+    "IN": ("mumbai", "chennai"),
+    "LK": ("chennai",),
+    "BD": ("chennai", "singapore"),
+    "NP": ("mumbai", "chennai"),
+    "BT": ("chennai",),
+    "MV": ("mumbai", "chennai"),
+    "KZ": ("moscow", "istanbul"),
+    "UZ": ("moscow", "istanbul"),
+    "KG": ("moscow",),
+    "TJ": ("moscow",),
+    "TM": ("moscow", "istanbul"),
+    "MN": ("beijing", "moscow"),
+    # Southeast / East Asia.
+    "MM": ("bangkok", "singapore"),
+    "LA": ("bangkok",),
+    "KH": ("bangkok", "singapore"),
+    "VN": ("hong-kong", "singapore"),
+    "TH": ("bangkok", "singapore"),
+    "MY": ("singapore",),
+    "BN": ("singapore",),
+    "ID": ("jakarta", "singapore"),
+    "PH": ("hong-kong", "singapore"),
+    "TW": ("taipei",),
+    "HK": ("hong-kong",),
+    "MO": ("hong-kong",),
+    "CN": ("shanghai", "beijing", "hong-kong"),
+    "KR": ("seoul",),
+    "JP": ("tokyo",),
+    # Oceania islands.
+    "NZ": ("auckland",),
+    "AU": ("sydney", "perth"),
+    "FJ": ("suva",),
+    "VU": ("suva", "sydney"),
+    "WS": ("suva", "auckland"),
+    "TO": ("suva", "auckland"),
+    "NC": ("sydney",),
+    "PF": ("honolulu", "auckland"),
+    "PG": ("sydney", "guam"),
+    "GU": ("guam",),
+    # Latin America / Caribbean.
+    "MX": ("mexico-city",),
+    "GT": ("mexico-city", "miami"),
+    "BZ": ("mexico-city", "miami"),
+    "HN": ("miami", "panama-city"),
+    "SV": ("miami", "panama-city"),
+    "NI": ("miami", "panama-city"),
+    "CR": ("panama-city", "miami"),
+    "PA": ("panama-city",),
+    "CO": ("bogota",),
+    "VE": ("miami", "bogota"),
+    "EC": ("lima", "panama-city"),
+    "PE": ("lima",),
+    "BO": ("lima", "sao-paulo"),
+    "CL": ("santiago",),
+    "AR": ("buenos-aires",),
+    "PY": ("buenos-aires", "sao-paulo"),
+    "UY": ("buenos-aires", "sao-paulo"),
+    "BR": ("sao-paulo", "fortaleza"),
+    "SR": ("fortaleza", "miami"),
+    "GY": ("fortaleza", "miami"),
+    "CU": ("miami",),
+    "JM": ("miami",),
+    "HT": ("miami",),
+    "DO": ("miami",),
+    "BS": ("miami",),
+    "BB": ("miami",),
+    "TT": ("miami", "bogota"),
+    "CW": ("miami", "bogota"),
+    # North American islands/territories.
+    "BM": ("new-york", "miami"),
+    "GL": ("montreal",),
+    # Europeans whose nearest gateway guess would be poor.
+    "IS": ("london", "dublin"),
+    "RU": ("moscow",),
+    "TR": ("istanbul",),
+    "CY": ("istanbul", "marseille"),
+    "MT": ("milan", "marseille"),
+    "GE": ("istanbul", "moscow"),
+    "AM": ("istanbul", "moscow"),
+    "AZ": ("istanbul", "moscow"),
+}

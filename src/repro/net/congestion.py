@@ -1,0 +1,109 @@
+"""Diurnal congestion model.
+
+Wide-area and access-network queueing follows the day/night rhythm of the
+population behind the link: utilization rises through the local day, peaks
+in the evening (the "Netflix hour"), and collapses at night.  The paper's
+nine-month ping series inherit this pattern, which is why figures built on
+*all* samples (Figure 6) have heavier tails than the minima (Figures 4/5).
+
+Utilization maps to queueing delay with the standard M/M/1-style blow-up
+``rho / (1 - rho)``, bounded to keep tail samples finite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import NetworkModelError
+
+#: Seconds per day / hour.
+DAY_S = 86_400
+HOUR_S = 3_600
+
+#: Peak local hour for residential traffic.
+_PEAK_HOUR = 20.5
+
+#: Weekday/weekend modulation: weekends shift load up slightly all day.
+_WEEKEND_BOOST = 0.05
+
+
+@dataclass(frozen=True)
+class CongestionParams:
+    """Tier-dependent congestion behaviour."""
+
+    base_utilization: float
+    diurnal_amplitude: float
+    queue_scale_ms: float
+
+
+#: Parameters per infrastructure tier: poorer networks run hotter and
+#: queue longer.
+TIER_PARAMS: Dict[int, CongestionParams] = {
+    1: CongestionParams(0.22, 0.18, 1.2),
+    2: CongestionParams(0.30, 0.22, 2.2),
+    3: CongestionParams(0.55, 0.26, 16.0),
+    4: CongestionParams(0.62, 0.28, 24.0),
+}
+
+#: Utilization ceiling: keeps the M/M/1 term finite.
+_MAX_UTILIZATION = 0.93
+
+
+def local_hour(timestamp: int, longitude_deg: float) -> float:
+    """Approximate local time-of-day (hours) from UTC time and longitude."""
+    utc_hours = (timestamp % DAY_S) / HOUR_S
+    hour = (utc_hours + longitude_deg / 15.0) % 24.0
+    # Floating-point modulo can land exactly on 24.0 for inputs a hair
+    # below a day boundary; normalize back into [0, 24).
+    return hour if hour < 24.0 else 0.0
+
+
+def is_weekend(timestamp: int) -> bool:
+    """True on Saturday/Sunday (Unix epoch began on a Thursday)."""
+    day_index = (timestamp // DAY_S + 4) % 7  # 0 = Sunday
+    return day_index in (0, 6)
+
+
+def utilization(timestamp: int, longitude_deg: float, tier: int) -> float:
+    """Deterministic utilization of the local network at this instant."""
+    params = _params(tier)
+    hour = local_hour(timestamp, longitude_deg)
+    # Cosine bump centred on the evening peak.
+    phase = math.cos((hour - _PEAK_HOUR) / 24.0 * 2.0 * math.pi)
+    value = params.base_utilization + params.diurnal_amplitude * (phase + 1.0) / 2.0
+    if is_weekend(timestamp):
+        value += _WEEKEND_BOOST
+    return min(value, _MAX_UTILIZATION)
+
+
+def queue_delay_ms(
+    timestamp: int,
+    longitude_deg: float,
+    tier: int,
+    rng: np.random.Generator,
+) -> float:
+    """Sampled queueing delay for one packet at this time and place."""
+    params = _params(tier)
+    rho = utilization(timestamp, longitude_deg, tier)
+    mean_ms = params.queue_scale_ms * rho / (1.0 - rho)
+    # Exponential service-time variation around the M/M/1 mean.
+    return float(rng.exponential(mean_ms))
+
+
+def path_noise_ms(path_km: float, rng: np.random.Generator) -> float:
+    """Small core-network jitter, growing slowly with path length."""
+    if path_km < 0:
+        raise NetworkModelError(f"path length must be non-negative: {path_km}")
+    scale = 0.08 * math.sqrt(1.0 + path_km / 100.0)
+    return float(rng.exponential(scale))
+
+
+def _params(tier: int) -> CongestionParams:
+    try:
+        return TIER_PARAMS[tier]
+    except KeyError:
+        raise NetworkModelError(f"unknown infrastructure tier: {tier}") from None

@@ -1,0 +1,202 @@
+"""End-to-end RTT composition: the :class:`LatencyModel`.
+
+One ping RTT decomposes as::
+
+    rtt = transit floor            (propagation + hops + peering, Route)
+        * backbone path factor     (private backbones route tighter)
+        + last-mile contribution   (access technology, tier, congestion)
+        + queueing delay           (diurnal utilization)
+        + core path noise
+
+The *floor* — what a nine-month minimum converges towards — is the transit
+floor plus the last-mile floor.  Everything else is per-sample noise drawn
+from deterministic, label-derived RNG streams, so two runs with the same
+seed produce the same dataset sample-for-sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import NetworkModelError
+from repro.geo.coordinates import LatLon
+from repro.geo.countries import Country
+from repro.net import congestion, lastmile, loss
+from repro.net.lastmile import AccessTechnology
+from repro.net.rng import stream
+from repro.net.topology import Route, TransitModel, default_transit_model
+
+
+@dataclass(frozen=True)
+class PingObservation:
+    """Outcome of one simulated ping (a burst of echo requests)."""
+
+    timestamp: int
+    sent: int
+    received: int
+    rtts_ms: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.received != len(self.rtts_ms):
+            raise NetworkModelError(
+                f"received={self.received} but {len(self.rtts_ms)} RTTs recorded"
+            )
+        if self.received > self.sent:
+            raise NetworkModelError("received more packets than sent")
+
+    @property
+    def succeeded(self) -> bool:
+        return self.received > 0
+
+    @property
+    def rtt_min(self) -> float:
+        return min(self.rtts_ms) if self.rtts_ms else float("nan")
+
+    @property
+    def rtt_max(self) -> float:
+        return max(self.rtts_ms) if self.rtts_ms else float("nan")
+
+    @property
+    def rtt_avg(self) -> float:
+        if not self.rtts_ms:
+            return float("nan")
+        return sum(self.rtts_ms) / len(self.rtts_ms)
+
+    @property
+    def loss_rate(self) -> float:
+        return 1.0 - self.received / self.sent
+
+
+@dataclass(frozen=True)
+class EndpointAdjustment:
+    """Target-side adjustments (provider backbone quality, address family).
+
+    ``path_factor`` scales the transit path length (private backbones take
+    tighter routes and peer more widely); ``peering_factor`` scales the
+    peering penalty; ``extra_ms`` adds a fixed RTT cost (e.g. the small
+    IPv6 tunnelling/peering overhead of the late 2010s).  The defaults
+    mean the IPv4 public Internet.
+    """
+
+    path_factor: float = 1.0
+    peering_factor: float = 1.0
+    extra_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.path_factor <= 0 or self.peering_factor < 0 or self.extra_ms < 0:
+            raise NetworkModelError(
+                f"invalid adjustment: path_factor={self.path_factor}, "
+                f"peering_factor={self.peering_factor}, extra_ms={self.extra_ms}"
+            )
+
+
+PUBLIC_INTERNET = EndpointAdjustment()
+
+
+class LatencyModel:
+    """The full probe-to-target latency simulator."""
+
+    def __init__(self, seed: int = 0, transit: TransitModel = None):
+        self.seed = int(seed)
+        self.transit = transit if transit is not None else default_transit_model()
+        # Route lookups are pure in their endpoints; pings repeat the same
+        # probe-target pairs thousands of times over a campaign, so a
+        # process-lifetime cache removes nearly all routing cost.
+        self._route_cache = {}
+
+    # -- deterministic components ------------------------------------------
+
+    def route(
+        self,
+        origin: LatLon,
+        origin_country: Country,
+        target: LatLon,
+        target_country: Country,
+    ) -> Route:
+        key = (origin, origin_country.iso2, target, target_country.iso2)
+        route = self._route_cache.get(key)
+        if route is None:
+            route = self.transit.route(origin, origin_country, target, target_country)
+            self._route_cache[key] = route
+        return route
+
+    def transit_floor_ms(
+        self,
+        origin: LatLon,
+        origin_country: Country,
+        target: LatLon,
+        target_country: Country,
+        adjustment: EndpointAdjustment = PUBLIC_INTERNET,
+    ) -> float:
+        """Floor RTT of the wide-area segment, after backbone adjustment."""
+        route = self.route(origin, origin_country, target, target_country)
+        adjusted = Route(
+            path_km=route.path_km * adjustment.path_factor,
+            kind=route.kind,
+            via=route.via,
+            peering_ms=route.peering_ms * adjustment.peering_factor,
+        )
+        return adjusted.floor_rtt_ms + adjustment.extra_ms
+
+    def floor_rtt_ms(
+        self,
+        origin: LatLon,
+        origin_country: Country,
+        tech: AccessTechnology,
+        target: LatLon,
+        target_country: Country,
+        adjustment: EndpointAdjustment = PUBLIC_INTERNET,
+    ) -> float:
+        """Best RTT this probe can ever observe towards this target."""
+        transit = self.transit_floor_ms(
+            origin, origin_country, target, target_country, adjustment
+        )
+        return transit + lastmile.floor_ms(tech, origin_country.infra_tier)
+
+    # -- sampling ------------------------------------------------------------
+
+    def ping(
+        self,
+        origin: LatLon,
+        origin_country: Country,
+        tech: AccessTechnology,
+        target: LatLon,
+        target_country: Country,
+        timestamp: int,
+        origin_id: int,
+        target_id: str,
+        packets: int = 3,
+        adjustment: EndpointAdjustment = PUBLIC_INTERNET,
+        rng=None,
+    ) -> PingObservation:
+        """Simulate one ping burst at ``timestamp`` (Unix seconds).
+
+        When ``rng`` is omitted a fresh stream is derived from
+        ``(seed, origin_id, target_id, timestamp)``; callers looping over
+        many ticks may pass a per-flow generator instead, which is much
+        faster and still deterministic given a fixed tick order.
+        """
+        if packets <= 0:
+            raise NetworkModelError(f"packets must be positive: {packets}")
+        if rng is None:
+            rng = stream(self.seed, "ping", origin_id, target_id, timestamp)
+        tier = origin_country.infra_tier
+        transit = self.transit_floor_ms(
+            origin, origin_country, target, target_country, adjustment
+        )
+        route = self.route(origin, origin_country, target, target_country)
+        rho = congestion.utilization(timestamp, origin.lon, tier)
+        received = loss.packets_received(packets, tech, tier, rho, rng)
+        rtts = []
+        for _ in range(received):
+            access = lastmile.sample_ms(tech, tier, rng, utilization=rho)
+            queue = congestion.queue_delay_ms(timestamp, origin.lon, tier, rng)
+            noise = congestion.path_noise_ms(route.path_km, rng)
+            rtts.append(transit + access + queue + noise)
+        return PingObservation(
+            timestamp=timestamp,
+            sent=packets,
+            received=received,
+            rtts_ms=tuple(round(value, 3) for value in rtts),
+        )

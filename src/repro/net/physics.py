@@ -1,0 +1,76 @@
+"""Physical-layer constants of the latency model.
+
+All downstream latency math composes these primitives.  The values are the
+standard ones used by wide-area latency studies:
+
+* light in fiber travels at roughly ``2/3 c`` ≈ 200 km/ms, so the RTT
+  contribution of ``d`` km of one-way fiber path is ``d / 100`` ms;
+* real fiber paths are longer than the great circle (routing detours,
+  cable geography); we express this as multiplicative *path inflation*;
+* each router hop adds a small processing/serialization delay.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import NetworkModelError
+
+#: Propagation speed of light in fiber, km per millisecond.
+FIBER_KM_PER_MS = 200.0
+
+#: RTT milliseconds contributed per kilometre of one-way path length.
+RTT_MS_PER_KM = 2.0 / FIBER_KM_PER_MS
+
+#: Baseline inflation of fiber routes over the great-circle distance for
+#: well-peered routes.  Empirical studies place median path stretch around
+#: 1.2-1.5; poorly peered routes go far higher (see ``repro.net.topology``).
+BASE_PATH_INFLATION = 1.25
+
+#: RTT cost of one router hop (processing + serialization), milliseconds.
+PER_HOP_RTT_MS = 0.12
+
+#: Typical RTT spent inside the destination datacenter (load balancer,
+#: virtualization) before the reply leaves again, milliseconds.
+DATACENTER_INTERNAL_RTT_MS = 0.35
+
+#: Hops are roughly logarithmic in distance: a handful for metro paths,
+#: ~15-25 for intercontinental ones.
+_MIN_HOPS = 4
+_MAX_HOPS = 26
+
+
+def propagation_rtt_ms(path_km: float) -> float:
+    """RTT due to propagation over ``path_km`` of one-way fiber path."""
+    if path_km < 0:
+        raise NetworkModelError(f"path length must be non-negative: {path_km}")
+    return path_km * RTT_MS_PER_KM
+
+
+def estimate_hop_count(path_km: float) -> int:
+    """Expected router hop count for a path of ``path_km`` kilometres."""
+    if path_km < 0:
+        raise NetworkModelError(f"path length must be non-negative: {path_km}")
+    if path_km < 5.0:
+        return _MIN_HOPS
+    hops = _MIN_HOPS + 2.6 * math.log1p(path_km / 40.0)
+    return int(min(_MAX_HOPS, round(hops)))
+
+
+def hop_rtt_ms(path_km: float) -> float:
+    """RTT contributed by router hops along a path of ``path_km``."""
+    return estimate_hop_count(path_km) * PER_HOP_RTT_MS
+
+
+def wire_rtt_ms(path_km: float) -> float:
+    """Minimum RTT of a clean path: propagation + hops + datacenter entry.
+
+    This is the floor the best ping over nine months converges towards;
+    queueing, last-mile access and transient congestion are added on top by
+    :mod:`repro.net.pathmodel`.
+    """
+    return (
+        propagation_rtt_ms(path_km)
+        + hop_rtt_ms(path_km)
+        + DATACENTER_INTERNAL_RTT_MS
+    )

@@ -1,0 +1,61 @@
+"""Deterministic, label-derived random number streams.
+
+Every stochastic component of the simulator draws from a stream derived
+from ``(root seed, *labels)``.  Two properties follow:
+
+* **Reproducibility** — the same seed regenerates the identical dataset,
+  which the calibration tests and benchmark harnesses rely on;
+* **Independence** — adding samples for one probe never shifts the stream
+  of another, so experiments can be extended without perturbing results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+import numpy as np
+
+Label = Union[str, int]
+
+
+def derive_seed(root: int, *labels: Label) -> int:
+    """Derive a 64-bit child seed from a root seed and a label path."""
+    hasher = hashlib.blake2b(digest_size=8)
+    hasher.update(str(int(root)).encode("ascii"))
+    for label in labels:
+        hasher.update(b"/")
+        hasher.update(str(label).encode("utf-8"))
+    return int.from_bytes(hasher.digest(), "big")
+
+
+def stream(root: int, *labels: Label) -> np.random.Generator:
+    """A numpy Generator seeded from ``(root, *labels)``."""
+    return np.random.default_rng(derive_seed(root, *labels))
+
+
+class SeedSequenceTree:
+    """Convenience wrapper: a root seed that hands out child streams.
+
+    Example::
+
+        tree = SeedSequenceTree(42)
+        probe_rng = tree.stream("probe", probe_id)
+        sample_rng = tree.stream("sample", probe_id, timestamp)
+    """
+
+    def __init__(self, root: int):
+        self.root = int(root)
+
+    def child_seed(self, *labels: Label) -> int:
+        return derive_seed(self.root, *labels)
+
+    def stream(self, *labels: Label) -> np.random.Generator:
+        return stream(self.root, *labels)
+
+    def uniform(self, low: float, high: float, *labels: Label) -> float:
+        """One deterministic uniform draw identified by its label path."""
+        return float(self.stream(*labels).uniform(low, high))
+
+    def __repr__(self) -> str:
+        return f"SeedSequenceTree(root={self.root})"

@@ -1,0 +1,59 @@
+"""Scholar/Trends substrate for the Figure 1 retrospective."""
+
+from repro.scholar.corpus import (
+    CURVES as PUBLICATION_CURVES,
+    FIRST_YEAR,
+    LAST_YEAR,
+    AdoptionCurve,
+    Publication,
+    iter_publications,
+    known_keywords,
+    make_publication,
+    publication_count,
+    yearly_counts,
+)
+from repro.scholar.crawler import (
+    DEFAULT_REQUEST_BUDGET,
+    PAGE_SIZE,
+    ResultPage,
+    ScholarCrawler,
+)
+from repro.scholar.export import (
+    citation_key,
+    export_bibtex,
+    export_csv,
+    to_bibtex,
+)
+from repro.scholar.trends import (
+    CURVES as TREND_CURVES,
+    InterestCurve,
+    monthly_series,
+    normalized_series,
+    yearly_average,
+)
+
+__all__ = [
+    "AdoptionCurve",
+    "DEFAULT_REQUEST_BUDGET",
+    "FIRST_YEAR",
+    "InterestCurve",
+    "LAST_YEAR",
+    "PAGE_SIZE",
+    "PUBLICATION_CURVES",
+    "Publication",
+    "ResultPage",
+    "ScholarCrawler",
+    "TREND_CURVES",
+    "citation_key",
+    "export_bibtex",
+    "export_csv",
+    "to_bibtex",
+    "iter_publications",
+    "known_keywords",
+    "make_publication",
+    "monthly_series",
+    "normalized_series",
+    "publication_count",
+    "yearly_average",
+    "yearly_counts",
+]

@@ -1,0 +1,149 @@
+"""Synthetic publication corpus for the Figure 1 retrospective.
+
+The paper's Figure 1 plots yearly publication counts for "cloud computing"
+and "edge computing" from 2004 to 2019, collected by a custom Google
+Scholar crawler.  Scholar is unreachable offline, so we synthesize a
+corpus whose per-keyword yearly counts follow logistic technology-adoption
+dynamics calibrated to the figure's shape:
+
+* *CDN* — an early, modest wave (the term "edge" first appears here);
+* *cloud computing* — takes off around 2008, grows explosively, saturates
+  mid-decade;
+* *edge computing* — near zero before the 2009 cloudlets paper, then a
+  steep rise from ~2014 onwards.
+
+Individual publication records are generated lazily and deterministically
+so the crawler can paginate through tens of thousands of entries without
+materializing them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import ReproError
+from repro.net.rng import stream
+
+#: Year range covered by the corpus (Figure 1's x-axis).
+FIRST_YEAR = 2004
+LAST_YEAR = 2019
+
+
+@dataclass(frozen=True)
+class AdoptionCurve:
+    """Logistic growth with optional post-peak decay."""
+
+    start_year: int
+    midpoint: float
+    steepness: float
+    saturation: float
+    decay_after: int = 9999
+    decay_rate: float = 0.0
+
+    def value(self, year: int) -> float:
+        if year < self.start_year:
+            return 0.0
+        logistic = self.saturation / (
+            1.0 + math.exp(-self.steepness * (year - self.midpoint))
+        )
+        if year > self.decay_after:
+            logistic *= math.exp(-self.decay_rate * (year - self.decay_after))
+        return logistic
+
+
+#: Keyword dynamics calibrated to Figure 1's publication series.
+CURVES: Dict[str, AdoptionCurve] = {
+    "content delivery network": AdoptionCurve(
+        start_year=1998, midpoint=2004.0, steepness=0.7, saturation=1800.0,
+        decay_after=2012, decay_rate=0.03,
+    ),
+    "cloud computing": AdoptionCurve(
+        start_year=2006, midpoint=2011.5, steepness=0.85, saturation=24_000.0,
+        decay_after=2016, decay_rate=0.02,
+    ),
+    "edge computing": AdoptionCurve(
+        start_year=2009, midpoint=2017.8, steepness=0.95, saturation=14_000.0,
+    ),
+}
+
+_VENUES = (
+    "SIGCOMM", "HotNets", "IMC", "NSDI", "INFOCOM", "CoNEXT", "SEC",
+    "MobiCom", "MobiSys", "SoCC", "IEEE Communications", "Computer",
+)
+
+_TOPIC_WORDS = (
+    "architecture", "placement", "offloading", "caching", "scheduling",
+    "orchestration", "measurement", "pricing", "latency", "bandwidth",
+    "energy", "privacy", "security", "federation", "migration",
+)
+
+
+@dataclass(frozen=True)
+class Publication:
+    """One synthetic scholarly record."""
+
+    keyword: str
+    year: int
+    index: int
+    title: str
+    venue: str
+    num_authors: int
+    citations: int
+
+    @property
+    def identifier(self) -> str:
+        return f"{self.keyword.replace(' ', '-')}:{self.year}:{self.index}"
+
+
+def known_keywords() -> Tuple[str, ...]:
+    return tuple(CURVES)
+
+
+def publication_count(keyword: str, year: int) -> int:
+    """Number of publications mentioning ``keyword`` in ``year``."""
+    try:
+        curve = CURVES[keyword]
+    except KeyError:
+        raise ReproError(f"unknown corpus keyword: {keyword!r}") from None
+    return int(round(curve.value(year)))
+
+
+def yearly_counts(keyword: str, first: int = FIRST_YEAR, last: int = LAST_YEAR) -> Dict[int, int]:
+    """The Figure 1 publication series for one keyword."""
+    if first > last:
+        raise ReproError(f"invalid year range [{first}, {last}]")
+    return {year: publication_count(keyword, year) for year in range(first, last + 1)}
+
+
+def make_publication(keyword: str, year: int, index: int, seed: int = 0) -> Publication:
+    """Deterministically generate the ``index``-th record of a year."""
+    total = publication_count(keyword, year)
+    if not 0 <= index < total:
+        raise ReproError(
+            f"index {index} out of range for {keyword!r}/{year} (count {total})"
+        )
+    rng = stream(seed, "scholar", keyword, year, index)
+    topic = _TOPIC_WORDS[int(rng.integers(0, len(_TOPIC_WORDS)))]
+    venue = _VENUES[int(rng.integers(0, len(_VENUES)))]
+    age = max(0, LAST_YEAR - year)
+    citations = int(rng.pareto(1.3) * (1 + age * 2))
+    return Publication(
+        keyword=keyword,
+        year=year,
+        index=index,
+        title=f"Towards {topic} for {keyword} ({year}-{index:05d})",
+        venue=venue,
+        num_authors=int(rng.integers(1, 8)),
+        citations=citations,
+    )
+
+
+def iter_publications(
+    keyword: str, year: int, seed: int = 0, start: int = 0
+) -> Iterator[Publication]:
+    """Lazily iterate a year's records from offset ``start``."""
+    total = publication_count(keyword, year)
+    for index in range(start, total):
+        yield make_publication(keyword, year, index, seed)

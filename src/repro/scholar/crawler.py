@@ -1,0 +1,131 @@
+"""A Google-Scholar-style crawler over the synthetic corpus.
+
+The paper collected its publication series "by a custom web crawler for
+Google Scholar, based on an open source implementation" (footnote 2,
+citing Kreibich's ``scholar.py``).  This module reproduces that tooling
+against :mod:`repro.scholar.corpus`: paginated result pages, an "about N
+results" estimate, request budgets, and the CAPTCHA wall every Scholar
+crawler eventually hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import CrawlerError, ReproError
+from repro.scholar.corpus import (
+    FIRST_YEAR,
+    LAST_YEAR,
+    Publication,
+    iter_publications,
+    publication_count,
+)
+
+#: Results per page, like Scholar's default.
+PAGE_SIZE = 10
+
+#: Requests allowed before the service shows a CAPTCHA.
+DEFAULT_REQUEST_BUDGET = 2_000
+
+
+@dataclass
+class ResultPage:
+    """One page of crawl results."""
+
+    keyword: str
+    year: int
+    start: int
+    total_estimate: int
+    entries: Tuple[Publication, ...]
+
+    @property
+    def has_next(self) -> bool:
+        return self.start + len(self.entries) < self.total_estimate
+
+
+@dataclass
+class ScholarCrawler:
+    """Paginating crawler with a request budget.
+
+    Example::
+
+        crawler = ScholarCrawler(seed=7)
+        series = crawler.yearly_counts("edge computing")
+    """
+
+    seed: int = 0
+    page_size: int = PAGE_SIZE
+    request_budget: int = DEFAULT_REQUEST_BUDGET
+    requests_made: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise ReproError(f"page size must be positive: {self.page_size}")
+
+    # -- low-level request --------------------------------------------------
+
+    def _spend_request(self) -> None:
+        if self.requests_made >= self.request_budget:
+            raise CrawlerError(
+                "request budget exhausted: the service responded with a CAPTCHA"
+            )
+        self.requests_made += 1
+
+    def fetch_page(self, keyword: str, year: int, start: int = 0) -> ResultPage:
+        """Fetch one result page (costs one request)."""
+        if start < 0:
+            raise ReproError(f"start offset must be non-negative: {start}")
+        self._spend_request()
+        total = publication_count(keyword, year)
+        entries = []
+        for publication in iter_publications(keyword, year, self.seed, start=start):
+            entries.append(publication)
+            if len(entries) >= self.page_size:
+                break
+        return ResultPage(
+            keyword=keyword,
+            year=year,
+            start=start,
+            total_estimate=total,
+            entries=tuple(entries),
+        )
+
+    # -- high-level collection ------------------------------------------------
+
+    def count_results(self, keyword: str, year: int) -> int:
+        """The 'about N results' estimate (costs one request)."""
+        return self.fetch_page(keyword, year, start=0).total_estimate
+
+    def yearly_counts(
+        self, keyword: str, first: int = FIRST_YEAR, last: int = LAST_YEAR
+    ) -> Dict[int, int]:
+        """The Figure 1 series: one count request per year."""
+        if first > last:
+            raise ReproError(f"invalid year range [{first}, {last}]")
+        return {
+            year: self.count_results(keyword, year) for year in range(first, last + 1)
+        }
+
+    def crawl_year(
+        self, keyword: str, year: int, max_records: int = None
+    ) -> Iterator[Publication]:
+        """Iterate a year's records page by page (full-crawl mode)."""
+        start = 0
+        fetched = 0
+        while True:
+            page = self.fetch_page(keyword, year, start=start)
+            for publication in page.entries:
+                yield publication
+                fetched += 1
+                if max_records is not None and fetched >= max_records:
+                    return
+            if not page.has_next:
+                return
+            start += len(page.entries)
+
+    def top_cited(self, keyword: str, year: int, n: int = 10) -> List[Publication]:
+        """The ``n`` most-cited records of a year (crawls the full year)."""
+        records = list(self.crawl_year(keyword, year))
+        records.sort(key=lambda pub: pub.citations, reverse=True)
+        return records[:n]

@@ -1,0 +1,85 @@
+"""Citation export — the raison d'être of the crawler the paper cites.
+
+Kreibich's ``scholar.py`` (footnote 2) exports query results as citation
+records; we reproduce that surface for the synthetic corpus: BibTeX and
+CSV formatting of :class:`~repro.scholar.corpus.Publication` records,
+with stable citation keys.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List
+
+from repro.errors import ReproError
+from repro.scholar.corpus import Publication
+
+_FAMILY_NAMES = (
+    "Anand", "Baker", "Chen", "Dietrich", "Eriksson", "Fernandez", "Gupta",
+    "Hansen", "Ito", "Johnson", "Kim", "Lopez", "Martin", "Nguyen", "Okafor",
+    "Petrov", "Quintero", "Rossi", "Schmidt", "Tanaka",
+)
+
+
+def _author_list(publication: Publication) -> List[str]:
+    """Deterministic synthetic author names for a record."""
+    base = (publication.year * 31 + publication.index) % len(_FAMILY_NAMES)
+    return [
+        _FAMILY_NAMES[(base + offset) % len(_FAMILY_NAMES)]
+        for offset in range(publication.num_authors)
+    ]
+
+
+def citation_key(publication: Publication) -> str:
+    """A stable BibTeX key, e.g. ``chen2018edge00042``."""
+    first_author = _author_list(publication)[0].lower()
+    keyword_slug = publication.keyword.split()[0]
+    return f"{first_author}{publication.year}{keyword_slug}{publication.index:05d}"
+
+
+def to_bibtex(publication: Publication) -> str:
+    """One record as a BibTeX ``@inproceedings`` entry."""
+    authors = " and ".join(_author_list(publication))
+    return (
+        f"@inproceedings{{{citation_key(publication)},\n"
+        f"  title     = {{{publication.title}}},\n"
+        f"  author    = {{{authors}}},\n"
+        f"  booktitle = {{Proceedings of {publication.venue}}},\n"
+        f"  year      = {{{publication.year}}},\n"
+        f"  note      = {{citations: {publication.citations}}}\n"
+        f"}}"
+    )
+
+
+def export_bibtex(publications: Iterable[Publication]) -> str:
+    """A BibTeX file body for a batch of records."""
+    entries = [to_bibtex(publication) for publication in publications]
+    if not entries:
+        raise ReproError("no publications to export")
+    return "\n\n".join(entries) + "\n"
+
+
+def export_csv(publications: Iterable[Publication]) -> str:
+    """scholar.py-style CSV export (one row per record)."""
+    publications = list(publications)
+    if not publications:
+        raise ReproError("no publications to export")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(
+        ["key", "title", "authors", "venue", "year", "citations", "keyword"]
+    )
+    for publication in publications:
+        writer.writerow(
+            [
+                citation_key(publication),
+                publication.title,
+                "; ".join(_author_list(publication)),
+                publication.venue,
+                publication.year,
+                publication.citations,
+                publication.keyword,
+            ]
+        )
+    return buffer.getvalue()

@@ -1,0 +1,122 @@
+"""Google-Trends-style search-interest series.
+
+Figure 1's red curves show web-search popularity of "cloud computing" and
+"edge computing" from 2004 to 2019.  Trends data is normalized: within a
+comparison, the highest monthly value across all series becomes 100.
+
+The underlying raw-interest curves are calibrated to the published chart:
+cloud search interest climbs from 2008, peaks around 2012, then declines
+slowly; edge interest stays negligible until ~2014 and climbs steadily to
+the end of the window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.net.rng import stream
+from repro.scholar.corpus import FIRST_YEAR, LAST_YEAR
+
+
+@dataclass(frozen=True)
+class InterestCurve:
+    """Raw (un-normalized) search interest: logistic rise, exponential cool-off."""
+
+    start_year: float
+    midpoint: float
+    steepness: float
+    peak: float
+    peak_year: float
+    cooloff_rate: float
+
+    def value(self, when: float) -> float:
+        """Raw interest at fractional year ``when``."""
+        if when < self.start_year:
+            return 0.0
+        rise = self.peak / (1.0 + math.exp(-self.steepness * (when - self.midpoint)))
+        if when > self.peak_year:
+            rise *= math.exp(-self.cooloff_rate * (when - self.peak_year))
+        return rise
+
+
+CURVES: Dict[str, InterestCurve] = {
+    "cloud computing": InterestCurve(
+        start_year=2007.0, midpoint=2010.2, steepness=1.6,
+        peak=100.0, peak_year=2012.0, cooloff_rate=0.055,
+    ),
+    "edge computing": InterestCurve(
+        start_year=2013.5, midpoint=2018.3, steepness=0.9,
+        peak=75.0, peak_year=2030.0, cooloff_rate=0.0,
+    ),
+    "content delivery network": InterestCurve(
+        start_year=2004.0, midpoint=2006.0, steepness=1.0,
+        peak=18.0, peak_year=2009.0, cooloff_rate=0.02,
+    ),
+}
+
+#: Months per sampled year.
+MONTHS = 12
+
+
+def _raw_value(keyword: str, when: float) -> float:
+    try:
+        curve = CURVES[keyword]
+    except KeyError:
+        raise ReproError(f"unknown trends keyword: {keyword!r}") from None
+    return curve.value(when)
+
+
+def monthly_series(
+    keyword: str,
+    first: int = FIRST_YEAR,
+    last: int = LAST_YEAR,
+    seed: int = 0,
+) -> List[Tuple[float, float]]:
+    """Raw monthly interest: list of ``(fractional_year, value)``.
+
+    Includes mild seasonal structure and sampling noise, as real Trends
+    exports do.
+    """
+    if first > last:
+        raise ReproError(f"invalid year range [{first}, {last}]")
+    rng = stream(seed, "trends", keyword)
+    series = []
+    for year in range(first, last + 1):
+        for month in range(MONTHS):
+            when = year + month / MONTHS
+            seasonal = 1.0 + 0.05 * math.sin(2.0 * math.pi * (month - 1) / MONTHS)
+            noise = 1.0 + float(rng.normal(0.0, 0.03))
+            series.append((when, max(0.0, _raw_value(keyword, when) * seasonal * noise)))
+    return series
+
+
+def normalized_series(
+    keywords: Sequence[str],
+    first: int = FIRST_YEAR,
+    last: int = LAST_YEAR,
+    seed: int = 0,
+) -> Dict[str, List[Tuple[float, float]]]:
+    """Trends-style joint normalization: global maximum becomes 100."""
+    raw = {kw: monthly_series(kw, first, last, seed) for kw in keywords}
+    peak = max((value for series in raw.values() for _, value in series), default=0.0)
+    if peak == 0.0:
+        raise ReproError("all series are zero; cannot normalize")
+    factor = 100.0 / peak
+    return {
+        kw: [(when, value * factor) for when, value in series]
+        for kw, series in raw.items()
+    }
+
+
+def yearly_average(series: List[Tuple[float, float]]) -> Dict[int, float]:
+    """Collapse a monthly series to yearly means (Figure 1's granularity)."""
+    sums: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    for when, value in series:
+        year = int(when)
+        sums[year] = sums.get(year, 0.0) + value
+        counts[year] = counts.get(year, 0) + 1
+    return {year: sums[year] / counts[year] for year in sums}

@@ -1,0 +1,20 @@
+"""Text-mode figure rendering and data export."""
+
+from repro.viz.ascii import bar_chart, cdf_plot, hbar, line_chart, table
+from repro.viz.choropleth import BUCKET_SYMBOLS, bucket_listing, world_map
+from repro.viz.export import ecdf_payload, export_figure, frame_payload, load_figure
+
+__all__ = [
+    "BUCKET_SYMBOLS",
+    "bar_chart",
+    "bucket_listing",
+    "cdf_plot",
+    "ecdf_payload",
+    "export_figure",
+    "frame_payload",
+    "hbar",
+    "line_chart",
+    "load_figure",
+    "table",
+    "world_map",
+]

@@ -1,0 +1,164 @@
+"""Terminal renderers for figures.
+
+matplotlib is unavailable offline, so the examples and benchmark harnesses
+render figures as text: CDF plots, line charts, horizontal bars, and
+aligned tables.  Pure functions returning strings — callers decide where
+to print.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.frame import ECDF, Frame
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def hbar(value: float, maximum: float, width: int = 40) -> str:
+    """A horizontal bar of ``value / maximum`` scaled to ``width`` cells."""
+    if maximum <= 0:
+        raise ReproError("hbar maximum must be positive")
+    value = max(0.0, min(value, maximum))
+    cells = value / maximum * width
+    full = int(cells)
+    frac = int((cells - full) * (len(_BLOCKS) - 1))
+    bar = "█" * full
+    if frac and full < width:
+        bar += _BLOCKS[frac]
+    return bar.ljust(width)
+
+
+def bar_chart(
+    items: Mapping[str, float], width: int = 40, fmt: str = "{:.1f}"
+) -> str:
+    """Labelled horizontal bar chart."""
+    if not items:
+        raise ReproError("bar_chart needs at least one item")
+    peak = max(items.values())
+    label_width = max(len(str(label)) for label in items)
+    lines = []
+    for label, value in items.items():
+        lines.append(
+            f"{str(label):>{label_width}} |{hbar(value, peak, width)}| "
+            + fmt.format(value)
+        )
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    curves: Mapping[str, ECDF],
+    x_max: float = None,
+    width: int = 64,
+    height: int = 16,
+    x_label: str = "RTT (ms)",
+) -> str:
+    """Multi-series CDF plot on a character grid.
+
+    Each series gets a letter marker (its label's first character,
+    uppercased, de-duplicated A-Z as needed).
+    """
+    if not curves:
+        raise ReproError("cdf_plot needs at least one curve")
+    if x_max is None:
+        x_max = max(curve.x[-1] for curve in curves.values() if len(curve))
+    grid = [[" "] * width for _ in range(height)]
+    markers: Dict[str, str] = {}
+    used = set()
+    for label in curves:
+        marker = str(label)[0].upper()
+        while marker in used:
+            marker = chr(ord(marker) + 1) if marker < "Z" else "#"
+            if marker == "#":
+                break
+        used.add(marker)
+        markers[str(label)] = marker
+    for label, curve in curves.items():
+        if not len(curve):
+            continue
+        for col in range(width):
+            x = (col + 0.5) / width * x_max
+            p = curve.fraction_below(x)
+            row = height - 1 - int(p * (height - 1))
+            grid[row][col] = markers[str(label)]
+    lines = []
+    for index, row in enumerate(grid):
+        p = 1.0 - index / (height - 1)
+        lines.append(f"{p:4.2f} |" + "".join(row))
+    lines.append("     +" + "-" * width)
+    lines.append(f"     0{x_label:^{width - 12}}{x_max:.0f} ms")
+    legend = "  ".join(f"{marker}={label}" for label, marker in markers.items())
+    lines.append("     " + legend)
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 14,
+) -> str:
+    """Multi-series line chart over (x, y) points."""
+    if not series:
+        raise ReproError("line_chart needs at least one series")
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [y for points in series.values() for _, y in points]
+    if not xs:
+        raise ReproError("line_chart series are empty")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = {}
+    used = set()
+    for label in series:
+        marker = str(label)[0].upper()
+        while marker in used and marker < "Z":
+            marker = chr(ord(marker) + 1)
+        used.add(marker)
+        markers[str(label)] = marker
+    for label, points in series.items():
+        for x, y in points:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = markers[str(label)]
+    lines = [f"{y_hi:8.1f} |" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append("         |" + "".join(row))
+    lines.append(f"{y_lo:8.1f} |" + "".join(grid[-1]))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          {x_lo:<10.1f}{'':^{max(0, width - 22)}}{x_hi:>10.1f}")
+    lines.append(
+        "          " + "  ".join(f"{m}={l}" for l, m in markers.items())
+    )
+    return "\n".join(lines)
+
+
+def table(frame: Frame, max_rows: int = 30, float_fmt: str = "{:.2f}") -> str:
+    """Render a Frame as an aligned text table."""
+    header = list(frame.columns)
+    rows: List[List[str]] = []
+    for index, row in enumerate(frame.iter_rows()):
+        if index >= max_rows:
+            rows.append(["..."] * len(header))
+            break
+        cells = []
+        for name in header:
+            value = row[name]
+            if isinstance(value, float):
+                cells.append(float_fmt.format(value))
+            else:
+                cells.append(str(value))
+        rows.append(cells)
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for cells in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(cells, widths)))
+    return "\n".join(lines)

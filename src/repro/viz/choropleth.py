@@ -1,0 +1,72 @@
+"""Text-mode rendering of the Figure 4 latency choropleth.
+
+Two views: a bucketed country listing (the map legend's content) and a
+coarse ASCII world map where each country's centroid cell is painted with
+its latency bucket's symbol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.constants import FIG4_BUCKET_LABELS as BUCKET_LABELS
+from repro.errors import ReproError
+from repro.frame import Frame
+from repro.geo.countries import get_country
+
+#: Symbol per Figure 4 bucket, best to worst.
+BUCKET_SYMBOLS: Dict[str, str] = {
+    "<10 ms": "#",
+    "10-20 ms": "+",
+    "20-50 ms": "o",
+    "50-100 ms": ".",
+    ">100 ms": "!",
+}
+
+
+def bucket_listing(country_frame: Frame, columns: int = 4) -> str:
+    """Countries grouped by latency bucket (the choropleth as a list)."""
+    if columns <= 0:
+        raise ReproError("columns must be positive")
+    groups: Dict[str, List[str]] = {label: [] for label in BUCKET_LABELS}
+    for row in country_frame.iter_rows():
+        groups[str(row["bucket"])].append(str(row["country"]))
+    lines = []
+    for label in BUCKET_LABELS:
+        members = sorted(groups[label])
+        lines.append(f"{label} ({len(members)} countries):")
+        for start in range(0, len(members), 16):
+            lines.append("    " + " ".join(members[start : start + 16]))
+        if not members:
+            lines.append("    (none)")
+    return "\n".join(lines)
+
+
+def world_map(country_frame: Frame, width: int = 72, height: int = 24) -> str:
+    """ASCII world map painted with latency-bucket symbols.
+
+    Each country paints the cell of its centroid; later (worse) buckets
+    never overwrite better ones in a shared cell.
+    """
+    if width <= 0 or height <= 0:
+        raise ReproError("map dimensions must be positive")
+    grid = [[" "] * width for _ in range(height)]
+    rank = {label: i for i, label in enumerate(BUCKET_LABELS)}
+    painted: Dict[tuple, int] = {}
+    for row in country_frame.iter_rows():
+        country = get_country(str(row["country"]))
+        lat, lon = country.centroid.lat, country.centroid.lon
+        col = int((lon + 180.0) / 360.0 * (width - 1))
+        # Clip to inhabited latitudes for a better aspect ratio.
+        lat = max(-60.0, min(72.0, lat))
+        line = int((72.0 - lat) / 132.0 * (height - 1))
+        bucket = str(row["bucket"])
+        key = (line, col)
+        if key in painted and painted[key] <= rank[bucket]:
+            continue
+        painted[key] = rank[bucket]
+        grid[line][col] = BUCKET_SYMBOLS[bucket]
+    legend = "   ".join(
+        f"{symbol} {label}" for label, symbol in BUCKET_SYMBOLS.items()
+    )
+    return "\n".join("".join(line) for line in grid) + "\n" + legend

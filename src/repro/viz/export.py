@@ -1,0 +1,51 @@
+"""Figure-data export.
+
+Each figure's underlying data can be exported as JSON (series and
+parameters) so external plotting tools can regenerate publication-quality
+graphics from a benchmark run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping
+
+from repro.errors import ReproError
+from repro.frame import ECDF, Frame
+
+
+def ecdf_payload(curves: Mapping[str, ECDF], points: int = 200) -> Dict:
+    """Serializable payload for a family of CDFs (downsampled)."""
+    payload = {}
+    for label, curve in curves.items():
+        sampled = curve.sample_points(points)
+        payload[str(label)] = {
+            "x": [round(float(v), 4) for v in sampled.x],
+            "p": [round(float(v), 6) for v in sampled.p],
+        }
+    return payload
+
+
+def frame_payload(frame: Frame) -> Dict:
+    """Serializable payload for a Frame (column-oriented)."""
+    return {
+        name: [value.item() if hasattr(value, "item") else value for value in frame[name]]
+        for name in frame.columns
+    }
+
+
+def export_figure(path, *, figure: str, data: Dict, notes: str = "") -> None:
+    """Write one figure's data bundle to ``path`` as JSON."""
+    if not figure:
+        raise ReproError("figure name must be non-empty")
+    bundle = {"figure": figure, "notes": notes, "data": data}
+    Path(path).write_text(json.dumps(bundle, indent=2), encoding="utf-8")
+
+
+def load_figure(path) -> Dict:
+    """Read back a bundle written by :func:`export_figure`."""
+    bundle = json.loads(Path(path).read_text(encoding="utf-8"))
+    if "figure" not in bundle or "data" not in bundle:
+        raise ReproError(f"{path} is not a figure bundle")
+    return bundle

@@ -1,0 +1,83 @@
+"""Tests for repro.apps.catalog."""
+
+import pytest
+
+from repro.apps.catalog import (
+    Application,
+    all_applications,
+    get_application,
+    hyped_applications,
+)
+from repro.errors import ReproError
+
+
+class TestCatalog:
+    def test_size(self):
+        # Figure 2 draws roughly this many driving applications.
+        assert 12 <= len(all_applications()) <= 20
+
+    def test_lookup(self):
+        app = get_application("cloud-gaming")
+        assert app.name == "Cloud gaming"
+
+    def test_unknown(self):
+        with pytest.raises(ReproError):
+            get_application("time-travel")
+
+    def test_paper_mentions_present(self):
+        for slug in (
+            "ar-vr", "autonomous-vehicles", "cloud-gaming", "smart-home",
+            "wearables", "traffic-monitoring", "smart-city",
+        ):
+            get_application(slug)
+
+
+class TestValidation:
+    def test_bad_latency_range(self):
+        with pytest.raises(ReproError):
+            Application("x", "X", 10.0, 5.0, 1.0, 2.0, 1.0, True)
+
+    def test_bad_bandwidth_range(self):
+        with pytest.raises(ReproError):
+            Application("x", "X", 1.0, 2.0, 3.0, 1.0, 1.0, True)
+
+    def test_negative_market(self):
+        with pytest.raises(ReproError):
+            Application("x", "X", 1.0, 2.0, 1.0, 2.0, -1.0, True)
+
+
+class TestDerived:
+    def test_geometric_center(self):
+        app = Application("x", "X", 10.0, 40.0, 1.0, 4.0, 1.0, True)
+        assert app.latency_center_ms == pytest.approx(20.0)
+        assert app.bandwidth_center_gb_day == pytest.approx(2.0)
+
+    def test_strictness_narrower_is_higher(self):
+        tight = Application("a", "A", 10.0, 12.0, 1.0, 2.0, 1.0, True)
+        loose = Application("b", "B", 10.0, 1000.0, 1.0, 2.0, 1.0, True)
+        assert tight.latency_strictness > loose.latency_strictness
+
+
+class TestPaperShape:
+    def test_arvr_network_budget_below_wireless_floor(self):
+        """The display-pipeline arithmetic (§3) pushes AR/VR's network
+        budget below the ~10 ms wireless floor — key to Figure 8."""
+        assert get_application("ar-vr").latency_center_ms < 10.0
+
+    def test_autonomous_vehicles_strictest(self):
+        av = get_application("autonomous-vehicles")
+        assert av.latency_center_ms < 10.0
+        assert av.market_2025_busd > 100.0
+
+    def test_hyped_are_large_markets(self):
+        hyped = hyped_applications()
+        assert len(hyped) == 4
+        floor = min(app.market_2025_busd for app in hyped)
+        others = [a for a in all_applications() if a not in hyped]
+        assert all(a.market_2025_busd <= floor for a in others)
+
+    def test_human_centric_majority(self):
+        """'Majority applications in Figure 2 are human-centric.'"""
+        apps = all_applications()
+        human = sum(1 for a in apps if a.human_centric)
+        assert human >= len(apps) / 2

@@ -1,0 +1,87 @@
+"""Tests for repro.apps.feasibility — the Figure 8 punchline."""
+
+import pytest
+
+from repro.apps.catalog import get_application
+from repro.apps.feasibility import (
+    FeasibilityZone,
+    Verdict,
+    assess,
+    assess_all,
+    zone_market_share,
+)
+from repro.errors import ReproError
+
+
+class TestZoneGeometry:
+    def test_defaults_from_paper(self):
+        zone = FeasibilityZone()
+        assert zone.latency_low_ms == 10.0
+        assert zone.latency_high_ms == 250.0
+        assert zone.bandwidth_min_gb_day == 1.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ReproError):
+            FeasibilityZone(latency_low_ms=100.0, latency_high_ms=10.0)
+        with pytest.raises(ReproError):
+            FeasibilityZone(bandwidth_min_gb_day=0.0)
+
+    def test_full_overlap(self):
+        zone = FeasibilityZone()
+        app = get_application("traffic-monitoring")  # 100-1000 ms? partially
+        assert 0.0 <= zone.overlap(app) <= 1.0
+
+    def test_overlap_zero_for_far_apps(self):
+        zone = FeasibilityZone()
+        weather = get_application("weather-monitoring")
+        assert zone.overlap(weather) == pytest.approx(0.0)
+
+    def test_latency_overlap_partial(self):
+        zone = FeasibilityZone()
+        gaming = get_application("cloud-gaming")  # 30-100 ms, inside
+        assert zone.latency_overlap(gaming) == pytest.approx(1.0)
+
+
+class TestVerdicts:
+    def test_in_zone_apps(self):
+        verdicts = assess_all()
+        for slug in ("traffic-monitoring", "cloud-gaming", "video-analytics"):
+            assert verdicts[slug] is Verdict.IN_ZONE, slug
+
+    def test_onboard_apps(self):
+        """The paper: autonomous vehicles and AR/VR are too stringent even
+        for a basestation-colocated edge."""
+        verdicts = assess_all()
+        assert verdicts["autonomous-vehicles"] is Verdict.ONBOARD_REQUIRED
+        assert verdicts["ar-vr"] is Verdict.ONBOARD_REQUIRED
+        assert verdicts["industrial-robots"] is Verdict.ONBOARD_REQUIRED
+
+    def test_cloud_sufficient_apps(self):
+        verdicts = assess_all()
+        for slug in ("wearables", "smart-home", "weather-monitoring"):
+            assert verdicts[slug] is Verdict.CLOUD_SUFFICIENT, slug
+
+    def test_aggregation_only_apps(self):
+        verdicts = assess_all()
+        assert verdicts["smart-city"] is Verdict.AGGREGATION_ONLY
+
+    def test_custom_zone_changes_verdicts(self):
+        """A hypothetical 1 ms-floor edge (perfect 5G) rescues AR/VR."""
+        optimistic = FeasibilityZone(latency_low_ms=1.0)
+        assert assess(get_application("ar-vr"), optimistic) is Verdict.IN_ZONE
+
+
+class TestMarketPunchline:
+    def test_fz_market_pales(self):
+        """'the predicted market share of applications within the edge FZ
+        pales compared to those for which edge does not provide much
+        benefit.'"""
+        inside, outside = zone_market_share()
+        assert outside > inside * 2
+
+    def test_market_totals_cover_catalog(self):
+        from repro.apps.catalog import all_applications
+
+        inside, outside = zone_market_share()
+        total = sum(app.market_2025_busd for app in all_applications())
+        assert inside + outside == pytest.approx(total)

@@ -1,0 +1,66 @@
+"""Tests for repro.apps.quadrants."""
+
+from repro.apps.catalog import all_applications, get_application
+from repro.apps.quadrants import (
+    Quadrant,
+    classify,
+    market_share_by_quadrant,
+    quadrant_table,
+)
+
+
+class TestClassification:
+    def test_wearables_q1(self):
+        assert classify(get_application("wearables")) is Quadrant.Q1
+
+    def test_arvr_q2(self):
+        assert classify(get_application("ar-vr")) is Quadrant.Q2
+
+    def test_autonomous_vehicles_q2(self):
+        assert classify(get_application("autonomous-vehicles")) is Quadrant.Q2
+
+    def test_smart_city_q3(self):
+        assert classify(get_application("smart-city")) is Quadrant.Q3
+
+    def test_smart_home_q4(self):
+        assert classify(get_application("smart-home")) is Quadrant.Q4
+
+    def test_weather_q4(self):
+        assert classify(get_application("weather-monitoring")) is Quadrant.Q4
+
+
+class TestQuadrantProperties:
+    def test_latency_sensitivity(self):
+        assert Quadrant.Q1.latency_sensitive
+        assert Quadrant.Q2.latency_sensitive
+        assert not Quadrant.Q3.latency_sensitive
+
+    def test_bandwidth_heaviness(self):
+        assert Quadrant.Q2.bandwidth_heavy
+        assert Quadrant.Q3.bandwidth_heavy
+        assert not Quadrant.Q1.bandwidth_heavy
+
+
+class TestTable:
+    def test_partition_complete(self):
+        table = quadrant_table()
+        total = sum(len(apps) for apps in table.values())
+        assert total == len(all_applications())
+
+    def test_every_quadrant_populated(self):
+        table = quadrant_table()
+        for quadrant, apps in table.items():
+            assert apps, quadrant
+
+    def test_q2_has_the_hype(self):
+        """'these are popularly heralded as the driving force behind
+        edge computing' — Q2 must hold the big-market apps."""
+        shares = market_share_by_quadrant()
+        assert shares[Quadrant.Q2] > shares[Quadrant.Q1]
+        assert shares[Quadrant.Q2] > max(
+            shares[Quadrant.Q1], shares[Quadrant.Q4]
+        )
+
+    def test_market_totals_positive(self):
+        for share in market_share_by_quadrant().values():
+            assert share > 0

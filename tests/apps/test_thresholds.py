@@ -1,0 +1,66 @@
+"""Tests for repro.apps.thresholds."""
+
+import pytest
+
+from repro.apps.thresholds import (
+    ALL_THRESHOLDS,
+    HRT,
+    MTP,
+    PL,
+    classify_latency,
+    hud_budget_ms,
+    mtp_network_budget_ms,
+    strictest_satisfied,
+)
+from repro.errors import ReproError
+
+
+class TestConstants:
+    def test_paper_values(self):
+        assert MTP.limit_ms == 20.0
+        assert PL.limit_ms == 100.0
+        assert HRT.limit_ms == 250.0
+
+    def test_order_strictest_first(self):
+        limits = [t.limit_ms for t in ALL_THRESHOLDS]
+        assert limits == sorted(limits)
+
+
+class TestClassification:
+    def test_very_fast_meets_all(self):
+        assert classify_latency(5.0) == ("MTP", "PL", "HRT")
+
+    def test_medium_meets_pl_hrt(self):
+        assert classify_latency(50.0) == ("PL", "HRT")
+
+    def test_slow_meets_none(self):
+        assert classify_latency(400.0) == ()
+
+    def test_boundary_inclusive(self):
+        assert "MTP" in classify_latency(20.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ReproError):
+            classify_latency(-1.0)
+
+    def test_strictest_satisfied(self):
+        assert strictest_satisfied(10.0) == "MTP"
+        assert strictest_satisfied(99.0) == "PL"
+        assert strictest_satisfied(200.0) == "HRT"
+        assert strictest_satisfied(9_999.0) == "NONE"
+
+
+class TestBudgets:
+    def test_mtp_network_budget(self):
+        # 20 ms minus ~13 ms of display pipeline = ~7 ms.
+        assert mtp_network_budget_ms() == pytest.approx(7.0)
+
+    def test_custom_display_budget(self):
+        assert mtp_network_budget_ms(display_ms=10.0) == pytest.approx(10.0)
+
+    def test_display_budget_validated(self):
+        with pytest.raises(ReproError):
+            mtp_network_budget_ms(display_ms=25.0)
+
+    def test_hud_budget(self):
+        assert hud_budget_ms() == 2.5

@@ -1,0 +1,82 @@
+"""Tests for repro.atlas.anchors."""
+
+import pytest
+
+from repro.atlas.anchors import (
+    anchors_in,
+    anchors_of,
+    country_pair_median,
+    mesh_ping,
+    mesh_sample,
+)
+from repro.atlas.platform import AtlasPlatform
+from repro.errors import AtlasError
+
+T0 = 1_567_296_000
+
+
+@pytest.fixture(scope="module")
+def backend() -> AtlasPlatform:
+    return AtlasPlatform(seed=9)
+
+
+class TestAnchorDirectory:
+    def test_anchors_exist(self, backend):
+        anchors = anchors_of(backend)
+        assert len(anchors) > 100
+        assert all(anchor.is_anchor for anchor in anchors)
+
+    def test_anchors_in_country(self, backend):
+        german = anchors_in(backend, "de")
+        assert german
+        assert all(anchor.country_code == "DE" for anchor in german)
+
+
+class TestMeshPing:
+    def test_basic(self, backend):
+        a, b = anchors_of(backend)[:2]
+        obs = mesh_ping(backend, a.probe_id, b.probe_id, T0)
+        assert obs.sent == 3
+        if obs.succeeded:
+            assert obs.rtt_min > 0
+
+    def test_deterministic(self, backend):
+        a, b = anchors_of(backend)[:2]
+        assert mesh_ping(backend, a.probe_id, b.probe_id, T0) == mesh_ping(
+            backend, a.probe_id, b.probe_id, T0
+        )
+
+    def test_non_anchor_rejected(self, backend):
+        anchor = anchors_of(backend)[0]
+        home = next(p for p in backend.probes if not p.is_anchor)
+        with pytest.raises(AtlasError):
+            mesh_ping(backend, home.probe_id, anchor.probe_id, T0)
+
+    def test_self_ping_rejected(self, backend):
+        anchor = anchors_of(backend)[0]
+        with pytest.raises(AtlasError):
+            mesh_ping(backend, anchor.probe_id, anchor.probe_id, T0)
+
+    def test_mesh_rtt_lacks_last_mile(self, backend):
+        """Anchor mesh RTTs within one metro are tiny (wired, core-side)."""
+        german = anchors_in(backend, "DE")[:4]
+        records = mesh_sample(backend, german, german, [T0, T0 + 3600])
+        assert records
+        floor = min(record["rtt_min"] for record in records)
+        assert floor < 12.0
+
+
+class TestCountryPairMedian:
+    def test_same_country_fast(self, backend):
+        median = country_pair_median(backend, "DE", "DE", [T0, T0 + 3600])
+        assert median < 20.0
+
+    def test_cross_border_slower(self, backend):
+        domestic = country_pair_median(backend, "DE", "DE", [T0])
+        transatlantic = country_pair_median(backend, "DE", "US", [T0])
+        assert transatlantic > domestic + 30.0
+
+    def test_missing_anchors_rejected(self, backend):
+        # Tiny countries have no anchors at this seed.
+        with pytest.raises(AtlasError):
+            country_pair_median(backend, "VU", "DE", [T0])

@@ -1,0 +1,147 @@
+"""Tests for repro.atlas.api.client — the cousteau-compatible surface."""
+
+import pytest
+
+from repro.atlas.api.client import (
+    AtlasCreateRequest,
+    AtlasResultsRequest,
+    AtlasStopRequest,
+    MeasurementRequest,
+    ProbeRequest,
+    default_platform,
+)
+from repro.atlas.api.measurements import Ping
+from repro.atlas.api.sources import AtlasSource
+from repro.atlas.platform import AtlasPlatform
+from repro.errors import AtlasError
+
+T0 = 1_567_296_000
+DAY = 86_400
+
+
+@pytest.fixture(scope="module")
+def backend() -> AtlasPlatform:
+    return AtlasPlatform(seed=8)
+
+
+def create_measurement(backend, **kwargs):
+    ok, response = AtlasCreateRequest(
+        measurements=[
+            Ping(
+                target=backend.hostname_for(backend.fleet[3]),
+                description="client test",
+                interval=kwargs.pop("interval", 10_800),
+            )
+        ],
+        sources=[AtlasSource(type="country", value="FR", requested=5)],
+        start_time=T0,
+        stop_time=T0 + DAY,
+        platform=backend,
+        **kwargs,
+    ).create()
+    return ok, response
+
+
+class TestCreateRequest:
+    def test_success_shape(self, backend):
+        ok, response = create_measurement(backend)
+        assert ok is True
+        assert len(response["measurements"]) == 1
+
+    def test_requires_measurements(self, backend):
+        with pytest.raises(AtlasError):
+            AtlasCreateRequest(
+                measurements=[],
+                sources=[AtlasSource(type="country", value="FR", requested=1)],
+                start_time=T0,
+                stop_time=T0 + DAY,
+                platform=backend,
+            )
+
+    def test_requires_sources(self, backend):
+        with pytest.raises(AtlasError):
+            AtlasCreateRequest(
+                measurements=[Ping(target="x")],
+                sources=[],
+                start_time=T0,
+                stop_time=T0 + DAY,
+                platform=backend,
+            )
+
+    def test_error_returned_not_raised(self, backend):
+        ok, response = AtlasCreateRequest(
+            measurements=[Ping(target="unknown.example", interval=3600)],
+            sources=[AtlasSource(type="country", value="FR", requested=5)],
+            start_time=T0,
+            stop_time=T0 + DAY,
+            platform=backend,
+        ).create()
+        assert ok is False
+        assert "detail" in response["error"]
+
+    def test_oneoff_flag_propagates(self, backend):
+        ok, response = AtlasCreateRequest(
+            measurements=[Ping(target=backend.hostname_for(backend.fleet[3]))],
+            sources=[AtlasSource(type="country", value="FR", requested=2)],
+            start_time=T0,
+            stop_time=T0 + 60,
+            is_oneoff=True,
+            platform=backend,
+        ).create()
+        assert ok
+        msm = backend.measurement(response["measurements"][0])
+        assert msm.is_oneoff
+
+
+class TestResultsRequest:
+    def test_fetch(self, backend):
+        ok, response = create_measurement(backend)
+        msm_id = response["measurements"][0]
+        ok, results = AtlasResultsRequest(msm_id=msm_id, platform=backend).create()
+        assert ok
+        assert results
+        assert all(r["msm_id"] == msm_id for r in results)
+
+    def test_missing_measurement(self, backend):
+        ok, results = AtlasResultsRequest(msm_id=424242, platform=backend).create()
+        assert not ok
+        assert "error" in results[0]
+
+
+class TestStopRequest:
+    def test_stop(self, backend):
+        ok, response = create_measurement(backend)
+        msm_id = response["measurements"][0]
+        ok, _ = AtlasStopRequest(msm_id=msm_id, platform=backend).create()
+        assert ok
+        assert backend.measurement(msm_id).status == "Stopped"
+
+
+class TestMeasurementRequest:
+    def test_metadata(self, backend):
+        ok, response = create_measurement(backend)
+        msm_id = response["measurements"][0]
+        payload = MeasurementRequest(msm_id=msm_id, platform=backend).get()
+        assert payload["id"] == msm_id
+        assert payload["type"] == "ping"
+
+
+class TestProbeRequest:
+    def test_iterate_country(self, backend):
+        probes = list(ProbeRequest(country_code="DE", platform=backend))
+        assert probes
+        assert all(p["country_code"] == "DE" for p in probes)
+
+    def test_tag_filter(self, backend):
+        probes = list(ProbeRequest(tags=["lte"], platform=backend))
+        assert probes
+        assert all("lte" in p["tags"] for p in probes)
+
+    def test_total_count(self, backend):
+        request = ProbeRequest(country_code="LU", platform=backend)
+        assert request.total_count() == len(list(request))
+
+
+class TestDefaultPlatform:
+    def test_cached_singleton(self):
+        assert default_platform() is default_platform()

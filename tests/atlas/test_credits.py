@@ -1,0 +1,76 @@
+"""Tests for repro.atlas.credits."""
+
+import pytest
+
+from repro.atlas.credits import CreditAccount, ping_result_cost
+from repro.errors import AtlasError, QuotaExceededError
+
+DAY = 86_400
+
+
+class TestCosts:
+    def test_ping_cost_per_packet(self):
+        assert ping_result_cost(3) == 3
+        assert ping_result_cost(1) == 1
+
+    def test_invalid_packets(self):
+        with pytest.raises(AtlasError):
+            ping_result_cost(0)
+
+
+class TestCharging:
+    def test_charge_reduces_balance(self):
+        account = CreditAccount(key="k", balance=100)
+        account.charge(30, timestamp=0)
+        assert account.balance == 70
+        assert account.spent_total == 30
+
+    def test_negative_charge_rejected(self):
+        account = CreditAccount(key="k")
+        with pytest.raises(AtlasError):
+            account.charge(-1, timestamp=0)
+
+    def test_balance_exhaustion(self):
+        account = CreditAccount(key="k", balance=10)
+        with pytest.raises(QuotaExceededError):
+            account.charge(11, timestamp=0)
+        assert account.balance == 10  # not applied
+
+    def test_daily_limit(self):
+        account = CreditAccount(key="k", balance=10_000, daily_limit=100)
+        account.charge(60, timestamp=0)
+        with pytest.raises(QuotaExceededError):
+            account.charge(50, timestamp=100)  # same day
+        account.charge(50, timestamp=DAY)  # next day is fine
+
+    def test_spent_on_day(self):
+        account = CreditAccount(key="k")
+        account.charge(10, timestamp=5)
+        account.charge(20, timestamp=DAY + 5)
+        assert account.spent_on_day(5) == 10
+        assert account.spent_on_day(DAY + 100) == 20
+
+
+class TestQuotaRaise:
+    def test_paper_scale_needs_quota_raise(self):
+        """A default account cannot fund a nine-month 3200-probe campaign;
+        the raised quota of the acknowledgements makes it possible."""
+        account = CreditAccount(key="k")
+        per_day = 3 * 3300 * 8  # 3 packets x probes x 8 pings/day
+        with pytest.raises(QuotaExceededError):
+            for day in range(273):
+                account.charge(per_day * 40, timestamp=day * DAY)  # ~101 targets
+        account.raise_quota(daily_limit=50_000_000, balance=5_000_000_000)
+        for day in range(273):
+            account.charge(per_day * 40, timestamp=day * DAY)
+
+    def test_raise_quota_validates(self):
+        with pytest.raises(AtlasError):
+            CreditAccount(key="k").raise_quota(daily_limit=0)
+
+    def test_grant(self):
+        account = CreditAccount(key="k", balance=5)
+        account.grant(10)
+        assert account.balance == 15
+        with pytest.raises(AtlasError):
+            account.grant(-1)

@@ -1,0 +1,74 @@
+"""Tests for repro.atlas.api.measurements."""
+
+import pytest
+
+from repro.atlas.api.measurements import Ping, Traceroute
+from repro.errors import AtlasError
+
+
+class TestPing:
+    def test_api_struct(self):
+        ping = Ping(target="host", description="d", interval=10_800, packets=3)
+        struct = ping.build_api_struct()
+        assert struct["type"] == "ping"
+        assert struct["interval"] == 10_800
+        assert struct["packets"] == 3
+        assert struct["af"] == 4
+
+    def test_target_required(self):
+        with pytest.raises(AtlasError):
+            Ping(target="").build_api_struct()
+
+    def test_af_validated(self):
+        with pytest.raises(AtlasError):
+            Ping(target="h", af=5).build_api_struct()
+
+    def test_interval_minimum(self):
+        with pytest.raises(AtlasError):
+            Ping(target="h", interval=30).build_api_struct()
+
+    def test_oneoff_cannot_have_interval(self):
+        with pytest.raises(AtlasError):
+            Ping(target="h", is_oneoff=True, interval=300).build_api_struct()
+
+    def test_oneoff_struct_has_no_interval(self):
+        struct = Ping(target="h", is_oneoff=True).build_api_struct()
+        assert "interval" not in struct
+        assert struct["is_oneoff"] is True
+
+    def test_packet_bounds(self):
+        with pytest.raises(AtlasError):
+            Ping(target="h", packets=0).build_api_struct()
+        with pytest.raises(AtlasError):
+            Ping(target="h", packets=99).build_api_struct()
+
+    def test_default_interval_applied(self):
+        struct = Ping(target="h").build_api_struct()
+        assert struct["interval"] == 900
+
+
+class TestTraceroute:
+    def test_api_struct(self):
+        tr = Traceroute(target="h", protocol="UDP", interval=3600)
+        struct = tr.build_api_struct()
+        assert struct["type"] == "traceroute"
+        assert struct["protocol"] == "UDP"
+        assert struct["max_hops"] == 32
+
+    def test_tcp_mode_for_future_work(self):
+        """§5 plans TCP-based probing; the definition supports it."""
+        struct = Traceroute(target="h", protocol="TCP", port=443, interval=3600).build_api_struct()
+        assert struct["protocol"] == "TCP"
+        assert struct["port"] == 443
+
+    def test_protocol_validated(self):
+        with pytest.raises(AtlasError):
+            Traceroute(target="h", protocol="GRPC").build_api_struct()
+
+    def test_hops_validated(self):
+        with pytest.raises(AtlasError):
+            Traceroute(target="h", max_hops=0).build_api_struct()
+
+    def test_port_validated(self):
+        with pytest.raises(AtlasError):
+            Traceroute(target="h", port=70_000).build_api_struct()

@@ -1,0 +1,97 @@
+"""Tests for repro.atlas.population — the §4.1 fleet."""
+
+import pytest
+
+from repro.atlas.population import (
+    FIRST_PROBE_ID,
+    generate_population,
+    population_summary,
+    probes_by_country,
+)
+from repro.atlas.probes import ProbeEnvironment
+from repro.constants import MIN_PROBES, NUM_PROBE_COUNTRIES
+from repro.geo.countries import get_country
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_population(seed=3)
+
+
+class TestFootprint:
+    def test_size(self, fleet):
+        assert len(fleet) >= MIN_PROBES
+
+    def test_countries(self, fleet):
+        assert len({p.country_code for p in fleet}) == NUM_PROBE_COUNTRIES
+
+    def test_ids_sequential_and_unique(self, fleet):
+        ids = [p.probe_id for p in fleet]
+        assert ids[0] == FIRST_PROBE_ID
+        assert len(set(ids)) == len(ids)
+        assert ids == sorted(ids)
+
+    def test_counts_match_country_db(self, fleet):
+        grouped = probes_by_country(seed=3)
+        for code, probes in grouped.items():
+            assert len(probes) == get_country(code).atlas_probes
+
+
+class TestDeterminism:
+    def test_same_seed_same_fleet(self):
+        assert generate_population(seed=3) == generate_population(seed=3)
+
+    def test_different_seed_differs(self):
+        a = generate_population(seed=3)
+        b = generate_population(seed=4)
+        assert any(pa.location != pb.location for pa, pb in zip(a, b))
+
+
+class TestComposition:
+    def test_summary_bands(self, fleet):
+        summary = population_summary(seed=3)
+        # Atlas probes are mostly wired; some privileged hosts exist.
+        assert 0.05 <= summary["wireless_share"] <= 0.30
+        assert 0.03 <= summary["privileged_share"] <= 0.20
+        assert 0.01 <= summary["anchor_share"] <= 0.12
+
+    def test_privileged_probes_are_ethernet(self, fleet):
+        for probe in fleet:
+            if probe.environment.is_privileged:
+                assert not probe.access.is_wireless
+
+    def test_anchors_are_wired_core(self, fleet):
+        for probe in fleet:
+            if probe.is_anchor:
+                assert probe.environment is ProbeEnvironment.CORE
+                assert not probe.access.is_wireless
+
+    def test_most_privileged_probes_tagged(self, fleet):
+        """~80 % of privileged probes must be recognizable via tags —
+        the paper's filter only works on 'clearly' tagged ones."""
+        privileged = [p for p in fleet if p.environment.is_privileged]
+        tagged = [
+            p for p in privileged
+            if "datacentre" in p.user_tags or "cloud" in p.user_tags
+        ]
+        assert len(tagged) / len(privileged) > 0.6
+
+    def test_probes_scatter_near_country(self, fleet):
+        for probe in fleet[:300]:
+            country = get_country(probe.country_code)
+            distance = probe.location.distance_km(country.centroid)
+            assert distance < 3500.0, (probe.probe_id, probe.country_code)
+
+    def test_wireless_probes_less_stable(self, fleet):
+        wired = [p.stability for p in fleet if not p.access.is_wireless]
+        wireless = [p.stability for p in fleet if p.access.is_wireless]
+        assert sum(wired) / len(wired) > sum(wireless) / len(wireless)
+
+    def test_australian_probes_near_coast(self, fleet):
+        """Population-centroid override: AU probes cluster in the southeast."""
+        australians = [p for p in fleet if p.country_code == "AU"]
+        sydney_ish = sum(
+            1 for p in australians
+            if p.location.distance_km(get_country("AU").centroid) > 800
+        )
+        assert sydney_ish > len(australians) / 2

@@ -1,0 +1,104 @@
+"""Tests for repro.atlas.probes."""
+
+import pytest
+
+from repro.atlas.probes import Probe, ProbeEnvironment, ProbeStatus
+from repro.errors import AtlasError
+from repro.geo.coordinates import LatLon
+from repro.net.lastmile import AccessTechnology
+
+
+def make_probe(**overrides) -> Probe:
+    defaults = dict(
+        probe_id=6001,
+        country_code="DE",
+        location=LatLon(50.0, 8.0),
+        asn=64512,
+        access=AccessTechnology.ETHERNET,
+        environment=ProbeEnvironment.HOME,
+        user_tags=("home", "ethernet"),
+    )
+    defaults.update(overrides)
+    return Probe(**defaults)
+
+
+class TestValidation:
+    def test_positive_id_required(self):
+        with pytest.raises(AtlasError):
+            make_probe(probe_id=0)
+
+    def test_country_validated(self):
+        with pytest.raises(Exception):
+            make_probe(country_code="XX")
+
+    def test_stability_range(self):
+        with pytest.raises(AtlasError):
+            make_probe(stability=0.0)
+        with pytest.raises(AtlasError):
+            make_probe(stability=1.5)
+
+
+class TestDerivedFields:
+    def test_continent(self):
+        assert make_probe().continent == "EU"
+
+    def test_tags_merge_system_and_user(self):
+        probe = make_probe()
+        assert "system-ipv4-works" in probe.tags
+        assert "ethernet" in probe.tags
+
+    def test_anchor_tag(self):
+        probe = make_probe(is_anchor=True)
+        assert "system-anchor" in probe.tags
+
+    def test_tags_sorted_deduped(self):
+        probe = make_probe(user_tags=("ethernet", "Ethernet", "home"))
+        assert probe.tags == tuple(sorted(set(probe.tags)))
+
+    def test_address_stable_and_valid(self):
+        probe = make_probe()
+        assert probe.address == make_probe().address
+        octets = probe.address.split(".")
+        assert len(octets) == 4
+        assert all(0 <= int(o) <= 255 for o in octets)
+
+    def test_addresses_differ_by_id(self):
+        assert make_probe(probe_id=6001).address != make_probe(probe_id=6002).address
+
+
+class TestEnvironment:
+    def test_privileged_environments(self):
+        assert ProbeEnvironment.DATACENTRE.is_privileged
+        assert ProbeEnvironment.CLOUD.is_privileged
+        assert not ProbeEnvironment.HOME.is_privileged
+
+
+class TestChurn:
+    def test_online_share_tracks_stability(self):
+        probe = make_probe(stability=0.9)
+        online = sum(probe.is_online(tick) for tick in range(1000))
+        assert 850 <= online <= 950
+
+    def test_perfect_stability_always_online(self):
+        probe = make_probe(stability=1.0)
+        assert all(probe.is_online(tick) for tick in range(200))
+
+    def test_abandoned_probe_offline(self):
+        probe = make_probe(status=ProbeStatus.ABANDONED)
+        assert not any(probe.is_online(tick) for tick in range(50))
+
+    def test_churn_deterministic(self):
+        probe = make_probe(stability=0.8)
+        pattern1 = [probe.is_online(t) for t in range(100)]
+        pattern2 = [probe.is_online(t) for t in range(100)]
+        assert pattern1 == pattern2
+
+
+class TestApiDict:
+    def test_shape(self):
+        payload = make_probe().as_api_dict()
+        assert payload["id"] == 6001
+        assert payload["country_code"] == "DE"
+        assert payload["geometry"]["coordinates"] == [8.0, 50.0]  # lon, lat
+        assert payload["status"]["name"] == "Connected"
+        assert isinstance(payload["tags"], list)

@@ -1,0 +1,136 @@
+"""Tests for repro.atlas.results.ping — the sagan parsing contract."""
+
+import json
+
+import pytest
+
+from repro.atlas.results.base import Result
+from repro.atlas.results.ping import PingResult
+from repro.errors import ResultParseError
+
+
+def make_raw(**overrides) -> dict:
+    raw = {
+        "af": 4,
+        "avg": 6.0,
+        "dst_addr": "10.200.1.10",
+        "dst_name": "eu-central-1.aws.repro.cloud",
+        "from": "172.16.0.1",
+        "fw": 5020,
+        "max": 7.0,
+        "min": 5.0,
+        "msm_id": 100001,
+        "prb_id": 6001,
+        "proto": "ICMP",
+        "rcvd": 3,
+        "result": [{"rtt": 5.0}, {"rtt": 6.0}, {"rtt": 7.0}],
+        "sent": 3,
+        "size": 48,
+        "step": 10800,
+        "timestamp": 1_567_296_000,
+        "type": "ping",
+    }
+    raw.update(overrides)
+    return raw
+
+
+class TestDispatch:
+    def test_get_returns_ping_result(self):
+        assert isinstance(Result.get(make_raw()), PingResult)
+
+    def test_get_accepts_json_string(self):
+        parsed = Result.get(json.dumps(make_raw()))
+        assert parsed.probe_id == 6001
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ResultParseError):
+            Result.get("{not json")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ResultParseError):
+            Result.get({"type": "dns"})
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(ResultParseError):
+            PingResult(make_raw(type="traceroute"))
+
+
+class TestFields:
+    def test_core_fields(self):
+        parsed = PingResult(make_raw())
+        assert parsed.measurement_id == 100001
+        assert parsed.probe_id == 6001
+        assert parsed.firmware == 5020
+        assert parsed.origin == "172.16.0.1"
+        assert parsed.created_timestamp == 1_567_296_000
+        assert parsed.created.year == 2019
+
+    def test_rtt_statistics(self):
+        parsed = PingResult(make_raw())
+        assert parsed.rtt_min == 5.0
+        assert parsed.rtt_max == 7.0
+        assert parsed.rtt_average == pytest.approx(6.0)
+        assert parsed.rtt_median == 6.0
+
+    def test_packet_objects(self):
+        parsed = PingResult(make_raw())
+        assert len(parsed.packets) == 3
+        assert not parsed.packets[0].timed_out
+
+    def test_loss_accounting(self):
+        raw = make_raw(
+            rcvd=1, result=[{"rtt": 5.0}, {"x": "*"}, {"x": "*"}], min=5.0, avg=5.0, max=5.0
+        )
+        parsed = PingResult(raw)
+        assert parsed.packet_loss == pytest.approx(2 / 3)
+        assert parsed.packets[1].timed_out
+        assert parsed.succeeded
+
+    def test_total_failure(self):
+        raw = make_raw(
+            rcvd=0, result=[{"x": "*"}] * 3, min=-1, avg=-1, max=-1
+        )
+        parsed = PingResult(raw)
+        assert not parsed.succeeded
+        assert parsed.rtt_min is None
+        assert parsed.rtt_median is None
+        assert parsed.packet_loss == 1.0
+
+    def test_median_even_count(self):
+        raw = make_raw(
+            sent=4, rcvd=4,
+            result=[{"rtt": 1.0}, {"rtt": 2.0}, {"rtt": 3.0}, {"rtt": 10.0}],
+        )
+        assert PingResult(raw).rtt_median == 2.5
+
+
+class TestMalformedInput:
+    def test_missing_required_field(self):
+        raw = make_raw()
+        del raw["sent"]
+        with pytest.raises(ResultParseError):
+            PingResult(raw)
+
+    def test_rcvd_mismatch_rejected(self):
+        raw = make_raw(rcvd=2)  # but 3 RTTs present
+        with pytest.raises(ResultParseError):
+            PingResult(raw)
+
+    def test_negative_rtt_rejected(self):
+        raw = make_raw(result=[{"rtt": -1.0}, {"x": "*"}, {"x": "*"}], rcvd=1)
+        with pytest.raises(ResultParseError):
+            PingResult(raw)
+
+    def test_malformed_packet_entry(self):
+        raw = make_raw(result=["oops", {"x": "*"}, {"x": "*"}], rcvd=0)
+        with pytest.raises(ResultParseError):
+            PingResult(raw)
+
+    def test_non_dict_raw(self):
+        with pytest.raises(ResultParseError):
+            PingResult([1, 2, 3])
+
+    def test_error_envelope(self):
+        parsed = PingResult(make_raw(error={"detail": "probe gone"}))
+        assert parsed.is_error
+        assert "probe gone" in parsed.error_message

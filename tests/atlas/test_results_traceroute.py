@@ -1,0 +1,97 @@
+"""Tests for repro.atlas.results.traceroute."""
+
+import pytest
+
+from repro.atlas.results.base import Result
+from repro.atlas.results.traceroute import TracerouteResult
+from repro.errors import ResultParseError
+
+
+def make_raw(**overrides) -> dict:
+    raw = {
+        "af": 4,
+        "dst_addr": "10.200.1.10",
+        "dst_name": "eu-central-1.aws.repro.cloud",
+        "from": "172.16.0.1",
+        "fw": 5020,
+        "msm_id": 100002,
+        "paris_id": 16,
+        "prb_id": 6001,
+        "proto": "ICMP",
+        "result": [
+            {"hop": 1, "result": [{"from": "192.168.0.1", "rtt": 0.5, "ttl": 63}] * 3},
+            {"hop": 2, "result": [{"x": "*"}] * 3},
+            {
+                "hop": 3,
+                "result": [{"from": "10.200.1.10", "rtt": 6.2, "ttl": 61}] * 3,
+            },
+        ],
+        "timestamp": 1_567_296_000,
+        "type": "traceroute",
+    }
+    raw.update(overrides)
+    return raw
+
+
+class TestParsing:
+    def test_dispatch(self):
+        assert isinstance(Result.get(make_raw()), TracerouteResult)
+
+    def test_type_mismatch(self):
+        with pytest.raises(ResultParseError):
+            TracerouteResult(make_raw(type="ping"))
+
+    def test_hops_sorted(self):
+        raw = make_raw()
+        raw["result"] = list(reversed(raw["result"]))
+        parsed = TracerouteResult(raw)
+        assert [hop.index for hop in parsed.hops] == [1, 2, 3]
+
+    def test_malformed_hop(self):
+        with pytest.raises(ResultParseError):
+            TracerouteResult(make_raw(result=[{"rtt": 1.0}]))
+
+
+class TestSemantics:
+    def test_total_hops(self):
+        assert TracerouteResult(make_raw()).total_hops == 3
+
+    def test_silent_hop(self):
+        parsed = TracerouteResult(make_raw())
+        assert not parsed.hops[1].responded
+        assert parsed.hops[1].best_rtt is None
+        assert parsed.hops[1].origin is None
+
+    def test_destination_responded(self):
+        parsed = TracerouteResult(make_raw())
+        assert parsed.destination_ip_responded
+
+    def test_destination_not_responded(self):
+        raw = make_raw()
+        raw["result"][2]["result"] = [{"x": "*"}] * 3
+        parsed = TracerouteResult(raw)
+        assert not parsed.destination_ip_responded
+
+    def test_last_rtt(self):
+        parsed = TracerouteResult(make_raw())
+        assert parsed.last_rtt == pytest.approx(6.2)
+
+    def test_last_rtt_falls_back_to_earlier_hop(self):
+        raw = make_raw()
+        raw["result"][2]["result"] = [{"x": "*"}] * 3
+        parsed = TracerouteResult(raw)
+        assert parsed.last_rtt == pytest.approx(0.5)
+
+    def test_ip_path(self):
+        parsed = TracerouteResult(make_raw())
+        assert parsed.ip_path == ("192.168.0.1", None, "10.200.1.10")
+
+    def test_best_rtt_is_minimum(self):
+        raw = make_raw()
+        raw["result"][0]["result"] = [
+            {"from": "192.168.0.1", "rtt": 0.9},
+            {"from": "192.168.0.1", "rtt": 0.4},
+            {"from": "192.168.0.1", "rtt": 0.6},
+        ]
+        parsed = TracerouteResult(raw)
+        assert parsed.hops[0].best_rtt == pytest.approx(0.4)

@@ -1,0 +1,117 @@
+"""Tests for repro.atlas.api.sources."""
+
+import pytest
+
+from repro.atlas.api.sources import AtlasSource, select_all
+from repro.atlas.population import generate_population
+from repro.errors import AtlasError, ProbeSelectionError
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_population(seed=3)
+
+
+class TestValidation:
+    def test_type_checked(self):
+        with pytest.raises(AtlasError):
+            AtlasSource(type="galaxy", value="x", requested=1)
+
+    def test_requested_positive(self):
+        with pytest.raises(AtlasError):
+            AtlasSource(type="country", value="DE", requested=0)
+
+    def test_area_values_checked(self):
+        with pytest.raises(AtlasError):
+            AtlasSource(type="area", value="ATLANTIS", requested=1)
+        AtlasSource(type="area", value="WW", requested=1)
+        AtlasSource(type="area", value="EU", requested=1)
+
+    def test_tags_lowercased(self):
+        source = AtlasSource(
+            type="country", value="DE", requested=1, tags_include=("LTE",)
+        )
+        assert source.tags_include == ("lte",)
+
+    def test_api_struct(self):
+        source = AtlasSource(
+            type="country", value="DE", requested=5,
+            tags_include=("ethernet",), tags_exclude=("datacentre",),
+        )
+        struct = source.build_api_struct()
+        assert struct["tags"] == {"include": ["ethernet"], "exclude": ["datacentre"]}
+
+
+class TestSelection:
+    def test_country_selection(self, fleet):
+        chosen = AtlasSource(type="country", value="DE", requested=10).select(fleet)
+        assert len(chosen) == 10
+        assert all(p.country_code == "DE" for p in chosen)
+
+    def test_requested_caps_result(self, fleet):
+        chosen = AtlasSource(type="country", value="LU", requested=500).select(fleet)
+        assert len(chosen) == 12  # Luxembourg only has 12 probes
+
+    def test_area_continent(self, fleet):
+        chosen = AtlasSource(type="area", value="AF", requested=30).select(fleet)
+        assert all(p.continent == "AF" for p in chosen)
+
+    def test_area_worldwide(self, fleet):
+        chosen = AtlasSource(type="area", value="WW", requested=50).select(fleet)
+        assert len(chosen) == 50
+
+    def test_probes_list(self, fleet):
+        wanted = [fleet[5].probe_id, fleet[10].probe_id]
+        source = AtlasSource(
+            type="probes", value=f"{wanted[0]},{wanted[1]}", requested=10
+        )
+        chosen = source.select(fleet)
+        assert [p.probe_id for p in chosen] == sorted(wanted)
+
+    def test_bad_probes_value(self, fleet):
+        with pytest.raises(AtlasError):
+            AtlasSource(type="probes", value="1,x", requested=1).select(fleet)
+
+    def test_asn_selection(self, fleet):
+        asn = fleet[0].asn
+        chosen = AtlasSource(type="asn", value=str(asn), requested=99).select(fleet)
+        assert all(p.asn == asn for p in chosen)
+
+    def test_tag_include(self, fleet):
+        chosen = AtlasSource(
+            type="area", value="WW", requested=100, tags_include=("lte",)
+        ).select(fleet)
+        assert all("lte" in p.tags for p in chosen)
+
+    def test_tag_exclude(self, fleet):
+        chosen = AtlasSource(
+            type="area", value="WW", requested=100, tags_exclude=("datacentre",)
+        ).select(fleet)
+        assert all("datacentre" not in p.tags for p in chosen)
+
+    def test_empty_match_raises(self, fleet):
+        with pytest.raises(ProbeSelectionError):
+            AtlasSource(
+                type="country", value="DE", requested=5,
+                tags_include=("satellite", "datacentre"),
+            ).select(fleet)
+
+    def test_deterministic_order(self, fleet):
+        source = AtlasSource(type="country", value="FR", requested=7)
+        assert [p.probe_id for p in source.select(fleet)] == [
+            p.probe_id for p in source.select(fleet)
+        ]
+
+
+class TestSelectAll:
+    def test_union_deduplicates(self, fleet):
+        a = AtlasSource(type="country", value="DE", requested=5)
+        b = AtlasSource(type="area", value="EU", requested=5)
+        union = select_all([a, b], fleet)
+        ids = [p.probe_id for p in union]
+        assert len(ids) == len(set(ids))
+        assert ids == sorted(ids)
+
+    def test_requires_sources(self, fleet):
+        with pytest.raises(AtlasError):
+            select_all([], fleet)

@@ -1,0 +1,76 @@
+"""Tests for repro.atlas.api.stream."""
+
+import pytest
+
+from repro.atlas.api.measurements import Ping
+from repro.atlas.api.client import AtlasCreateRequest
+from repro.atlas.api.sources import AtlasSource
+from repro.atlas.api.stream import AtlasStream
+from repro.atlas.platform import AtlasPlatform
+from repro.errors import AtlasError
+
+T0 = 1_567_296_000
+DAY = 86_400
+
+
+@pytest.fixture(scope="module")
+def backend() -> AtlasPlatform:
+    return AtlasPlatform(seed=12)
+
+
+@pytest.fixture(scope="module")
+def msm_ids(backend):
+    ids = []
+    for index in (0, 1):
+        ok, response = AtlasCreateRequest(
+            measurements=[
+                Ping(
+                    target=backend.hostname_for(backend.fleet[index]),
+                    interval=21_600,
+                )
+            ],
+            sources=[AtlasSource(type="country", value="US", requested=4)],
+            start_time=T0,
+            stop_time=T0 + DAY,
+            platform=backend,
+        ).create()
+        assert ok
+        ids.extend(response["measurements"])
+    return ids
+
+
+class TestStream:
+    def test_callback_delivery(self, backend, msm_ids):
+        stream = AtlasStream(platform=backend)
+        seen = []
+        stream.bind_channel("atlas_result", seen.append)
+        stream.start_stream(stream_type="result", msm=msm_ids[0])
+        delivered = stream.timeout()
+        assert delivered == len(seen) > 0
+
+    def test_merged_timestamp_order(self, backend, msm_ids):
+        stream = AtlasStream(platform=backend)
+        stream.start_stream(stream_type="result", msm=msm_ids[0])
+        stream.start_stream(stream_type="result", msm=msm_ids[1])
+        merged = list(stream.iter_merged())
+        timestamps = [r["timestamp"] for r in merged]
+        assert timestamps == sorted(timestamps)
+        assert {r["msm_id"] for r in merged} == set(msm_ids)
+
+    def test_unknown_channel_rejected(self, backend):
+        with pytest.raises(AtlasError):
+            AtlasStream(platform=backend).bind_channel("nope", print)
+
+    def test_stream_requires_msm(self, backend):
+        with pytest.raises(AtlasError):
+            AtlasStream(platform=backend).start_stream(stream_type="result")
+
+    def test_unsupported_type(self, backend):
+        with pytest.raises(AtlasError):
+            AtlasStream(platform=backend).start_stream(stream_type="probestatus")
+
+    def test_disconnect_clears_subscriptions(self, backend, msm_ids):
+        stream = AtlasStream(platform=backend)
+        stream.start_stream(stream_type="result", msm=msm_ids[0])
+        stream.disconnect()
+        assert list(stream.iter_merged()) == []

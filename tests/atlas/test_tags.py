@@ -1,0 +1,60 @@
+"""Tests for repro.atlas.tags."""
+
+from repro.atlas.tags import (
+    PRIVILEGED_TAGS,
+    WIRED_TAGS,
+    WIRELESS_TAGS,
+    classify_lastmile,
+    is_privileged,
+    is_wired,
+    is_wireless,
+    normalize,
+)
+
+
+class TestVocabulary:
+    def test_cohort_tags_disjoint(self):
+        assert not WIRED_TAGS & WIRELESS_TAGS
+
+    def test_paper_tag_names_present(self):
+        # §4.3 names these tags explicitly.
+        assert {"ethernet", "broadband"} <= WIRED_TAGS
+        assert {"lte", "wifi", "wlan"} <= WIRELESS_TAGS
+
+    def test_privileged_tags(self):
+        assert PRIVILEGED_TAGS == {"datacentre", "cloud"}
+
+
+class TestPredicates:
+    def test_is_privileged(self):
+        assert is_privileged(["home", "cloud"])
+        assert not is_privileged(["home", "ethernet"])
+
+    def test_is_wired_wireless(self):
+        assert is_wired(["ethernet"])
+        assert is_wireless(["lte"])
+        assert not is_wired(["lte"])
+        assert not is_wireless(["dsl"])
+
+
+class TestClassifier:
+    def test_wired(self):
+        assert classify_lastmile(["home", "fibre"]) == "wired"
+
+    def test_wireless(self):
+        assert classify_lastmile(["wlan"]) == "wireless"
+
+    def test_ambiguous(self):
+        assert classify_lastmile(["ethernet", "wifi"]) == "ambiguous"
+
+    def test_untagged(self):
+        assert classify_lastmile(["home"]) == "untagged"
+        assert classify_lastmile([]) == "untagged"
+
+
+class TestNormalize:
+    def test_dedup_sort_lowercase(self):
+        assert normalize(["LTE", "lte", " Home "]) == ("home", "lte")
+
+    def test_drops_empty(self):
+        assert normalize(["", "  ", "x"]) == ("x",)

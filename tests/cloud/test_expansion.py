@@ -1,0 +1,81 @@
+"""Tests for repro.cloud.expansion."""
+
+import pytest
+
+from repro.cloud.expansion import CandidateRegion, ExpansionStudy, candidate_regions
+from repro.cloud.regions import datacenter_countries
+from repro.errors import ReproError
+from repro.geo.coordinates import LatLon
+
+
+class TestCandidates:
+    def test_candidates_avoid_existing_countries(self):
+        existing = set(datacenter_countries())
+        for candidate in candidate_regions():
+            assert candidate.country_code not in existing
+
+    def test_sorted_by_population(self):
+        from repro.geo.countries import get_country
+
+        populations = [
+            get_country(c.country_code).population_m for c in candidate_regions()
+        ]
+        assert populations == sorted(populations, reverse=True)
+
+    def test_limit(self):
+        assert len(candidate_regions(limit=5)) == 5
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def study(self, tiny_dataset):
+        return ExpansionStudy(tiny_dataset, candidates=candidate_regions(limit=12))
+
+    def test_adding_regions_never_hurts(self, study):
+        base = study.minima_with([])
+        extended = study.minima_with(list(study.candidates[:4]))
+        for probe_id in base:
+            assert extended[probe_id] <= base[probe_id] + 1e-9
+
+    def test_greedy_improves_monotonically(self, study):
+        chosen = study.greedy(4)
+        previous = study.population_weighted_latency(study.minima_with([]))
+        for end in range(1, 5):
+            current = study.population_weighted_latency(
+                study.minima_with(chosen[:end])
+            )
+            assert current <= previous + 1e-9
+            previous = current
+
+    def test_greedy_targets_underserved_populations(self, study):
+        """Greedy picks go to populous countries in AS/SA/AF — the
+        paper's 'wider deployment ... especially in Asia, Latin America,
+        and Africa'."""
+        from repro.geo.countries import get_country
+
+        chosen = study.greedy(5)
+        continents = {get_country(c.country_code).continent for c in chosen}
+        assert continents <= {"AS", "SA", "AF"}
+
+    def test_report_improves_reachability(self, study):
+        report = study.report(study.greedy(6))
+        assert report["pw_latency_after"] < report["pw_latency_before"]
+        assert (
+            report["countries_beyond_pl_after"]
+            <= report["countries_beyond_pl_before"]
+        )
+
+    def test_invalid_k(self, study):
+        with pytest.raises(ReproError):
+            study.greedy(0)
+
+    def test_empty_candidates_rejected(self, tiny_dataset):
+        with pytest.raises(ReproError):
+            ExpansionStudy(tiny_dataset, candidates=[])
+
+    def test_custom_candidate(self, tiny_dataset):
+        nairobi = CandidateRegion(country_code="KE", location=LatLon(-1.3, 36.8))
+        study = ExpansionStudy(tiny_dataset, candidates=[nairobi])
+        report = study.report([nairobi])
+        assert report["regions_added"] == 1
+        assert report["median_probe_gain_ms"] >= 0.0

@@ -1,0 +1,40 @@
+"""Tests for repro.cloud.providers."""
+
+import pytest
+
+from repro.constants import NUM_PROVIDERS
+from repro.cloud.providers import (
+    PROVIDER_SLUGS,
+    BackboneType,
+    all_providers,
+    get_provider,
+)
+from repro.errors import ReproError
+
+
+class TestRegistry:
+    def test_seven_providers(self):
+        assert len(all_providers()) == NUM_PROVIDERS
+
+    def test_paper_roster(self):
+        assert set(PROVIDER_SLUGS) == {
+            "aws", "gcp", "azure", "alibaba", "digitalocean", "linode", "vultr",
+        }
+
+    def test_lookup_case_insensitive(self):
+        assert get_provider("AWS").slug == "aws"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ReproError):
+            get_provider("oracle")
+
+
+class TestBackbones:
+    def test_hyperscalers_private(self):
+        for slug in ("aws", "gcp", "azure", "alibaba"):
+            assert get_provider(slug).has_private_backbone, slug
+
+    def test_small_providers_public(self):
+        for slug in ("digitalocean", "linode", "vultr"):
+            provider = get_provider(slug)
+            assert provider.backbone is BackboneType.PUBLIC, slug

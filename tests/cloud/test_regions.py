@@ -1,0 +1,83 @@
+"""Tests for repro.cloud.regions — the §4.1 catalog invariants."""
+
+import pytest
+
+from repro.constants import NUM_CLOUD_REGIONS, NUM_DATACENTER_COUNTRIES
+from repro.cloud.regions import (
+    all_regions,
+    datacenter_countries,
+    get_region,
+    iter_regions,
+    regions_per_provider,
+)
+from repro.errors import ReproError
+from repro.geo.countries import get_country
+
+
+class TestCatalogInvariants:
+    def test_101_regions(self):
+        assert len(all_regions()) == NUM_CLOUD_REGIONS
+
+    def test_21_countries(self):
+        assert len(datacenter_countries()) == NUM_DATACENTER_COUNTRIES
+
+    def test_unique_keys(self):
+        keys = [region.key for region in all_regions()]
+        assert len(keys) == len(set(keys))
+
+    def test_every_provider_present(self):
+        counts = regions_per_provider()
+        assert set(counts) == {
+            "aws", "gcp", "azure", "alibaba", "digitalocean", "linode", "vultr",
+        }
+        assert sum(counts.values()) == NUM_CLOUD_REGIONS
+
+    def test_hyperscalers_have_most_regions(self):
+        counts = regions_per_provider()
+        assert counts["azure"] > counts["vultr"]
+        assert counts["aws"] > counts["digitalocean"]
+
+    def test_africa_has_exactly_one_region(self):
+        """'only one operating region' in Africa (paper §4.3)."""
+        african = list(iter_regions(continent="AF"))
+        assert len(african) == 1
+        assert african[0].country_code == "ZA"
+
+    def test_all_continents_covered(self):
+        continents = {region.continent for region in all_regions()}
+        assert continents == {"NA", "EU", "SA", "AS", "AF", "OC"}
+
+    def test_region_countries_resolve(self):
+        for region in all_regions():
+            get_country(region.country_code)
+
+    def test_locations_inside_country_ballpark(self):
+        """Region coordinates sit within 3000 km of the country centroid."""
+        for region in all_regions():
+            distance = region.location.distance_km(region.country.centroid)
+            assert distance < 3000.0, region.key
+
+
+class TestLookups:
+    def test_get_region(self):
+        region = get_region("aws:eu-central-1")
+        assert region.city == "Frankfurt"
+        assert region.country_code == "DE"
+
+    def test_unknown_region(self):
+        with pytest.raises(ReproError):
+            get_region("aws:mars-central-1")
+
+    def test_iter_by_provider(self):
+        aws = list(iter_regions(provider="aws"))
+        assert len(aws) == 17
+        assert all(region.provider_slug == "aws" for region in aws)
+
+    def test_iter_by_country(self):
+        german = list(iter_regions(country="de"))
+        assert {region.provider_slug for region in german} == {
+            "aws", "gcp", "azure", "digitalocean", "linode", "vultr", "alibaba",
+        }
+
+    def test_iter_combined_filters(self):
+        assert len(list(iter_regions(provider="azure", continent="EU"))) == 7

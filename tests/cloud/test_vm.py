@@ -1,0 +1,57 @@
+"""Tests for repro.cloud.vm and repro.cloud.backbone."""
+
+import pytest
+
+from repro.cloud.backbone import PRIVATE_BACKBONE, adjustment_for, adjustment_for_slug
+from repro.cloud.providers import get_provider
+from repro.cloud.vm import deploy_fleet, vm_by_address, vm_for_region
+from repro.errors import ReproError
+from repro.net.pathmodel import PUBLIC_INTERNET
+
+
+class TestFleet:
+    def test_one_vm_per_region(self):
+        fleet = deploy_fleet()
+        assert len(fleet) == 101
+        assert len({vm.region.key for vm in fleet}) == 101
+
+    def test_addresses_unique(self):
+        fleet = deploy_fleet()
+        assert len({vm.address for vm in fleet}) == len(fleet)
+
+    def test_fleet_cached(self):
+        assert deploy_fleet() is deploy_fleet()
+
+    def test_vm_for_region(self):
+        vm = vm_for_region("gcp:europe-west3")
+        assert vm.region.city == "Frankfurt"
+
+    def test_vm_by_address_round_trip(self):
+        for vm in deploy_fleet()[:10]:
+            assert vm_by_address(vm.address) is vm
+
+    def test_unknown_address(self):
+        with pytest.raises(ReproError):
+            vm_by_address("8.8.8.8")
+
+
+class TestBackboneAdjustments:
+    def test_private_providers_get_discount(self):
+        assert adjustment_for(get_provider("aws")) is PRIVATE_BACKBONE
+        assert adjustment_for_slug("gcp") is PRIVATE_BACKBONE
+
+    def test_public_providers_unadjusted(self):
+        assert adjustment_for_slug("linode") is PUBLIC_INTERNET
+        assert adjustment_for_slug("vultr") is PUBLIC_INTERNET
+
+    def test_discount_is_modest(self):
+        """The paper's findings hold across providers; the private-backbone
+        edge must be a nudge, not a regime change."""
+        assert 0.9 <= PRIVATE_BACKBONE.path_factor < 1.0
+        assert 0.3 <= PRIVATE_BACKBONE.peering_factor < 1.0
+
+    def test_vm_adjustment_matches_provider(self):
+        vm = vm_for_region("aws:eu-central-1")
+        assert vm.adjustment is PRIVATE_BACKBONE
+        vm = vm_for_region("linode:eu-central")
+        assert vm.adjustment is PUBLIC_INTERNET

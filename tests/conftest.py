@@ -1,0 +1,42 @@
+"""Shared fixtures.
+
+The campaign fixtures are session-scoped because generating a dataset is
+the expensive part of the suite; every analysis test shares one TINY run
+and the calibration tests share one SMALL run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.atlas.platform import AtlasPlatform
+from repro.core.campaign import Campaign, CampaignScale
+from repro.core.dataset import CampaignDataset
+
+#: Seed used by all shared fixtures; changing it must not break any test.
+FIXTURE_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def platform() -> AtlasPlatform:
+    """A platform with the default population and fleet."""
+    return AtlasPlatform(seed=FIXTURE_SEED)
+
+
+@pytest.fixture(scope="session")
+def tiny_campaign() -> Campaign:
+    campaign = Campaign.from_paper(scale=CampaignScale.TINY, seed=FIXTURE_SEED)
+    campaign.run_dataset = campaign.run()
+    return campaign
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_campaign) -> CampaignDataset:
+    return tiny_campaign.run_dataset
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> CampaignDataset:
+    """The calibration dataset (roughly 275 k samples, ~20 s to build)."""
+    campaign = Campaign.from_paper(scale=CampaignScale.SMALL, seed=FIXTURE_SEED)
+    return campaign.run()

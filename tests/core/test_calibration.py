@@ -1,0 +1,124 @@
+"""Calibration against the paper's published shape (SMALL campaign).
+
+These tests pin the reproduction to the quantitative claims of §4; the
+bands are deliberately generous (the substrate is a simulator and SMALL
+subsamples probes), but the *orderings* and *threshold crossings* are the
+paper's and must hold exactly.
+
+The shared ``small_dataset`` fixture takes ~20 s to generate; everything
+here reuses it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.constants import MTP_MS, PL_MS
+from repro.core.distributions import samples_by_continent
+from repro.core.lastmile import added_wireless_latency_ms
+from repro.core.proximity import min_rtt_cdf_by_continent
+from repro.core.report import headline_report
+
+
+@pytest.fixture(scope="module")
+def report(small_dataset):
+    return headline_report(small_dataset)
+
+
+class TestFigure4Claims:
+    def test_countries_under_10ms(self, report):
+        """Paper: 32 countries under 10 ms."""
+        assert 22 <= report.countries_under_10ms <= 42
+
+    def test_countries_10_to_20(self, report):
+        """Paper: another 21 countries in 10-20 ms."""
+        assert 13 <= report.countries_10_to_20ms <= 30
+
+    def test_countries_beyond_pl(self, report):
+        """Paper: all but 16 countries meet the PL threshold."""
+        assert 8 <= report.countries_over_pl <= 26
+
+    def test_majority_of_population_served(self, report):
+        """Abstract: the cloud is close enough for the majority of the
+        world's population."""
+        assert report.population_share_under_pl > 0.75
+
+
+class TestFigure5Claims:
+    def test_eu_na_probes_under_mtp(self, report):
+        """Paper: ~80 % of EU and NA probes reach a datacenter within MTP."""
+        assert report.probe_share_under_mtp["EU"] >= 0.65
+        assert report.probe_share_under_mtp["NA"] >= 0.65
+
+    def test_well_connected_half_of_all_probes(self, small_dataset):
+        """Paper: EU+NA under-MTP probes are ~50 % of all probes."""
+        cdfs = min_rtt_cdf_by_continent(small_dataset)
+        total = sum(len(cdf) for cdf in cdfs.values())
+        fast = sum(
+            len(cdfs[c]) * cdfs[c].fraction_below(MTP_MS) for c in ("EU", "NA")
+        )
+        assert 0.35 <= fast / total <= 0.65
+
+    def test_oceania_within_50ms(self, small_dataset):
+        """Paper: almost all Oceania probes reach the cloud within 50 ms."""
+        cdfs = min_rtt_cdf_by_continent(small_dataset)
+        assert cdfs["OC"].fraction_below(50.0) >= 0.6
+
+    def test_africa_latam_within_pl(self, small_dataset):
+        """Paper: ~75 % of AF and SA probes under 100 ms (best case)."""
+        cdfs = min_rtt_cdf_by_continent(small_dataset)
+        assert cdfs["AF"].fraction_below(PL_MS) >= 0.6
+        assert cdfs["SA"].fraction_below(PL_MS) >= 0.6
+
+
+class TestFigure6Claims:
+    def test_well_connected_beat_pl(self, report):
+        """Paper: >75 % of NA/EU/OC samples below the PL threshold."""
+        for continent in ("NA", "EU"):
+            assert report.sample_share_under_pl[continent] >= 0.75, continent
+        # Oceania's average is dragged by Pacific-island probes that the
+        # one-per-country floor over-weights at SMALL scale.
+        assert report.sample_share_under_pl["OC"] >= 0.72
+
+    def test_underserved_fractional(self, report):
+        """Paper: AS/SA/AF visibly miss PL for a large share of samples
+        (our simulator is somewhat more optimistic for AS/SA than the
+        published curves; see EXPERIMENTS.md)."""
+        for continent in ("AS", "SA"):
+            assert report.sample_share_under_pl[continent] <= 0.90, continent
+        assert report.sample_share_under_pl["AF"] <= 0.60
+        # And they all trail NA/EU clearly.
+        floor = min(
+            report.sample_share_under_pl["NA"], report.sample_share_under_pl["EU"]
+        )
+        for continent in ("AS", "SA", "AF"):
+            assert report.sample_share_under_pl[continent] < floor - 0.05
+
+    def test_top_quartile_na_eu_supports_mtp(self, small_dataset):
+        """Paper: the top 25 % of NA and EU probes can support MTP."""
+        groups = samples_by_continent(small_dataset)
+        for continent in ("NA", "EU"):
+            p25 = float(np.percentile(groups[continent], 25))
+            assert p25 <= MTP_MS, continent
+
+    def test_continent_ordering(self, report):
+        """NA/EU >> AS > AF in sample share under PL."""
+        shares = report.sample_share_under_pl
+        assert shares["EU"] > shares["AS"] > shares["AF"]
+        assert shares["NA"] > shares["SA"]
+
+
+class TestFigure7Claims:
+    def test_wireless_penalty(self, report):
+        """Paper: wireless probes take ~2.5x longer."""
+        assert 1.8 <= report.wireless_penalty <= 3.5
+
+    def test_added_wireless_latency(self, small_dataset):
+        """Paper cites 10-40 ms of added last-mile wireless latency."""
+        assert 8.0 <= added_wireless_latency_ms(small_dataset) <= 50.0
+
+
+class TestFacebookCheckpoint:
+    def test_most_users_under_40ms(self, report):
+        """Schlinker et al.: clients rarely observe >40 ms to Facebook;
+        our NA+EU samples should mostly sit under 40 ms too."""
+        assert report.facebook_share_under_40ms >= 0.7

@@ -1,0 +1,133 @@
+"""Tests for repro.core.campaign."""
+
+import numpy as np
+import pytest
+
+from repro.constants import CAMPAIGN_START_TS
+from repro.core.campaign import Campaign, CampaignScale
+from repro.errors import CampaignError
+
+
+class TestScales:
+    def test_full_matches_paper_methodology(self):
+        full = CampaignScale.FULL
+        assert full.interval_s == 3 * 3600
+        assert full.duration_days == 273  # nine months
+        assert full.probe_fraction == 1.0
+
+    def test_vantage_count_floor(self):
+        assert CampaignScale.TINY.vantage_count(1) == 1
+        assert CampaignScale.TINY.vantage_count(420) == 1
+
+    def test_vantage_count_proportional(self):
+        assert CampaignScale.SMALL.vantage_count(420) == 52 or \
+            CampaignScale.SMALL.vantage_count(420) == 53
+        assert CampaignScale.FULL.vantage_count(420) == 420
+
+
+class TestPlanning:
+    def test_plan_covers_every_probe_country(self, tiny_campaign):
+        plan = tiny_campaign.plan
+        total = plan.total_vantage_points
+        assert total == 166  # one per probed country at TINY
+
+    def test_af_probes_target_eu(self, tiny_campaign):
+        eu_vm = next(
+            vm for vm in tiny_campaign.platform.fleet if vm.region.continent == "EU"
+        )
+        ids = tiny_campaign._vantage_ids_for_target(eu_vm)
+        continents = {
+            tiny_campaign.platform.probe(pid).continent for pid in ids
+        }
+        assert continents == {"EU", "AF"}
+
+    def test_sa_probes_target_na(self, tiny_campaign):
+        na_vm = next(
+            vm for vm in tiny_campaign.platform.fleet if vm.region.continent == "NA"
+        )
+        ids = tiny_campaign._vantage_ids_for_target(na_vm)
+        continents = {
+            tiny_campaign.platform.probe(pid).continent for pid in ids
+        }
+        assert continents == {"NA", "SA"}
+
+    def test_na_probes_stay_home(self, tiny_campaign):
+        as_vm = next(
+            vm for vm in tiny_campaign.platform.fleet if vm.region.continent == "AS"
+        )
+        ids = tiny_campaign._vantage_ids_for_target(as_vm)
+        continents = {
+            tiny_campaign.platform.probe(pid).continent for pid in ids
+        }
+        assert continents == {"AS"}
+
+
+class TestExecution:
+    def test_one_measurement_per_region(self, tiny_campaign):
+        assert len(tiny_campaign.measurement_ids) == 101
+
+    def test_double_create_rejected(self, tiny_campaign):
+        with pytest.raises(CampaignError):
+            tiny_campaign.create_measurements()
+
+    def test_collect_before_create_rejected(self):
+        campaign = Campaign.from_paper(scale=CampaignScale.TINY, seed=99)
+        with pytest.raises(CampaignError):
+            campaign.collect()
+
+    def test_dataset_covers_fleet(self, tiny_dataset):
+        assert len(np.unique(tiny_dataset.column("target_index"))) == 101
+
+    def test_timestamps_in_window(self, tiny_dataset, tiny_campaign):
+        timestamps = tiny_dataset.column("timestamp")
+        assert timestamps.min() >= CAMPAIGN_START_TS
+        assert timestamps.max() < tiny_campaign.stop_time
+
+    def test_quota_was_raised(self, tiny_campaign):
+        account = tiny_campaign.platform.accounts[tiny_campaign.api_key]
+        assert account.spent_total > 0
+
+    def test_windowed_collection_concatenates(self):
+        """Two non-overlapping windows equal the full collection —
+        the 'measurements are ongoing' incremental-analysis mode."""
+        campaign = Campaign.from_paper(scale=CampaignScale.TINY, seed=61)
+        campaign.create_measurements()
+        midpoint = campaign.start_time + campaign.scale.duration_s // 2
+        full = campaign.collect()
+
+        from repro.core.dataset import CampaignDataset
+
+        incremental = CampaignDataset(
+            campaign.platform.probes, campaign.platform.fleet
+        )
+        campaign.collect_into(incremental, stop=midpoint)
+        first_half = len(incremental._buffer.probe_id)
+        campaign.collect_into(incremental, start=midpoint)
+        incremental.freeze()
+
+        assert 0 < first_half < len(incremental)
+        assert incremental.num_samples == full.num_samples
+        # Same multiset of samples (order differs: window-major).
+        full_keys = sorted(
+            zip(full.column("probe_id"), full.column("timestamp"),
+                full.column("target_index"))
+        )
+        inc_keys = sorted(
+            zip(incremental.column("probe_id"), incremental.column("timestamp"),
+                incremental.column("target_index"))
+        )
+        assert full_keys == inc_keys
+
+    def test_collect_window_bounds_respected(self, tiny_campaign):
+        midpoint = (
+            tiny_campaign.start_time + tiny_campaign.scale.duration_s // 2
+        )
+        window = tiny_campaign.collect(start=midpoint)
+        assert window.column("timestamp").min() >= midpoint
+
+    def test_run_deterministic(self):
+        a = Campaign.from_paper(scale=CampaignScale.TINY, seed=31).run()
+        b = Campaign.from_paper(scale=CampaignScale.TINY, seed=31).run()
+        assert np.array_equal(a.column("rtt_min"), b.column("rtt_min"),
+                              equal_nan=True)
+        assert np.array_equal(a.column("probe_id"), b.column("probe_id"))

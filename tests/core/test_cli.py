@@ -1,0 +1,91 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_figure_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "9"])
+
+
+class TestCommands:
+    def test_footprint(self, capsys):
+        assert main(["footprint"]) == 0
+        out = capsys.readouterr().out
+        assert "datacenter countries: 21" in out
+
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "Cloud gaming" in out
+        assert "edge feasibility zone" in out
+
+    def test_whatif(self, capsys):
+        assert main(["whatif"]) == 0
+        out = capsys.readouterr().out
+        assert "5g-promised" in out
+        assert "ar-vr" in out
+
+    def test_figure_1(self, capsys):
+        assert main(["figure", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "eras:" in out
+
+    def test_figure_2(self, capsys):
+        assert main(["figure", "2"]) == 0
+        assert "Q1" in capsys.readouterr().out
+
+    def test_figure_8(self, capsys):
+        assert main(["figure", "8"]) == 0
+        assert "cloud-gaming" in capsys.readouterr().out
+
+
+class TestCampaignCommands:
+    """Commands that run a (tiny) campaign — slower, but end-to-end."""
+
+    def test_run(self, capsys):
+        assert main(["run", "--scale", "tiny", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "wireless penalty" in out
+        assert "paper=" in out
+
+    def test_figure_5(self, capsys):
+        assert main(["figure", "5", "--scale", "tiny", "--seed", "5"]) == 0
+        assert "RTT (ms)" in capsys.readouterr().out
+
+    def test_export(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        assert main(
+            ["export", "--scale", "tiny", "--seed", "5", "--out", str(out_dir)]
+        ) == 0
+        assert (out_dir / "dataset.csv").exists()
+        assert (out_dir / "fig5.json").exists()
+
+    def test_validate_returns_status(self, capsys):
+        # TINY misses a couple of band checks by design; the command
+        # reports them and signals via the exit code.
+        code = main(["validate", "--scale", "tiny", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert "paper-shape checks passed" in out
+        assert code in (0, 1)
+
+    def test_report_to_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        assert main(
+            ["report", "--scale", "tiny", "--seed", "5", "--out", str(path)]
+        ) == 0
+        text = path.read_text(encoding="utf-8")
+        assert "# Latency Shears" in text
+        assert "Figure 6" in text

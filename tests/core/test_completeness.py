@@ -1,0 +1,76 @@
+"""Tests for repro.core.completeness and the platform accounting it uses."""
+
+import numpy as np
+import pytest
+
+from repro.core.completeness import completeness_frame, fleet_summary
+from repro.errors import AtlasAPIError, CampaignError
+
+
+@pytest.fixture(scope="module")
+def accounting(tiny_campaign, tiny_dataset):
+    return completeness_frame(tiny_campaign, tiny_dataset)
+
+
+class TestPlatformAccounting:
+    def test_expected_never_exceeds_scheduled(self, tiny_campaign):
+        platform = tiny_campaign.platform
+        msm_id = tiny_campaign.measurement_ids[0]
+        msm = platform.measurement(msm_id)
+        for probe in msm.probes[:10]:
+            expected = platform.expected_result_count(msm_id, probe.probe_id)
+            scheduled = platform.scheduled_tick_count(msm_id, probe.probe_id)
+            assert 0 <= expected <= scheduled
+
+    def test_unknown_probe_rejected(self, tiny_campaign):
+        platform = tiny_campaign.platform
+        msm_id = tiny_campaign.measurement_ids[0]
+        absent = next(
+            p.probe_id
+            for p in platform.probes
+            if all(p.probe_id != q.probe_id
+                   for q in platform.measurement(msm_id).probes)
+        )
+        with pytest.raises(AtlasAPIError):
+            platform.expected_result_count(msm_id, absent)
+
+    def test_list_measurements(self, tiny_campaign):
+        platform = tiny_campaign.platform
+        listed = platform.list_measurements(key=tiny_campaign.api_key)
+        assert len(listed) == len(tiny_campaign.measurement_ids)
+        assert platform.list_measurements(measurement_type="traceroute") == []
+
+
+class TestCompletenessFrame:
+    def test_delivery_matches_expectation_exactly(self, accounting):
+        """The simulator's delivery is deterministic: every online tick
+        produces a result, so completeness is exactly 1.0."""
+        assert all(value == pytest.approx(1.0) for value in accounting["completeness"])
+
+    def test_uptime_tracks_stability(self, accounting):
+        uptimes = accounting["uptime"].astype(float)
+        stabilities = accounting["stability"].astype(float)
+        # Positively correlated: churn is driven by the stability field.
+        # (At TINY scale each probe has only 8 scheduled ticks per
+        # measurement, so uptime is quantized to eighths, capping the
+        # achievable correlation.)
+        correlation = np.corrcoef(uptimes, stabilities)[0, 1]
+        assert correlation > 0.3
+
+    def test_requires_run_campaign(self, tiny_dataset):
+        from repro.core.campaign import Campaign, CampaignScale
+
+        fresh = Campaign.from_paper(scale=CampaignScale.TINY, seed=55)
+        with pytest.raises(CampaignError):
+            completeness_frame(fresh, tiny_dataset)
+
+
+class TestFleetSummary:
+    def test_rates(self, accounting):
+        summary = fleet_summary(accounting)
+        assert summary["delivery_rate"] == pytest.approx(1.0)
+        assert 0.85 <= summary["uptime_rate"] <= 1.0
+
+    def test_wireless_probes_flakier(self, accounting):
+        summary = fleet_summary(accounting)
+        assert summary["wireless_uptime"] < summary["wired_uptime"]

@@ -1,0 +1,50 @@
+"""Tests for repro.core.corevsaccess."""
+
+import math
+
+import pytest
+
+from repro.atlas.platform import AtlasPlatform
+from repro.core.corevsaccess import decompose_pair, survey
+
+T0 = 1_567_296_000
+TIMESTAMPS = [T0 + k * 21_600 for k in range(6)]
+
+
+@pytest.fixture(scope="module")
+def backend() -> AtlasPlatform:
+    return AtlasPlatform(seed=9)
+
+
+class TestDecomposePair:
+    def test_components_non_negative(self, backend):
+        pair = decompose_pair(backend, "DE", "DE", TIMESTAMPS)
+        assert pair.core_ms > 0
+        assert pair.wired_access_ms >= 0
+        if not math.isnan(pair.wireless_access_ms):
+            assert pair.wireless_access_ms >= 0
+
+    def test_wireless_access_exceeds_wired(self, backend):
+        pair = decompose_pair(backend, "DE", "DE", TIMESTAMPS)
+        assert pair.wireless_access_ms > pair.wired_access_ms
+
+    def test_modern_bottleneck_is_wireless_access(self, backend):
+        """The paper's premise: for wireless users in well-connected
+        countries, the access network, not the core, is the bottleneck."""
+        pair = decompose_pair(backend, "DE", "DE", TIMESTAMPS)
+        assert pair.wireless_bottleneck == "access"
+
+    def test_long_haul_core_dominates(self, backend):
+        """Over intercontinental paths the core grows; the comparison
+        flips — exactly why the paper separates the two regimes."""
+        pair = decompose_pair(backend, "DE", "US", TIMESTAMPS)
+        assert pair.core_ms > 50.0
+        assert pair.wired_bottleneck == "core"
+
+
+class TestSurvey:
+    def test_frame_shape(self, backend):
+        frame = survey(backend, [("DE", "DE"), ("FR", "DE")], TIMESTAMPS)
+        assert len(frame) == 2
+        assert "core_ms" in frame
+        assert "wireless_bottleneck" in frame

@@ -1,0 +1,125 @@
+"""Tests for repro.core.dataset."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.atlas.population import generate_population
+from repro.cloud.vm import deploy_fleet
+from repro.core.dataset import CampaignDataset
+from repro.errors import CampaignError
+
+
+@pytest.fixture
+def dataset() -> CampaignDataset:
+    probes = generate_population(seed=2)[:5]
+    targets = deploy_fleet()[:3]
+    ds = CampaignDataset(probes, targets)
+    for k, probe in enumerate(probes):
+        failed = k == 4
+        ds.append(
+            probe_id=probe.probe_id,
+            target_key=targets[k % 3].key,
+            timestamp=1_567_296_000 + k * 100,
+            rtt_min=math.nan if failed else 10.0 + k,
+            rtt_avg=math.nan if failed else 12.0 + k,
+            sent=3,
+            rcvd=0 if failed else 3,
+        )
+    return ds
+
+
+class TestConstruction:
+    def test_requires_probes_and_targets(self):
+        with pytest.raises(CampaignError):
+            CampaignDataset([], deploy_fleet()[:1])
+        with pytest.raises(CampaignError):
+            CampaignDataset(generate_population(seed=2)[:1], [])
+
+    def test_unknown_target_key(self, dataset):
+        with pytest.raises(CampaignError):
+            dataset.target_index_of("aws:mars-1")
+
+    def test_unknown_probe(self, dataset):
+        with pytest.raises(CampaignError):
+            dataset.probe(1)
+
+
+class TestFreeze:
+    def test_length(self, dataset):
+        assert len(dataset) == 5
+
+    def test_append_after_freeze_rejected(self, dataset):
+        dataset.freeze()
+        with pytest.raises(CampaignError):
+            dataset.append(dataset.probes[0].probe_id, dataset.targets[0].key,
+                           0, 1.0, 1.0, 3, 3)
+
+    def test_freeze_idempotent(self, dataset):
+        dataset.freeze()
+        dataset.freeze()
+        assert len(dataset) == 5
+
+    def test_column_dtypes(self, dataset):
+        assert dataset.column("probe_id").dtype == np.int32
+        assert dataset.column("rtt_min").dtype == np.float64
+        assert dataset.column("sent").dtype == np.int16
+
+    def test_unknown_column(self, dataset):
+        with pytest.raises(CampaignError):
+            dataset.column("nope")
+
+
+class TestDerivedVectors:
+    def test_probe_lookup_alignment(self, dataset):
+        countries = dataset.probe_countries()
+        for i in range(len(dataset)):
+            probe_id = int(dataset.column("probe_id")[i])
+            assert countries[i] == dataset.probe(probe_id).country_code
+
+    def test_target_vectors(self, dataset):
+        providers = dataset.target_providers()
+        continents = dataset.target_continents()
+        for i in range(len(dataset)):
+            vm = dataset.targets[int(dataset.column("target_index")[i])]
+            assert providers[i] == vm.region.provider_slug
+            assert continents[i] == vm.region.continent
+
+    def test_succeeded_mask(self, dataset):
+        mask = dataset.succeeded_mask()
+        assert list(mask) == [True, True, True, True, False]
+
+
+class TestFrameView:
+    def test_to_frame_columns(self, dataset):
+        frame = dataset.to_frame()
+        assert set(frame.columns) >= {
+            "probe_id", "country", "continent", "cohort", "privileged",
+            "target", "provider", "timestamp", "rtt_min",
+        }
+        assert len(frame) == 5
+
+    def test_to_frame_with_mask(self, dataset):
+        frame = dataset.to_frame(dataset.succeeded_mask())
+        assert len(frame) == 4
+
+
+class TestIntegrity:
+    def test_report(self, dataset):
+        report = dataset.integrity_report()
+        assert report["samples"] == 5
+        assert report["failed_share"] == pytest.approx(0.2)
+        assert report["probes_seen"] == 5
+        assert report["targets_seen"] == 3
+
+
+class TestExport:
+    def test_csv_round_trip(self, dataset, tmp_path):
+        path = tmp_path / "dataset.csv"
+        dataset.export_csv(path)
+        loaded = CampaignDataset.load_csv(path)
+        assert len(loaded) == 5
+        assert list(loaded["probe_id"]) == list(dataset.column("probe_id"))
+        # NaN RTTs survive as the failed sample's marker.
+        assert math.isnan(loaded["rtt_min"][4]) or loaded["rtt_min"][4] == "nan"

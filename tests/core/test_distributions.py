@@ -1,0 +1,81 @@
+"""Tests for repro.core.distributions (Figure 6)."""
+
+import numpy as np
+
+from repro.core.distributions import (
+    all_samples_cdf_by_continent,
+    eu_tail_analysis,
+    provider_comparison,
+    samples_by_continent,
+    threshold_table,
+)
+from repro.core.filtering import unprivileged_mask
+
+
+class TestSampleGrouping:
+    def test_partition_of_nearest_samples(self, tiny_dataset):
+        from repro.core.nearest import nearest_target_mask
+
+        groups = samples_by_continent(tiny_dataset)
+        total = sum(len(values) for values in groups.values())
+        expected = nearest_target_mask(tiny_dataset, unprivileged_mask(tiny_dataset))
+        assert total == int(np.sum(expected))
+
+    def test_all_targets_mode_partitions_everything(self, tiny_dataset):
+        groups = samples_by_continent(tiny_dataset, nearest_only=False)
+        total = sum(len(values) for values in groups.values())
+        assert total == int(np.sum(unprivileged_mask(tiny_dataset)))
+
+    def test_nearest_is_subset(self, tiny_dataset):
+        nearest = samples_by_continent(tiny_dataset)
+        full = samples_by_continent(tiny_dataset, nearest_only=False)
+        for continent, values in nearest.items():
+            assert len(values) <= len(full[continent])
+
+    def test_cdfs_match_groups(self, tiny_dataset):
+        groups = samples_by_continent(tiny_dataset)
+        cdfs = all_samples_cdf_by_continent(tiny_dataset)
+        for continent, values in groups.items():
+            assert len(cdfs[continent]) == len(values)
+
+
+class TestThresholdTable:
+    def test_columns(self, tiny_dataset):
+        frame = threshold_table(tiny_dataset)
+        assert "under_mtp" in frame
+        assert "under_pl" in frame
+        assert len(frame) == 6
+
+    def test_shares_valid(self, tiny_dataset):
+        frame = threshold_table(tiny_dataset)
+        for row in frame.iter_rows():
+            assert 0.0 <= row["under_mtp"] <= row["under_pl"] <= 1.0
+
+    def test_quartiles_ordered(self, tiny_dataset):
+        frame = threshold_table(tiny_dataset)
+        for row in frame.iter_rows():
+            assert row["p25"] <= row["median"] <= row["p75"] <= row["p95"]
+
+
+class TestEuTail:
+    def test_eastern_europe_drives_the_tail(self, tiny_dataset):
+        analysis = eu_tail_analysis(tiny_dataset)
+        assert analysis["eu_eastern_median"] > analysis["eu_western_median"]
+
+    def test_na_lacks_eu_tail(self, tiny_dataset):
+        """'the long tail of latency distribution for EU is largely
+        missing from NA.'"""
+        analysis = eu_tail_analysis(tiny_dataset)
+        assert analysis["na_p95"] < analysis["eu_p95"]
+
+
+class TestProviderComparison:
+    def test_all_providers_measured(self, tiny_dataset):
+        frame = provider_comparison(tiny_dataset)
+        assert len(frame) == 7
+
+    def test_medians_positive(self, tiny_dataset):
+        frame = provider_comparison(tiny_dataset)
+        for row in frame.iter_rows():
+            assert row["median"] > 0
+            assert row["median"] <= row["p90"]

@@ -1,0 +1,81 @@
+"""Tests for repro.core.diurnal."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.diurnal import (
+    continent_matrix,
+    hourly_profile,
+    peak_hour,
+    peak_to_trough,
+)
+from repro.errors import CampaignError
+
+
+class TestHourlyProfile:
+    def test_24_rows(self, tiny_dataset):
+        profile = hourly_profile(tiny_dataset)
+        assert len(profile) == 24
+        assert list(profile["hour"]) == list(range(24))
+
+    def test_samples_partition(self, tiny_dataset):
+        from repro.core.filtering import unprivileged_mask
+
+        profile = hourly_profile(tiny_dataset)
+        assert sum(profile["samples"]) == int(
+            np.sum(unprivileged_mask(tiny_dataset))
+        )
+
+    def test_continent_filter(self, tiny_dataset):
+        eu = hourly_profile(tiny_dataset, continent="EU")
+        world = hourly_profile(tiny_dataset)
+        assert sum(eu["samples"]) < sum(world["samples"])
+
+    def test_unknown_continent(self, tiny_dataset):
+        with pytest.raises(CampaignError):
+            hourly_profile(tiny_dataset, continent="XX")
+
+
+class TestDiurnalShape:
+    def test_peak_in_waking_hours(self, tiny_dataset):
+        """The congestion model peaks in the local evening."""
+        hour = peak_hour(tiny_dataset)
+        assert 14 <= hour <= 23
+
+    def test_peak_to_trough_above_one(self, tiny_dataset):
+        ratio = peak_to_trough(tiny_dataset)
+        assert ratio > 1.02
+
+    def test_evening_beats_early_morning(self, tiny_dataset):
+        profile = hourly_profile(tiny_dataset)
+        by_hour = {int(r["hour"]): r["median"] for r in profile.iter_rows()}
+        evening = np.nanmean([by_hour[h] for h in (19, 20, 21)])
+        morning = np.nanmean([by_hour[h] for h in (3, 4, 5)])
+        assert evening > morning
+
+
+class TestContinentMatrix:
+    def test_design_cells_populated(self, tiny_dataset):
+        matrix = continent_matrix(tiny_dataset)
+        # Within-continent cells exist for every probe continent.
+        for source in ("NA", "EU", "AS", "OC"):
+            assert not math.isnan(matrix[source][source])
+        # The §4.1 fallbacks.
+        assert not math.isnan(matrix["AF"]["EU"])
+        assert not math.isnan(matrix["SA"]["NA"])
+
+    def test_out_of_design_cells_empty(self, tiny_dataset):
+        matrix = continent_matrix(tiny_dataset)
+        assert math.isnan(matrix["EU"].get("AS", float("nan")))
+        assert math.isnan(matrix["NA"].get("EU", float("nan")))
+
+    def test_adjacent_continents_are_competitive(self, tiny_dataset):
+        """The §4.1 fallbacks exist because adjacent continents genuinely
+        compete: for the median Latin American probe, North American
+        regions are at least as reachable as the lone Sao Paulo metro,
+        and Europe is within reach of Africa's single region."""
+        matrix = continent_matrix(tiny_dataset)
+        assert matrix["SA"]["NA"] <= matrix["SA"]["SA"] * 1.1
+        assert matrix["AF"]["EU"] <= matrix["AF"]["AF"] * 1.5

@@ -1,0 +1,83 @@
+"""Tests for repro.core.feasibility (measured Figure 8)."""
+
+import pytest
+
+from repro.apps.catalog import get_application
+from repro.core.feasibility import (
+    ContinentLatency,
+    app_verdict_for_continent,
+    cloud_sufficient_share,
+    edge_beneficiaries,
+    feasibility_matrix,
+    measured_latency,
+)
+from repro.errors import CampaignError
+
+
+class TestMeasuredLatency:
+    def test_all_continents(self, tiny_dataset):
+        latencies = measured_latency(tiny_dataset)
+        assert set(latencies) == {"NA", "EU", "OC", "AS", "SA", "AF"}
+
+    def test_quartiles_ordered(self, tiny_dataset):
+        for latency in measured_latency(tiny_dataset).values():
+            assert latency.p25 <= latency.median <= latency.p75
+
+    def test_empty_samples_rejected(self):
+        import numpy as np
+
+        with pytest.raises(CampaignError):
+            ContinentLatency.from_samples("EU", np.asarray([]))
+
+
+class TestVerdicts:
+    def test_cloud_serves_relaxed_apps_in_eu(self, tiny_dataset):
+        latency = measured_latency(tiny_dataset)["EU"]
+        verdict = app_verdict_for_continent(
+            get_application("smart-home"), latency
+        )
+        assert verdict == "cloud"
+
+    def test_onboard_for_av_everywhere(self, tiny_dataset):
+        for latency in measured_latency(tiny_dataset).values():
+            verdict = app_verdict_for_continent(
+                get_application("autonomous-vehicles"), latency
+            )
+            assert verdict == "onboard"
+
+    def test_africa_needs_edge_for_gaming(self, tiny_dataset):
+        """Under-served continents are where edge latency gains exist
+        (paper §6: 'in developing regions, gains are more significant')."""
+        latency = measured_latency(tiny_dataset)["AF"]
+        verdict = app_verdict_for_continent(
+            get_application("cloud-gaming"), latency
+        )
+        assert verdict in ("edge", "cloud-marginal")
+
+
+class TestMatrix:
+    def test_matrix_shape(self, tiny_dataset):
+        matrix = feasibility_matrix(tiny_dataset)
+        assert "application" in matrix
+        assert "fz_verdict" in matrix
+        assert "EU" in matrix
+        from repro.apps.catalog import all_applications
+
+        assert len(matrix) == len(all_applications())
+
+    def test_beneficiaries_are_fz_members(self, tiny_dataset):
+        beneficiaries = edge_beneficiaries(tiny_dataset)
+        matrix = feasibility_matrix(tiny_dataset)
+        fz_apps = {
+            str(row["application"])
+            for row in matrix.iter_rows()
+            if row["fz_verdict"] == "IN_ZONE"
+        }
+        assert set(beneficiaries) <= fz_apps
+
+    def test_cloud_sufficient_share_ordering(self, tiny_dataset):
+        """Well-connected continents have the cloud serving more apps."""
+        shares = cloud_sufficient_share(tiny_dataset)
+        assert shares["EU"] >= shares["AF"]
+        assert shares["NA"] >= shares["SA"]
+        assert all(0.0 <= s <= 1.0 for s in shares.values())

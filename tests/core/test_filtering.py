@@ -1,0 +1,54 @@
+"""Tests for repro.core.filtering."""
+
+import numpy as np
+
+from repro.core.filtering import cohort_masks, cohort_sizes, unprivileged_mask
+
+
+class TestUnprivilegedMask:
+    def test_excludes_failed_pings(self, tiny_dataset):
+        mask = unprivileged_mask(tiny_dataset)
+        rcvd = tiny_dataset.column("rcvd")
+        assert not np.any(rcvd[mask] == 0)
+
+    def test_excludes_tagged_privileged(self, tiny_dataset):
+        mask = unprivileged_mask(tiny_dataset)
+        privileged = tiny_dataset.probe_privileged()
+        assert not np.any(privileged[mask])
+
+    def test_untagged_privileged_slip_through(self, tiny_dataset):
+        """The filter sees tags, not ground truth: some datacenter probes
+        hide (the real study had the same blind spot)."""
+        mask = unprivileged_mask(tiny_dataset)
+        probe_ids = set(np.unique(tiny_dataset.column("probe_id")[mask]))
+        hidden = [
+            p for p in tiny_dataset.probes
+            if p.environment.is_privileged
+            and "datacentre" not in p.user_tags
+            and "cloud" not in p.user_tags
+            and p.probe_id in probe_ids
+        ]
+        # With ~300 privileged probes and 80% tagging, some hide.
+        assert hidden
+
+
+class TestCohorts:
+    def test_masks_disjoint(self, tiny_dataset):
+        masks = cohort_masks(tiny_dataset)
+        assert not np.any(masks["wired"] & masks["wireless"])
+
+    def test_cohorts_exclude_privileged(self, tiny_dataset):
+        masks = cohort_masks(tiny_dataset)
+        privileged = tiny_dataset.probe_privileged()
+        for mask in masks.values():
+            assert not np.any(privileged[mask])
+
+    def test_cohort_membership_matches_tags(self, tiny_dataset):
+        masks = cohort_masks(tiny_dataset)
+        cohorts = tiny_dataset.probe_cohorts()
+        assert set(np.unique(cohorts[masks["wired"]])) <= {"wired"}
+        assert set(np.unique(cohorts[masks["wireless"]])) <= {"wireless"}
+
+    def test_sizes_positive(self, tiny_dataset):
+        wired, wireless = cohort_sizes(tiny_dataset)
+        assert wired > wireless > 0

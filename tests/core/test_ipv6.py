@@ -1,0 +1,98 @@
+"""Tests for the dual-stack extension (repro.core.ipv6 + platform af=6)."""
+
+import pytest
+
+from repro.atlas.api.client import AtlasCreateRequest
+from repro.atlas.api.measurements import Ping
+from repro.atlas.api.sources import AtlasSource
+from repro.atlas.platform import AtlasPlatform
+from repro.core.ipv6 import dual_stack_comparison, v6_penalty_by_continent
+from repro.errors import CampaignError
+
+T0 = 1_567_296_000
+
+
+@pytest.fixture(scope="module")
+def backend() -> AtlasPlatform:
+    return AtlasPlatform(seed=9)
+
+
+class TestPlatformV6:
+    def test_v6_population_share(self, backend):
+        dual = sum(1 for probe in backend.probes if probe.has_ipv6)
+        share = dual / len(backend.probes)
+        assert 0.35 <= share <= 0.75  # circa-2019 deployment
+
+    def test_v6_system_tag(self, backend):
+        probe = next(p for p in backend.probes if p.has_ipv6)
+        assert "system-ipv6-works" in probe.tags
+        probe = next(p for p in backend.probes if not p.has_ipv6)
+        assert "system-ipv6-works" not in probe.tags
+
+    def test_v6_address_format(self, backend):
+        probe = next(p for p in backend.probes if p.has_ipv6)
+        assert probe.address_v6.startswith("2001:db8:")
+        probe = next(p for p in backend.probes if not p.has_ipv6)
+        assert probe.address_v6 == ""
+
+    def test_af6_measurement_filters_probes(self, backend):
+        target = backend.hostname_for(backend.fleet[9])
+        ok, response = AtlasCreateRequest(
+            measurements=[Ping(target=target, interval=21_600, af=6)],
+            sources=[AtlasSource(type="country", value="DE", requested=30)],
+            start_time=T0,
+            stop_time=T0 + 86_400,
+            platform=backend,
+        ).create()
+        assert ok
+        msm = backend.measurement(response["measurements"][0])
+        assert all(probe.has_ipv6 for probe in msm.probes)
+
+    def test_af6_results_use_v6_addresses(self, backend):
+        target = backend.hostname_for(backend.fleet[9])
+        ok, response = AtlasCreateRequest(
+            measurements=[Ping(target=target, interval=21_600, af=6)],
+            sources=[AtlasSource(type="country", value="DE", requested=5)],
+            start_time=T0,
+            stop_time=T0 + 86_400,
+            platform=backend,
+        ).create()
+        assert ok
+        results = backend.results(response["measurements"][0])
+        assert results
+        assert all(r["af"] == 6 for r in results)
+        assert all(r["from"].startswith("2001:db8:") for r in results)
+
+
+class TestDualStackStudy:
+    @pytest.fixture(scope="class")
+    def comparison(self, backend):
+        return dual_stack_comparison(
+            backend,
+            "aws:eu-central-1",
+            T0,
+            probes_per_country=2,
+            countries=("DE", "FR", "NL", "GB", "PL"),
+        )
+
+    def test_rows_have_both_families(self, comparison):
+        assert len(comparison) > 5
+        for row in comparison.iter_rows():
+            assert row["v4_ms"] > 0
+            assert row["v6_ms"] > 0
+
+    def test_v6_penalty_positive_on_median(self, comparison):
+        penalties = sorted(comparison["v6_penalty_ms"])
+        median = penalties[len(penalties) // 2]
+        assert median > 0.0
+
+    def test_penalty_modest(self, comparison):
+        """The v6 penalty is real but small — single-digit ms in EU."""
+        penalties = v6_penalty_by_continent(comparison)
+        assert 0.0 < penalties["EU"] < 10.0
+
+    def test_empty_selection_rejected(self, backend):
+        with pytest.raises(CampaignError):
+            dual_stack_comparison(
+                backend, "aws:eu-central-1", T0, countries=("XXX",)
+            )

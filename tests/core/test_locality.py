@@ -1,0 +1,65 @@
+"""Tests for repro.core.locality (the §6 privacy/locality analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.core.locality import (
+    cloud_locality_summary,
+    domestic_share_by_continent,
+    locality_with_national_edge,
+    nearest_region_locality,
+)
+
+
+class TestNearestRegionLocality:
+    def test_one_row_per_measured_probe(self, tiny_dataset):
+        frame = nearest_region_locality(tiny_dataset)
+        ids = list(frame["probe_id"])
+        assert len(ids) == len(set(ids))
+        assert len(frame) > 100
+
+    def test_domestic_flag_consistent(self, tiny_dataset):
+        frame = nearest_region_locality(tiny_dataset)
+        for row in frame.iter_rows():
+            assert row["domestic"] == (row["country"] == row["region_country"])
+
+    def test_datacenter_countries_stay_home(self, tiny_dataset):
+        """Probes in DC-hosting countries overwhelmingly stay domestic."""
+        frame = nearest_region_locality(tiny_dataset)
+        mask = np.isin(frame["country"], ["US", "DE", "JP"])
+        domestic = frame["domestic"].astype(bool)[mask]
+        assert np.mean(domestic) > 0.8
+
+
+class TestShares:
+    def test_continent_ordering(self, tiny_dataset):
+        """Locality is a rich-region privilege: EU/NA far above AF."""
+        shares = domestic_share_by_continent(tiny_dataset)
+        assert shares["EU"] > shares["AF"]
+        assert shares["NA"] > shares["AF"]
+        assert 0.0 <= shares["AF"] < 0.2
+
+    def test_summary_fields(self, tiny_dataset):
+        summary = cloud_locality_summary(tiny_dataset)
+        assert 0.0 < summary["probe_share_domestic"] < 1.0
+        assert 0.0 < summary["population_share_domestic"] <= 1.0
+        assert summary["countries_fully_foreign"] > 100  # only 21 host DCs
+
+    def test_most_countries_cannot_keep_data_home(self, tiny_dataset):
+        """The §6 privacy argument quantified: for the vast majority of
+        countries, using the cloud means crossing a border."""
+        frame = nearest_region_locality(tiny_dataset)
+        countries = np.unique(frame["country"])
+        summary = cloud_locality_summary(tiny_dataset)
+        assert summary["countries_fully_foreign"] >= 0.75 * len(countries)
+
+
+class TestEdgeDelta:
+    def test_national_edge_fixes_locality(self, tiny_dataset):
+        delta = locality_with_national_edge(tiny_dataset)
+        assert delta["probe_share_domestic_after"] == 1.0
+        assert (
+            delta["probe_share_domestic_before"]
+            < delta["probe_share_domestic_after"]
+        )
+        assert delta["countries_gaining_locality"] > 100

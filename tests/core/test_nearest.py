@@ -1,0 +1,60 @@
+"""Tests for repro.core.nearest."""
+
+import numpy as np
+import pytest
+
+from repro.core.filtering import unprivileged_mask
+from repro.core.nearest import nearest_target_by_probe, nearest_target_mask
+from repro.errors import CampaignError
+
+
+class TestNearestTargetByProbe:
+    def test_every_probe_gets_a_target(self, tiny_dataset):
+        mask = unprivileged_mask(tiny_dataset)
+        best = nearest_target_by_probe(tiny_dataset, mask)
+        probes_in_mask = set(np.unique(tiny_dataset.column("probe_id")[mask]))
+        assert set(best) == {int(p) for p in probes_in_mask}
+
+    def test_chosen_target_has_lowest_median(self, tiny_dataset):
+        mask = unprivileged_mask(tiny_dataset)
+        best = nearest_target_by_probe(tiny_dataset, mask)
+        probe_ids = tiny_dataset.column("probe_id")
+        targets = tiny_dataset.column("target_index")
+        rtts = tiny_dataset.column("rtt_min")
+        # Spot-check a handful of probes against a brute-force search.
+        for probe_id in list(best)[:5]:
+            probe_mask = mask & (probe_ids == probe_id)
+            medians = {}
+            for target in np.unique(targets[probe_mask]):
+                values = np.sort(rtts[probe_mask & (targets == target)])
+                # Lower-median convention, matching the implementation.
+                medians[int(target)] = float(values[(len(values) - 1) // 2])
+            brute = min(medians, key=medians.get)
+            assert medians[best[probe_id]] <= medians[brute] + 1e-9
+
+    def test_empty_mask_rejected(self, tiny_dataset):
+        empty = np.zeros(len(tiny_dataset), dtype=bool)
+        with pytest.raises(CampaignError):
+            nearest_target_by_probe(tiny_dataset, empty)
+
+
+class TestNearestTargetMask:
+    def test_subset_of_input(self, tiny_dataset):
+        mask = unprivileged_mask(tiny_dataset)
+        nearest = nearest_target_mask(tiny_dataset, mask)
+        assert not np.any(nearest & ~mask)
+
+    def test_single_target_per_probe(self, tiny_dataset):
+        mask = unprivileged_mask(tiny_dataset)
+        nearest = nearest_target_mask(tiny_dataset, mask)
+        probe_ids = tiny_dataset.column("probe_id")[nearest]
+        targets = tiny_dataset.column("target_index")[nearest]
+        for probe_id in np.unique(probe_ids)[:20]:
+            assert len(np.unique(targets[probe_ids == probe_id])) == 1
+
+    def test_lowers_median(self, tiny_dataset):
+        """Nearest-only samples are faster than all-targets samples."""
+        mask = unprivileged_mask(tiny_dataset)
+        nearest = nearest_target_mask(tiny_dataset, mask)
+        rtts = tiny_dataset.column("rtt_min")
+        assert np.median(rtts[nearest]) < np.median(rtts[mask])

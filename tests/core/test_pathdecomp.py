@@ -1,0 +1,100 @@
+"""Tests for repro.core.pathdecomp — the TCP-traceroute extension."""
+
+import pytest
+
+from repro.atlas.platform import AtlasPlatform
+from repro.core.pathdecomp import (
+    access_share_by_cohort,
+    decompose,
+    decompose_all,
+    run_traceroute_survey,
+)
+from repro.errors import CampaignError
+
+T0 = 1_567_296_000
+
+
+@pytest.fixture(scope="module")
+def survey():
+    platform = AtlasPlatform(seed=9)
+    wired = [
+        p.probe_id
+        for p in platform.filter_probes(country_code="DE", tags=["ethernet"])
+    ][:6]
+    wireless = [
+        p.probe_id for p in platform.filter_probes(country_code="DE", tags=["lte"])
+    ][:6]
+    results = run_traceroute_survey(
+        platform,
+        ["aws:eu-central-1", "gcp:europe-west3"],
+        wired + wireless,
+        T0,
+    )
+    return platform, results
+
+
+class TestSurvey:
+    def test_requires_inputs(self):
+        platform = AtlasPlatform(seed=9)
+        with pytest.raises(CampaignError):
+            run_traceroute_survey(platform, [], [6001], T0)
+        with pytest.raises(CampaignError):
+            run_traceroute_survey(platform, ["aws:eu-central-1"], [], T0)
+
+    def test_results_are_traceroutes(self, survey):
+        _, results = survey
+        assert results
+        assert all(result.raw_data["type"] == "traceroute" for result in results)
+
+    def test_tcp_protocol_used(self, survey):
+        _, results = survey
+        assert all(result.protocol == "TCP" for result in results)
+
+
+class TestDecomposition:
+    def test_split_adds_up(self, survey):
+        _, results = survey
+        splits = decompose_all(results)
+        assert splits
+        for split in splits:
+            assert split.total_ms == pytest.approx(
+                split.access_ms + split.core_ms
+            )
+            assert 0.0 <= split.access_share <= 1.0
+
+    def test_undecomposable_paths_skipped(self, survey):
+        _, results = survey
+        splits = decompose_all(results)
+        # A few paths have silent hop 2s or failed destinations.
+        assert len(splits) <= len(results)
+
+    def test_short_traceroute_returns_none(self, survey):
+        _, results = survey
+        crippled_hops = results[0].hops[:1]
+
+        # A minimal stand-in with one hop cannot be decomposed.
+        class OneHop:
+            total_hops = 1
+            last_rtt = 5.0
+            hops = crippled_hops
+            probe_id = 1
+            destination_name = "x"
+
+        assert decompose(OneHop()) is None
+
+
+class TestCohortShares:
+    def test_wireless_access_dominates(self, survey):
+        """The last mile is the bottleneck — overwhelmingly so on radio."""
+        platform, results = survey
+        frame = access_share_by_cohort(platform, decompose_all(results))
+        rows = {row["cohort"]: row for row in frame.iter_rows()}
+        assert rows["wireless"]["median_access_share"] > rows["wired"][
+            "median_access_share"
+        ]
+        assert rows["wireless"]["median_access_ms"] > 10.0
+
+    def test_empty_rejected(self, survey):
+        platform, _ = survey
+        with pytest.raises(CampaignError):
+            access_share_by_cohort(platform, [])

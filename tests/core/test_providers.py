@@ -1,0 +1,65 @@
+"""Tests for repro.core.providers (the CloudCmp-style comparison)."""
+
+import pytest
+
+from repro.core.providers import (
+    footprint_summary,
+    provider_continent_medians,
+    provider_matrix,
+    provider_rankings,
+)
+
+
+class TestLongTable:
+    def test_covers_all_providers(self, tiny_dataset):
+        frame = provider_continent_medians(tiny_dataset)
+        assert len(set(frame["provider"])) == 7
+
+    def test_rows_positive(self, tiny_dataset):
+        frame = provider_continent_medians(tiny_dataset)
+        for row in frame.iter_rows():
+            assert row["median_ms"] > 0
+            assert row["samples"] > 0
+
+
+class TestMatrix:
+    def test_one_row_per_provider(self, tiny_dataset):
+        matrix = provider_matrix(tiny_dataset)
+        assert len(matrix) == 7
+        assert "provider" in matrix
+
+    def test_underserved_rows_slower_for_every_provider(self, tiny_dataset):
+        """Rows are *probe* continents: African users reach every provider
+        (via the EU fallback), just slower — for all seven of them."""
+        matrix = provider_matrix(tiny_dataset)
+        for row in matrix.iter_rows():
+            assert float(row["AF"]) > float(row["EU"])
+
+
+class TestRankings:
+    def test_complete_and_ordered(self, tiny_dataset):
+        rankings = provider_rankings(tiny_dataset)
+        assert len(rankings) == 7
+        medians = list(rankings["median_ms"])
+        assert medians == sorted(medians)
+        assert list(rankings["rank"]) == list(range(1, 8))
+
+    def test_backbone_labels(self, tiny_dataset):
+        rankings = provider_rankings(tiny_dataset)
+        backbones = set(rankings["backbone"])
+        assert backbones == {"private", "public"}
+
+    def test_no_provider_is_unusable(self, tiny_dataset):
+        """The paper's conclusions hold for all seven providers: even the
+        slowest serves its shared footprint within ~2x of the fastest."""
+        rankings = provider_rankings(tiny_dataset)
+        medians = list(rankings["median_ms"])
+        assert medians[-1] < 2.5 * medians[0]
+
+
+class TestFootprint:
+    def test_summary(self, tiny_dataset):
+        summary = footprint_summary(tiny_dataset)
+        assert summary["azure"]["regions"] == 22
+        assert summary["digitalocean"]["regions"] == 9
+        assert all(1 <= info["rank"] <= 7 for info in summary.values())

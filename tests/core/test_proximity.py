@@ -1,0 +1,107 @@
+"""Tests for repro.core.proximity (Figures 4 and 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.proximity import (
+    BUCKET_LABELS,
+    bucket_counts,
+    bucket_label,
+    countries_beyond_pl,
+    country_min_latency,
+    min_rtt_cdf_by_continent,
+    per_probe_min,
+    population_within,
+)
+
+
+class TestBucketLabel:
+    @pytest.mark.parametrize(
+        "rtt,expected",
+        [
+            (5.0, "<10 ms"),
+            (10.0, "<10 ms"),
+            (15.0, "10-20 ms"),
+            (35.0, "20-50 ms"),
+            (99.0, "50-100 ms"),
+            (300.0, ">100 ms"),
+        ],
+    )
+    def test_edges(self, rtt, expected):
+        assert bucket_label(rtt) == expected
+
+
+class TestPerProbeMin:
+    def test_minimum_of_all_samples(self, tiny_dataset):
+        minima = per_probe_min(tiny_dataset)
+        probe_id, expected = next(iter(minima.items()))
+        mask = (tiny_dataset.column("probe_id") == probe_id) & tiny_dataset.succeeded_mask()
+        assert expected == pytest.approx(
+            float(np.min(tiny_dataset.column("rtt_min")[mask]))
+        )
+
+    def test_excludes_privileged_probes(self, tiny_dataset):
+        minima = per_probe_min(tiny_dataset)
+        for probe_id in minima:
+            probe = tiny_dataset.probe(probe_id)
+            assert "datacentre" not in probe.user_tags
+            assert "cloud" not in probe.user_tags
+
+
+class TestCountryMinLatency:
+    def test_frame_shape(self, tiny_dataset):
+        frame = country_min_latency(tiny_dataset)
+        assert frame.columns == ("country", "continent", "min_rtt", "bucket")
+        assert len(frame) > 100
+
+    def test_one_row_per_country(self, tiny_dataset):
+        frame = country_min_latency(tiny_dataset)
+        countries = list(frame["country"])
+        assert len(countries) == len(set(countries))
+
+    def test_bucket_consistent_with_value(self, tiny_dataset):
+        frame = country_min_latency(tiny_dataset)
+        for row in frame.iter_rows():
+            assert row["bucket"] == bucket_label(float(row["min_rtt"]))
+
+    def test_datacenter_countries_are_fast(self, tiny_dataset):
+        """Countries hosting datacenters lead the map (paper §4.2)."""
+        frame = country_min_latency(tiny_dataset)
+        german = frame.filter(frame["country"] == "DE")
+        assert float(german.row(0)["min_rtt"]) < 20.0
+
+    def test_bucket_counts_sum(self, tiny_dataset):
+        frame = country_min_latency(tiny_dataset)
+        counts = bucket_counts(frame)
+        assert set(counts) == set(BUCKET_LABELS)
+        assert sum(counts.values()) == len(frame)
+
+    def test_beyond_pl_mostly_africa(self, tiny_dataset):
+        frame = country_min_latency(tiny_dataset)
+        losers = countries_beyond_pl(frame)
+        from repro.geo.countries import get_country
+
+        african = sum(1 for c in losers if get_country(c).continent == "AF")
+        assert african >= len(losers) / 2
+
+
+class TestContinentCdfs:
+    def test_all_continents_present(self, tiny_dataset):
+        cdfs = min_rtt_cdf_by_continent(tiny_dataset)
+        assert set(cdfs) == {"NA", "EU", "OC", "AS", "SA", "AF"}
+
+    def test_well_connected_beat_underserved(self, tiny_dataset):
+        cdfs = min_rtt_cdf_by_continent(tiny_dataset)
+        assert cdfs["EU"].quantile(0.5) < cdfs["AF"].quantile(0.5)
+        assert cdfs["NA"].quantile(0.5) < cdfs["SA"].quantile(0.5)
+
+
+class TestPopulationCoverage:
+    def test_share_in_unit_interval(self, tiny_dataset):
+        share = population_within(tiny_dataset, 100.0)
+        assert 0.0 < share <= 1.0
+
+    def test_monotone_in_threshold(self, tiny_dataset):
+        assert population_within(tiny_dataset, 20.0) <= population_within(
+            tiny_dataset, 100.0
+        )

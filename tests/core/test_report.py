@@ -1,0 +1,48 @@
+"""Tests for repro.core.report."""
+
+import math
+
+from repro.core.report import headline_report
+
+
+class TestHeadlineReport:
+    def test_counts_consistent(self, tiny_dataset):
+        report = headline_report(tiny_dataset)
+        assert report.samples == tiny_dataset.num_samples
+        assert report.targets == 101
+        assert report.countries > 100
+        assert (
+            report.countries_under_10ms
+            + report.countries_10_to_20ms
+            <= report.countries
+        )
+
+    def test_shares_valid(self, tiny_dataset):
+        report = headline_report(tiny_dataset)
+        for share in report.probe_share_under_mtp.values():
+            assert 0.0 <= share <= 1.0
+        for share in report.sample_share_under_pl.values():
+            assert 0.0 <= share <= 1.0
+        assert 0.0 <= report.facebook_share_under_40ms <= 1.0
+        assert 0.0 <= report.population_share_under_pl <= 1.0
+
+    def test_penalty_positive(self, tiny_dataset):
+        report = headline_report(tiny_dataset)
+        assert report.wireless_penalty > 1.0
+
+    def test_paper_comparison_complete(self, tiny_dataset):
+        comparison = headline_report(tiny_dataset).paper_comparison()
+        assert len(comparison) == 7
+        for claim, values in comparison.items():
+            assert set(values) == {"paper", "measured"}, claim
+            assert not math.isnan(values["paper"])
+
+    def test_summary_renders(self, tiny_dataset):
+        text = headline_report(tiny_dataset).summary()
+        assert "countries <10ms" in text
+        assert "wireless penalty" in text
+        assert len(text.splitlines()) >= 5
+
+    def test_campaign_shortcut(self, tiny_campaign, tiny_dataset):
+        report = tiny_campaign.headline_report(tiny_dataset)
+        assert report.samples == tiny_dataset.num_samples

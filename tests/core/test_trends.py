@@ -1,0 +1,80 @@
+"""Tests for repro.core.trends (Figure 1 analysis)."""
+
+import pytest
+
+from repro.core.trends import (
+    FIGURE1_KEYWORDS,
+    collect_figure1,
+    detect_eras,
+    growth_summary,
+)
+from repro.errors import ReproError
+from repro.frame import Frame
+from repro.scholar.crawler import ScholarCrawler
+
+
+@pytest.fixture(scope="module")
+def figure1() -> Frame:
+    return collect_figure1(ScholarCrawler(seed=5), seed=5)
+
+
+class TestCollection:
+    def test_both_keywords_full_span(self, figure1):
+        for keyword in FIGURE1_KEYWORDS:
+            sub = figure1.filter(figure1["keyword"] == keyword)
+            assert len(sub) == 16  # 2004..2019
+
+    def test_columns(self, figure1):
+        assert figure1.columns == (
+            "keyword", "year", "publications", "search_interest",
+        )
+
+    def test_interest_normalized(self, figure1):
+        assert max(figure1["search_interest"]) <= 100.0
+
+
+class TestEras:
+    def test_boundaries_ordered(self, figure1):
+        eras = detect_eras(figure1)
+        assert eras.cdn_until < eras.cloud_from < eras.edge_from
+
+    def test_cloud_era_starts_late_2000s(self, figure1):
+        eras = detect_eras(figure1)
+        assert 2007 <= eras.cloud_from <= 2010
+
+    def test_edge_era_starts_mid_2010s(self, figure1):
+        eras = detect_eras(figure1)
+        assert 2014 <= eras.edge_from <= 2018
+
+    def test_era_of(self, figure1):
+        eras = detect_eras(figure1)
+        assert eras.era_of(2005) == "CDN"
+        assert eras.era_of(2012) == "Cloud"
+        assert eras.era_of(2019) == "Edge"
+
+    def test_missing_keyword_rejected(self):
+        frame = Frame(
+            {
+                "keyword": ["cloud computing"],
+                "year": [2010],
+                "publications": [100],
+                "search_interest": [50.0],
+            }
+        )
+        with pytest.raises(ReproError):
+            detect_eras(frame)
+
+
+class TestGrowth:
+    def test_summary_keys(self, figure1):
+        summary = growth_summary(figure1)
+        assert "cloud_interest_peak_year" in summary
+        assert "edge_pub_growth" in summary
+
+    def test_cloud_peaked_then_declined(self, figure1):
+        summary = growth_summary(figure1)
+        assert 2011 <= summary["cloud_interest_peak_year"] <= 2013
+
+    def test_edge_growth_explosive(self, figure1):
+        summary = growth_summary(figure1)
+        assert summary["edge_pub_growth"] > 10

@@ -1,0 +1,69 @@
+"""Tests for repro.core.validation and repro.core.paper_report."""
+
+import pytest
+
+from repro.core.paper_report import generate_report, write_report
+from repro.core.report import headline_report
+from repro.core.validation import (
+    PAPER_CHECKS,
+    all_pass,
+    summary_text,
+    validate,
+)
+
+
+@pytest.fixture(scope="module")
+def report(tiny_dataset):
+    return headline_report(tiny_dataset)
+
+
+class TestChecks:
+    def test_every_claim_encoded(self):
+        # One check per headline claim plus the ordering/coverage ones.
+        assert len(PAPER_CHECKS) == 11
+        names = [check.name for check in PAPER_CHECKS]
+        assert len(names) == len(set(names))
+
+    def test_results_shape(self, report):
+        results = validate(report)
+        assert len(results) == len(PAPER_CHECKS)
+        for result in results:
+            assert isinstance(result.passed, bool)
+            assert result.expected
+
+    def test_orderings_pass_even_at_tiny(self, report):
+        """Band checks may miss at TINY scale, but the paper's orderings
+        must hold at any scale."""
+        by_name = {r.name: r for r in validate(report)}
+        assert by_name["under-served trail well-connected (ordering)"].passed
+        assert by_name["wireless penalty (paper: ~2.5x)"].passed
+
+    def test_small_scale_passes_everything(self, small_dataset):
+        results = validate(headline_report(small_dataset))
+        assert all_pass(results), summary_text(results)
+
+    def test_summary_text(self, report):
+        text = summary_text(validate(report))
+        assert "paper-shape checks passed" in text
+        assert text.count("\n") == len(PAPER_CHECKS)
+
+
+class TestPaperReport:
+    def test_generates_all_sections(self, tiny_dataset):
+        text = generate_report(tiny_dataset, seed=7)
+        for heading in (
+            "Headline statistics",
+            "Paper-shape validation",
+            "Figure 1",
+            "Figure 4",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "What-if",
+        ):
+            assert heading in text, heading
+
+    def test_write_report(self, tiny_dataset, tmp_path):
+        path = tmp_path / "report.md"
+        write_report(tiny_dataset, path, seed=7)
+        assert path.read_text(encoding="utf-8").startswith("# Latency Shears")

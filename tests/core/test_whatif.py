@@ -1,0 +1,62 @@
+"""Tests for repro.core.whatif — the 5G scenarios of §5."""
+
+import pytest
+
+from repro.apps.feasibility import Verdict
+from repro.core.whatif import (
+    SCENARIOS,
+    rescued_market_busd,
+    scenario_report,
+    scenario_verdicts,
+    verdict_changes,
+    zone_for_scenario,
+)
+from repro.errors import ReproError
+
+
+class TestScenarios:
+    def test_unknown_scenario(self):
+        with pytest.raises(ReproError):
+            zone_for_scenario("6g")
+
+    def test_zone_uses_scenario_floor(self):
+        zone = zone_for_scenario("5g-promised")
+        assert zone.latency_low_ms == SCENARIOS["5g-promised"]
+
+    def test_baseline_matches_static_analysis(self):
+        from repro.apps.feasibility import assess_all
+
+        assert scenario_verdicts("wireless-2020") == assess_all()
+
+
+class TestPaperSkepticism:
+    def test_measured_5g_rescues_nothing(self):
+        """Early 5G as measured does not move the hyped apps into the FZ."""
+        changes = verdict_changes("5g-measured")
+        rescued = [
+            c for c in changes
+            if c.scenario is Verdict.IN_ZONE and c.baseline is not Verdict.IN_ZONE
+        ]
+        assert rescued == []
+
+    def test_promised_5g_rescues_the_hype(self):
+        """Only the marketing-number 5G pulls AR/VR and autonomous
+        vehicles into the zone — the paper's central caveat."""
+        verdicts = scenario_verdicts("5g-promised")
+        assert verdicts["ar-vr"] is Verdict.IN_ZONE
+        assert verdicts["autonomous-vehicles"] is Verdict.IN_ZONE
+
+    def test_rescued_market_ordering(self):
+        assert rescued_market_busd("5g-promised") > rescued_market_busd(
+            "5g-measured"
+        )
+
+    def test_lte_today_worse_or_equal(self):
+        report = scenario_report()
+        assert (
+            report["lte-today"]["apps_in_zone"]
+            <= report["5g-promised"]["apps_in_zone"]
+        )
+
+    def test_report_covers_all_scenarios(self):
+        assert set(scenario_report()) == set(SCENARIOS)

@@ -1,0 +1,67 @@
+"""Tests for repro.edge.gains — the §6 'plausible deployments' analysis."""
+
+import pytest
+
+from repro.edge.gains import (
+    cost_per_improved_user_kusd,
+    deployment_gains,
+    gains_by_continent,
+    gains_frame,
+)
+from repro.edge.sites import (
+    basestation_deployment,
+    gateway_deployment,
+    national_deployment,
+)
+
+
+class TestGains:
+    def test_gains_cover_measured_probes(self, tiny_dataset):
+        gains = deployment_gains(tiny_dataset, national_deployment(1))
+        from repro.core.proximity import per_probe_min
+
+        assert set(gains) == set(per_probe_min(tiny_dataset))
+
+    def test_underserved_gain_more(self, tiny_dataset):
+        """Paper §6: gains are larger in developing regions."""
+        summaries = gains_by_continent(tiny_dataset, national_deployment(1))
+        assert summaries["AF"].median_gain_ms > summaries["EU"].median_gain_ms
+        assert summaries["SA"].median_gain_ms > summaries["NA"].median_gain_ms
+
+    def test_well_connected_gains_small(self, tiny_dataset):
+        """Paper: 'General-purpose edge yields little benefit in
+        well-connected areas'."""
+        summaries = gains_by_continent(tiny_dataset, gateway_deployment())
+        assert summaries["NA"].median_gain_ms < 15.0
+
+    def test_basestation_maximizes_gain(self, tiny_dataset):
+        national = gains_by_continent(tiny_dataset, national_deployment(1))
+        basestation = gains_by_continent(tiny_dataset, basestation_deployment())
+        for continent in national:
+            assert (
+                basestation[continent].median_gain_ms
+                >= national[continent].median_gain_ms - 5.0
+            )
+
+    def test_frame_ordering(self, tiny_dataset):
+        frame = gains_frame(tiny_dataset, gateway_deployment())
+        assert list(frame["continent"])[:2] == ["NA", "EU"]
+        for row in frame.iter_rows():
+            assert 0.0 <= row["share_improved"] <= 1.0
+            assert row["share_meaningful"] <= row["share_improved"]
+
+
+class TestCostEffectiveness:
+    def test_basestation_least_cost_effective(self, tiny_dataset):
+        """The economies-of-scale argument: pervasive deployment costs
+        orders of magnitude more per improved user."""
+        national = cost_per_improved_user_kusd(tiny_dataset, national_deployment(1))
+        basestation = cost_per_improved_user_kusd(
+            tiny_dataset, basestation_deployment()
+        )
+        assert basestation > 10 * national
+
+    def test_cost_finite_for_real_deployments(self, tiny_dataset):
+        assert cost_per_improved_user_kusd(
+            tiny_dataset, gateway_deployment()
+        ) < float("inf")

@@ -1,0 +1,80 @@
+"""Tests for repro.edge.latency."""
+
+import pytest
+
+from repro.atlas.population import generate_population
+from repro.edge.latency import (
+    BASESTATION_PROCESSING_MS,
+    edge_floor_rtt_ms,
+    evaluate_deployment,
+)
+from repro.edge.sites import (
+    basestation_deployment,
+    gateway_deployment,
+    national_deployment,
+)
+from repro.errors import ReproError
+from repro.net.lastmile import floor_ms
+from repro.net.pathmodel import LatencyModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LatencyModel(seed=0)
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return generate_population(seed=3)
+
+
+class TestEdgeFloor:
+    def test_no_sites_rejected(self, fleet, model):
+        with pytest.raises(ReproError):
+            edge_floor_rtt_ms(fleet[0], (), model)
+
+    def test_basestation_is_lastmile_plus_processing(self, fleet, model):
+        probe = fleet[0]
+        rtt, site = edge_floor_rtt_ms(probe, basestation_deployment(), model)
+        expected = (
+            floor_ms(probe.access, probe.country.infra_tier)
+            + BASESTATION_PROCESSING_MS
+        )
+        assert rtt == pytest.approx(expected)
+        assert site.country_code == probe.country_code
+
+    def test_basestation_floors_everything(self, fleet, model):
+        """No deployment beats compute at the access point by more than
+        the basestation's own processing overhead (a probe sitting next
+        to a national site can shave that overhead)."""
+        basestation = basestation_deployment()
+        national = national_deployment(1)
+        for probe in fleet[:40]:
+            bs_rtt, _ = edge_floor_rtt_ms(probe, basestation, model)
+            nat_rtt, _ = edge_floor_rtt_ms(probe, national, model)
+            assert bs_rtt <= nat_rtt + BASESTATION_PROCESSING_MS
+
+    def test_national_beats_gateway_in_gatewayless_countries(self, fleet, model):
+        """Probes in countries without a gateway metro gain from a
+        national site."""
+        gateway = gateway_deployment()
+        national = national_deployment(1)
+        gains = 0
+        checked = 0
+        for probe in fleet:
+            if probe.country_code in ("FI", "RO", "NZ", "CL"):
+                gw_rtt, _ = edge_floor_rtt_ms(probe, gateway, model)
+                nat_rtt, _ = edge_floor_rtt_ms(probe, national, model)
+                checked += 1
+                if nat_rtt < gw_rtt:
+                    gains += 1
+        assert checked > 0
+        assert gains / checked > 0.5
+
+
+class TestEvaluateDeployment:
+    def test_covers_all_probes(self, fleet, model):
+        subset = fleet[:25]
+        rtts = evaluate_deployment(subset, gateway_deployment(), model)
+        assert set(rtts) == {probe.probe_id for probe in subset}
+        assert all(rtt > 0 for rtt in rtts.values())

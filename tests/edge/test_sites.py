@@ -1,0 +1,79 @@
+"""Tests for repro.edge.sites."""
+
+import pytest
+
+from repro.edge.sites import (
+    DeploymentStrategy,
+    basestation_deployment,
+    deployment_cost_kusd,
+    deployment_for,
+    gateway_deployment,
+    national_deployment,
+)
+from repro.errors import ReproError
+from repro.geo.countries import countries_with_probes, get_country
+from repro.net.cables import GATEWAYS
+
+
+class TestGatewayDeployment:
+    def test_one_site_per_gateway(self):
+        sites = gateway_deployment()
+        assert len(sites) == len(GATEWAYS)
+
+    def test_sites_at_gateway_locations(self):
+        sites = {site.site_id: site for site in gateway_deployment()}
+        assert sites["gw:frankfurt"].location == GATEWAYS["frankfurt"].location
+
+    def test_strategy_tagged(self):
+        assert all(
+            site.strategy is DeploymentStrategy.GATEWAY
+            for site in gateway_deployment()
+        )
+
+
+class TestNationalDeployment:
+    def test_one_site_per_probed_country(self):
+        sites = national_deployment(1)
+        assert len(sites) == len(countries_with_probes())
+
+    def test_multiple_sites_per_country(self):
+        sites = national_deployment(3)
+        assert len(sites) == 3 * len(countries_with_probes())
+        german = [s for s in sites if s.country_code == "DE"]
+        assert len(german) == 3
+        assert len({s.location for s in german}) == 3
+
+    def test_invalid_count(self):
+        with pytest.raises(ReproError):
+            national_deployment(0)
+
+
+class TestBasestationDeployment:
+    def test_marker_per_country(self):
+        sites = basestation_deployment()
+        assert len(sites) == len(countries_with_probes())
+        assert all(site.is_basestation for site in sites)
+
+
+class TestDispatcher:
+    @pytest.mark.parametrize("strategy", list(DeploymentStrategy))
+    def test_deployment_for(self, strategy):
+        sites = deployment_for(strategy)
+        assert sites
+        assert all(site.strategy is strategy for site in sites)
+
+
+class TestCosts:
+    def test_cost_positive_and_tier_sensitive(self):
+        sites = national_deployment(1)
+        cost = deployment_cost_kusd(sites)
+        assert cost > 0
+        # One tier-4 site costs more than one tier-1 site.
+        tier1 = [s for s in sites if get_country(s.country_code).infra_tier == 1][:1]
+        tier4 = [s for s in sites if get_country(s.country_code).infra_tier == 4][:1]
+        assert deployment_cost_kusd(tuple(tier4)) > deployment_cost_kusd(tuple(tier1))
+
+    def test_basestation_costs_dominate(self):
+        national = deployment_cost_kusd(national_deployment(1))
+        basestation = deployment_cost_kusd(basestation_deployment())
+        assert basestation > 20 * national

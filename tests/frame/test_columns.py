@@ -1,0 +1,116 @@
+"""Tests for repro.frame.columns."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ColumnError
+from repro.frame.columns import Column, as_column_array
+
+
+class TestAsColumnArray:
+    def test_numeric_list(self):
+        array = as_column_array([1, 2, 3])
+        assert array.dtype.kind == "i"
+
+    def test_float_list(self):
+        array = as_column_array([1.5, 2.5])
+        assert array.dtype.kind == "f"
+
+    def test_strings_become_objects(self):
+        array = as_column_array(["a", "bb", "ccc"])
+        assert array.dtype == object
+
+    def test_numpy_unicode_becomes_object(self):
+        array = as_column_array(np.asarray(["x", "y"]))
+        assert array.dtype == object
+
+    def test_rejects_2d(self):
+        with pytest.raises(ColumnError):
+            as_column_array(np.zeros((2, 2)))
+
+
+class TestColumnBasics:
+    def test_name_required(self):
+        with pytest.raises(ColumnError):
+            Column("", [1])
+
+    def test_len_iter_getitem(self):
+        column = Column("x", [10, 20, 30])
+        assert len(column) == 3
+        assert list(column) == [10, 20, 30]
+        assert column[1] == 20
+
+    def test_equality(self):
+        assert Column("x", [1, 2]) == Column("x", [1, 2])
+        assert Column("x", [1, 2]) != Column("y", [1, 2])
+        assert Column("x", [1, 2]) != Column("x", [1, 3])
+
+    def test_is_numeric(self):
+        assert Column("x", [1.0]).is_numeric
+        assert not Column("x", ["a"]).is_numeric
+
+    def test_repr_mentions_name(self):
+        assert "x" in repr(Column("x", [1]))
+
+
+class TestTransforms:
+    def test_take(self):
+        column = Column("x", [10, 20, 30]).take(np.asarray([2, 0]))
+        assert list(column) == [30, 10]
+
+    def test_mask(self):
+        column = Column("x", [1, 2, 3]).mask(np.asarray([True, False, True]))
+        assert list(column) == [1, 3]
+
+    def test_mask_requires_boolean(self):
+        with pytest.raises(ColumnError):
+            Column("x", [1, 2]).mask(np.asarray([1, 0]))
+
+    def test_mask_length_checked(self):
+        with pytest.raises(ColumnError):
+            Column("x", [1, 2]).mask(np.asarray([True]))
+
+    def test_rename(self):
+        assert Column("x", [1]).rename("y").name == "y"
+
+    def test_concat(self):
+        merged = Column("x", [1, 2]).concat(Column("x", [3]))
+        assert list(merged) == [1, 2, 3]
+
+    def test_concat_name_mismatch(self):
+        with pytest.raises(ColumnError):
+            Column("x", [1]).concat(Column("y", [2]))
+
+    def test_concat_mixed_object(self):
+        merged = Column("x", ["a"]).concat(Column("x", ["b"]))
+        assert merged.values.dtype == object
+
+
+class TestReductions:
+    def test_basic_stats(self):
+        column = Column("x", [1.0, 2.0, 3.0, 4.0])
+        assert column.min() == 1.0
+        assert column.max() == 4.0
+        assert column.mean() == 2.5
+        assert column.median() == 2.5
+        assert column.sum() == 10.0
+        assert column.std() == pytest.approx(np.std([1, 2, 3, 4]))
+
+    def test_percentile(self):
+        column = Column("x", list(range(101)))
+        assert column.percentile(95) == pytest.approx(95.0)
+
+    def test_percentile_range_checked(self):
+        with pytest.raises(ColumnError):
+            Column("x", [1]).percentile(101)
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ColumnError):
+            Column("x", ["a"]).mean()
+
+    def test_unique_preserves_order(self):
+        assert Column("x", ["b", "a", "b", "c"]).unique() == ["b", "a", "c"]
+
+    def test_value_counts(self):
+        counts = Column("x", ["a", "b", "a"]).value_counts()
+        assert counts == {"a": 2, "b": 1}

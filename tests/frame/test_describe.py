@@ -1,0 +1,55 @@
+"""Tests for Frame.describe and Frame.to_markdown."""
+
+import pytest
+
+from repro.errors import FrameError
+from repro.frame import Frame
+
+
+@pytest.fixture
+def sample() -> Frame:
+    return Frame(
+        {
+            "country": ["DE", "FR", "US"],
+            "rtt": [5.0, 9.0, 13.0],
+            "probes": [420, 290, 330],
+        }
+    )
+
+
+class TestDescribe:
+    def test_numeric_columns_only(self, sample):
+        described = sample.describe()
+        assert described.columns == ("stat", "rtt", "probes")
+
+    def test_values(self, sample):
+        described = sample.describe()
+        by_stat = {row["stat"]: row for row in described.iter_rows()}
+        assert by_stat["count"]["rtt"] == 3.0
+        assert by_stat["mean"]["rtt"] == pytest.approx(9.0)
+        assert by_stat["min"]["probes"] == 290.0
+        assert by_stat["max"]["probes"] == 420.0
+        assert by_stat["median"]["rtt"] == 9.0
+
+    def test_no_numeric_rejected(self):
+        with pytest.raises(FrameError):
+            Frame({"a": ["x", "y"]}).describe()
+
+
+class TestToMarkdown:
+    def test_structure(self, sample):
+        text = sample.to_markdown()
+        lines = text.splitlines()
+        assert lines[0] == "| country | rtt | probes |"
+        assert lines[1] == "|---|---|---|"
+        assert len(lines) == 5
+
+    def test_float_formatting(self, sample):
+        text = sample.to_markdown(float_fmt="{:.1f}")
+        assert "| DE | 5.0 | 420 |" in text
+
+    def test_truncation(self):
+        frame = Frame({"x": list(range(100))})
+        text = frame.to_markdown(max_rows=3)
+        assert "..." in text
+        assert len(text.splitlines()) == 6

@@ -1,0 +1,160 @@
+"""Tests for repro.frame.frame."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ColumnError, FrameError
+from repro.frame import Frame
+
+
+@pytest.fixture
+def sample() -> Frame:
+    return Frame(
+        {
+            "country": ["DE", "FR", "US", "DE"],
+            "rtt": [5.0, 9.0, 12.0, 7.0],
+            "probe": [1, 2, 3, 4],
+        }
+    )
+
+
+class TestConstruction:
+    def test_empty(self):
+        frame = Frame()
+        assert len(frame) == 0
+        assert frame.is_empty()
+        assert frame.columns == ()
+
+    def test_column_lengths_must_match(self):
+        with pytest.raises(ColumnError):
+            Frame({"a": [1, 2], "b": [1]})
+
+    def test_from_records(self):
+        frame = Frame.from_records([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert frame.columns == ("a", "b")
+        assert list(frame["a"]) == [1, 2]
+
+    def test_from_records_missing_key(self):
+        with pytest.raises(FrameError):
+            Frame.from_records([{"a": 1}, {"b": 2}])
+
+    def test_from_records_empty_with_columns(self):
+        frame = Frame.from_records([], columns=["a", "b"])
+        assert frame.columns == ("a", "b")
+        assert len(frame) == 0
+
+    def test_duplicate_column_rejected(self):
+        frame = Frame({"a": [1]})
+        with pytest.raises(ColumnError):
+            frame._add_column(frame.col("a"))
+
+
+class TestAccess:
+    def test_col_and_getitem(self, sample):
+        assert list(sample["country"]) == ["DE", "FR", "US", "DE"]
+        assert sample.col("rtt").mean() == pytest.approx(8.25)
+
+    def test_missing_column(self, sample):
+        with pytest.raises(ColumnError):
+            sample.col("nope")
+
+    def test_row(self, sample):
+        assert sample.row(1) == {"country": "FR", "rtt": 9.0, "probe": 2}
+
+    def test_row_negative_index(self, sample):
+        assert sample.row(-1)["probe"] == 4
+
+    def test_row_out_of_range(self, sample):
+        with pytest.raises(FrameError):
+            sample.row(4)
+
+    def test_contains(self, sample):
+        assert "rtt" in sample
+        assert "nope" not in sample
+
+    def test_to_records_round_trip(self, sample):
+        rebuilt = Frame.from_records(sample.to_records())
+        assert rebuilt == sample
+
+
+class TestTransforms:
+    def test_select(self, sample):
+        projected = sample.select(["rtt", "country"])
+        assert projected.columns == ("rtt", "country")
+
+    def test_with_column_adds(self, sample):
+        extended = sample.with_column("double", sample["rtt"] * 2)
+        assert list(extended["double"]) == [10.0, 18.0, 24.0, 14.0]
+        assert "double" not in sample  # original untouched
+
+    def test_with_column_replaces(self, sample):
+        replaced = sample.with_column("rtt", [0.0, 0.0, 0.0, 0.0])
+        assert replaced.col("rtt").sum() == 0.0
+
+    def test_rename(self, sample):
+        renamed = sample.rename({"rtt": "latency"})
+        assert "latency" in renamed
+        assert "rtt" not in renamed
+
+    def test_filter_mask(self, sample):
+        fast = sample.filter(sample["rtt"] < 8.0)
+        assert len(fast) == 2
+        assert list(fast["country"]) == ["DE", "DE"]
+
+    def test_filter_callable(self, sample):
+        picked = sample.filter(lambda row: row["country"] == "US")
+        assert len(picked) == 1
+
+    def test_filter_bad_mask_dtype(self, sample):
+        with pytest.raises(FrameError):
+            sample.filter(np.asarray([1, 0, 1, 0]))
+
+    def test_filter_bad_mask_length(self, sample):
+        with pytest.raises(FrameError):
+            sample.filter(np.asarray([True]))
+
+    def test_sort_by(self, sample):
+        ordered = sample.sort_by("rtt")
+        assert list(ordered["rtt"]) == [5.0, 7.0, 9.0, 12.0]
+
+    def test_sort_descending(self, sample):
+        ordered = sample.sort_by("rtt", descending=True)
+        assert list(ordered["rtt"]) == [12.0, 9.0, 7.0, 5.0]
+
+    def test_sort_is_stable(self):
+        frame = Frame({"k": [1, 1, 1], "tag": ["a", "b", "c"]})
+        assert list(frame.sort_by("k")["tag"]) == ["a", "b", "c"]
+
+    def test_head(self, sample):
+        assert len(sample.head(2)) == 2
+        assert len(sample.head(100)) == 4
+
+    def test_take(self, sample):
+        taken = sample.take([3, 0])
+        assert list(taken["probe"]) == [4, 1]
+
+    def test_map_column(self, sample):
+        mapped = sample.map_column("country", str.lower)
+        assert list(mapped["country"]) == ["de", "fr", "us", "de"]
+
+    def test_map_column_new_name(self, sample):
+        mapped = sample.map_column("rtt", lambda v: v * 1000, out="rtt_us")
+        assert "rtt_us" in mapped
+        assert "rtt" in mapped
+
+
+class TestConcat:
+    def test_concat(self, sample):
+        merged = sample.concat(sample)
+        assert len(merged) == 8
+
+    def test_concat_empty_left(self, sample):
+        assert Frame().concat(sample) == sample
+
+    def test_concat_column_mismatch(self, sample):
+        with pytest.raises(FrameError):
+            sample.concat(Frame({"other": [1]}))
+
+    def test_concat_all(self, sample):
+        merged = Frame.concat_all([sample, sample, sample])
+        assert len(merged) == 12

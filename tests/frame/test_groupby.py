@@ -1,0 +1,89 @@
+"""Tests for repro.frame.groupby."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FrameError
+from repro.frame import Frame, aggregate, count_by, group_by, group_indices
+
+
+@pytest.fixture
+def samples() -> Frame:
+    return Frame(
+        {
+            "continent": ["EU", "EU", "NA", "NA", "EU"],
+            "provider": ["aws", "gcp", "aws", "aws", "aws"],
+            "rtt": [10.0, 20.0, 30.0, 40.0, 50.0],
+        }
+    )
+
+
+class TestGroupIndices:
+    def test_single_key(self, samples):
+        groups = group_indices(samples, ["continent"])
+        assert list(groups) == ["EU", "NA"]
+        assert list(groups["EU"]) == [0, 1, 4]
+
+    def test_multi_key_uses_tuples(self, samples):
+        groups = group_indices(samples, ["continent", "provider"])
+        assert ("EU", "aws") in groups
+        assert list(groups[("EU", "aws")]) == [0, 4]
+
+    def test_requires_keys(self, samples):
+        with pytest.raises(FrameError):
+            group_indices(samples, [])
+
+
+class TestGroupBy:
+    def test_subframes(self, samples):
+        groups = dict(group_by(samples, ["continent"]))
+        assert len(groups["NA"]) == 2
+        assert groups["NA"].col("rtt").mean() == 35.0
+
+
+class TestAggregate:
+    def test_named_reducers(self, samples):
+        result = aggregate(
+            samples,
+            ["continent"],
+            {
+                "rtt_min": ("rtt", "min"),
+                "rtt_mean": ("rtt", "mean"),
+                "n": ("rtt", "count"),
+            },
+        )
+        eu = result.filter(result["continent"] == "EU")
+        assert eu.row(0)["rtt_min"] == 10.0
+        assert eu.row(0)["rtt_mean"] == pytest.approx(80 / 3)
+        assert eu.row(0)["n"] == 3
+
+    def test_callable_reducer(self, samples):
+        result = aggregate(
+            samples, ["continent"], {"spread": ("rtt", lambda v: float(np.ptp(v)))}
+        )
+        assert result.filter(result["continent"] == "NA").row(0)["spread"] == 10.0
+
+    def test_percentile_reducers(self, samples):
+        result = aggregate(samples, ["continent"], {"p75": ("rtt", "p75")})
+        assert "p75" in result
+
+    def test_unknown_reducer(self, samples):
+        with pytest.raises(FrameError):
+            aggregate(samples, ["continent"], {"x": ("rtt", "p50!!")})
+
+    def test_output_collides_with_key(self, samples):
+        with pytest.raises(FrameError):
+            aggregate(samples, ["continent"], {"continent": ("rtt", "min")})
+
+    def test_multi_key(self, samples):
+        result = aggregate(
+            samples, ["continent", "provider"], {"n": ("rtt", "count")}
+        )
+        assert len(result) == 3  # (EU, aws), (EU, gcp), (NA, aws)
+
+
+class TestCountBy:
+    def test_counts(self, samples):
+        counts = count_by(samples, "provider")
+        aws = counts.filter(counts["provider"] == "aws")
+        assert aws.row(0)["count"] == 4

@@ -1,0 +1,92 @@
+"""Tests for repro.frame.io round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrameError
+from repro.frame import (
+    Frame,
+    from_csv_text,
+    from_json_text,
+    read_csv,
+    read_json,
+    to_csv_text,
+    to_json_text,
+    write_csv,
+    write_json,
+)
+
+
+@pytest.fixture
+def sample() -> Frame:
+    return Frame(
+        {
+            "country": ["DE", "FR"],
+            "rtt": [5.25, 9.5],
+            "probes": [420, 290],
+        }
+    )
+
+
+class TestCSV:
+    def test_round_trip(self, sample):
+        assert from_csv_text(to_csv_text(sample)) == sample
+
+    def test_header_present(self, sample):
+        text = to_csv_text(sample)
+        assert text.splitlines()[0] == "country,rtt,probes"
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(FrameError):
+            from_csv_text("")
+
+    def test_type_coercion(self):
+        frame = from_csv_text("a,b,c\n1,2.5,x\n")
+        assert frame.row(0) == {"a": 1, "b": 2.5, "c": "x"}
+
+    def test_file_round_trip(self, sample, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(sample, path)
+        assert read_csv(path) == sample
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(-1000, 1000),
+                st.floats(-100, 100, allow_nan=False).map(lambda v: round(v, 4)),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50)
+    def test_numeric_round_trip_property(self, rows):
+        frame = Frame(
+            {"i": [r[0] for r in rows], "f": [r[1] for r in rows]}
+        )
+        rebuilt = from_csv_text(to_csv_text(frame))
+        assert list(rebuilt["i"]) == list(frame["i"])
+        for a, b in zip(rebuilt["f"], frame["f"]):
+            assert a == pytest.approx(b)
+
+
+class TestJSON:
+    def test_round_trip(self, sample):
+        assert from_json_text(to_json_text(sample)) == sample
+
+    def test_rejects_non_object(self):
+        with pytest.raises(FrameError):
+            from_json_text("[1, 2, 3]")
+
+    def test_file_round_trip(self, sample, tmp_path):
+        path = tmp_path / "data.json"
+        write_json(sample, path, indent=2)
+        assert read_json(path) == sample
+
+    def test_numpy_scalars_serialized(self, sample):
+        # Values come back as plain Python types.
+        import json
+
+        payload = json.loads(to_json_text(sample))
+        assert isinstance(payload["probes"][0], int)

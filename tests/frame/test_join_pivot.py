@@ -1,0 +1,108 @@
+"""Tests for Frame.join and Frame.pivot."""
+
+import pytest
+
+from repro.errors import FrameError
+from repro.frame import Frame
+
+
+@pytest.fixture
+def samples() -> Frame:
+    return Frame(
+        {
+            "country": ["DE", "FR", "XX", "DE"],
+            "rtt": [5.0, 9.0, 50.0, 7.0],
+        }
+    )
+
+
+@pytest.fixture
+def metadata() -> Frame:
+    return Frame(
+        {
+            "country": ["DE", "FR", "US"],
+            "continent": ["EU", "EU", "NA"],
+            "tier": [1, 1, 1],
+        }
+    )
+
+
+class TestJoin:
+    def test_inner_drops_unmatched(self, samples, metadata):
+        joined = samples.join(metadata, on="country")
+        assert len(joined) == 3  # XX dropped
+        assert set(joined.columns) == {"country", "rtt", "continent", "tier"}
+        assert list(joined["continent"]) == ["EU", "EU", "EU"]
+
+    def test_left_keeps_unmatched(self, samples, metadata):
+        joined = samples.join(metadata, on="country", how="left")
+        assert len(joined) == 4
+        row = joined.filter(joined["country"] == "XX").row(0)
+        assert row["continent"] is None
+
+    def test_duplicate_right_keys_rejected(self, samples):
+        dupes = Frame({"country": ["DE", "DE"], "x": [1, 2]})
+        with pytest.raises(FrameError):
+            samples.join(dupes, on="country")
+
+    def test_column_collision_rejected(self, samples):
+        other = Frame({"country": ["DE"], "rtt": [1.0]})
+        with pytest.raises(FrameError):
+            samples.join(other, on="country")
+
+    def test_unsupported_how(self, samples, metadata):
+        with pytest.raises(FrameError):
+            samples.join(metadata, on="country", how="outer")
+
+    def test_values_aligned(self, samples, metadata):
+        joined = samples.join(metadata, on="country")
+        for row in joined.iter_rows():
+            if row["country"] == "DE":
+                assert row["continent"] == "EU"
+
+
+class TestPivot:
+    def test_long_to_wide(self):
+        long = Frame(
+            {
+                "continent": ["EU", "EU", "AF", "AF"],
+                "metric": ["median", "p95", "median", "p95"],
+                "value": [10.0, 40.0, 110.0, 400.0],
+            }
+        )
+        wide = long.pivot(index="continent", columns="metric", values="value")
+        assert wide.columns == ("continent", "median", "p95")
+        assert wide.filter(wide["continent"] == "AF").row(0)["p95"] == 400.0
+
+    def test_missing_cells_filled(self):
+        long = Frame(
+            {
+                "k": ["a", "b"],
+                "c": ["x", "y"],
+                "v": [1, 2],
+            }
+        )
+        wide = long.pivot(index="k", columns="c", values="v", fill=0)
+        assert wide.filter(wide["k"] == "a").row(0)["y"] == 0
+
+    def test_duplicate_cells_rejected(self):
+        long = Frame(
+            {
+                "k": ["a", "a"],
+                "c": ["x", "x"],
+                "v": [1, 2],
+            }
+        )
+        with pytest.raises(FrameError):
+            long.pivot(index="k", columns="c", values="v")
+
+    def test_row_order_preserved(self):
+        long = Frame(
+            {
+                "k": ["z", "a", "z"],
+                "c": ["x", "x", "y"],
+                "v": [1, 2, 3],
+            }
+        )
+        wide = long.pivot(index="k", columns="c", values="v")
+        assert list(wide["k"]) == ["z", "a"]

@@ -1,0 +1,139 @@
+"""Tests for repro.frame.stats — ECDF invariants are property-tested."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrameError
+from repro.frame.stats import ECDF, bucketize, ecdf, fraction_below, summarize
+
+samples_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False), min_size=1, max_size=300
+)
+
+
+class TestECDFBasics:
+    def test_simple(self):
+        curve = ecdf([3.0, 1.0, 2.0])
+        assert list(curve.x) == [1.0, 2.0, 3.0]
+        assert list(curve.p) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        curve = ecdf([])
+        assert len(curve) == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(FrameError):
+            ECDF(np.asarray([1.0]), np.asarray([0.5, 1.0]))
+
+    def test_fraction_below(self):
+        curve = ecdf([1.0, 2.0, 3.0, 4.0])
+        assert curve.fraction_below(0.5) == 0.0
+        assert curve.fraction_below(2.0) == 0.5
+        assert curve.fraction_below(100.0) == 1.0
+
+    def test_fraction_below_empty_raises(self):
+        with pytest.raises(FrameError):
+            ecdf([]).fraction_below(1.0)
+
+    def test_quantile(self):
+        curve = ecdf(list(range(1, 101)))
+        assert curve.quantile(0.5) == 50.0
+        assert curve.quantile(0.0) == 1.0
+        assert curve.quantile(1.0) == 100.0
+
+    def test_quantile_bounds_checked(self):
+        with pytest.raises(FrameError):
+            ecdf([1.0]).quantile(1.5)
+
+    def test_sample_points_downsamples(self):
+        curve = ecdf(list(range(1000)))
+        sampled = curve.sample_points(50)
+        assert len(sampled) == 50
+        assert sampled.x[0] == curve.x[0]
+        assert sampled.x[-1] == curve.x[-1]
+
+    def test_sample_points_noop_when_small(self):
+        curve = ecdf([1.0, 2.0])
+        assert curve.sample_points(100) is curve
+
+
+class TestECDFProperties:
+    @given(samples_strategy)
+    @settings(max_examples=100)
+    def test_monotone(self, values):
+        curve = ecdf(values)
+        assert np.all(np.diff(curve.x) >= 0)
+        assert np.all(np.diff(curve.p) >= 0)
+
+    @given(samples_strategy)
+    @settings(max_examples=100)
+    def test_ends_at_one(self, values):
+        curve = ecdf(values)
+        assert curve.p[-1] == pytest.approx(1.0)
+
+    @given(samples_strategy, st.floats(0, 1e4))
+    @settings(max_examples=100)
+    def test_fraction_matches_direct_count(self, values, threshold):
+        curve = ecdf(values)
+        direct = sum(1 for v in values if v <= threshold) / len(values)
+        assert curve.fraction_below(threshold) == pytest.approx(direct)
+
+    @given(samples_strategy, st.floats(0.01, 0.99))
+    @settings(max_examples=100)
+    def test_quantile_fraction_round_trip(self, values, q):
+        curve = ecdf(values)
+        x = curve.quantile(q)
+        assert curve.fraction_below(x) >= q - 1e-9
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert summary.count == 5
+        assert summary.minimum == 1.0
+        assert summary.maximum == 100.0
+        assert summary.median == 3.0
+        assert summary.mean == pytest.approx(22.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(FrameError):
+            summarize([])
+
+    def test_as_dict_keys(self):
+        keys = set(summarize([1.0]).as_dict())
+        assert keys == {
+            "count", "min", "p25", "median", "p75", "p95", "max", "mean", "std",
+        }
+
+
+class TestFractionBelow:
+    def test_basic(self):
+        assert fraction_below([1, 2, 3, 4], 2) == 0.5
+
+    def test_empty_raises(self):
+        with pytest.raises(FrameError):
+            fraction_below([], 1.0)
+
+
+class TestBucketize:
+    def test_paper_buckets(self):
+        counts = bucketize([5, 15, 30, 70, 200], [10, 20, 50, 100])
+        assert counts == (1, 1, 1, 1, 1)
+
+    def test_boundary_inclusive(self):
+        assert bucketize([10.0], [10, 20]) == (1, 0, 0)
+
+    def test_overflow_bucket(self):
+        assert bucketize([999], [10]) == (0, 1)
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(FrameError):
+            bucketize([1], [20, 10])
+
+    @given(samples_strategy)
+    @settings(max_examples=50)
+    def test_counts_sum_to_n(self, values):
+        counts = bucketize(values, [10, 100, 1000])
+        assert sum(counts) == len(values)

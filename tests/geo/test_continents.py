@@ -1,0 +1,67 @@
+"""Tests for repro.geo.continents."""
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.continents import (
+    ADJACENT_TARGETS,
+    CONTINENT_CODES,
+    UNDER_SERVED,
+    WELL_CONNECTED,
+    adjacent_target_continents,
+    all_continents,
+    get_continent,
+    is_well_connected,
+)
+
+
+class TestRegistry:
+    def test_six_continents(self):
+        assert len(CONTINENT_CODES) == 6
+
+    def test_figure_order(self):
+        # The paper's figures lead with the well-connected continents.
+        assert CONTINENT_CODES[:3] == ("NA", "EU", "OC")
+
+    def test_lookup_case_insensitive(self):
+        assert get_continent("eu").name == "Europe"
+        assert get_continent("EU").code == "EU"
+
+    def test_unknown_raises(self):
+        with pytest.raises(GeoError):
+            get_continent("XX")
+
+    def test_all_continents_matches_codes(self):
+        assert tuple(c.code for c in all_continents()) == CONTINENT_CODES
+
+    def test_latin_america_naming(self):
+        # The paper groups Central/South America as "Latin America".
+        assert get_continent("SA").name == "Latin America"
+
+
+class TestGroupings:
+    def test_partition(self):
+        assert set(WELL_CONNECTED) | set(UNDER_SERVED) == set(CONTINENT_CODES)
+        assert not set(WELL_CONNECTED) & set(UNDER_SERVED)
+
+    def test_is_well_connected(self):
+        assert is_well_connected("NA")
+        assert is_well_connected("eu")
+        assert not is_well_connected("AF")
+
+
+class TestAdjacency:
+    def test_africa_measures_europe(self):
+        assert adjacent_target_continents("AF") == ("EU",)
+
+    def test_latam_measures_north_america(self):
+        assert adjacent_target_continents("SA") == ("NA",)
+
+    def test_well_connected_have_no_fallback(self):
+        for code in WELL_CONNECTED:
+            assert adjacent_target_continents(code) == ()
+
+    def test_fallbacks_point_to_well_connected(self):
+        for targets in ADJACENT_TARGETS.values():
+            for code in targets:
+                assert code in WELL_CONNECTED

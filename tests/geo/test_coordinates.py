@@ -1,0 +1,156 @@
+"""Tests for repro.geo.coordinates."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeoError
+from repro.geo.coordinates import (
+    EARTH_RADIUS_KM,
+    LatLon,
+    bounding_box,
+    destination_point,
+    haversine_km,
+    initial_bearing_deg,
+    midpoint,
+    nearest,
+)
+
+lat_strategy = st.floats(min_value=-89.9, max_value=89.9)
+lon_strategy = st.floats(min_value=-179.9, max_value=179.9)
+point_strategy = st.builds(LatLon, lat_strategy, lon_strategy)
+
+
+class TestLatLon:
+    def test_valid_construction(self):
+        point = LatLon(48.86, 2.35)
+        assert point.lat == 48.86
+        assert point.as_tuple() == (48.86, 2.35)
+
+    @pytest.mark.parametrize("lat", [-90.1, 91.0, 1000.0])
+    def test_rejects_bad_latitude(self, lat):
+        with pytest.raises(GeoError):
+            LatLon(lat, 0.0)
+
+    @pytest.mark.parametrize("lon", [-180.5, 181.0])
+    def test_rejects_bad_longitude(self, lon):
+        with pytest.raises(GeoError):
+            LatLon(0.0, lon)
+
+    def test_poles_and_antimeridian_allowed(self):
+        LatLon(90.0, 180.0)
+        LatLon(-90.0, -180.0)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(50.0, 8.0, 50.0, 8.0) == 0.0
+
+    def test_known_distance_paris_london(self):
+        # Paris to London is ~344 km.
+        distance = haversine_km(48.8566, 2.3522, 51.5074, -0.1278)
+        assert distance == pytest.approx(344, abs=10)
+
+    def test_known_distance_ny_london(self):
+        # New York to London is ~5570 km.
+        distance = haversine_km(40.7128, -74.0060, 51.5074, -0.1278)
+        assert distance == pytest.approx(5570, abs=60)
+
+    def test_antipodal_is_half_circumference(self):
+        distance = haversine_km(0.0, 0.0, 0.0, 180.0)
+        assert distance == pytest.approx(math.pi * EARTH_RADIUS_KM, rel=1e-6)
+
+    @given(point_strategy, point_strategy)
+    @settings(max_examples=100)
+    def test_symmetry(self, a, b):
+        d1 = haversine_km(a.lat, a.lon, b.lat, b.lon)
+        d2 = haversine_km(b.lat, b.lon, a.lat, a.lon)
+        assert d1 == pytest.approx(d2, abs=1e-9)
+
+    @given(point_strategy, point_strategy)
+    @settings(max_examples=100)
+    def test_bounded_by_half_circumference(self, a, b):
+        distance = a.distance_km(b)
+        assert 0.0 <= distance <= math.pi * EARTH_RADIUS_KM + 1e-6
+
+
+class TestDestinationPoint:
+    def test_zero_distance_is_identity(self):
+        origin = LatLon(12.0, 34.0)
+        result = destination_point(origin, 45.0, 0.0)
+        assert result.lat == pytest.approx(origin.lat, abs=1e-9)
+        assert result.lon == pytest.approx(origin.lon, abs=1e-9)
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(GeoError):
+            destination_point(LatLon(0, 0), 0.0, -1.0)
+
+    def test_due_north(self):
+        result = destination_point(LatLon(0.0, 0.0), 0.0, 111.2)
+        assert result.lat == pytest.approx(1.0, abs=0.01)
+        assert result.lon == pytest.approx(0.0, abs=1e-6)
+
+    @given(point_strategy, st.floats(0, 359.9), st.floats(1.0, 3000.0))
+    @settings(max_examples=100)
+    def test_round_trip_distance(self, origin, bearing, distance):
+        target = destination_point(origin, bearing, distance)
+        assert origin.distance_km(target) == pytest.approx(distance, rel=0.01)
+
+
+class TestBearing:
+    def test_due_east(self):
+        bearing = initial_bearing_deg(LatLon(0.0, 0.0), LatLon(0.0, 10.0))
+        assert bearing == pytest.approx(90.0, abs=0.1)
+
+    @given(point_strategy, point_strategy)
+    @settings(max_examples=100)
+    def test_range(self, a, b):
+        bearing = initial_bearing_deg(a, b)
+        assert 0.0 <= bearing < 360.0
+
+
+class TestMidpoint:
+    def test_midpoint_equidistant(self):
+        a = LatLon(10.0, 20.0)
+        b = LatLon(-30.0, 60.0)
+        mid = midpoint(a, b)
+        assert a.distance_km(mid) == pytest.approx(b.distance_km(mid), rel=1e-6)
+
+    def test_midpoint_on_equator(self):
+        mid = midpoint(LatLon(0.0, 0.0), LatLon(0.0, 90.0))
+        assert mid.lat == pytest.approx(0.0, abs=1e-9)
+        assert mid.lon == pytest.approx(45.0, abs=1e-9)
+
+
+class TestNearest:
+    def test_picks_closest(self):
+        point = LatLon(50.0, 8.0)
+        candidates = [
+            ("far", LatLon(0.0, 0.0)),
+            ("near", LatLon(50.1, 8.1)),
+            ("mid", LatLon(48.0, 2.0)),
+        ]
+        key, distance = nearest(point, candidates)
+        assert key == "near"
+        assert distance < 20.0
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(GeoError):
+            nearest(LatLon(0, 0), [])
+
+
+class TestBoundingBox:
+    def test_single_point(self):
+        sw, ne = bounding_box([LatLon(5.0, 6.0)])
+        assert sw == ne == LatLon(5.0, 6.0)
+
+    def test_spans_points(self):
+        sw, ne = bounding_box([LatLon(1, 2), LatLon(-3, 10), LatLon(5, -4)])
+        assert sw == LatLon(-3, -4)
+        assert ne == LatLon(5, 10)
+
+    def test_empty_raises(self):
+        with pytest.raises(GeoError):
+            bounding_box([])

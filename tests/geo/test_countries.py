@@ -1,0 +1,91 @@
+"""Tests for repro.geo.countries — the study's §4.1 footprint invariants."""
+
+import pytest
+
+from repro.constants import MIN_PROBES, NUM_PROBE_COUNTRIES
+from repro.errors import UnknownCountryError
+from repro.geo.continents import CONTINENT_CODES
+from repro.geo.countries import (
+    all_countries,
+    countries_with_probes,
+    get_country,
+    iter_countries,
+    total_probe_count,
+    world_internet_users_m,
+    world_population_m,
+)
+
+
+class TestLookups:
+    def test_get_country_case_insensitive(self):
+        assert get_country("de").name == "Germany"
+        assert get_country("DE").iso2 == "DE"
+
+    def test_unknown_country(self):
+        with pytest.raises(UnknownCountryError):
+            get_country("ZZ")
+
+    def test_iter_by_continent(self):
+        european = list(iter_countries("EU"))
+        assert all(c.continent == "EU" for c in european)
+        assert any(c.iso2 == "DE" for c in european)
+
+    def test_iter_all(self):
+        assert len(list(iter_countries())) == len(all_countries())
+
+
+class TestPaperFootprint:
+    def test_166_probe_countries(self):
+        assert len(countries_with_probes()) == NUM_PROBE_COUNTRIES
+
+    def test_at_least_3200_probes(self):
+        assert total_probe_count() >= MIN_PROBES
+
+    def test_probe_density_is_eu_heavy(self):
+        """The real platform's European bias must be present."""
+        eu = sum(c.atlas_probes for c in iter_countries("EU"))
+        assert eu / total_probe_count() > 0.5
+
+    def test_germany_hosts_most_probes(self):
+        top = max(all_countries(), key=lambda c: c.atlas_probes)
+        assert top.iso2 == "DE"
+
+
+class TestRecordValidity:
+    def test_unique_iso_codes(self):
+        codes = [c.iso2 for c in all_countries()]
+        assert len(codes) == len(set(codes))
+
+    def test_every_continent_populated(self):
+        present = {c.continent for c in all_countries()}
+        assert present == set(CONTINENT_CODES)
+
+    def test_field_ranges(self):
+        for country in all_countries():
+            assert len(country.iso2) == 2
+            assert country.population_m > 0
+            assert 0.0 < country.internet_share <= 1.0
+            assert country.infra_tier in (1, 2, 3, 4)
+            assert country.atlas_probes >= 0
+            assert country.area_kkm2 > 0
+
+    def test_scatter_radius_bounded(self):
+        for country in all_countries():
+            assert 0 < country.scatter_radius_km <= 900.0
+
+    def test_internet_users_consistency(self):
+        germany = get_country("DE")
+        assert germany.internet_users_m == pytest.approx(
+            germany.population_m * germany.internet_share
+        )
+
+    def test_world_totals_plausible(self):
+        # The database should cover most of the world's ~7.7 B people.
+        assert 6_000 < world_population_m() < 8_200
+        assert 3_000 < world_internet_users_m() < world_population_m()
+
+    def test_tier_correlates_with_internet_share(self):
+        """Tier-1 countries are, on average, far better connected."""
+        tier1 = [c.internet_share for c in all_countries() if c.infra_tier == 1]
+        tier4 = [c.internet_share for c in all_countries() if c.infra_tier == 4]
+        assert sum(tier1) / len(tier1) > sum(tier4) / len(tier4) + 0.3

@@ -1,0 +1,79 @@
+"""Tests for repro.geo.regions."""
+
+import pytest
+
+from repro.errors import GeoError
+from repro.geo.countries import all_countries, get_country
+from repro.geo.regions import (
+    SUBREGIONS,
+    countries_in_subregion,
+    is_eastern_europe,
+    subregion_of,
+)
+
+
+class TestAssignments:
+    def test_no_country_in_two_subregions(self):
+        seen = {}
+        for name, members in SUBREGIONS.items():
+            for code in members:
+                assert code not in seen, (code, name, seen.get(code))
+                seen[code] = name
+
+    def test_subregion_members_share_continent(self):
+        """Every subregion's known members sit in one continent."""
+        for name in SUBREGIONS:
+            continents = {
+                get_country(code).continent
+                for code in countries_in_subregion(name)
+            }
+            assert len(continents) == 1, (name, continents)
+
+    def test_most_countries_assigned(self):
+        assigned = sum(
+            1 for country in all_countries()
+            if not subregion_of(country.iso2).startswith("other-")
+        )
+        assert assigned / len(all_countries()) > 0.85
+
+    def test_fallback_label(self):
+        # A country left out of every set gets a continent default.
+        for country in all_countries():
+            label = subregion_of(country.iso2)
+            assert label in SUBREGIONS or label.startswith("other-")
+
+
+class TestLookups:
+    def test_subregion_of(self):
+        assert subregion_of("DE") == "western-europe"
+        assert subregion_of("UA") == "eastern-europe"
+        assert subregion_of("KE") == "eastern-africa"
+        assert subregion_of("BR") == "south-america"
+
+    def test_case_insensitive(self):
+        assert subregion_of("de") == "western-europe"
+
+    def test_unknown_subregion(self):
+        with pytest.raises(GeoError):
+            countries_in_subregion("atlantis")
+
+    def test_countries_in_subregion_sorted(self):
+        members = countries_in_subregion("northern-europe")
+        assert list(members) == sorted(members)
+        assert "SE" in members
+
+
+class TestPaperCohorts:
+    def test_eastern_europe_cohort(self):
+        assert is_eastern_europe("RU")
+        assert is_eastern_europe("PL")
+        assert not is_eastern_europe("DE")
+        assert not is_eastern_europe("PT")
+
+    def test_eastern_europe_has_no_datacenters(self):
+        """The Figure 6 tail narrative: the eastern cohort hosts none of
+        the 101 regions (Sweden/Finland are 'northern' here)."""
+        from repro.cloud.regions import datacenter_countries
+
+        eastern = set(countries_in_subregion("eastern-europe"))
+        assert not eastern & set(datacenter_countries())

@@ -1,0 +1,128 @@
+"""Cross-module integration tests.
+
+These exercise full paths through the system the way a user would:
+campaign -> export -> reload -> analysis, the client-API workflow the
+paper's methodology describes, and the CLI against the library.
+"""
+
+import numpy as np
+import pytest
+
+from repro.atlas.api.client import (
+    AtlasResultsRequest,
+    MeasurementRequest,
+)
+from repro.atlas.api.stream import AtlasStream
+from repro.core.dataset import CampaignDataset
+from repro.core.proximity import country_min_latency
+from repro.core.report import headline_report
+from repro.frame import read_json
+from repro.viz import load_figure
+
+
+class TestDatasetRoundTrip:
+    def test_export_reload_preserves_analysis(self, tiny_dataset, tmp_path):
+        path = tmp_path / "dataset.csv"
+        tiny_dataset.export_csv(path)
+        reloaded = CampaignDataset.load_csv(path)
+        assert len(reloaded) == tiny_dataset.num_samples
+        # The denormalized frame carries what the analyses join on.
+        assert set(np.unique(reloaded["country"])) == set(
+            np.unique(tiny_dataset.probe_countries())
+        )
+        # Spot-check RTT agreement.
+        assert list(reloaded["rtt_min"][:50]) == pytest.approx(
+            list(tiny_dataset.column("rtt_min")[:50]), nan_ok=True
+        )
+
+    def test_figure_bundles_round_trip(self, tiny_dataset, tmp_path):
+        from repro.core.proximity import min_rtt_cdf_by_continent
+        from repro.viz import ecdf_payload, export_figure
+
+        path = tmp_path / "fig5.json"
+        export_figure(
+            path,
+            figure="fig5",
+            data=ecdf_payload(min_rtt_cdf_by_continent(tiny_dataset)),
+        )
+        bundle = load_figure(path)
+        assert set(bundle["data"]) == {"NA", "EU", "OC", "AS", "SA", "AF"}
+        for series in bundle["data"].values():
+            assert series["p"][-1] == pytest.approx(1.0)
+
+
+class TestClientWorkflowParity:
+    def test_campaign_measurements_visible_via_api(self, tiny_campaign):
+        msm_id = tiny_campaign.measurement_ids[0]
+        payload = MeasurementRequest(
+            msm_id=msm_id, platform=tiny_campaign.platform
+        ).get()
+        assert payload["type"] == "ping"
+        assert payload["interval"] == tiny_campaign.scale.interval_s
+
+    def test_stream_matches_fetch(self, tiny_campaign):
+        msm_id = tiny_campaign.measurement_ids[3]
+        ok, fetched = AtlasResultsRequest(
+            msm_id=msm_id, platform=tiny_campaign.platform
+        ).create()
+        assert ok
+        stream = AtlasStream(platform=tiny_campaign.platform)
+        stream.start_stream(stream_type="result", msm=msm_id)
+        streamed = list(stream.iter_merged())
+        assert len(streamed) == len(fetched)
+        assert {r["timestamp"] for r in streamed} == {
+            r["timestamp"] for r in fetched
+        }
+
+    def test_dataset_matches_raw_results(self, tiny_campaign, tiny_dataset):
+        """The dataset rows for one measurement equal the raw API data."""
+        msm_id = tiny_campaign.measurement_ids[0]
+        vm = tiny_campaign.platform.fleet[0]
+        ok, raw = AtlasResultsRequest(
+            msm_id=msm_id, platform=tiny_campaign.platform
+        ).create()
+        assert ok
+        target_index = tiny_dataset.target_index_of(vm.key)
+        mask = tiny_dataset.column("target_index") == target_index
+        assert int(np.sum(mask)) == len(raw)
+        raw_min = sorted(
+            r["min"] for r in raw if r["rcvd"] > 0
+        )
+        ds_min = sorted(
+            v for v in tiny_dataset.column("rtt_min")[mask] if not np.isnan(v)
+        )
+        assert raw_min == pytest.approx(ds_min)
+
+
+class TestSeedIsolation:
+    def test_reports_differ_across_seeds_but_shapes_hold(self):
+        from repro.core.campaign import Campaign, CampaignScale
+
+        report_a = headline_report(
+            Campaign.from_paper(scale=CampaignScale.TINY, seed=100).run()
+        )
+        report_b = headline_report(
+            Campaign.from_paper(scale=CampaignScale.TINY, seed=200).run()
+        )
+        # Different randomness...
+        assert report_a.wireless_penalty != report_b.wireless_penalty
+        # ...same paper-shape conclusions.
+        for report in (report_a, report_b):
+            assert report.sample_share_under_pl["EU"] > report.sample_share_under_pl["AF"]
+            assert report.wireless_penalty > 1.3
+            assert report.countries_over_pl < 40
+
+
+class TestCountryFrameConsistency:
+    def test_country_frame_against_raw_minima(self, tiny_dataset):
+        from repro.core.proximity import per_probe_min
+
+        frame = country_min_latency(tiny_dataset)
+        minima = per_probe_min(tiny_dataset)
+        german_probes = [
+            pid for pid in minima
+            if tiny_dataset.probe(pid).country_code == "DE"
+        ]
+        expected = min(minima[pid] for pid in german_probes)
+        row = frame.filter(frame["country"] == "DE").row(0)
+        assert float(row["min_rtt"]) == pytest.approx(expected, abs=0.01)

@@ -1,0 +1,88 @@
+"""Tests for repro.net.bandwidth — the FZ's bandwidth axis."""
+
+import pytest
+
+from repro.constants import FZ_BANDWIDTH_GB_PER_DAY
+from repro.errors import NetworkModelError
+from repro.net.bandwidth import (
+    CAPACITIES,
+    aggregation_threshold_gb_day,
+    bandwidth_pressure,
+    needs_aggregation,
+    sustained_mbps,
+    uplink_capacity_mbps,
+)
+from repro.net.lastmile import AccessTechnology
+
+
+class TestCapacities:
+    def test_all_technologies_covered(self):
+        assert set(CAPACITIES) == set(AccessTechnology)
+
+    def test_uplink_never_exceeds_downlink(self):
+        for capacity in CAPACITIES.values():
+            assert capacity.uplink_mbps <= capacity.downlink_mbps
+
+    def test_tier_degrades_capacity(self):
+        assert uplink_capacity_mbps(
+            AccessTechnology.LTE, 4
+        ) < uplink_capacity_mbps(AccessTechnology.LTE, 1)
+
+    def test_unknown_tier(self):
+        with pytest.raises(NetworkModelError):
+            uplink_capacity_mbps(AccessTechnology.LTE, 0)
+
+
+class TestArithmetic:
+    def test_sustained_rate(self):
+        # 1 GB/day is ~0.093 Mbps sustained.
+        assert sustained_mbps(1.0) == pytest.approx(0.0926, abs=0.001)
+
+    def test_negative_volume(self):
+        with pytest.raises(NetworkModelError):
+            sustained_mbps(-1.0)
+
+    def test_pressure_monotone_in_volume(self):
+        low = bandwidth_pressure(0.1, AccessTechnology.LTE, 2)
+        high = bandwidth_pressure(10.0, AccessTechnology.LTE, 2)
+        assert high > low
+
+    def test_invalid_entities(self):
+        with pytest.raises(NetworkModelError):
+            bandwidth_pressure(1.0, AccessTechnology.LTE, 2, entities_per_link=0)
+
+
+class TestPaperThreshold:
+    def test_one_gb_per_day_emerges(self):
+        """The paper's ~1 GB/day estimate falls out of LTE/DSL links."""
+        lte = aggregation_threshold_gb_day(AccessTechnology.LTE, 2)
+        dsl = aggregation_threshold_gb_day(AccessTechnology.DSL, 2)
+        assert 0.5 <= lte <= 3.0
+        assert 0.5 <= dsl <= 3.0
+        # And the constant used in the FZ sits inside the derived band.
+        assert min(dsl, lte) <= FZ_BANDWIDTH_GB_PER_DAY * 1.5
+
+    def test_fibre_threshold_much_higher(self):
+        fibre = aggregation_threshold_gb_day(AccessTechnology.FIBRE, 1)
+        lte = aggregation_threshold_gb_day(AccessTechnology.LTE, 2)
+        assert fibre > 10 * lte
+
+    def test_share_validation(self):
+        with pytest.raises(NetworkModelError):
+            aggregation_threshold_gb_day(
+                AccessTechnology.LTE, 2, sustainable_share=0.0
+            )
+
+
+class TestVerdicts:
+    def test_smart_home_needs_no_aggregation(self):
+        assert not needs_aggregation(0.3)
+
+    def test_camera_feeds_do(self):
+        assert needs_aggregation(20.0)
+
+    def test_threshold_consistency(self):
+        """needs_aggregation flips exactly at the derived threshold."""
+        threshold = aggregation_threshold_gb_day(AccessTechnology.LTE, 2)
+        assert not needs_aggregation(threshold * 0.9)
+        assert needs_aggregation(threshold * 1.1)

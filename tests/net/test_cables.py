@@ -1,0 +1,97 @@
+"""Tests for repro.net.cables — the gateway/cable map must be coherent."""
+
+import pytest
+
+from repro.errors import NetworkModelError
+from repro.geo.countries import all_countries, get_country
+from repro.net.cables import (
+    COUNTRY_GATEWAY_OVERRIDES,
+    GATEWAYS,
+    LINKS,
+    SUBMARINE_SLACK,
+    TERRESTRIAL_SLACK,
+    link_length_km,
+)
+
+
+class TestGateways:
+    def test_every_gateway_country_exists(self):
+        for gateway in GATEWAYS.values():
+            get_country(gateway.country)
+
+    def test_gateway_continent_matches_location_tag(self):
+        # Special case: Honolulu/Guam are tagged OC (Pacific hubs) despite
+        # US sovereignty; everything else matches its country's continent.
+        pacific = {"honolulu", "guam"}
+        for name, gateway in GATEWAYS.items():
+            if name in pacific:
+                assert gateway.continent == "OC"
+            else:
+                assert gateway.continent == get_country(gateway.country).continent
+
+    def test_every_continent_has_gateways(self):
+        continents = {gateway.continent for gateway in GATEWAYS.values()}
+        assert continents == {"EU", "NA", "SA", "AS", "AF", "OC"}
+
+
+class TestLinks:
+    def test_endpoints_exist(self):
+        for a, b, _kind in LINKS:
+            assert a in GATEWAYS, a
+            assert b in GATEWAYS, b
+
+    def test_no_self_links(self):
+        for a, b, _kind in LINKS:
+            assert a != b
+
+    def test_no_duplicate_links(self):
+        seen = set()
+        for a, b, _kind in LINKS:
+            key = tuple(sorted((a, b)))
+            assert key not in seen, key
+            seen.add(key)
+
+    def test_kinds_valid(self):
+        for _a, _b, kind in LINKS:
+            assert kind in ("terrestrial", "submarine")
+
+    def test_length_applies_slack(self):
+        km_t = link_length_km("london", "paris", "terrestrial")
+        km_s = link_length_km("london", "paris", "submarine")
+        assert km_s / km_t == pytest.approx(SUBMARINE_SLACK / TERRESTRIAL_SLACK)
+
+    def test_unknown_gateway_rejected(self):
+        with pytest.raises(NetworkModelError):
+            link_length_km("london", "atlantis", "submarine")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(NetworkModelError):
+            link_length_km("london", "paris", "quantum")
+
+    def test_transatlantic_length_plausible(self):
+        km = link_length_km("london", "new-york", "submarine")
+        assert 5500 <= km <= 7500
+
+
+class TestOverrides:
+    def test_overrides_reference_known_gateways(self):
+        for country, gateways in COUNTRY_GATEWAY_OVERRIDES.items():
+            get_country(country)
+            for name in gateways:
+                assert name in GATEWAYS, (country, name)
+
+    def test_african_countries_covered(self):
+        """Every African country needs a curated landing (the paper's
+        Africa findings depend on realistic exit points)."""
+        overridden = set(COUNTRY_GATEWAY_OVERRIDES)
+        for country in all_countries():
+            if country.continent == "AF" and country.atlas_probes > 0:
+                assert country.iso2 in overridden, country.iso2
+
+    def test_east_africa_exits_at_mombasa(self):
+        assert COUNTRY_GATEWAY_OVERRIDES["KE"] == ("mombasa",)
+        assert "mombasa" in COUNTRY_GATEWAY_OVERRIDES["TZ"]
+
+    def test_latam_trombones_through_miami(self):
+        assert "miami" in COUNTRY_GATEWAY_OVERRIDES["CU"]
+        assert "miami" in COUNTRY_GATEWAY_OVERRIDES["VE"]

@@ -1,0 +1,101 @@
+"""Tests for repro.net.congestion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetworkModelError
+from repro.net.congestion import (
+    _MAX_UTILIZATION,
+    is_weekend,
+    local_hour,
+    path_noise_ms,
+    queue_delay_ms,
+    utilization,
+)
+from repro.net.rng import stream
+
+NOON_UTC = 1_567_339_200  # 2019-09-01 12:00:00 UTC (a Sunday)
+
+
+class TestLocalHour:
+    def test_utc_at_zero_longitude(self):
+        assert local_hour(NOON_UTC, 0.0) == pytest.approx(12.0)
+
+    def test_eastward_offset(self):
+        assert local_hour(NOON_UTC, 90.0) == pytest.approx(18.0)
+
+    def test_westward_wraps(self):
+        assert local_hour(NOON_UTC, -105.0) == pytest.approx(5.0)
+
+    @given(st.integers(0, 2_000_000_000), st.floats(-180, 180))
+    @settings(max_examples=100)
+    def test_range(self, timestamp, longitude):
+        hour = local_hour(timestamp, longitude)
+        assert 0.0 <= hour < 24.0
+
+
+class TestWeekend:
+    def test_epoch_was_thursday(self):
+        assert not is_weekend(0)
+
+    def test_known_sunday(self):
+        assert is_weekend(NOON_UTC)  # 2019-09-01 was a Sunday
+
+    def test_known_monday(self):
+        assert not is_weekend(NOON_UTC + 86_400)
+
+
+class TestUtilization:
+    @given(
+        st.integers(0, 2_000_000_000),
+        st.floats(-180, 180),
+        st.sampled_from([1, 2, 3, 4]),
+    )
+    @settings(max_examples=100)
+    def test_bounded(self, timestamp, longitude, tier):
+        rho = utilization(timestamp, longitude, tier)
+        assert 0.0 < rho <= _MAX_UTILIZATION
+
+    def test_evening_peak_exceeds_night(self):
+        # 20:30 local vs 04:30 local at longitude 0.
+        evening = NOON_UTC + int(8.5 * 3600)
+        night = NOON_UTC - int(7.5 * 3600)
+        assert utilization(evening, 0.0, 2) > utilization(night, 0.0, 2)
+
+    def test_poorer_tiers_run_hotter(self):
+        assert utilization(NOON_UTC, 0.0, 4) > utilization(NOON_UTC, 0.0, 1)
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(NetworkModelError):
+            utilization(NOON_UTC, 0.0, 9)
+
+
+class TestQueueDelay:
+    def test_non_negative(self):
+        rng = stream(1, "queue")
+        for _ in range(50):
+            assert queue_delay_ms(NOON_UTC, 0.0, 2, rng) >= 0.0
+
+    def test_tier4_queues_longer_on_average(self):
+        rng1, rng4 = stream(2, "t1"), stream(2, "t4")
+        mean1 = np.mean([queue_delay_ms(NOON_UTC, 0.0, 1, rng1) for _ in range(800)])
+        mean4 = np.mean([queue_delay_ms(NOON_UTC, 0.0, 4, rng4) for _ in range(800)])
+        assert mean4 > mean1
+
+
+class TestPathNoise:
+    def test_non_negative(self):
+        rng = stream(3, "noise")
+        assert path_noise_ms(1000.0, rng) >= 0.0
+
+    def test_negative_path_rejected(self):
+        with pytest.raises(NetworkModelError):
+            path_noise_ms(-1.0, stream(1, "x"))
+
+    def test_noise_grows_with_distance(self):
+        rng_short, rng_long = stream(4, "s"), stream(4, "l")
+        short = np.mean([path_noise_ms(10.0, rng_short) for _ in range(800)])
+        long = np.mean([path_noise_ms(15_000.0, rng_long) for _ in range(800)])
+        assert long > short

@@ -1,0 +1,125 @@
+"""Tests for repro.net.lastmile."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetworkModelError
+from repro.net.lastmile import (
+    PROFILES,
+    TECH_MIX,
+    TIER_SCALE,
+    AccessTechnology,
+    choose_technology,
+    floor_ms,
+    sample_ms,
+)
+from repro.net.rng import stream
+
+tech_strategy = st.sampled_from(list(AccessTechnology))
+tier_strategy = st.sampled_from([1, 2, 3, 4])
+
+
+class TestAccessTechnology:
+    def test_wireless_membership(self):
+        assert AccessTechnology.LTE.is_wireless
+        assert AccessTechnology.WIFI.is_wireless
+        assert AccessTechnology.SATELLITE.is_wireless
+        assert not AccessTechnology.ETHERNET.is_wireless
+        assert not AccessTechnology.DSL.is_wireless
+
+    def test_atlas_tags(self):
+        assert AccessTechnology.LTE.atlas_tag == "lte"
+        assert AccessTechnology.ETHERNET.atlas_tag == "ethernet"
+
+    def test_all_have_profiles(self):
+        for tech in AccessTechnology:
+            assert tech in PROFILES
+
+
+class TestFloors:
+    def test_ordering_matches_reality(self):
+        """Ethernet < fibre < wifi < cable < dsl < lte < satellite floors."""
+        floors = {tech: PROFILES[tech].floor_ms for tech in AccessTechnology}
+        assert floors[AccessTechnology.ETHERNET] < floors[AccessTechnology.FIBRE]
+        assert floors[AccessTechnology.CABLE] < floors[AccessTechnology.DSL]
+        assert floors[AccessTechnology.DSL] < floors[AccessTechnology.LTE]
+        assert floors[AccessTechnology.LTE] < floors[AccessTechnology.SATELLITE]
+
+    def test_tier_scaling(self):
+        for tech in AccessTechnology:
+            assert floor_ms(tech, 4) > floor_ms(tech, 1)
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(NetworkModelError):
+            floor_ms(AccessTechnology.DSL, 7)
+
+    def test_lte_floor_in_paper_band(self):
+        """Prior work: wireless adds 10-40 ms; LTE's floor sits in-band."""
+        assert 10.0 <= floor_ms(AccessTechnology.LTE, 1) <= 40.0
+
+
+class TestSampling:
+    @given(tech_strategy, tier_strategy, st.floats(0.0, 0.9))
+    @settings(max_examples=100)
+    def test_sample_at_least_floor(self, tech, tier, utilization):
+        rng = stream(1, "test", tech.value, tier)
+        value = sample_ms(tech, tier, rng, utilization)
+        assert value >= floor_ms(tech, tier) - 1e-9
+
+    def test_bad_utilization_rejected(self):
+        rng = stream(1, "x")
+        with pytest.raises(NetworkModelError):
+            sample_ms(AccessTechnology.DSL, 1, rng, utilization=1.0)
+
+    def test_congestion_increases_mean(self):
+        rng1 = stream(2, "a")
+        rng2 = stream(2, "a")
+        idle = np.mean([sample_ms(AccessTechnology.DSL, 2, rng1, 0.0) for _ in range(800)])
+        busy = np.mean([sample_ms(AccessTechnology.DSL, 2, rng2, 0.8) for _ in range(800)])
+        assert busy > idle
+
+    def test_wireless_mean_far_above_wired(self):
+        """The raw material of the paper's 2.5x wireless penalty."""
+        rng_w = stream(3, "wired")
+        rng_l = stream(3, "wireless")
+        wired = np.mean(
+            [sample_ms(AccessTechnology.ETHERNET, 1, rng_w, 0.3) for _ in range(800)]
+        )
+        wireless = np.mean(
+            [sample_ms(AccessTechnology.LTE, 1, rng_l, 0.3) for _ in range(800)]
+        )
+        assert wireless > wired + 20.0
+
+    def test_satellite_dominates_everything(self):
+        rng = stream(4, "sat")
+        value = sample_ms(AccessTechnology.SATELLITE, 1, rng, 0.0)
+        assert value > 400.0
+
+
+class TestTechMix:
+    def test_mixes_normalized(self):
+        for tier, mix in TECH_MIX.items():
+            assert sum(weight for _, weight in mix) == pytest.approx(1.0), tier
+
+    def test_all_tiers_present(self):
+        assert set(TECH_MIX) == set(TIER_SCALE) == {1, 2, 3, 4}
+
+    def test_choose_technology_deterministic(self):
+        a = choose_technology(2, stream(5, "mix"))
+        b = choose_technology(2, stream(5, "mix"))
+        assert a == b
+
+    def test_poor_tiers_more_wireless(self):
+        """Tier 4 fleets skew wireless compared to tier 1."""
+        def wireless_share(tier):
+            rng = stream(6, "share", tier)
+            picks = [choose_technology(tier, rng) for _ in range(1500)]
+            return sum(1 for t in picks if t.is_wireless) / len(picks)
+
+        assert wireless_share(4) > wireless_share(1) + 0.1
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(NetworkModelError):
+            choose_technology(0, stream(1, "x"))

@@ -1,0 +1,106 @@
+"""Tests for repro.net.loss."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetworkModelError
+from repro.net.lastmile import AccessTechnology
+from repro.net.loss import packet_loss_probability, packets_received
+from repro.net.rng import stream
+
+tech_strategy = st.sampled_from(list(AccessTechnology))
+tier_strategy = st.sampled_from([1, 2, 3, 4])
+
+
+class TestLossProbability:
+    @given(tech_strategy, tier_strategy, st.floats(0.0, 0.9))
+    @settings(max_examples=100)
+    def test_valid_probability(self, tech, tier, rho):
+        p = packet_loss_probability(tech, tier, rho)
+        assert 0.0 <= p <= 0.5
+
+    def test_wireless_lossier_than_wired(self):
+        wired = packet_loss_probability(AccessTechnology.ETHERNET, 1)
+        wireless = packet_loss_probability(AccessTechnology.LTE, 1)
+        assert wireless > wired
+
+    def test_congestion_increases_loss(self):
+        idle = packet_loss_probability(AccessTechnology.DSL, 2, 0.0)
+        busy = packet_loss_probability(AccessTechnology.DSL, 2, 0.8)
+        assert busy > idle
+
+    def test_bad_utilization_rejected(self):
+        with pytest.raises(NetworkModelError):
+            packet_loss_probability(AccessTechnology.DSL, 1, 1.5)
+
+    def test_bad_tier_rejected(self):
+        with pytest.raises(NetworkModelError):
+            packet_loss_probability(AccessTechnology.DSL, 0)
+
+
+class TestGilbertElliott:
+    def test_zero_loss(self):
+        from repro.net.loss import gilbert_elliott_losses
+
+        rng = stream(1, "ge0")
+        assert gilbert_elliott_losses(3, 0.0, rng) == 0
+
+    def test_average_matches_target(self):
+        from repro.net.loss import gilbert_elliott_losses
+
+        rng = stream(2, "ge-avg")
+        target = 0.05
+        sent = 10
+        total_lost = sum(
+            gilbert_elliott_losses(sent, target, rng) for _ in range(4000)
+        )
+        observed = total_lost / (4000 * sent)
+        assert observed == pytest.approx(target, rel=0.25)
+
+    def test_losses_are_bursty(self):
+        """All-three-lost pings are far likelier than under independence."""
+        from repro.net.loss import gilbert_elliott_losses
+
+        rng = stream(3, "ge-burst")
+        target = 0.05
+        trials = 20_000
+        all_lost = sum(
+            1 for _ in range(trials)
+            if gilbert_elliott_losses(3, target, rng) == 3
+        )
+        independent_rate = target**3
+        assert all_lost / trials > 5 * independent_rate
+
+    def test_invalid_sent(self):
+        from repro.net.loss import gilbert_elliott_losses
+
+        with pytest.raises(NetworkModelError):
+            gilbert_elliott_losses(0, 0.1, stream(1, "x"))
+
+    def test_extreme_target_clamped(self):
+        from repro.net.loss import gilbert_elliott_losses
+
+        rng = stream(4, "ge-hi")
+        lost = gilbert_elliott_losses(3, 0.9, rng)
+        assert 0 <= lost <= 3
+
+
+class TestPacketsReceived:
+    def test_bounds(self):
+        rng = stream(1, "loss")
+        for _ in range(100):
+            received = packets_received(3, AccessTechnology.LTE, 4, 0.5, rng)
+            assert 0 <= received <= 3
+
+    def test_zero_sent_rejected(self):
+        with pytest.raises(NetworkModelError):
+            packets_received(0, AccessTechnology.DSL, 1, 0.0, stream(1, "x"))
+
+    def test_ethernet_rarely_loses(self):
+        rng = stream(2, "eth")
+        total = sum(
+            packets_received(3, AccessTechnology.ETHERNET, 1, 0.1, rng)
+            for _ in range(500)
+        )
+        assert total >= 1480  # <~1.5% loss over 1500 packets

@@ -1,0 +1,155 @@
+"""Tests for repro.net.pathmodel — the LatencyModel contract."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkModelError
+from repro.geo.coordinates import LatLon
+from repro.geo.countries import get_country
+from repro.net.lastmile import AccessTechnology
+from repro.net.pathmodel import (
+    PUBLIC_INTERNET,
+    EndpointAdjustment,
+    LatencyModel,
+    PingObservation,
+)
+
+MUNICH = LatLon(48.1, 11.6)
+FRANKFURT = LatLon(50.1, 8.7)
+T0 = 1_567_296_000
+
+
+@pytest.fixture(scope="module")
+def model() -> LatencyModel:
+    return LatencyModel(seed=11)
+
+
+def _ping(model, timestamp=T0, packets=3, tech=AccessTechnology.ETHERNET, rng=None):
+    germany = get_country("DE")
+    return model.ping(
+        MUNICH, germany, tech, FRANKFURT, germany, timestamp,
+        origin_id=1, target_id="aws:eu-central-1", packets=packets, rng=rng,
+    )
+
+
+class TestPingObservation:
+    def test_properties(self):
+        obs = PingObservation(timestamp=1, sent=3, received=2, rtts_ms=(5.0, 7.0))
+        assert obs.succeeded
+        assert obs.rtt_min == 5.0
+        assert obs.rtt_max == 7.0
+        assert obs.rtt_avg == 6.0
+        assert obs.loss_rate == pytest.approx(1 / 3)
+
+    def test_failed_observation(self):
+        obs = PingObservation(timestamp=1, sent=3, received=0, rtts_ms=())
+        assert not obs.succeeded
+        assert np.isnan(obs.rtt_min)
+
+    def test_rtts_must_match_received(self):
+        with pytest.raises(NetworkModelError):
+            PingObservation(timestamp=1, sent=3, received=2, rtts_ms=(5.0,))
+
+    def test_cannot_receive_more_than_sent(self):
+        with pytest.raises(NetworkModelError):
+            PingObservation(timestamp=1, sent=1, received=2, rtts_ms=(1.0, 2.0))
+
+
+class TestEndpointAdjustment:
+    def test_public_internet_is_identity(self):
+        assert PUBLIC_INTERNET.path_factor == 1.0
+        assert PUBLIC_INTERNET.peering_factor == 1.0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(NetworkModelError):
+            EndpointAdjustment(path_factor=0.0)
+        with pytest.raises(NetworkModelError):
+            EndpointAdjustment(peering_factor=-1.0)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_observation(self, model):
+        assert _ping(model) == _ping(model)
+
+    def test_different_timestamps_differ(self, model):
+        assert _ping(model, T0) != _ping(model, T0 + 3600)
+
+    def test_different_seeds_differ(self):
+        a = _ping(LatencyModel(seed=1))
+        b = _ping(LatencyModel(seed=2))
+        assert a != b
+
+    def test_route_cache_transparent(self, model):
+        germany = get_country("DE")
+        first = model.route(MUNICH, germany, FRANKFURT, germany)
+        second = model.route(MUNICH, germany, FRANKFURT, germany)
+        assert first is second  # cached object
+
+
+class TestFloor:
+    def test_samples_never_beat_floor(self, model):
+        germany = get_country("DE")
+        floor = model.floor_rtt_ms(
+            MUNICH, germany, AccessTechnology.ETHERNET, FRANKFURT, germany
+        )
+        for k in range(60):
+            obs = _ping(model, T0 + k * 10_800)
+            if obs.succeeded:
+                assert obs.rtt_min >= floor - 1e-6
+
+    def test_min_converges_near_floor(self, model):
+        germany = get_country("DE")
+        floor = model.floor_rtt_ms(
+            MUNICH, germany, AccessTechnology.ETHERNET, FRANKFURT, germany
+        )
+        best = min(
+            _ping(model, T0 + k * 10_800).rtt_min
+            for k in range(200)
+            if _ping(model, T0 + k * 10_800).succeeded
+        )
+        assert best <= floor * 1.6
+
+    def test_wireless_floor_higher(self, model):
+        germany = get_country("DE")
+        wired = model.floor_rtt_ms(
+            MUNICH, germany, AccessTechnology.ETHERNET, FRANKFURT, germany
+        )
+        wireless = model.floor_rtt_ms(
+            MUNICH, germany, AccessTechnology.LTE, FRANKFURT, germany
+        )
+        assert wireless > wired + 10.0
+
+
+class TestAdjustments:
+    def test_private_backbone_lowers_transit(self, model):
+        nigeria = get_country("NG")
+        gb = get_country("GB")
+        lagos, london = LatLon(6.5, 3.4), LatLon(51.5, -0.1)
+        public = model.transit_floor_ms(lagos, nigeria, london, gb)
+        private = model.transit_floor_ms(
+            lagos, nigeria, london, gb,
+            EndpointAdjustment(path_factor=0.95, peering_factor=0.55),
+        )
+        assert private < public
+
+
+class TestPingMechanics:
+    def test_packet_count_respected(self, model):
+        obs = _ping(model, packets=5)
+        assert obs.sent == 5
+
+    def test_zero_packets_rejected(self, model):
+        with pytest.raises(NetworkModelError):
+            _ping(model, packets=0)
+
+    def test_caller_rng_is_deterministic(self, model):
+        from repro.net.rng import stream
+
+        a = _ping(model, rng=stream(9, "flow"))
+        b = _ping(model, rng=stream(9, "flow"))
+        assert a == b
+
+    def test_rtts_rounded(self, model):
+        obs = _ping(model)
+        for rtt in obs.rtts_ms:
+            assert round(rtt, 3) == rtt

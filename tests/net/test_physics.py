@@ -1,0 +1,76 @@
+"""Tests for repro.net.physics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NetworkModelError
+from repro.net.physics import (
+    DATACENTER_INTERNAL_RTT_MS,
+    RTT_MS_PER_KM,
+    estimate_hop_count,
+    hop_rtt_ms,
+    propagation_rtt_ms,
+    wire_rtt_ms,
+)
+
+
+class TestPropagation:
+    def test_hundred_km_is_one_ms(self):
+        # 2/3 c fiber: 100 km of one-way path costs 1 ms of RTT.
+        assert propagation_rtt_ms(100.0) == pytest.approx(1.0)
+
+    def test_zero(self):
+        assert propagation_rtt_ms(0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(NetworkModelError):
+            propagation_rtt_ms(-1.0)
+
+    def test_transatlantic_plausible(self):
+        # ~6500 km of cable should cost ~65 ms of RTT by propagation alone.
+        assert propagation_rtt_ms(6500.0) == pytest.approx(65.0)
+
+
+class TestHops:
+    def test_metro_path_few_hops(self):
+        assert estimate_hop_count(3.0) == 4
+
+    def test_intercontinental_path_many_hops(self):
+        assert 15 <= estimate_hop_count(12_000.0) <= 26
+
+    def test_monotone_in_distance(self):
+        hops = [estimate_hop_count(d) for d in (1, 10, 100, 1000, 10_000)]
+        assert hops == sorted(hops)
+
+    def test_capped(self):
+        assert estimate_hop_count(1e9) == 26
+
+    def test_negative_rejected(self):
+        with pytest.raises(NetworkModelError):
+            estimate_hop_count(-5.0)
+
+    def test_hop_rtt_positive(self):
+        assert hop_rtt_ms(500.0) > 0
+
+
+class TestWireRtt:
+    def test_composition(self):
+        path_km = 800.0
+        expected = (
+            path_km * RTT_MS_PER_KM
+            + hop_rtt_ms(path_km)
+            + DATACENTER_INTERNAL_RTT_MS
+        )
+        assert wire_rtt_ms(path_km) == pytest.approx(expected)
+
+    @given(st.floats(0, 40_000))
+    @settings(max_examples=100)
+    def test_exceeds_propagation(self, path_km):
+        assert wire_rtt_ms(path_km) > propagation_rtt_ms(path_km)
+
+    @given(st.floats(0, 20_000), st.floats(0, 20_000))
+    @settings(max_examples=100)
+    def test_monotone(self, a, b):
+        lo, hi = sorted((a, b))
+        assert wire_rtt_ms(lo) <= wire_rtt_ms(hi) + 1e-9

@@ -1,0 +1,95 @@
+"""Property-based invariants of the routing and latency models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.coordinates import LatLon, destination_point
+from repro.geo.countries import all_countries
+from repro.net.lastmile import AccessTechnology
+from repro.net.pathmodel import LatencyModel
+from repro.net.physics import wire_rtt_ms
+from repro.net.topology import default_transit_model
+
+_COUNTRIES = all_countries()
+
+country_strategy = st.sampled_from(_COUNTRIES)
+bearing_strategy = st.floats(0.0, 359.9)
+offset_strategy = st.floats(0.0, 400.0)
+
+
+def _point_near(country, bearing, offset) -> LatLon:
+    point = destination_point(country.centroid, bearing, offset)
+    lat = min(max(point.lat, -89.0), 89.0)
+    return LatLon(lat, point.lon)
+
+
+class TestRouteInvariants:
+    @given(country_strategy, country_strategy, bearing_strategy, offset_strategy)
+    @settings(max_examples=150, deadline=None)
+    def test_path_never_beats_great_circle(self, a, b, bearing, offset):
+        """Physical lower bound: no route is shorter than the geodesic."""
+        model = default_transit_model()
+        origin = _point_near(a, bearing, offset)
+        target = b.centroid
+        route = model.route(origin, a, target, b)
+        crow = origin.distance_km(target)
+        assert route.path_km >= crow * 0.999
+
+    @given(country_strategy, country_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_floor_bounded_below_by_physics(self, a, b):
+        model = default_transit_model()
+        route = model.route(a.centroid, a, b.centroid, b)
+        crow = a.centroid.distance_km(b.centroid)
+        assert route.floor_rtt_ms >= wire_rtt_ms(crow) - 1e-9
+
+    @given(country_strategy, country_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_floor_positive_and_finite(self, a, b):
+        model = default_transit_model()
+        route = model.route(a.centroid, a, b.centroid, b)
+        assert 0.0 < route.floor_rtt_ms < 1_000.0
+
+    @given(country_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_domestic_kind_for_same_country(self, country):
+        model = default_transit_model()
+        route = model.route(
+            country.centroid, country, country.centroid, country
+        )
+        assert route.kind == "domestic"
+
+
+class TestLatencyModelInvariants:
+    @given(
+        country_strategy,
+        country_strategy,
+        st.sampled_from(list(AccessTechnology)),
+        st.integers(1_567_296_000, 1_590_000_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_ping_rtts_respect_floor(self, a, b, tech, timestamp):
+        model = LatencyModel(seed=77)
+        floor = model.floor_rtt_ms(a.centroid, a, tech, b.centroid, b)
+        obs = model.ping(
+            a.centroid, a, tech, b.centroid, b, timestamp,
+            origin_id=1, target_id="prop", packets=3,
+        )
+        for rtt in obs.rtts_ms:
+            assert rtt >= floor - 1e-6
+
+    @given(country_strategy, st.integers(1_567_296_000, 1_570_000_000))
+    @settings(max_examples=60, deadline=None)
+    def test_wireless_floor_dominates_wired(self, country, timestamp):
+        model = LatencyModel(seed=78)
+        target = _COUNTRIES[0]
+        wired = model.floor_rtt_ms(
+            country.centroid, country, AccessTechnology.ETHERNET,
+            target.centroid, target,
+        )
+        wireless = model.floor_rtt_ms(
+            country.centroid, country, AccessTechnology.LTE,
+            target.centroid, target,
+        )
+        assert wireless > wired

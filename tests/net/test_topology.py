@@ -1,0 +1,139 @@
+"""Tests for repro.net.topology — routing behaviour drives every figure."""
+
+import pytest
+
+from repro.geo.coordinates import LatLon
+from repro.geo.countries import get_country
+from repro.net.topology import (
+    DOMESTIC_INFLATION,
+    TIER_PEERING_RTT_MS,
+    TransitModel,
+    default_transit_model,
+)
+
+
+@pytest.fixture(scope="module")
+def model() -> TransitModel:
+    return default_transit_model()
+
+
+class TestConstruction:
+    def test_default_is_cached(self):
+        assert default_transit_model() is default_transit_model()
+
+    def test_every_country_has_gateways(self, model):
+        from repro.geo.countries import all_countries
+
+        for country in all_countries():
+            assert model.gateways_for(country), country.iso2
+
+    def test_gateway_path_symmetric(self, model):
+        assert model.gateway_path_km("london", "tokyo") == pytest.approx(
+            model.gateway_path_km("tokyo", "london")
+        )
+
+    def test_domestic_gateways_all_available(self, model):
+        """A country owning gateways enters/exits through all of them."""
+        us_gateways = set(model.gateways_for(get_country("US")))
+        assert {"miami", "seattle", "new-york", "los-angeles"} <= us_gateways
+
+    def test_override_wins_over_domestic(self, model):
+        # Australia has a curated override (sydney, perth).
+        assert set(model.gateways_for(get_country("AU"))) == {"sydney", "perth"}
+
+    def test_gateway_path_triangle(self, model):
+        direct = model.gateway_path_km("london", "singapore")
+        via = model.gateway_path_km("london", "mumbai") + model.gateway_path_km(
+            "mumbai", "singapore"
+        )
+        assert direct <= via + 1e-6
+
+
+class TestDomesticRoutes:
+    def test_same_country_is_domestic(self, model):
+        germany = get_country("DE")
+        route = model.route(LatLon(48.1, 11.6), germany, LatLon(50.1, 8.7), germany)
+        assert route.kind == "domestic"
+
+    def test_domestic_inflation_applied(self, model):
+        germany = get_country("DE")
+        a, b = LatLon(48.1, 11.6), LatLon(50.1, 8.7)
+        route = model.route(a, germany, b, germany)
+        assert route.path_km == pytest.approx(
+            a.distance_km(b) * DOMESTIC_INFLATION[germany.infra_tier]
+        )
+
+    def test_tier4_domestic_slower_than_tier1(self, model):
+        a, b = LatLon(9.0, 7.0), LatLon(6.5, 3.4)
+        nigeria = get_country("NG")
+        route_ng = model.route(a, nigeria, b, nigeria)
+        # Same geometry inside a tier-1 country would be much faster.
+        assert route_ng.path_km > a.distance_km(b) * 2.0
+
+
+class TestInternationalRoutes:
+    def test_europe_short_hop(self, model):
+        # Vienna-ish probe to a Frankfurt datacenter: ~10 ms floor.
+        route = model.route(
+            LatLon(48.2, 16.4), get_country("AT"), LatLon(50.1, 8.7), get_country("DE")
+        )
+        assert 5.0 <= route.floor_rtt_ms <= 15.0
+
+    def test_direct_shortcut_beats_trombone(self, model):
+        """Vancouver to an Oregon datacenter must not detour via Toronto."""
+        route = model.route(
+            LatLon(49.3, -123.1),
+            get_country("CA"),
+            LatLon(45.8, -119.7),
+            get_country("US"),
+        )
+        assert route.kind == "direct"
+        assert route.floor_rtt_ms < 15.0
+
+    def test_no_direct_shortcut_for_tier4(self, model):
+        """African cross-border traffic trombones through its gateways."""
+        route = model.route(
+            LatLon(0.3, 32.6),  # Kampala
+            get_country("UG"),
+            LatLon(-1.3, 36.8),  # Nairobi
+            get_country("KE"),
+        )
+        assert route.kind == "gateway"
+
+    def test_africa_to_europe_floor_band(self, model):
+        # Lagos to a London datacenter: tens of ms, under 120.
+        route = model.route(
+            LatLon(6.5, 3.4), get_country("NG"), LatLon(51.5, -0.1), get_country("GB")
+        )
+        assert 50.0 <= route.floor_rtt_ms <= 120.0
+
+    def test_transpacific_floor_band(self, model):
+        route = model.route(
+            LatLon(35.7, 139.7), get_country("JP"),
+            LatLon(37.3, -121.9), get_country("US"),
+        )
+        assert 85.0 <= route.floor_rtt_ms <= 160.0
+
+    def test_peering_penalty_charged(self, model):
+        route = model.route(
+            LatLon(6.5, 3.4), get_country("NG"), LatLon(51.5, -0.1), get_country("GB")
+        )
+        assert route.peering_ms >= TIER_PEERING_RTT_MS[4]
+
+    def test_floor_positive_everywhere(self, model):
+        from repro.geo.countries import countries_with_probes
+
+        london = LatLon(51.5, -0.1)
+        gb = get_country("GB")
+        for country in countries_with_probes()[:40]:
+            route = model.route(country.centroid, country, london, gb)
+            assert route.floor_rtt_ms > 0
+
+    def test_route_prefers_cheapest_gateway_pair(self, model):
+        """Brazil reaches Miami via Fortaleza, not via Buenos Aires."""
+        route = model.route(
+            LatLon(-23.5, -46.6), get_country("BR"),
+            LatLon(25.8, -80.2), get_country("US"),
+        )
+        assert route.kind in ("gateway", "direct")
+        assert route.floor_rtt_ms < 120.0

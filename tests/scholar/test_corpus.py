@@ -1,0 +1,80 @@
+"""Tests for repro.scholar.corpus."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.scholar.corpus import (
+    FIRST_YEAR,
+    LAST_YEAR,
+    iter_publications,
+    known_keywords,
+    make_publication,
+    publication_count,
+    yearly_counts,
+)
+
+
+class TestCounts:
+    def test_known_keywords(self):
+        assert "cloud computing" in known_keywords()
+        assert "edge computing" in known_keywords()
+
+    def test_unknown_keyword(self):
+        with pytest.raises(ReproError):
+            publication_count("quantum blockchain", 2019)
+
+    def test_zero_before_start(self):
+        assert publication_count("edge computing", 2005) == 0
+
+    def test_cloud_grows_through_2012(self):
+        counts = [publication_count("cloud computing", y) for y in range(2008, 2013)]
+        assert counts == sorted(counts)
+        assert counts[-1] > counts[0] * 3
+
+    def test_edge_rises_late(self):
+        """Edge is negligible in 2012 and substantial by 2019 (Figure 1)."""
+        assert publication_count("edge computing", 2012) < 200
+        assert publication_count("edge computing", 2019) > 5_000
+
+    def test_cloud_dwarfs_edge_in_2015(self):
+        assert publication_count("cloud computing", 2015) > publication_count(
+            "edge computing", 2015
+        ) * 5
+
+    def test_yearly_counts_span(self):
+        counts = yearly_counts("cloud computing")
+        assert set(counts) == set(range(FIRST_YEAR, LAST_YEAR + 1))
+
+    def test_yearly_counts_validates_range(self):
+        with pytest.raises(ReproError):
+            yearly_counts("cloud computing", 2019, 2004)
+
+
+class TestRecords:
+    def test_deterministic(self):
+        a = make_publication("edge computing", 2018, 5, seed=1)
+        b = make_publication("edge computing", 2018, 5, seed=1)
+        assert a == b
+
+    def test_index_bounds_checked(self):
+        total = publication_count("edge computing", 2018)
+        with pytest.raises(ReproError):
+            make_publication("edge computing", 2018, total)
+
+    def test_identifier_unique(self):
+        ids = {
+            make_publication("edge computing", 2018, i).identifier for i in range(50)
+        }
+        assert len(ids) == 50
+
+    def test_fields_plausible(self):
+        pub = make_publication("cloud computing", 2015, 0)
+        assert pub.year == 2015
+        assert 1 <= pub.num_authors <= 8
+        assert pub.citations >= 0
+        assert "cloud computing" in pub.title
+
+    def test_iter_publications_offset(self):
+        first_ten = list(iter_publications("edge computing", 2018))[:10]
+        from_five = next(iter(iter_publications("edge computing", 2018, start=5)))
+        assert from_five == first_ten[5]

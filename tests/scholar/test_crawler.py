@@ -1,0 +1,65 @@
+"""Tests for repro.scholar.crawler."""
+
+import pytest
+
+from repro.errors import CrawlerError, ReproError
+from repro.scholar.corpus import publication_count
+from repro.scholar.crawler import ScholarCrawler
+
+
+class TestPaging:
+    def test_page_shape(self):
+        crawler = ScholarCrawler(seed=1)
+        page = crawler.fetch_page("edge computing", 2016)
+        assert page.total_estimate == publication_count("edge computing", 2016)
+        assert len(page.entries) == crawler.page_size
+        assert page.has_next
+
+    def test_pagination_is_complete_and_unique(self):
+        crawler = ScholarCrawler(seed=1, page_size=25)
+        year = 2010  # small edge year
+        records = list(crawler.crawl_year("edge computing", year))
+        assert len(records) == publication_count("edge computing", year)
+        assert len({r.identifier for r in records}) == len(records)
+
+    def test_max_records_cap(self):
+        crawler = ScholarCrawler(seed=1)
+        records = list(crawler.crawl_year("cloud computing", 2015, max_records=23))
+        assert len(records) == 23
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ReproError):
+            ScholarCrawler(seed=1).fetch_page("edge computing", 2016, start=-1)
+
+    def test_bad_page_size_rejected(self):
+        with pytest.raises(ReproError):
+            ScholarCrawler(page_size=0)
+
+
+class TestBudget:
+    def test_captcha_wall(self):
+        crawler = ScholarCrawler(seed=1, request_budget=3)
+        crawler.count_results("edge computing", 2016)
+        crawler.count_results("edge computing", 2017)
+        crawler.count_results("edge computing", 2018)
+        with pytest.raises(CrawlerError):
+            crawler.count_results("edge computing", 2019)
+
+    def test_requests_counted(self):
+        crawler = ScholarCrawler(seed=1)
+        crawler.yearly_counts("edge computing", 2015, 2019)
+        assert crawler.requests_made == 5
+
+
+class TestAnalysisHelpers:
+    def test_yearly_counts_matches_corpus(self):
+        crawler = ScholarCrawler(seed=1)
+        series = crawler.yearly_counts("cloud computing", 2008, 2012)
+        for year, count in series.items():
+            assert count == publication_count("cloud computing", year)
+
+    def test_top_cited_sorted(self):
+        crawler = ScholarCrawler(seed=1, page_size=100, request_budget=10_000)
+        top = crawler.top_cited("edge computing", 2011, n=5)
+        citations = [pub.citations for pub in top]
+        assert citations == sorted(citations, reverse=True)

@@ -1,0 +1,72 @@
+"""Tests for repro.scholar.export."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.scholar.corpus import make_publication
+from repro.scholar.export import (
+    citation_key,
+    export_bibtex,
+    export_csv,
+    to_bibtex,
+)
+
+
+@pytest.fixture
+def publication():
+    return make_publication("edge computing", 2018, 42, seed=1)
+
+
+class TestCitationKeys:
+    def test_stable(self, publication):
+        assert citation_key(publication) == citation_key(publication)
+
+    def test_unique_across_indices(self):
+        keys = {
+            citation_key(make_publication("edge computing", 2018, i))
+            for i in range(200)
+        }
+        assert len(keys) == 200
+
+    def test_contains_year_and_keyword(self, publication):
+        key = citation_key(publication)
+        assert "2018" in key
+        assert "edge" in key
+
+
+class TestBibtex:
+    def test_entry_structure(self, publication):
+        entry = to_bibtex(publication)
+        assert entry.startswith("@inproceedings{")
+        assert publication.title in entry
+        assert str(publication.year) in entry
+        assert entry.rstrip().endswith("}")
+
+    def test_author_count_matches(self, publication):
+        entry = to_bibtex(publication)
+        author_line = next(
+            line for line in entry.splitlines() if "author" in line
+        )
+        assert author_line.count(" and ") == publication.num_authors - 1
+
+    def test_batch_export(self):
+        pubs = [make_publication("edge computing", 2018, i) for i in range(3)]
+        body = export_bibtex(pubs)
+        assert body.count("@inproceedings{") == 3
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ReproError):
+            export_bibtex([])
+
+
+class TestCsv:
+    def test_rows(self):
+        pubs = [make_publication("cloud computing", 2012, i) for i in range(4)]
+        text = export_csv(pubs)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("key,title,authors")
+        assert len(lines) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            export_csv([])

@@ -1,0 +1,59 @@
+"""Tests for repro.scholar.trends."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.scholar.trends import monthly_series, normalized_series, yearly_average
+
+
+class TestMonthlySeries:
+    def test_deterministic(self):
+        assert monthly_series("edge computing", seed=4) == monthly_series(
+            "edge computing", seed=4
+        )
+
+    def test_unknown_keyword(self):
+        with pytest.raises(ReproError):
+            monthly_series("metaverse")
+
+    def test_monthly_resolution(self):
+        series = monthly_series("cloud computing", 2010, 2011)
+        assert len(series) == 24
+
+    def test_non_negative(self):
+        assert all(v >= 0 for _, v in monthly_series("cloud computing"))
+
+    def test_invalid_range(self):
+        with pytest.raises(ReproError):
+            monthly_series("cloud computing", 2019, 2004)
+
+
+class TestNormalization:
+    def test_peak_is_100(self):
+        series = normalized_series(["cloud computing", "edge computing"], seed=4)
+        peak = max(v for points in series.values() for _, v in points)
+        assert peak == pytest.approx(100.0)
+
+    def test_cloud_peaks_before_edge_catches_up(self):
+        """Figure 1 shape: cloud interest peaks ~2012 and declines; edge
+        climbs from ~2015 but stays below cloud's peak through 2019."""
+        series = normalized_series(["cloud computing", "edge computing"], seed=4)
+        cloud = yearly_average(series["cloud computing"])
+        edge = yearly_average(series["edge computing"])
+        cloud_peak_year = max(cloud, key=cloud.get)
+        assert 2011 <= cloud_peak_year <= 2013
+        assert cloud[2019] < cloud[cloud_peak_year]
+        assert edge[2019] > edge[2016] > edge[2015]
+        assert edge[2019] < 100.0
+
+    def test_edge_negligible_early(self):
+        series = normalized_series(["cloud computing", "edge computing"], seed=4)
+        edge = yearly_average(series["edge computing"])
+        assert edge[2010] == pytest.approx(0.0, abs=0.5)
+
+
+class TestYearlyAverage:
+    def test_collapses_months(self):
+        collapsed = yearly_average([(2010.0, 10.0), (2010.5, 20.0), (2011.0, 5.0)])
+        assert collapsed[2010] == pytest.approx(15.0)
+        assert collapsed[2011] == pytest.approx(5.0)

@@ -1,0 +1,70 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Each example is executed in-process (importing its ``main``) with stdout
+captured; only the faster examples are exercised — the SMALL-scale ones
+are covered by their underlying APIs elsewhere in the suite.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesPresent:
+    def test_at_least_seven_examples(self):
+        scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+        assert len(scripts) >= 7
+
+    def test_all_examples_have_docstrings_and_main(self):
+        for script in EXAMPLES_DIR.glob("*.py"):
+            text = script.read_text(encoding="utf-8")
+            assert '"""' in text, script.name
+            assert "def main()" in text, script.name
+            assert '__name__ == "__main__"' in text, script.name
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+        module = _load_example("quickstart.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Paper vs. measured" in out
+
+    def test_custom_measurement(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["custom_measurement.py"])
+        module = _load_example("custom_measurement.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "Ping results" in out
+        assert "Credits spent" in out
+
+    def test_core_vs_lastmile(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["core_vs_lastmile.py"])
+        module = _load_example("core_vs_lastmile.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "wireless_bottleneck" in out
+
+    def test_full_campaign_tiny(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setattr(
+            sys,
+            "argv",
+            ["full_campaign.py", "--scale", "tiny", "--out", str(tmp_path)],
+        )
+        module = _load_example("full_campaign.py")
+        module.main()
+        assert (tmp_path / "dataset.csv").exists()
+        assert (tmp_path / "fig6.json").exists()

@@ -1,0 +1,79 @@
+"""Tests for repro.viz.ascii."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.frame import Frame, ecdf
+from repro.viz.ascii import bar_chart, cdf_plot, hbar, line_chart, table
+
+
+class TestHbar:
+    def test_full_bar(self):
+        assert hbar(10, 10, width=10) == "█" * 10
+
+    def test_empty_bar(self):
+        assert hbar(0, 10, width=10).strip() == ""
+
+    def test_clamps_overflow(self):
+        assert hbar(20, 10, width=10) == "█" * 10
+
+    def test_zero_max_rejected(self):
+        with pytest.raises(ReproError):
+            hbar(1, 0)
+
+    def test_width_respected(self):
+        assert len(hbar(3, 10, width=25)) == 25
+
+
+class TestBarChart:
+    def test_renders_all_items(self):
+        chart = bar_chart({"EU": 8.0, "AF": 90.0})
+        assert "EU" in chart and "AF" in chart
+        assert chart.count("\n") == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            bar_chart({})
+
+
+class TestCdfPlot:
+    def test_renders_markers_and_legend(self):
+        curves = {"EU": ecdf([5.0, 8.0, 12.0]), "AF": ecdf([70.0, 90.0, 120.0])}
+        plot = cdf_plot(curves, x_max=150.0)
+        assert "E=EU" in plot
+        assert "A=AF" in plot
+        assert "1.00 |" in plot
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            cdf_plot({})
+
+    def test_duplicate_initial_letters_disambiguated(self):
+        curves = {"ASIA": ecdf([1.0]), "AFRICA": ecdf([2.0])}
+        plot = cdf_plot(curves, x_max=5.0)
+        assert "A=ASIA" in plot
+        assert "B=AFRICA" in plot
+
+
+class TestLineChart:
+    def test_renders(self):
+        chart = line_chart({"cloud": [(2004, 0.0), (2012, 100.0), (2019, 60.0)]})
+        assert "C=cloud" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            line_chart({})
+
+
+class TestTable:
+    def test_renders_header_and_rows(self):
+        frame = Frame({"country": ["DE", "FR"], "rtt": [5.1234, 9.5]})
+        text = table(frame)
+        lines = text.splitlines()
+        assert lines[0].startswith("country")
+        assert "5.12" in text
+
+    def test_truncation(self):
+        frame = Frame({"x": list(range(100))})
+        text = table(frame, max_rows=5)
+        assert "..." in text

@@ -1,0 +1,51 @@
+"""Tests for repro.viz.choropleth."""
+
+import pytest
+
+from repro.core.proximity import country_min_latency
+from repro.errors import ReproError
+from repro.viz.choropleth import BUCKET_SYMBOLS, bucket_listing, world_map
+
+
+@pytest.fixture(scope="module")
+def country_frame(tiny_dataset):
+    return country_min_latency(tiny_dataset)
+
+
+class TestBucketListing:
+    def test_all_buckets_rendered(self, country_frame):
+        listing = bucket_listing(country_frame)
+        for label in BUCKET_SYMBOLS:
+            assert label in listing
+
+    def test_counts_add_up(self, country_frame):
+        listing = bucket_listing(country_frame)
+        total = 0
+        for line in listing.splitlines():
+            if "countries):" in line:
+                total += int(line.split("(")[1].split()[0])
+        assert total == len(country_frame)
+
+    def test_bad_columns_rejected(self, country_frame):
+        with pytest.raises(ReproError):
+            bucket_listing(country_frame, columns=0)
+
+
+class TestWorldMap:
+    def test_dimensions(self, country_frame):
+        rendered = world_map(country_frame, width=60, height=20)
+        lines = rendered.splitlines()
+        assert len(lines) == 21  # grid + legend
+        assert all(len(line) == 60 for line in lines[:20])
+
+    def test_legend_present(self, country_frame):
+        rendered = world_map(country_frame)
+        assert "<10 ms" in rendered
+
+    def test_symbols_painted(self, country_frame):
+        rendered = world_map(country_frame)
+        assert any(symbol in rendered for symbol in BUCKET_SYMBOLS.values())
+
+    def test_bad_dimensions(self, country_frame):
+        with pytest.raises(ReproError):
+            world_map(country_frame, width=0)

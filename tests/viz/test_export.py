@@ -1,0 +1,43 @@
+"""Tests for repro.viz.export."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.frame import Frame, ecdf
+from repro.viz.export import ecdf_payload, export_figure, frame_payload, load_figure
+
+
+class TestPayloads:
+    def test_ecdf_payload_downsamples(self):
+        payload = ecdf_payload({"EU": ecdf(list(range(1000)))}, points=100)
+        assert len(payload["EU"]["x"]) == 100
+        assert payload["EU"]["p"][-1] == 1.0
+
+    def test_frame_payload_plain_types(self):
+        frame = Frame({"a": [1, 2], "b": ["x", "y"]})
+        payload = frame_payload(frame)
+        assert payload == {"a": [1, 2], "b": ["x", "y"]}
+
+
+class TestRoundTrip:
+    def test_export_and_load(self, tmp_path):
+        path = tmp_path / "fig5.json"
+        export_figure(
+            path,
+            figure="fig5",
+            data={"EU": [1, 2, 3]},
+            notes="test",
+        )
+        bundle = load_figure(path)
+        assert bundle["figure"] == "fig5"
+        assert bundle["data"]["EU"] == [1, 2, 3]
+
+    def test_figure_name_required(self, tmp_path):
+        with pytest.raises(ReproError):
+            export_figure(tmp_path / "x.json", figure="", data={})
+
+    def test_bad_bundle_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"not": "a bundle"}')
+        with pytest.raises(ReproError):
+            load_figure(path)
