@@ -1,0 +1,95 @@
+"""Resilience — the chaos-hardened collection pipeline.
+
+Two questions, answered with numbers:
+
+1. **Seam overhead** — the transport seam must be free when no faults are
+   attached: fetching results through a pass-through :class:`Transport`
+   is timed against calling the platform directly.
+2. **Convergence under chaos** — a TINY campaign is collected under each
+   fault profile; the flaky/outage datasets must be byte-identical to the
+   fault-free baseline, hostile identical up to its quarantine count, and
+   the per-profile fault/retry accounting is printed.
+"""
+
+import numpy as np
+from conftest import print_banner
+
+from repro.atlas.api.transport import Transport
+from repro.core.campaign import Campaign, CampaignScale
+from repro.core.completeness import collection_health
+
+BENCH_SEED = 7
+
+
+def _tiny_campaign(faults=None):
+    campaign = Campaign.from_paper(
+        scale=CampaignScale.TINY, seed=BENCH_SEED, faults=faults
+    )
+    campaign.create_measurements()
+    return campaign
+
+
+def test_seam_overhead(benchmark):
+    """Pass-through Transport vs direct platform calls on one window."""
+    campaign = _tiny_campaign()
+    platform = campaign.platform
+    transport = Transport(platform)
+    msm_ids = campaign.measurement_ids[:10]
+
+    def through_seam():
+        return sum(len(transport.results(m)) for m in msm_ids)
+
+    def direct():
+        return sum(len(platform.results(m)) for m in msm_ids)
+
+    baseline = direct()
+    fetched = benchmark.pedantic(through_seam, rounds=3, iterations=1)
+
+    print_banner("Resilience: transport seam overhead")
+    print(f"results fetched through seam: {fetched} (direct: {baseline})")
+    print("pass-through transport delegates directly; no injector, no retry")
+    assert fetched == baseline
+    assert transport.injector is None
+    assert transport.retry.retries == 0
+
+
+def test_convergence_under_chaos(benchmark):
+    """Collect the same TINY campaign under every fault profile."""
+    baseline = _tiny_campaign().collect()
+
+    def collect_all():
+        out = {}
+        for profile in ("flaky", "outage", "hostile"):
+            campaign = _tiny_campaign(faults=profile)
+            out[profile] = (campaign.collect(), collection_health(campaign))
+        return out
+
+    runs = benchmark.pedantic(collect_all, rounds=1, iterations=1)
+
+    print_banner("Resilience: convergence under chaos (TINY)")
+    print(f"{'profile':9s} {'samples':>8s} {'faults':>7s} {'retries':>8s} "
+          f"{'quarantined':>12s} {'sim sleep':>10s}")
+    print("-" * 60)
+    print(f"{'none':9s} {baseline.num_samples:>8d} {0:>7d} {0:>8d} "
+          f"{0:>12d} {'0.0s':>10s}")
+    for profile, (dataset, health) in runs.items():
+        transport = health["transport"]
+        print(f"{profile:9s} {dataset.num_samples:>8d} "
+              f"{sum(transport['faults'].values()):>7d} "
+              f"{transport['retries']:>8d} "
+              f"{health['quarantined']:>12d} "
+              f"{transport['simulated_sleep_s']:>9.0f}s")
+
+    for profile in ("flaky", "outage"):
+        dataset, health = runs[profile]
+        assert dataset.num_samples == baseline.num_samples
+        assert np.array_equal(
+            dataset.column("rtt_min"), baseline.column("rtt_min"),
+            equal_nan=True,
+        )
+        assert health["quarantined"] == 0
+
+    hostile, health = runs["hostile"]
+    deficit = baseline.num_samples - hostile.num_samples
+    assert 0 <= deficit <= health["quarantined"]
+    assert health["quarantined"] > 0

@@ -7,7 +7,15 @@ from repro.atlas.api.client import (
     MeasurementRequest,
     ProbeRequest,
     default_platform,
+    reset_default_platform,
 )
+from repro.atlas.api.retry import (
+    CircuitBreaker,
+    RetryEngine,
+    RetryPolicy,
+    SimulatedClock,
+)
+from repro.atlas.api.transport import Transport
 from repro.atlas.api.measurements import (
     DEFAULT_PING_PACKETS,
     MIN_INTERVAL_S,
@@ -24,13 +32,19 @@ __all__ = [
     "AtlasSource",
     "AtlasStopRequest",
     "AtlasStream",
+    "CircuitBreaker",
     "DEFAULT_PING_PACKETS",
     "MIN_INTERVAL_S",
     "MeasurementDefinition",
     "MeasurementRequest",
     "Ping",
     "ProbeRequest",
+    "RetryEngine",
+    "RetryPolicy",
+    "SimulatedClock",
     "Traceroute",
+    "Transport",
     "default_platform",
+    "reset_default_platform",
     "select_all",
 ]

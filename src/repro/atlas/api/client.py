@@ -10,36 +10,44 @@ Mirrors the ``ripe.atlas.cousteau`` API surface the paper's tooling used:
 
 Each ``create()`` returns ``(is_success, response)`` exactly like
 cousteau, so analysis code ports across with only the import changed.
-The transport is an in-process :class:`~repro.atlas.platform.AtlasPlatform`
-instead of HTTPS; pass one explicitly or rely on the process-wide default.
+Requests reach the in-process :class:`~repro.atlas.platform.AtlasPlatform`
+through a :class:`~repro.atlas.api.transport.Transport` seam (where a
+live deployment would put HTTPS, and where chaos testing injects
+faults); pass a platform or transport explicitly or rely on the
+process-wide default.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Iterator, List, Sequence, Tuple
 
 from repro.atlas.api.measurements import MeasurementDefinition
 from repro.atlas.api.sources import AtlasSource
+from repro.atlas.api.transport import (
+    Transport,
+    default_platform,
+    reset_default_platform,
+)
 from repro.atlas.platform import DEFAULT_KEY, AtlasPlatform
-from repro.errors import AtlasAPIError, AtlasError
-
-
-@lru_cache(maxsize=1)
-def default_platform() -> AtlasPlatform:
-    """Process-wide default platform (seed 0), built on first use."""
-    return AtlasPlatform(seed=0)
+from repro.errors import AtlasAPIError, AtlasError, TransportError
 
 
 class _BaseRequest:
-    """Shared plumbing: resolve the platform to talk to."""
+    """Shared plumbing: resolve the transport to talk through."""
 
-    def __init__(self, platform: AtlasPlatform = None):
-        self._platform = platform if platform is not None else default_platform()
+    def __init__(self, platform: AtlasPlatform = None, transport: Transport = None):
+        if transport is not None:
+            self._transport = transport
+        else:
+            self._transport = Transport(platform)
+
+    @property
+    def transport(self) -> Transport:
+        return self._transport
 
     @property
     def platform(self) -> AtlasPlatform:
-        return self._platform
+        return self._transport.platform
 
 
 class AtlasCreateRequest(_BaseRequest):
@@ -55,8 +63,9 @@ class AtlasCreateRequest(_BaseRequest):
         key: str = DEFAULT_KEY,
         is_oneoff: bool = False,
         platform: AtlasPlatform = None,
+        transport: Transport = None,
     ):
-        super().__init__(platform)
+        super().__init__(platform, transport)
         if not measurements:
             raise AtlasError("at least one measurement is required")
         if not sources:
@@ -77,7 +86,7 @@ class AtlasCreateRequest(_BaseRequest):
                     definition.is_oneoff = True
                     definition.interval = None
                 struct = definition.build_api_struct()
-                msm_id = self.platform.create_measurement(
+                msm_id = self.transport.create_measurement(
                     struct,
                     self.sources,
                     self.start_time,
@@ -101,8 +110,9 @@ class AtlasResultsRequest(_BaseRequest):
         stop: int = None,
         probe_ids: Sequence[int] = None,
         platform: AtlasPlatform = None,
+        transport: Transport = None,
     ):
-        super().__init__(platform)
+        super().__init__(platform, transport)
         self.msm_id = int(msm_id)
         self.start = start
         self.stop = stop
@@ -110,28 +120,39 @@ class AtlasResultsRequest(_BaseRequest):
 
     def create(self) -> Tuple[bool, List[dict]]:
         try:
-            results = self.platform.results(
+            results = self.transport.results(
                 self.msm_id, self.start, self.stop, self.probe_ids
             )
-        except AtlasAPIError as exc:
+        except (AtlasAPIError, TransportError) as exc:
             return False, [{"error": {"detail": str(exc)}}]
         return True, results
 
 
 class AtlasStopRequest(_BaseRequest):
-    """Stop an ongoing measurement."""
+    """Stop an ongoing measurement.
+
+    ``at`` is the Unix timestamp at which the stop takes effect (results
+    scheduled after it are never generated); omit it to cancel outright.
+    """
 
     def __init__(
-        self, *, msm_id: int, key: str = DEFAULT_KEY, platform: AtlasPlatform = None
+        self,
+        *,
+        msm_id: int,
+        key: str = DEFAULT_KEY,
+        at: int = None,
+        platform: AtlasPlatform = None,
+        transport: Transport = None,
     ):
-        super().__init__(platform)
+        super().__init__(platform, transport)
         self.msm_id = int(msm_id)
         self.key = key
+        self.at = at
 
     def create(self) -> Tuple[bool, dict]:
         try:
-            self.platform.stop_measurement(self.msm_id, key=self.key)
-        except AtlasAPIError as exc:
+            self.transport.stop_measurement(self.msm_id, key=self.key, at=self.at)
+        except (AtlasAPIError, TransportError) as exc:
             return False, {"error": {"detail": str(exc)}}
         return True, {}
 
@@ -139,12 +160,18 @@ class AtlasStopRequest(_BaseRequest):
 class MeasurementRequest(_BaseRequest):
     """Measurement metadata lookup."""
 
-    def __init__(self, *, msm_id: int, platform: AtlasPlatform = None):
-        super().__init__(platform)
+    def __init__(
+        self,
+        *,
+        msm_id: int,
+        platform: AtlasPlatform = None,
+        transport: Transport = None,
+    ):
+        super().__init__(platform, transport)
         self.msm_id = int(msm_id)
 
     def get(self) -> dict:
-        return self.platform.measurement(self.msm_id).as_api_dict()
+        return self.transport.measurement(self.msm_id).as_api_dict()
 
 
 class ProbeRequest(_BaseRequest):
@@ -162,20 +189,24 @@ class ProbeRequest(_BaseRequest):
         tags: Sequence[str] = None,
         is_anchor: bool = None,
         platform: AtlasPlatform = None,
+        transport: Transport = None,
     ):
-        super().__init__(platform)
+        super().__init__(platform, transport)
         self.country_code = country_code
         self.tags = list(tags) if tags else None
         self.is_anchor = is_anchor
 
-    def __iter__(self) -> Iterator[dict]:
-        probes = self.platform.filter_probes(
+    def _matches(self) -> List:
+        return self.transport.filter_probes(
             country_code=self.country_code,
             tags=self.tags,
             is_anchor=self.is_anchor,
         )
-        for probe in probes:
+
+    def __iter__(self) -> Iterator[dict]:
+        for probe in self._matches():
             yield probe.as_api_dict()
 
     def total_count(self) -> int:
-        return sum(1 for _ in self)
+        """Matching-probe count in one directory pass (no dict building)."""
+        return len(self._matches())

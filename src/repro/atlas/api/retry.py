@@ -1,0 +1,179 @@
+"""Retry engine for the Atlas transport seam.
+
+Implements the production-collector loop the paper's tooling needed
+against the live REST API:
+
+* exponential backoff with **decorrelated jitter** (the AWS architecture
+  blog recipe: ``sleep = min(cap, uniform(base, prev * 3))``), seeded
+  from :func:`repro.net.rng.stream` so two runs sleep identically;
+* ``Retry-After`` honoring — a 429/503 with a server-suggested wait
+  always sleeps at least that long;
+* a per-endpoint **circuit breaker** — after a run of consecutive
+  failures the endpoint is refused for a cooldown, then probed again
+  half-open;
+* a collection-wide **retry budget** bounding total retries.
+
+All waiting happens on a :class:`SimulatedClock`, so tests covering
+multi-hour outage schedules run in milliseconds while still exercising
+the exact timing logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, TypeVar
+
+from repro.errors import (
+    CircuitOpenError,
+    RetryBudgetExhaustedError,
+    RetryExhaustedError,
+    TransientTransportError,
+)
+from repro.net.rng import stream
+
+T = TypeVar("T")
+
+
+class SimulatedClock:
+    """A monotonic clock that only moves when someone sleeps on it."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self.slept_total = 0.0
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        self._now += seconds
+        self.slept_total += seconds
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(now={self._now:.1f})"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Tunables for :class:`RetryEngine`."""
+
+    max_attempts: int = 8
+    base_delay_s: float = 0.5
+    max_delay_s: float = 60.0
+    #: Total retries allowed across the engine's lifetime (the budget a
+    #: long campaign collector spreads over its whole run).
+    retry_budget: int = 100_000
+    #: Consecutive failures that open an endpoint's circuit breaker.
+    breaker_threshold: int = 5
+    #: Seconds an open breaker refuses calls before going half-open.
+    breaker_cooldown_s: float = 120.0
+    #: When True the engine sleeps out an open breaker's cooldown instead
+    #: of failing fast — what an unattended campaign collector wants.
+    wait_out_open_circuit: bool = True
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker for one endpoint."""
+
+    def __init__(self, endpoint: str, threshold: int, cooldown_s: float):
+        self.endpoint = endpoint
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.consecutive_failures = 0
+        self.opened_at: float = None
+        self.times_opened = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self.opened_at is not None
+
+    def remaining_cooldown(self, now: float) -> float:
+        if self.opened_at is None:
+            return 0.0
+        return max(0.0, self.opened_at + self.cooldown_s - now)
+
+    def allow(self, now: float) -> bool:
+        """Closed, or open with the cooldown elapsed (half-open probe)."""
+        return not self.is_open or self.remaining_cooldown(now) <= 0.0
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.opened_at = None
+
+    def record_failure(self, now: float) -> None:
+        self.consecutive_failures += 1
+        if self.consecutive_failures >= self.threshold:
+            if not self.is_open:
+                self.times_opened += 1
+            self.opened_at = now
+
+
+class RetryEngine:
+    """Run transport calls under the retry policy.
+
+    One engine serves one transport; its jitter stream derives from the
+    platform seed so the sleep schedule replays exactly.
+    """
+
+    def __init__(self, policy: RetryPolicy = None, clock: SimulatedClock = None,
+                 seed: int = 0):
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.clock = clock if clock is not None else SimulatedClock()
+        self._rng = stream(seed, "retry", "jitter")
+        self.budget_left = self.policy.retry_budget
+        self.retries = 0
+        self.breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker_for(self, endpoint: str) -> CircuitBreaker:
+        breaker = self.breakers.get(endpoint)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                endpoint, self.policy.breaker_threshold, self.policy.breaker_cooldown_s
+            )
+            self.breakers[endpoint] = breaker
+        return breaker
+
+    def call(self, endpoint: str, fn: Callable[[], T]) -> T:
+        """Invoke ``fn`` with retries; raise a terminal TransportError
+        once attempts, budget, or (fail-fast mode) the breaker give out."""
+        policy = self.policy
+        breaker = self.breaker_for(endpoint)
+        delay = policy.base_delay_s
+        last_fault = None
+        for attempt in range(1, policy.max_attempts + 1):
+            if not breaker.allow(self.clock.now()):
+                remaining = breaker.remaining_cooldown(self.clock.now())
+                if not policy.wait_out_open_circuit:
+                    raise CircuitOpenError(endpoint, remaining)
+                self.clock.sleep(remaining)
+            try:
+                result = fn()
+            except TransientTransportError as fault:
+                last_fault = fault
+                breaker.record_failure(self.clock.now())
+                if attempt >= policy.max_attempts:
+                    break
+                if self.budget_left <= 0:
+                    raise RetryBudgetExhaustedError(
+                        endpoint, policy.retry_budget
+                    ) from fault
+                self.budget_left -= 1
+                self.retries += 1
+                delay = min(
+                    policy.max_delay_s,
+                    float(self._rng.uniform(policy.base_delay_s, delay * 3.0)),
+                )
+                self.clock.sleep(max(delay, fault.retry_after))
+                continue
+            breaker.record_success()
+            return result
+        raise RetryExhaustedError(endpoint, policy.max_attempts, last_fault)
+
+    def stats(self) -> Dict[str, float]:
+        """Engine-level accounting for benchmarks and reports."""
+        return {
+            "retries": self.retries,
+            "budget_left": self.budget_left,
+            "simulated_sleep_s": round(self.clock.slept_total, 3),
+            "breakers_opened": sum(b.times_opened for b in self.breakers.values()),
+        }

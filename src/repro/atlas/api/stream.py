@@ -11,7 +11,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Dict, Iterator, List, Sequence
 
-from repro.atlas.api.client import default_platform
+from repro.atlas.api.transport import Transport
 from repro.atlas.platform import AtlasPlatform
 from repro.errors import AtlasError
 
@@ -21,6 +21,10 @@ ResultCallback = Callable[[dict], None]
 class AtlasStream:
     """Replay measurement results in timestamp order.
 
+    Results are fetched through the :class:`Transport` seam, so a stream
+    attached to a chaos-profile transport exercises the same retry paths
+    as the campaign collector.
+
     Example::
 
         stream = AtlasStream(platform=platform)
@@ -29,10 +33,14 @@ class AtlasStream:
         stream.timeout(seconds=None)   # drain everything
     """
 
-    def __init__(self, platform: AtlasPlatform = None):
-        self.platform = platform if platform is not None else default_platform()
+    def __init__(self, platform: AtlasPlatform = None, transport: Transport = None):
+        self.transport = transport if transport is not None else Transport(platform)
         self._callbacks: Dict[str, List[ResultCallback]] = {}
         self._subscriptions: List[dict] = []
+
+    @property
+    def platform(self) -> AtlasPlatform:
+        return self.transport.platform
 
     # -- cousteau-compatible surface ----------------------------------------
 
@@ -78,7 +86,7 @@ class AtlasStream:
             stop = subscription.get("stop")
             probe_ids: Sequence[int] = subscription.get("probe_ids")
             iterators.append(
-                self.platform.iter_results(msm_id, start, stop, probe_ids)
+                iter(self.transport.results(msm_id, start, stop, probe_ids))
             )
         merged = heapq.merge(
             *[sorted(it, key=lambda r: r["timestamp"]) for it in iterators],

@@ -1,0 +1,163 @@
+"""The transport seam between the client API and the platform.
+
+Every cousteau-style request (:mod:`repro.atlas.api.client`,
+:mod:`repro.atlas.api.stream`) and the campaign collector route their
+platform calls through a :class:`Transport` instead of invoking
+:class:`~repro.atlas.platform.AtlasPlatform` methods directly.  The seam
+is where a live deployment would put HTTPS; here it is where chaos lives:
+
+* with no fault injector attached (the default), every method is a
+  direct delegation — the seam adds no measurable overhead and behavior
+  is byte-identical to calling the platform;
+* with a :class:`~repro.atlas.faults.FaultInjector` attached, every call
+  can fail the way the real REST API failed (429/5xx/timeout/reset/
+  maintenance), result fetches are paginated and pages can arrive
+  truncated, duplicated, or malformed, and a
+  :class:`~repro.atlas.api.retry.RetryEngine` drives recovery on a
+  simulated clock.
+
+Faults and retry jitter both derive from the platform seed, so a chaos
+run replays byte-identically under the same seed.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Sequence
+
+from repro.atlas.api.retry import RetryEngine, RetryPolicy, SimulatedClock
+from repro.atlas.faults import FaultInjector, FaultProfile, get_profile
+from repro.atlas.platform import AtlasPlatform
+
+#: Result-page size the transport fetches under fault injection, mirroring
+#: the real API's paginated ``/results`` endpoint.
+DEFAULT_PAGE_SIZE = 500
+
+
+@lru_cache(maxsize=1)
+def default_platform() -> AtlasPlatform:
+    """Process-wide default platform (seed 0), built on first use."""
+    return AtlasPlatform(seed=0)
+
+
+def reset_default_platform() -> None:
+    """Drop the cached default platform (test isolation helper)."""
+    default_platform.cache_clear()
+
+
+class Transport:
+    """Routes client requests to a platform, optionally through chaos.
+
+    ``faults`` accepts a profile name (``"none"``/``"flaky"``/
+    ``"outage"``/``"hostile"``), a :class:`FaultProfile`, a ready-made
+    :class:`FaultInjector`, or ``None`` for the zero-overhead pass-through.
+    """
+
+    def __init__(
+        self,
+        platform: AtlasPlatform = None,
+        faults=None,
+        retry: RetryPolicy = None,
+        clock: SimulatedClock = None,
+        page_size: int = DEFAULT_PAGE_SIZE,
+    ):
+        self.platform = platform if platform is not None else default_platform()
+        self.page_size = int(page_size)
+        self.clock = clock if clock is not None else SimulatedClock()
+        if isinstance(faults, FaultInjector):
+            injector = faults
+            injector.clock = self.clock
+        elif faults is None:
+            injector = None
+        else:
+            profile = get_profile(faults)
+            injector = (
+                None
+                if profile.is_noop
+                else FaultInjector(self.platform.seed, profile, clock=self.clock)
+            )
+        self.injector = injector
+        self.retry = RetryEngine(retry, self.clock, seed=self.platform.seed)
+
+    @property
+    def fault_profile(self) -> FaultProfile:
+        return self.injector.profile if self.injector else get_profile("none")
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _call(self, endpoint: str, fn):
+        if self.injector is None:
+            return fn()
+
+        def attempt():
+            self.injector.before_call(endpoint)
+            return fn()
+
+        return self.retry.call(endpoint, attempt)
+
+    # -- the API surface ----------------------------------------------------
+
+    def create_measurement(
+        self, definition: dict, sources, start_time: int, stop_time: int, key: str
+    ) -> int:
+        return self._call(
+            "create",
+            lambda: self.platform.create_measurement(
+                definition, sources, start_time, stop_time, key=key
+            ),
+        )
+
+    def stop_measurement(self, msm_id: int, key: str, at: int = None) -> None:
+        return self._call(
+            "stop", lambda: self.platform.stop_measurement(msm_id, key=key, at=at)
+        )
+
+    def measurement(self, msm_id: int):
+        return self._call("measurement", lambda: self.platform.measurement(msm_id))
+
+    def filter_probes(self, **query) -> List:
+        return self._call("probes", lambda: self.platform.filter_probes(**query))
+
+    def results(
+        self,
+        msm_id: int,
+        start: int = None,
+        stop: int = None,
+        probe_ids: Sequence[int] = None,
+    ) -> List[dict]:
+        """Fetch a measurement's results for a window.
+
+        Pass-through mode delegates straight to the platform.  Under
+        fault injection the fetch is paginated; each page call can fail
+        or arrive mangled, and the retry engine re-fetches pages whose
+        truncation was detected.  Duplicated entries and malformed blobs
+        are *returned* — cleaning them up is the collector's job, exactly
+        as with the real API.
+        """
+        if self.injector is None:
+            return self.platform.results(msm_id, start, stop, probe_ids)
+        # Validate the measurement id through the chaos path first so a
+        # 404 surfaces as an API error, not a per-page transport fault.
+        self.measurement(msm_id)
+        full = self.platform.results(msm_id, start, stop, probe_ids)
+        out: List[dict] = []
+        offsets = range(0, len(full), self.page_size) if full else (0,)
+        for offset in offsets:
+            page_slice = full[offset : offset + self.page_size]
+
+            def fetch_page(page=page_slice):
+                self.injector.before_call("results")
+                return self.injector.mangle_page(page)
+
+            out.extend(self.retry.call("results", fetch_page))
+        return out
+
+    # -- reporting ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Fault and retry accounting for benchmarks / health reports."""
+        return {
+            "profile": self.fault_profile.name,
+            "faults": self.injector.stats() if self.injector else {},
+            **self.retry.stats(),
+        }

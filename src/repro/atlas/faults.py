@@ -1,0 +1,234 @@
+"""Deterministic fault injection for the Atlas transport seam.
+
+The paper's nine-month campaign ran against the *live* RIPE Atlas REST
+API, where rate limits, 5xx storms, timeouts, truncated pages, and
+malformed blobs were the operating reality.  The simulated platform is
+perfectly reliable, so this module re-introduces those failures — on
+purpose, and deterministically.
+
+A :class:`FaultInjector` sits inside the transport
+(:mod:`repro.atlas.api.transport`) and intercepts every outbound call.
+Each intercept draws from :func:`repro.net.rng.stream` keyed by
+``(seed, "faults", endpoint, call_index)``, so a run with the same seed
+replays the identical fault schedule byte for byte; chaos tests can
+assert exact-dataset identity across runs.
+
+Two fault classes exist:
+
+* **transport faults** (:meth:`FaultInjector.before_call`) — raised as
+  :class:`~repro.errors.TransientTransportError` subclasses before the
+  platform is reached: HTTP 429 with ``Retry-After``, transient 5xx,
+  timeouts, connection resets, and clock-driven maintenance windows;
+* **data faults** (:meth:`FaultInjector.mangle_page`) — applied to the
+  result page the platform returned: truncation (detected client-side
+  and retried), duplicated entries (caught by the collector's dedup
+  guard), and malformed blobs (quarantined by the collector).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import (
+    AtlasError,
+    ConnectionDroppedError,
+    MaintenanceError,
+    RateLimitedError,
+    RequestTimeoutError,
+    ServerWobbleError,
+    TruncatedPageError,
+)
+from repro.net.rng import stream
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-call fault probabilities for one chaos level.
+
+    All probabilities are per intercepted call; data-fault probabilities
+    are per fetched result page.  ``maintenance`` is the chance a
+    maintenance window *opens* at a call; while one is open every call
+    fails with 503 until the (simulated) clock passes its end.
+    """
+
+    name: str = "none"
+    rate_limit: float = 0.0
+    server_error: float = 0.0
+    timeout: float = 0.0
+    connection_reset: float = 0.0
+    maintenance: float = 0.0
+    maintenance_duration_s: float = 0.0
+    truncate_page: float = 0.0
+    duplicate_page: float = 0.0
+    malformed: float = 0.0
+    #: Range the injected ``Retry-After`` header is drawn from (seconds).
+    retry_after_min_s: float = 5.0
+    retry_after_max_s: float = 45.0
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.rate_limit == self.server_error == self.timeout
+            == self.connection_reset == self.maintenance
+            == self.truncate_page == self.duplicate_page == self.malformed
+            == 0.0
+        )
+
+
+#: Named chaos levels.  ``flaky`` injects only *recoverable* faults, so a
+#: retrying + deduplicating collector must converge to the exact
+#: fault-free dataset.  ``outage`` adds maintenance windows; ``hostile``
+#: adds malformed blobs (unrecoverable: those samples are quarantined).
+PROFILES: Dict[str, FaultProfile] = {
+    "none": FaultProfile(name="none"),
+    "flaky": FaultProfile(
+        name="flaky",
+        rate_limit=0.06,
+        server_error=0.06,
+        timeout=0.03,
+        connection_reset=0.02,
+        truncate_page=0.04,
+        duplicate_page=0.04,
+    ),
+    "outage": FaultProfile(
+        name="outage",
+        rate_limit=0.02,
+        server_error=0.03,
+        maintenance=0.01,
+        maintenance_duration_s=900.0,
+        truncate_page=0.02,
+        duplicate_page=0.02,
+    ),
+    "hostile": FaultProfile(
+        name="hostile",
+        rate_limit=0.08,
+        server_error=0.08,
+        timeout=0.04,
+        connection_reset=0.03,
+        maintenance=0.005,
+        maintenance_duration_s=600.0,
+        truncate_page=0.05,
+        duplicate_page=0.05,
+        malformed=0.04,
+    ),
+}
+
+
+def get_profile(profile) -> FaultProfile:
+    """Resolve a profile name (or pass a :class:`FaultProfile` through)."""
+    if isinstance(profile, FaultProfile):
+        return profile
+    try:
+        return PROFILES[profile]
+    except KeyError:
+        raise AtlasError(
+            f"unknown fault profile {profile!r}; choose from {sorted(PROFILES)}"
+        ) from None
+
+
+class FaultInjector:
+    """Seeded fault source for one transport instance.
+
+    Every intercepted call consumes one slot of a global call counter;
+    the decision for call *n* is drawn from
+    ``stream(seed, "faults", endpoint, n)``, which makes the schedule a
+    pure function of ``(seed, call sequence)`` — and the call sequence of
+    a deterministic collector is itself reproducible.
+    """
+
+    def __init__(self, seed: int, profile="flaky", clock=None):
+        self.seed = int(seed)
+        self.profile = get_profile(profile)
+        self.clock = clock
+        self.counts: Counter = Counter()
+        self._calls = itertools.count()
+        self._maintenance_until: Optional[float] = None
+
+    # -- transport faults ---------------------------------------------------
+
+    def before_call(self, endpoint: str) -> None:
+        """Raise a transient transport fault, or return to let the call pass."""
+        profile = self.profile
+        rng = stream(self.seed, "faults", endpoint, next(self._calls))
+        now = self.clock.now() if self.clock is not None else 0.0
+        if self._maintenance_until is not None:
+            if now < self._maintenance_until:
+                self.counts["maintenance_hit"] += 1
+                raise MaintenanceError(retry_after=self._maintenance_until - now)
+            self._maintenance_until = None
+        draw = float(rng.random())
+        edge = profile.rate_limit
+        if draw < edge:
+            self.counts["rate_limit"] += 1
+            raise RateLimitedError(
+                retry_after=float(
+                    rng.uniform(profile.retry_after_min_s, profile.retry_after_max_s)
+                )
+            )
+        edge += profile.server_error
+        if draw < edge:
+            self.counts["server_error"] += 1
+            raise ServerWobbleError(status=int(rng.choice([500, 502, 503])))
+        edge += profile.timeout
+        if draw < edge:
+            self.counts["timeout"] += 1
+            raise RequestTimeoutError()
+        edge += profile.connection_reset
+        if draw < edge:
+            self.counts["connection_reset"] += 1
+            raise ConnectionDroppedError()
+        edge += profile.maintenance
+        if draw < edge:
+            self.counts["maintenance_open"] += 1
+            self._maintenance_until = now + profile.maintenance_duration_s
+            raise MaintenanceError(retry_after=profile.maintenance_duration_s)
+
+    # -- data faults --------------------------------------------------------
+
+    def mangle_page(self, page: List[dict], endpoint: str = "results") -> List[dict]:
+        """Apply data faults to one fetched result page.
+
+        Truncation raises (the client detects the short page and
+        retries); duplication and malformed blobs return a mangled copy —
+        the platform's canonical dicts are never mutated.
+        """
+        profile = self.profile
+        rng = stream(self.seed, "faults", endpoint, "page", next(self._calls))
+        if page and float(rng.random()) < profile.truncate_page:
+            self.counts["truncate_page"] += 1
+            got = int(rng.integers(0, len(page)))
+            raise TruncatedPageError(got=got, declared=len(page))
+        mangled = list(page)
+        if page and float(rng.random()) < profile.duplicate_page:
+            self.counts["duplicate_page"] += 1
+            lo = int(rng.integers(0, len(page)))
+            hi = min(len(page), lo + 1 + int(rng.integers(0, 4)))
+            mangled = mangled + [dict(entry) for entry in page[lo:hi]]
+        if page and float(rng.random()) < profile.malformed:
+            self.counts["malformed"] += 1
+            index = int(rng.integers(0, len(mangled)))
+            mangled[index] = self._corrupt(mangled[index], rng)
+        return mangled
+
+    @staticmethod
+    def _corrupt(entry: dict, rng) -> object:
+        """One malformed result blob, in a shape real campaigns saw."""
+        kind = int(rng.integers(0, 3))
+        if kind == 0:
+            blob = dict(entry)
+            blob.pop("type", None)  # undispatchable
+            return blob
+        if kind == 1:
+            blob = dict(entry)
+            blob["timestamp"] = "not-a-timestamp"
+            return blob
+        return '{"truncated": '  # invalid JSON string blob
+
+    # -- reporting ----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Injected-fault counts by kind (stable key order)."""
+        return {kind: self.counts[kind] for kind in sorted(self.counts)}

@@ -57,6 +57,16 @@ class StoredMeasurement:
     stop_time: int
     key: str
     status: str = "Ongoing"
+    #: Moment a stop request took effect (None while running).  Result
+    #: generation truncates here; results scheduled later never existed.
+    stopped_at: Optional[int] = None
+
+    @property
+    def effective_stop_time(self) -> int:
+        """Scheduled stop, or the stop request's moment if that came first."""
+        if self.stopped_at is None:
+            return self.stop_time
+        return min(self.stop_time, self.stopped_at)
 
     @property
     def measurement_type(self) -> str:
@@ -270,10 +280,24 @@ class AtlasPlatform:
         probe = self.probe(probe_id)
         return sum(1 for _ in self._tick_times(msm, probe))
 
-    def stop_measurement(self, msm_id: int, key: str = DEFAULT_KEY) -> None:
+    def stop_measurement(
+        self, msm_id: int, key: str = DEFAULT_KEY, at: int = None
+    ) -> None:
+        """Stop a measurement, truncating result generation.
+
+        ``at`` is the Unix timestamp the stop takes effect: results with
+        ``timestamp >= at`` are never generated (the real platform keeps
+        results collected before the stop and nothing after).  The
+        simulator has no wall clock, so an untimed stop (``at=None``)
+        cancels generation outright.  Repeated stops only ever move the
+        effective stop earlier.
+        """
         msm = self.measurement(msm_id)
         if msm.key != key:
             raise AtlasAPIError(403, "measurement belongs to a different key")
+        effective = msm.start_time if at is None else max(int(at), msm.start_time)
+        if msm.stopped_at is None or effective < msm.stopped_at:
+            msm.stopped_at = effective
         msm.status = "Stopped"
 
     # -- result materialization ------------------------------------------------------
@@ -285,12 +309,13 @@ class AtlasPlatform:
         does) with a stable per-probe offset.
         """
         if msm.is_oneoff:
-            yield 0, msm.start_time
+            if msm.start_time < msm.effective_stop_time:
+                yield 0, msm.start_time
             return
         spread = (probe.probe_id * 2_654_435_761) % msm.interval
         tick = 0
         timestamp = msm.start_time + spread
-        while timestamp < msm.stop_time:
+        while timestamp < msm.effective_stop_time:
             yield tick, timestamp
             tick += 1
             timestamp += msm.interval
@@ -306,7 +331,11 @@ class AtlasPlatform:
         msm = self.measurement(msm_id)
         vm = self.resolve_target(msm.definition["target"])
         window_start = msm.start_time if start is None else max(start, msm.start_time)
-        window_stop = msm.stop_time if stop is None else min(stop, msm.stop_time)
+        window_stop = (
+            msm.effective_stop_time
+            if stop is None
+            else min(stop, msm.effective_stop_time)
+        )
         if probe_ids is None:
             probes = msm.probes
         else:
@@ -316,8 +345,10 @@ class AtlasPlatform:
             rng = stream(self.seed, "results", msm_id, probe.probe_id)
             for tick, timestamp in self._tick_times(msm, probe):
                 if not probe.is_online(tick):
-                    # Burn the tick's draws to keep later ticks stable
-                    # regardless of the query window.
+                    # Offline ticks draw nothing: whether a probe is
+                    # online depends only on (probe, tick), never on the
+                    # query window, so skipping without consuming RNG
+                    # keeps later ticks aligned across any windowing.
                     continue
                 if timestamp < window_start or timestamp >= window_stop:
                     if timestamp >= window_stop:

@@ -4,12 +4,15 @@ Exposes the reproduction as a small tool::
 
     repro footprint                 # Figure 3: regions + probe fleet
     repro run --scale tiny          # run a campaign, print headline report
+    repro run --faults flaky        # same, through a chaos transport
+    repro run --resume state/       # checkpointed, resumable collection
     repro figure 5 --scale tiny     # regenerate one figure as text
     repro apps                      # Figure 2/8 catalog and verdicts
     repro whatif                    # 5G what-if scenario table
     repro export --out DIR          # campaign + figure-data bundles
 
-Every subcommand accepts ``--seed`` (default 7).  Designed to be driven
+Every subcommand accepts ``--seed`` (default 7) and ``--faults`` (chaos
+profile for the collection transport).  Designed to be driven
 programmatically too: :func:`main` takes an argv list and returns an exit
 code, printing to stdout only.
 """
@@ -31,14 +34,26 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         default="tiny",
         help="campaign size (default tiny)",
     )
+    parser.add_argument(
+        "--faults",
+        choices=["none", "flaky", "outage", "hostile"],
+        default="none",
+        help="collect through a fault-injecting transport (default none); "
+        "all faults are seeded, so runs replay deterministically",
+    )
 
 
-def _campaign_dataset(args):
+def _build_campaign(args):
     from repro.core.campaign import Campaign, CampaignScale
 
     scale = next(s for s in CampaignScale if s.label == args.scale)
-    campaign = Campaign.from_paper(scale=scale, seed=args.seed)
-    return campaign.run()
+    return Campaign.from_paper(
+        scale=scale, seed=args.seed, faults=getattr(args, "faults", "none")
+    )
+
+
+def _campaign_dataset(args):
+    return _build_campaign(args).run()
 
 
 def _cmd_footprint(args) -> int:
@@ -53,10 +68,77 @@ def _cmd_footprint(args) -> int:
     return 0
 
 
+def _resume_collect(campaign, state_dir):
+    """Checkpointed collection: resume from (and persist to) ``state_dir``.
+
+    Returns the completed dataset, or ``None`` after saving state when
+    the transport gave out mid-collection — re-running the same command
+    picks up where it stopped without duplicating a sample.
+    """
+    from repro.core.campaign import CollectionCheckpoint
+    from repro.core.dataset import CampaignDataset
+    from repro.errors import CollectionInterruptedError
+
+    state_dir.mkdir(parents=True, exist_ok=True)
+    checkpoint_path = state_dir / "checkpoint.json"
+    partial_path = state_dir / "partial.csv"
+    try:
+        checkpoint = (
+            CollectionCheckpoint.load(checkpoint_path)
+            if checkpoint_path.exists()
+            else CollectionCheckpoint()
+        )
+        dataset = None
+        if partial_path.exists():
+            dataset = CampaignDataset.from_frame(
+                CampaignDataset.load_csv(partial_path),
+                campaign.platform.probes,
+                campaign.platform.fleet,
+                dedup=True,
+            )
+            print(f"resuming: {len(checkpoint.high_water)} measurements "
+                  f"already collected")
+    except (ValueError, KeyError, OSError) as exc:
+        print(f"corrupt resume state in {state_dir}: {exc}", file=sys.stderr)
+        print("remove the state directory (or its bad file) and re-run",
+              file=sys.stderr)
+        raise SystemExit(2)
+    try:
+        dataset = campaign.collect(checkpoint=checkpoint, dataset=dataset)
+    except CollectionInterruptedError as exc:
+        exc.checkpoint.save(checkpoint_path)
+        exc.dataset.export_csv(partial_path)
+        print(f"collection interrupted: {exc}", file=sys.stderr)
+        print(f"state saved to {state_dir}; re-run to resume", file=sys.stderr)
+        return None
+    checkpoint_path.unlink(missing_ok=True)
+    partial_path.unlink(missing_ok=True)
+    return dataset
+
+
 def _cmd_run(args) -> int:
+    from pathlib import Path
+
+    from repro.core.completeness import collection_health
     from repro.core.report import headline_report
 
-    dataset = _campaign_dataset(args)
+    campaign = _build_campaign(args)
+    campaign.create_measurements()
+    if args.resume:
+        dataset = _resume_collect(campaign, Path(args.resume))
+        if dataset is None:
+            return 3
+    else:
+        dataset = campaign.collect()
+    if args.faults != "none":
+        health = collection_health(campaign)
+        transport = health["transport"]
+        print(f"chaos profile {transport['profile']}: "
+              f"{sum(transport['faults'].values())} faults injected, "
+              f"{transport['retries']} retries, "
+              f"{health['quarantined']} quarantined, "
+              f"{health['duplicates_dropped']} duplicates dropped")
+        print()
     report = headline_report(dataset)
     print(report.summary())
     print()
@@ -219,6 +301,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run a campaign, print headline report")
     _add_common(run)
+    run.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="checkpoint collection state in DIR; an interrupted run "
+        "(exit code 3) resumes from it without duplicating samples",
+    )
     run.set_defaults(func=_cmd_run)
 
     figure = sub.add_parser("figure", help="regenerate a figure as text")

@@ -21,13 +21,16 @@ is for unit tests.
 from __future__ import annotations
 
 import enum
+import json
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Tuple
 
 from repro.atlas.api.client import AtlasCreateRequest
 from repro.atlas.api.measurements import Ping
 from repro.atlas.api.sources import AtlasSource
+from repro.atlas.api.transport import Transport
 from repro.atlas.credits import CreditAccount
 from repro.atlas.platform import AtlasPlatform
 from repro.atlas.probes import Probe
@@ -35,7 +38,12 @@ from repro.atlas.results.base import Result
 from repro.atlas.results.ping import PingResult
 from repro.constants import CAMPAIGN_START_TS, MEASUREMENT_INTERVAL_S
 from repro.core.dataset import CampaignDataset
-from repro.errors import CampaignError
+from repro.errors import (
+    CampaignError,
+    CollectionInterruptedError,
+    ResultParseError,
+    TransportError,
+)
 from repro.geo.continents import adjacent_target_continents
 from repro.cloud.vm import TargetVM
 
@@ -87,8 +95,69 @@ class CampaignPlan:
         return sum(len(ids) for ids in self.vantage_ids_by_continent.values())
 
 
+@dataclass
+class CollectionCheckpoint:
+    """Resumable collection state: per-measurement high-water timestamps.
+
+    ``high_water[msm_id]`` is the timestamp (exclusive) the measurement
+    has been fully collected through.  The collector only advances a
+    measurement's mark after its whole window landed in the dataset, so
+    a checkpoint is always consistent with the samples collected so far
+    and a resume never duplicates nor drops samples.
+    """
+
+    high_water: Dict[int, int] = field(default_factory=dict)
+
+    def collected_through(self, msm_id: int, default: int) -> int:
+        return self.high_water.get(msm_id, default)
+
+    def mark(self, msm_id: int, through: int) -> None:
+        current = self.high_water.get(msm_id)
+        if current is None or through > current:
+            self.high_water[msm_id] = int(through)
+
+    def save(self, path) -> None:
+        payload = {str(msm_id): ts for msm_id, ts in self.high_water.items()}
+        Path(path).write_text(json.dumps({"high_water": payload}, indent=0))
+
+    @classmethod
+    def load(cls, path) -> "CollectionCheckpoint":
+        payload = json.loads(Path(path).read_text())
+        return cls(
+            high_water={
+                int(msm_id): int(ts)
+                for msm_id, ts in payload.get("high_water", {}).items()
+            }
+        )
+
+
+@dataclass
+class CollectionStats:
+    """What collection had to survive (accumulates across collect calls)."""
+
+    measurements_collected: int = 0
+    samples_appended: int = 0
+    quarantined: int = 0
+    duplicates_dropped: int = 0
+    interruptions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "measurements_collected": self.measurements_collected,
+            "samples_appended": self.samples_appended,
+            "quarantined": self.quarantined,
+            "duplicates_dropped": self.duplicates_dropped,
+            "interruptions": self.interruptions,
+        }
+
+
 class Campaign:
-    """One full measurement campaign against a platform."""
+    """One full measurement campaign against a platform.
+
+    All platform traffic goes through a
+    :class:`~repro.atlas.api.transport.Transport` seam; attach one built
+    with a fault profile to chaos-test the collection pipeline.
+    """
 
     def __init__(
         self,
@@ -96,8 +165,12 @@ class Campaign:
         scale: CampaignScale = CampaignScale.SMALL,
         start_time: int = CAMPAIGN_START_TS,
         api_key: str = None,
+        transport: Transport = None,
     ):
         self.platform = platform
+        self.transport = transport if transport is not None else Transport(platform)
+        if self.transport.platform is not platform:
+            raise CampaignError("transport is bound to a different platform")
         self.scale = scale
         self.start_time = int(start_time)
         self.stop_time = self.start_time + scale.duration_s
@@ -106,13 +179,24 @@ class Campaign:
         self.api_key = api_key
         self.plan = self._make_plan()
         self.measurement_ids: List[int] = []
+        self._msm_id_by_target: Dict[str, int] = {}
+        self.collection_stats = CollectionStats()
 
     @classmethod
     def from_paper(
-        cls, scale: CampaignScale = CampaignScale.SMALL, seed: int = 0
+        cls,
+        scale: CampaignScale = CampaignScale.SMALL,
+        seed: int = 0,
+        faults=None,
     ) -> "Campaign":
-        """Build a campaign with a fresh platform, paper defaults."""
-        return cls(AtlasPlatform(seed=seed), scale=scale)
+        """Build a campaign with a fresh platform, paper defaults.
+
+        ``faults`` takes a chaos profile name (``"flaky"`` / ``"outage"``
+        / ``"hostile"``) or :class:`~repro.atlas.faults.FaultProfile`.
+        """
+        platform = AtlasPlatform(seed=seed)
+        transport = Transport(platform, faults=faults)
+        return cls(platform, scale=scale, transport=transport)
 
     # -- planning --------------------------------------------------------------
 
@@ -168,10 +252,17 @@ class Campaign:
     # -- execution ------------------------------------------------------------
 
     def create_measurements(self) -> List[int]:
-        """Register one periodic ping per target region via the client API."""
-        if self.measurement_ids:
-            raise CampaignError("measurements already created")
+        """Register one periodic ping per target region via the client API.
+
+        Idempotent and resumable: each created target is tracked, so a
+        run interrupted mid-loop (e.g. by a
+        :class:`~repro.errors.QuotaExceededError`) can simply be retried
+        — already-created measurements are skipped, never duplicated,
+        and a call with everything created returns the existing ids.
+        """
         for vm in self.platform.fleet:
+            if vm.key in self._msm_id_by_target:
+                continue
             vantage_ids = self._vantage_ids_for_target(vm)
             if not vantage_ids:
                 raise CampaignError(
@@ -195,46 +286,100 @@ class Campaign:
                 start_time=self.start_time,
                 stop_time=self.stop_time,
                 key=self.api_key,
-                platform=self.platform,
+                transport=self.transport,
             ).create()
             if not ok:
+                self._sync_measurement_ids()
                 raise CampaignError(
                     f"measurement creation failed for {vm.key}: "
                     f"{response['error']['detail']}"
                 )
-            self.measurement_ids.extend(response["measurements"])
+            self._msm_id_by_target[vm.key] = response["measurements"][0]
+        self._sync_measurement_ids()
         return self.measurement_ids
 
-    def collect(self, start: int = None, stop: int = None) -> CampaignDataset:
+    def _sync_measurement_ids(self) -> None:
+        """Rebuild the fleet-ordered id list from the created-target map."""
+        self.measurement_ids = [
+            self._msm_id_by_target[vm.key]
+            for vm in self.platform.fleet
+            if vm.key in self._msm_id_by_target
+        ]
+
+    def collect(
+        self,
+        start: int = None,
+        stop: int = None,
+        checkpoint: CollectionCheckpoint = None,
+        dataset: CampaignDataset = None,
+    ) -> CampaignDataset:
         """Fetch and parse results into a dataset.
 
         ``start``/``stop`` bound the collection window (Unix seconds),
         supporting the paper's mode of operation — "our measurements are
         ongoing" — where analysis runs on the data gathered so far.
         Omitted bounds default to the campaign's own window.
+
+        Pass the ``checkpoint`` and partial ``dataset`` carried by a
+        :class:`~repro.errors.CollectionInterruptedError` to resume an
+        interrupted collection without duplicating samples.
         """
         if not self.measurement_ids:
             raise CampaignError("create_measurements() must run first")
-        dataset = CampaignDataset(self.platform.probes, self.platform.fleet)
-        self.collect_into(dataset, start=start, stop=stop)
+        if dataset is None:
+            dataset = CampaignDataset(self.platform.probes, self.platform.fleet)
+        self.collect_into(dataset, start=start, stop=stop, checkpoint=checkpoint)
         dataset.freeze()
         return dataset
 
     def collect_into(
-        self, dataset: CampaignDataset, start: int = None, stop: int = None
+        self,
+        dataset: CampaignDataset,
+        start: int = None,
+        stop: int = None,
+        checkpoint: CollectionCheckpoint = None,
     ) -> None:
         """Append one collection window into an existing (unfrozen) dataset.
 
-        Windows must not overlap across calls or samples will duplicate —
-        the platform regenerates results deterministically per window.
+        Without a checkpoint, windows must not overlap across calls or
+        samples will duplicate — the platform regenerates results
+        deterministically per window.  With one, each measurement's
+        high-water mark guards against exactly that: re-collecting an
+        already-covered window is a no-op.
+
+        Hardened for chaos collection: each measurement's window is
+        fetched through the transport (which retries transient faults),
+        duplicated entries are dropped, malformed blobs are quarantined
+        and counted instead of crashing, and samples land in the dataset
+        only once the whole measurement window arrived — so an
+        interruption (raised as
+        :class:`~repro.errors.CollectionInterruptedError` with the
+        checkpoint and partial dataset attached) never leaves a
+        half-collected measurement behind.
         """
+        window_start = self.start_time if start is None else int(start)
+        window_stop = self.stop_time if stop is None else int(stop)
+        stats = self.collection_stats
         for msm_id, vm in zip(self.measurement_ids, self.platform.fleet):
-            for raw in self.platform.iter_results(msm_id, start=start, stop=stop):
-                parsed = Result.get(raw)
-                if not isinstance(parsed, PingResult):
-                    raise CampaignError(
-                        f"unexpected result type from msm {msm_id}"
-                    )  # pragma: no cover
+            fetch_from = window_start
+            if checkpoint is not None:
+                fetch_from = max(
+                    window_start, checkpoint.collected_through(msm_id, window_start)
+                )
+            if fetch_from >= window_stop:
+                continue
+            try:
+                raws = self.transport.results(
+                    msm_id, start=fetch_from, stop=window_stop
+                )
+            except TransportError as exc:
+                stats.interruptions += 1
+                raise CollectionInterruptedError(
+                    f"measurement {msm_id} ({vm.key}): {exc}",
+                    checkpoint=checkpoint,
+                    dataset=dataset,
+                ) from exc
+            for parsed in self._clean(raws, msm_id):
                 dataset.append(
                     probe_id=parsed.probe_id,
                     target_key=vm.key,
@@ -244,6 +389,32 @@ class Campaign:
                     sent=parsed.packets_sent,
                     rcvd=parsed.packets_received,
                 )
+                stats.samples_appended += 1
+            stats.measurements_collected += 1
+            if checkpoint is not None:
+                checkpoint.mark(msm_id, window_stop)
+
+    def _clean(self, raws: List, msm_id: int) -> List[PingResult]:
+        """Parse a fetched window: dedup on (probe, timestamp), quarantine
+        anything malformed.  Returns results in first-seen order, which is
+        the platform's canonical probe-major order."""
+        stats = self.collection_stats
+        cleaned: Dict[Tuple[int, int], PingResult] = {}
+        for raw in raws:
+            try:
+                parsed = Result.get(raw)
+            except ResultParseError:
+                stats.quarantined += 1
+                continue
+            if not isinstance(parsed, PingResult):
+                stats.quarantined += 1
+                continue
+            key = (parsed.probe_id, parsed.created_timestamp)
+            if key in cleaned:
+                stats.duplicates_dropped += 1
+                continue
+            cleaned[key] = parsed
+        return list(cleaned.values())
 
     def run(self) -> CampaignDataset:
         """Create measurements and collect everything."""

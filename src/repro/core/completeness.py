@@ -71,14 +71,21 @@ def completeness_frame(campaign: Campaign, dataset: CampaignDataset) -> Frame:
     )
 
 
-def fleet_summary(frame: Frame) -> Dict[str, float]:
-    """Aggregate completeness statistics."""
+def fleet_summary(frame: Frame, stats=None) -> Dict[str, float]:
+    """Aggregate completeness statistics.
+
+    Pass a campaign's :class:`~repro.core.campaign.CollectionStats` to
+    fold in what the *collector* had to absorb — quarantined malformed
+    blobs and dropped duplicate results are missing-data causes on the
+    client side of the API, exactly like probe churn is on the probe
+    side, so this report is where they surface.
+    """
     delivered = float(np.sum(frame["delivered"]))
     expected = float(np.sum(frame["expected"]))
     scheduled = float(np.sum(frame["scheduled"]))
     wireless_mask = frame["wireless"].astype(bool)
     uptimes = frame["uptime"].astype(float)
-    return {
+    summary = {
         "probes": len(frame),
         "delivery_rate": delivered / expected if expected else 0.0,
         "uptime_rate": expected / scheduled if scheduled else 0.0,
@@ -86,4 +93,23 @@ def fleet_summary(frame: Frame) -> Dict[str, float]:
         "wireless_uptime": float(np.mean(uptimes[wireless_mask]))
         if np.any(wireless_mask)
         else float("nan"),
+    }
+    if stats is not None:
+        summary["quarantined"] = float(stats.quarantined)
+        summary["duplicates_dropped"] = float(stats.duplicates_dropped)
+        summary["interruptions"] = float(stats.interruptions)
+        summary["quarantine_share"] = (
+            stats.quarantined / (delivered + stats.quarantined)
+            if delivered + stats.quarantined
+            else 0.0
+        )
+    return summary
+
+
+def collection_health(campaign) -> Dict[str, object]:
+    """One-stop health report: collector stats + transport fault/retry
+    accounting, for chaos benchmarks and the CLI."""
+    return {
+        **campaign.collection_stats.as_dict(),
+        "transport": campaign.transport.stats(),
     }

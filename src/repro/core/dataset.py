@@ -41,7 +41,12 @@ class _SampleBuffer:
 class CampaignDataset:
     """Samples plus the probe/target metadata needed to analyze them."""
 
-    def __init__(self, probes: Sequence[Probe], targets: Sequence[TargetVM]):
+    def __init__(
+        self,
+        probes: Sequence[Probe],
+        targets: Sequence[TargetVM],
+        dedup: bool = False,
+    ):
         if not probes:
             raise CampaignError("dataset needs at least one probe")
         if not targets:
@@ -56,6 +61,11 @@ class CampaignDataset:
         }
         self._buffer = _SampleBuffer()
         self._frozen: Dict[str, np.ndarray] = {}
+        #: With ``dedup=True`` a re-appended (probe, target, timestamp)
+        #: key is silently dropped and counted — the guard resilient
+        #: collection relies on when windows might overlap.
+        self._dedup_keys = set() if dedup else None
+        self.duplicates_dropped = 0
 
     # -- building ------------------------------------------------------------
 
@@ -84,9 +94,16 @@ class CampaignDataset:
         """Append one sample.  Failed pings carry NaN RTTs."""
         if self._frozen:
             raise CampaignError("dataset is frozen; no further appends")
+        target_index = self.target_index_of(target_key)
+        if self._dedup_keys is not None:
+            key = (probe_id, target_index, timestamp)
+            if key in self._dedup_keys:
+                self.duplicates_dropped += 1
+                return
+            self._dedup_keys.add(key)
         buffer = self._buffer
         buffer.probe_id.append(probe_id)
-        buffer.target_index.append(self.target_index_of(target_key))
+        buffer.target_index.append(target_index)
         buffer.timestamp.append(timestamp)
         buffer.rtt_min.append(rtt_min)
         buffer.rtt_avg.append(rtt_avg)
@@ -220,3 +237,39 @@ class CampaignDataset:
     def load_csv(path) -> Frame:
         """Load an exported dataset back as an analysis Frame."""
         return read_csv(Path(path))
+
+    @classmethod
+    def from_frame(
+        cls,
+        frame: Frame,
+        probes: Sequence[Probe],
+        targets: Sequence[TargetVM],
+        dedup: bool = False,
+    ) -> "CampaignDataset":
+        """Rebuild an (unfrozen) dataset from an exported sample frame.
+
+        The inverse of :meth:`to_frame` for the sample columns, given the
+        probe/target metadata (regenerable from the platform seed).  Used
+        to resume an interrupted collection from its exported partial
+        dataset in a fresh process.
+        """
+        dataset = cls(probes, targets, dedup=dedup)
+        for probe_id, target, timestamp, rtt_min, rtt_avg, sent, rcvd in zip(
+            frame["probe_id"],
+            frame["target"],
+            frame["timestamp"],
+            frame["rtt_min"],
+            frame["rtt_avg"],
+            frame["sent"],
+            frame["rcvd"],
+        ):
+            dataset.append(
+                probe_id=int(probe_id),
+                target_key=str(target),
+                timestamp=int(timestamp),
+                rtt_min=float(rtt_min),
+                rtt_avg=float(rtt_avg),
+                sent=int(sent),
+                rcvd=int(rcvd),
+            )
+        return dataset

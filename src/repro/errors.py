@@ -67,6 +67,110 @@ class MeasurementNotFoundError(AtlasAPIError):
         self.msm_id = msm_id
 
 
+class TransportError(AtlasError):
+    """The transport layer between client and platform failed.
+
+    These model the HTTP-level failures a live REST API exhibits (rate
+    limits, 5xx storms, timeouts, resets) rather than semantic API
+    rejections, which stay :class:`AtlasAPIError`.
+    """
+
+
+class TransientTransportError(TransportError):
+    """A transport failure that a retry may resolve."""
+
+    #: Server-suggested wait before retrying (``Retry-After``), seconds.
+    retry_after: float = 0.0
+
+
+class RateLimitedError(TransientTransportError):
+    """HTTP 429: the endpoint's rate limit tripped."""
+
+    def __init__(self, retry_after: float):
+        super().__init__(f"HTTP 429: rate limited, retry after {retry_after:.0f}s")
+        self.retry_after = float(retry_after)
+
+
+class ServerWobbleError(TransientTransportError):
+    """A transient 5xx from the platform."""
+
+    def __init__(self, status: int = 502):
+        super().__init__(f"HTTP {status}: transient server error")
+        self.status = status
+
+
+class RequestTimeoutError(TransientTransportError):
+    """The request exceeded the client's read timeout."""
+
+    def __init__(self, timeout_s: float = 30.0):
+        super().__init__(f"request timed out after {timeout_s:.0f}s")
+        self.timeout_s = timeout_s
+
+
+class ConnectionDroppedError(TransientTransportError):
+    """The connection reset mid-request."""
+
+    def __init__(self):
+        super().__init__("connection reset by peer")
+
+
+class MaintenanceError(TransientTransportError):
+    """HTTP 503: the platform is inside a maintenance window."""
+
+    def __init__(self, retry_after: float):
+        super().__init__(
+            f"HTTP 503: maintenance window, retry after {retry_after:.0f}s"
+        )
+        self.retry_after = float(retry_after)
+
+
+class TruncatedPageError(TransientTransportError):
+    """A result page arrived shorter than its declared length.
+
+    Models a content-length mismatch: the client detects the truncation
+    and must re-fetch the whole page.
+    """
+
+    def __init__(self, got: int, declared: int):
+        super().__init__(f"result page truncated: got {got} of {declared} entries")
+        self.got = got
+        self.declared = declared
+
+
+class CircuitOpenError(TransportError):
+    """The per-endpoint circuit breaker is open; calls are refused."""
+
+    def __init__(self, endpoint: str, remaining_s: float):
+        super().__init__(
+            f"circuit open for endpoint {endpoint!r}; {remaining_s:.0f}s of cooldown left"
+        )
+        self.endpoint = endpoint
+        self.remaining_s = remaining_s
+
+
+class RetryExhaustedError(TransportError):
+    """A single call failed every allowed attempt."""
+
+    def __init__(self, endpoint: str, attempts: int, last: Exception):
+        super().__init__(
+            f"endpoint {endpoint!r} failed after {attempts} attempts: {last}"
+        )
+        self.endpoint = endpoint
+        self.attempts = attempts
+        self.last = last
+
+
+class RetryBudgetExhaustedError(TransportError):
+    """The collection-wide retry budget ran dry."""
+
+    def __init__(self, endpoint: str, budget: int):
+        super().__init__(
+            f"retry budget of {budget} exhausted (last failing endpoint {endpoint!r})"
+        )
+        self.endpoint = endpoint
+        self.budget = budget
+
+
 class ProbeSelectionError(AtlasError):
     """A probe source expression matched no usable probes."""
 
@@ -77,6 +181,19 @@ class ResultParseError(AtlasError):
 
 class CampaignError(ReproError):
     """Campaign configuration or execution failed."""
+
+
+class CollectionInterruptedError(CampaignError):
+    """Collection died mid-campaign but left a resumable checkpoint.
+
+    Carries the checkpoint and the partial (unfrozen) dataset so the
+    caller can resume with ``campaign.collect(checkpoint=..., dataset=...)``.
+    """
+
+    def __init__(self, detail: str, checkpoint=None, dataset=None):
+        super().__init__(f"collection interrupted: {detail}")
+        self.checkpoint = checkpoint
+        self.dataset = dataset
 
 
 class CrawlerError(ReproError):

@@ -9,6 +9,7 @@ from repro.atlas.api.client import (
     MeasurementRequest,
     ProbeRequest,
     default_platform,
+    reset_default_platform,
 )
 from repro.atlas.api.measurements import Ping
 from repro.atlas.api.sources import AtlasSource
@@ -145,3 +146,11 @@ class TestProbeRequest:
 class TestDefaultPlatform:
     def test_cached_singleton(self):
         assert default_platform() is default_platform()
+
+    def test_reset_gives_fresh_instance(self):
+        stale = default_platform()
+        reset_default_platform()
+        fresh = default_platform()
+        assert fresh is not stale
+        assert fresh.seed == stale.seed  # same deterministic world, new state
+        reset_default_platform()

@@ -1,0 +1,105 @@
+"""Every AtlasAPIError status must surface as ``(False, error)``.
+
+The cousteau contract is that request objects never leak exceptions for
+API-level rejections: ``create()`` returns ``(False, error_payload)``
+with the HTTP status in the detail.  This suite drives each status the
+simulated platform can produce (400, 402, 403, 404) through the request
+classes that can encounter it.
+"""
+
+import pytest
+
+from repro.atlas.api.client import (
+    AtlasCreateRequest,
+    AtlasResultsRequest,
+    AtlasStopRequest,
+)
+from repro.atlas.api.measurements import Ping
+from repro.atlas.api.sources import AtlasSource
+from repro.atlas.credits import CreditAccount
+from repro.atlas.platform import DEFAULT_KEY, AtlasPlatform
+
+T0 = 1_567_296_000
+DAY = 86_400
+
+
+@pytest.fixture(scope="module")
+def backend() -> AtlasPlatform:
+    platform = AtlasPlatform(seed=21)
+    platform.register_account(CreditAccount(key="POOR", balance=10))
+    return platform
+
+
+def request_create(backend, *, target=None, start=T0, stop=T0 + DAY,
+                   key=DEFAULT_KEY):
+    return AtlasCreateRequest(
+        measurements=[
+            Ping(
+                target=target or backend.hostname_for(backend.fleet[3]),
+                description="error envelope test",
+                interval=10_800,
+            )
+        ],
+        sources=[AtlasSource(type="country", value="FR", requested=5)],
+        start_time=start,
+        stop_time=stop,
+        key=key,
+        platform=backend,
+    ).create()
+
+
+def assert_envelope(ok, response, status):
+    assert ok is False
+    payload = response[0] if isinstance(response, list) else response
+    assert f"HTTP {status}" in payload["error"]["detail"]
+
+
+class TestCreateRequest:
+    def test_400_bad_target(self, backend):
+        ok, response = request_create(backend, target="unknown.example")
+        assert_envelope(ok, response, 400)
+
+    def test_400_bad_window(self, backend):
+        ok, response = request_create(backend, stop=T0)
+        assert_envelope(ok, response, 400)
+
+    def test_402_quota(self, backend):
+        ok, response = request_create(backend, key="POOR")
+        assert_envelope(ok, response, 402)
+
+    def test_403_bad_key(self, backend):
+        ok, response = request_create(backend, key="NO-SUCH-KEY")
+        assert_envelope(ok, response, 403)
+
+
+class TestResultsRequest:
+    def test_404_missing_measurement(self, backend):
+        ok, response = AtlasResultsRequest(
+            msm_id=424_242, platform=backend
+        ).create()
+        assert_envelope(ok, response, 404)
+
+    def test_404_missing_measurement_under_chaos(self, backend):
+        from repro.atlas.api.transport import Transport
+
+        transport = Transport(backend, faults="flaky")
+        ok, response = AtlasResultsRequest(
+            msm_id=424_242, transport=transport
+        ).create()
+        assert_envelope(ok, response, 404)
+
+
+class TestStopRequest:
+    def test_404_missing_measurement(self, backend):
+        ok, response = AtlasStopRequest(msm_id=424_242, platform=backend).create()
+        assert_envelope(ok, response, 404)
+
+    def test_403_wrong_key(self, backend):
+        ok, created = request_create(backend)
+        assert ok
+        msm_id = created["measurements"][0]
+        ok, response = AtlasStopRequest(
+            msm_id=msm_id, key="SOMEONE-ELSE", platform=backend
+        ).create()
+        assert_envelope(ok, response, 403)
+        assert backend.measurement(msm_id).status != "Stopped"

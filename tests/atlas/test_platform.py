@@ -183,6 +183,93 @@ class TestResults:
         assert len(offsets) > 1  # not all aligned to the interval boundary
 
 
+class TestStopTruncation:
+    def test_timed_stop_truncates_generation(self):
+        backend = AtlasPlatform(seed=5)
+        msm_id = create(backend)
+        full = backend.results(msm_id)
+        cutoff = T0 + DAY
+        backend.stop_measurement(msm_id, at=cutoff)
+        truncated = backend.results(msm_id)
+        assert backend.measurement(msm_id).status == "Stopped"
+        assert truncated
+        assert all(r["timestamp"] < cutoff for r in truncated)
+        # Everything generated before the stop is kept, byte for byte.
+        assert truncated == [r for r in full if r["timestamp"] < cutoff]
+
+    def test_expected_counts_shrink_with_stop(self):
+        backend = AtlasPlatform(seed=5)
+        msm_id = create(backend)
+        msm = backend.measurement(msm_id)
+        probe_id = msm.probes[0].probe_id
+        before = backend.expected_result_count(msm_id, probe_id)
+        backend.stop_measurement(msm_id, at=T0 + DAY)
+        after = backend.expected_result_count(msm_id, probe_id)
+        assert 0 < after < before
+        assert backend.scheduled_tick_count(msm_id, probe_id) < before + after
+
+    def test_untimed_stop_cancels_outright(self):
+        backend = AtlasPlatform(seed=5)
+        msm_id = create(backend)
+        backend.stop_measurement(msm_id)
+        assert backend.results(msm_id) == []
+        assert backend.measurement(msm_id).effective_stop_time == T0
+
+    def test_repeated_stops_only_move_earlier(self):
+        backend = AtlasPlatform(seed=5)
+        msm_id = create(backend)
+        backend.stop_measurement(msm_id, at=T0 + DAY)
+        backend.stop_measurement(msm_id, at=T0 + 2 * DAY)  # later: ignored
+        assert backend.measurement(msm_id).effective_stop_time == T0 + DAY
+        backend.stop_measurement(msm_id, at=T0 + DAY // 2)
+        assert backend.measurement(msm_id).effective_stop_time == T0 + DAY // 2
+
+    def test_stop_before_start_clamps_to_start(self):
+        backend = AtlasPlatform(seed=5)
+        msm_id = create(backend)
+        backend.stop_measurement(msm_id, at=T0 - DAY)
+        assert backend.measurement(msm_id).effective_stop_time == T0
+
+
+class TestWindowIndependence:
+    def test_split_windows_equal_full_fetch_with_flaky_probes(self):
+        """Concatenated windows == one fetch, even for churn-heavy probes.
+
+        Offline ticks must not consume RNG (they are skipped identically
+        whatever the query window), so windowing never perturbs samples —
+        the invariant resumable collection rests on.
+        """
+        from dataclasses import replace
+
+        base = AtlasPlatform(seed=5)
+        flaky_probes = tuple(
+            replace(probe, stability=0.5)
+            for probe in base.filter_probes(country_code="DE")[:8]
+        )
+        backend = AtlasPlatform(seed=5, probes=flaky_probes, fleet=base.fleet)
+        msm_id = create(backend, stop=T0 + 4 * DAY)
+
+        probe_ids = [p.probe_id for p in backend.measurement(msm_id).probes]
+        churned = sum(
+            backend.scheduled_tick_count(msm_id, pid)
+            - backend.expected_result_count(msm_id, pid)
+            for pid in probe_ids
+        )
+        assert churned > 0  # the property is exercised on offline ticks
+
+        full = backend.results(msm_id)
+        split = []
+        edges = [T0, T0 + DAY, T0 + 2 * DAY + 5_000, T0 + 3 * DAY, T0 + 4 * DAY]
+        for lo, hi in zip(edges, edges[1:]):
+            split.extend(backend.results(msm_id, start=lo, stop=hi))
+        key = lambda r: (r["prb_id"], r["timestamp"])
+        assert sorted(split, key=key) == sorted(full, key=key)
+        # Sample values, not just keys, are window-independent.
+        assert {key(r): r["min"] for r in split} == {
+            key(r): r["min"] for r in full
+        }
+
+
 class TestTraceroute:
     def test_traceroute_results(self, backend):
         target = backend.hostname_for(backend.fleet[9])

@@ -1,0 +1,161 @@
+"""Tests for repro.atlas.api.retry — backoff, breaker, budget."""
+
+import pytest
+
+from repro.atlas.api.retry import (
+    CircuitBreaker,
+    RetryEngine,
+    RetryPolicy,
+    SimulatedClock,
+)
+from repro.errors import (
+    CircuitOpenError,
+    RateLimitedError,
+    RetryBudgetExhaustedError,
+    RetryExhaustedError,
+    ServerWobbleError,
+)
+
+
+def flaky_fn(failures, exc_factory=ServerWobbleError):
+    """Callable that raises ``failures`` times, then returns 'ok'."""
+    state = {"left": failures}
+
+    def fn():
+        if state["left"] > 0:
+            state["left"] -= 1
+            raise exc_factory()
+        return "ok"
+
+    return fn
+
+
+class TestSimulatedClock:
+    def test_monotonic_and_accounted(self):
+        clock = SimulatedClock(start=100.0)
+        clock.sleep(5)
+        clock.sleep(-3)  # negative sleeps are clamped, time never rewinds
+        assert clock.now() == 105.0
+        assert clock.slept_total == 5.0
+
+
+class TestBackoff:
+    def test_retries_until_success(self):
+        engine = RetryEngine(clock=SimulatedClock())
+        assert engine.call("results", flaky_fn(3)) == "ok"
+        assert engine.retries == 3
+        assert engine.clock.slept_total > 0
+
+    def test_exhausted_attempts_raise_with_last_fault(self):
+        policy = RetryPolicy(max_attempts=3)
+        engine = RetryEngine(policy, SimulatedClock())
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            engine.call("results", flaky_fn(99))
+        assert excinfo.value.attempts == 3
+        assert isinstance(excinfo.value.last, ServerWobbleError)
+        # max_attempts *calls*, so attempts - 1 retries.
+        assert engine.retries == 2
+
+    def test_retry_after_is_honored(self):
+        engine = RetryEngine(
+            RetryPolicy(max_delay_s=1.0), SimulatedClock()
+        )
+        engine.call(
+            "results", flaky_fn(1, lambda: RateLimitedError(retry_after=77.0))
+        )
+        # Jitter is capped at 1s, so the 77s sleep must come from Retry-After.
+        assert engine.clock.slept_total >= 77.0
+
+    def test_delay_capped(self):
+        policy = RetryPolicy(max_attempts=20, max_delay_s=2.0,
+                             breaker_threshold=1000)
+        engine = RetryEngine(policy, SimulatedClock())
+        with pytest.raises(RetryExhaustedError):
+            engine.call("results", flaky_fn(99))
+        assert engine.clock.slept_total <= 19 * 2.0
+
+    def test_jitter_deterministic_per_seed(self):
+        def slept(seed):
+            engine = RetryEngine(clock=SimulatedClock(), seed=seed)
+            engine.call("results", flaky_fn(4))
+            return engine.clock.slept_total
+
+        assert slept(7) == slept(7)
+        assert slept(7) != slept(8)
+
+
+class TestBudget:
+    def test_budget_exhaustion_raises(self):
+        policy = RetryPolicy(max_attempts=10, retry_budget=2)
+        engine = RetryEngine(policy, SimulatedClock())
+        with pytest.raises(RetryBudgetExhaustedError):
+            engine.call("results", flaky_fn(99))
+        assert engine.budget_left == 0
+
+    def test_budget_spans_calls(self):
+        policy = RetryPolicy(max_attempts=10, retry_budget=5)
+        engine = RetryEngine(policy, SimulatedClock())
+        engine.call("results", flaky_fn(2))
+        engine.call("measurement", flaky_fn(2))
+        assert engine.budget_left == 1
+        with pytest.raises(RetryBudgetExhaustedError):
+            engine.call("results", flaky_fn(99))
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_and_half_opens(self):
+        breaker = CircuitBreaker("results", threshold=3, cooldown_s=60.0)
+        for _ in range(3):
+            breaker.record_failure(now=10.0)
+        assert breaker.is_open
+        assert not breaker.allow(now=10.0)
+        assert breaker.remaining_cooldown(now=40.0) == 30.0
+        assert breaker.allow(now=70.0)  # half-open probe permitted
+        breaker.record_success()
+        assert not breaker.is_open
+        assert breaker.times_opened == 1
+
+    def test_engine_waits_out_open_circuit(self):
+        policy = RetryPolicy(
+            max_attempts=4, breaker_threshold=2, breaker_cooldown_s=500.0,
+            max_delay_s=1.0,
+        )
+        engine = RetryEngine(policy, SimulatedClock())
+        with pytest.raises(RetryExhaustedError):
+            engine.call("results", flaky_fn(99))
+        # Breaker opened after failure 2; attempts 3 and 4 each had to
+        # wait out (part of) the cooldown on the simulated clock.
+        assert engine.breaker_for("results").is_open
+        assert engine.clock.slept_total >= 500.0
+
+    def test_engine_fails_fast_when_configured(self):
+        policy = RetryPolicy(
+            max_attempts=10, breaker_threshold=2, breaker_cooldown_s=500.0,
+            wait_out_open_circuit=False,
+        )
+        engine = RetryEngine(policy, SimulatedClock())
+        with pytest.raises(CircuitOpenError) as excinfo:
+            engine.call("results", flaky_fn(99))
+        assert excinfo.value.endpoint == "results"
+        with pytest.raises(CircuitOpenError):
+            engine.call("results", lambda: "ok")  # still open: refused outright
+
+    def test_breakers_are_per_endpoint(self):
+        policy = RetryPolicy(
+            max_attempts=3, breaker_threshold=2, breaker_cooldown_s=500.0,
+            wait_out_open_circuit=False,
+        )
+        engine = RetryEngine(policy, SimulatedClock())
+        with pytest.raises(CircuitOpenError):
+            engine.call("results", flaky_fn(99))
+        # "results" tripped; "measurement" is untouched.
+        assert engine.call("measurement", flaky_fn(1)) == "ok"
+
+    def test_stats_shape(self):
+        engine = RetryEngine(clock=SimulatedClock())
+        engine.call("results", flaky_fn(2))
+        stats = engine.stats()
+        assert stats["retries"] == 2
+        assert stats["budget_left"] == engine.policy.retry_budget - 2
+        assert stats["simulated_sleep_s"] > 0
+        assert stats["breakers_opened"] == 0

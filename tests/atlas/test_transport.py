@@ -1,0 +1,156 @@
+"""Tests for repro.atlas.api.transport — the chaos seam."""
+
+import pytest
+
+from repro.atlas.api.retry import RetryPolicy
+from repro.atlas.api.sources import AtlasSource
+from repro.atlas.api.transport import (
+    Transport,
+    default_platform,
+    reset_default_platform,
+)
+from repro.atlas.faults import PROFILES, FaultInjector
+from repro.atlas.platform import DEFAULT_KEY, AtlasPlatform
+from repro.errors import AtlasAPIError
+
+T0 = 1_567_296_000
+DAY = 86_400
+
+
+def build_platform(seed=13):
+    platform = AtlasPlatform(seed=seed)
+    msm_id = platform.create_measurement(
+        {
+            "target": platform.hostname_for(platform.fleet[9]),
+            "description": "chaos-seam test",
+            "type": "ping",
+            "af": 4,
+            "is_oneoff": False,
+            "packets": 3,
+            "size": 48,
+            "interval": 3_600,
+        },
+        [AtlasSource(type="country", value="DE", requested=5)],
+        T0,
+        T0 + 4 * DAY,
+        key=DEFAULT_KEY,
+    )
+    return platform, msm_id
+
+
+@pytest.fixture(scope="module")
+def msm_platform():
+    """A platform with one running measurement."""
+    return build_platform()
+
+
+class TestPassThrough:
+    def test_no_injector_by_default(self, msm_platform):
+        platform, _ = msm_platform
+        transport = Transport(platform)
+        assert transport.injector is None
+        assert transport.fault_profile.name == "none"
+
+    def test_noop_profile_means_no_injector(self, msm_platform):
+        platform, _ = msm_platform
+        assert Transport(platform, faults="none").injector is None
+        assert Transport(platform, faults=PROFILES["none"]).injector is None
+
+    def test_results_identical_to_platform(self, msm_platform):
+        platform, msm_id = msm_platform
+        transport = Transport(platform)
+        assert transport.results(msm_id) == platform.results(msm_id)
+
+    def test_default_platform_cached_and_resettable(self):
+        reset_default_platform()
+        first = default_platform()
+        assert default_platform() is first
+        reset_default_platform()
+        second = default_platform()
+        assert second is not first
+        assert second.seed == first.seed == 0
+        reset_default_platform()
+
+
+class TestChaosPath:
+    def test_flaky_converges_to_identical_results(self, msm_platform):
+        platform, msm_id = msm_platform
+        baseline = platform.results(msm_id)
+        transport = Transport(platform, faults="flaky", page_size=20)
+        chaotic = transport.results(msm_id)
+        # flaky injects only recoverable faults; after the transport's
+        # retries the stream may still carry injected duplicates, but
+        # deduplicated it must equal the canonical results exactly.
+        dedup, seen = [], set()
+        for entry in chaotic:
+            key = (entry["prb_id"], entry["timestamp"])
+            if key not in seen:
+                seen.add(key)
+                dedup.append(entry)
+        assert dedup == baseline
+        stats = transport.stats()
+        assert stats["profile"] == "flaky"
+        assert sum(stats["faults"].values()) > 0
+        assert stats["retries"] > 0
+
+    def test_chaos_run_is_deterministic(self):
+        runs = []
+        for _ in range(2):
+            platform, msm_id = build_platform()
+            transport = Transport(platform, faults="hostile", page_size=20)
+            runs.append((transport.results(msm_id), transport.stats()))
+        assert runs[0] == runs[1]
+
+    def test_missing_measurement_is_api_error_not_fault(self, msm_platform):
+        platform, _ = msm_platform
+        transport = Transport(platform, faults="flaky")
+        with pytest.raises(AtlasAPIError):
+            transport.results(999_999)
+
+    def test_injector_instance_adopts_transport_clock(self, msm_platform):
+        platform, msm_id = msm_platform
+        injector = FaultInjector(platform.seed, "flaky")
+        transport = Transport(platform, faults=injector)
+        assert injector.clock is transport.clock
+        transport.results(msm_id)
+        assert transport.retry.clock is transport.clock
+
+    def test_starved_retry_policy_eventually_raises(self, msm_platform):
+        from repro.errors import TransportError
+
+        platform, msm_id = msm_platform
+        transport = Transport(
+            platform,
+            faults="hostile",
+            retry=RetryPolicy(max_attempts=2, retry_budget=3),
+            page_size=10,
+        )
+        with pytest.raises(TransportError):
+            for _ in range(50):
+                transport.results(msm_id)
+
+
+class TestSeamWiring:
+    def test_client_requests_share_transport(self, msm_platform):
+        from repro.atlas.api.client import AtlasResultsRequest
+
+        platform, msm_id = msm_platform
+        transport = Transport(platform)
+        request = AtlasResultsRequest(msm_id=msm_id, transport=transport)
+        assert request.transport is transport
+        assert request.platform is platform
+        ok, results = request.create()
+        assert ok and len(results) == len(platform.results(msm_id))
+
+    def test_stream_uses_transport(self, msm_platform):
+        from repro.atlas.api.stream import AtlasStream
+
+        platform, msm_id = msm_platform
+        transport = Transport(platform, faults="flaky", page_size=20)
+        stream = AtlasStream(transport=transport)
+        assert stream.platform is platform
+        stream.start_stream(stream_type="result", msm=msm_id)
+        delivered = list(stream.iter_merged())
+        baseline = platform.results(msm_id)
+        keys = {(r["prb_id"], r["timestamp"]) for r in delivered}
+        assert keys == {(r["prb_id"], r["timestamp"]) for r in baseline}

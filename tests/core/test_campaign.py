@@ -3,9 +3,13 @@
 import numpy as np
 import pytest
 
+from repro.atlas.api.retry import RetryPolicy
+from repro.atlas.api.transport import Transport
+from repro.atlas.credits import CreditAccount
+from repro.atlas.platform import AtlasPlatform
 from repro.constants import CAMPAIGN_START_TS
-from repro.core.campaign import Campaign, CampaignScale
-from repro.errors import CampaignError
+from repro.core.campaign import Campaign, CampaignScale, CollectionCheckpoint
+from repro.errors import CampaignError, CollectionInterruptedError
 
 
 class TestScales:
@@ -66,9 +70,13 @@ class TestExecution:
     def test_one_measurement_per_region(self, tiny_campaign):
         assert len(tiny_campaign.measurement_ids) == 101
 
-    def test_double_create_rejected(self, tiny_campaign):
-        with pytest.raises(CampaignError):
-            tiny_campaign.create_measurements()
+    def test_double_create_idempotent(self, tiny_campaign):
+        """Re-running create_measurements must not duplicate measurements."""
+        ids_before = list(tiny_campaign.measurement_ids)
+        ids_again = tiny_campaign.create_measurements()
+        assert ids_again == ids_before
+        assert len(tiny_campaign.platform.list_measurements(
+            key=tiny_campaign.api_key)) == len(ids_before)
 
     def test_collect_before_create_rejected(self):
         campaign = Campaign.from_paper(scale=CampaignScale.TINY, seed=99)
@@ -124,6 +132,98 @@ class TestExecution:
         )
         window = tiny_campaign.collect(start=midpoint)
         assert window.column("timestamp").min() >= midpoint
+
+    def test_quota_interrupted_create_is_resumable(self):
+        """A mid-loop QuotaExceededError leaves create_measurements
+        retryable: top up the account and call again — already-created
+        measurements are skipped, never duplicated."""
+        platform = AtlasPlatform(seed=44)
+        # TINY creation costs ~115k credits (~1.1k per measurement); 50k
+        # runs dry partway through the fleet loop.
+        platform.register_account(
+            CreditAccount(key="TIGHT", balance=50_000, daily_limit=10_000_000)
+        )
+        campaign = Campaign(
+            platform, scale=CampaignScale.TINY, api_key="TIGHT"
+        )
+        with pytest.raises(CampaignError, match="quota|balance|402"):
+            campaign.create_measurements()
+        partial = list(campaign.measurement_ids)
+        assert 0 < len(partial) < len(platform.fleet)
+
+        platform.accounts["TIGHT"].grant(200_000)
+        ids = campaign.create_measurements()
+        assert len(ids) == len(platform.fleet)
+        assert len(set(ids)) == len(ids)
+        assert ids[: len(partial)] == partial  # fleet order preserved
+        assert len(platform.list_measurements(key="TIGHT")) == len(ids)
+
+        # And the campaign is fully usable afterwards.
+        dataset = campaign.collect(stop=campaign.start_time + 43_200)
+        assert dataset.num_samples > 0
+
+    def test_interrupted_collection_resumes_without_loss(self):
+        """Checkpointed collection survives a transport giving out mid-run
+        and resumes to the exact fault-free dataset."""
+        baseline_campaign = Campaign.from_paper(
+            scale=CampaignScale.TINY, seed=47
+        )
+        baseline_campaign.create_measurements()
+        baseline = baseline_campaign.collect()
+
+        campaign = Campaign.from_paper(scale=CampaignScale.TINY, seed=47)
+        campaign.create_measurements()
+        # Swap in a chaos transport too starved to ride out the faults.
+        campaign.transport = Transport(
+            campaign.platform,
+            faults="flaky",
+            retry=RetryPolicy(max_attempts=2, retry_budget=4),
+        )
+        checkpoint = CollectionCheckpoint()
+        with pytest.raises(CollectionInterruptedError) as excinfo:
+            campaign.collect(checkpoint=checkpoint)
+        interrupted = excinfo.value
+        assert interrupted.checkpoint is checkpoint
+        partial = interrupted.dataset
+        done = len(checkpoint.high_water)
+        assert 0 < done < len(campaign.measurement_ids)
+        assert campaign.collection_stats.interruptions == 1
+
+        # Resume through a healthy-policy transport, same chaos profile.
+        campaign.transport = Transport(campaign.platform, faults="flaky")
+        resumed = campaign.collect(checkpoint=checkpoint, dataset=partial)
+        assert resumed.num_samples == baseline.num_samples
+        for column in ("probe_id", "target_index", "timestamp"):
+            assert np.array_equal(
+                resumed.column(column), baseline.column(column)
+            )
+        assert np.array_equal(
+            resumed.column("rtt_min"), baseline.column("rtt_min"),
+            equal_nan=True,
+        )
+
+    def test_checkpoint_roundtrips_through_json(self, tmp_path):
+        checkpoint = CollectionCheckpoint()
+        checkpoint.mark(100_001, 1_600_000_000)
+        checkpoint.mark(100_002, 1_600_100_000)
+        checkpoint.mark(100_001, 1_500_000_000)  # older: ignored
+        path = tmp_path / "checkpoint.json"
+        checkpoint.save(path)
+        loaded = CollectionCheckpoint.load(path)
+        assert loaded.high_water == {
+            100_001: 1_600_000_000,
+            100_002: 1_600_100_000,
+        }
+        assert loaded.collected_through(100_003, default=7) == 7
+
+    def test_checkpointed_recollection_is_noop(self):
+        campaign = Campaign.from_paper(scale=CampaignScale.TINY, seed=47)
+        campaign.create_measurements()
+        checkpoint = CollectionCheckpoint()
+        first = campaign.collect(checkpoint=checkpoint)
+        again = campaign.collect(checkpoint=checkpoint)
+        assert first.num_samples > 0
+        assert again.num_samples == 0  # everything already covered
 
     def test_run_deterministic(self):
         a = Campaign.from_paper(scale=CampaignScale.TINY, seed=31).run()

@@ -89,3 +89,83 @@ class TestCampaignCommands:
         text = path.read_text(encoding="utf-8")
         assert "# Latency Shears" in text
         assert "Figure 6" in text
+
+
+class TestChaosFlags:
+    def test_faults_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--faults", "apocalyptic"])
+
+    def test_run_with_faults_reports_health(self, capsys):
+        assert main(
+            ["run", "--scale", "tiny", "--seed", "5", "--faults", "flaky"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "chaos profile flaky" in out
+        assert "retries" in out
+        assert "wireless penalty" in out  # the report still renders
+
+    def test_resume_clean_run_leaves_no_state(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        assert main(
+            ["run", "--scale", "tiny", "--seed", "5",
+             "--resume", str(state)]
+        ) == 0
+        assert not (state / "checkpoint.json").exists()
+        assert not (state / "partial.csv").exists()
+
+    def test_corrupt_resume_state_reported_cleanly(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        state.mkdir()
+        (state / "checkpoint.json").write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--scale", "tiny", "--seed", "5",
+                  "--resume", str(state)])
+        assert excinfo.value.code == 2
+        assert "corrupt resume state" in capsys.readouterr().err
+
+    def test_interrupt_then_resume_recovers_everything(self, tmp_path, capsys):
+        """Drive the CLI's resume helper through an interruption and
+        verify the resumed dataset matches a fault-free run."""
+        import numpy as np
+
+        from repro.atlas.api.retry import RetryPolicy
+        from repro.atlas.api.transport import Transport
+        from repro.cli import _resume_collect
+        from repro.core.campaign import Campaign, CampaignScale
+
+        baseline_campaign = Campaign.from_paper(
+            scale=CampaignScale.TINY, seed=5
+        )
+        baseline = baseline_campaign.run()
+
+        campaign = Campaign.from_paper(scale=CampaignScale.TINY, seed=5)
+        campaign.create_measurements()
+        campaign.transport = Transport(
+            campaign.platform,
+            faults="flaky",
+            retry=RetryPolicy(max_attempts=2, retry_budget=4),
+        )
+        state = tmp_path / "state"
+        assert _resume_collect(campaign, state) is None
+        assert (state / "checkpoint.json").exists()
+        assert (state / "partial.csv").exists()
+
+        # Second invocation, as a fresh process would run it.
+        campaign = Campaign.from_paper(scale=CampaignScale.TINY, seed=5)
+        campaign.create_measurements()
+        campaign.transport = Transport(campaign.platform, faults="flaky")
+        resumed = _resume_collect(campaign, state)
+        assert resumed is not None
+        assert not (state / "checkpoint.json").exists()
+        assert resumed.num_samples == baseline.num_samples
+        key = lambda ds: sorted(
+            zip(ds.column("probe_id"), ds.column("timestamp"),
+                ds.column("target_index"))
+        )
+        assert key(resumed) == key(baseline)
+        assert np.array_equal(
+            np.sort(resumed.column("rtt_min")),
+            np.sort(baseline.column("rtt_min")),
+            equal_nan=True,
+        )

@@ -74,3 +74,26 @@ class TestFleetSummary:
     def test_wireless_probes_flakier(self, accounting):
         summary = fleet_summary(accounting)
         assert summary["wireless_uptime"] < summary["wired_uptime"]
+
+    def test_collection_stats_folded_in(self, accounting, tiny_campaign):
+        summary = fleet_summary(accounting, stats=tiny_campaign.collection_stats)
+        assert summary["quarantined"] == 0.0
+        assert summary["duplicates_dropped"] == 0.0
+        assert summary["interruptions"] == 0.0
+        assert summary["quarantine_share"] == 0.0
+
+
+class TestCollectionHealth:
+    def test_report_shape(self, tiny_campaign):
+        from repro.core.completeness import collection_health
+
+        health = collection_health(tiny_campaign)
+        # Stats accumulate across collect() calls, so other tests sharing
+        # the session fixture can only grow them past the initial run.
+        assert health["samples_appended"] >= tiny_campaign.run_dataset.num_samples
+        assert health["measurements_collected"] >= len(
+            tiny_campaign.measurement_ids
+        )
+        assert health["quarantined"] == 0
+        assert health["transport"]["profile"] == "none"
+        assert health["transport"]["retries"] == 0

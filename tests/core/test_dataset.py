@@ -114,6 +114,60 @@ class TestIntegrity:
         assert report["targets_seen"] == 3
 
 
+class TestDedupGuard:
+    def test_duplicate_appends_dropped_and_counted(self):
+        probes = generate_population(seed=2)[:2]
+        targets = deploy_fleet()[:1]
+        ds = CampaignDataset(probes, targets, dedup=True)
+        for _ in range(3):
+            ds.append(probes[0].probe_id, targets[0].key,
+                      1_567_296_000, 10.0, 12.0, 3, 3)
+        ds.append(probes[1].probe_id, targets[0].key,
+                  1_567_296_000, 11.0, 13.0, 3, 3)
+        assert len(ds) == 2
+        assert ds.duplicates_dropped == 2
+
+    def test_disabled_by_default(self, dataset):
+        probe = dataset.probes[0]
+        dataset.append(probe.probe_id, dataset.targets[0].key,
+                       1_567_296_000, 10.0, 12.0, 3, 3)
+        dataset.append(probe.probe_id, dataset.targets[0].key,
+                       1_567_296_000, 10.0, 12.0, 3, 3)
+        assert len(dataset) == 7
+        assert dataset.duplicates_dropped == 0
+
+
+class TestFromFrame:
+    def test_round_trip(self, dataset):
+        rebuilt = CampaignDataset.from_frame(
+            dataset.to_frame(), dataset.probes, dataset.targets
+        )
+        assert rebuilt.num_samples == dataset.num_samples
+        for column in ("probe_id", "target_index", "timestamp", "sent", "rcvd"):
+            assert list(rebuilt.column(column)) == list(dataset.column(column))
+        assert np.array_equal(
+            rebuilt.column("rtt_min"), dataset.column("rtt_min"), equal_nan=True
+        )
+
+    def test_rebuilt_dataset_accepts_appends(self, dataset):
+        """from_frame exists to resume collection: the rebuilt dataset
+        must be unfrozen and honor its dedup guard."""
+        rebuilt = CampaignDataset.from_frame(
+            dataset.to_frame(), dataset.probes, dataset.targets, dedup=True
+        )
+        probe = dataset.probes[0]
+        before = rebuilt._buffer.probe_id[:]
+        # Re-appending an existing sample is swallowed by the guard...
+        rebuilt.append(probe.probe_id, dataset.targets[0].key,
+                       int(dataset.column("timestamp")[0]), 10.0, 12.0, 3, 3)
+        assert rebuilt._buffer.probe_id == before
+        assert rebuilt.duplicates_dropped == 1
+        # ...while a genuinely new sample still lands.
+        rebuilt.append(probe.probe_id, dataset.targets[0].key,
+                       2_000_000_000, 10.0, 12.0, 3, 3)
+        assert rebuilt.num_samples == dataset.num_samples + 1
+
+
 class TestExport:
     def test_csv_round_trip(self, dataset, tmp_path):
         path = tmp_path / "dataset.csv"

@@ -1,0 +1,108 @@
+"""Chaos-hardening integration tests.
+
+The headline guarantee of the fault-injection work: a campaign collected
+through a fault-injecting transport converges to the *same dataset* a
+fault-free run produces — exactly identical under recoverable-only
+profiles, identical up to quarantined malformed blobs under hostile ones
+— and never crashes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import Campaign, CampaignScale
+from repro.core.completeness import collection_health
+
+#: Matches tests/conftest.FIXTURE_SEED so the session fixtures double as
+#: the fault-free baselines here.
+FIXTURE_SEED = 7
+
+COLUMNS = ("probe_id", "target_index", "timestamp", "sent", "rcvd")
+
+
+def assert_datasets_identical(chaotic, baseline):
+    assert chaotic.num_samples == baseline.num_samples
+    for column in COLUMNS:
+        assert np.array_equal(chaotic.column(column), baseline.column(column))
+    for column in ("rtt_min", "rtt_avg"):
+        assert np.array_equal(
+            chaotic.column(column), baseline.column(column), equal_nan=True
+        )
+
+
+class TestFlakyIdentity:
+    def test_small_campaign_converges_to_baseline(self, small_dataset):
+        """SMALL scale under the flaky profile: retries + dedup recover
+        the byte-identical dataset, and the faults actually fired."""
+        campaign = Campaign.from_paper(
+            scale=CampaignScale.SMALL, seed=FIXTURE_SEED, faults="flaky"
+        )
+        dataset = campaign.run()
+        assert_datasets_identical(dataset, small_dataset)
+        health = collection_health(campaign)
+        assert health["transport"]["profile"] == "flaky"
+        assert sum(health["transport"]["faults"].values()) > 0
+        assert health["transport"]["retries"] > 0
+        assert health["quarantined"] == 0  # flaky is recoverable-only
+
+
+class TestHarsherProfiles:
+    def test_outage_converges_exactly(self, tiny_dataset):
+        """Maintenance windows stall collection (on the simulated clock)
+        but lose nothing: outage injects no unrecoverable faults."""
+        campaign = Campaign.from_paper(
+            scale=CampaignScale.TINY, seed=FIXTURE_SEED, faults="outage"
+        )
+        dataset = campaign.run()
+        assert_datasets_identical(dataset, tiny_dataset)
+        health = collection_health(campaign)
+        assert health["transport"]["simulated_sleep_s"] > 0
+
+    def test_hostile_converges_up_to_quarantine(self, tiny_dataset):
+        """Malformed blobs are quarantined, never crash the collector;
+        everything else converges."""
+        campaign = Campaign.from_paper(
+            scale=CampaignScale.TINY, seed=FIXTURE_SEED, faults="hostile"
+        )
+        dataset = campaign.run()
+        health = collection_health(campaign)
+        quarantined = health["quarantined"]
+        assert quarantined > 0
+        # A malformed blob may also hit an injected duplicate, so the
+        # sample deficit is at most the quarantine count.
+        deficit = tiny_dataset.num_samples - dataset.num_samples
+        assert 0 <= deficit <= quarantined
+        # Surviving samples are a subset of the baseline, values intact.
+        baseline = {
+            (p, t, ts): r
+            for p, t, ts, r in zip(
+                tiny_dataset.column("probe_id"),
+                tiny_dataset.column("target_index"),
+                tiny_dataset.column("timestamp"),
+                tiny_dataset.column("rtt_min"),
+            )
+        }
+        for p, t, ts, r in zip(
+            dataset.column("probe_id"),
+            dataset.column("target_index"),
+            dataset.column("timestamp"),
+            dataset.column("rtt_min"),
+        ):
+            expected = baseline[(int(p), int(t), int(ts))]
+            assert (np.isnan(r) and np.isnan(expected)) or r == expected
+
+
+class TestDeterminism:
+    def test_hostile_runs_replay_byte_identically(self):
+        runs = []
+        for _ in range(2):
+            campaign = Campaign.from_paper(
+                scale=CampaignScale.TINY, seed=99, faults="hostile"
+            )
+            dataset = campaign.run()
+            runs.append((dataset, collection_health(campaign)))
+        dataset_a, health_a = runs[0]
+        dataset_b, health_b = runs[1]
+        assert_datasets_identical(dataset_a, dataset_b)
+        assert health_a == health_b
+        assert health_a["quarantined"] == health_b["quarantined"]
