@@ -20,6 +20,7 @@ the exact timing logic.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, TypeVar
 
@@ -119,10 +120,40 @@ class RetryEngine:
                  seed: int = 0):
         self.policy = policy if policy is not None else RetryPolicy()
         self.clock = clock if clock is not None else SimulatedClock()
+        self.seed = int(seed)
         self._rng = stream(seed, "retry", "jitter")
         self.budget_left = self.policy.retry_budget
         self.retries = 0
         self.breakers: Dict[str, CircuitBreaker] = {}
+        self._breakers_opened_past = 0
+
+    @contextmanager
+    def scope(self, *labels):
+        """Run a block under a label-derived retry scope.
+
+        The jitter stream is re-derived from ``(seed, labels)`` and the
+        circuit breakers start fresh, so the backoff schedule inside the
+        block is a pure function of the labels and the fault sequence —
+        independent of what the engine retried before.  The transport
+        scopes each result-window fetch this way, which (together with
+        :meth:`repro.atlas.faults.FaultInjector.scope`) makes a window's
+        fetch outcome identical whether it runs serially or on any
+        parallel worker.  The retry *budget* stays engine-global: parity
+        between serial and sharded runs assumes the budget does not run
+        dry (the default budget is far beyond any profile's needs).
+        Cumulative counters (``retries``, ``breakers_opened``) keep
+        accumulating across scopes.
+        """
+        saved_rng, saved_breakers = self._rng, self.breakers
+        self._rng = stream(self.seed, "retry", "jitter", *labels)
+        self.breakers = {}
+        try:
+            yield self
+        finally:
+            self._breakers_opened_past += sum(
+                b.times_opened for b in self.breakers.values()
+            )
+            self._rng, self.breakers = saved_rng, saved_breakers
 
     def breaker_for(self, endpoint: str) -> CircuitBreaker:
         breaker = self.breakers.get(endpoint)
@@ -175,5 +206,6 @@ class RetryEngine:
             "retries": self.retries,
             "budget_left": self.budget_left,
             "simulated_sleep_s": round(self.clock.slept_total, 3),
-            "breakers_opened": sum(b.times_opened for b in self.breakers.values()),
+            "breakers_opened": self._breakers_opened_past
+            + sum(b.times_opened for b in self.breakers.values()),
         }

@@ -17,11 +17,20 @@ is where a live deployment would put HTTPS; here it is where chaos lives:
   simulated clock.
 
 Faults and retry jitter both derive from the platform seed, so a chaos
-run replays byte-identically under the same seed.
+run replays byte-identically under the same seed.  Each result-window
+fetch additionally runs under a ``(msm_id, start, stop)`` fault/retry
+*scope* (:meth:`~repro.atlas.faults.FaultInjector.scope`), which makes
+the fetch outcome a pure function of ``(seed, profile, policy, msm_id,
+window)`` — independent of fetch order or thread interleaving.  A
+sharded parallel collector exploits this: every worker gets its own
+:meth:`Transport.worker_clone` (fresh clock, injector, and retry
+state) and still reproduces exactly the faults a serial run would have
+injected for the same windows.
 """
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from functools import lru_cache
 from typing import Dict, List, Sequence
 
@@ -83,6 +92,24 @@ class Transport:
     def fault_profile(self) -> FaultProfile:
         return self.injector.profile if self.injector else get_profile("none")
 
+    def worker_clone(self) -> "Transport":
+        """A transport for one parallel-collection worker.
+
+        Same platform, fault profile, retry policy, and page size — but a
+        fresh simulated clock, fault injector, and retry engine, so
+        workers never share mutable chaos state.  Because fault and
+        jitter schedules are scoped per result window, a clone injects
+        exactly the faults the original would have for the same window.
+        """
+        profile = self.fault_profile
+        return Transport(
+            self.platform,
+            faults=None if profile.is_noop else profile,
+            retry=self.retry.policy,
+            clock=SimulatedClock(),
+            page_size=self.page_size,
+        )
+
     # -- plumbing -----------------------------------------------------------
 
     def _call(self, endpoint: str, fn):
@@ -136,21 +163,33 @@ class Transport:
         """
         if self.injector is None:
             return self.platform.results(msm_id, start, stop, probe_ids)
-        # Validate the measurement id through the chaos path first so a
-        # 404 surfaces as an API error, not a per-page transport fault.
-        self.measurement(msm_id)
-        full = self.platform.results(msm_id, start, stop, probe_ids)
-        out: List[dict] = []
-        offsets = range(0, len(full), self.page_size) if full else (0,)
-        for offset in offsets:
-            page_slice = full[offset : offset + self.page_size]
+        # Scope the whole fetch by (measurement, window): the fault and
+        # jitter schedules below depend only on these labels, never on
+        # what was fetched before — see the module docstring.
+        labels = (
+            "msm",
+            msm_id,
+            "-" if start is None else int(start),
+            "-" if stop is None else int(stop),
+        )
+        with ExitStack() as stack:
+            stack.enter_context(self.injector.scope(*labels))
+            stack.enter_context(self.retry.scope(*labels))
+            # Validate the measurement id through the chaos path first so
+            # a 404 surfaces as an API error, not a per-page fault.
+            self.measurement(msm_id)
+            full = self.platform.results(msm_id, start, stop, probe_ids)
+            out: List[dict] = []
+            offsets = range(0, len(full), self.page_size) if full else (0,)
+            for offset in offsets:
+                page_slice = full[offset : offset + self.page_size]
 
-            def fetch_page(page=page_slice):
-                self.injector.before_call("results")
-                return self.injector.mangle_page(page)
+                def fetch_page(page=page_slice):
+                    self.injector.before_call("results")
+                    return self.injector.mangle_page(page)
 
-            out.extend(self.retry.call("results", fetch_page))
-        return out
+                out.extend(self.retry.call("results", fetch_page))
+            return out
 
     # -- reporting ----------------------------------------------------------
 

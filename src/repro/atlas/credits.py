@@ -11,6 +11,7 @@ refuse the paper-scale campaign unless granted a quota raise.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -40,13 +41,23 @@ def ping_result_cost(packets: int) -> int:
 
 @dataclass
 class CreditAccount:
-    """A metered Atlas account."""
+    """A metered Atlas account.
+
+    Mutation is serialized by an internal lock: the check-then-apply in
+    :meth:`charge` must be atomic, or concurrent chargers (parallel
+    collection workers, a multi-threaded client) could both pass the
+    balance check and overdraw the account — or lose an update to the
+    per-day spend map.
+    """
 
     key: str
     balance: int = DEFAULT_BALANCE
     daily_limit: int = DEFAULT_DAILY_LIMIT
     spent_total: int = 0
     _spent_by_day: Dict[int, int] = field(default_factory=dict)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def charge(self, amount: int, timestamp: int) -> None:
         """Charge ``amount`` credits at ``timestamp``.
@@ -56,33 +67,38 @@ class CreditAccount:
         """
         if amount < 0:
             raise AtlasError(f"cannot charge a negative amount: {amount}")
-        if amount > self.balance:
-            raise QuotaExceededError(
-                f"account {self.key!r} balance {self.balance} cannot cover {amount}"
-            )
-        day = timestamp // _DAY_S
-        day_spent = self._spent_by_day.get(day, 0)
-        if day_spent + amount > self.daily_limit:
-            raise QuotaExceededError(
-                f"account {self.key!r} daily limit {self.daily_limit} exceeded"
-            )
-        self.balance -= amount
-        self.spent_total += amount
-        self._spent_by_day[day] = day_spent + amount
+        with self._lock:
+            if amount > self.balance:
+                raise QuotaExceededError(
+                    f"account {self.key!r} balance {self.balance} "
+                    f"cannot cover {amount}"
+                )
+            day = timestamp // _DAY_S
+            day_spent = self._spent_by_day.get(day, 0)
+            if day_spent + amount > self.daily_limit:
+                raise QuotaExceededError(
+                    f"account {self.key!r} daily limit {self.daily_limit} exceeded"
+                )
+            self.balance -= amount
+            self.spent_total += amount
+            self._spent_by_day[day] = day_spent + amount
 
     def grant(self, amount: int) -> None:
         """Top up the account (earning credits by hosting probes)."""
         if amount < 0:
             raise AtlasError(f"cannot grant a negative amount: {amount}")
-        self.balance += amount
+        with self._lock:
+            self.balance += amount
 
     def raise_quota(self, daily_limit: int, balance: int = None) -> None:
         """The 'increased quota limits' from the paper's acknowledgements."""
         if daily_limit <= 0:
             raise AtlasError("daily limit must be positive")
-        self.daily_limit = daily_limit
-        if balance is not None:
-            self.balance = max(self.balance, balance)
+        with self._lock:
+            self.daily_limit = daily_limit
+            if balance is not None:
+                self.balance = max(self.balance, balance)
 
     def spent_on_day(self, timestamp: int) -> int:
-        return self._spent_by_day.get(timestamp // _DAY_S, 0)
+        with self._lock:
+            return self._spent_by_day.get(timestamp // _DAY_S, 0)

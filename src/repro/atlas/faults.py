@@ -9,9 +9,22 @@ purpose, and deterministically.
 A :class:`FaultInjector` sits inside the transport
 (:mod:`repro.atlas.api.transport`) and intercepts every outbound call.
 Each intercept draws from :func:`repro.net.rng.stream` keyed by
-``(seed, "faults", endpoint, call_index)``, so a run with the same seed
-replays the identical fault schedule byte for byte; chaos tests can
-assert exact-dataset identity across runs.
+``(seed, "faults", *scope, endpoint, call_index)``, so a run with the
+same seed replays the identical fault schedule byte for byte; chaos
+tests can assert exact-dataset identity across runs.
+
+**Order independence (the parallel-collection contract).**  The call
+counter and the maintenance window are *scoped*: entering
+:meth:`FaultInjector.scope` with a label path (the transport uses
+``("msm", msm_id, start, stop)`` around each result-window fetch) resets
+both and mixes the labels into the RNG key.  Inside a scope the fault
+schedule is therefore a pure function of ``(seed, profile, scope
+labels, call sequence within the scope)`` — independent of which
+worker, thread, or position in the campaign performs the fetch.  Two
+transports with the same seed and profile inject byte-identical faults
+for the same measurement window regardless of interleaving, which is
+what lets a sharded parallel collector converge to the exact dataset a
+serial run produces.
 
 Two fault classes exist:
 
@@ -29,8 +42,9 @@ from __future__ import annotations
 
 import itertools
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import (
     AtlasError,
@@ -144,15 +158,39 @@ class FaultInjector:
         self.profile = get_profile(profile)
         self.clock = clock
         self.counts: Counter = Counter()
+        self._scope_labels: Tuple = ()
         self._calls = itertools.count()
         self._maintenance_until: Optional[float] = None
+
+    @contextmanager
+    def scope(self, *labels):
+        """Run a block under a label-derived fault scope.
+
+        Resets the call counter and any open maintenance window for the
+        duration of the block and keys every RNG draw inside it by
+        ``labels`` — the schedule becomes a pure function of
+        ``(seed, profile, labels, call sequence)``, independent of what
+        was injected before or concurrently elsewhere.  Fault *counts*
+        keep accumulating across scopes.  Scopes restore the previous
+        state on exit, so unscoped callers are unaffected.
+        """
+        saved = (self._scope_labels, self._calls, self._maintenance_until)
+        self._scope_labels = tuple(labels)
+        self._calls = itertools.count()
+        self._maintenance_until = None
+        try:
+            yield self
+        finally:
+            self._scope_labels, self._calls, self._maintenance_until = saved
 
     # -- transport faults ---------------------------------------------------
 
     def before_call(self, endpoint: str) -> None:
         """Raise a transient transport fault, or return to let the call pass."""
         profile = self.profile
-        rng = stream(self.seed, "faults", endpoint, next(self._calls))
+        rng = stream(
+            self.seed, "faults", *self._scope_labels, endpoint, next(self._calls)
+        )
         now = self.clock.now() if self.clock is not None else 0.0
         if self._maintenance_until is not None:
             if now < self._maintenance_until:
@@ -196,7 +234,10 @@ class FaultInjector:
         the platform's canonical dicts are never mutated.
         """
         profile = self.profile
-        rng = stream(self.seed, "faults", endpoint, "page", next(self._calls))
+        rng = stream(
+            self.seed, "faults", *self._scope_labels, endpoint, "page",
+            next(self._calls),
+        )
         if page and float(rng.random()) < profile.truncate_page:
             self.counts["truncate_page"] += 1
             got = int(rng.integers(0, len(page)))

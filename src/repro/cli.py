@@ -11,8 +11,10 @@ Exposes the reproduction as a small tool::
     repro whatif                    # 5G what-if scenario table
     repro export --out DIR          # campaign + figure-data bundles
 
-Every subcommand accepts ``--seed`` (default 7) and ``--faults`` (chaos
-profile for the collection transport).  Designed to be driven
+Every subcommand accepts ``--seed`` (default 7), ``--faults`` (chaos
+profile for the collection transport), and ``--workers`` (parallel
+collection; the frozen dataset is byte-identical at any worker count).
+Designed to be driven
 programmatically too: :func:`main` takes an argv list and returns an exit
 code, printing to stdout only.
 """
@@ -41,6 +43,33 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="collect through a fault-injecting transport (default none); "
         "all faults are seeded, so runs replay deterministically",
     )
+    parser.add_argument(
+        "--workers",
+        default="auto",
+        metavar="N",
+        help="collection workers: an integer, or 'auto' to match the "
+        "machine (default auto; tiny campaigns stay serial).  The frozen "
+        "dataset is byte-identical at any worker count, faults included",
+    )
+
+
+def _resolve_cli_workers(args):
+    """Map the ``--workers`` string to what :meth:`Campaign.collect` takes.
+
+    ``auto`` resolves to serial for tiny campaigns — fork/thread pool
+    overhead dwarfs a tiny collection — and defers to
+    :func:`~repro.core.campaign.resolve_workers` otherwise.
+    """
+    raw = getattr(args, "workers", "auto")
+    if raw == "auto":
+        return 1 if getattr(args, "scale", "tiny") == "tiny" else "auto"
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise SystemExit(f"--workers must be an integer or 'auto': {raw!r}")
+    if workers < 1:
+        raise SystemExit(f"--workers must be positive: {workers}")
+    return workers
 
 
 def _build_campaign(args):
@@ -53,7 +82,7 @@ def _build_campaign(args):
 
 
 def _campaign_dataset(args):
-    return _build_campaign(args).run()
+    return _build_campaign(args).run(workers=_resolve_cli_workers(args))
 
 
 def _cmd_footprint(args) -> int:
@@ -68,7 +97,7 @@ def _cmd_footprint(args) -> int:
     return 0
 
 
-def _resume_collect(campaign, state_dir):
+def _resume_collect(campaign, state_dir, workers=None):
     """Checkpointed collection: resume from (and persist to) ``state_dir``.
 
     Returns the completed dataset, or ``None`` after saving state when
@@ -104,7 +133,9 @@ def _resume_collect(campaign, state_dir):
               file=sys.stderr)
         raise SystemExit(2)
     try:
-        dataset = campaign.collect(checkpoint=checkpoint, dataset=dataset)
+        dataset = campaign.collect(
+            checkpoint=checkpoint, dataset=dataset, workers=workers
+        )
     except CollectionInterruptedError as exc:
         exc.checkpoint.save(checkpoint_path)
         exc.dataset.export_csv(partial_path)
@@ -124,12 +155,13 @@ def _cmd_run(args) -> int:
 
     campaign = _build_campaign(args)
     campaign.create_measurements()
+    workers = _resolve_cli_workers(args)
     if args.resume:
-        dataset = _resume_collect(campaign, Path(args.resume))
+        dataset = _resume_collect(campaign, Path(args.resume), workers=workers)
         if dataset is None:
             return 3
     else:
-        dataset = campaign.collect()
+        dataset = campaign.collect(workers=workers)
     if args.faults != "none":
         health = collection_health(campaign)
         transport = health["transport"]

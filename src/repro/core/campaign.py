@@ -23,9 +23,12 @@ from __future__ import annotations
 import enum
 import json
 import math
+import os
+import threading
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.atlas.api.client import AtlasCreateRequest
 from repro.atlas.api.measurements import Ping
@@ -107,18 +110,34 @@ class CollectionCheckpoint:
     """
 
     high_water: Dict[int, int] = field(default_factory=dict)
+    #: Serializes mark/save: concurrent markers must never lose a
+    #: high-water advance, and a save racing a mark must never write a
+    #: half-updated map.
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def collected_through(self, msm_id: int, default: int) -> int:
-        return self.high_water.get(msm_id, default)
+        with self._lock:
+            return self.high_water.get(msm_id, default)
 
     def mark(self, msm_id: int, through: int) -> None:
-        current = self.high_water.get(msm_id)
-        if current is None or through > current:
-            self.high_water[msm_id] = int(through)
+        with self._lock:
+            current = self.high_water.get(msm_id)
+            if current is None or through > current:
+                self.high_water[msm_id] = int(through)
 
     def save(self, path) -> None:
-        payload = {str(msm_id): ts for msm_id, ts in self.high_water.items()}
-        Path(path).write_text(json.dumps({"high_water": payload}, indent=0))
+        """Persist atomically: write a private temp file, then rename over
+        the target, so a reader (or a crash) never sees a torn JSON."""
+        with self._lock:
+            payload = {str(msm_id): ts for msm_id, ts in self.high_water.items()}
+        path = Path(path)
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
+        tmp.write_text(json.dumps({"high_water": payload}, indent=0))
+        os.replace(tmp, path)
 
     @classmethod
     def load(cls, path) -> "CollectionCheckpoint":
@@ -151,6 +170,77 @@ class CollectionStats:
         }
 
 
+@dataclass
+class MeasurementRecord:
+    """One fetched + cleaned measurement window, as a shard-local buffer.
+
+    The unit of work both the serial and the parallel collector produce:
+    parallel column lists for one measurement (one target), plus the
+    cleaning counts, tagged with the measurement's canonical fleet index
+    so shard results merge back in deterministic order.  Plain lists of
+    primitives keep the record cheap to pickle across process workers.
+    """
+
+    index: int
+    msm_id: int
+    target_key: str
+    probe_ids: List[int]
+    timestamps: List[int]
+    rtt_min: List[float]
+    rtt_avg: List[float]
+    sent: List[int]
+    rcvd: List[int]
+    quarantined: int
+    duplicates_dropped: int
+
+    @property
+    def sample_count(self) -> int:
+        return len(self.probe_ids)
+
+
+def resolve_workers(workers) -> int:
+    """Resolve a worker-count spec to a concrete positive integer.
+
+    ``None`` and ``1`` mean serial; ``"auto"`` sizes to the machine
+    (capped — collection shards coarsely, so more than 8 workers mostly
+    buys merge overhead); any other value must be a positive integer.
+    """
+    if workers is None:
+        return 1
+    if workers == "auto":
+        return max(1, min(8, os.cpu_count() or 1))
+    count = int(workers)
+    if count < 1:
+        raise CampaignError(f"workers must be positive: {workers!r}")
+    return count
+
+
+def plan_shards(count: int, workers: int) -> List[List[int]]:
+    """Partition ``range(count)`` into at most ``workers`` contiguous shards.
+
+    Every index is assigned to exactly one shard, shard sizes differ by
+    at most one, no shard is empty, and ``workers == 1`` degenerates to a
+    single shard holding the whole range (the serial path).  Contiguity
+    keeps each worker walking measurements in canonical order, so a
+    shard's output is already ordered for the merge.
+    """
+    if count < 0:
+        raise CampaignError(f"cannot shard a negative count: {count}")
+    if workers < 1:
+        raise CampaignError(f"workers must be positive: {workers}")
+    shard_count = min(workers, count)
+    if shard_count == 0:
+        return []
+    base, extra = divmod(count, shard_count)
+    shards: List[List[int]] = []
+    cursor = 0
+    for shard_index in range(shard_count):
+        size = base + (1 if shard_index < extra else 0)
+        shards.append(list(range(cursor, cursor + size)))
+        cursor += size
+    return shards
+
+
 class Campaign:
     """One full measurement campaign against a platform.
 
@@ -181,6 +271,9 @@ class Campaign:
         self.measurement_ids: List[int] = []
         self._msm_id_by_target: Dict[str, int] = {}
         self.collection_stats = CollectionStats()
+        #: Fault/retry accounting of parallel-collection worker
+        #: transports, folded into :meth:`transport_stats`.
+        self._worker_transport_stats: List[Dict[str, object]] = []
 
     @classmethod
     def from_paper(
@@ -312,6 +405,7 @@ class Campaign:
         stop: int = None,
         checkpoint: CollectionCheckpoint = None,
         dataset: CampaignDataset = None,
+        workers=None,
     ) -> CampaignDataset:
         """Fetch and parse results into a dataset.
 
@@ -323,12 +417,18 @@ class Campaign:
         Pass the ``checkpoint`` and partial ``dataset`` carried by a
         :class:`~repro.errors.CollectionInterruptedError` to resume an
         interrupted collection without duplicating samples.
+
+        ``workers`` (an int, ``"auto"``, or ``None`` for serial) fans the
+        fetch out over a :class:`ParallelCollector`; the frozen dataset
+        is byte-identical to a serial run either way.
         """
         if not self.measurement_ids:
             raise CampaignError("create_measurements() must run first")
         if dataset is None:
             dataset = CampaignDataset(self.platform.probes, self.platform.fleet)
-        self.collect_into(dataset, start=start, stop=stop, checkpoint=checkpoint)
+        self.collect_into(
+            dataset, start=start, stop=stop, checkpoint=checkpoint, workers=workers
+        )
         dataset.freeze()
         return dataset
 
@@ -338,6 +438,7 @@ class Campaign:
         start: int = None,
         stop: int = None,
         checkpoint: CollectionCheckpoint = None,
+        workers=None,
     ) -> None:
         """Append one collection window into an existing (unfrozen) dataset.
 
@@ -354,13 +455,54 @@ class Campaign:
         only once the whole measurement window arrived — so an
         interruption (raised as
         :class:`~repro.errors.CollectionInterruptedError` with the
-        checkpoint and partial dataset attached) never leaves a
-        half-collected measurement behind.
+        checkpoint, partial dataset, and failing measurement id attached)
+        never leaves a half-collected measurement behind.
+
+        With ``workers`` beyond 1 the window is collected by a
+        :class:`ParallelCollector` instead of the serial loop below; both
+        paths build the same per-measurement records and merge them in
+        canonical fleet order, so their output is identical byte for byte.
         """
+        worker_count = resolve_workers(workers)
+        if worker_count > 1:
+            ParallelCollector(self, workers=worker_count).collect_into(
+                dataset, start=start, stop=stop, checkpoint=checkpoint
+            )
+            return
         window_start = self.start_time if start is None else int(start)
         window_stop = self.stop_time if stop is None else int(stop)
-        stats = self.collection_stats
-        for msm_id, vm in zip(self.measurement_ids, self.platform.fleet):
+        for index, msm_id, fetch_from in self._pending(
+            window_start, window_stop, checkpoint
+        ):
+            vm = self.platform.fleet[index]
+            try:
+                record = self._fetch_measurement(
+                    self.transport, index, msm_id, vm, fetch_from, window_stop
+                )
+            except TransportError as exc:
+                self.collection_stats.interruptions += 1
+                raise CollectionInterruptedError(
+                    f"measurement {msm_id} ({vm.key}): {exc}",
+                    checkpoint=checkpoint,
+                    dataset=dataset,
+                    msm_id=msm_id,
+                ) from exc
+            self._merge_record(dataset, record, checkpoint, window_stop)
+
+    def _pending(
+        self,
+        window_start: int,
+        window_stop: int,
+        checkpoint: Optional[CollectionCheckpoint],
+    ) -> List[Tuple[int, int, int]]:
+        """Measurements still owing samples for a window, in fleet order.
+
+        Returns ``(fleet_index, msm_id, fetch_from)`` triples; an entry
+        whose checkpoint mark already covers the window is skipped, which
+        is what makes re-collection a no-op and a resume loss-free.
+        """
+        pending: List[Tuple[int, int, int]] = []
+        for index, msm_id in enumerate(self.measurement_ids):
             fetch_from = window_start
             if checkpoint is not None:
                 fetch_from = max(
@@ -368,58 +510,134 @@ class Campaign:
                 )
             if fetch_from >= window_stop:
                 continue
-            try:
-                raws = self.transport.results(
-                    msm_id, start=fetch_from, stop=window_stop
-                )
-            except TransportError as exc:
-                stats.interruptions += 1
-                raise CollectionInterruptedError(
-                    f"measurement {msm_id} ({vm.key}): {exc}",
-                    checkpoint=checkpoint,
-                    dataset=dataset,
-                ) from exc
-            for parsed in self._clean(raws, msm_id):
-                dataset.append(
-                    probe_id=parsed.probe_id,
-                    target_key=vm.key,
-                    timestamp=parsed.created_timestamp,
-                    rtt_min=parsed.rtt_min if parsed.succeeded else math.nan,
-                    rtt_avg=parsed.rtt_average if parsed.succeeded else math.nan,
-                    sent=parsed.packets_sent,
-                    rcvd=parsed.packets_received,
-                )
-                stats.samples_appended += 1
-            stats.measurements_collected += 1
-            if checkpoint is not None:
-                checkpoint.mark(msm_id, window_stop)
+            pending.append((index, msm_id, fetch_from))
+        return pending
 
-    def _clean(self, raws: List, msm_id: int) -> List[PingResult]:
-        """Parse a fetched window: dedup on (probe, timestamp), quarantine
-        anything malformed.  Returns results in first-seen order, which is
-        the platform's canonical probe-major order."""
+    def _fetch_measurement(
+        self,
+        transport: Transport,
+        index: int,
+        msm_id: int,
+        vm: TargetVM,
+        fetch_from: int,
+        window_stop: int,
+    ) -> MeasurementRecord:
+        """Fetch + clean one measurement window into a mergeable record.
+
+        The shared unit of work of the serial and parallel collectors;
+        raises :class:`~repro.errors.TransportError` when the transport
+        gives out terminally.  Thread-safe: touches no campaign state
+        beyond read-only platform data and the passed-in transport.
+        """
+        raws = transport.results(msm_id, start=fetch_from, stop=window_stop)
+        cleaned, quarantined, duplicates = self._clean(raws)
+        record = MeasurementRecord(
+            index=index,
+            msm_id=msm_id,
+            target_key=vm.key,
+            probe_ids=[],
+            timestamps=[],
+            rtt_min=[],
+            rtt_avg=[],
+            sent=[],
+            rcvd=[],
+            quarantined=quarantined,
+            duplicates_dropped=duplicates,
+        )
+        for parsed in cleaned:
+            record.probe_ids.append(parsed.probe_id)
+            record.timestamps.append(parsed.created_timestamp)
+            record.rtt_min.append(parsed.rtt_min if parsed.succeeded else math.nan)
+            record.rtt_avg.append(
+                parsed.rtt_average if parsed.succeeded else math.nan
+            )
+            record.sent.append(parsed.packets_sent)
+            record.rcvd.append(parsed.packets_received)
+        return record
+
+    def _merge_record(
+        self,
+        dataset: CampaignDataset,
+        record: MeasurementRecord,
+        checkpoint: Optional[CollectionCheckpoint],
+        window_stop: int,
+    ) -> None:
+        """Land one record: bulk-append samples, account, advance the mark."""
         stats = self.collection_stats
+        stats.samples_appended += dataset.extend_samples(
+            record.target_key,
+            record.probe_ids,
+            record.timestamps,
+            record.rtt_min,
+            record.rtt_avg,
+            record.sent,
+            record.rcvd,
+        )
+        stats.quarantined += record.quarantined
+        stats.duplicates_dropped += record.duplicates_dropped
+        stats.measurements_collected += 1
+        if checkpoint is not None:
+            checkpoint.mark(record.msm_id, window_stop)
+
+    @staticmethod
+    def _clean(raws: List) -> Tuple[List[PingResult], int, int]:
+        """Parse a fetched window: dedup on (probe, timestamp), quarantine
+        anything malformed.  Returns results in first-seen order — the
+        platform's canonical probe-major order — plus the quarantined and
+        duplicate counts (the caller accounts them at merge time, keeping
+        this safe to run on any worker)."""
+        quarantined = 0
+        duplicates = 0
         cleaned: Dict[Tuple[int, int], PingResult] = {}
         for raw in raws:
             try:
                 parsed = Result.get(raw)
             except ResultParseError:
-                stats.quarantined += 1
+                quarantined += 1
                 continue
             if not isinstance(parsed, PingResult):
-                stats.quarantined += 1
+                quarantined += 1
                 continue
             key = (parsed.probe_id, parsed.created_timestamp)
             if key in cleaned:
-                stats.duplicates_dropped += 1
+                duplicates += 1
                 continue
             cleaned[key] = parsed
-        return list(cleaned.values())
+        return list(cleaned.values()), quarantined, duplicates
 
-    def run(self) -> CampaignDataset:
+    def transport_stats(self) -> Dict[str, object]:
+        """Fault/retry accounting aggregated across the main transport and
+        any parallel-collection worker transports.
+
+        Scoped fault schedules make each measurement's fault outcome
+        deterministic, so for a completed collection the aggregated
+        ``faults``, ``retries``, and ``breakers_opened`` equal a serial
+        run's exactly.  ``simulated_sleep_s`` matches up to float
+        rounding (each engine rounds its own total to the millisecond
+        before they are summed).  ``budget_left`` is summed across
+        engines (each worker carries its own budget).
+        """
+        totals = dict(self.transport.stats())
+        totals["faults"] = dict(totals["faults"])
+        for extra in self._worker_transport_stats:
+            faults = totals["faults"]
+            for kind, count in extra["faults"].items():
+                faults[kind] = faults.get(kind, 0) + count
+            totals["retries"] += extra["retries"]
+            totals["budget_left"] += extra["budget_left"]
+            totals["simulated_sleep_s"] = round(
+                totals["simulated_sleep_s"] + extra["simulated_sleep_s"], 3
+            )
+            totals["breakers_opened"] += extra["breakers_opened"]
+        totals["faults"] = {
+            kind: totals["faults"][kind] for kind in sorted(totals["faults"])
+        }
+        return totals
+
+    def run(self, workers=None) -> CampaignDataset:
         """Create measurements and collect everything."""
         self.create_measurements()
-        return self.collect()
+        return self.collect(workers=workers)
 
     # -- reporting convenience ---------------------------------------------------
 
@@ -428,3 +646,181 @@ class Campaign:
         from repro.core.report import headline_report
 
         return headline_report(dataset)
+
+
+#: Campaign a forked worker process inherits.  Set (in the parent) just
+#: before the process pool spawns and cleared right after collection;
+#: fork-started children carry the copy-on-write reference, which moves
+#: the whole platform across without pickling a byte of it.
+_FORK_CAMPAIGN: Optional[Campaign] = None
+
+
+@dataclass
+class _ShardFailure:
+    """A terminal transport failure inside one worker's shard."""
+
+    index: int
+    msm_id: int
+    target_key: str
+    detail: str
+
+
+def _collect_shard(
+    campaign: Campaign,
+    entries: Sequence[Tuple[int, int, int]],
+    window_stop: int,
+):
+    """Run one worker's shard on a fresh transport clone.
+
+    Walks the shard's ``(fleet_index, msm_id, fetch_from)`` entries in
+    canonical order and stops at the first terminal failure — exactly
+    what the serial collector would have done from that point — recording
+    it instead of raising so the merge can pick the earliest failure
+    across shards.  Returns ``(records, transport_stats, failure)``.
+    """
+    transport = campaign.transport.worker_clone()
+    records: List[MeasurementRecord] = []
+    failure: Optional[_ShardFailure] = None
+    for index, msm_id, fetch_from in entries:
+        vm = campaign.platform.fleet[index]
+        try:
+            record = campaign._fetch_measurement(
+                transport, index, msm_id, vm, fetch_from, window_stop
+            )
+        except TransportError as exc:
+            failure = _ShardFailure(index, msm_id, vm.key, str(exc))
+            break
+        records.append(record)
+    return records, transport.stats(), failure
+
+
+def _forked_shard(entries, window_stop):
+    """Process-pool entry point: shard work against the forked campaign."""
+    return _collect_shard(_FORK_CAMPAIGN, entries, window_stop)
+
+
+class ParallelCollector:
+    """Sharded parallel collection with a deterministic merge.
+
+    Splits the pending measurement list into contiguous per-worker shards
+    (:func:`plan_shards`), fetches each shard through its own
+    :meth:`~repro.atlas.api.transport.Transport.worker_clone`, and merges
+    the shard-local :class:`MeasurementRecord` buffers into the dataset
+    in canonical fleet order.  Because fault and retry schedules are
+    scoped per measurement window, every record is byte-identical to what
+    the serial collector would have produced — so the frozen dataset,
+    checkpoint, and collection stats match a serial run exactly, under
+    every fault profile.
+
+    **Interruption is prefix-consistent**: if any shard fails terminally,
+    only records *before* the earliest failing measurement (in canonical
+    order) are merged and checkpointed; completed work past the failure
+    is discarded so the carried checkpoint + partial dataset are exactly
+    a serial run's interruption state, and a resume reproduces the serial
+    byte stream.
+
+    ``executor`` selects ``"process"`` (fork-based, true parallelism —
+    the default where :func:`os.fork` exists) or ``"thread"`` (portable;
+    identical output, little speedup under the GIL).
+    """
+
+    def __init__(self, campaign: Campaign, workers=None, executor: str = "auto"):
+        self.campaign = campaign
+        self.workers = resolve_workers("auto" if workers is None else workers)
+        if executor == "auto":
+            executor = "process" if hasattr(os, "fork") else "thread"
+        if executor not in ("process", "thread"):
+            raise CampaignError(f"unknown executor {executor!r}")
+        self.executor = executor
+
+    def collect(
+        self,
+        start: int = None,
+        stop: int = None,
+        checkpoint: CollectionCheckpoint = None,
+        dataset: CampaignDataset = None,
+    ) -> CampaignDataset:
+        """Parallel counterpart of :meth:`Campaign.collect`."""
+        campaign = self.campaign
+        if not campaign.measurement_ids:
+            raise CampaignError("create_measurements() must run first")
+        if dataset is None:
+            dataset = CampaignDataset(
+                campaign.platform.probes, campaign.platform.fleet
+            )
+        self.collect_into(dataset, start=start, stop=stop, checkpoint=checkpoint)
+        dataset.freeze()
+        return dataset
+
+    def collect_into(
+        self,
+        dataset: CampaignDataset,
+        start: int = None,
+        stop: int = None,
+        checkpoint: CollectionCheckpoint = None,
+    ) -> None:
+        """Parallel counterpart of :meth:`Campaign.collect_into`."""
+        campaign = self.campaign
+        if not campaign.measurement_ids:
+            raise CampaignError("create_measurements() must run first")
+        window_start = campaign.start_time if start is None else int(start)
+        window_stop = campaign.stop_time if stop is None else int(stop)
+        pending = campaign._pending(window_start, window_stop, checkpoint)
+        if not pending:
+            return
+        if self.workers <= 1 or len(pending) <= 1:
+            campaign.collect_into(
+                dataset, start=window_start, stop=window_stop, checkpoint=checkpoint
+            )
+            return
+        shards = [
+            [pending[i] for i in shard]
+            for shard in plan_shards(len(pending), self.workers)
+        ]
+        outcomes = self._run_shards(shards, window_stop)
+        records: List[MeasurementRecord] = []
+        failures: List[_ShardFailure] = []
+        for shard_records, transport_stats, failure in outcomes:
+            records.extend(shard_records)
+            campaign._worker_transport_stats.append(transport_stats)
+            if failure is not None:
+                failures.append(failure)
+        first_failure = min(failures, key=lambda f: f.index, default=None)
+        for record in sorted(records, key=lambda r: r.index):
+            if first_failure is not None and record.index > first_failure.index:
+                break
+            campaign._merge_record(dataset, record, checkpoint, window_stop)
+        if first_failure is not None:
+            campaign.collection_stats.interruptions += 1
+            raise CollectionInterruptedError(
+                f"measurement {first_failure.msm_id} ({first_failure.target_key}): "
+                f"{first_failure.detail}",
+                checkpoint=checkpoint,
+                dataset=dataset,
+                msm_id=first_failure.msm_id,
+            )
+
+    def _run_shards(self, shards, window_stop):
+        if self.executor == "thread":
+            with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+                futures = [
+                    pool.submit(_collect_shard, self.campaign, shard, window_stop)
+                    for shard in shards
+                ]
+                return [future.result() for future in futures]
+        import multiprocessing
+
+        global _FORK_CAMPAIGN
+        context = multiprocessing.get_context("fork")
+        _FORK_CAMPAIGN = self.campaign
+        try:
+            with ProcessPoolExecutor(
+                max_workers=len(shards), mp_context=context
+            ) as pool:
+                futures = [
+                    pool.submit(_forked_shard, shard, window_stop)
+                    for shard in shards
+                ]
+                return [future.result() for future in futures]
+        finally:
+            _FORK_CAMPAIGN = None

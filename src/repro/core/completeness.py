@@ -108,8 +108,10 @@ def fleet_summary(frame: Frame, stats=None) -> Dict[str, float]:
 
 def collection_health(campaign) -> Dict[str, object]:
     """One-stop health report: collector stats + transport fault/retry
-    accounting, for chaos benchmarks and the CLI."""
+    accounting, for chaos benchmarks and the CLI.  Uses the campaign's
+    aggregated view so parallel-collection worker transports are folded
+    in alongside the main transport."""
     return {
         **campaign.collection_stats.as_dict(),
-        "transport": campaign.transport.stats(),
+        "transport": campaign.transport_stats(),
     }

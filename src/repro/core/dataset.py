@@ -110,6 +110,65 @@ class CampaignDataset:
         buffer.sent.append(sent)
         buffer.rcvd.append(rcvd)
 
+    def extend_samples(
+        self,
+        target_key: str,
+        probe_ids: Sequence[int],
+        timestamps: Sequence[int],
+        rtt_min: Sequence[float],
+        rtt_avg: Sequence[float],
+        sent: Sequence[int],
+        rcvd: Sequence[int],
+    ) -> int:
+        """Merge-append one measurement's sample columns in bulk.
+
+        The shard-buffer path of the parallel collector: a worker returns
+        a whole measurement window as parallel column lists sharing one
+        target, and this appends them with a single target lookup instead
+        of per-sample :meth:`append` calls.  Row order is preserved, the
+        dedup guard (when enabled) is applied row by row exactly as
+        :meth:`append` would, and the number of rows actually appended is
+        returned.
+        """
+        if self._frozen:
+            raise CampaignError("dataset is frozen; no further appends")
+        count = len(probe_ids)
+        for name, column in (
+            ("timestamps", timestamps), ("rtt_min", rtt_min),
+            ("rtt_avg", rtt_avg), ("sent", sent), ("rcvd", rcvd),
+        ):
+            if len(column) != count:
+                raise CampaignError(
+                    f"column {name} has {len(column)} rows, expected {count}"
+                )
+        target_index = self.target_index_of(target_key)
+        buffer = self._buffer
+        if self._dedup_keys is not None:
+            appended = 0
+            for row in range(count):
+                key = (probe_ids[row], target_index, timestamps[row])
+                if key in self._dedup_keys:
+                    self.duplicates_dropped += 1
+                    continue
+                self._dedup_keys.add(key)
+                buffer.probe_id.append(probe_ids[row])
+                buffer.target_index.append(target_index)
+                buffer.timestamp.append(timestamps[row])
+                buffer.rtt_min.append(rtt_min[row])
+                buffer.rtt_avg.append(rtt_avg[row])
+                buffer.sent.append(sent[row])
+                buffer.rcvd.append(rcvd[row])
+                appended += 1
+            return appended
+        buffer.probe_id.extend(probe_ids)
+        buffer.target_index.extend([target_index] * count)
+        buffer.timestamp.extend(timestamps)
+        buffer.rtt_min.extend(rtt_min)
+        buffer.rtt_avg.extend(rtt_avg)
+        buffer.sent.extend(sent)
+        buffer.rcvd.extend(rcvd)
+        return count
+
     def freeze(self) -> None:
         """Convert buffers to immutable numpy columns."""
         if self._frozen:

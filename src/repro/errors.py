@@ -187,13 +187,18 @@ class CollectionInterruptedError(CampaignError):
     """Collection died mid-campaign but left a resumable checkpoint.
 
     Carries the checkpoint and the partial (unfrozen) dataset so the
-    caller can resume with ``campaign.collect(checkpoint=..., dataset=...)``.
+    caller can resume with ``campaign.collect(checkpoint=..., dataset=...)``,
+    plus the id of the measurement whose fetch failed terminally —
+    without it the re-raise would lose which measurement's partial fetch
+    was abandoned (its samples are *not* in the dataset; the checkpoint
+    never advanced past it).
     """
 
-    def __init__(self, detail: str, checkpoint=None, dataset=None):
+    def __init__(self, detail: str, checkpoint=None, dataset=None, msm_id=None):
         super().__init__(f"collection interrupted: {detail}")
         self.checkpoint = checkpoint
         self.dataset = dataset
+        self.msm_id = msm_id
 
 
 class CrawlerError(ReproError):

@@ -188,6 +188,10 @@ class TestExecution:
         done = len(checkpoint.high_water)
         assert 0 < done < len(campaign.measurement_ids)
         assert campaign.collection_stats.interruptions == 1
+        # The error names the measurement whose fetch died — the first
+        # uncollected one in fleet order, absent from the checkpoint.
+        assert interrupted.msm_id == campaign.measurement_ids[done]
+        assert interrupted.msm_id not in checkpoint.high_water
 
         # Resume through a healthy-policy transport, same chaos profile.
         campaign.transport = Transport(campaign.platform, faults="flaky")

@@ -1,0 +1,86 @@
+"""Property-based tests for the parallel-collection shard planner.
+
+``plan_shards`` carries the exactly-once guarantee the whole parity
+contract rests on: if an index were dropped or doubled, the merged
+dataset would silently diverge from a serial run.  Hypothesis sweeps
+arbitrary (fleet size, worker count) combinations instead of a handful
+of hand-picked ones.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.campaign import plan_shards, resolve_workers
+from repro.errors import CampaignError
+
+
+class TestPlanShardsProperties:
+    @given(count=st.integers(0, 600), workers=st.integers(1, 64))
+    @settings(max_examples=200)
+    def test_every_measurement_assigned_exactly_once_in_order(
+        self, count, workers
+    ):
+        shards = plan_shards(count, workers)
+        flat = [index for shard in shards for index in shard]
+        # Concatenating the shards reproduces range(count) exactly:
+        # every index once, canonical order, contiguous shards.
+        assert flat == list(range(count))
+
+    @given(count=st.integers(0, 600), workers=st.integers(1, 64))
+    @settings(max_examples=200)
+    def test_shards_are_balanced_and_never_empty(self, count, workers):
+        shards = plan_shards(count, workers)
+        assert len(shards) == min(workers, count)
+        assert all(shard for shard in shards)
+        if shards:
+            sizes = [len(shard) for shard in shards]
+            assert max(sizes) - min(sizes) <= 1
+
+    @given(count=st.integers(0, 40), workers=st.integers(1, 1000))
+    @settings(max_examples=100)
+    def test_more_workers_than_measurements(self, count, workers):
+        """Oversubscription degrades to one-measurement shards, never
+        empty ones."""
+        shards = plan_shards(count, workers)
+        if workers >= count:
+            assert shards == [[index] for index in range(count)]
+
+    @given(count=st.integers(0, 600))
+    @settings(max_examples=100)
+    def test_single_worker_degenerates_to_serial(self, count):
+        shards = plan_shards(count, 1)
+        if count == 0:
+            assert shards == []
+        else:
+            assert shards == [list(range(count))]
+
+
+class TestPlanShardsValidation:
+    def test_negative_count_rejected(self):
+        with pytest.raises(CampaignError):
+            plan_shards(-1, 4)
+
+    @pytest.mark.parametrize("workers", [0, -3])
+    def test_nonpositive_workers_rejected(self, workers):
+        with pytest.raises(CampaignError):
+            plan_shards(10, workers)
+
+
+class TestResolveWorkers:
+    def test_none_and_one_mean_serial(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+
+    def test_auto_is_positive_and_capped(self):
+        assert 1 <= resolve_workers("auto") <= 8
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_workers(6) == 6
+
+    @pytest.mark.parametrize("workers", [0, -2])
+    def test_nonpositive_rejected(self, workers):
+        with pytest.raises(CampaignError):
+            resolve_workers(workers)
