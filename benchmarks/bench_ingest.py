@@ -1,0 +1,101 @@
+"""Vectorized ingest — speedup, byte-parity, and paper-scale budget.
+
+The SMALL campaign is collected twice — through the scalar per-sample
+pipeline (``fast_path="off"``) and through the columnar batch-synthesis
+path (``fast_path="on"``) — and the two frozen datasets must fingerprint
+byte-identically while the fast path clears a >=5x speedup floor.  The
+floor is a property of vectorization, not of core count, so it is
+asserted on every machine.  A MEDIUM (paper-scale, ~3.2M-sample) run
+then has to land inside a ten-minute budget.  The measured table is also
+written to ``BENCH_ingest.json`` for the CI artifact.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import print_banner
+
+from repro.core.campaign import Campaign, CampaignScale
+
+BENCH_SEED = 7
+
+#: All frozen sample columns, in schema order (matches the parity suite).
+SAMPLE_COLUMNS = (
+    "probe_id", "target_index", "timestamp",
+    "rtt_min", "rtt_avg", "sent", "rcvd",
+)
+
+#: Acceptance floor: the columnar path must beat the scalar parse by at
+#: least this factor on SMALL.
+SPEEDUP_FLOOR = 5.0
+
+#: Wall-clock budget for the paper-scale MEDIUM collection (seconds).
+MEDIUM_BUDGET_S = 600.0
+
+ARTIFACT = Path(os.environ.get("REPRO_BENCH_ARTIFACT", "BENCH_ingest.json"))
+
+
+def _fingerprint(dataset) -> bytes:
+    return b"".join(dataset.column(name).tobytes() for name in SAMPLE_COLUMNS)
+
+
+def _collect(scale: CampaignScale, fast_path: str):
+    campaign = Campaign.from_paper(
+        scale=scale, seed=BENCH_SEED, fast_path=fast_path
+    )
+    campaign.create_measurements()
+    start = time.perf_counter()
+    dataset = campaign.collect()
+    return dataset, time.perf_counter() - start
+
+
+def test_ingest_speedup(benchmark):
+    """Scalar vs vectorized collection of the same SMALL campaign."""
+    # Untimed warm-up: imports, fleet construction, route caches.
+    _collect(CampaignScale.SMALL, "on")
+
+    fast, fast_s = _collect(CampaignScale.SMALL, "on")
+    fast_s = benchmark.pedantic(
+        lambda: _collect(CampaignScale.SMALL, "on")[1], rounds=1, iterations=1
+    )
+    scalar, scalar_s = _collect(CampaignScale.SMALL, "off")
+    identical = _fingerprint(fast) == _fingerprint(scalar)
+    speedup = scalar_s / fast_s
+
+    medium, medium_s = _collect(CampaignScale.MEDIUM, "on")
+
+    print_banner(
+        f"Vectorized ingest: SMALL {len(fast):,} samples, "
+        f"MEDIUM {len(medium):,} samples"
+    )
+    print(f"{'path':>22s} {'wall':>9s} {'speedup':>8s}")
+    print("-" * 42)
+    print(f"{'SMALL scalar':>22s} {scalar_s:>8.2f}s {1.0:>7.2f}x")
+    print(f"{'SMALL vectorized':>22s} {fast_s:>8.2f}s {speedup:>7.2f}x")
+    print(f"{'MEDIUM vectorized':>22s} {medium_s:>8.2f}s {'':>8s}")
+    print(f"byte-identical: {'yes' if identical else 'NO'}")
+
+    ARTIFACT.write_text(json.dumps({
+        "seed": BENCH_SEED,
+        "cpus": os.cpu_count(),
+        "small_samples": len(fast),
+        "small_scalar_s": round(scalar_s, 3),
+        "small_fast_s": round(fast_s, 3),
+        "small_speedup": round(speedup, 2),
+        "byte_identical": identical,
+        "medium_samples": len(medium),
+        "medium_fast_s": round(medium_s, 3),
+        "medium_budget_s": MEDIUM_BUDGET_S,
+    }, indent=2) + "\n")
+    print(f"wrote {ARTIFACT}")
+
+    assert identical, "vectorized SMALL dataset diverged from scalar bytes"
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"vectorized speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x floor"
+    )
+    assert medium_s <= MEDIUM_BUDGET_S, (
+        f"MEDIUM collection took {medium_s:.0f}s, over the "
+        f"{MEDIUM_BUDGET_S:.0f}s budget"
+    )

@@ -191,6 +191,26 @@ class Transport:
                 out.extend(self.retry.call("results", fetch_page))
             return out
 
+    def results_columns(
+        self,
+        msm_id: int,
+        start: int = None,
+        stop: int = None,
+        probe_ids: Sequence[int] = None,
+    ):
+        """Columnar window fetch, or ``None`` when it cannot apply.
+
+        The transport only vouches for the fast path when the wire is
+        clean: with a fault injector attached, pages can be truncated,
+        duplicated, or mangled, and reproducing those byte-level faults
+        requires the raw dict stream — so chaos runs return ``None`` and
+        the caller falls back to :meth:`results` + per-sample parsing.
+        Non-ping measurements also return ``None`` (no batch synthesis).
+        """
+        if self.injector is not None:
+            return None
+        return self.platform.results_columns(msm_id, start, stop, probe_ids)
+
     # -- reporting ----------------------------------------------------------
 
     def stats(self) -> Dict[str, object]:

@@ -17,16 +17,24 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.atlas.credits import (
     PING_COST_PER_PACKET,
     TRACEROUTE_COST,
     CreditAccount,
 )
 from repro.atlas.population import generate_population
-from repro.atlas.probes import Probe
+from repro.atlas.probes import Probe, ProbeStatus
+from repro.atlas.results.ping import PingColumns
 from repro.cloud.vm import TargetVM, deploy_fleet
 from repro.errors import AtlasAPIError, MeasurementNotFoundError
-from repro.net.pathmodel import LatencyModel, PingObservation
+from repro.net.pathmodel import (
+    EndpointAdjustment,
+    LatencyModel,
+    PingDrawStreams,
+    PingObservation,
+)
 from repro.net.physics import estimate_hop_count
 from repro.net.rng import stream
 
@@ -342,7 +350,7 @@ class AtlasPlatform:
             wanted = set(probe_ids)
             probes = tuple(p for p in msm.probes if p.probe_id in wanted)
         for probe in probes:
-            rng = stream(self.seed, "results", msm_id, probe.probe_id)
+            rng = self._flow_draws(msm, probe)
             for tick, timestamp in self._tick_times(msm, probe):
                 if not probe.is_online(tick):
                     # Offline ticks draw nothing: whether a probe is
@@ -368,6 +376,132 @@ class AtlasPlatform:
     ) -> List[dict]:
         return list(self.iter_results(msm_id, start, stop, probe_ids))
 
+    # -- batch result materialization ---------------------------------------------------
+
+    def _flow_draws(self, msm: StoredMeasurement, probe: Probe):
+        """The per-flow randomness source for result synthesis.
+
+        Ping flows use the three fixed-layout family streams so the
+        scalar and batch paths consume identical draws; traceroute keeps
+        a single interleaved Generator (hop synthesis is data-dependent
+        and has no batch path).
+        """
+        if msm.measurement_type == "ping":
+            return PingDrawStreams(self.seed, "results", msm.msm_id, probe.probe_id)
+        return stream(self.seed, "results", msm.msm_id, probe.probe_id)
+
+    def _online_timestamps(
+        self, msm: StoredMeasurement, probe: Probe, upper: int
+    ) -> np.ndarray:
+        """Timestamps of this flow's *online* ticks below ``upper``.
+
+        The vectorized mirror of walking :meth:`_tick_times` +
+        :meth:`~repro.atlas.probes.Probe.is_online`: same spread offset,
+        same low-discrepancy churn formula evaluated elementwise, so the
+        kept set matches the scalar loop's exactly.
+        """
+        if msm.is_oneoff:
+            if msm.start_time < upper:
+                ticks = np.zeros(1, dtype=np.int64)
+                timestamps = np.asarray([msm.start_time], dtype=np.int64)
+            else:
+                return np.empty(0, dtype=np.int64)
+        else:
+            spread = (probe.probe_id * 2_654_435_761) % msm.interval
+            first = msm.start_time + spread
+            count = max(0, -((first - upper) // msm.interval))
+            ticks = np.arange(count, dtype=np.int64)
+            timestamps = first + ticks * msm.interval
+        if probe.status is ProbeStatus.ABANDONED:
+            return np.empty(0, dtype=np.int64)
+        phase = (ticks * 0.618033988749895 + probe.probe_id * 0.382) % 1.0
+        return timestamps[phase < probe.stability]
+
+    def iter_results_batch(
+        self,
+        msm_id: int,
+        start: int = None,
+        stop: int = None,
+        probe_ids: Sequence[int] = None,
+    ) -> Iterator[PingColumns]:
+        """Per-probe columnar results for a ping measurement's window.
+
+        The vectorized counterpart of :meth:`iter_results` + parsing:
+        yields one :class:`~repro.atlas.results.ping.PingColumns` chunk
+        per probe (probe-major, the canonical order), synthesized in one
+        :meth:`~repro.net.pathmodel.LatencyModel.ping_batch` call per flow
+        and **bit-identical** to parsing the scalar dict stream.  Raises
+        :class:`~repro.errors.AtlasAPIError` for non-ping measurements —
+        callers probe :meth:`supports_batch` first.
+        """
+        msm = self.measurement(msm_id)
+        if msm.measurement_type != "ping":
+            raise AtlasAPIError(
+                400, f"no batch path for {msm.measurement_type!r} measurements"
+            )
+        vm = self.resolve_target(msm.definition["target"])
+        window_start = msm.start_time if start is None else max(start, msm.start_time)
+        window_stop = (
+            msm.effective_stop_time
+            if stop is None
+            else min(stop, msm.effective_stop_time)
+        )
+        if probe_ids is None:
+            probes = msm.probes
+        else:
+            wanted = set(probe_ids)
+            probes = tuple(p for p in msm.probes if p.probe_id in wanted)
+        packets = msm.definition.get("packets", 3)
+        af = msm.definition.get("af", 4)
+        adjustment = self._af_adjustment(vm, af)
+        target_id = vm.key if af == 4 else f"{vm.key}#v6"
+        for probe in probes:
+            timestamps = self._online_timestamps(msm, probe, window_stop)
+            if not len(timestamps):
+                continue
+            batch = self.model.ping_batch(
+                probe.location,
+                probe.country,
+                probe.access,
+                vm.region.location,
+                vm.region.country,
+                timestamps,
+                origin_id=probe.probe_id,
+                target_id=target_id,
+                packets=packets,
+                adjustment=adjustment,
+                draws=self._flow_draws(msm, probe),
+            )
+            keep = timestamps >= window_start
+            if not keep.any():
+                continue
+            yield PingColumns(
+                probe_ids=np.full(int(keep.sum()), probe.probe_id, dtype=np.int64),
+                timestamps=timestamps[keep],
+                rtt_min=batch.rtt_min[keep],
+                rtt_avg=batch.rtt_avg[keep],
+                sent=np.full(int(keep.sum()), batch.sent, dtype=np.int64),
+                rcvd=batch.received[keep],
+            )
+
+    def supports_batch(self, msm_id: int) -> bool:
+        """Whether :meth:`results_columns` can serve this measurement."""
+        return self.measurement(msm_id).measurement_type == "ping"
+
+    def results_columns(
+        self,
+        msm_id: int,
+        start: int = None,
+        stop: int = None,
+        probe_ids: Sequence[int] = None,
+    ) -> Optional[PingColumns]:
+        """One concatenated column set for a window (None for non-ping)."""
+        if not self.supports_batch(msm_id):
+            return None
+        return PingColumns.concat(
+            self.iter_results_batch(msm_id, start, stop, probe_ids)
+        )
+
     # -- result synthesis ---------------------------------------------------------------
 
     def _generate(
@@ -382,24 +516,28 @@ class AtlasPlatform:
             return self._ping_result(msm, probe, vm, timestamp, rng)
         return self._traceroute_result(msm, probe, vm, timestamp, rng)
 
+    @staticmethod
+    def _af_adjustment(vm: TargetVM, af: int) -> EndpointAdjustment:
+        """The target's endpoint adjustment for an address family."""
+        adjustment = vm.adjustment
+        if af == 6:
+            adjustment = EndpointAdjustment(
+                path_factor=adjustment.path_factor * _V6_PATH_FACTOR,
+                peering_factor=adjustment.peering_factor * _V6_PEERING_FACTOR,
+                extra_ms=adjustment.extra_ms + _V6_EXTRA_MS,
+            )
+        return adjustment
+
     def _observe(
         self,
         probe: Probe,
         vm: TargetVM,
         timestamp: int,
         packets: int,
-        rng,
+        rng=None,
         af: int = 4,
+        draws=None,
     ) -> PingObservation:
-        adjustment = vm.adjustment
-        if af == 6:
-            from repro.net.pathmodel import EndpointAdjustment
-
-            adjustment = EndpointAdjustment(
-                path_factor=adjustment.path_factor * _V6_PATH_FACTOR,
-                peering_factor=adjustment.peering_factor * _V6_PEERING_FACTOR,
-                extra_ms=adjustment.extra_ms + _V6_EXTRA_MS,
-            )
         return self.model.ping(
             probe.location,
             probe.country,
@@ -410,16 +548,17 @@ class AtlasPlatform:
             origin_id=probe.probe_id,
             target_id=vm.key if af == 4 else f"{vm.key}#v6",
             packets=packets,
-            adjustment=adjustment,
+            adjustment=self._af_adjustment(vm, af),
             rng=rng,
+            draws=draws,
         )
 
     def _ping_result(
-        self, msm: StoredMeasurement, probe: Probe, vm: TargetVM, timestamp: int, rng
+        self, msm: StoredMeasurement, probe: Probe, vm: TargetVM, timestamp: int, draws
     ) -> dict:
         packets = msm.definition.get("packets", 3)
         af = msm.definition.get("af", 4)
-        obs = self._observe(probe, vm, timestamp, packets, rng, af=af)
+        obs = self._observe(probe, vm, timestamp, packets, af=af, draws=draws)
         entries: List[dict] = [{"rtt": rtt} for rtt in obs.rtts_ms]
         entries += [{"x": "*"}] * (obs.sent - obs.received)
         return {

@@ -4,7 +4,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from statistics import median
-from typing import List, Optional
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
 
 from repro.atlas.results.base import Result, register
 from repro.errors import ResultParseError
@@ -77,3 +79,77 @@ class PingResult(Result):
     @property
     def succeeded(self) -> bool:
         return self.packets_received > 0
+
+
+@dataclass(frozen=True)
+class PingColumns:
+    """A window of ping results as parallel columns — no per-sample dicts.
+
+    The columnar counterpart of a list of :class:`PingResult`: exactly
+    the fields the campaign dataset ingests, one numpy array per column.
+    ``rtt_min`` / ``rtt_avg`` are NaN where the burst lost every packet
+    (where a parsed result would have ``rtt_min is None``).
+    """
+
+    probe_ids: np.ndarray   # int64
+    timestamps: np.ndarray  # int64
+    rtt_min: np.ndarray     # float64, NaN on failure
+    rtt_avg: np.ndarray     # float64, NaN on failure
+    sent: np.ndarray        # int64
+    rcvd: np.ndarray        # int64
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.probe_ids), len(self.timestamps), len(self.rtt_min),
+            len(self.rtt_avg), len(self.sent), len(self.rcvd),
+        }
+        if len(lengths) != 1:
+            raise ResultParseError(f"ragged ping columns: lengths {sorted(lengths)}")
+
+    def __len__(self) -> int:
+        return len(self.probe_ids)
+
+    @classmethod
+    def empty(cls) -> "PingColumns":
+        return cls(
+            probe_ids=np.empty(0, dtype=np.int64),
+            timestamps=np.empty(0, dtype=np.int64),
+            rtt_min=np.empty(0, dtype=np.float64),
+            rtt_avg=np.empty(0, dtype=np.float64),
+            sent=np.empty(0, dtype=np.int64),
+            rcvd=np.empty(0, dtype=np.int64),
+        )
+
+    @classmethod
+    def concat(cls, chunks: Iterable["PingColumns"]) -> "PingColumns":
+        chunks = list(chunks)
+        if not chunks:
+            return cls.empty()
+        return cls(
+            probe_ids=np.concatenate([c.probe_ids for c in chunks]),
+            timestamps=np.concatenate([c.timestamps for c in chunks]),
+            rtt_min=np.concatenate([c.rtt_min for c in chunks]),
+            rtt_avg=np.concatenate([c.rtt_avg for c in chunks]),
+            sent=np.concatenate([c.sent for c in chunks]),
+            rcvd=np.concatenate([c.rcvd for c in chunks]),
+        )
+
+    @classmethod
+    def from_results(cls, results: Sequence[PingResult]) -> "PingColumns":
+        """Columnar-ize parsed scalar results (the parity reference)."""
+        return cls(
+            probe_ids=np.asarray([r.probe_id for r in results], dtype=np.int64),
+            timestamps=np.asarray(
+                [r.created_timestamp for r in results], dtype=np.int64
+            ),
+            rtt_min=np.asarray(
+                [r.rtt_min if r.succeeded else np.nan for r in results],
+                dtype=np.float64,
+            ),
+            rtt_avg=np.asarray(
+                [r.rtt_average if r.succeeded else np.nan for r in results],
+                dtype=np.float64,
+            ),
+            sent=np.asarray([r.packets_sent for r in results], dtype=np.int64),
+            rcvd=np.asarray([r.packets_received for r in results], dtype=np.int64),
+        )

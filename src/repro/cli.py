@@ -12,8 +12,10 @@ Exposes the reproduction as a small tool::
     repro export --out DIR          # campaign + figure-data bundles
 
 Every subcommand accepts ``--seed`` (default 7), ``--faults`` (chaos
-profile for the collection transport), and ``--workers`` (parallel
-collection; the frozen dataset is byte-identical at any worker count).
+profile for the collection transport), ``--workers`` (parallel
+collection; the frozen dataset is byte-identical at any worker count),
+and ``--fast-path`` (vectorized columnar synthesis; bit-identical to the
+scalar path).
 Designed to be driven
 programmatically too: :func:`main` takes an argv list and returns an exit
 code, printing to stdout only.
@@ -51,6 +53,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "machine (default auto; tiny campaigns stay serial).  The frozen "
         "dataset is byte-identical at any worker count, faults included",
     )
+    parser.add_argument(
+        "--fast-path",
+        choices=["on", "off", "auto"],
+        default="auto",
+        dest="fast_path",
+        help="vectorized columnar result synthesis (default auto: used "
+        "whenever the transport can serve it, which excludes --faults "
+        "runs; 'on' fails instead of falling back; 'off' forces the "
+        "scalar path).  Both paths produce bit-identical datasets",
+    )
 
 
 def _resolve_cli_workers(args):
@@ -75,9 +87,19 @@ def _resolve_cli_workers(args):
 def _build_campaign(args):
     from repro.core.campaign import Campaign, CampaignScale
 
+    faults = getattr(args, "faults", "none")
+    fast_path = getattr(args, "fast_path", "auto")
+    if fast_path == "on" and faults != "none":
+        raise SystemExit(
+            "--fast-path on cannot serve a --faults run: fault injection "
+            "needs the raw result stream (use auto or off)"
+        )
     scale = next(s for s in CampaignScale if s.label == args.scale)
     return Campaign.from_paper(
-        scale=scale, seed=args.seed, faults=getattr(args, "faults", "none")
+        scale=scale,
+        seed=args.seed,
+        faults=faults,
+        fast_path=fast_path,
     )
 
 

@@ -184,18 +184,27 @@ class MeasurementRecord:
     index: int
     msm_id: int
     target_key: str
-    probe_ids: List[int]
-    timestamps: List[int]
-    rtt_min: List[float]
-    rtt_avg: List[float]
-    sent: List[int]
-    rcvd: List[int]
+    probe_ids: Sequence[int]
+    timestamps: Sequence[int]
+    rtt_min: Sequence[float]
+    rtt_avg: Sequence[float]
+    sent: Sequence[int]
+    rcvd: Sequence[int]
     quarantined: int
     duplicates_dropped: int
 
     @property
     def sample_count(self) -> int:
         return len(self.probe_ids)
+
+
+#: Valid ``fast_path`` modes: ``"auto"`` uses the vectorized columnar
+#: fetch whenever the transport can serve it and falls back to the scalar
+#: parse otherwise (chaos transports, non-ping measurements); ``"on"``
+#: demands it (raising when unavailable, for benchmarks that must not
+#: silently measure the wrong path); ``"off"`` always takes the scalar
+#: path.
+FAST_PATH_MODES = ("auto", "on", "off")
 
 
 def resolve_workers(workers) -> int:
@@ -256,11 +265,17 @@ class Campaign:
         start_time: int = CAMPAIGN_START_TS,
         api_key: str = None,
         transport: Transport = None,
+        fast_path: str = "auto",
     ):
         self.platform = platform
         self.transport = transport if transport is not None else Transport(platform)
         if self.transport.platform is not platform:
             raise CampaignError("transport is bound to a different platform")
+        if fast_path not in FAST_PATH_MODES:
+            raise CampaignError(
+                f"fast_path must be one of {FAST_PATH_MODES}: {fast_path!r}"
+            )
+        self.fast_path = fast_path
         self.scale = scale
         self.start_time = int(start_time)
         self.stop_time = self.start_time + scale.duration_s
@@ -281,15 +296,17 @@ class Campaign:
         scale: CampaignScale = CampaignScale.SMALL,
         seed: int = 0,
         faults=None,
+        fast_path: str = "auto",
     ) -> "Campaign":
         """Build a campaign with a fresh platform, paper defaults.
 
         ``faults`` takes a chaos profile name (``"flaky"`` / ``"outage"``
-        / ``"hostile"``) or :class:`~repro.atlas.faults.FaultProfile`.
+        / ``"hostile"``) or :class:`~repro.atlas.faults.FaultProfile`;
+        ``fast_path`` one of :data:`FAST_PATH_MODES`.
         """
         platform = AtlasPlatform(seed=seed)
         transport = Transport(platform, faults=faults)
-        return cls(platform, scale=scale, transport=transport)
+        return cls(platform, scale=scale, transport=transport, fast_path=fast_path)
 
     # -- planning --------------------------------------------------------------
 
@@ -528,7 +545,39 @@ class Campaign:
         raises :class:`~repro.errors.TransportError` when the transport
         gives out terminally.  Thread-safe: touches no campaign state
         beyond read-only platform data and the passed-in transport.
+
+        With ``fast_path`` enabled the window is fetched as columns in
+        one vectorized synthesis call — no per-sample dicts, no parsing —
+        whenever the transport can serve it (clean wire, ping
+        measurement).  The columnar fetch is bit-identical to the scalar
+        fetch-and-parse, so records from either path merge into the same
+        dataset bytes; whenever it cannot apply (fault injection needs
+        the raw dict stream to mangle) the scalar path below runs
+        unchanged.
         """
+        if self.fast_path != "off":
+            columns = transport.results_columns(
+                msm_id, start=fetch_from, stop=window_stop
+            )
+            if columns is not None:
+                return MeasurementRecord(
+                    index=index,
+                    msm_id=msm_id,
+                    target_key=vm.key,
+                    probe_ids=columns.probe_ids,
+                    timestamps=columns.timestamps,
+                    rtt_min=columns.rtt_min,
+                    rtt_avg=columns.rtt_avg,
+                    sent=columns.sent,
+                    rcvd=columns.rcvd,
+                    quarantined=0,
+                    duplicates_dropped=0,
+                )
+            if self.fast_path == "on":
+                raise CampaignError(
+                    f"fast_path='on' but the transport cannot serve measurement "
+                    f"{msm_id} columnarly (chaos transport or non-ping)"
+                )
         raws = transport.results(msm_id, start=fetch_from, stop=window_stop)
         cleaned, quarantined, duplicates = self._clean(raws)
         record = MeasurementRecord(

@@ -12,9 +12,8 @@ artifact for the synthetic equivalent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
@@ -24,18 +23,103 @@ from repro.cloud.vm import TargetVM
 from repro.errors import CampaignError
 from repro.frame import Frame, read_csv, write_csv
 
+#: Sample columns and their storage dtypes, in canonical order.
+SAMPLE_DTYPES: Tuple[Tuple[str, type], ...] = (
+    ("probe_id", np.int32),
+    ("target_index", np.int32),
+    ("timestamp", np.int64),
+    ("rtt_min", np.float64),
+    ("rtt_avg", np.float64),
+    ("sent", np.int16),
+    ("rcvd", np.int16),
+)
 
-@dataclass
+
 class _SampleBuffer:
-    """Append-only growable column set for samples."""
+    """Append-only sample columns on pre-allocated numpy storage.
 
-    probe_id: List[int] = field(default_factory=list)
-    target_index: List[int] = field(default_factory=list)
-    timestamp: List[int] = field(default_factory=list)
-    rtt_min: List[float] = field(default_factory=list)
-    rtt_avg: List[float] = field(default_factory=list)
-    sent: List[int] = field(default_factory=list)
-    rcvd: List[int] = field(default_factory=list)
+    Columns live in their final dtypes from the first append; capacity
+    grows geometrically (doubling), so a campaign's millions of rows cost
+    O(log n) reallocations instead of one Python-list node per value, and
+    bulk extends are single slice assignments.
+    """
+
+    _INITIAL_CAPACITY = 1024
+
+    def __init__(self) -> None:
+        self.size = 0
+        self._capacity = 0
+        self._columns: Dict[str, np.ndarray] = {
+            name: np.empty(0, dtype=dtype) for name, dtype in SAMPLE_DTYPES
+        }
+
+    def reserve(self, extra: int) -> None:
+        """Ensure capacity for ``extra`` more rows."""
+        needed = self.size + extra
+        if needed <= self._capacity:
+            return
+        capacity = max(self._INITIAL_CAPACITY, self._capacity)
+        while capacity < needed:
+            capacity *= 2
+        for name in self._columns:
+            grown = np.empty(capacity, dtype=self._columns[name].dtype)
+            grown[: self.size] = self._columns[name][: self.size]
+            self._columns[name] = grown
+        self._capacity = capacity
+
+    def append_row(
+        self,
+        probe_id: int,
+        target_index: int,
+        timestamp: int,
+        rtt_min: float,
+        rtt_avg: float,
+        sent: int,
+        rcvd: int,
+    ) -> None:
+        self.reserve(1)
+        row = self.size
+        columns = self._columns
+        columns["probe_id"][row] = probe_id
+        columns["target_index"][row] = target_index
+        columns["timestamp"][row] = timestamp
+        columns["rtt_min"][row] = rtt_min
+        columns["rtt_avg"][row] = rtt_avg
+        columns["sent"][row] = sent
+        columns["rcvd"][row] = rcvd
+        self.size = row + 1
+
+    def extend(
+        self,
+        probe_id,
+        target_index,
+        timestamp,
+        rtt_min,
+        rtt_avg,
+        sent,
+        rcvd,
+    ) -> None:
+        """Bulk-append parallel columns via one slice assignment each."""
+        count = len(probe_id)
+        if not count:
+            return
+        self.reserve(count)
+        start, stop = self.size, self.size + count
+        columns = self._columns
+        columns["probe_id"][start:stop] = probe_id
+        columns["target_index"][start:stop] = target_index
+        columns["timestamp"][start:stop] = timestamp
+        columns["rtt_min"][start:stop] = rtt_min
+        columns["rtt_avg"][start:stop] = rtt_avg
+        columns["sent"][start:stop] = sent
+        columns["rcvd"][start:stop] = rcvd
+        self.size = stop
+
+    def finalize(self) -> Dict[str, np.ndarray]:
+        """Right-sized copies of the filled prefix, ready to freeze."""
+        return {
+            name: self._columns[name][: self.size].copy() for name in self._columns
+        }
 
 
 class CampaignDataset:
@@ -61,6 +145,11 @@ class CampaignDataset:
         }
         self._buffer = _SampleBuffer()
         self._frozen: Dict[str, np.ndarray] = {}
+        #: Memoized derived columns (probe lookups, masks), computed on
+        #: the frozen columns only and dropped at the freeze transition —
+        #: appends after freeze raise, so a cached vector can never go
+        #: stale.
+        self._derived: Dict[str, np.ndarray] = {}
         #: With ``dedup=True`` a re-appended (probe, target, timestamp)
         #: key is silently dropped and counted — the guard resilient
         #: collection relies on when windows might overlap.
@@ -101,14 +190,9 @@ class CampaignDataset:
                 self.duplicates_dropped += 1
                 return
             self._dedup_keys.add(key)
-        buffer = self._buffer
-        buffer.probe_id.append(probe_id)
-        buffer.target_index.append(target_index)
-        buffer.timestamp.append(timestamp)
-        buffer.rtt_min.append(rtt_min)
-        buffer.rtt_avg.append(rtt_avg)
-        buffer.sent.append(sent)
-        buffer.rcvd.append(rcvd)
+        self._buffer.append_row(
+            probe_id, target_index, timestamp, rtt_min, rtt_avg, sent, rcvd
+        )
 
     def extend_samples(
         self,
@@ -144,45 +228,45 @@ class CampaignDataset:
         target_index = self.target_index_of(target_key)
         buffer = self._buffer
         if self._dedup_keys is not None:
-            appended = 0
+            kept = []
             for row in range(count):
-                key = (probe_ids[row], target_index, timestamps[row])
+                key = (int(probe_ids[row]), target_index, int(timestamps[row]))
                 if key in self._dedup_keys:
                     self.duplicates_dropped += 1
                     continue
                 self._dedup_keys.add(key)
-                buffer.probe_id.append(probe_ids[row])
-                buffer.target_index.append(target_index)
-                buffer.timestamp.append(timestamps[row])
-                buffer.rtt_min.append(rtt_min[row])
-                buffer.rtt_avg.append(rtt_avg[row])
-                buffer.sent.append(sent[row])
-                buffer.rcvd.append(rcvd[row])
-                appended += 1
-            return appended
-        buffer.probe_id.extend(probe_ids)
-        buffer.target_index.extend([target_index] * count)
-        buffer.timestamp.extend(timestamps)
-        buffer.rtt_min.extend(rtt_min)
-        buffer.rtt_avg.extend(rtt_avg)
-        buffer.sent.extend(sent)
-        buffer.rcvd.extend(rcvd)
+                kept.append(row)
+            if not kept:
+                return 0
+            if len(kept) < count:
+                rows = np.asarray(kept, dtype=np.intp)
+                buffer.extend(
+                    np.asarray(probe_ids)[rows],
+                    np.full(len(rows), target_index, dtype=np.int32),
+                    np.asarray(timestamps)[rows],
+                    np.asarray(rtt_min)[rows],
+                    np.asarray(rtt_avg)[rows],
+                    np.asarray(sent)[rows],
+                    np.asarray(rcvd)[rows],
+                )
+                return len(kept)
+        buffer.extend(
+            probe_ids,
+            np.full(count, target_index, dtype=np.int32),
+            timestamps,
+            rtt_min,
+            rtt_avg,
+            sent,
+            rcvd,
+        )
         return count
 
     def freeze(self) -> None:
         """Convert buffers to immutable numpy columns."""
         if self._frozen:
             return
-        buffer = self._buffer
-        self._frozen = {
-            "probe_id": np.asarray(buffer.probe_id, dtype=np.int32),
-            "target_index": np.asarray(buffer.target_index, dtype=np.int32),
-            "timestamp": np.asarray(buffer.timestamp, dtype=np.int64),
-            "rtt_min": np.asarray(buffer.rtt_min, dtype=np.float64),
-            "rtt_avg": np.asarray(buffer.rtt_avg, dtype=np.float64),
-            "sent": np.asarray(buffer.sent, dtype=np.int16),
-            "rcvd": np.asarray(buffer.rcvd, dtype=np.int16),
-        }
+        self._derived.clear()
+        self._frozen = self._buffer.finalize()
         self._buffer = _SampleBuffer()
 
     # -- access ---------------------------------------------------------------
@@ -204,42 +288,74 @@ class CampaignDataset:
 
     # -- derived per-probe vectors (aligned with samples) ----------------------
 
-    def _probe_lookup(self, fn) -> np.ndarray:
-        """Vector of ``fn(probe)`` aligned with the sample rows.
+    def _memoized(self, key: str, compute) -> np.ndarray:
+        """Cache a derived sample-aligned vector under ``key``.
+
+        Derived vectors are pure functions of the frozen columns and the
+        immutable probe/target tables, so once computed they are reused
+        for the dataset's lifetime (appends after freeze raise, and the
+        freeze transition clears the cache).  Analyses re-derive these
+        vectors dozens of times over millions of rows — memoizing them
+        removes the repeated lookup cost outright.
+        """
+        cached = self._derived.get(key)
+        if cached is None:
+            self.freeze()
+            cached = self._derived[key] = compute()
+        return cached
+
+    def _probe_lookup(self, key: str, fn) -> np.ndarray:
+        """Memoized vector of ``fn(probe)`` aligned with the sample rows.
 
         Vectorized via a sorted-id lookup table: millions of samples map
         onto a few thousand probes.
         """
-        sorted_ids = np.asarray(sorted(self._probe_by_id), dtype=np.int64)
-        table = np.asarray([fn(self._probe_by_id[pid]) for pid in sorted_ids])
-        ids = self.column("probe_id")
-        positions = np.searchsorted(sorted_ids, ids)
-        return table[positions]
+
+        def compute() -> np.ndarray:
+            sorted_ids = np.asarray(sorted(self._probe_by_id), dtype=np.int64)
+            table = np.asarray([fn(self._probe_by_id[pid]) for pid in sorted_ids])
+            ids = self.column("probe_id")
+            positions = np.searchsorted(sorted_ids, ids)
+            return table[positions]
+
+        return self._memoized(key, compute)
 
     def probe_continents(self) -> np.ndarray:
-        return self._probe_lookup(lambda probe: probe.continent)
+        return self._probe_lookup("probe_continent", lambda probe: probe.continent)
 
     def probe_countries(self) -> np.ndarray:
-        return self._probe_lookup(lambda probe: probe.country_code)
+        return self._probe_lookup("probe_country", lambda probe: probe.country_code)
 
     def probe_privileged(self) -> np.ndarray:
         """Privileged flag as the *analysis* sees it: from tags only."""
-        return self._probe_lookup(lambda probe: is_privileged(probe.tags))
+        return self._probe_lookup(
+            "probe_privileged", lambda probe: is_privileged(probe.tags)
+        )
 
     def probe_cohorts(self) -> np.ndarray:
         """wired / wireless / ambiguous / untagged, from tags only."""
-        return self._probe_lookup(lambda probe: classify_lastmile(probe.tags))
+        return self._probe_lookup(
+            "probe_cohort", lambda probe: classify_lastmile(probe.tags)
+        )
 
     def target_continents(self) -> np.ndarray:
-        continents = np.asarray([vm.region.continent for vm in self.targets])
-        return continents[self.column("target_index")]
+        return self._memoized(
+            "target_continent",
+            lambda: np.asarray([vm.region.continent for vm in self.targets])[
+                self.column("target_index")
+            ],
+        )
 
     def target_providers(self) -> np.ndarray:
-        providers = np.asarray([vm.region.provider_slug for vm in self.targets])
-        return providers[self.column("target_index")]
+        return self._memoized(
+            "target_provider",
+            lambda: np.asarray([vm.region.provider_slug for vm in self.targets])[
+                self.column("target_index")
+            ],
+        )
 
     def succeeded_mask(self) -> np.ndarray:
-        return self.column("rcvd") > 0
+        return self._memoized("succeeded", lambda: self.column("rcvd") > 0)
 
     # -- Frame views --------------------------------------------------------------
 

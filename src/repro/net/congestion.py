@@ -80,6 +80,37 @@ def utilization(timestamp: int, longitude_deg: float, tier: int) -> float:
     return min(value, _MAX_UTILIZATION)
 
 
+def utilization_batch(
+    timestamps: np.ndarray, longitude_deg: float, tier: int
+) -> np.ndarray:
+    """Vectorized :func:`utilization` over a timestamp column.
+
+    Utilization depends on the timestamp only through its position in the
+    day and its weekend flag, and campaign intervals divide a day, so a
+    flow's ticks map onto a handful of distinct ``(day position, weekend)``
+    pairs.  Each unique pair is evaluated through the *scalar* function —
+    ``math.cos`` and ``np.cos`` are not guaranteed to round identically —
+    and scattered back, which makes every element bit-identical to the
+    scalar call by construction.
+    """
+    timestamps = np.asarray(timestamps, dtype=np.int64)
+    day_index = (timestamps // DAY_S + 4) % 7
+    weekend = (day_index == 0) | (day_index == 6)
+    key = (timestamps % DAY_S) * 2 + weekend
+    _, first, inverse = np.unique(key, return_index=True, return_inverse=True)
+    values = np.asarray(
+        [utilization(int(timestamps[i]), longitude_deg, tier) for i in first],
+        dtype=np.float64,
+    )
+    return values[inverse]
+
+
+def queue_mean_ms(rho, tier: int):
+    """M/M/1 mean queueing delay at utilization ``rho`` (scalar or array)."""
+    params = _params(tier)
+    return params.queue_scale_ms * rho / (1.0 - rho)
+
+
 def queue_delay_ms(
     timestamp: int,
     longitude_deg: float,
@@ -87,19 +118,22 @@ def queue_delay_ms(
     rng: np.random.Generator,
 ) -> float:
     """Sampled queueing delay for one packet at this time and place."""
-    params = _params(tier)
     rho = utilization(timestamp, longitude_deg, tier)
-    mean_ms = params.queue_scale_ms * rho / (1.0 - rho)
+    mean_ms = queue_mean_ms(rho, tier)
     # Exponential service-time variation around the M/M/1 mean.
     return float(rng.exponential(mean_ms))
 
 
-def path_noise_ms(path_km: float, rng: np.random.Generator) -> float:
-    """Small core-network jitter, growing slowly with path length."""
+def path_noise_scale_ms(path_km: float) -> float:
+    """Exponential scale of core-network jitter for a path length."""
     if path_km < 0:
         raise NetworkModelError(f"path length must be non-negative: {path_km}")
-    scale = 0.08 * math.sqrt(1.0 + path_km / 100.0)
-    return float(rng.exponential(scale))
+    return 0.08 * math.sqrt(1.0 + path_km / 100.0)
+
+
+def path_noise_ms(path_km: float, rng: np.random.Generator) -> float:
+    """Small core-network jitter, growing slowly with path length."""
+    return float(rng.exponential(path_noise_scale_ms(path_km)))
 
 
 def _params(tier: int) -> CongestionParams:

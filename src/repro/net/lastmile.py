@@ -173,6 +173,42 @@ def sample_ms(
     return value
 
 
+def gamma_shape(tech: AccessTechnology) -> float:
+    """Gamma shape parameter of the excess-delay draw for a technology."""
+    return 1.0 / PROFILES[tech].spread
+
+
+def access_ms_from_draws(
+    tech: AccessTechnology,
+    tier: int,
+    gamma_draws: np.ndarray,
+    bloat_uniforms: np.ndarray,
+    bloat_exponentials: np.ndarray,
+    utilization: np.ndarray,
+) -> np.ndarray:
+    """Last-mile RTT contributions composed from pre-drawn randomness.
+
+    The vectorizable core of :func:`sample_ms`: ``gamma_draws`` are
+    standard-gamma draws of shape :func:`gamma_shape`, ``bloat_uniforms``
+    decide bufferbloat episodes, ``bloat_exponentials`` are standard
+    exponentials sized to the bloat scale.  All three are ``(ticks,
+    packets)``; ``utilization`` is the per-tick ``(ticks,)`` column.
+    Operation order mirrors :func:`sample_ms` exactly, so one row equals a
+    scalar sample built from the same draws bit for bit.
+    """
+    profile = PROFILES[tech]
+    scale = _tier_scale(tier)
+    utilization = np.asarray(utilization, dtype=np.float64)[:, None]
+    busy = 1.0 + 1.8 * utilization
+    excess = gamma_draws * (profile.typical_excess_ms * profile.spread) * busy
+    value = (profile.floor_ms + excess) * scale
+    bloat_p = profile.bloat_probability * (1.0 + 2.5 * utilization)
+    bloat = np.where(
+        bloat_uniforms < bloat_p, bloat_exponentials * profile.bloat_scale_ms, 0.0
+    )
+    return value + bloat
+
+
 def choose_technology(tier: int, rng: np.random.Generator) -> AccessTechnology:
     """Draw an access technology from the tier's probe mix."""
     mix = _tier_mix(tier)

@@ -106,3 +106,72 @@ def packets_received(
         raise NetworkModelError(f"sent must be positive: {sent}")
     p_loss = packet_loss_probability(tech, tier, utilization)
     return sent - gilbert_elliott_losses(sent, p_loss, rng)
+
+
+# -- fixed-layout (vectorizable) channel -----------------------------------
+#
+# The draw-as-you-go chain above consumes a data-dependent number of
+# uniforms per burst, which pins every ping to a Python loop.  The batch
+# synthesis fast path instead runs the same Gilbert-Elliott chain on a
+# *fixed* block of ``2*sent + 1`` pre-drawn uniforms per burst (initial
+# state, then a loss draw and a transition draw per packet, consumed
+# whether or not the state needs them).  The chain's transition structure
+# and stationary loss rate are untouched, and because the layout is fixed
+# the uniforms for any number of bursts pool into one Generator call.
+
+
+def fixed_uniforms_per_burst(sent: int) -> int:
+    """Uniform draws one burst consumes under the fixed layout."""
+    return 2 * sent + 1
+
+
+def packet_loss_probability_batch(
+    tech: AccessTechnology, tier: int, utilization: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`packet_loss_probability` over a utilization column.
+
+    Mirrors the scalar formula operation for operation, so each element is
+    bit-identical to the scalar call on the same utilization value.
+    """
+    try:
+        base = TIER_LOSS[tier]
+    except KeyError:
+        raise NetworkModelError(f"unknown infrastructure tier: {tier}") from None
+    probability = (base + ACCESS_LOSS[tech]) * (
+        1.0 + _UTILIZATION_FACTOR * np.asarray(utilization, dtype=np.float64)
+    )
+    return np.minimum(probability, 0.5)
+
+
+def gilbert_elliott_losses_fixed(
+    uniforms: np.ndarray, target_loss: np.ndarray
+) -> np.ndarray:
+    """Packets lost per burst, from pre-drawn fixed-layout uniforms.
+
+    ``uniforms`` has shape ``(bursts, 2*sent + 1)`` and ``target_loss``
+    shape ``(bursts,)``; returns the lost count per burst.  Row ``i``
+    consumes its uniforms exactly as a scalar fixed-layout chain would,
+    so scalar (one-row) and batch calls agree bitwise.
+    """
+    uniforms = np.atleast_2d(np.asarray(uniforms, dtype=np.float64))
+    bursts, width = uniforms.shape
+    if width < 3 or width % 2 == 0:
+        raise NetworkModelError(
+            f"fixed-layout uniforms must have 2*sent+1 columns, got {width}"
+        )
+    sent = (width - 1) // 2
+    target_loss = np.minimum(
+        np.maximum(np.asarray(target_loss, dtype=np.float64), 0.0),
+        _GE_BAD_LOSS * 0.99,
+    )
+    pi_bad = target_loss / _GE_BAD_LOSS
+    p_gb = pi_bad * _GE_RECOVERY / (1.0 - pi_bad)
+    bad = uniforms[:, 0] < pi_bad
+    lost = np.zeros(bursts, dtype=np.int64)
+    for packet in range(sent):
+        lost += bad & (uniforms[:, 1 + 2 * packet] < _GE_BAD_LOSS)
+        transition = uniforms[:, 2 + 2 * packet]
+        bad = np.where(bad, ~(transition < _GE_RECOVERY), transition < p_gb)
+    # A zero-loss channel loses nothing; its draws are still consumed so
+    # the fixed layout stays fixed.
+    return np.where(target_loss == 0.0, 0, lost)

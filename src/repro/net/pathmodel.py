@@ -12,20 +12,277 @@ The *floor* — what a nine-month minimum converges towards — is the transit
 floor plus the last-mile floor.  Everything else is per-sample noise drawn
 from deterministic, label-derived RNG streams, so two runs with the same
 seed produce the same dataset sample-for-sample.
+
+**Draw layout (the batch-parity contract).**  Every stochastic component
+of a ping burst draws from one of a flow's three family streams
+(:class:`PingDrawStreams` — uniforms, gammas, exponentials) at a *fixed*
+per-tick rate and a *fixed* column position.  Because rate and position
+are fixed and the streams are independent,
+the draws for ``n`` ticks pool into one Generator call per family, and
+:meth:`LatencyModel.ping_batch` synthesizes a whole flow's RTT columns
+with numpy while remaining **bit-identical** to ``n`` scalar
+:meth:`LatencyModel.ping` calls consuming the same streams tick by tick.
+Both paths run the same composition kernel (:func:`synthesize_blocks`);
+the scalar path is simply the one-tick case.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
+
+import numpy as np
 
 from repro.errors import NetworkModelError
 from repro.geo.coordinates import LatLon
 from repro.geo.countries import Country
 from repro.net import congestion, lastmile, loss
+from repro.net import rng as rng_mod
 from repro.net.lastmile import AccessTechnology
-from repro.net.rng import stream
+from repro.net.rng import Label, stream
 from repro.net.topology import Route, TransitModel, default_transit_model
+
+
+def quantize_rtts(rtts_ms: np.ndarray) -> np.ndarray:
+    """Quantize RTTs to the platform's reporting precision (3 decimals).
+
+    The single quantizer both the scalar and the batch path run, so one
+    sample rounds identically no matter which path produced it.
+    """
+    return np.round(rtts_ms, 3)
+
+
+#: The three label-derived streams behind one flow, by draw family.  Per
+#: tick of ``p`` packets a flow consumes ``3p+1`` uniforms (``2p+1`` for
+#: bursty loss, ``p`` for bufferbloat gating), ``p`` standard gammas
+#: (access excess), and ``3p`` standard exponentials (bufferbloat spike,
+#: queueing, core path noise).  Draws of one family share a stream —
+#: within a tick they split by *column position*, which is just as fixed
+#: as a separate stream would be and costs a third of the Generator
+#: setup.
+_STREAM_FAMILIES = ("uniform", "gamma", "exponential")
+
+
+@dataclass(frozen=True)
+class PingDrawBlocks:
+    """Pre-drawn randomness for ``n`` consecutive ticks of one flow."""
+
+    loss_u: np.ndarray        # (n, 2*packets + 1)
+    access_gamma: np.ndarray  # (n, packets)
+    bloat_u: np.ndarray       # (n, packets)
+    bloat_e: np.ndarray       # (n, packets)
+    queue_e: np.ndarray       # (n, packets)
+    noise_e: np.ndarray       # (n, packets)
+
+    def __len__(self) -> int:
+        return len(self.loss_u)
+
+    def rows(self, start: int, stop: int) -> "PingDrawBlocks":
+        """The sub-block for ticks ``[start, stop)``."""
+        return PingDrawBlocks(
+            loss_u=self.loss_u[start:stop],
+            access_gamma=self.access_gamma[start:stop],
+            bloat_u=self.bloat_u[start:stop],
+            bloat_e=self.bloat_e[start:stop],
+            queue_e=self.queue_e[start:stop],
+            noise_e=self.noise_e[start:stop],
+        )
+
+
+def _split_draws(
+    uniforms: np.ndarray,
+    gammas: np.ndarray,
+    exponentials: np.ndarray,
+    packets: int,
+) -> PingDrawBlocks:
+    """Slice the per-family matrices into named component blocks.
+
+    The single place the column layout lives: both the pooled batch draw
+    and the tick-by-tick single-stream draw route through it, so the two
+    consumption orders cannot drift apart.
+    """
+    burst = loss.fixed_uniforms_per_burst(packets)
+    return PingDrawBlocks(
+        loss_u=uniforms[:, :burst],
+        bloat_u=uniforms[:, burst:],
+        access_gamma=gammas,
+        bloat_e=exponentials[:, :packets],
+        queue_e=exponentials[:, packets : 2 * packets],
+        noise_e=exponentials[:, 2 * packets :],
+    )
+
+
+class PingDrawStreams:
+    """One flow's three family streams, consumed in tick order.
+
+    Drawing blocks for ``a`` ticks and then ``b`` ticks yields the same
+    arrays as drawing ``a + b`` at once (numpy Generators fill pooled
+    requests sequentially), which is what lets scalar tick-by-tick
+    consumption and pooled batch consumption coexist bit-identically —
+    and lets a window fetch skip its pre-window prefix with one pooled
+    discard instead of a per-tick loop.
+    """
+
+    __slots__ = ("_uniform", "_gamma", "_exponential")
+
+    def __init__(self, root: int, *labels: Label):
+        seeds = rng_mod.derive_seed_block(
+            root, *labels, count=len(_STREAM_FAMILIES)
+        )
+        self._uniform = rng_mod.fast_stream(seeds[0])
+        self._gamma = rng_mod.fast_stream(seeds[1])
+        self._exponential = rng_mod.fast_stream(seeds[2])
+
+    def blocks(
+        self, ticks: int, packets: int, tech: AccessTechnology
+    ) -> PingDrawBlocks:
+        """Draw the next ``ticks`` ticks' randomness, tick-major."""
+        return _split_draws(
+            self._uniform.random((ticks, 3 * packets + 1)),
+            self._gamma.standard_gamma(
+                lastmile.gamma_shape(tech), (ticks, packets)
+            ),
+            self._exponential.standard_exponential((ticks, 3 * packets)),
+            packets,
+        )
+
+    def skip(self, ticks: int, packets: int, tech: AccessTechnology) -> None:
+        """Consume (and discard) ``ticks`` ticks' draws.
+
+        Keeps later ticks aligned when a fetch window starts mid-flow:
+        the pre-window prefix burns exactly the draws it would have used.
+        """
+        if ticks > 0:
+            self.blocks(ticks, packets, tech)
+
+
+class SingleStreamDraws:
+    """Adapter: the fixed per-tick draw layout fed from one Generator.
+
+    For callers that bring their own flow Generator (the anchor mesh, the
+    core-vs-access decomposition).  The draw families interleave within a
+    tick, so blocks cannot pool across ticks — scalar use only.
+    """
+
+    __slots__ = ("_rng",)
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+
+    def blocks(
+        self, ticks: int, packets: int, tech: AccessTechnology
+    ) -> PingDrawBlocks:
+        rng = self._rng
+        shape = lastmile.gamma_shape(tech)
+        rows = [
+            (
+                rng.random(3 * packets + 1),
+                rng.standard_gamma(shape, packets),
+                rng.standard_exponential(3 * packets),
+            )
+            for _ in range(ticks)
+        ]
+        return _split_draws(
+            *(np.stack(cols) for cols in zip(*rows)), packets
+        )
+
+    def skip(self, ticks: int, packets: int, tech: AccessTechnology) -> None:
+        if ticks > 0:
+            self.blocks(ticks, packets, tech)
+
+
+def synthesize_blocks(
+    blocks: PingDrawBlocks,
+    transit_ms: float,
+    utilization: np.ndarray,
+    tech: AccessTechnology,
+    tier: int,
+    path_km: float,
+    packets: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The shared composition kernel: draws -> (received, quantized RTTs).
+
+    Returns ``received`` of shape ``(n,)`` and the quantized per-packet
+    RTT matrix of shape ``(n, packets)`` (entries beyond a tick's received
+    count are surplus draws and carry no meaning).  Every arithmetic step
+    mirrors the scalar component functions operation for operation, so a
+    one-row call reproduces a scalar ping exactly.
+    """
+    p_loss = loss.packet_loss_probability_batch(tech, tier, utilization)
+    lost = loss.gilbert_elliott_losses_fixed(blocks.loss_u, p_loss)
+    received = packets - lost
+    access = lastmile.access_ms_from_draws(
+        tech, tier, blocks.access_gamma, blocks.bloat_u, blocks.bloat_e, utilization
+    )
+    queue = blocks.queue_e * congestion.queue_mean_ms(utilization, tier)[:, None]
+    noise = blocks.noise_e * congestion.path_noise_scale_ms(path_km)
+    rtts = transit_ms + access + queue + noise
+    return received, quantize_rtts(rtts)
+
+
+@dataclass(frozen=True)
+class PingBatch:
+    """Columnar outcome of one flow's ping bursts over many ticks.
+
+    ``rtts_ms[i, :received[i]]`` are tick ``i``'s quantized echo RTTs;
+    the reduced ``rtt_min`` / ``rtt_avg`` columns are NaN where the whole
+    burst was lost, matching how the dataset stores failed pings.
+    """
+
+    timestamps: np.ndarray  # (n,) int64
+    sent: int
+    received: np.ndarray    # (n,) int64
+    rtts_ms: np.ndarray     # (n, sent) float64, quantized
+    rtt_min: np.ndarray     # (n,) float64, NaN on failure
+    rtt_avg: np.ndarray     # (n,) float64, NaN on failure
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    @property
+    def succeeded(self) -> np.ndarray:
+        return self.received > 0
+
+    def observation(self, index: int) -> "PingObservation":
+        """Tick ``index`` as the scalar :class:`PingObservation`."""
+        received = int(self.received[index])
+        return PingObservation(
+            timestamp=int(self.timestamps[index]),
+            sent=self.sent,
+            received=received,
+            rtts_ms=tuple(float(v) for v in self.rtts_ms[index, :received]),
+        )
+
+
+def _reduce_batch(
+    timestamps: np.ndarray, packets: int, received: np.ndarray, rtts: np.ndarray
+) -> PingBatch:
+    """Fold a synthesized block into the columnar :class:`PingBatch`.
+
+    The row-wise min/avg reductions run over the first ``received[i]``
+    entries only (trailing entries masked to +inf / 0.0, which leaves the
+    result bits untouched for finite positive RTTs), matching the scalar
+    ``min`` / ``sum``-then-divide on the observation tuple exactly.
+    """
+    mask = np.arange(packets)[None, :] < received[:, None]
+    ok = received > 0
+    rtt_min = np.where(mask, rtts, np.inf).min(axis=1, initial=np.inf)
+    rtt_min = np.where(ok, rtt_min, np.nan)
+    totals = np.where(mask, rtts, 0.0).sum(axis=1)
+    rtt_avg = np.divide(
+        totals,
+        received,
+        out=np.full(len(received), np.nan),
+        where=ok,
+    )
+    return PingBatch(
+        timestamps=timestamps,
+        sent=packets,
+        received=np.asarray(received, dtype=np.int64),
+        rtts_ms=rtts,
+        rtt_min=rtt_min,
+        rtt_avg=rtt_avg,
+    )
 
 
 @dataclass(frozen=True)
@@ -169,34 +426,89 @@ class LatencyModel:
         packets: int = 3,
         adjustment: EndpointAdjustment = PUBLIC_INTERNET,
         rng=None,
+        draws: Optional[PingDrawStreams] = None,
     ) -> PingObservation:
         """Simulate one ping burst at ``timestamp`` (Unix seconds).
 
-        When ``rng`` is omitted a fresh stream is derived from
-        ``(seed, origin_id, target_id, timestamp)``; callers looping over
-        many ticks may pass a per-flow generator instead, which is much
-        faster and still deterministic given a fixed tick order.
+        When neither ``draws`` nor ``rng`` is given a fresh stream is
+        derived from ``(seed, origin_id, target_id, timestamp)``.  Callers
+        looping over many ticks pass the flow's :class:`PingDrawStreams`
+        as ``draws`` — consuming one tick per call, bit-identical to
+        :meth:`ping_batch` over the same streams — or a plain Generator as
+        ``rng`` (the legacy per-flow form, scalar-only layout).
         """
         if packets <= 0:
             raise NetworkModelError(f"packets must be positive: {packets}")
-        if rng is None:
-            rng = stream(self.seed, "ping", origin_id, target_id, timestamp)
+        if draws is None:
+            if rng is None:
+                rng = stream(self.seed, "ping", origin_id, target_id, timestamp)
+            draws = SingleStreamDraws(rng)
         tier = origin_country.infra_tier
         transit = self.transit_floor_ms(
             origin, origin_country, target, target_country, adjustment
         )
         route = self.route(origin, origin_country, target, target_country)
         rho = congestion.utilization(timestamp, origin.lon, tier)
-        received = loss.packets_received(packets, tech, tier, rho, rng)
-        rtts = []
-        for _ in range(received):
-            access = lastmile.sample_ms(tech, tier, rng, utilization=rho)
-            queue = congestion.queue_delay_ms(timestamp, origin.lon, tier, rng)
-            noise = congestion.path_noise_ms(route.path_km, rng)
-            rtts.append(transit + access + queue + noise)
+        received, rtts = synthesize_blocks(
+            draws.blocks(1, packets, tech),
+            transit,
+            np.asarray([rho], dtype=np.float64),
+            tech,
+            tier,
+            route.path_km,
+            packets,
+        )
+        count = int(received[0])
         return PingObservation(
             timestamp=timestamp,
             sent=packets,
-            received=received,
-            rtts_ms=tuple(round(value, 3) for value in rtts),
+            received=count,
+            rtts_ms=tuple(float(value) for value in rtts[0, :count]),
         )
+
+    def ping_batch(
+        self,
+        origin: LatLon,
+        origin_country: Country,
+        tech: AccessTechnology,
+        target: LatLon,
+        target_country: Country,
+        timestamps,
+        origin_id: int,
+        target_id: str,
+        packets: int = 3,
+        adjustment: EndpointAdjustment = PUBLIC_INTERNET,
+        draws: Optional[PingDrawStreams] = None,
+    ) -> PingBatch:
+        """Simulate one flow's ping bursts at all ``timestamps`` at once.
+
+        One numpy pass per component instead of a Python loop per tick —
+        and, fed the same ``draws``, **bit-identical** to calling
+        :meth:`ping` per timestamp in order (both run
+        :func:`synthesize_blocks`; the utilization column routes through
+        the scalar :func:`~repro.net.congestion.utilization` per unique
+        time-of-day so even the transcendentals agree).  When ``draws`` is
+        omitted, per-flow streams are derived from
+        ``(seed, "ping", origin_id, target_id)``.
+        """
+        if packets <= 0:
+            raise NetworkModelError(f"packets must be positive: {packets}")
+        if draws is None:
+            draws = PingDrawStreams(self.seed, "ping", origin_id, target_id)
+        timestamps = np.asarray(timestamps, dtype=np.int64)
+        tier = origin_country.infra_tier
+        transit = self.transit_floor_ms(
+            origin, origin_country, target, target_country, adjustment
+        )
+        route = self.route(origin, origin_country, target, target_country)
+        rho = congestion.utilization_batch(timestamps, origin.lon, tier)
+        received, rtts = synthesize_blocks(
+            draws.blocks(len(timestamps), packets, tech),
+            transit,
+            rho,
+            tech,
+            tier,
+            route.path_km,
+            packets,
+        )
+        return _reduce_batch(timestamps, packets, received, rtts)

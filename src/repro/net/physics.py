@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import NetworkModelError
 
 #: Propagation speed of light in fiber, km per millisecond.
@@ -60,6 +62,21 @@ def estimate_hop_count(path_km: float) -> int:
 def hop_rtt_ms(path_km: float) -> float:
     """RTT contributed by router hops along a path of ``path_km``."""
     return estimate_hop_count(path_km) * PER_HOP_RTT_MS
+
+
+def estimate_hop_counts(path_km: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`estimate_hop_count` over a path-length column.
+
+    An analysis convenience (hop counts over a whole route table at
+    once); the batch synthesis path never needs it because a flow's route
+    — and therefore its hop count — is constant across ticks.
+    """
+    path_km = np.asarray(path_km, dtype=np.float64)
+    if np.any(path_km < 0):
+        raise NetworkModelError("path lengths must be non-negative")
+    hops = _MIN_HOPS + 2.6 * np.log1p(path_km / 40.0)
+    counts = np.minimum(_MAX_HOPS, np.round(hops)).astype(np.int64)
+    return np.where(path_km < 5.0, _MIN_HOPS, counts)
 
 
 def wire_rtt_ms(path_km: float) -> float:

@@ -1,0 +1,187 @@
+"""Tests for the columnar result path — platform, transport, client.
+
+The platform's ``results_columns`` must be bit-identical to fetching the
+raw dict stream and parsing it sample by sample (``PingColumns.
+from_results`` over parsed :class:`PingResult` objects is the parity
+reference), the transport must refuse to vouch for columns whenever a
+fault injector could mangle the wire, and the client's ``columns()``
+verb must report *why* a fetch has no columnar path instead of raising.
+"""
+
+import numpy as np
+import pytest
+
+from repro.atlas.api.client import AtlasResultsRequest
+from repro.atlas.api.sources import AtlasSource
+from repro.atlas.api.transport import Transport
+from repro.atlas.platform import DEFAULT_KEY, AtlasPlatform
+from repro.atlas.results.ping import PingColumns, PingResult
+from repro.errors import AtlasAPIError, ResultParseError
+
+T0 = 1_567_296_000
+DAY = 86_400
+
+
+@pytest.fixture(scope="module")
+def backend() -> AtlasPlatform:
+    return AtlasPlatform(seed=5)
+
+
+def create(backend, msm_type="ping", af=4, oneoff=False, **definition) -> int:
+    target = backend.hostname_for(backend.fleet[9])
+    definition = {
+        "target": target,
+        "description": "test",
+        "type": msm_type,
+        "af": af,
+        "is_oneoff": oneoff,
+        **({"packets": 3, "size": 48} if msm_type == "ping" else {}),
+        **({} if oneoff else {"interval": 10_800}),
+        **definition,
+    }
+    return backend.create_measurement(
+        definition,
+        [AtlasSource(type="country", value="DE", requested=10)],
+        T0,
+        T0 + 2 * DAY,
+        key=DEFAULT_KEY,
+    )
+
+
+def reference_columns(backend, msm_id, **window) -> PingColumns:
+    """The scalar path, columnar-ized: fetch dicts, parse, stack."""
+    raws = backend.results(msm_id, **window)
+    return PingColumns.from_results([PingResult(raw) for raw in raws])
+
+
+class TestPlatformColumns:
+    def test_matches_scalar_parse_bitwise(self, backend):
+        msm_id = create(backend)
+        columns = backend.results_columns(msm_id)
+        expected = reference_columns(backend, msm_id)
+        assert len(columns) == len(expected) > 0
+        assert np.array_equal(columns.probe_ids, expected.probe_ids)
+        assert np.array_equal(columns.timestamps, expected.timestamps)
+        assert np.array_equal(columns.rtt_min, expected.rtt_min, equal_nan=True)
+        assert np.array_equal(columns.rtt_avg, expected.rtt_avg, equal_nan=True)
+        assert np.array_equal(columns.sent, expected.sent)
+        assert np.array_equal(columns.rcvd, expected.rcvd)
+
+    def test_windowed_fetch_matches(self, backend):
+        """A mid-flow window must skip the pre-window draws exactly as
+        the scalar generator loop does."""
+        msm_id = create(backend)
+        window = {"start": T0 + DAY // 2, "stop": T0 + DAY + DAY // 2}
+        columns = backend.results_columns(msm_id, **window)
+        expected = reference_columns(backend, msm_id, **window)
+        assert len(columns) == len(expected) > 0
+        assert np.array_equal(columns.timestamps, expected.timestamps)
+        assert np.array_equal(columns.rtt_min, expected.rtt_min, equal_nan=True)
+
+    def test_probe_filter_matches(self, backend):
+        msm_id = create(backend)
+        wanted = backend.measurement(msm_id).probes[0].probe_id
+        columns = backend.results_columns(msm_id, probe_ids=[wanted])
+        assert len(columns) > 0
+        assert set(columns.probe_ids) == {wanted}
+        expected = reference_columns(backend, msm_id, probe_ids=[wanted])
+        assert np.array_equal(columns.rtt_min, expected.rtt_min, equal_nan=True)
+
+    def test_ipv6_flow_matches(self, backend):
+        msm_id = create(backend, af=6)
+        columns = backend.results_columns(msm_id)
+        expected = reference_columns(backend, msm_id)
+        assert np.array_equal(columns.rtt_min, expected.rtt_min, equal_nan=True)
+
+    def test_oneoff_matches(self, backend):
+        msm_id = create(backend, oneoff=True)
+        columns = backend.results_columns(msm_id)
+        expected = reference_columns(backend, msm_id)
+        assert len(columns) == len(expected) > 0
+        assert np.array_equal(columns.rtt_min, expected.rtt_min, equal_nan=True)
+
+    def test_traceroute_has_no_batch_path(self, backend):
+        msm_id = create(backend, msm_type="traceroute", oneoff=True)
+        assert not backend.supports_batch(msm_id)
+        assert backend.results_columns(msm_id) is None
+        with pytest.raises(AtlasAPIError):
+            list(backend.iter_results_batch(msm_id))
+
+    def test_deterministic(self, backend):
+        msm_id = create(backend)
+        first = backend.results_columns(msm_id)
+        second = backend.results_columns(msm_id)
+        assert np.array_equal(first.rtt_min, second.rtt_min, equal_nan=True)
+
+    def test_columnar_fetch_leaves_scalar_stream_untouched(self, backend):
+        """Interleaving columnar and scalar fetches must not perturb
+        either: flow streams are derived per call, never shared."""
+        msm_id = create(backend)
+        before = backend.results(msm_id)
+        backend.results_columns(msm_id)
+        assert backend.results(msm_id) == before
+
+
+class TestPingColumnsContainer:
+    def test_ragged_rejected(self):
+        with pytest.raises(ResultParseError):
+            PingColumns(
+                probe_ids=np.zeros(2, dtype=np.int64),
+                timestamps=np.zeros(1, dtype=np.int64),
+                rtt_min=np.zeros(2),
+                rtt_avg=np.zeros(2),
+                sent=np.zeros(2, dtype=np.int64),
+                rcvd=np.zeros(2, dtype=np.int64),
+            )
+
+    def test_concat_of_nothing_is_empty(self):
+        assert len(PingColumns.concat([])) == 0
+
+    def test_concat_preserves_order(self, backend):
+        msm_id = create(backend)
+        chunks = list(backend.iter_results_batch(msm_id))
+        assert len(chunks) > 1
+        whole = PingColumns.concat(chunks)
+        assert len(whole) == sum(len(chunk) for chunk in chunks)
+        assert np.array_equal(
+            whole.timestamps,
+            np.concatenate([chunk.timestamps for chunk in chunks]),
+        )
+
+
+class TestTransportGate:
+    def test_clean_transport_serves_columns(self, backend):
+        msm_id = create(backend)
+        transport = Transport(backend)
+        columns = transport.results_columns(msm_id)
+        assert columns is not None and len(columns) > 0
+
+    def test_chaos_transport_refuses(self, backend):
+        """With an injector attached pages can be mangled — the raw dict
+        stream is the only faithful representation, so no columns."""
+        msm_id = create(backend)
+        transport = Transport(backend, faults="flaky")
+        assert transport.results_columns(msm_id) is None
+
+
+class TestClientColumns:
+    def test_columns_verb(self, backend):
+        msm_id = create(backend)
+        ok, columns = AtlasResultsRequest(msm_id=msm_id, platform=backend).columns()
+        assert ok
+        expected = reference_columns(backend, msm_id)
+        assert np.array_equal(columns.rtt_min, expected.rtt_min, equal_nan=True)
+
+    def test_columns_reports_fallback_reason(self, backend):
+        msm_id = create(backend)
+        request = AtlasResultsRequest(
+            msm_id=msm_id, transport=Transport(backend, faults="flaky")
+        )
+        ok, payload = request.columns()
+        assert not ok
+        assert "error" in payload
+
+    def test_columns_unknown_measurement(self, backend):
+        ok, payload = AtlasResultsRequest(msm_id=999_999, platform=backend).columns()
+        assert not ok
+        assert "error" in payload

@@ -109,7 +109,7 @@ class TestExecution:
             campaign.platform.probes, campaign.platform.fleet
         )
         campaign.collect_into(incremental, stop=midpoint)
-        first_half = len(incremental._buffer.probe_id)
+        first_half = incremental._buffer.size
         campaign.collect_into(incremental, start=midpoint)
         incremental.freeze()
 

@@ -7,7 +7,7 @@ import pytest
 
 from repro.atlas.population import generate_population
 from repro.cloud.vm import deploy_fleet
-from repro.core.dataset import CampaignDataset
+from repro.core.dataset import CampaignDataset, _SampleBuffer
 from repro.errors import CampaignError
 
 
@@ -156,16 +156,106 @@ class TestFromFrame:
             dataset.to_frame(), dataset.probes, dataset.targets, dedup=True
         )
         probe = dataset.probes[0]
-        before = rebuilt._buffer.probe_id[:]
+        before = rebuilt._buffer.size
         # Re-appending an existing sample is swallowed by the guard...
         rebuilt.append(probe.probe_id, dataset.targets[0].key,
                        int(dataset.column("timestamp")[0]), 10.0, 12.0, 3, 3)
-        assert rebuilt._buffer.probe_id == before
+        assert rebuilt._buffer.size == before
         assert rebuilt.duplicates_dropped == 1
         # ...while a genuinely new sample still lands.
         rebuilt.append(probe.probe_id, dataset.targets[0].key,
                        2_000_000_000, 10.0, 12.0, 3, 3)
         assert rebuilt.num_samples == dataset.num_samples + 1
+
+
+class TestSampleBuffer:
+    """The numpy-backed append buffer behind the dataset."""
+
+    def test_geometric_growth(self):
+        buffer = _SampleBuffer()
+        assert buffer._capacity == 0
+        buffer.append_row(1, 0, 100, 1.0, 2.0, 3, 3)
+        assert buffer._capacity == _SampleBuffer._INITIAL_CAPACITY
+        buffer.reserve(3 * _SampleBuffer._INITIAL_CAPACITY)
+        assert buffer._capacity == 4 * _SampleBuffer._INITIAL_CAPACITY
+
+    def test_growth_preserves_prefix(self):
+        buffer = _SampleBuffer()
+        for k in range(10):
+            buffer.append_row(k, k, 100 + k, float(k), float(k), 3, 3)
+        buffer.reserve(10_000)
+        final = buffer.finalize()
+        assert list(final["probe_id"]) == list(range(10))
+        assert list(final["timestamp"]) == list(range(100, 110))
+
+    def test_extend_is_bulk_slice_assignment(self):
+        buffer = _SampleBuffer()
+        n = 5_000  # spans several doublings
+        ids = np.arange(n, dtype=np.int32)
+        buffer.extend(ids, ids, np.arange(n, dtype=np.int64),
+                      np.ones(n), np.ones(n),
+                      np.full(n, 3, dtype=np.int16), np.full(n, 3, dtype=np.int16))
+        assert buffer.size == n
+        final = buffer.finalize()
+        assert np.array_equal(final["probe_id"], ids)
+        assert final["probe_id"].dtype == np.int32
+        assert final["sent"].dtype == np.int16
+
+    def test_finalize_is_right_sized_copy(self):
+        buffer = _SampleBuffer()
+        buffer.append_row(1, 0, 100, 1.0, 2.0, 3, 3)
+        final = buffer.finalize()
+        assert len(final["probe_id"]) == 1
+        # Mutating the finalized columns must not leak back into the buffer.
+        final["probe_id"][0] = 99
+        assert buffer.finalize()["probe_id"][0] == 1
+
+    def test_dedup_extend_fancy_index_path(self):
+        """A partially-duplicated bulk extend keeps only the fresh rows,
+        in order, through the fancy-index fallback."""
+        probes = generate_population(seed=2)[:3]
+        targets = deploy_fleet()[:1]
+        ds = CampaignDataset(probes, targets, dedup=True)
+        ids = [probes[0].probe_id, probes[1].probe_id, probes[2].probe_id]
+        ds.extend_samples(targets[0].key, ids, [100, 200, 300],
+                          [1.0, 2.0, 3.0], [1.5, 2.5, 3.5], [3, 3, 3], [3, 3, 3])
+        appended = ds.extend_samples(
+            targets[0].key,
+            [probes[0].probe_id, probes[1].probe_id, probes[2].probe_id],
+            [100, 250, 300],  # first and last collide with existing rows
+            [9.0, 9.0, 9.0], [9.0, 9.0, 9.0], [3, 3, 3], [3, 3, 3],
+        )
+        assert appended == 1
+        assert ds.duplicates_dropped == 2
+        assert len(ds) == 4
+        assert list(ds.column("timestamp")) == [100, 200, 300, 250]
+
+
+class TestMemoizedDerived:
+    """Derived sample-aligned vectors are computed once per dataset."""
+
+    def test_probe_lookup_cached(self, dataset):
+        first = dataset.probe_countries()
+        assert dataset.probe_countries() is first
+
+    def test_target_vectors_cached(self, dataset):
+        assert dataset.target_providers() is dataset.target_providers()
+        assert dataset.target_continents() is dataset.target_continents()
+
+    def test_succeeded_mask_cached(self, dataset):
+        first = dataset.succeeded_mask()
+        assert dataset.succeeded_mask() is first
+        assert list(first) == [True, True, True, True, False]
+
+    def test_freeze_transition_invalidates(self, dataset):
+        """A vector computed before an explicit freeze (which itself
+        forces the freeze) stays valid; the freeze clears any cache so
+        nothing computed against a stale buffer can survive."""
+        dataset.freeze()
+        cached = dataset.succeeded_mask()
+        assert dataset._derived  # populated
+        dataset.freeze()  # idempotent freeze keeps the frozen columns
+        assert dataset.succeeded_mask() is cached
 
 
 class TestExport:

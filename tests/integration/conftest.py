@@ -62,15 +62,25 @@ class ParityHarness:
     leaks between the two sides of the comparison.
     """
 
-    def __init__(self, seed: int, scale: CampaignScale, profile: str = "none"):
+    def __init__(
+        self,
+        seed: int,
+        scale: CampaignScale,
+        profile: str = "none",
+        fast_path: str = "auto",
+    ):
         self.seed = seed
         self.scale = scale
         self.profile = profile
+        self.fast_path = fast_path
 
     def build_campaign(self) -> Campaign:
         faults = None if self.profile == "none" else self.profile
         campaign = Campaign.from_paper(
-            scale=self.scale, seed=self.seed, faults=faults
+            scale=self.scale,
+            seed=self.seed,
+            faults=faults,
+            fast_path=self.fast_path,
         )
         campaign.create_measurements()
         return campaign

@@ -1,0 +1,161 @@
+"""Scalar-vs-vectorized fast-path parity suite.
+
+The tentpole guarantee of the batch synthesis fast path: collecting a
+campaign through the columnar fetch (``fast_path="auto"``/``"on"``)
+produces a frozen dataset **byte-identical** to the per-sample scalar
+pipeline (``fast_path="off"``) — same seed, same scale, same fault
+profile, same worker count.  Under fault injection the columnar fetch is
+unavailable by design (the chaos engine mangles the raw dict stream), so
+``"auto"`` must converge to the scalar bytes via fallback, and ``"on"``
+must refuse loudly rather than silently measure the wrong path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.atlas.api.retry import RetryPolicy
+from repro.atlas.api.transport import Transport
+from repro.core.campaign import Campaign, CampaignScale, CollectionCheckpoint
+from repro.errors import CampaignError, CollectionInterruptedError
+
+from .conftest import PARITY_WORKERS, ParityHarness, dataset_fingerprint
+
+FIXTURE_SEED = 7
+
+ALL_PROFILES = ("none", "flaky", "outage", "hostile")
+
+
+class TestTinyFastPathParity:
+    """TINY campaigns: full fast-vs-scalar cross-check per profile."""
+
+    @pytest.mark.parametrize("profile", ALL_PROFILES)
+    def test_fast_matches_scalar(self, profile):
+        """auto (vectorized on a clean wire, fallback under chaos) and
+        off (always scalar) must agree byte-for-byte — datasets,
+        checkpoints, and accounting alike."""
+        scalar = ParityHarness(
+            FIXTURE_SEED, CampaignScale.TINY, profile, fast_path="off"
+        ).run()
+        fast = ParityHarness(
+            FIXTURE_SEED, CampaignScale.TINY, profile, fast_path="auto"
+        ).run()
+        harness = ParityHarness(FIXTURE_SEED, CampaignScale.TINY, profile)
+        harness.assert_parity(fast, scalar)
+
+    def test_fast_parallel_matches_scalar_serial(self):
+        """Vectorized + sharded vs scalar + serial: the two orthogonal
+        fast paths compose without perturbing a byte."""
+        scalar = ParityHarness(
+            FIXTURE_SEED, CampaignScale.TINY, "none", fast_path="off"
+        ).run()
+        fast = ParityHarness(
+            FIXTURE_SEED, CampaignScale.TINY, "none", fast_path="auto"
+        ).run(workers=PARITY_WORKERS)
+        harness = ParityHarness(FIXTURE_SEED, CampaignScale.TINY, "none")
+        harness.assert_parity(fast, scalar)
+
+    def test_forced_on_matches_scalar(self):
+        """fast_path='on' (no silent fallback possible) still produces
+        the scalar bytes on a clean transport."""
+        scalar = ParityHarness(
+            FIXTURE_SEED, CampaignScale.TINY, "none", fast_path="off"
+        ).run()
+        forced = ParityHarness(
+            FIXTURE_SEED, CampaignScale.TINY, "none", fast_path="on"
+        ).run()
+        ParityHarness.assert_datasets_byte_identical(
+            forced.dataset, scalar.dataset
+        )
+
+
+class TestSmallFastPathParity:
+    """SMALL compares one scalar run against the shared session baseline
+    (built through the fast path by ``tests/conftest.py``), so the
+    expensive scalar side runs exactly once."""
+
+    def test_scalar_small_matches_fast_baseline(self, small_dataset):
+        scalar = ParityHarness(
+            FIXTURE_SEED, CampaignScale.SMALL, "none", fast_path="off"
+        ).run()
+        ParityHarness.assert_datasets_byte_identical(
+            scalar.dataset, small_dataset
+        )
+        assert np.array_equal(
+            scalar.dataset.column("rtt_min"),
+            small_dataset.column("rtt_min"),
+            equal_nan=True,
+        )
+
+
+class TestFastPathModes:
+    """The mode knob itself: validation and refusal semantics."""
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(CampaignError):
+            Campaign.from_paper(
+                scale=CampaignScale.TINY, seed=FIXTURE_SEED, fast_path="warp"
+            )
+
+    def test_forced_on_refuses_chaos_transport(self):
+        """'on' exists for benchmarks that must not silently measure the
+        scalar path — a chaos transport cannot serve columns, so the
+        collection raises instead of falling back."""
+        campaign = Campaign.from_paper(
+            scale=CampaignScale.TINY,
+            seed=FIXTURE_SEED,
+            faults="flaky",
+            fast_path="on",
+        )
+        campaign.create_measurements()
+        with pytest.raises((CampaignError, CollectionInterruptedError)):
+            campaign.collect()
+
+    def test_auto_fallback_under_chaos_counts_faults(self):
+        """'auto' under chaos really exercises the scalar machinery: the
+        transport injects faults, which the columnar path never sees."""
+        outcome = ParityHarness(
+            FIXTURE_SEED, CampaignScale.TINY, "flaky", fast_path="auto"
+        ).run()
+        assert sum(outcome.transport_stats["faults"].values()) > 0
+
+
+class TestFastPathResume:
+    """Resume-after-interruption with the fast path enabled: the scalar
+    prefix collected under chaos and the vectorized remainder collected
+    after recovery must merge into the serial scalar byte stream."""
+
+    SEED = 47
+
+    def test_resume_through_fast_path_matches_scalar_bytes(self):
+        baseline_campaign = Campaign.from_paper(
+            scale=CampaignScale.TINY, seed=self.SEED, fast_path="off"
+        )
+        baseline_campaign.create_measurements()
+        baseline = baseline_campaign.collect()
+
+        # Interrupt mid-run: flaky faults with a one-attempt budget make
+        # the first transient fault terminal.  Chaos forces the scalar
+        # path for the prefix regardless of the campaign's mode.
+        campaign = Campaign.from_paper(
+            scale=CampaignScale.TINY, seed=self.SEED, fast_path="auto"
+        )
+        campaign.create_measurements()
+        campaign.transport = Transport(
+            campaign.platform, faults="flaky", retry=RetryPolicy(max_attempts=1)
+        )
+        checkpoint = CollectionCheckpoint()
+        with pytest.raises(CollectionInterruptedError) as excinfo:
+            campaign.collect(checkpoint=checkpoint, workers=PARITY_WORKERS)
+        exc = excinfo.value
+        assert 0 < len(exc.checkpoint.high_water) < len(campaign.measurement_ids)
+
+        # Recover onto a clean transport: the remainder now takes the
+        # vectorized columnar fetch, in parallel.
+        campaign.transport = Transport(campaign.platform)
+        resumed = campaign.collect(
+            checkpoint=exc.checkpoint,
+            dataset=exc.dataset,
+            workers=PARITY_WORKERS,
+        )
+        assert resumed.num_samples == baseline.num_samples
+        assert dataset_fingerprint(resumed) == dataset_fingerprint(baseline)
