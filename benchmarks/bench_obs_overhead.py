@@ -1,0 +1,106 @@
+"""Observability overhead — instrumentation must stay under 5% on ingest.
+
+The SMALL campaign is collected through the default fast path twice over:
+min-of-3 uninstrumented (``obs=None`` → the shared ``NULL_OBS`` no-op
+context) against min-of-3 fully instrumented (live metrics registry +
+span tracer).  Window-granularity instrumentation — one span and a
+handful of counter bumps per measurement window, never per sample — is
+what keeps the delta inside the 5% acceptance bar.  The two frozen
+datasets must also fingerprint byte-identically: telemetry observes the
+collection, it never participates in it.  The measured table is written
+to ``BENCH_obs.json`` for the CI artifact.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import print_banner
+
+from repro.core.campaign import Campaign, CampaignScale
+from repro.obs import Obs
+
+BENCH_SEED = 7
+
+#: All frozen sample columns, in schema order (matches the parity suite).
+SAMPLE_COLUMNS = (
+    "probe_id", "target_index", "timestamp",
+    "rtt_min", "rtt_avg", "sent", "rcvd",
+)
+
+#: Acceptance ceiling: instrumented ingest may cost at most this much
+#: extra wall-clock relative to the uninstrumented run.
+OVERHEAD_CEILING = 0.05
+
+ROUNDS = 3
+
+ARTIFACT = Path(os.environ.get("REPRO_BENCH_ARTIFACT", "BENCH_obs.json"))
+
+
+def _fingerprint(dataset) -> bytes:
+    return b"".join(dataset.column(name).tobytes() for name in SAMPLE_COLUMNS)
+
+
+def _collect(instrumented: bool):
+    campaign = Campaign.from_paper(
+        scale=CampaignScale.SMALL,
+        seed=BENCH_SEED,
+        obs=Obs() if instrumented else None,
+    )
+    campaign.create_measurements()
+    start = time.perf_counter()
+    dataset = campaign.collect()
+    return campaign, dataset, time.perf_counter() - start
+
+
+def test_obs_overhead(benchmark):
+    """Uninstrumented vs instrumented collection of the same campaign."""
+    # Untimed warm-up: imports, fleet construction, route caches.
+    _collect(False)
+
+    bare_runs = [_collect(False) for _ in range(ROUNDS)]
+    live_runs = [_collect(True) for _ in range(ROUNDS)]
+    bare_s = min(wall for _, _, wall in bare_runs)
+    live_s = benchmark.pedantic(
+        lambda: _collect(True)[2], rounds=1, iterations=1
+    )
+    live_s = min([live_s] + [wall for _, _, wall in live_runs])
+    overhead = live_s / bare_s - 1.0
+
+    bare_dataset = bare_runs[0][1]
+    live_campaign, live_dataset, _ = live_runs[0]
+    identical = _fingerprint(live_dataset) == _fingerprint(bare_dataset)
+    snapshot = live_campaign.obs.registry.snapshot()
+    collected = snapshot["counters"]["campaign_measurements_collected_total"]
+    spans = len(live_campaign.obs.tracer.finished)
+
+    print_banner(
+        f"Observability overhead: SMALL {len(live_dataset):,} samples, "
+        f"{collected} measurement windows, {spans} spans"
+    )
+    print(f"{'mode':>22s} {'wall':>9s} {'overhead':>9s}")
+    print("-" * 43)
+    print(f"{'uninstrumented':>22s} {bare_s:>8.2f}s {'':>9s}")
+    print(f"{'instrumented':>22s} {live_s:>8.2f}s {overhead:>8.1%}")
+    print(f"byte-identical: {'yes' if identical else 'NO'}")
+
+    ARTIFACT.write_text(json.dumps({
+        "seed": BENCH_SEED,
+        "cpus": os.cpu_count(),
+        "samples": len(live_dataset),
+        "measurement_windows": collected,
+        "spans": spans,
+        "uninstrumented_s": round(bare_s, 3),
+        "instrumented_s": round(live_s, 3),
+        "overhead": round(overhead, 4),
+        "overhead_ceiling": OVERHEAD_CEILING,
+        "byte_identical": identical,
+    }, indent=2) + "\n")
+    print(f"wrote {ARTIFACT}")
+
+    assert identical, "instrumented SMALL dataset diverged from uninstrumented bytes"
+    assert overhead < OVERHEAD_CEILING, (
+        f"instrumentation overhead {overhead:.1%} exceeds the "
+        f"{OVERHEAD_CEILING:.0%} ceiling"
+    )

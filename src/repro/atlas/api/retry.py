@@ -31,6 +31,7 @@ from repro.errors import (
     TransientTransportError,
 )
 from repro.net.rng import stream
+from repro.obs import ATTEMPT_BUCKETS, ensure_obs
 
 T = TypeVar("T")
 
@@ -117,9 +118,10 @@ class RetryEngine:
     """
 
     def __init__(self, policy: RetryPolicy = None, clock: SimulatedClock = None,
-                 seed: int = 0):
+                 seed: int = 0, obs=None):
         self.policy = policy if policy is not None else RetryPolicy()
         self.clock = clock if clock is not None else SimulatedClock()
+        self.obs = ensure_obs(obs)
         self.seed = int(seed)
         self._rng = stream(seed, "retry", "jitter")
         self.budget_left = self.policy.retry_budget
@@ -168,6 +170,7 @@ class RetryEngine:
         """Invoke ``fn`` with retries; raise a terminal TransportError
         once attempts, budget, or (fail-fast mode) the breaker give out."""
         policy = self.policy
+        obs = self.obs
         breaker = self.breaker_for(endpoint)
         delay = policy.base_delay_s
         last_fault = None
@@ -176,12 +179,17 @@ class RetryEngine:
                 remaining = breaker.remaining_cooldown(self.clock.now())
                 if not policy.wait_out_open_circuit:
                     raise CircuitOpenError(endpoint, remaining)
+                obs.inc("retry_breaker_wait_s_total", remaining, endpoint=endpoint)
                 self.clock.sleep(remaining)
             try:
                 result = fn()
             except TransientTransportError as fault:
                 last_fault = fault
+                was_open = breaker.is_open
                 breaker.record_failure(self.clock.now())
+                if breaker.is_open and not was_open:
+                    obs.inc("circuit_breaker_opens_total", endpoint=endpoint)
+                    obs.set_gauge("circuit_breaker_open", 1, endpoint=endpoint)
                 if attempt >= policy.max_attempts:
                     break
                 if self.budget_left <= 0:
@@ -194,10 +202,23 @@ class RetryEngine:
                     policy.max_delay_s,
                     float(self._rng.uniform(policy.base_delay_s, delay * 3.0)),
                 )
-                self.clock.sleep(max(delay, fault.retry_after))
+                backoff = max(delay, fault.retry_after)
+                obs.inc("retries_total", endpoint=endpoint)
+                obs.inc("retry_backoff_s_total", backoff, endpoint=endpoint)
+                self.clock.sleep(backoff)
                 continue
+            if breaker.is_open:
+                obs.set_gauge("circuit_breaker_open", 0, endpoint=endpoint)
             breaker.record_success()
+            obs.observe(
+                "retry_attempts", attempt, buckets=ATTEMPT_BUCKETS,
+                endpoint=endpoint,
+            )
             return result
+        obs.observe(
+            "retry_attempts", policy.max_attempts, buckets=ATTEMPT_BUCKETS,
+            endpoint=endpoint,
+        )
         raise RetryExhaustedError(endpoint, policy.max_attempts, last_fault)
 
     def stats(self) -> Dict[str, float]:

@@ -37,6 +37,7 @@ from typing import Dict, List, Sequence
 from repro.atlas.api.retry import RetryEngine, RetryPolicy, SimulatedClock
 from repro.atlas.faults import FaultInjector, FaultProfile, get_profile
 from repro.atlas.platform import AtlasPlatform
+from repro.obs import ensure_obs
 
 #: Result-page size the transport fetches under fault injection, mirroring
 #: the real API's paginated ``/results`` endpoint.
@@ -69,10 +70,12 @@ class Transport:
         retry: RetryPolicy = None,
         clock: SimulatedClock = None,
         page_size: int = DEFAULT_PAGE_SIZE,
+        obs=None,
     ):
         self.platform = platform if platform is not None else default_platform()
         self.page_size = int(page_size)
         self.clock = clock if clock is not None else SimulatedClock()
+        self.obs = ensure_obs(obs)
         if isinstance(faults, FaultInjector):
             injector = faults
             injector.clock = self.clock
@@ -87,6 +90,21 @@ class Transport:
             )
         self.injector = injector
         self.retry = RetryEngine(retry, self.clock, seed=self.platform.seed)
+        self.bind_obs(self.obs)
+
+    def bind_obs(self, obs) -> None:
+        """Attach an observability context to the whole seam.
+
+        One context serves the transport, its retry engine, and its fault
+        injector, and span timestamps follow this transport's simulated
+        clock.  Called at construction; a campaign that owns its own
+        context rebinds the transport it was handed.
+        """
+        self.obs = ensure_obs(obs)
+        self.retry.obs = self.obs
+        if self.injector is not None:
+            self.injector.obs = self.obs
+        self.obs.bind_clock(self.clock.now)
 
     @property
     def fault_profile(self) -> FaultProfile:
@@ -108,11 +126,13 @@ class Transport:
             retry=self.retry.policy,
             clock=SimulatedClock(),
             page_size=self.page_size,
+            obs=self.obs.child(),
         )
 
     # -- plumbing -----------------------------------------------------------
 
     def _call(self, endpoint: str, fn):
+        self.obs.inc("transport_calls_total", endpoint=endpoint)
         if self.injector is None:
             return fn()
 
@@ -161,8 +181,9 @@ class Transport:
         are *returned* — cleaning them up is the collector's job, exactly
         as with the real API.
         """
+        self.obs.inc("transport_calls_total", endpoint="results")
         if self.injector is None:
-            return self.platform.results(msm_id, start, stop, probe_ids)
+            return self.platform.results(msm_id, start, stop, probe_ids, obs=self.obs)
         # Scope the whole fetch by (measurement, window): the fault and
         # jitter schedules below depend only on these labels, never on
         # what was fetched before — see the module docstring.
@@ -178,7 +199,7 @@ class Transport:
             # Validate the measurement id through the chaos path first so
             # a 404 surfaces as an API error, not a per-page fault.
             self.measurement(msm_id)
-            full = self.platform.results(msm_id, start, stop, probe_ids)
+            full = self.platform.results(msm_id, start, stop, probe_ids, obs=self.obs)
             out: List[dict] = []
             offsets = range(0, len(full), self.page_size) if full else (0,)
             for offset in offsets:
@@ -209,7 +230,10 @@ class Transport:
         """
         if self.injector is not None:
             return None
-        return self.platform.results_columns(msm_id, start, stop, probe_ids)
+        self.obs.inc("transport_calls_total", endpoint="results_columns")
+        return self.platform.results_columns(
+            msm_id, start, stop, probe_ids, obs=self.obs
+        )
 
     # -- reporting ----------------------------------------------------------
 

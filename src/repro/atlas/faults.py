@@ -56,6 +56,7 @@ from repro.errors import (
     TruncatedPageError,
 )
 from repro.net.rng import stream
+from repro.obs import NULL_OBS
 
 
 @dataclass(frozen=True)
@@ -153,14 +154,20 @@ class FaultInjector:
     a deterministic collector is itself reproducible.
     """
 
-    def __init__(self, seed: int, profile="flaky", clock=None):
+    def __init__(self, seed: int, profile="flaky", clock=None, obs=None):
         self.seed = int(seed)
         self.profile = get_profile(profile)
         self.clock = clock
+        self.obs = obs if obs is not None else NULL_OBS
         self.counts: Counter = Counter()
         self._scope_labels: Tuple = ()
         self._calls = itertools.count()
         self._maintenance_until: Optional[float] = None
+
+    def _record(self, kind: str) -> None:
+        """Account one injected fault (local counts + metrics registry)."""
+        self.counts[kind] += 1
+        self.obs.inc("faults_injected_total", kind=kind)
 
     @contextmanager
     def scope(self, *labels):
@@ -194,13 +201,13 @@ class FaultInjector:
         now = self.clock.now() if self.clock is not None else 0.0
         if self._maintenance_until is not None:
             if now < self._maintenance_until:
-                self.counts["maintenance_hit"] += 1
+                self._record("maintenance_hit")
                 raise MaintenanceError(retry_after=self._maintenance_until - now)
             self._maintenance_until = None
         draw = float(rng.random())
         edge = profile.rate_limit
         if draw < edge:
-            self.counts["rate_limit"] += 1
+            self._record("rate_limit")
             raise RateLimitedError(
                 retry_after=float(
                     rng.uniform(profile.retry_after_min_s, profile.retry_after_max_s)
@@ -208,19 +215,19 @@ class FaultInjector:
             )
         edge += profile.server_error
         if draw < edge:
-            self.counts["server_error"] += 1
+            self._record("server_error")
             raise ServerWobbleError(status=int(rng.choice([500, 502, 503])))
         edge += profile.timeout
         if draw < edge:
-            self.counts["timeout"] += 1
+            self._record("timeout")
             raise RequestTimeoutError()
         edge += profile.connection_reset
         if draw < edge:
-            self.counts["connection_reset"] += 1
+            self._record("connection_reset")
             raise ConnectionDroppedError()
         edge += profile.maintenance
         if draw < edge:
-            self.counts["maintenance_open"] += 1
+            self._record("maintenance_open")
             self._maintenance_until = now + profile.maintenance_duration_s
             raise MaintenanceError(retry_after=profile.maintenance_duration_s)
 
@@ -239,17 +246,17 @@ class FaultInjector:
             next(self._calls),
         )
         if page and float(rng.random()) < profile.truncate_page:
-            self.counts["truncate_page"] += 1
+            self._record("truncate_page")
             got = int(rng.integers(0, len(page)))
             raise TruncatedPageError(got=got, declared=len(page))
         mangled = list(page)
         if page and float(rng.random()) < profile.duplicate_page:
-            self.counts["duplicate_page"] += 1
+            self._record("duplicate_page")
             lo = int(rng.integers(0, len(page)))
             hi = min(len(page), lo + 1 + int(rng.integers(0, 4)))
             mangled = mangled + [dict(entry) for entry in page[lo:hi]]
         if page and float(rng.random()) < profile.malformed:
-            self.counts["malformed"] += 1
+            self._record("malformed")
             index = int(rng.integers(0, len(mangled)))
             mangled[index] = self._corrupt(mangled[index], rng)
         return mangled

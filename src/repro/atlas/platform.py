@@ -373,8 +373,12 @@ class AtlasPlatform:
         start: int = None,
         stop: int = None,
         probe_ids: Sequence[int] = None,
+        obs=None,
     ) -> List[dict]:
-        return list(self.iter_results(msm_id, start, stop, probe_ids))
+        out = list(self.iter_results(msm_id, start, stop, probe_ids))
+        if obs is not None and out:
+            obs.inc("platform_results_served_total", len(out), path="dict")
+        return out
 
     # -- batch result materialization ---------------------------------------------------
 
@@ -494,13 +498,17 @@ class AtlasPlatform:
         start: int = None,
         stop: int = None,
         probe_ids: Sequence[int] = None,
+        obs=None,
     ) -> Optional[PingColumns]:
         """One concatenated column set for a window (None for non-ping)."""
         if not self.supports_batch(msm_id):
             return None
-        return PingColumns.concat(
+        columns = PingColumns.concat(
             self.iter_results_batch(msm_id, start, stop, probe_ids)
         )
+        if obs is not None and len(columns):
+            obs.inc("platform_results_served_total", len(columns), path="columnar")
+        return columns
 
     # -- result synthesis ---------------------------------------------------------------
 

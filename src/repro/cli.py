@@ -14,11 +14,15 @@ Exposes the reproduction as a small tool::
 Every subcommand accepts ``--seed`` (default 7), ``--faults`` (chaos
 profile for the collection transport), ``--workers`` (parallel
 collection; the frozen dataset is byte-identical at any worker count),
-and ``--fast-path`` (vectorized columnar synthesis; bit-identical to the
-scalar path).
+``--fast-path`` (vectorized columnar synthesis; bit-identical to the
+scalar path), ``--log-level`` / ``--json-logs`` (shared structured
+logging, see :mod:`repro.obs.logconfig`), and ``--metrics-out`` (export
+the run's metrics snapshot as JSON plus Prometheus text).  ``repro obs
+report`` runs an instrumented campaign and prints the full health +
+telemetry picture; ``repro report --health`` embeds the same report.
 Designed to be driven
 programmatically too: :func:`main` takes an argv list and returns an exit
-code, printing to stdout only.
+code, printing results to stdout (notices go to stderr).
 """
 
 from __future__ import annotations
@@ -63,6 +67,31 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "runs; 'on' fails instead of falling back; 'off' forces the "
         "scalar path).  Both paths produce bit-identical datasets",
     )
+    from repro.obs import LOG_LEVELS
+
+    parser.add_argument(
+        "--log-level",
+        choices=list(LOG_LEVELS),
+        default="warning",
+        dest="log_level",
+        help="log verbosity for the shared 'repro' logger (default warning)",
+    )
+    parser.add_argument(
+        "--json-logs",
+        action="store_true",
+        dest="json_logs",
+        help="emit log records as JSON lines instead of plain text",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        dest="metrics_out",
+        help="write the run's metrics snapshot to PATH as JSON, plus "
+        "Prometheus text exposition next to it (PATH with a .prom suffix). "
+        "The snapshot is deterministic: a pure function of (seed, fault "
+        "profile, retry policy, worker count)",
+    )
 
 
 def _resolve_cli_workers(args):
@@ -86,6 +115,7 @@ def _resolve_cli_workers(args):
 
 def _build_campaign(args):
     from repro.core.campaign import Campaign, CampaignScale
+    from repro.obs import Obs
 
     faults = getattr(args, "faults", "none")
     fast_path = getattr(args, "fast_path", "auto")
@@ -100,11 +130,41 @@ def _build_campaign(args):
         seed=args.seed,
         faults=faults,
         fast_path=fast_path,
+        obs=Obs(),
     )
 
 
+def _write_metrics(campaign, path) -> None:
+    """Export the campaign's metrics snapshot: JSON at ``path``, the
+    Prometheus text exposition next to it."""
+    import json
+    from pathlib import Path
+
+    out = Path(path)
+    if out.parent != Path("."):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    registry = campaign.obs.registry
+    out.write_text(json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n")
+    prom = out.with_suffix(".prom")
+    prom.write_text(registry.to_prometheus())
+    print(f"metrics written to {out} and {prom}", file=sys.stderr)
+
+
+def _maybe_write_metrics(campaign, args) -> None:
+    out = getattr(args, "metrics_out", None)
+    if out and campaign.obs.enabled:
+        _write_metrics(campaign, out)
+
+
+def _run_campaign(args):
+    campaign = _build_campaign(args)
+    dataset = campaign.run(workers=_resolve_cli_workers(args))
+    _maybe_write_metrics(campaign, args)
+    return campaign, dataset
+
+
 def _campaign_dataset(args):
-    return _build_campaign(args).run(workers=_resolve_cli_workers(args))
+    return _run_campaign(args)[1]
 
 
 def _cmd_footprint(args) -> int:
@@ -146,6 +206,7 @@ def _resume_collect(campaign, state_dir, workers=None):
                 campaign.platform.probes,
                 campaign.platform.fleet,
                 dedup=True,
+                obs=campaign.obs,
             )
             print(f"resuming: {len(checkpoint.high_water)} measurements "
                   f"already collected")
@@ -184,6 +245,7 @@ def _cmd_run(args) -> int:
             return 3
     else:
         dataset = campaign.collect(workers=workers)
+    _maybe_write_metrics(campaign, args)
     if args.faults != "none":
         health = collection_health(campaign)
         transport = health["transport"]
@@ -309,14 +371,40 @@ def _cmd_validate(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    import json
+
     from repro.core.paper_report import generate_report, write_report
 
+    if args.health:
+        from repro.core.completeness import health_report
+
+        campaign, dataset = _run_campaign(args)
+        print(json.dumps(
+            health_report(campaign, dataset), indent=2, sort_keys=True,
+            default=float,
+        ))
+        return 0
     dataset = _campaign_dataset(args)
     if args.out:
         write_report(dataset, args.out, seed=args.seed)
         print(f"report written to {args.out}")
     else:
         print(generate_report(dataset, seed=args.seed))
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    """Run an instrumented campaign and print its telemetry report."""
+    import json
+
+    from repro.core.completeness import health_report
+
+    campaign, dataset = _run_campaign(args)
+    report = health_report(campaign, dataset)
+    print(json.dumps(report, indent=2, sort_keys=True, default=float))
+    if args.trace_out:
+        campaign.obs.tracer.export_jsonl(args.trace_out)
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
     return 0
 
 
@@ -353,7 +441,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(footprint)
     footprint.set_defaults(func=_cmd_footprint)
 
-    run = sub.add_parser("run", help="run a campaign, print headline report")
+    run = sub.add_parser(
+        "run", aliases=["collect"], help="run a campaign, print headline report"
+    )
     _add_common(run)
     run.add_argument(
         "--resume",
@@ -395,13 +485,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(report)
     report.add_argument("--out", default=None)
+    report.add_argument(
+        "--health",
+        action="store_true",
+        help="print the campaign health report (collection + transport + "
+        "fleet completeness + metrics) as JSON instead of the Markdown "
+        "report",
+    )
     report.set_defaults(func=_cmd_report)
+
+    obs = sub.add_parser(
+        "obs", help="run an instrumented campaign, report its telemetry"
+    )
+    obs.add_argument("action", choices=["report"])
+    _add_common(obs)
+    obs.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        dest="trace_out",
+        help="write the span trace as JSONL to PATH",
+    )
+    obs.set_defaults(func=_cmd_obs)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.obs import logging_config
+
     args = build_parser().parse_args(argv)
+    logging_config(
+        level=getattr(args, "log_level", "warning"),
+        json_logs=getattr(args, "json_logs", False),
+    )
     return args.func(args)
 
 

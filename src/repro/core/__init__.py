@@ -47,7 +47,12 @@ from repro.core.pathdecomp import (
     decompose_all,
     run_traceroute_survey,
 )
-from repro.core.completeness import completeness_frame, fleet_summary
+from repro.core.completeness import (
+    collection_health,
+    completeness_frame,
+    fleet_summary,
+    health_report,
+)
 from repro.core.corevsaccess import CorePair, decompose_pair, survey as core_access_survey
 from repro.core.ipv6 import dual_stack_comparison, v6_penalty_by_continent
 from repro.core.locality import (
@@ -106,6 +111,7 @@ __all__ = [
     "CorePair",
     "all_pass",
     "cloud_locality_summary",
+    "collection_health",
     "completeness_frame",
     "core_access_survey",
     "domestic_share_by_continent",
@@ -156,6 +162,7 @@ __all__ = [
     "feasibility_matrix",
     "growth_summary",
     "headline_report",
+    "health_report",
     "measured_latency",
     "min_rtt_cdf_by_continent",
     "nearest_target_by_probe",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import enum
 import json
+import logging
 import math
 import os
 import threading
@@ -49,6 +50,9 @@ from repro.errors import (
 )
 from repro.geo.continents import adjacent_target_continents
 from repro.cloud.vm import TargetVM
+from repro.obs import ensure_obs
+
+_log = logging.getLogger("repro.campaign")
 
 
 class CampaignScale(enum.Enum):
@@ -266,11 +270,20 @@ class Campaign:
         api_key: str = None,
         transport: Transport = None,
         fast_path: str = "auto",
+        obs=None,
     ):
         self.platform = platform
         self.transport = transport if transport is not None else Transport(platform)
         if self.transport.platform is not platform:
             raise CampaignError("transport is bound to a different platform")
+        # One observability context serves the whole campaign: a live one
+        # passed here takes over the transport seam; otherwise the
+        # campaign adopts whatever the transport carries (NULL_OBS by
+        # default, making uninstrumented runs free).
+        obs = ensure_obs(obs)
+        if obs.enabled:
+            self.transport.bind_obs(obs)
+        self.obs = self.transport.obs
         if fast_path not in FAST_PATH_MODES:
             raise CampaignError(
                 f"fast_path must be one of {FAST_PATH_MODES}: {fast_path!r}"
@@ -297,16 +310,20 @@ class Campaign:
         seed: int = 0,
         faults=None,
         fast_path: str = "auto",
+        obs=None,
     ) -> "Campaign":
         """Build a campaign with a fresh platform, paper defaults.
 
         ``faults`` takes a chaos profile name (``"flaky"`` / ``"outage"``
         / ``"hostile"``) or :class:`~repro.atlas.faults.FaultProfile`;
-        ``fast_path`` one of :data:`FAST_PATH_MODES`.
+        ``fast_path`` one of :data:`FAST_PATH_MODES`; ``obs`` an optional
+        :class:`~repro.obs.Obs` context to instrument the run.
         """
         platform = AtlasPlatform(seed=seed)
         transport = Transport(platform, faults=faults)
-        return cls(platform, scale=scale, transport=transport, fast_path=fast_path)
+        return cls(
+            platform, scale=scale, transport=transport, fast_path=fast_path, obs=obs
+        )
 
     # -- planning --------------------------------------------------------------
 
@@ -442,7 +459,9 @@ class Campaign:
         if not self.measurement_ids:
             raise CampaignError("create_measurements() must run first")
         if dataset is None:
-            dataset = CampaignDataset(self.platform.probes, self.platform.fleet)
+            dataset = CampaignDataset(
+                self.platform.probes, self.platform.fleet, obs=self.obs
+            )
         self.collect_into(
             dataset, start=start, stop=stop, checkpoint=checkpoint, workers=workers
         )
@@ -488,23 +507,33 @@ class Campaign:
             return
         window_start = self.start_time if start is None else int(start)
         window_stop = self.stop_time if stop is None else int(stop)
-        for index, msm_id, fetch_from in self._pending(
-            window_start, window_stop, checkpoint
+        pending = self._pending(window_start, window_stop, checkpoint)
+        skipped = len(self.measurement_ids) - len(pending)
+        with self.obs.span(
+            "campaign.collect", workers=1, measurements=len(pending)
         ):
-            vm = self.platform.fleet[index]
-            try:
-                record = self._fetch_measurement(
-                    self.transport, index, msm_id, vm, fetch_from, window_stop
-                )
-            except TransportError as exc:
-                self.collection_stats.interruptions += 1
-                raise CollectionInterruptedError(
-                    f"measurement {msm_id} ({vm.key}): {exc}",
-                    checkpoint=checkpoint,
-                    dataset=dataset,
-                    msm_id=msm_id,
-                ) from exc
-            self._merge_record(dataset, record, checkpoint, window_stop)
+            if skipped:
+                self.obs.event("campaign.resume_skip", measurements=skipped)
+            for index, msm_id, fetch_from in pending:
+                vm = self.platform.fleet[index]
+                try:
+                    record = self._fetch_measurement(
+                        self.transport, index, msm_id, vm, fetch_from, window_stop
+                    )
+                except TransportError as exc:
+                    self.collection_stats.interruptions += 1
+                    self.obs.inc("campaign_interruptions_total")
+                    _log.warning(
+                        "collection interrupted at measurement %d (%s): %s",
+                        msm_id, vm.key, exc,
+                    )
+                    raise CollectionInterruptedError(
+                        f"measurement {msm_id} ({vm.key}): {exc}",
+                        checkpoint=checkpoint,
+                        dataset=dataset,
+                        msm_id=msm_id,
+                    ) from exc
+                self._merge_record(dataset, record, checkpoint, window_stop)
 
     def _pending(
         self,
@@ -554,55 +583,66 @@ class Campaign:
         dataset bytes; whenever it cannot apply (fault injection needs
         the raw dict stream to mangle) the scalar path below runs
         unchanged.
+
+        Instrumentation lands on the *passed transport's* context (a
+        worker's fetches accumulate in that worker's registry, merged
+        back in shard order), one span and one path counter per window —
+        never per sample.
         """
-        if self.fast_path != "off":
-            columns = transport.results_columns(
-                msm_id, start=fetch_from, stop=window_stop
-            )
-            if columns is not None:
-                return MeasurementRecord(
-                    index=index,
-                    msm_id=msm_id,
-                    target_key=vm.key,
-                    probe_ids=columns.probe_ids,
-                    timestamps=columns.timestamps,
-                    rtt_min=columns.rtt_min,
-                    rtt_avg=columns.rtt_avg,
-                    sent=columns.sent,
-                    rcvd=columns.rcvd,
-                    quarantined=0,
-                    duplicates_dropped=0,
+        obs = transport.obs
+        with obs.span("campaign.fetch", msm_id=msm_id, target=vm.key):
+            if self.fast_path != "off":
+                columns = transport.results_columns(
+                    msm_id, start=fetch_from, stop=window_stop
                 )
-            if self.fast_path == "on":
-                raise CampaignError(
-                    f"fast_path='on' but the transport cannot serve measurement "
-                    f"{msm_id} columnarly (chaos transport or non-ping)"
-                )
-        raws = transport.results(msm_id, start=fetch_from, stop=window_stop)
-        cleaned, quarantined, duplicates = self._clean(raws)
-        record = MeasurementRecord(
-            index=index,
-            msm_id=msm_id,
-            target_key=vm.key,
-            probe_ids=[],
-            timestamps=[],
-            rtt_min=[],
-            rtt_avg=[],
-            sent=[],
-            rcvd=[],
-            quarantined=quarantined,
-            duplicates_dropped=duplicates,
-        )
-        for parsed in cleaned:
-            record.probe_ids.append(parsed.probe_id)
-            record.timestamps.append(parsed.created_timestamp)
-            record.rtt_min.append(parsed.rtt_min if parsed.succeeded else math.nan)
-            record.rtt_avg.append(
-                parsed.rtt_average if parsed.succeeded else math.nan
+                if columns is not None:
+                    obs.inc("campaign_fetch_path_total", path="columnar")
+                    return MeasurementRecord(
+                        index=index,
+                        msm_id=msm_id,
+                        target_key=vm.key,
+                        probe_ids=columns.probe_ids,
+                        timestamps=columns.timestamps,
+                        rtt_min=columns.rtt_min,
+                        rtt_avg=columns.rtt_avg,
+                        sent=columns.sent,
+                        rcvd=columns.rcvd,
+                        quarantined=0,
+                        duplicates_dropped=0,
+                    )
+                if self.fast_path == "on":
+                    raise CampaignError(
+                        f"fast_path='on' but the transport cannot serve measurement "
+                        f"{msm_id} columnarly (chaos transport or non-ping)"
+                    )
+            obs.inc("campaign_fetch_path_total", path="scalar")
+            raws = transport.results(msm_id, start=fetch_from, stop=window_stop)
+            cleaned, quarantined, duplicates = self._clean(raws)
+            record = MeasurementRecord(
+                index=index,
+                msm_id=msm_id,
+                target_key=vm.key,
+                probe_ids=[],
+                timestamps=[],
+                rtt_min=[],
+                rtt_avg=[],
+                sent=[],
+                rcvd=[],
+                quarantined=quarantined,
+                duplicates_dropped=duplicates,
             )
-            record.sent.append(parsed.packets_sent)
-            record.rcvd.append(parsed.packets_received)
-        return record
+            for parsed in cleaned:
+                record.probe_ids.append(parsed.probe_id)
+                record.timestamps.append(parsed.created_timestamp)
+                record.rtt_min.append(
+                    parsed.rtt_min if parsed.succeeded else math.nan
+                )
+                record.rtt_avg.append(
+                    parsed.rtt_average if parsed.succeeded else math.nan
+                )
+                record.sent.append(parsed.packets_sent)
+                record.rcvd.append(parsed.packets_received)
+            return record
 
     def _merge_record(
         self,
@@ -625,8 +665,17 @@ class Campaign:
         stats.quarantined += record.quarantined
         stats.duplicates_dropped += record.duplicates_dropped
         stats.measurements_collected += 1
+        obs = self.obs
+        obs.inc("campaign_measurements_collected_total")
+        if record.quarantined:
+            obs.inc("campaign_quarantined_total", record.quarantined)
+        if record.duplicates_dropped:
+            obs.inc("campaign_duplicates_dropped_total", record.duplicates_dropped)
         if checkpoint is not None:
             checkpoint.mark(record.msm_id, window_stop)
+            obs.event(
+                "checkpoint.mark", msm_id=record.msm_id, through=window_stop
+            )
 
     @staticmethod
     def _clean(raws: List) -> Tuple[List[PingResult], int, int]:
@@ -718,6 +767,7 @@ def _collect_shard(
     campaign: Campaign,
     entries: Sequence[Tuple[int, int, int]],
     window_stop: int,
+    shard_index: int = 0,
 ):
     """Run one worker's shard on a fresh transport clone.
 
@@ -725,27 +775,33 @@ def _collect_shard(
     canonical order and stops at the first terminal failure — exactly
     what the serial collector would have done from that point — recording
     it instead of raising so the merge can pick the earliest failure
-    across shards.  Returns ``(records, transport_stats, failure)``.
+    across shards.  Returns ``(records, transport_stats, failure,
+    obs_export)``; the export carries the worker context's metrics and
+    spans back for the shard-ordered merge (``None`` when
+    uninstrumented).
     """
     transport = campaign.transport.worker_clone()
     records: List[MeasurementRecord] = []
     failure: Optional[_ShardFailure] = None
-    for index, msm_id, fetch_from in entries:
-        vm = campaign.platform.fleet[index]
-        try:
-            record = campaign._fetch_measurement(
-                transport, index, msm_id, vm, fetch_from, window_stop
-            )
-        except TransportError as exc:
-            failure = _ShardFailure(index, msm_id, vm.key, str(exc))
-            break
-        records.append(record)
-    return records, transport.stats(), failure
+    with transport.obs.span(
+        "campaign.shard", shard=shard_index, measurements=len(entries)
+    ):
+        for index, msm_id, fetch_from in entries:
+            vm = campaign.platform.fleet[index]
+            try:
+                record = campaign._fetch_measurement(
+                    transport, index, msm_id, vm, fetch_from, window_stop
+                )
+            except TransportError as exc:
+                failure = _ShardFailure(index, msm_id, vm.key, str(exc))
+                break
+            records.append(record)
+    return records, transport.stats(), failure, transport.obs.export()
 
 
-def _forked_shard(entries, window_stop):
+def _forked_shard(entries, window_stop, shard_index=0):
     """Process-pool entry point: shard work against the forked campaign."""
-    return _collect_shard(_FORK_CAMPAIGN, entries, window_stop)
+    return _collect_shard(_FORK_CAMPAIGN, entries, window_stop, shard_index)
 
 
 class ParallelCollector:
@@ -795,7 +851,7 @@ class ParallelCollector:
             raise CampaignError("create_measurements() must run first")
         if dataset is None:
             dataset = CampaignDataset(
-                campaign.platform.probes, campaign.platform.fleet
+                campaign.platform.probes, campaign.platform.fleet, obs=campaign.obs
             )
         self.collect_into(dataset, start=start, stop=stop, checkpoint=checkpoint)
         dataset.freeze()
@@ -826,35 +882,57 @@ class ParallelCollector:
             [pending[i] for i in shard]
             for shard in plan_shards(len(pending), self.workers)
         ]
-        outcomes = self._run_shards(shards, window_stop)
-        records: List[MeasurementRecord] = []
-        failures: List[_ShardFailure] = []
-        for shard_records, transport_stats, failure in outcomes:
-            records.extend(shard_records)
-            campaign._worker_transport_stats.append(transport_stats)
-            if failure is not None:
-                failures.append(failure)
-        first_failure = min(failures, key=lambda f: f.index, default=None)
-        for record in sorted(records, key=lambda r: r.index):
-            if first_failure is not None and record.index > first_failure.index:
-                break
-            campaign._merge_record(dataset, record, checkpoint, window_stop)
-        if first_failure is not None:
-            campaign.collection_stats.interruptions += 1
-            raise CollectionInterruptedError(
-                f"measurement {first_failure.msm_id} ({first_failure.target_key}): "
-                f"{first_failure.detail}",
-                checkpoint=checkpoint,
-                dataset=dataset,
-                msm_id=first_failure.msm_id,
-            )
+        skipped = len(campaign.measurement_ids) - len(pending)
+        with campaign.obs.span(
+            "campaign.collect",
+            workers=len(shards),
+            executor=self.executor,
+            measurements=len(pending),
+        ):
+            if skipped:
+                campaign.obs.event("campaign.resume_skip", measurements=skipped)
+            outcomes = self._run_shards(shards, window_stop)
+            records: List[MeasurementRecord] = []
+            failures: List[_ShardFailure] = []
+            # Worker contexts merge in shard (canonical) order, which is
+            # what keeps the combined snapshot deterministic at a fixed
+            # worker count.
+            for shard_records, transport_stats, failure, obs_export in outcomes:
+                records.extend(shard_records)
+                campaign._worker_transport_stats.append(transport_stats)
+                campaign.obs.merge(obs_export)
+                if failure is not None:
+                    failures.append(failure)
+            first_failure = min(failures, key=lambda f: f.index, default=None)
+            for record in sorted(records, key=lambda r: r.index):
+                if first_failure is not None and record.index > first_failure.index:
+                    break
+                campaign._merge_record(dataset, record, checkpoint, window_stop)
+            if first_failure is not None:
+                campaign.collection_stats.interruptions += 1
+                campaign.obs.inc("campaign_interruptions_total")
+                _log.warning(
+                    "parallel collection interrupted at measurement %d (%s): %s",
+                    first_failure.msm_id,
+                    first_failure.target_key,
+                    first_failure.detail,
+                )
+                raise CollectionInterruptedError(
+                    f"measurement {first_failure.msm_id} "
+                    f"({first_failure.target_key}): {first_failure.detail}",
+                    checkpoint=checkpoint,
+                    dataset=dataset,
+                    msm_id=first_failure.msm_id,
+                )
 
     def _run_shards(self, shards, window_stop):
         if self.executor == "thread":
             with ThreadPoolExecutor(max_workers=len(shards)) as pool:
                 futures = [
-                    pool.submit(_collect_shard, self.campaign, shard, window_stop)
-                    for shard in shards
+                    pool.submit(
+                        _collect_shard, self.campaign, shard, window_stop, number
+                    )
+                    for number, shard in enumerate(shards)
                 ]
                 return [future.result() for future in futures]
         import multiprocessing
@@ -867,8 +945,8 @@ class ParallelCollector:
                 max_workers=len(shards), mp_context=context
             ) as pool:
                 futures = [
-                    pool.submit(_forked_shard, shard, window_stop)
-                    for shard in shards
+                    pool.submit(_forked_shard, shard, window_stop, number)
+                    for number, shard in enumerate(shards)
                 ]
                 return [future.result() for future in futures]
         finally:

@@ -115,3 +115,24 @@ def collection_health(campaign) -> Dict[str, object]:
         **campaign.collection_stats.as_dict(),
         "transport": campaign.transport_stats(),
     }
+
+
+def health_report(
+    campaign: Campaign, dataset: CampaignDataset = None
+) -> Dict[str, object]:
+    """The full campaign health picture, JSON-serializable.
+
+    Combines :func:`collection_health` (collector + transport
+    accounting), a :func:`fleet_summary` over the delivered dataset when
+    one is given, and — for an instrumented campaign — the metrics
+    snapshot of its observability context.  Backs ``repro report
+    --health`` and ``repro obs report``.
+    """
+    report: Dict[str, object] = {"collection": collection_health(campaign)}
+    if dataset is not None:
+        report["fleet"] = fleet_summary(
+            completeness_frame(campaign, dataset), stats=campaign.collection_stats
+        )
+    if campaign.obs.enabled:
+        report["metrics"] = campaign.obs.registry.snapshot()
+    return report

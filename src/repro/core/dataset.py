@@ -22,6 +22,7 @@ from repro.atlas.tags import classify_lastmile, is_privileged
 from repro.cloud.vm import TargetVM
 from repro.errors import CampaignError
 from repro.frame import Frame, read_csv, write_csv
+from repro.obs import ensure_obs
 
 #: Sample columns and their storage dtypes, in canonical order.
 SAMPLE_DTYPES: Tuple[Tuple[str, type], ...] = (
@@ -46,9 +47,10 @@ class _SampleBuffer:
 
     _INITIAL_CAPACITY = 1024
 
-    def __init__(self) -> None:
+    def __init__(self, obs=None) -> None:
         self.size = 0
         self._capacity = 0
+        self.obs = ensure_obs(obs)
         self._columns: Dict[str, np.ndarray] = {
             name: np.empty(0, dtype=dtype) for name, dtype in SAMPLE_DTYPES
         }
@@ -66,6 +68,8 @@ class _SampleBuffer:
             grown[: self.size] = self._columns[name][: self.size]
             self._columns[name] = grown
         self._capacity = capacity
+        self.obs.inc("dataset_buffer_reallocs_total")
+        self.obs.set_gauge("dataset_buffer_capacity_rows", capacity)
 
     def append_row(
         self,
@@ -130,11 +134,13 @@ class CampaignDataset:
         probes: Sequence[Probe],
         targets: Sequence[TargetVM],
         dedup: bool = False,
+        obs=None,
     ):
         if not probes:
             raise CampaignError("dataset needs at least one probe")
         if not targets:
             raise CampaignError("dataset needs at least one target")
+        self.obs = ensure_obs(obs)
         self.probes: Tuple[Probe, ...] = tuple(probes)
         self.targets: Tuple[TargetVM, ...] = tuple(targets)
         self._probe_by_id: Dict[int, Probe] = {
@@ -143,7 +149,7 @@ class CampaignDataset:
         self._target_index: Dict[str, int] = {
             vm.key: index for index, vm in enumerate(self.targets)
         }
-        self._buffer = _SampleBuffer()
+        self._buffer = _SampleBuffer(obs=self.obs)
         self._frozen: Dict[str, np.ndarray] = {}
         #: Memoized derived columns (probe lookups, masks), computed on
         #: the frozen columns only and dropped at the freeze transition —
@@ -188,11 +194,13 @@ class CampaignDataset:
             key = (probe_id, target_index, timestamp)
             if key in self._dedup_keys:
                 self.duplicates_dropped += 1
+                self.obs.inc("dataset_duplicates_dropped_total")
                 return
             self._dedup_keys.add(key)
         self._buffer.append_row(
             probe_id, target_index, timestamp, rtt_min, rtt_avg, sent, rcvd
         )
+        self.obs.inc("dataset_samples_appended_total")
 
     def extend_samples(
         self,
@@ -236,6 +244,9 @@ class CampaignDataset:
                     continue
                 self._dedup_keys.add(key)
                 kept.append(row)
+            dropped = count - len(kept)
+            if dropped:
+                self.obs.inc("dataset_duplicates_dropped_total", dropped)
             if not kept:
                 return 0
             if len(kept) < count:
@@ -249,6 +260,7 @@ class CampaignDataset:
                     np.asarray(sent)[rows],
                     np.asarray(rcvd)[rows],
                 )
+                self.obs.inc("dataset_samples_appended_total", len(kept))
                 return len(kept)
         buffer.extend(
             probe_ids,
@@ -259,6 +271,7 @@ class CampaignDataset:
             sent,
             rcvd,
         )
+        self.obs.inc("dataset_samples_appended_total", count)
         return count
 
     def freeze(self) -> None:
@@ -267,7 +280,10 @@ class CampaignDataset:
             return
         self._derived.clear()
         self._frozen = self._buffer.finalize()
-        self._buffer = _SampleBuffer()
+        self._buffer = _SampleBuffer(obs=self.obs)
+        rows = len(self._frozen["probe_id"])
+        self.obs.set_gauge("dataset_frozen_rows", rows)
+        self.obs.event("dataset.freeze", rows=rows)
 
     # -- access ---------------------------------------------------------------
 
@@ -420,6 +436,7 @@ class CampaignDataset:
         probes: Sequence[Probe],
         targets: Sequence[TargetVM],
         dedup: bool = False,
+        obs=None,
     ) -> "CampaignDataset":
         """Rebuild an (unfrozen) dataset from an exported sample frame.
 
@@ -428,7 +445,7 @@ class CampaignDataset:
         to resume an interrupted collection from its exported partial
         dataset in a fresh process.
         """
-        dataset = cls(probes, targets, dedup=dedup)
+        dataset = cls(probes, targets, dedup=dedup, obs=obs)
         for probe_id, target, timestamp, rtt_min, rtt_avg, sent, rcvd in zip(
             frame["probe_id"],
             frame["target"],

@@ -1,0 +1,45 @@
+"""Deterministic telemetry for the collection stack.
+
+Three pieces, one contract:
+
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms whose snapshot is a pure function of ``(seed, fault
+  profile, retry policy, worker count)``;
+* :mod:`repro.obs.trace` — nested spans on the simulated clock, wall
+  time as an annotation only, exported as JSONL;
+* :mod:`repro.obs.logconfig` — the one shared logging setup behind every
+  CLI subcommand's ``--log-level`` / ``--json-logs`` flags.
+
+The :class:`Obs` context threads all of it through the hot layers;
+``NULL_OBS`` (the default) makes uninstrumented runs free.
+"""
+
+from repro.obs.context import NULL_OBS, Obs, ensure_obs
+from repro.obs.logconfig import LOG_LEVELS, JsonLogFormatter, logging_config
+from repro.obs.metrics import (
+    ATTEMPT_BUCKETS,
+    SIM_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    series_key,
+)
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "ATTEMPT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLogFormatter",
+    "LOG_LEVELS",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "Obs",
+    "SIM_SECONDS_BUCKETS",
+    "Tracer",
+    "ensure_obs",
+    "logging_config",
+    "series_key",
+]

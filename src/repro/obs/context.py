@@ -1,0 +1,139 @@
+"""The observability context threaded through the collection stack.
+
+An :class:`Obs` bundles one metrics registry and one span tracer — the
+unit every instrumented layer (transport, retry engine, fault injector,
+platform result serving, dataset ingest, campaign collector) takes and
+forwards.  The campaign owns one; its transport shares it; every
+parallel worker clone gets a fresh :meth:`Obs.child` whose export is
+merged back in canonical shard order, keeping snapshots deterministic at
+any fixed worker count.
+
+``NULL_OBS`` is the default everywhere: a shared, stateless no-op whose
+methods cost one attribute lookup and a pass — uninstrumented runs stay
+byte-for-byte on their previous hot path.  Call sites therefore never
+branch on "is obs on": they call ``obs.inc(...)`` unconditionally and
+the null object absorbs it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+class Obs:
+    """A live observability context: metrics registry + span tracer."""
+
+    enabled = True
+
+    def __init__(self, registry: MetricsRegistry = None, tracer: Tracer = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    def child(self) -> "Obs":
+        """A fresh context for one parallel worker (merged back later)."""
+        return Obs()
+
+    def bind_clock(self, clock) -> None:
+        """Point span timestamps at a simulated clock (``clock()`` -> s)."""
+        self.tracer.bind_clock(clock)
+
+    # -- metrics shortcuts ---------------------------------------------------
+
+    def inc(self, name: str, amount=1, **labels) -> None:
+        self.registry.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value, **labels) -> None:
+        self.registry.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value, buckets=None, **labels) -> None:
+        self.registry.histogram(name, buckets=buckets, **labels).observe(value)
+
+    # -- tracing shortcuts ---------------------------------------------------
+
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        self.tracer.event(name, **attrs)
+
+    # -- worker merge --------------------------------------------------------
+
+    def export(self) -> Dict[str, object]:
+        """Picklable snapshot of everything a worker context gathered."""
+        return {"metrics": self.registry.export(), "spans": self.tracer.export()}
+
+    def merge(self, exported: Optional[Dict[str, object]]) -> None:
+        """Fold one worker export in (call in canonical shard order)."""
+        if not exported:
+            return
+        self.registry.merge(exported.get("metrics") or {})
+        self.tracer.adopt(exported.get("spans") or ())
+
+
+class _NullSpan:
+    """A reusable, stateless no-op context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullObs:
+    """The disabled context: every operation is a no-op.
+
+    Stateless and shared, so it is safe across threads, forks, and
+    :meth:`child` calls; ``registry`` and ``tracer`` are ``None`` on
+    purpose — code that wants them must check :attr:`enabled` first.
+    """
+
+    enabled = False
+    registry = None
+    tracer = None
+
+    __slots__ = ()
+
+    def child(self) -> "_NullObs":
+        return self
+
+    def bind_clock(self, clock) -> None:
+        pass
+
+    def inc(self, name, amount=1, **labels) -> None:
+        pass
+
+    def set_gauge(self, name, value, **labels) -> None:
+        pass
+
+    def observe(self, name, value, buckets=None, **labels) -> None:
+        pass
+
+    def span(self, name, **attrs):
+        return _NULL_SPAN
+
+    def event(self, name, **attrs) -> None:
+        pass
+
+    def export(self) -> None:
+        return None
+
+    def merge(self, exported) -> None:
+        pass
+
+
+#: The shared disabled context — the default for every instrumented layer.
+NULL_OBS = _NullObs()
+
+
+def ensure_obs(obs) -> "Obs":
+    """Normalize an optional obs argument to a usable context."""
+    return obs if obs is not None else NULL_OBS

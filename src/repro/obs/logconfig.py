@@ -1,0 +1,69 @@
+"""Shared structured-logging configuration for every CLI entry point.
+
+All of the reproduction's loggers hang off the ``repro`` namespace
+(``repro.campaign``, ``repro.transport``, ...).  :func:`logging_config`
+is the one place that attaches a handler: every CLI subcommand routes
+its ``--log-level`` / ``--json-logs`` flags here, so log shape is
+uniform no matter which command runs.  Library code never configures
+logging itself — importing :mod:`repro` leaves the root logger alone.
+
+The JSON format emits one object per line with stable keys (sorted), so
+campaign logs are grep-able and machine-parseable; the human format is a
+conventional timestamped line.  Log records are *not* part of the
+determinism surface — they carry wall timestamps — which is exactly why
+anything that must be reproducible lives in the metrics registry or the
+trace instead.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+#: Accepted ``--log-level`` values, least to most severe.
+LOG_LEVELS = ("debug", "info", "warning", "error")
+
+_HUMAN_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record: level, logger, event, extra fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            payload.update(fields)
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=str)
+
+
+def logging_config(
+    level: str = "warning", json_logs: bool = False, stream=None
+) -> logging.Logger:
+    """Configure the ``repro`` logger tree; returns the root ``repro`` logger.
+
+    Idempotent: reconfiguring replaces the previous handler instead of
+    stacking a second one, so tests (and repeated CLI invocations in one
+    process) never double-print.
+    """
+    name = str(level).lower()
+    if name not in LOG_LEVELS:
+        raise ValueError(f"unknown log level {level!r}; choose from {LOG_LEVELS}")
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        JsonLogFormatter() if json_logs else logging.Formatter(_HUMAN_FORMAT)
+    )
+    logger.addHandler(handler)
+    logger.setLevel(getattr(logging, name.upper()))
+    logger.propagate = False
+    return logger

@@ -1,0 +1,277 @@
+"""Deterministic metrics: counters, gauges, and fixed-bucket histograms.
+
+Observability for a simulation has to obey the simulation's own rules:
+every value in a :meth:`MetricsRegistry.snapshot` is a pure function of
+``(seed, fault profile, retry policy, worker count)``.  Wall-clock time
+never enters the registry — span wall durations live in the trace
+(:mod:`repro.obs.trace`) as annotations only — and histograms carry
+their bucket layout from first registration, so two runs bucket
+identically.
+
+Parallel collection gives every worker transport its own registry
+(:meth:`repro.atlas.api.transport.Transport.worker_clone`); the campaign
+merges the exported worker registries back **in canonical shard order**
+(:meth:`MetricsRegistry.merge`), which makes the merged snapshot
+reproducible at any fixed worker count: counters and histograms sum,
+gauges take the last merged value.
+
+The module is stdlib-only on purpose: the instrumented layers (transport,
+retry, faults, platform, dataset, campaign) must be able to import it
+without dragging in anything heavier than a dict.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Default histogram layout for simulated-seconds durations (retry
+#: backoff, window-fetch spans): sub-second jitter through the longest
+#: maintenance cooldowns.
+SIM_SECONDS_BUCKETS: Tuple[float, ...] = (
+    0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 3600.0,
+)
+
+#: Default layout for per-call retry attempt counts (max_attempts is 8).
+ATTEMPT_BUCKETS: Tuple[float, ...] = (1.0, 2.0, 3.0, 5.0, 8.0)
+
+#: Canonical label tuple: sorted (key, value) string pairs.
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Dict[str, object]) -> LabelItems:
+    return tuple(sorted((str(key), str(value)) for key, value in labels.items()))
+
+
+def series_key(name: str, labels: LabelItems) -> str:
+    """Canonical series string, Prometheus-style: ``name{k="v",...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f'{key}="{value}"' for key, value in labels)
+    return f"{name}{{{inner}}}"
+
+
+def _clean(value: float):
+    """Ints stay ints; floats are rounded so snapshots serialize stably."""
+    if isinstance(value, bool):  # pragma: no cover - guard against misuse
+        return int(value)
+    if isinstance(value, int):
+        return value
+    rounded = round(float(value), 9)
+    return int(rounded) if rounded == int(rounded) else rounded
+
+
+class Counter:
+    """A monotonically increasing series (int or float amounts)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time series; merge semantics are last-writer-wins."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram (upper bounds are <=, plus a +Inf bucket).
+
+    The layout is fixed at first registration of the metric *name* — a
+    later registration with different buckets is an error, never a silent
+    re-bucketing — so histograms from any two runs (or any two worker
+    registries) are always mergeable bucket by bucket.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, labels: LabelItems, buckets: Tuple[float, ...]):
+        if not buckets or list(buckets) != sorted(set(buckets)):
+            raise ValueError(
+                f"histogram {name} needs strictly increasing buckets: {buckets!r}"
+            )
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(edge) for edge in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # final slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def bucket_dict(self) -> Dict[str, int]:
+        edges = [str(_clean(edge)) for edge in self.buckets] + ["+Inf"]
+        return dict(zip(edges, self.counts))
+
+
+class MetricsRegistry:
+    """All series of one collection context, keyed by (name, labels).
+
+    One registry serves one single-threaded context (a campaign and its
+    main transport, or one parallel worker's transport clone); contexts
+    never share a registry, and worker registries are folded back with
+    :meth:`merge` in canonical shard order.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelItems], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelItems], Histogram] = {}
+        self._layouts: Dict[str, Tuple[float, ...]] = {}
+
+    # -- series access -------------------------------------------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _label_items(labels))
+        series = self._counters.get(key)
+        if series is None:
+            series = self._counters.setdefault(key, Counter(*key))
+        return series
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _label_items(labels))
+        series = self._gauges.get(key)
+        if series is None:
+            series = self._gauges.setdefault(key, Gauge(*key))
+        return series
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = None, **labels
+    ) -> Histogram:
+        layout = self._layouts.get(name)
+        wanted = tuple(float(b) for b in buckets) if buckets is not None else None
+        if layout is None:
+            layout = self._layouts.setdefault(
+                name, wanted if wanted is not None else SIM_SECONDS_BUCKETS
+            )
+        elif wanted is not None and wanted != layout:
+            raise ValueError(
+                f"histogram {name} already registered with buckets {layout}, "
+                f"refusing relayout to {wanted}"
+            )
+        key = (name, _label_items(labels))
+        series = self._histograms.get(key)
+        if series is None:
+            series = self._histograms.setdefault(key, Histogram(*key, layout))
+        return series
+
+    # -- snapshots -----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Canonical JSON-ready view: sorted series keys, stable floats."""
+        return {
+            "counters": {
+                series_key(c.name, c.labels): _clean(c.value)
+                for c in sorted(
+                    self._counters.values(), key=lambda c: (c.name, c.labels)
+                )
+            },
+            "gauges": {
+                series_key(g.name, g.labels): _clean(g.value)
+                for g in sorted(
+                    self._gauges.values(), key=lambda g: (g.name, g.labels)
+                )
+            },
+            "histograms": {
+                series_key(h.name, h.labels): {
+                    "buckets": h.bucket_dict(),
+                    "sum": _clean(h.sum),
+                    "count": h.count,
+                }
+                for h in sorted(
+                    self._histograms.values(), key=lambda h: (h.name, h.labels)
+                )
+            },
+        }
+
+    def export(self) -> Dict[str, List]:
+        """Structured, picklable form for cross-worker merging."""
+        return {
+            "counters": sorted(
+                (c.name, c.labels, c.value) for c in self._counters.values()
+            ),
+            "gauges": sorted(
+                (g.name, g.labels, g.value) for g in self._gauges.values()
+            ),
+            "histograms": sorted(
+                (h.name, h.labels, h.buckets, list(h.counts), h.sum, h.count)
+                for h in self._histograms.values()
+            ),
+        }
+
+    def merge(self, exported: Dict[str, List]) -> None:
+        """Fold one exported worker registry in (call in shard order)."""
+        for name, labels, value in exported.get("counters", ()):
+            self.counter(name, **dict(labels)).value += value
+        for name, labels, value in exported.get("gauges", ()):
+            self.gauge(name, **dict(labels)).set(value)
+        for name, labels, buckets, counts, total, count in exported.get(
+            "histograms", ()
+        ):
+            series = self.histogram(name, buckets=buckets, **dict(labels))
+            for slot, bump in enumerate(counts):
+                series.counts[slot] += bump
+            series.sum += total
+            series.count += count
+
+    # -- Prometheus text exposition -----------------------------------------
+
+    def to_prometheus(self) -> str:
+        """The snapshot in Prometheus text exposition format."""
+        lines: List[str] = []
+        for counter in sorted(
+            self._counters.values(), key=lambda c: (c.name, c.labels)
+        ):
+            if not any(line.startswith(f"# TYPE {counter.name} ") for line in lines):
+                lines.append(f"# TYPE {counter.name} counter")
+            lines.append(
+                f"{series_key(counter.name, counter.labels)} {_clean(counter.value)}"
+            )
+        for gauge in sorted(self._gauges.values(), key=lambda g: (g.name, g.labels)):
+            if not any(line.startswith(f"# TYPE {gauge.name} ") for line in lines):
+                lines.append(f"# TYPE {gauge.name} gauge")
+            lines.append(
+                f"{series_key(gauge.name, gauge.labels)} {_clean(gauge.value)}"
+            )
+        for hist in sorted(
+            self._histograms.values(), key=lambda h: (h.name, h.labels)
+        ):
+            if not any(line.startswith(f"# TYPE {hist.name} ") for line in lines):
+                lines.append(f"# TYPE {hist.name} histogram")
+            cumulative = 0
+            for edge, bucket_count in zip(
+                [str(_clean(e)) for e in hist.buckets] + ["+Inf"], hist.counts
+            ):
+                cumulative += bucket_count
+                labels = hist.labels + (("le", edge),)
+                lines.append(
+                    f"{series_key(hist.name + '_bucket', labels)} {cumulative}"
+                )
+            lines.append(
+                f"{series_key(hist.name + '_sum', hist.labels)} {_clean(hist.sum)}"
+            )
+            lines.append(
+                f"{series_key(hist.name + '_count', hist.labels)} {hist.count}"
+            )
+        return "\n".join(lines) + ("\n" if lines else "")

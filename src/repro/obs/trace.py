@@ -1,0 +1,132 @@
+"""Span tracing on the simulated clock.
+
+A :class:`Tracer` records nested spans — ``campaign.collect`` around a
+collection window, ``campaign.fetch`` around one measurement's window
+fetch, ``campaign.shard`` around one parallel worker's batch — with
+simulated-time start/stop read from whatever clock the owning transport
+sleeps on, parent/child links from a per-thread span stack, and the
+wall-clock duration attached **as an annotation only** (``wall_ms``):
+simulated timings are deterministic and participate in parity checks,
+wall timings exist for humans reading the trace and never feed back into
+metrics or datasets.
+
+Span ids are sequence numbers, not random — a run's trace replays
+byte-identically up to the wall annotations.  Worker tracers start their
+own sequences; :meth:`Tracer.adopt` re-ids a worker's finished spans
+into the parent sequence (in canonical shard order) while preserving the
+parent/child links inside the batch.
+
+Traces export as JSONL (:meth:`Tracer.export_jsonl`), one span per line.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+
+class Tracer:
+    """Span recorder for one collection context.
+
+    ``clock`` is a zero-argument callable returning simulated seconds
+    (typically ``SimulatedClock.now``); unbound tracers stamp 0.0, so a
+    tracer is usable before its transport exists.
+    """
+
+    def __init__(self, clock=None):
+        self._clock = clock
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        #: Finished spans as plain dicts, in completion order (children
+        #: before parents), ready to pickle across process workers.
+        self.finished: List[Dict] = []
+        #: Events emitted outside any open span.
+        self.orphan_events: List[Dict] = []
+
+    def bind_clock(self, clock) -> None:
+        """Attach the simulated clock spans stamp their start/stop from."""
+        self._clock = clock
+
+    def _now(self) -> float:
+        return float(self._clock()) if self._clock is not None else 0.0
+
+    def _stack(self) -> List[Dict]:
+        stack = getattr(self._local, "spans", None)
+        if stack is None:
+            stack = self._local.spans = []
+        return stack
+
+    # -- recording -----------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a span; nests under the thread's current span, if any."""
+        stack = self._stack()
+        record: Dict = {
+            "span_id": next(self._ids),
+            "parent_id": stack[-1]["span_id"] if stack else None,
+            "name": name,
+            "attrs": attrs,
+            "start_sim": self._now(),
+            "end_sim": None,
+            "wall_ms": None,  # annotation only; never deterministic
+            "events": [],
+            "status": "ok",
+        }
+        stack.append(record)
+        wall_start = time.perf_counter()
+        try:
+            yield record
+        except BaseException:
+            record["status"] = "error"
+            raise
+        finally:
+            record["end_sim"] = self._now()
+            record["wall_ms"] = round((time.perf_counter() - wall_start) * 1e3, 3)
+            stack.pop()
+            self.finished.append(record)
+
+    def event(self, name: str, **attrs) -> None:
+        """Attach a point event to the current span (or the trace root)."""
+        record = {"name": name, "sim": self._now(), **attrs}
+        stack = self._stack()
+        if stack:
+            stack[-1]["events"].append(record)
+        else:
+            self.orphan_events.append(record)
+
+    # -- merging / export ----------------------------------------------------
+
+    def adopt(self, spans: Sequence[Dict]) -> None:
+        """Fold a worker tracer's finished spans into this sequence.
+
+        Re-ids every span (two passes, so a parent finishing after its
+        children still maps correctly) and keeps intra-batch links; a
+        parent id pointing outside the batch becomes a root.
+        """
+        mapping = {record["span_id"]: next(self._ids) for record in spans}
+        for record in spans:
+            adopted = dict(record)
+            adopted["span_id"] = mapping[record["span_id"]]
+            adopted["parent_id"] = mapping.get(record.get("parent_id"))
+            self.finished.append(adopted)
+
+    def export(self) -> List[Dict]:
+        """Finished spans in completion order (picklable)."""
+        return list(self.finished)
+
+    def export_jsonl(self, path) -> None:
+        """Write the trace as JSONL, one span per line, completion order."""
+        lines = []
+        for record in self.finished:
+            payload = dict(record)
+            end = payload.get("end_sim")
+            if end is not None:
+                payload["duration_sim"] = round(end - payload["start_sim"], 9)
+            lines.append(json.dumps(payload, sort_keys=True, default=str))
+        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))

@@ -154,3 +154,58 @@ class TestSeamWiring:
         baseline = platform.results(msm_id)
         keys = {(r["prb_id"], r["timestamp"]) for r in delivered}
         assert keys == {(r["prb_id"], r["timestamp"]) for r in baseline}
+
+
+class TestWorkerCloneStats:
+    def test_clone_state_is_independent(self, msm_platform):
+        platform, msm_id = msm_platform
+        transport = Transport(platform, faults="flaky", page_size=20)
+        transport.results(msm_id)
+        dirty = transport.stats()
+        assert sum(dirty["faults"].values()) > 0
+        clone = transport.worker_clone()
+        fresh = clone.stats()
+        assert fresh["profile"] == "flaky"
+        assert fresh["faults"] == {}
+        assert fresh["retries"] == 0
+        # Running the clone leaves the original's accounting untouched.
+        clone.results(msm_id)
+        assert transport.stats() == dirty
+
+    def test_clone_replays_windowed_fetch_exactly(self, msm_platform):
+        """Scoped schedules: for the same window a clone injects the
+        faults the original would have — the parallel-parity keystone."""
+        platform, msm_id = msm_platform
+        window = (T0, T0 + DAY)
+        first = Transport(platform, faults="flaky", page_size=20)
+        baseline = first.results(msm_id, *window)
+        clone = first.worker_clone()
+        assert clone.results(msm_id, *window) == baseline
+        assert clone.stats()["faults"] == first.stats()["faults"]
+
+    def test_campaign_folds_worker_stats(self, msm_platform):
+        """Campaign.transport_stats() aggregates clone accounting the way
+        the parallel collector records it."""
+        from repro.core.campaign import Campaign, CampaignScale
+
+        campaign = Campaign.from_paper(
+            scale=CampaignScale.TINY, seed=7, faults="flaky"
+        )
+        campaign.create_measurements()
+        main_only = campaign.transport_stats()
+        clones = [campaign.transport.worker_clone() for _ in range(2)]
+        for clone in clones:
+            clone.results(campaign.measurement_ids[0], T0, T0 + DAY)
+            campaign._worker_transport_stats.append(clone.stats())
+        folded = campaign.transport_stats()
+        assert folded["retries"] == main_only["retries"] + sum(
+            c.stats()["retries"] for c in clones
+        )
+        expected_faults = dict(main_only["faults"])
+        for clone in clones:
+            for kind, count in clone.stats()["faults"].items():
+                expected_faults[kind] = expected_faults.get(kind, 0) + count
+        assert folded["faults"] == expected_faults
+        assert folded["budget_left"] == main_only["budget_left"] + sum(
+            c.stats()["budget_left"] for c in clones
+        )

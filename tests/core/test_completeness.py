@@ -97,3 +97,43 @@ class TestCollectionHealth:
         assert health["quarantined"] == 0
         assert health["transport"]["profile"] == "none"
         assert health["transport"]["retries"] == 0
+
+
+class TestHealthReport:
+    def test_collection_always_present(self, tiny_campaign):
+        from repro.core.completeness import collection_health, health_report
+
+        report = health_report(tiny_campaign)
+        assert set(report) == {"collection"}
+        assert report["collection"] == collection_health(tiny_campaign)
+
+    def test_fleet_embedded_when_dataset_given(self, tiny_campaign, tiny_dataset):
+        from repro.core.completeness import health_report
+
+        report = health_report(tiny_campaign, tiny_dataset)
+        assert "fleet" in report
+        assert report["fleet"]["delivery_rate"] == pytest.approx(1.0)
+        # The session campaign is uninstrumented: no metrics section.
+        assert "metrics" not in report
+
+    def test_metrics_embedded_for_instrumented_campaign(self):
+        from repro.core.campaign import Campaign, CampaignScale
+        from repro.core.completeness import health_report
+        from repro.obs import Obs
+
+        campaign = Campaign.from_paper(scale=CampaignScale.TINY, seed=7, obs=Obs())
+        dataset = campaign.run()
+        report = health_report(campaign, dataset)
+        assert set(report) == {"collection", "fleet", "metrics"}
+        counters = report["metrics"]["counters"]
+        assert counters["dataset_samples_appended_total"] == len(dataset)
+
+    def test_report_is_json_serializable(self, tiny_campaign, tiny_dataset):
+        import json
+
+        from repro.core.completeness import health_report
+
+        text = json.dumps(
+            health_report(tiny_campaign, tiny_dataset), sort_keys=True, default=float
+        )
+        assert json.loads(text)["collection"]["transport"]["profile"] == "none"

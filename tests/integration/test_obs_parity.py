@@ -1,0 +1,117 @@
+"""Observability parity: instrumentation must not perturb collection.
+
+The PR's two hard guarantees, enforced end to end:
+
+1. **Dataset transparency** — a campaign collected with a live
+   :class:`~repro.obs.Obs` context produces a frozen dataset
+   byte-identical to the same campaign collected uninstrumented, for
+   every fault profile and worker count.  Telemetry observes the
+   collection; it never participates in it.
+
+2. **Snapshot determinism** — the metrics snapshot of an instrumented
+   run is a pure function of ``(seed, fault profile, retry policy,
+   worker count)``: repeat runs produce equal snapshots, and the
+   schedule-derived counters (faults injected, retries, samples
+   appended, fetch paths) agree even across worker counts because fault
+   and jitter schedules are scoped per result window.
+
+Wall-clock only ever appears in trace ``wall_ms`` annotations, which is
+exactly why the trace is not part of this comparison surface.
+"""
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignScale
+from repro.obs import Obs
+
+from .conftest import dataset_fingerprint
+
+#: Matches tests/conftest.FIXTURE_SEED so session fixtures double as
+#: cross-checks for the runs built here.
+FIXTURE_SEED = 7
+
+PROFILES = ("none", "flaky", "outage")
+
+#: Counters whose values derive purely from the scoped fault/retry/
+#: collection schedule — equal across worker counts, not just repeats.
+SCHEDULE_COUNTER_PREFIXES = (
+    "faults_injected_total",
+    "campaign_",
+    "dataset_samples_appended_total",
+    "dataset_duplicates_dropped_total",
+)
+
+
+def collect(profile, workers=None, obs=None):
+    """One fresh TINY campaign collected to a frozen dataset."""
+    campaign = Campaign.from_paper(
+        scale=CampaignScale.TINY,
+        seed=FIXTURE_SEED,
+        faults=None if profile == "none" else profile,
+        obs=obs,
+    )
+    dataset = campaign.run(workers=workers)
+    return campaign, dataset
+
+
+def instrumented_run(profile, workers):
+    campaign, dataset = collect(profile, workers=workers, obs=Obs())
+    return dataset_fingerprint(dataset), campaign.obs.registry.snapshot()
+
+
+def schedule_counters(snapshot):
+    return {
+        key: value
+        for key, value in snapshot["counters"].items()
+        if key.startswith(SCHEDULE_COUNTER_PREFIXES)
+    }
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    """Uninstrumented serial fingerprints, one per profile."""
+    return {
+        profile: dataset_fingerprint(collect(profile)[1]) for profile in PROFILES
+    }
+
+
+class TestDatasetTransparency:
+    @pytest.mark.parametrize("profile", PROFILES)
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_instrumented_dataset_byte_identical(self, baselines, profile, workers):
+        fingerprint, snapshot = instrumented_run(profile, workers)
+        assert fingerprint == baselines[profile]
+        # The run really was instrumented — the snapshot is non-trivial.
+        assert snapshot["counters"]["campaign_measurements_collected_total"] > 0
+
+
+class TestSnapshotDeterminism:
+    @pytest.mark.parametrize("profile", PROFILES)
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_repeat_runs_produce_equal_snapshots(self, baselines, profile, workers):
+        first_fp, first_snap = instrumented_run(profile, workers)
+        second_fp, second_snap = instrumented_run(profile, workers)
+        assert first_snap == second_snap
+        assert first_fp == second_fp == baselines[profile]
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_schedule_counters_agree_across_worker_counts(self, profile):
+        _, serial_snap = instrumented_run(profile, 1)
+        _, sharded_snap = instrumented_run(profile, 4)
+        assert schedule_counters(serial_snap) == schedule_counters(sharded_snap)
+
+
+class TestTraceStructure:
+    def test_parallel_trace_adopts_worker_spans_in_shard_order(self):
+        campaign, _ = collect("flaky", workers=4, obs=Obs())
+        finished = campaign.obs.tracer.finished
+        shard_spans = [s for s in finished if s["name"] == "campaign.shard"]
+        assert len(shard_spans) == 4
+        # Worker exports merge in canonical shard order: the shard
+        # indices appear in ascending order in the adopted trace.
+        assert [s["attrs"]["shard"] for s in shard_spans] == [0, 1, 2, 3]
+        fetch_spans = [s for s in finished if s["name"] == "campaign.fetch"]
+        snapshot = campaign.obs.registry.snapshot()
+        assert len(fetch_spans) == snapshot["counters"][
+            "campaign_measurements_collected_total"
+        ]

@@ -1,0 +1,283 @@
+"""Instrumentation wiring: obs threaded through transport, retry, faults,
+dataset, and campaign — and the null context keeping all of it free."""
+
+import pytest
+
+from repro.atlas.api.retry import RetryEngine, RetryPolicy, SimulatedClock
+from repro.atlas.faults import FaultInjector
+from repro.atlas.platform import AtlasPlatform
+from repro.core.campaign import Campaign, CampaignScale
+from repro.core.dataset import CampaignDataset
+from repro.errors import RateLimitedError, RetryExhaustedError
+from repro.obs import NULL_OBS, Obs, ensure_obs
+
+#: Matches tests/conftest.FIXTURE_SEED so session fixtures double as
+#: cross-checks for the runs built here.
+FIXTURE_SEED = 7
+
+T0 = 1_567_296_000
+DAY = 86_400
+
+
+def build_platform(seed=13):
+    """A platform with one running ping measurement (transport-test idiom)."""
+    from repro.atlas.api.sources import AtlasSource
+    from repro.atlas.platform import DEFAULT_KEY
+
+    platform = AtlasPlatform(seed=seed)
+    msm_id = platform.create_measurement(
+        {
+            "target": platform.hostname_for(platform.fleet[9]),
+            "description": "obs instrumentation test",
+            "type": "ping",
+            "af": 4,
+            "is_oneoff": False,
+            "packets": 3,
+            "size": 48,
+            "interval": 3_600,
+        },
+        [AtlasSource(type="country", value="DE", requested=5)],
+        T0,
+        T0 + 4 * DAY,
+        key=DEFAULT_KEY,
+    )
+    return platform, msm_id
+
+
+class TestNullObs:
+    def test_disabled_and_shared(self):
+        assert NULL_OBS.enabled is False
+        assert NULL_OBS.child() is NULL_OBS
+        assert NULL_OBS.registry is None
+        assert NULL_OBS.tracer is None
+
+    def test_all_operations_are_noops(self):
+        NULL_OBS.inc("anything", 5, label="x")
+        NULL_OBS.set_gauge("g", 1)
+        NULL_OBS.observe("h", 2.0, buckets=(1.0, 5.0))
+        NULL_OBS.event("e", detail=1)
+        NULL_OBS.bind_clock(lambda: 0.0)
+        NULL_OBS.merge({"metrics": {}})
+        with NULL_OBS.span("s", k=1) as span:
+            assert span is None
+        assert NULL_OBS.export() is None
+
+    def test_ensure_obs_normalizes(self):
+        assert ensure_obs(None) is NULL_OBS
+        live = Obs()
+        assert ensure_obs(live) is live
+
+
+class TestObsContext:
+    def test_child_is_fresh(self):
+        parent = Obs()
+        child = parent.child()
+        assert child is not parent
+        assert child.registry is not parent.registry
+        assert child.tracer is not parent.tracer
+
+    def test_export_merge_round_trip(self):
+        worker = Obs()
+        worker.inc("campaign_measurements_collected_total", 3)
+        with worker.span("campaign.shard", shard=1):
+            pass
+        parent = Obs()
+        parent.merge(worker.export())
+        snap = parent.registry.snapshot()
+        assert snap["counters"]["campaign_measurements_collected_total"] == 3
+        assert [s["name"] for s in parent.tracer.finished] == ["campaign.shard"]
+
+    def test_merge_of_null_export_is_noop(self):
+        parent = Obs()
+        parent.merge(NULL_OBS.export())
+        assert parent.registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestRetryInstrumentation:
+    def test_retries_and_attempt_histogram(self):
+        obs = Obs()
+        engine = RetryEngine(RetryPolicy(), SimulatedClock(), seed=3, obs=obs)
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RateLimitedError(retry_after=1.0)
+            return "ok"
+
+        assert engine.call("results", flaky) == "ok"
+        snap = obs.registry.snapshot()
+        assert snap["counters"]['retries_total{endpoint="results"}'] == 2
+        assert snap["counters"]['retry_backoff_s_total{endpoint="results"}'] >= 2.0
+        hist = snap["histograms"]['retry_attempts{endpoint="results"}']
+        assert hist["count"] == 1 and hist["sum"] == 3
+
+    def test_breaker_open_counter_and_gauge(self):
+        obs = Obs()
+        policy = RetryPolicy(max_attempts=3, breaker_threshold=2)
+        engine = RetryEngine(policy, SimulatedClock(), seed=3, obs=obs)
+
+        def always_down():
+            raise RateLimitedError(retry_after=0.5)
+
+        with pytest.raises(RetryExhaustedError):
+            engine.call("results", always_down)
+        snap = obs.registry.snapshot()
+        assert snap["counters"]['circuit_breaker_opens_total{endpoint="results"}'] == 1
+        assert snap["gauges"]['circuit_breaker_open{endpoint="results"}'] == 1
+        # Exhaustion still records the attempt count at the policy cap.
+        hist = snap["histograms"]['retry_attempts{endpoint="results"}']
+        assert hist["sum"] == policy.max_attempts
+
+
+class TestFaultInstrumentation:
+    def test_metrics_agree_with_injector_counts(self):
+        obs = Obs()
+        injector = FaultInjector(
+            seed=5, profile="hostile", clock=SimulatedClock(), obs=obs
+        )
+        page = [{"type": "ping", "prb_id": 1, "timestamp": t} for t in range(20)]
+        for _ in range(200):
+            try:
+                injector.before_call("results")
+            except Exception:
+                pass
+            try:
+                injector.mangle_page(page)
+            except Exception:
+                pass
+        assert sum(injector.counts.values()) > 0
+        counters = obs.registry.snapshot()["counters"]
+        for kind, count in injector.stats().items():
+            assert counters[f'faults_injected_total{{kind="{kind}"}}'] == count
+
+
+class TestTransportInstrumentation:
+    def test_passthrough_counts_calls_and_served_rows(self):
+        from repro.atlas.api.transport import Transport
+
+        platform, msm_id = build_platform()
+        obs = Obs()
+        transport = Transport(platform, obs=obs)
+        results = transport.results(msm_id)
+        counters = obs.registry.snapshot()["counters"]
+        assert counters['transport_calls_total{endpoint="results"}'] == 1
+        assert counters['platform_results_served_total{path="dict"}'] == len(results)
+
+    def test_chaos_transport_records_faults_and_retries(self):
+        from repro.atlas.api.transport import Transport
+
+        platform, msm_id = build_platform()
+        obs = Obs()
+        transport = Transport(platform, faults="flaky", page_size=20, obs=obs)
+        transport.results(msm_id)
+        counters = obs.registry.snapshot()["counters"]
+        faults = {
+            key: value
+            for key, value in counters.items()
+            if key.startswith("faults_injected_total")
+        }
+        assert sum(faults.values()) == sum(transport.injector.counts.values()) > 0
+        stats = transport.stats()
+        retries = {
+            key: value
+            for key, value in counters.items()
+            if key.startswith("retries_total")
+        }
+        assert sum(retries.values()) == stats["retries"] > 0
+
+    def test_worker_clone_gets_fresh_child_context(self):
+        from repro.atlas.api.transport import Transport
+
+        platform, _ = build_platform()
+        obs = Obs()
+        transport = Transport(platform, faults="flaky", obs=obs)
+        clone = transport.worker_clone()
+        assert clone.obs is not transport.obs
+        assert clone.obs.enabled
+        assert clone.obs.registry is not transport.obs.registry
+        # Null context clones stay null (and shared).
+        bare = Transport(platform, faults="flaky")
+        assert bare.worker_clone().obs is NULL_OBS
+
+    def test_bind_obs_rewires_retry_and_injector(self):
+        from repro.atlas.api.transport import Transport
+
+        platform, _ = build_platform()
+        transport = Transport(platform, faults="flaky")
+        assert transport.obs is NULL_OBS
+        obs = Obs()
+        transport.bind_obs(obs)
+        assert transport.obs is obs
+        assert transport.retry.obs is obs
+        assert transport.injector.obs is obs
+        assert transport.obs.tracer._clock == transport.clock.now
+
+
+class TestDatasetInstrumentation:
+    def test_append_dedup_and_freeze_metrics(self, tiny_dataset):
+        obs = Obs()
+        dataset = CampaignDataset(
+            tiny_dataset.probes, tiny_dataset.targets, dedup=True, obs=obs
+        )
+        target_key = tiny_dataset.targets[0].key
+        probe_id = tiny_dataset.probes[0].probe_id
+        dataset.append(probe_id, target_key, 100, 10.0, 11.0, 3, 3)
+        dataset.append(probe_id, target_key, 100, 10.0, 11.0, 3, 3)  # duplicate
+        dataset.append(probe_id, target_key, 200, 12.0, 13.0, 3, 3)
+        dataset.freeze()
+        snap = obs.registry.snapshot()
+        assert snap["counters"]["dataset_samples_appended_total"] == 2
+        assert snap["counters"]["dataset_duplicates_dropped_total"] == 1
+        assert snap["gauges"]["dataset_frozen_rows"] == 2
+        events = [e["name"] for e in obs.tracer.orphan_events]
+        assert "dataset.freeze" in events
+
+
+class TestCampaignInstrumentation:
+    @pytest.fixture(scope="class")
+    def instrumented(self):
+        campaign = Campaign.from_paper(
+            scale=CampaignScale.TINY, seed=FIXTURE_SEED, obs=Obs()
+        )
+        dataset = campaign.run()
+        return campaign, dataset
+
+    def test_campaign_and_transport_share_one_context(self, instrumented):
+        campaign, _ = instrumented
+        assert campaign.obs is campaign.transport.obs
+        assert campaign.obs.enabled
+
+    def test_collection_counters_match_dataset(self, instrumented):
+        campaign, dataset = instrumented
+        counters = campaign.obs.registry.snapshot()["counters"]
+        assert counters["dataset_samples_appended_total"] == len(dataset)
+        fetch_paths = {
+            key: value
+            for key, value in counters.items()
+            if key.startswith("campaign_fetch_path_total")
+        }
+        assert sum(fetch_paths.values()) == counters[
+            "campaign_measurements_collected_total"
+        ]
+        gauges = campaign.obs.registry.snapshot()["gauges"]
+        assert gauges["dataset_frozen_rows"] == len(dataset)
+
+    def test_collect_span_tree_recorded(self, instrumented):
+        campaign, _ = instrumented
+        finished = campaign.obs.tracer.finished
+        names = {span["name"] for span in finished}
+        assert {"campaign.collect", "campaign.fetch"} <= names
+        collect = [s for s in finished if s["name"] == "campaign.collect"]
+        assert len(collect) == 1
+        fetches = [s for s in finished if s["name"] == "campaign.fetch"]
+        assert all(f["parent_id"] == collect[0]["span_id"] for f in fetches)
+
+    def test_uninstrumented_campaign_stays_null(self):
+        campaign = Campaign.from_paper(scale=CampaignScale.TINY, seed=FIXTURE_SEED)
+        assert campaign.obs is NULL_OBS
+        assert campaign.transport.obs is NULL_OBS

@@ -1,0 +1,82 @@
+"""Tests for repro.obs.logconfig — the shared CLI logging setup."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logconfig import LOG_LEVELS, logging_config
+
+
+@pytest.fixture(autouse=True)
+def reset_repro_logger():
+    yield
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+    logger.propagate = True
+
+
+class TestConfig:
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            logging_config(level="chatty")
+
+    def test_all_documented_levels_accepted(self):
+        for level in LOG_LEVELS:
+            logger = logging_config(level=level)
+            assert logger.level == getattr(logging, level.upper())
+
+    def test_reconfiguration_is_idempotent(self):
+        logging_config(level="info")
+        logger = logging_config(level="debug")
+        assert len(logger.handlers) == 1
+        assert logger.level == logging.DEBUG
+
+    def test_level_filters_records(self):
+        stream = io.StringIO()
+        logging_config(level="warning", stream=stream)
+        logging.getLogger("repro.campaign").info("quiet")
+        logging.getLogger("repro.campaign").warning("loud")
+        out = stream.getvalue()
+        assert "quiet" not in out
+        assert "loud" in out
+
+    def test_does_not_touch_root_logger(self):
+        before = list(logging.getLogger().handlers)
+        logging_config(level="info")
+        assert logging.getLogger().handlers == before
+
+
+class TestJsonFormat:
+    def test_one_parseable_object_per_line(self):
+        stream = io.StringIO()
+        logging_config(level="info", json_logs=True, stream=stream)
+        logging.getLogger("repro.campaign").warning("collection interrupted")
+        record = json.loads(stream.getvalue().strip())
+        assert record == {
+            "event": "collection interrupted",
+            "level": "warning",
+            "logger": "repro.campaign",
+        }
+
+    def test_extra_fields_dict_is_flattened(self):
+        stream = io.StringIO()
+        logging_config(level="info", json_logs=True, stream=stream)
+        logging.getLogger("repro.campaign").warning(
+            "interrupted", extra={"fields": {"msm_id": 9, "window": 3}}
+        )
+        record = json.loads(stream.getvalue().strip())
+        assert record["msm_id"] == 9
+        assert record["window"] == 3
+
+    def test_human_format_is_not_json(self):
+        stream = io.StringIO()
+        logging_config(level="info", json_logs=False, stream=stream)
+        logging.getLogger("repro.campaign").warning("plain line")
+        out = stream.getvalue().strip()
+        assert "plain line" in out
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(out)

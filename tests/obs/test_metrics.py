@@ -1,0 +1,154 @@
+"""Tests for repro.obs.metrics — the deterministic registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    ATTEMPT_BUCKETS,
+    MetricsRegistry,
+    series_key,
+)
+
+
+class TestSeriesKeys:
+    def test_no_labels_is_bare_name(self):
+        assert series_key("calls_total", ()) == "calls_total"
+
+    def test_labels_sorted_canonically(self):
+        registry = MetricsRegistry()
+        registry.counter("calls_total", zeta="1", alpha="2").inc()
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == [
+            'calls_total{alpha="2",zeta="1"}'
+        ]
+
+    def test_label_order_at_call_site_is_irrelevant(self):
+        registry = MetricsRegistry()
+        registry.counter("c", a=1, b=2).inc()
+        registry.counter("c", b=2, a=1).inc()
+        assert registry.snapshot()["counters"] == {'c{a="1",b="2"}': 2}
+
+
+class TestCounter:
+    def test_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total").inc()
+        registry.counter("events_total").inc(41)
+        assert registry.snapshot()["counters"]["events_total"] == 42
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("events_total").inc(-1)
+
+    def test_float_amounts_round_stably(self):
+        registry = MetricsRegistry()
+        registry.counter("backoff_s_total").inc(0.1)
+        registry.counter("backoff_s_total").inc(0.2)
+        # 0.1 + 0.2 != 0.3 in binary; the snapshot rounds to 9 dp so the
+        # serialized value is stable and comparable across runs.
+        assert registry.snapshot()["counters"]["backoff_s_total"] == 0.3
+
+    def test_whole_floats_snapshot_as_ints(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2.0)
+        assert registry.snapshot()["counters"]["c"] == 2
+
+
+class TestGauge:
+    def test_last_set_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("open", endpoint="results").set(1)
+        registry.gauge("open", endpoint="results").set(0)
+        assert registry.snapshot()["gauges"] == {'open{endpoint="results"}': 0}
+
+
+class TestHistogram:
+    def test_observations_land_in_le_buckets(self):
+        registry = MetricsRegistry()
+        series = registry.histogram("attempts", buckets=ATTEMPT_BUCKETS)
+        for value in (1, 2, 2, 9):
+            series.observe(value)
+        snap = registry.snapshot()["histograms"]["attempts"]
+        assert snap["buckets"]["1"] == 1
+        assert snap["buckets"]["2"] == 2
+        assert snap["buckets"]["+Inf"] == 1
+        assert snap["count"] == 4
+        assert snap["sum"] == 14
+
+    def test_layout_fixed_at_first_registration(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(5.0, 10.0))
+        # Re-registering with the same layout (or none) is fine.
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        registry.histogram("h").observe(0.5)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h", buckets=(2.0, 1.0))
+
+
+class TestMerge:
+    def build(self, calls, backoff, gauge):
+        registry = MetricsRegistry()
+        registry.counter("calls_total", endpoint="results").inc(calls)
+        registry.counter("backoff_s_total").inc(backoff)
+        registry.gauge("breaker_open").set(gauge)
+        registry.histogram("attempts", buckets=ATTEMPT_BUCKETS).observe(calls)
+        return registry
+
+    def test_counters_and_histograms_sum_gauges_take_last(self):
+        parent = self.build(1, 0.5, 1)
+        parent.merge(self.build(2, 1.5, 0).export())
+        snap = parent.snapshot()
+        assert snap["counters"]['calls_total{endpoint="results"}'] == 3
+        assert snap["counters"]["backoff_s_total"] == 2
+        assert snap["gauges"]["breaker_open"] == 0
+        assert snap["histograms"]["attempts"]["count"] == 2
+
+    def test_merge_creates_missing_series(self):
+        parent = MetricsRegistry()
+        parent.merge(self.build(4, 0.25, 1).export())
+        assert parent.snapshot() == self.build(4, 0.25, 1).snapshot()
+
+    def test_shard_order_merge_is_reproducible(self):
+        workers = [self.build(n, n / 4, n % 2).export() for n in range(4)]
+        first, second = MetricsRegistry(), MetricsRegistry()
+        for exported in workers:
+            first.merge(exported)
+        for exported in workers:
+            second.merge(exported)
+        assert first.snapshot() == second.snapshot()
+
+    def test_export_round_trips_through_pickle(self):
+        import pickle
+
+        exported = self.build(3, 1.25, 1).export()
+        restored = pickle.loads(pickle.dumps(exported))
+        target = MetricsRegistry()
+        target.merge(restored)
+        assert target.snapshot() == self.build(3, 1.25, 1).snapshot()
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("calls_total", endpoint="results").inc(3)
+        registry.gauge("open").set(1)
+        registry.histogram("attempts", buckets=(1.0, 2.0)).observe(1)
+        registry.histogram("attempts", buckets=(1.0, 2.0)).observe(5)
+        text = registry.to_prometheus()
+        assert "# TYPE calls_total counter" in text
+        assert 'calls_total{endpoint="results"} 3' in text
+        assert "# TYPE open gauge" in text
+        assert "# TYPE attempts histogram" in text
+        # Bucket counts are cumulative in the exposition format.
+        assert 'attempts_bucket{le="1"} 1' in text
+        assert 'attempts_bucket{le="2"} 1' in text
+        assert 'attempts_bucket{le="+Inf"} 2' in text
+        assert "attempts_sum 6" in text
+        assert "attempts_count 2" in text
+        assert text.endswith("\n")
+
+    def test_empty_registry_is_empty_text(self):
+        assert MetricsRegistry().to_prometheus() == ""

@@ -1,0 +1,149 @@
+"""Tests for repro.obs.trace — simulated-clock span tracing."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def now(self):
+        return self.t
+
+    def advance(self, seconds):
+        self.t += seconds
+
+
+class TestSpans:
+    def test_unbound_tracer_stamps_zero(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            pass
+        (span,) = tracer.finished
+        assert span["start_sim"] == 0.0
+        assert span["end_sim"] == 0.0
+
+    def test_sim_timestamps_come_from_bound_clock(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock.now)
+        clock.advance(5.0)
+        with tracer.span("fetch"):
+            clock.advance(2.5)
+        (span,) = tracer.finished
+        assert span["start_sim"] == 5.0
+        assert span["end_sim"] == 7.5
+
+    def test_bind_clock_after_construction(self):
+        clock = FakeClock()
+        tracer = Tracer()
+        tracer.bind_clock(clock.now)
+        clock.advance(1.0)
+        with tracer.span("late"):
+            pass
+        assert tracer.finished[0]["start_sim"] == 1.0
+
+    def test_nesting_links_parent_and_finishes_children_first(self):
+        tracer = Tracer()
+        with tracer.span("collect") as outer:
+            with tracer.span("fetch", msm_id=7) as inner:
+                pass
+        assert [s["name"] for s in tracer.finished] == ["fetch", "collect"]
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+        assert inner["attrs"] == {"msm_id": 7}
+
+    def test_error_status_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("fetch"):
+                raise RuntimeError("boom")
+        (span,) = tracer.finished
+        assert span["status"] == "error"
+        assert span["end_sim"] is not None
+
+    def test_wall_ms_is_annotation_only(self):
+        tracer = Tracer()
+        with tracer.span("fetch"):
+            pass
+        (span,) = tracer.finished
+        assert isinstance(span["wall_ms"], float)
+        # Everything except wall_ms is deterministic for a fixed clock.
+        deterministic = {k: v for k, v in span.items() if k != "wall_ms"}
+        assert deterministic["span_id"] == 1
+
+
+class TestEvents:
+    def test_event_attaches_to_current_span(self):
+        tracer = Tracer(clock=lambda: 3.0)
+        with tracer.span("collect"):
+            tracer.event("checkpoint.mark", msm_id=9)
+        (span,) = tracer.finished
+        assert span["events"] == [{"name": "checkpoint.mark", "sim": 3.0, "msm_id": 9}]
+
+    def test_event_outside_span_is_orphan(self):
+        tracer = Tracer()
+        tracer.event("campaign.resume_skip", measurements=4)
+        assert tracer.orphan_events == [
+            {"name": "campaign.resume_skip", "sim": 0.0, "measurements": 4}
+        ]
+
+
+class TestAdopt:
+    def test_worker_spans_reid_into_parent_sequence(self):
+        parent = Tracer()
+        with parent.span("collect"):
+            pass
+        worker = Tracer()
+        with worker.span("shard"):
+            with worker.span("fetch"):
+                pass
+        parent.adopt(worker.export())
+        ids = [s["span_id"] for s in parent.finished]
+        assert ids == sorted(set(ids))  # unique, monotone sequence
+        adopted = {s["name"]: s for s in parent.finished[1:]}
+        # Intra-batch link preserved: fetch still points at shard.
+        assert adopted["fetch"]["parent_id"] == adopted["shard"]["span_id"]
+        assert adopted["shard"]["parent_id"] is None
+
+    def test_parent_finishing_after_children_still_maps(self):
+        # Worker export order is completion order: children precede
+        # parents.  Adoption must still resolve the forward reference.
+        worker = Tracer()
+        with worker.span("outer"):
+            with worker.span("inner"):
+                pass
+        parent = Tracer()
+        parent.adopt(worker.export())
+        inner, outer = parent.finished
+        assert inner["parent_id"] == outer["span_id"]
+
+    def test_out_of_batch_parent_becomes_root(self):
+        parent = Tracer()
+        orphaned = {"span_id": 5, "parent_id": 99, "name": "stray"}
+        parent.adopt([orphaned])
+        assert parent.finished[0]["parent_id"] is None
+
+
+class TestExport:
+    def test_export_jsonl_round_trips(self, tmp_path):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock.now)
+        with tracer.span("collect", workers=1):
+            clock.advance(12.0)
+        out = tmp_path / "trace.jsonl"
+        tracer.export_jsonl(out)
+        lines = out.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["name"] == "collect"
+        assert record["duration_sim"] == 12.0
+        assert record["attrs"] == {"workers": 1}
+
+    def test_empty_trace_writes_empty_file(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        Tracer().export_jsonl(out)
+        assert out.read_text() == ""
