@@ -1,0 +1,124 @@
+"""Persistent store — collect-once/analyze-many speedup and parity.
+
+A MEDIUM (paper-scale, ~3.2M-sample) campaign is collected once into a
+catalog store, then reopened from disk.  The reopened dataset must
+fingerprint byte-identically to the collected one, and the store open —
+full checksum verification included — must beat re-collection by at
+least a 20x floor: that ratio is the whole point of persisting, and it
+is a property of "mmap beats re-synthesis", not of core count, so it is
+asserted on every machine.  Measurements land in ``BENCH_store.json``
+for the CI artifact.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import print_banner
+
+from repro.core.campaign import Campaign, CampaignScale
+from repro.store import CampaignCatalog, StoreReader
+
+BENCH_SEED = 7
+
+#: All frozen sample columns, in schema order (matches the parity suite).
+SAMPLE_COLUMNS = (
+    "probe_id", "target_index", "timestamp",
+    "rtt_min", "rtt_avg", "sent", "rcvd",
+)
+
+#: Acceptance floor: opening the committed store (with full checksum
+#: verification) must beat re-collecting the campaign by this factor.
+SPEEDUP_FLOOR = 20.0
+
+ARTIFACT = Path(os.environ.get("REPRO_BENCH_ARTIFACT", "BENCH_store.json"))
+
+
+def _fingerprint(dataset) -> bytes:
+    return b"".join(dataset.column(name).tobytes() for name in SAMPLE_COLUMNS)
+
+
+def _open_store(catalog_root, fingerprint, probes, targets, verify):
+    """Open + verify one store entry and materialize every column.
+
+    The probe/target tables are passed in (an analysis session builds
+    its platform once, not per open), so the timing isolates what the
+    store adds: manifest load, checksum verification, memmap, dataset
+    reconstruction, and a full page-touch of every column.  Returns the
+    dataset fingerprint — computed outside the timed window, so the
+    parity check's extra copy of every column is not billed to the open
+    — and the elapsed seconds; the dataset itself is released so one
+    open's arrays never distort the next one's allocations.
+    """
+    catalog = CampaignCatalog(catalog_root, verify=verify)
+    start = time.perf_counter()
+    reader = catalog.open(fingerprint)
+    dataset = reader.dataset(probes, targets)
+    for name in SAMPLE_COLUMNS:
+        dataset.column(name).sum()  # fault in every mapped page
+    elapsed = time.perf_counter() - start
+    return _fingerprint(dataset), elapsed
+
+
+def test_store_open_speedup(benchmark, tmp_path):
+    """Cold collection vs store reopen of the same MEDIUM campaign."""
+    from repro.store.catalog import campaign_fingerprint, campaign_provenance
+
+    # Untimed warm-up on a throwaway campaign: imports, route caches.
+    Campaign.from_paper(scale=CampaignScale.TINY, seed=BENCH_SEED).run()
+
+    catalog_root = tmp_path / "catalog"
+    campaign = Campaign.from_paper(scale=CampaignScale.MEDIUM, seed=BENCH_SEED)
+    probes, targets = campaign.platform.probes, campaign.platform.fleet
+    start = time.perf_counter()
+    collected = campaign.run(store=catalog_root)
+    collect_s = time.perf_counter() - start
+    collected_fp = _fingerprint(collected)
+    entry = campaign_fingerprint(campaign_provenance(campaign))
+
+    store_bytes = sum(
+        p.stat().st_size for p in (catalog_root / entry).iterdir()
+    )
+
+    args = (catalog_root, entry, probes, targets)
+    _open_store(*args, "full")  # warm the page cache
+    full_fp, full_s = _open_store(*args, "full")
+    full_s = benchmark.pedantic(
+        lambda: _open_store(*args, "full")[1], rounds=1, iterations=1
+    )
+    sampled_fp, sampled_s = _open_store(*args, "sampled")
+
+    identical = collected_fp == full_fp == sampled_fp
+    speedup = collect_s / full_s
+
+    print_banner(
+        f"Persistent store: MEDIUM {len(collected):,} samples, "
+        f"{store_bytes / 1e6:.1f} MB on disk"
+    )
+    print(f"{'path':>26s} {'wall':>9s} {'speedup':>8s}")
+    print("-" * 46)
+    print(f"{'collect (store miss)':>26s} {collect_s:>8.2f}s {1.0:>7.2f}x")
+    print(f"{'open (verify=full)':>26s} {full_s:>8.2f}s {speedup:>7.2f}x")
+    print(f"{'open (verify=sampled)':>26s} {sampled_s:>8.2f}s "
+          f"{collect_s / sampled_s:>7.2f}x")
+    print(f"byte-identical: {'yes' if identical else 'NO'}")
+
+    ARTIFACT.write_text(json.dumps({
+        "seed": BENCH_SEED,
+        "cpus": os.cpu_count(),
+        "medium_samples": len(collected),
+        "store_bytes": store_bytes,
+        "collect_s": round(collect_s, 3),
+        "open_full_s": round(full_s, 3),
+        "open_sampled_s": round(sampled_s, 3),
+        "open_speedup": round(speedup, 2),
+        "byte_identical": identical,
+        "speedup_floor": SPEEDUP_FLOOR,
+    }, indent=2) + "\n")
+    print(f"wrote {ARTIFACT}")
+
+    assert identical, "store-reopened MEDIUM dataset diverged from collection"
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"store open speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x floor"
+    )

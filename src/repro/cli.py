@@ -10,6 +10,9 @@ Exposes the reproduction as a small tool::
     repro apps                      # Figure 2/8 catalog and verdicts
     repro whatif                    # 5G what-if scenario table
     repro export --out DIR          # campaign + figure-data bundles
+    repro store write cache/        # collect once into a catalog store
+    repro run --store cache/        # cache hit: reopen instead of collect
+    repro store verify cache/       # checksum every committed store
 
 Every subcommand accepts ``--seed`` (default 7), ``--faults`` (chaos
 profile for the collection transport), ``--workers`` (parallel
@@ -20,6 +23,11 @@ logging, see :mod:`repro.obs.logconfig`), and ``--metrics-out`` (export
 the run's metrics snapshot as JSON plus Prometheus text).  ``repro obs
 report`` runs an instrumented campaign and prints the full health +
 telemetry picture; ``repro report --health`` embeds the same report.
+Campaign-consuming subcommands (run / figure / report / validate /
+export / obs) also take ``--store DIR`` — collect through a
+content-addressed catalog so identical campaigns become cache hits —
+and ``--from-store PATH`` to open one committed store directly; ``repro
+store {write,info,verify,gc}`` manages the catalog itself.
 Designed to be driven
 programmatically too: :func:`main` takes an argv list and returns an exit
 code, printing results to stdout (notices go to stderr).
@@ -94,6 +102,54 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_args(parser: argparse.ArgumentParser) -> None:
+    """Persistent-store options for campaign-consuming subcommands."""
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="catalog of persistent campaign stores: an identical campaign "
+        "(same seed/faults/scale/schedule) is re-opened from DIR as a "
+        "verified zero-copy mmap instead of being re-synthesized; a miss "
+        "collects normally and commits the store for next time",
+    )
+    parser.add_argument(
+        "--from-store",
+        default=None,
+        metavar="PATH",
+        dest="from_store",
+        help="load the dataset straight from one committed store directory "
+        "(no synthesis at all); probe/target tables are rebuilt from the "
+        "store's recorded provenance seed",
+    )
+
+
+def _dataset_from_store(path, obs):
+    """Open one concrete store directory as a verified dataset."""
+    from repro.errors import StoreError
+    from repro.store import open_dataset
+
+    try:
+        return open_dataset(path, obs=obs)
+    except StoreError as exc:
+        raise SystemExit(f"cannot load store {path}: {exc}")
+
+
+def _run_with_store(campaign, workers, store):
+    """``campaign.run`` with store errors surfaced as clean exits."""
+    from repro.errors import StoreError
+
+    try:
+        return campaign.run(workers=workers, store=store)
+    except StoreError as exc:
+        where = getattr(store, "root", store)
+        raise SystemExit(
+            f"store-backed run failed: {exc}\n"
+            f"(inspect with `repro store verify {where}`; delete the "
+            f"damaged entry directory to re-collect it)"
+        )
+
+
 def _resolve_cli_workers(args):
     """Map the ``--workers`` string to what :meth:`Campaign.collect` takes.
 
@@ -158,7 +214,13 @@ def _maybe_write_metrics(campaign, args) -> None:
 
 def _run_campaign(args):
     campaign = _build_campaign(args)
-    dataset = campaign.run(workers=_resolve_cli_workers(args))
+    if getattr(args, "from_store", None):
+        dataset = _dataset_from_store(args.from_store, campaign.obs)
+        _maybe_write_metrics(campaign, args)
+        return campaign, dataset
+    dataset = _run_with_store(
+        campaign, _resolve_cli_workers(args), getattr(args, "store", None)
+    )
     _maybe_write_metrics(campaign, args)
     return campaign, dataset
 
@@ -237,13 +299,25 @@ def _cmd_run(args) -> int:
     from repro.core.report import headline_report
 
     campaign = _build_campaign(args)
-    campaign.create_measurements()
     workers = _resolve_cli_workers(args)
-    if args.resume:
+    if args.from_store:
+        if args.resume or args.store:
+            raise SystemExit("--from-store cannot combine with --resume/--store")
+        dataset = _dataset_from_store(args.from_store, campaign.obs)
+    elif args.store:
+        if args.resume:
+            raise SystemExit(
+                "--store and --resume are mutually exclusive (a store-backed "
+                "collection commits only complete campaigns)"
+            )
+        dataset = _run_with_store(campaign, workers, args.store)
+    elif args.resume:
+        campaign.create_measurements()
         dataset = _resume_collect(campaign, Path(args.resume), workers=workers)
         if dataset is None:
             return 3
     else:
+        campaign.create_measurements()
         dataset = campaign.collect(workers=workers)
     _maybe_write_metrics(campaign, args)
     if args.faults != "none":
@@ -408,6 +482,105 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    """Persistent-store maintenance: write / info / verify / gc."""
+    import json
+    from pathlib import Path
+
+    from repro.errors import StoreError, StoreIntegrityError
+    from repro.store import (
+        CampaignCatalog,
+        Manifest,
+        StoreReader,
+        is_store_dir,
+    )
+
+    path = Path(args.path)
+
+    if args.action == "write":
+        campaign = _build_campaign(args)
+        catalog = CampaignCatalog(path)
+        already = catalog.lookup(campaign, obs=campaign.obs)
+        if already is not None:
+            print(f"store already committed: {already.path} "
+                  f"({already.rows:,} rows)")
+            return 0
+        dataset = _run_with_store(
+            campaign, _resolve_cli_workers(args), catalog
+        )
+        _maybe_write_metrics(campaign, args)
+        committed = catalog.lookup(campaign, obs=campaign.obs)
+        print(f"store committed: {committed.path}")
+        print(f"rows: {len(dataset):,}  shards: "
+              f"{len(committed.manifest.shards)}  "
+              f"bytes: {committed.manifest.total_chunk_bytes():,}")
+        return 0
+
+    if args.action == "info":
+        if is_store_dir(path):
+            manifest = Manifest.load(path)
+            print(f"store: {path}")
+            print(f"rows: {manifest.rows:,}  shards: {len(manifest.shards)}  "
+                  f"generation: {manifest.generation}  "
+                  f"bytes: {manifest.total_chunk_bytes():,}")
+            print("schema: " + ", ".join(
+                f"{name}:{dtype}" for name, dtype in manifest.schema
+            ))
+            if manifest.provenance:
+                print("provenance: " + json.dumps(
+                    manifest.provenance, sort_keys=True
+                ))
+            return 0
+        catalog = CampaignCatalog(path)
+        entries = catalog.entries()
+        if not entries:
+            print(f"{path}: no committed stores")
+            return 0
+        print(f"catalog: {path} ({len(entries)} stores)")
+        for fingerprint in entries:
+            manifest = Manifest.load(catalog.path_for(fingerprint))
+            provenance = manifest.provenance or {}
+            print(f"  {fingerprint[:16]}…  rows={manifest.rows:,}  "
+                  f"scale={provenance.get('scale', '?')}  "
+                  f"faults={provenance.get('fault_profile', '?')}  "
+                  f"seed={provenance.get('seed', '?')}")
+        return 0
+
+    if args.action == "verify":
+        targets = (
+            [path]
+            if is_store_dir(path)
+            else [CampaignCatalog(path).path_for(f)
+                  for f in CampaignCatalog(path).entries()]
+        )
+        if not targets:
+            print(f"{path}: nothing to verify", file=sys.stderr)
+            return 2
+        failed = 0
+        for store_path in targets:
+            try:
+                reader = StoreReader(store_path, verify="full")
+            except (StoreIntegrityError, StoreError) as exc:
+                print(f"CORRUPT {store_path}: {exc}")
+                failed += 1
+            else:
+                print(f"ok {store_path} ({reader.rows:,} rows, "
+                      f"{len(reader.manifest.shards)} shards)")
+        return 1 if failed else 0
+
+    # gc
+    if is_store_dir(path):
+        from repro.store import gc_store
+
+        removed = gc_store(path)
+    else:
+        removed = CampaignCatalog(path).gc()
+    for name in removed:
+        print(f"removed {name}")
+    print(f"gc: {len(removed)} entries removed from {path}")
+    return 0
+
+
 def _cmd_export(args) -> int:
     from pathlib import Path
 
@@ -452,11 +625,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint collection state in DIR; an interrupted run "
         "(exit code 3) resumes from it without duplicating samples",
     )
+    _add_store_args(run)
     run.set_defaults(func=_cmd_run)
 
     figure = sub.add_parser("figure", help="regenerate a figure as text")
     figure.add_argument("number", type=int, choices=range(1, 9))
     _add_common(figure)
+    _add_store_args(figure)
     figure.set_defaults(func=_cmd_figure)
 
     apps = sub.add_parser("apps", help="application catalog and verdicts")
@@ -470,6 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
     export = sub.add_parser("export", help="export dataset + figure bundles")
     _add_common(export)
     export.add_argument("--out", default="out")
+    _add_store_args(export)
     export.set_defaults(func=_cmd_export)
 
     validate = sub.add_parser(
@@ -478,6 +654,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(use --scale small; tiny under-samples some claims)",
     )
     _add_common(validate)
+    _add_store_args(validate)
     validate.set_defaults(func=_cmd_validate)
 
     report = sub.add_parser(
@@ -492,6 +669,7 @@ def build_parser() -> argparse.ArgumentParser:
         "fleet completeness + metrics) as JSON instead of the Markdown "
         "report",
     )
+    _add_store_args(report)
     report.set_defaults(func=_cmd_report)
 
     obs = sub.add_parser(
@@ -506,7 +684,24 @@ def build_parser() -> argparse.ArgumentParser:
         dest="trace_out",
         help="write the span trace as JSONL to PATH",
     )
+    _add_store_args(obs)
     obs.set_defaults(func=_cmd_obs)
+
+    store = sub.add_parser(
+        "store",
+        help="persistent campaign stores: write, inspect, verify, gc",
+    )
+    store.add_argument(
+        "action",
+        choices=["write", "info", "verify", "gc"],
+        help="write: collect the campaign (common options) into a catalog "
+        "at PATH; info: summarize a store or catalog; verify: full "
+        "checksum pass (exit 1 on corruption); gc: sweep uncommitted or "
+        "orphaned store files",
+    )
+    store.add_argument("path", help="store directory or catalog root")
+    _add_common(store)
+    store.set_defaults(func=_cmd_store)
 
     return parser
 

@@ -302,6 +302,12 @@ class Campaign:
         #: Fault/retry accounting of parallel-collection worker
         #: transports, folded into :meth:`transport_stats`.
         self._worker_transport_stats: List[Dict[str, object]] = []
+        #: Live shard writer while a store-backed collection streams
+        #: merged records to disk (see :meth:`collect`); ``None``
+        #: otherwise.  Records always reach :meth:`_merge_record` in
+        #: canonical fleet order — serial or parallel — so the shards it
+        #: cuts are byte-identical at any worker count.
+        self._store_writer = None
 
     @classmethod
     def from_paper(
@@ -440,6 +446,7 @@ class Campaign:
         checkpoint: CollectionCheckpoint = None,
         dataset: CampaignDataset = None,
         workers=None,
+        store=None,
     ) -> CampaignDataset:
         """Fetch and parse results into a dataset.
 
@@ -455,7 +462,18 @@ class Campaign:
         ``workers`` (an int, ``"auto"``, or ``None`` for serial) fans the
         fetch out over a :class:`ParallelCollector`; the frozen dataset
         is byte-identical to a serial run either way.
+
+        ``store`` (a directory path or
+        :class:`~repro.store.CampaignCatalog`) makes the collection
+        collect-once/analyze-many: when the catalog already holds a
+        committed store for this campaign's fingerprint, the dataset is
+        re-opened from it (verified, zero-copy) without touching the
+        platform; otherwise the collection runs normally while streaming
+        its merged records into a new store, committed only when the
+        window completes.
         """
+        if store is not None:
+            return self._collect_stored(store, workers=workers)
         if not self.measurement_ids:
             raise CampaignError("create_measurements() must run first")
         if dataset is None:
@@ -466,6 +484,55 @@ class Campaign:
             dataset, start=start, stop=stop, checkpoint=checkpoint, workers=workers
         )
         dataset.freeze()
+        return dataset
+
+    def _collect_stored(self, store, workers=None) -> CampaignDataset:
+        """Store-backed collection: cache hit or collect-and-commit.
+
+        Full-window collections only — the fingerprint names the whole
+        campaign, so partial windows, resumes, and pre-seeded datasets
+        take the plain :meth:`collect` path and persist with
+        :meth:`~repro.core.dataset.CampaignDataset.save` afterwards.
+        """
+        from repro.store import CampaignCatalog, campaign_provenance
+
+        catalog = CampaignCatalog.ensure(store)
+        cached = catalog.lookup(self, obs=self.obs)
+        if cached is not None:
+            self.obs.inc("store_cache_hits_total")
+            self.obs.event(
+                "store.cache_hit", path=str(cached.path), rows=cached.rows
+            )
+            _log.info("store cache hit: %s (%d rows)", cached.path, cached.rows)
+            return cached.dataset(
+                self.platform.probes, self.platform.fleet, obs=self.obs
+            )
+        self.obs.inc("store_cache_misses_total")
+        if not self.measurement_ids:
+            self.create_measurements()
+        dataset = CampaignDataset(
+            self.platform.probes, self.platform.fleet, obs=self.obs
+        )
+        writer = catalog.writer(self, obs=self.obs)
+        with self.obs.span(
+            "store.write",
+            path=str(writer.path),
+            fingerprint=writer.path.name,
+        ):
+            self._store_writer = writer
+            try:
+                self.collect_into(dataset, workers=workers)
+            except BaseException:
+                writer.abort()
+                raise
+            finally:
+                self._store_writer = None
+            dataset.freeze()
+            writer.finalize()
+        _log.info(
+            "store committed: %s (%d rows, provenance %s)",
+            writer.path, writer.rows_written, campaign_provenance(self),
+        )
         return dataset
 
     def collect_into(
@@ -652,6 +719,20 @@ class Campaign:
         window_stop: int,
     ) -> None:
         """Land one record: bulk-append samples, account, advance the mark."""
+        if self._store_writer is not None and record.sample_count:
+            # Stream the same rows the dataset receives.  Records arrive
+            # here in canonical fleet order on both the serial and the
+            # parallel path, and the store-backed collection never
+            # dedups, so the shard stream equals the frozen columns.
+            self._store_writer.append_batch(
+                record.probe_ids,
+                dataset.target_index_of(record.target_key),
+                record.timestamps,
+                record.rtt_min,
+                record.rtt_avg,
+                record.sent,
+                record.rcvd,
+            )
         stats = self.collection_stats
         stats.samples_appended += dataset.extend_samples(
             record.target_key,
@@ -732,8 +813,14 @@ class Campaign:
         }
         return totals
 
-    def run(self, workers=None) -> CampaignDataset:
-        """Create measurements and collect everything."""
+    def run(self, workers=None, store=None) -> CampaignDataset:
+        """Create measurements and collect everything.
+
+        With ``store`` a cache hit skips measurement creation entirely —
+        the store already holds the campaign's full frozen dataset.
+        """
+        if store is not None:
+            return self.collect(workers=workers, store=store)
         self.create_measurements()
         return self.collect(workers=workers)
 

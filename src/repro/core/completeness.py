@@ -129,7 +129,10 @@ def health_report(
     --health`` and ``repro obs report``.
     """
     report: Dict[str, object] = {"collection": collection_health(campaign)}
-    if dataset is not None:
+    # A dataset served from the persistent store (cache hit or
+    # --from-store) arrives without live measurements to reconcile
+    # against, so per-probe delivery accounting is undefined for it.
+    if dataset is not None and campaign.measurement_ids:
         report["fleet"] = fleet_summary(
             completeness_frame(campaign, dataset), stats=campaign.collection_stats
         )

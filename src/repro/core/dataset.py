@@ -418,11 +418,102 @@ class CampaignDataset:
             "rtt_min_overall": float(np.nanmin(rtt)) if len(rtt) else float("nan"),
         }
 
+    # -- persistent store ------------------------------------------------------------
+
+    def save(self, path, provenance: Dict[str, object] = None):
+        """Persist the frozen dataset as a columnar store directory.
+
+        Checksummed little-endian column chunks plus a JSON manifest,
+        written atomically; see :mod:`repro.store`.  ``provenance``
+        (seed, fault profile, scale, schedule) is recorded in the
+        manifest so :meth:`open` can rebuild the probe/target tables
+        without being handed them.  Returns the store manifest.
+        """
+        from repro.store import write_dataset
+
+        return write_dataset(self, path, provenance=provenance, obs=self.obs)
+
+    @classmethod
+    def open(
+        cls,
+        path,
+        probes: Sequence[Probe] = None,
+        targets: Sequence[TargetVM] = None,
+        verify: str = "full",
+        obs=None,
+    ) -> "CampaignDataset":
+        """Re-open a saved store as a frozen dataset (zero-copy mmap).
+
+        Chunk checksums are verified on open (``verify="full"`` by
+        default; ``"sampled"`` size-checks everything and hashes a
+        deterministic subset); damaged stores raise
+        :class:`~repro.errors.StoreIntegrityError` instead of returning
+        data.  Probe/target metadata defaults to regeneration from the
+        store's provenance seed.
+        """
+        from repro.store import open_dataset
+
+        return open_dataset(
+            path, probes=probes, targets=targets, verify=verify, obs=obs
+        )
+
+    @classmethod
+    def from_columns(
+        cls,
+        probes: Sequence[Probe],
+        targets: Sequence[TargetVM],
+        columns: Dict[str, np.ndarray],
+        obs=None,
+    ) -> "CampaignDataset":
+        """Build an already-frozen dataset directly from sample columns.
+
+        The store reader's rebuild path: columns arrive as (possibly
+        memmap-backed) arrays and are adopted without copying when their
+        dtype already matches the schema.  The memoized derived-vector
+        machinery works unchanged — it only ever reads the frozen
+        columns.
+        """
+        dataset = cls(probes, targets, obs=obs)
+        frozen: Dict[str, np.ndarray] = {}
+        length = None
+        for name, dtype in SAMPLE_DTYPES:
+            try:
+                array = columns[name]
+            except KeyError:
+                raise CampaignError(f"missing sample column {name!r}") from None
+            array = np.asarray(array)
+            if array.dtype != np.dtype(dtype):
+                array = array.astype(dtype)
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise CampaignError(
+                    f"ragged sample columns: {name!r} has {len(array)} rows, "
+                    f"expected {length}"
+                )
+            frozen[name] = array
+        if length and frozen["target_index"].size:
+            worst = int(frozen["target_index"].max())
+            if worst >= len(dataset.targets) or int(frozen["target_index"].min()) < 0:
+                raise CampaignError(
+                    f"target_index {worst} out of range for "
+                    f"{len(dataset.targets)} targets"
+                )
+        dataset._frozen = frozen
+        dataset.obs.set_gauge("dataset_frozen_rows", length or 0)
+        return dataset
+
     # -- export / load ---------------------------------------------------------------
 
     def export_csv(self, path) -> None:
-        """Write the public-dataset artifact (samples with denormalized keys)."""
-        write_csv(self.to_frame(), Path(path))
+        """Write the public-dataset artifact (samples with denormalized keys).
+
+        Atomic (temp file + rename) and dtype-annotated: a crash
+        mid-export can never leave a truncated CSV behind for
+        :meth:`load_csv` to half-parse, and integer/bool columns survive
+        the round trip with their exact dtypes.
+        """
+        write_csv(self.to_frame(), Path(path), dtypes=True)
 
     @staticmethod
     def load_csv(path) -> Frame:

@@ -201,5 +201,24 @@ class CollectionInterruptedError(CampaignError):
         self.msm_id = msm_id
 
 
+class StoreError(ReproError):
+    """Persistent campaign store misuse or unsupported layout.
+
+    Covers API misuse (writing to a finalized writer, opening a path
+    that is not a store) and format-version mismatches; data damage is
+    the stricter :class:`StoreIntegrityError`.
+    """
+
+
+class StoreIntegrityError(StoreError):
+    """A store's on-disk bytes do not match its manifest.
+
+    Raised whenever a chunk is missing, truncated, or fails its SHA-256
+    check, or the manifest itself is truncated or unparseable — the
+    contract is that damaged data is *reported*, never silently
+    analyzed.
+    """
+
+
 class CrawlerError(ReproError):
     """The scholar crawler hit a terminal condition (e.g. blocked)."""

@@ -2,6 +2,15 @@
 
 The paper publishes its raw dataset for public use; :mod:`repro.core.dataset`
 uses these helpers to export the synthetic equivalent in the same spirit.
+
+CSV writes are **atomic** (private temp file + rename, the same
+discipline as checkpoint saves) so a crash mid-export can never leave a
+truncated file that a later read half-parses.  With ``dtypes=True`` the
+CSV carries a leading ``#dtypes`` annotation row, and
+:func:`from_csv_text` uses it to rebuild every column at its exact
+original dtype — integer columns (probe ids, timestamps) come back as
+the same integer type they were written from instead of being re-inferred
+cell by cell.
 """
 
 from __future__ import annotations
@@ -9,13 +18,20 @@ from __future__ import annotations
 import csv
 import io
 import json
+import os
+import threading
 from pathlib import Path
-from typing import Union
+from typing import List, Union
+
+import numpy as np
 
 from repro.errors import FrameError
 from repro.frame.frame import Frame
 
 PathLike = Union[str, Path]
+
+#: First cell of the optional dtype-annotation row.
+DTYPE_MARKER = "#dtypes"
 
 
 def _coerce(text: str):
@@ -32,10 +48,49 @@ def _coerce(text: str):
         return text
 
 
-def to_csv_text(frame: Frame) -> str:
-    """Serialize a frame to CSV text (header + rows)."""
+def _dtype_token(values) -> str:
+    """Portable dtype name for one column: ``str``, ``bool``, or a numpy
+    scalar dtype name like ``int32`` / ``float64``."""
+    kind = np.asarray(values).dtype.kind
+    if kind in ("U", "S", "O"):
+        return "str"
+    if kind == "b":
+        return "bool"
+    return np.asarray(values).dtype.name
+
+
+def _cast_cells(cells: List[str], token: str):
+    """Rebuild one column's cells at its annotated dtype."""
+    if token == "str":
+        return list(cells)
+    if token == "bool":
+        return np.asarray([cell == "True" for cell in cells], dtype=bool)
+    try:
+        dtype = np.dtype(token)
+    except TypeError as exc:
+        raise FrameError(f"unknown dtype annotation {token!r}") from exc
+    if dtype.kind in ("i", "u"):
+        return np.asarray([int(cell) for cell in cells], dtype=dtype)
+    if dtype.kind == "f":
+        return np.asarray([float(cell) for cell in cells], dtype=dtype)
+    raise FrameError(f"unsupported dtype annotation {token!r}")
+
+
+def to_csv_text(frame: Frame, dtypes: bool = False) -> str:
+    """Serialize a frame to CSV text (header + rows).
+
+    ``dtypes=True`` prepends a ``#dtypes`` row mapping each column to its
+    storage dtype, which :func:`from_csv_text` consumes for a
+    dtype-exact round trip (older readers see it as a comment-ish row
+    and must be tolerant; ours strips it).
+    """
     buffer = io.StringIO()
     writer = csv.writer(buffer, lineterminator="\n")
+    if dtypes:
+        writer.writerow(
+            [DTYPE_MARKER]
+            + [f"{name}={_dtype_token(frame[name])}" for name in frame.columns]
+        )
     writer.writerow(frame.columns)
     for row in frame.iter_rows():
         writer.writerow([row[name] for name in frame.columns])
@@ -45,26 +100,56 @@ def to_csv_text(frame: Frame) -> str:
 def from_csv_text(text: str) -> Frame:
     """Parse CSV text produced by :func:`to_csv_text`.
 
-    Numeric-looking cells are coerced to int/float; this matches how the
-    frame was numeric before serialization for all datasets we produce.
+    A leading ``#dtypes`` annotation row, when present, drives an exact
+    per-column dtype rebuild; without one, numeric-looking cells are
+    coerced to int/float cell by cell (the legacy behavior, which can
+    widen dtypes and mistake numeric-looking strings).
     """
     reader = csv.reader(io.StringIO(text))
     rows = list(reader)
     if not rows:
         raise FrameError("cannot parse empty CSV")
+    annotations = None
+    if rows[0] and rows[0][0] == DTYPE_MARKER:
+        annotations = {}
+        for cell in rows[0][1:]:
+            name, _, token = cell.partition("=")
+            if not token:
+                raise FrameError(f"malformed dtype annotation {cell!r}")
+            annotations[name] = token
+        rows = rows[1:]
+        if not rows:
+            raise FrameError("dtype-annotated CSV is missing its header row")
     header = rows[0]
-    records = [
-        {name: _coerce(cell) for name, cell in zip(header, row)} for row in rows[1:]
-    ]
-    return Frame.from_records(records, columns=header)
+    body = rows[1:]
+    if annotations is None:
+        records = [
+            {name: _coerce(cell) for name, cell in zip(header, row)} for row in body
+        ]
+        return Frame.from_records(records, columns=header)
+    missing = [name for name in header if name not in annotations]
+    if missing:
+        raise FrameError(f"dtype annotations missing columns {missing}")
+    columns = {}
+    for position, name in enumerate(header):
+        cells = [row[position] for row in body]
+        columns[name] = _cast_cells(cells, annotations[name])
+    return Frame(columns)
 
 
-def write_csv(frame: Frame, path: PathLike) -> None:
-    Path(path).write_text(to_csv_text(frame), encoding="utf-8")
+def write_csv(frame: Frame, path: PathLike, dtypes: bool = False) -> None:
+    """Atomically write ``frame`` as CSV (temp file + rename)."""
+    _atomic_write_text(Path(path), to_csv_text(frame, dtypes=dtypes))
 
 
 def read_csv(path: PathLike) -> Frame:
     return from_csv_text(Path(path).read_text(encoding="utf-8"))
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+    tmp.write_text(text, encoding="utf-8")
+    os.replace(tmp, path)
 
 
 def to_json_text(frame: Frame, indent: int = None) -> str:

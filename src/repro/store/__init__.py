@@ -1,0 +1,56 @@
+"""``repro.store`` — the persistent columnar campaign store.
+
+The paper's pipeline is collect-once (9 months, 3.2 M datapoints),
+analyze-many (every figure and table re-reads the same archive).  This
+subsystem gives the reproduction the same economics: a campaign's frozen
+:class:`~repro.core.dataset.CampaignDataset` persists as a directory of
+checksummed little-endian column chunks plus one JSON manifest
+(:mod:`repro.store.format`), written atomically and deterministically
+(:mod:`repro.store.writer`), re-opened as read-only ``np.memmap`` views
+with integrity verification (:mod:`repro.store.reader`), and addressed
+content-wise by campaign fingerprint so identical campaigns become cache
+hits (:mod:`repro.store.catalog`).
+
+Entry points::
+
+    dataset.save(path)                       # persist a frozen dataset
+    CampaignDataset.open(path)               # zero-copy reload
+    campaign.collect(store="stores/")        # collect-once / analyze-many
+    repro store {write,info,verify,gc}       # CLI maintenance
+"""
+
+from repro.store.catalog import (
+    CampaignCatalog,
+    campaign_fingerprint,
+    campaign_provenance,
+)
+from repro.store.format import (
+    DEFAULT_ROWS_PER_SHARD,
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    SAMPLE_COLUMNS,
+    SAMPLE_SCHEMA,
+    Manifest,
+    is_store_dir,
+)
+from repro.store.reader import StoreReader, open_dataset
+from repro.store.writer import StoreWriter, compact, gc_store, write_dataset
+
+__all__ = [
+    "CampaignCatalog",
+    "DEFAULT_ROWS_PER_SHARD",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "Manifest",
+    "SAMPLE_COLUMNS",
+    "SAMPLE_SCHEMA",
+    "StoreReader",
+    "StoreWriter",
+    "campaign_fingerprint",
+    "campaign_provenance",
+    "compact",
+    "gc_store",
+    "is_store_dir",
+    "open_dataset",
+    "write_dataset",
+]

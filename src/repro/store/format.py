@@ -1,0 +1,242 @@
+"""The on-disk layout of a persistent campaign store.
+
+A store is one directory holding
+
+* ``manifest.json`` — the commit record: format version, column schema
+  (explicit little-endian dtypes), row counts, campaign provenance
+  (seed / fault profile / scale / schedule), and one SHA-256 checksum
+  per column chunk;
+* raw column chunks — ``<shard>.<column>.bin`` files, each the exact
+  little-endian bytes of one column over one shard's rows.
+
+Every file lands atomically (private temp file + ``os.replace``, the
+same discipline as :class:`~repro.core.campaign.CollectionCheckpoint`),
+and the manifest is written *last*: a directory without a parseable,
+current-version manifest is not a store, so a crash mid-write can never
+produce something a reader would silently analyze.  Nothing in the
+manifest depends on wall-clock time — two writes of the same frozen
+dataset are byte-identical, which is what lets the catalog treat a store
+as content-addressed by campaign fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import StoreError, StoreIntegrityError
+
+#: Manifest ``format`` marker and the one layout version readers accept.
+FORMAT_NAME = "repro.store"
+FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+#: Canonical shard size: shards are cut at exactly this many rows (the
+#: last shard carries the remainder), making the shard layout a pure
+#: function of the row stream — independent of worker count, batch
+#: boundaries, or whether the store was streamed or saved post-freeze.
+DEFAULT_ROWS_PER_SHARD = 1 << 19
+
+#: The sample schema, as explicit little-endian dtype strings.  Kept in
+#: lockstep with :data:`repro.core.dataset.SAMPLE_DTYPES` (a unit test
+#: pins the correspondence) but defined independently so the store layer
+#: never imports the dataset layer at module scope.
+SAMPLE_SCHEMA: Tuple[Tuple[str, str], ...] = (
+    ("probe_id", "<i4"),
+    ("target_index", "<i4"),
+    ("timestamp", "<i8"),
+    ("rtt_min", "<f8"),
+    ("rtt_avg", "<f8"),
+    ("sent", "<i2"),
+    ("rcvd", "<i2"),
+)
+
+SAMPLE_COLUMNS: Tuple[str, ...] = tuple(name for name, _ in SAMPLE_SCHEMA)
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a private temp file + rename."""
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+    tmp.write_bytes(data)
+    os.replace(tmp, path)
+
+
+def sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_file(path: Path, chunk_bytes: int = 1 << 20) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            block = handle.read(chunk_bytes)
+            if not block:
+                break
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def shard_name(generation: int, index: int) -> str:
+    """Canonical shard name; the generation tag keeps compaction's new
+    chunk files from colliding with the ones they replace."""
+    return f"shard-{generation:04d}-{index:06d}"
+
+
+def chunk_filename(shard: str, column: str) -> str:
+    return f"{shard}.{column}.bin"
+
+
+@dataclass(frozen=True)
+class ChunkMeta:
+    """One column over one shard: its file, byte length, and checksum."""
+
+    file: str
+    bytes: int
+    sha256: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"file": self.file, "bytes": self.bytes, "sha256": self.sha256}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ChunkMeta":
+        return cls(
+            file=str(payload["file"]),
+            bytes=int(payload["bytes"]),
+            sha256=str(payload["sha256"]),
+        )
+
+
+@dataclass(frozen=True)
+class ShardMeta:
+    """One shard: a contiguous row range stored as one chunk per column."""
+
+    name: str
+    rows: int
+    chunks: Dict[str, ChunkMeta]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "rows": self.rows,
+            "chunks": {col: meta.as_dict() for col, meta in self.chunks.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ShardMeta":
+        return cls(
+            name=str(payload["name"]),
+            rows=int(payload["rows"]),
+            chunks={
+                str(col): ChunkMeta.from_dict(meta)
+                for col, meta in dict(payload["chunks"]).items()
+            },
+        )
+
+
+@dataclass
+class Manifest:
+    """The store's commit record (see module docstring)."""
+
+    schema: Tuple[Tuple[str, str], ...] = SAMPLE_SCHEMA
+    rows: int = 0
+    generation: int = 0
+    rows_per_shard: int = DEFAULT_ROWS_PER_SHARD
+    provenance: Optional[Dict[str, object]] = None
+    shards: List[ShardMeta] = field(default_factory=list)
+
+    @property
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.schema)
+
+    def dtype_of(self, column: str) -> str:
+        for name, dtype in self.schema:
+            if name == column:
+                return dtype
+        raise StoreError(f"no column {column!r} in store schema")
+
+    def chunk_files(self) -> List[str]:
+        """Every chunk filename the manifest references, in shard order."""
+        return [
+            meta.file
+            for shard in self.shards
+            for meta in shard.chunks.values()
+        ]
+
+    def total_chunk_bytes(self) -> int:
+        return sum(
+            meta.bytes for shard in self.shards for meta in shard.chunks.values()
+        )
+
+    def to_json(self) -> str:
+        payload = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "generation": self.generation,
+            "rows": self.rows,
+            "rows_per_shard": self.rows_per_shard,
+            "schema": [[name, dtype] for name, dtype in self.schema],
+            "provenance": self.provenance,
+            "shards": [shard.as_dict() for shard in self.shards],
+        }
+        return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Manifest":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreIntegrityError(
+                f"store manifest is truncated or unparseable: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or payload.get("format") != FORMAT_NAME:
+            raise StoreIntegrityError("store manifest is not a repro.store manifest")
+        version = payload.get("version")
+        if version != FORMAT_VERSION:
+            raise StoreError(
+                f"unsupported store format version {version!r} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        try:
+            return cls(
+                schema=tuple(
+                    (str(name), str(dtype)) for name, dtype in payload["schema"]
+                ),
+                rows=int(payload["rows"]),
+                generation=int(payload.get("generation", 0)),
+                rows_per_shard=int(
+                    payload.get("rows_per_shard", DEFAULT_ROWS_PER_SHARD)
+                ),
+                provenance=payload.get("provenance"),
+                shards=[ShardMeta.from_dict(s) for s in payload["shards"]],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreIntegrityError(
+                f"store manifest is missing or mangling required fields: {exc}"
+            ) from exc
+
+    # -- disk ------------------------------------------------------------------
+
+    def save(self, store_dir: Path) -> None:
+        """Atomically write the manifest — the store's commit point."""
+        atomic_write_bytes(
+            Path(store_dir) / MANIFEST_NAME, self.to_json().encode("utf-8")
+        )
+
+    @classmethod
+    def load(cls, store_dir: Path) -> "Manifest":
+        path = Path(store_dir) / MANIFEST_NAME
+        if not path.is_file():
+            raise StoreError(f"{store_dir} is not a store (no {MANIFEST_NAME})")
+        return cls.from_json(path.read_text(encoding="utf-8"))
+
+
+def is_store_dir(path: Path) -> bool:
+    """True when ``path`` holds a committed (manifest-bearing) store."""
+    return (Path(path) / MANIFEST_NAME).is_file()

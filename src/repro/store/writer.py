@@ -1,0 +1,344 @@
+"""Append-oriented store writer and the deterministic compaction pass.
+
+:class:`StoreWriter` accepts per-measurement column batches — straight
+off the campaign's columnar fast path — buffers them, and cuts shards at
+*exact* ``rows_per_shard`` boundaries.  Because shard boundaries depend
+only on the cumulative row stream (never on batch sizes, flush timing,
+or worker count), streaming a collection through the writer produces the
+same bytes as saving the frozen dataset afterwards, and a parallel
+collection merged in canonical order produces the same bytes as a serial
+one.
+
+Chunks land atomically as they are cut; the manifest is written last by
+:meth:`StoreWriter.finalize` and is the commit point — an aborted or
+crashed write leaves chunk files but no manifest, which readers refuse
+and ``repro store gc`` removes.
+
+:func:`compact` merges a store's shards back into canonical
+``rows_per_shard`` slices in shard order.  It is deterministic (the
+output depends only on the row stream and the target shard size) and
+idempotent (an already-canonical store is returned untouched).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.obs import ensure_obs
+from repro.store.format import (
+    DEFAULT_ROWS_PER_SHARD,
+    MANIFEST_NAME,
+    SAMPLE_SCHEMA,
+    ChunkMeta,
+    Manifest,
+    ShardMeta,
+    atomic_write_bytes,
+    chunk_filename,
+    is_store_dir,
+    sha256_hex,
+    shard_name,
+)
+
+
+class StoreWriter:
+    """Write one store directory from appended column batches."""
+
+    def __init__(
+        self,
+        path,
+        provenance: Optional[Dict[str, object]] = None,
+        schema: Tuple[Tuple[str, str], ...] = SAMPLE_SCHEMA,
+        rows_per_shard: int = DEFAULT_ROWS_PER_SHARD,
+        generation: int = 0,
+        obs=None,
+    ):
+        if rows_per_shard < 1:
+            raise StoreError(f"rows_per_shard must be positive: {rows_per_shard}")
+        self.path = Path(path)
+        if generation == 0 and is_store_dir(self.path):
+            raise StoreError(f"refusing to overwrite existing store at {self.path}")
+        self.schema = tuple(schema)
+        self.rows_per_shard = int(rows_per_shard)
+        self.generation = int(generation)
+        self.provenance = provenance
+        self.obs = ensure_obs(obs)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._pending: Dict[str, List[np.ndarray]] = {
+            name: [] for name, _ in self.schema
+        }
+        self._pending_rows = 0
+        self._shards: List[ShardMeta] = []
+        self._rows_written = 0
+        self._finalized = False
+
+    # -- appending -------------------------------------------------------------
+
+    def append_columns(self, columns: Dict[str, Sequence]) -> int:
+        """Buffer one batch of parallel columns; cut shards as they fill.
+
+        ``columns`` must cover the schema exactly; values are cast to the
+        schema's little-endian dtypes.  Returns the rows appended.
+        """
+        if self._finalized:
+            raise StoreError("writer is finalized; no further appends")
+        arrays = {}
+        count = None
+        for name, dtype in self.schema:
+            try:
+                values = columns[name]
+            except KeyError:
+                raise StoreError(f"append batch is missing column {name!r}") from None
+            array = np.asarray(values, dtype=np.dtype(dtype))
+            if count is None:
+                count = len(array)
+            elif len(array) != count:
+                raise StoreError(
+                    f"ragged append batch: column {name!r} has {len(array)} "
+                    f"rows, expected {count}"
+                )
+            arrays[name] = array
+        if not count:
+            return 0
+        for name, array in arrays.items():
+            self._pending[name].append(array)
+        self._pending_rows += count
+        while self._pending_rows >= self.rows_per_shard:
+            self._cut_shard(self.rows_per_shard)
+        return count
+
+    def append_batch(
+        self,
+        probe_ids,
+        target_index,
+        timestamps,
+        rtt_min,
+        rtt_avg,
+        sent,
+        rcvd,
+    ) -> int:
+        """Append one measurement window's samples (sample schema only).
+
+        ``target_index`` may be a scalar — the common case of one window
+        sharing one target — or a per-row sequence.
+        """
+        count = len(probe_ids)
+        if np.ndim(target_index) == 0:
+            target_index = np.full(count, int(target_index), dtype="<i4")
+        return self.append_columns(
+            {
+                "probe_id": probe_ids,
+                "target_index": target_index,
+                "timestamp": timestamps,
+                "rtt_min": rtt_min,
+                "rtt_avg": rtt_avg,
+                "sent": sent,
+                "rcvd": rcvd,
+            }
+        )
+
+    # -- shard cutting ---------------------------------------------------------
+
+    def _take_rows(self, name: str, rows: int) -> np.ndarray:
+        """Remove exactly ``rows`` leading rows from one pending column."""
+        taken: List[np.ndarray] = []
+        remaining = rows
+        queue = self._pending[name]
+        while remaining:
+            head = queue[0]
+            if len(head) <= remaining:
+                taken.append(queue.pop(0))
+                remaining -= len(head)
+            else:
+                taken.append(head[:remaining])
+                queue[0] = head[remaining:]
+                remaining = 0
+        if len(taken) == 1:
+            return taken[0]
+        return np.concatenate(taken)
+
+    def _cut_shard(self, rows: int) -> None:
+        name = shard_name(self.generation, len(self._shards))
+        chunks: Dict[str, ChunkMeta] = {}
+        with self.obs.span("store.shard", shard=name, rows=rows):
+            for column, dtype in self.schema:
+                data = np.ascontiguousarray(
+                    self._take_rows(column, rows), dtype=np.dtype(dtype)
+                ).tobytes()
+                filename = chunk_filename(name, column)
+                atomic_write_bytes(self.path / filename, data)
+                chunks[column] = ChunkMeta(
+                    file=filename, bytes=len(data), sha256=sha256_hex(data)
+                )
+                self.obs.inc("store_chunks_written_total")
+                self.obs.inc("store_bytes_written_total", len(data))
+        self._pending_rows -= rows
+        self._rows_written += rows
+        self._shards.append(ShardMeta(name=name, rows=rows, chunks=chunks))
+        self.obs.inc("store_shards_written_total")
+
+    def flush(self) -> None:
+        """Cut whatever is buffered as a (possibly short) final shard."""
+        if self._pending_rows:
+            self._cut_shard(self._pending_rows)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def rows_written(self) -> int:
+        return self._rows_written + self._pending_rows
+
+    def finalize(self) -> Manifest:
+        """Flush, then commit the store by writing its manifest."""
+        if self._finalized:
+            raise StoreError("writer is already finalized")
+        self.flush()
+        manifest = Manifest(
+            schema=self.schema,
+            rows=self._rows_written,
+            generation=self.generation,
+            rows_per_shard=self.rows_per_shard,
+            provenance=self.provenance,
+            shards=self._shards,
+        )
+        manifest.save(self.path)
+        self._finalized = True
+        self.obs.inc("store_rows_written_total", self._rows_written)
+        self.obs.event(
+            "store.commit", rows=self._rows_written, shards=len(self._shards)
+        )
+        return manifest
+
+    def abort(self) -> None:
+        """Best-effort cleanup of an uncommitted store directory."""
+        self._finalized = True
+        self._pending = {name: [] for name, _ in self.schema}
+        self._pending_rows = 0
+        for shard in self._shards:
+            for meta in shard.chunks.values():
+                try:
+                    (self.path / meta.file).unlink()
+                except OSError:
+                    pass
+        self._shards = []
+        try:
+            self.path.rmdir()
+        except OSError:
+            pass
+
+
+def write_dataset(
+    dataset,
+    path,
+    provenance: Optional[Dict[str, object]] = None,
+    rows_per_shard: int = DEFAULT_ROWS_PER_SHARD,
+    obs=None,
+) -> Manifest:
+    """Persist a (frozen) :class:`~repro.core.dataset.CampaignDataset`.
+
+    One batched pass through the shard writer; byte-identical to having
+    streamed the same rows during collection.
+    """
+    obs = ensure_obs(obs if obs is not None else getattr(dataset, "obs", None))
+    dataset.freeze()
+    with obs.span("store.write", path=str(path), rows=dataset.num_samples):
+        writer = StoreWriter(
+            path, provenance=provenance, rows_per_shard=rows_per_shard, obs=obs
+        )
+        try:
+            writer.append_columns(
+                {name: dataset.column(name) for name, _ in SAMPLE_SCHEMA}
+            )
+            return writer.finalize()
+        except BaseException:
+            writer.abort()
+            raise
+
+
+def is_canonical(manifest: Manifest, rows_per_shard: int) -> bool:
+    """True when the shard layout already matches ``rows_per_shard``."""
+    if manifest.rows_per_shard != rows_per_shard:
+        return False
+    for position, shard in enumerate(manifest.shards):
+        last = position == len(manifest.shards) - 1
+        if not last and shard.rows != rows_per_shard:
+            return False
+        if last and shard.rows > rows_per_shard:
+            return False
+    return True
+
+
+def compact(
+    path,
+    rows_per_shard: int = DEFAULT_ROWS_PER_SHARD,
+    obs=None,
+) -> Manifest:
+    """Merge a store's shards into canonical ``rows_per_shard`` slices.
+
+    Rows stream in shard order, so the result is byte-identical to a
+    store written in one pass at that shard size; already-canonical
+    stores are returned untouched (idempotence).  New-generation chunks
+    land before the manifest swap and the old generation's chunks are
+    unlinked after it — a crash at any point leaves a valid store plus,
+    at worst, orphan chunks for ``gc`` to sweep.
+    """
+    from repro.store.reader import StoreReader
+
+    obs = ensure_obs(obs)
+    path = Path(path)
+    reader = StoreReader(path, verify="full", obs=obs)
+    manifest = reader.manifest
+    if is_canonical(manifest, rows_per_shard):
+        return manifest
+    with obs.span(
+        "store.compact",
+        path=str(path),
+        shards_before=len(manifest.shards),
+        rows=manifest.rows,
+    ):
+        old_files = manifest.chunk_files()
+        writer = StoreWriter(
+            path,
+            provenance=manifest.provenance,
+            schema=manifest.schema,
+            rows_per_shard=rows_per_shard,
+            generation=manifest.generation + 1,
+            obs=obs,
+        )
+        try:
+            writer.append_columns(
+                {name: reader.column(name) for name in manifest.columns}
+            )
+            compacted = writer.finalize()
+        except BaseException:
+            writer.abort()
+            raise
+        for filename in old_files:
+            try:
+                (path / filename).unlink()
+            except OSError:
+                pass
+        obs.inc("store_compactions_total")
+        return compacted
+
+
+def gc_store(path) -> List[str]:
+    """Remove files a store's manifest does not reference.
+
+    Sweeps stray ``*.tmp`` files and orphaned chunks (e.g. a prior
+    generation left by a crash mid-compaction).  Returns the removed
+    filenames.  ``path`` must hold a committed store.
+    """
+    path = Path(path)
+    manifest = Manifest.load(path)
+    referenced = set(manifest.chunk_files()) | {MANIFEST_NAME}
+    removed: List[str] = []
+    for entry in sorted(path.iterdir()):
+        if entry.name in referenced or entry.is_dir():
+            continue
+        entry.unlink()
+        removed.append(entry.name)
+    return removed

@@ -1,5 +1,6 @@
 """Tests for repro.frame.io round-trips."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -69,6 +70,77 @@ class TestCSV:
         assert list(rebuilt["i"]) == list(frame["i"])
         for a, b in zip(rebuilt["f"], frame["f"]):
             assert a == pytest.approx(b)
+
+
+class TestDtypeAnnotatedCSV:
+    """The ``#dtypes`` annotation row: exact dtype round-trips."""
+
+    def _typed_frame(self) -> Frame:
+        return Frame(
+            {
+                "probe_id": np.asarray([3, 1, 2], dtype=np.int32),
+                "timestamp": np.asarray(
+                    [1_500_000_000, 1_500_010_800, 1_500_021_600], dtype=np.int64
+                ),
+                "sent": np.asarray([3, 3, 3], dtype=np.int16),
+                "rtt": np.asarray([12.5, float("nan"), 7.125], dtype=np.float64),
+                "wireless": np.asarray([True, False, True]),
+                "country": ["DE", "NA", "FR"],
+            }
+        )
+
+    def test_round_trip_preserves_exact_dtypes(self):
+        frame = self._typed_frame()
+        rebuilt = from_csv_text(to_csv_text(frame, dtypes=True))
+        assert rebuilt.columns == frame.columns
+        for name in ("probe_id", "timestamp", "sent", "rtt", "wireless"):
+            assert rebuilt[name].dtype == frame[name].dtype, name
+        assert list(rebuilt["probe_id"]) == [3, 1, 2]
+        assert rebuilt["rtt"][0] == 12.5 and np.isnan(rebuilt["rtt"][1])
+        assert list(rebuilt["wireless"]) == [True, False, True]
+
+    def test_numeric_looking_strings_stay_strings(self):
+        # Without annotations "NA"-like and digit-like cells re-infer;
+        # with them the column is rebuilt as strings verbatim.
+        frame = Frame({"code": ["007", "42", "NA"]})
+        rebuilt = from_csv_text(to_csv_text(frame, dtypes=True))
+        assert list(rebuilt["code"]) == ["007", "42", "NA"]
+        legacy = from_csv_text(to_csv_text(frame))
+        assert list(legacy["code"]) != ["007", "42", "NA"]
+
+    def test_integer_columns_do_not_widen_or_float(self):
+        frame = Frame({"sent": np.asarray([1, 2], dtype=np.int16)})
+        legacy = from_csv_text(to_csv_text(frame))
+        annotated = from_csv_text(to_csv_text(frame, dtypes=True))
+        assert legacy["sent"].dtype != np.int16  # the drift being fixed
+        assert annotated["sent"].dtype == np.int16
+
+    def test_unannotated_text_still_parses(self, sample):
+        assert from_csv_text(to_csv_text(sample)) == sample
+
+    def test_malformed_annotation_rejected(self):
+        with pytest.raises(FrameError):
+            from_csv_text("#dtypes,a\na\n1\n")
+
+    def test_annotated_file_round_trip(self, tmp_path):
+        frame = self._typed_frame()
+        path = tmp_path / "typed.csv"
+        write_csv(frame, path, dtypes=True)
+        rebuilt = read_csv(path)
+        assert rebuilt["probe_id"].dtype == np.int32
+        assert rebuilt.num_rows == 3
+
+
+class TestAtomicWrites:
+    def test_no_temp_files_left_behind(self, sample, tmp_path):
+        write_csv(sample, tmp_path / "data.csv")
+        assert [p.name for p in tmp_path.iterdir()] == ["data.csv"]
+
+    def test_overwrite_is_replace_not_truncate(self, sample, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("old contents")
+        write_csv(sample, path)
+        assert read_csv(path) == sample
 
 
 class TestJSON:

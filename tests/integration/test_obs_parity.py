@@ -42,7 +42,7 @@ SCHEDULE_COUNTER_PREFIXES = (
 )
 
 
-def collect(profile, workers=None, obs=None):
+def collect(profile, workers=None, obs=None, store=None):
     """One fresh TINY campaign collected to a frozen dataset."""
     campaign = Campaign.from_paper(
         scale=CampaignScale.TINY,
@@ -50,7 +50,7 @@ def collect(profile, workers=None, obs=None):
         faults=None if profile == "none" else profile,
         obs=obs,
     )
-    dataset = campaign.run(workers=workers)
+    dataset = campaign.run(workers=workers, store=store)
     return campaign, dataset
 
 
@@ -99,6 +99,52 @@ class TestSnapshotDeterminism:
         _, serial_snap = instrumented_run(profile, 1)
         _, sharded_snap = instrumented_run(profile, 4)
         assert schedule_counters(serial_snap) == schedule_counters(sharded_snap)
+
+
+class TestStoreBackedTelemetry:
+    """Store-backed runs stay byte-transparent and fully observable.
+
+    The persistent store rides the same obs context as the collection
+    it instruments: writing through a store must not perturb the
+    dataset, and the telemetry report (``repro obs report``) must carry
+    the ``store_*`` counters for both the write and the cache-hit path.
+    """
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_store_backed_dataset_byte_identical(
+        self, baselines, tmp_path, profile, workers
+    ):
+        campaign, dataset = collect(
+            profile, workers=workers, obs=Obs(), store=tmp_path / "catalog"
+        )
+        assert dataset_fingerprint(dataset) == baselines[profile]
+        counters = campaign.obs.registry.snapshot()["counters"]
+        assert counters["store_cache_misses_total"] == 1
+        assert counters["store_rows_written_total"] == dataset.num_samples
+        assert counters["store_chunks_written_total"] > 0
+
+    def test_obs_report_carries_store_metrics(self, tmp_path):
+        from repro.core.completeness import health_report
+
+        catalog = tmp_path / "catalog"
+        campaign, dataset = collect("flaky", obs=Obs(), store=catalog)
+        report = health_report(campaign, dataset)
+        counters = report["metrics"]["counters"]
+        assert counters["store_rows_written_total"] == dataset.num_samples
+        assert counters["store_bytes_written_total"] > 0
+
+        hit_campaign, hit_dataset = collect("flaky", obs=Obs(), store=catalog)
+        hit_report = health_report(hit_campaign, hit_dataset)
+        hit_counters = hit_report["metrics"]["counters"]
+        assert hit_counters["store_cache_hits_total"] == 1
+        assert hit_counters["store_chunks_verified_total"] > 0
+        assert "store_rows_written_total" not in hit_counters
+
+    def test_store_write_spans_present(self, tmp_path):
+        campaign, _ = collect("none", obs=Obs(), store=tmp_path / "catalog")
+        names = {s["name"] for s in campaign.obs.tracer.finished}
+        assert {"store.write", "store.shard"} <= names
 
 
 class TestTraceStructure:

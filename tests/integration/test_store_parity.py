@@ -1,0 +1,124 @@
+"""Store round-trip parity: persisted campaigns analyze identically.
+
+The store's end-to-end contract: a dataset saved to a store and
+reopened — by a store-backed collection at any worker count, under any
+fault profile — is **byte-identical** to the in-memory dataset the same
+campaign produces, and every downstream analysis (headline report,
+figure payloads) is therefore identical too.  Corruption surfaces as
+:class:`~repro.errors.StoreIntegrityError` before any data is served.
+"""
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignScale
+from repro.core.report import headline_report
+from repro.errors import StoreIntegrityError
+from repro.store import CampaignCatalog, open_dataset
+
+from .conftest import dataset_fingerprint
+
+FIXTURE_SEED = 7
+
+PROFILES = ("none", "flaky", "outage")
+
+
+def build_campaign(profile):
+    return Campaign.from_paper(
+        scale=CampaignScale.TINY,
+        seed=FIXTURE_SEED,
+        faults=None if profile == "none" else profile,
+    )
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    """In-memory serial datasets, one per profile."""
+    return {profile: build_campaign(profile).run() for profile in PROFILES}
+
+
+class TestStoreRoundTripParity:
+    @pytest.mark.parametrize("profile", PROFILES)
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_store_backed_run_byte_identical(
+        self, baselines, tmp_path, profile, workers
+    ):
+        catalog = tmp_path / "catalog"
+        stored = build_campaign(profile).run(workers=workers, store=catalog)
+        assert dataset_fingerprint(stored) == dataset_fingerprint(
+            baselines[profile]
+        )
+        # And the cache hit that follows serves the same bytes again.
+        reopened = build_campaign(profile).run(store=catalog)
+        assert dataset_fingerprint(reopened) == dataset_fingerprint(
+            baselines[profile]
+        )
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_store_bytes_independent_of_worker_count(self, tmp_path, workers):
+        """Not just the reloaded dataset — the files themselves match."""
+        serial_root = tmp_path / "serial"
+        sharded_root = tmp_path / f"workers{workers}"
+        build_campaign("flaky").run(store=serial_root)
+        build_campaign("flaky").run(workers=workers, store=sharded_root)
+        (serial_fp,) = CampaignCatalog(serial_root).entries()
+        (sharded_fp,) = CampaignCatalog(sharded_root).entries()
+        assert serial_fp == sharded_fp
+        serial_files = sorted((serial_root / serial_fp).iterdir())
+        sharded_files = sorted((sharded_root / sharded_fp).iterdir())
+        assert [f.name for f in serial_files] == [f.name for f in sharded_files]
+        for left, right in zip(serial_files, sharded_files):
+            assert left.read_bytes() == right.read_bytes(), left.name
+
+    def test_save_then_open_matches_streamed_store(self, baselines, tmp_path):
+        """dataset.save() and collect(store=) produce the same entry bytes."""
+        from repro.store.catalog import (
+            campaign_fingerprint,
+            campaign_provenance,
+        )
+
+        campaign = build_campaign("none")
+        streamed_root = tmp_path / "streamed"
+        build_campaign("none").run(store=streamed_root)
+        fingerprint = campaign_fingerprint(campaign_provenance(campaign))
+        saved_path = tmp_path / "saved"
+        baselines["none"].save(
+            saved_path, provenance=campaign_provenance(campaign)
+        )
+        streamed_path = streamed_root / fingerprint
+        saved_files = {p.name: p.read_bytes() for p in saved_path.iterdir()}
+        streamed_files = {
+            p.name: p.read_bytes() for p in streamed_path.iterdir()
+        }
+        assert saved_files == streamed_files
+
+
+class TestAnalysisParity:
+    def test_headline_report_identical(self, baselines, tmp_path):
+        stored = build_campaign("none").run(store=tmp_path / "catalog")
+        assert headline_report(stored) == headline_report(baselines["none"])
+
+    def test_figure_payload_identical(self, baselines, tmp_path):
+        from repro.core.proximity import min_rtt_cdf_by_continent
+        from repro.viz import ecdf_payload
+
+        stored = build_campaign("flaky").run(store=tmp_path / "catalog")
+        assert ecdf_payload(
+            min_rtt_cdf_by_continent(stored)
+        ) == ecdf_payload(min_rtt_cdf_by_continent(baselines["flaky"]))
+
+
+class TestCorruptionSurface:
+    def test_corrupt_store_raises_before_serving(self, tmp_path):
+        catalog_root = tmp_path / "catalog"
+        build_campaign("none").run(store=catalog_root)
+        (entry_fp,) = CampaignCatalog(catalog_root).entries()
+        chunk = next(
+            iter(sorted((catalog_root / entry_fp).glob("shard-*.bin")))
+        )
+        raw = bytearray(chunk.read_bytes())
+        raw[7] ^= 0x40
+        chunk.write_bytes(bytes(raw))
+        with pytest.raises(StoreIntegrityError):
+            open_dataset(catalog_root / entry_fp)
+        with pytest.raises(StoreIntegrityError):
+            build_campaign("none").run(store=catalog_root)
