@@ -1,0 +1,118 @@
+"""Disaster recovery — surgical repair vs full re-collection.
+
+A MEDIUM (paper-scale, ~3.2M-sample) campaign store loses one shard to
+disk corruption.  The naive recovery is re-collecting the whole
+campaign; the store's answer is ``repro store repair``: scrub, map the
+damaged shard's rows to measurement windows through the manifest's
+window index, re-synthesize only those windows from provenance, and
+hash-verify the rebuilt chunks.  Repair must beat re-collection by at
+least a 10x floor — the ratio is a property of "windows touched /
+windows total", not of core count, so it is asserted on every machine.
+Measurements land in ``BENCH_recovery.json`` for the CI artifact.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import print_banner
+
+from repro.core.campaign import Campaign, CampaignScale
+from repro.store import StoreReader, write_dataset
+from repro.store.catalog import campaign_provenance
+from repro.store.scrub import repair, scrub
+
+BENCH_SEED = 7
+
+#: Smaller-than-default shards (~49 for MEDIUM) so "one damaged shard"
+#: is a realistically small slice of the store.
+ROWS_PER_SHARD = 1 << 16
+
+#: Acceptance floor: repairing a single damaged shard must beat
+#: re-collecting the campaign by this factor.
+SPEEDUP_FLOOR = 10.0
+
+ARTIFACT = Path(os.environ.get("REPRO_BENCH_ARTIFACT", "BENCH_recovery.json"))
+
+
+def test_repair_speedup_over_recollection(benchmark, tmp_path):
+    """One flipped byte in one chunk: repair vs collect-from-scratch."""
+    # Untimed warm-up on a throwaway campaign: imports, route caches.
+    Campaign.from_paper(scale=CampaignScale.TINY, seed=BENCH_SEED).run()
+
+    campaign = Campaign.from_paper(scale=CampaignScale.MEDIUM, seed=BENCH_SEED)
+    start = time.perf_counter()
+    collected = campaign.run()
+    collect_s = time.perf_counter() - start
+
+    store = tmp_path / "store"
+    write_dataset(
+        collected,
+        store,
+        provenance=campaign_provenance(campaign),
+        rows_per_shard=ROWS_PER_SHARD,
+    )
+    manifest = StoreReader(store, verify="off").manifest
+    pristine = {
+        p.name: p.stat().st_size for p in store.iterdir() if p.is_file()
+    }
+
+    # The disaster: one bit flips in the middle of one mid-store chunk.
+    victim = store / manifest.shards[len(manifest.shards) // 2].chunks["rtt_min"].file
+
+    def run_repair():
+        raw = bytearray(victim.read_bytes())
+        raw[len(raw) // 2] ^= 0x01
+        victim.write_bytes(bytes(raw))
+        assert not scrub(store).intact
+        start = time.perf_counter()
+        result = repair(store)
+        return result, time.perf_counter() - start
+
+    result, repair_s = benchmark.pedantic(run_repair, rounds=1, iterations=1)
+
+    speedup = collect_s / repair_s
+    windows_total = len(manifest.windows)
+
+    print_banner(
+        f"Disaster recovery: MEDIUM {manifest.rows:,} rows, "
+        f"{len(manifest.shards)} shards, 1 damaged"
+    )
+    print(f"{'path':>26s} {'wall':>9s} {'speedup':>8s}")
+    print("-" * 46)
+    print(f"{'re-collect (naive)':>26s} {collect_s:>8.2f}s {1.0:>7.2f}x")
+    print(f"{'store repair':>26s} {repair_s:>8.2f}s {speedup:>7.2f}x")
+    print(
+        f"windows re-synthesized: {result.resynthesized_windows}/{windows_total}"
+        f"  chunks rebuilt: {len(result.repaired_chunks)}"
+        f"  quarantined: {len(result.quarantined)}"
+    )
+
+    # Repair converged to the exact pre-damage store.
+    StoreReader(store, verify="full")
+    healthy = {
+        p.name: p.stat().st_size
+        for p in store.iterdir()
+        if p.is_file()
+    }
+    assert healthy == pristine
+
+    ARTIFACT.write_text(json.dumps({
+        "seed": BENCH_SEED,
+        "cpus": os.cpu_count(),
+        "medium_samples": int(manifest.rows),
+        "shards": len(manifest.shards),
+        "windows_total": windows_total,
+        "windows_resynthesized": result.resynthesized_windows,
+        "collect_s": round(collect_s, 3),
+        "repair_s": round(repair_s, 3),
+        "repair_speedup": round(speedup, 2),
+        "speedup_floor": SPEEDUP_FLOOR,
+    }, indent=2) + "\n")
+    print(f"wrote {ARTIFACT}")
+
+    assert result.verified
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"repair speedup {speedup:.2f}x below the {SPEEDUP_FLOOR}x floor"
+    )

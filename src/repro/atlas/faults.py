@@ -144,6 +144,57 @@ def get_profile(profile) -> FaultProfile:
         ) from None
 
 
+@dataclass(frozen=True)
+class WorkerFaultProfile:
+    """Per-window worker-process fault probabilities for one chaos level.
+
+    Where :class:`FaultProfile` fails the *transport*, this fails the
+    *collector itself*: ``crash`` is the chance a worker dies outright
+    mid-window, ``hang`` the chance it wedges for ``hang_duration_s``
+    simulated seconds (reaped by the supervisor's watchdog when that
+    exceeds the shard deadline).  Decisions are drawn per measurement
+    window *and respawn attempt* — window-keyed so outcomes are
+    worker-count-invariant, attempt-keyed so a respawned worker re-rolls
+    instead of dying at the same spot forever.
+    """
+
+    name: str = "steady"
+    crash: float = 0.0
+    hang: float = 0.0
+    hang_duration_s: float = 0.0
+
+    @property
+    def is_noop(self) -> bool:
+        return self.crash == self.hang == 0.0
+
+
+#: Named worker-chaos levels, the supervisor-side analogue of
+#: :data:`PROFILES`.  All profiles are fully recoverable given enough
+#: respawn attempts; ``pathological`` exists to exercise the quarantine
+#: path in a bounded number of rounds.
+WORKER_PROFILES: Dict[str, WorkerFaultProfile] = {
+    "steady": WorkerFaultProfile(name="steady"),
+    "crashy": WorkerFaultProfile(name="crashy", crash=0.05),
+    "wedged": WorkerFaultProfile(name="wedged", hang=0.03, hang_duration_s=600.0),
+    "pathological": WorkerFaultProfile(
+        name="pathological", crash=0.08, hang=0.05, hang_duration_s=900.0
+    ),
+}
+
+
+def get_worker_profile(profile) -> WorkerFaultProfile:
+    """Resolve a worker profile name (or pass one through)."""
+    if isinstance(profile, WorkerFaultProfile):
+        return profile
+    try:
+        return WORKER_PROFILES[profile]
+    except KeyError:
+        raise AtlasError(
+            f"unknown worker fault profile {profile!r}; "
+            f"choose from {sorted(WORKER_PROFILES)}"
+        ) from None
+
+
 class FaultInjector:
     """Seeded fault source for one transport instance.
 

@@ -13,6 +13,9 @@ Exposes the reproduction as a small tool::
     repro store write cache/        # collect once into a catalog store
     repro run --store cache/        # cache hit: reopen instead of collect
     repro store verify cache/       # checksum every committed store
+    repro store scrub cache/        # classify ALL damage (never stops early)
+    repro store repair cache/entry  # surgically rebuild damaged chunks
+    repro run --worker-faults crashy  # supervised, self-healing collection
 
 Every subcommand accepts ``--seed`` (default 7), ``--faults`` (chaos
 profile for the collection transport), ``--workers`` (parallel
@@ -27,7 +30,12 @@ Campaign-consuming subcommands (run / figure / report / validate /
 export / obs) also take ``--store DIR`` — collect through a
 content-addressed catalog so identical campaigns become cache hits —
 and ``--from-store PATH`` to open one committed store directly; ``repro
-store {write,info,verify,gc}`` manages the catalog itself.
+store {write,info,verify,scrub,repair,gc}`` manages the catalog itself
+(``verify --strict --json`` emits a machine-readable per-chunk damage
+report and exits nonzero on *any* damage, debris included).  ``repro run
+--worker-faults {steady,crashy,wedged,pathological}`` collects under a
+supervisor that injects (seeded, deterministic) worker crashes and hangs
+and heals them by respawning — the dataset stays byte-identical.
 Designed to be driven
 programmatically too: :func:`main` takes an argv list and returns an exit
 code, printing results to stdout (notices go to stderr).
@@ -64,6 +72,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="collection workers: an integer, or 'auto' to match the "
         "machine (default auto; tiny campaigns stay serial).  The frozen "
         "dataset is byte-identical at any worker count, faults included",
+    )
+    parser.add_argument(
+        "--worker-faults",
+        choices=["steady", "crashy", "wedged", "pathological"],
+        default="steady",
+        dest="worker_faults",
+        help="inject seeded worker crashes/hangs and collect under the "
+        "self-healing supervisor (default steady: no supervision). "
+        "Recoverable chaos converges to the byte-identical dataset",
     )
     parser.add_argument(
         "--fast-path",
@@ -135,19 +152,44 @@ def _dataset_from_store(path, obs):
         raise SystemExit(f"cannot load store {path}: {exc}")
 
 
-def _run_with_store(campaign, workers, store):
+def _run_with_store(campaign, workers, store, worker_faults=None):
     """``campaign.run`` with store errors surfaced as clean exits."""
     from repro.errors import StoreError
 
     try:
-        return campaign.run(workers=workers, store=store)
+        return campaign.run(
+            workers=workers, store=store, worker_faults=worker_faults
+        )
     except StoreError as exc:
         where = getattr(store, "root", store)
         raise SystemExit(
             f"store-backed run failed: {exc}\n"
-            f"(inspect with `repro store verify {where}`; delete the "
-            f"damaged entry directory to re-collect it)"
+            f"(inspect with `repro store scrub {where}`, then "
+            f"`repro store repair` the damaged entry — or delete it to "
+            f"re-collect)"
         )
+
+
+def _resolve_worker_faults(args):
+    """Map ``--worker-faults`` to what :meth:`Campaign.collect` takes."""
+    profile = getattr(args, "worker_faults", "steady")
+    return None if profile == "steady" else profile
+
+
+def _print_supervision(campaign) -> None:
+    """One-line supervised-collection summary (after a chaos run)."""
+    supervision = getattr(campaign, "supervision", None)
+    if supervision is None:
+        return
+    line = (f"worker chaos {supervision.profile}: "
+            f"{supervision.crashes} crashes, {supervision.hangs} hangs "
+            f"({supervision.hangs_recovered} recovered), "
+            f"{supervision.respawns} respawn rounds")
+    if supervision.degraded:
+        line += (f"; DEGRADED: {len(supervision.quarantined)} of "
+                 f"{supervision.windows} windows quarantined")
+    print(line)
+    print()
 
 
 def _resolve_cli_workers(args):
@@ -219,7 +261,10 @@ def _run_campaign(args):
         _maybe_write_metrics(campaign, args)
         return campaign, dataset
     dataset = _run_with_store(
-        campaign, _resolve_cli_workers(args), getattr(args, "store", None)
+        campaign,
+        _resolve_cli_workers(args),
+        getattr(args, "store", None),
+        worker_faults=_resolve_worker_faults(args),
     )
     _maybe_write_metrics(campaign, args)
     return campaign, dataset
@@ -241,7 +286,7 @@ def _cmd_footprint(args) -> int:
     return 0
 
 
-def _resume_collect(campaign, state_dir, workers=None):
+def _resume_collect(campaign, state_dir, workers=None, worker_faults=None):
     """Checkpointed collection: resume from (and persist to) ``state_dir``.
 
     Returns the completed dataset, or ``None`` after saving state when
@@ -279,7 +324,10 @@ def _resume_collect(campaign, state_dir, workers=None):
         raise SystemExit(2)
     try:
         dataset = campaign.collect(
-            checkpoint=checkpoint, dataset=dataset, workers=workers
+            checkpoint=checkpoint,
+            dataset=dataset,
+            workers=workers,
+            worker_faults=worker_faults,
         )
     except CollectionInterruptedError as exc:
         exc.checkpoint.save(checkpoint_path)
@@ -300,6 +348,7 @@ def _cmd_run(args) -> int:
 
     campaign = _build_campaign(args)
     workers = _resolve_cli_workers(args)
+    worker_faults = _resolve_worker_faults(args)
     if args.from_store:
         if args.resume or args.store:
             raise SystemExit("--from-store cannot combine with --resume/--store")
@@ -310,16 +359,22 @@ def _cmd_run(args) -> int:
                 "--store and --resume are mutually exclusive (a store-backed "
                 "collection commits only complete campaigns)"
             )
-        dataset = _run_with_store(campaign, workers, args.store)
+        dataset = _run_with_store(
+            campaign, workers, args.store, worker_faults=worker_faults
+        )
     elif args.resume:
         campaign.create_measurements()
-        dataset = _resume_collect(campaign, Path(args.resume), workers=workers)
+        dataset = _resume_collect(
+            campaign, Path(args.resume), workers=workers,
+            worker_faults=worker_faults,
+        )
         if dataset is None:
             return 3
     else:
         campaign.create_measurements()
-        dataset = campaign.collect(workers=workers)
+        dataset = campaign.collect(workers=workers, worker_faults=worker_faults)
     _maybe_write_metrics(campaign, args)
+    _print_supervision(campaign)
     if args.faults != "none":
         health = collection_health(campaign)
         transport = health["transport"]
@@ -482,16 +537,28 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _scrub_targets(path):
+    """Scrub ``path`` (one store or a whole catalog) → (reports, extra).
+
+    ``extra`` is catalog-level damage (uncommitted / dangling entries);
+    empty when ``path`` is a single store.
+    """
+    from repro.store import is_store_dir, scrub, scrub_catalog
+
+    if is_store_dir(path):
+        return [scrub(path)], []
+    return scrub_catalog(path)
+
+
 def _cmd_store(args) -> int:
-    """Persistent-store maintenance: write / info / verify / gc."""
+    """Persistent-store maintenance: write / info / verify / scrub /
+    repair / gc."""
     import json
     from pathlib import Path
 
-    from repro.errors import StoreError, StoreIntegrityError
     from repro.store import (
         CampaignCatalog,
         Manifest,
-        StoreReader,
         is_store_dir,
     )
 
@@ -546,27 +613,75 @@ def _cmd_store(args) -> int:
                   f"seed={provenance.get('seed', '?')}")
         return 0
 
-    if args.action == "verify":
-        targets = (
-            [path]
-            if is_store_dir(path)
-            else [CampaignCatalog(path).path_for(f)
-                  for f in CampaignCatalog(path).entries()]
-        )
-        if not targets:
+    if args.action in ("verify", "scrub"):
+        reports, catalog_damage = _scrub_targets(path)
+        if not reports and not catalog_damage:
             print(f"{path}: nothing to verify", file=sys.stderr)
             return 2
-        failed = 0
-        for store_path in targets:
+        corrupt = sum(1 for report in reports if not report.intact)
+        littered = (
+            sum(1 for report in reports if not report.ok) - corrupt
+            + len(catalog_damage)
+        )
+        if getattr(args, "json", False):
+            payload = {
+                "path": str(path),
+                "ok": corrupt == 0 and littered == 0,
+                "intact": corrupt == 0,
+                "stores": [report.as_dict() for report in reports],
+                "catalog_damage": [d.as_dict() for d in catalog_damage],
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            for report in reports:
+                if report.intact:
+                    status = "ok" if report.ok else "ok (debris)"
+                    print(f"{status} {report.path} ({report.rows:,} rows, "
+                          f"{report.shards} shards)")
+                else:
+                    from repro.store.scrub import INTEGRITY_KINDS
+
+                    first = next(
+                        d for d in report.damage if d.kind in INTEGRITY_KINDS
+                    )
+                    print(f"CORRUPT {report.path}: {first.kind} {first.file}"
+                          + (f" ({first.detail})" if first.detail else ""))
+                if args.action == "scrub" or not report.intact:
+                    for damage in report.damage:
+                        print(f"  {damage.kind:18s} {damage.file}"
+                              + (f"  {damage.detail}" if damage.detail else ""))
+            for damage in catalog_damage:
+                print(f"  {damage.kind:18s} {damage.file}"
+                      + (f"  {damage.detail}" if damage.detail else ""))
+            if corrupt:
+                print(f"{corrupt} damaged store(s): quarantine + rebuild "
+                      f"with `repro store repair {path}`")
+        if corrupt:
+            return 1
+        if getattr(args, "strict", False) and littered:
+            return 1
+        return 0
+
+    if args.action == "repair":
+        from repro.errors import StoreRepairError
+        from repro.store import repair
+
+        reports, _ = _scrub_targets(path)
+        damaged = [r for r in reports if not r.intact or not r.ok]
+        if not damaged:
+            print(f"{path}: nothing to repair")
+            return 0
+        for report in damaged:
             try:
-                reader = StoreReader(store_path, verify="full")
-            except (StoreIntegrityError, StoreError) as exc:
-                print(f"CORRUPT {store_path}: {exc}")
-                failed += 1
-            else:
-                print(f"ok {store_path} ({reader.rows:,} rows, "
-                      f"{len(reader.manifest.shards)} shards)")
-        return 1 if failed else 0
+                result = repair(report.path)
+            except StoreRepairError as exc:
+                raise SystemExit(f"repair failed: {exc}")
+            print(f"repaired {result.path}: "
+                  f"{len(result.repaired_chunks)} chunks rebuilt from "
+                  f"{result.resynthesized_windows} re-synthesized windows, "
+                  f"{len(result.quarantined)} damaged originals quarantined, "
+                  f"{len(result.swept)} debris files swept")
+        return 0
 
     # gc
     if is_store_dir(path):
@@ -689,17 +804,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     store = sub.add_parser(
         "store",
-        help="persistent campaign stores: write, inspect, verify, gc",
+        help="persistent campaign stores: write, inspect, verify, scrub, "
+        "repair, gc",
     )
     store.add_argument(
         "action",
-        choices=["write", "info", "verify", "gc"],
+        choices=["write", "info", "verify", "scrub", "repair", "gc"],
         help="write: collect the campaign (common options) into a catalog "
         "at PATH; info: summarize a store or catalog; verify: full "
-        "checksum pass (exit 1 on corruption); gc: sweep uncommitted or "
-        "orphaned store files",
+        "checksum pass (exit 1 on corruption); scrub: classify every "
+        "problem without stopping at the first; repair: quarantine "
+        "damaged chunks and rebuild them from re-synthesized windows; "
+        "gc: sweep uncommitted or orphaned store files",
     )
     store.add_argument("path", help="store directory or catalog root")
+    store.add_argument(
+        "--strict",
+        action="store_true",
+        help="verify: exit nonzero on ANY damage, debris and catalog "
+        "litter included (default: only integrity damage fails)",
+    )
+    store.add_argument(
+        "--json",
+        action="store_true",
+        help="verify/scrub: emit the machine-readable per-chunk damage "
+        "report instead of text lines",
+    )
     _add_common(store)
     store.set_defaults(func=_cmd_store)
 

@@ -131,17 +131,35 @@ class CollectionCheckpoint:
             if current is None or through > current:
                 self.high_water[msm_id] = int(through)
 
-    def save(self, path) -> None:
-        """Persist atomically: write a private temp file, then rename over
-        the target, so a reader (or a crash) never sees a torn JSON."""
+    def save(self, path, fs=None) -> None:
+        """Persist atomically *and durably*: write a private temp file,
+        fsync it, rename over the target, fsync the parent directory — a
+        reader (or a crash, or a power cut) never sees a torn or
+        rolled-back JSON.  A full disk surfaces as a one-line
+        :class:`~repro.errors.StoreError` naming the partial state, not
+        a raw OSError traceback."""
+        from repro.store.fsim import ensure_fs
+
+        fs = ensure_fs(fs)
         with self._lock:
             payload = {str(msm_id): ts for msm_id, ts in self.high_water.items()}
         path = Path(path)
         tmp = path.with_name(
             f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
         )
-        tmp.write_text(json.dumps({"high_water": payload}, indent=0))
-        os.replace(tmp, path)
+        text = json.dumps({"high_water": payload}, indent=0)
+        try:
+            fs.write_bytes(tmp, text.encode("utf-8"), point="checkpoint")
+            fs.fsync_path(tmp, point="checkpoint")
+            fs.replace(tmp, path, point="checkpoint")
+            fs.fsync_dir(path.parent, point="checkpoint")
+        except OSError as exc:
+            from repro.errors import StoreError
+
+            raise StoreError(
+                f"checkpoint save failed ({exc.strerror or exc}): previous "
+                f"checkpoint (if any) is intact at {path}"
+            ) from exc
 
     @classmethod
     def load(cls, path) -> "CollectionCheckpoint":
@@ -308,6 +326,10 @@ class Campaign:
         #: canonical fleet order — serial or parallel — so the shards it
         #: cuts are byte-identical at any worker count.
         self._store_writer = None
+        #: :class:`~repro.core.supervisor.SupervisionReport` of the most
+        #: recent supervised collection (``None`` otherwise); surfaced by
+        #: :func:`repro.core.completeness.health_report`.
+        self.supervision = None
 
     @classmethod
     def from_paper(
@@ -330,6 +352,52 @@ class Campaign:
         return cls(
             platform, scale=scale, transport=transport, fast_path=fast_path, obs=obs
         )
+
+    @classmethod
+    def from_provenance(
+        cls, provenance: Dict[str, object], fast_path: str = "auto", obs=None
+    ) -> "Campaign":
+        """Rebuild the campaign a store's provenance record describes.
+
+        The inverse of :func:`repro.store.catalog.campaign_provenance`:
+        given a committed store's provenance dict, reconstruct a campaign
+        whose collection produces those exact bytes — the foundation of
+        surgical store repair, which re-synthesizes only damaged windows
+        through this campaign's deterministic fetch path.
+        """
+        try:
+            scale = next(
+                s for s in CampaignScale if s.label == str(provenance["scale"])
+            )
+            campaign = cls.from_paper(
+                scale=scale,
+                seed=int(provenance["seed"]),
+                faults=str(provenance["fault_profile"]),
+                fast_path=fast_path,
+                obs=obs,
+            )
+        except (KeyError, TypeError, ValueError, StopIteration) as exc:
+            raise CampaignError(
+                f"provenance record does not describe a campaign: {exc!r}"
+            ) from exc
+        campaign.start_time = int(provenance["start_time"])
+        campaign.stop_time = int(provenance["stop_time"])
+        # The remaining provenance fields are functions of scale; a
+        # mismatch means the record came from an incompatible build.
+        derived = {
+            "interval_s": int(scale.interval_s),
+            "stop_time": campaign.start_time + scale.duration_s,
+            "packets": int(campaign.plan.packets),
+        }
+        for key, expected in derived.items():
+            if int(provenance[key]) != expected:
+                raise CampaignError(
+                    f"provenance field {key}={provenance[key]!r} does not match "
+                    f"this build's {scale.label!r} campaign ({expected})"
+                )
+        # start_time shifted the window: rebuild the plan against it.
+        campaign.plan = campaign._make_plan()
+        return campaign
 
     # -- planning --------------------------------------------------------------
 
@@ -447,6 +515,7 @@ class Campaign:
         dataset: CampaignDataset = None,
         workers=None,
         store=None,
+        worker_faults=None,
     ) -> CampaignDataset:
         """Fetch and parse results into a dataset.
 
@@ -471,9 +540,17 @@ class Campaign:
         platform; otherwise the collection runs normally while streaming
         its merged records into a new store, committed only when the
         window completes.
+
+        ``worker_faults`` (a :class:`~repro.atlas.faults.WorkerFaultProfile`
+        or its name) runs the collection under a
+        :class:`~repro.core.supervisor.Supervisor`: workers crash and
+        hang on the simulated clock, a watchdog reassigns their shards,
+        and a degraded completion is reported instead of raised.
         """
         if store is not None:
-            return self._collect_stored(store, workers=workers)
+            return self._collect_stored(
+                store, workers=workers, worker_faults=worker_faults
+            )
         if not self.measurement_ids:
             raise CampaignError("create_measurements() must run first")
         if dataset is None:
@@ -481,12 +558,19 @@ class Campaign:
                 self.platform.probes, self.platform.fleet, obs=self.obs
             )
         self.collect_into(
-            dataset, start=start, stop=stop, checkpoint=checkpoint, workers=workers
+            dataset,
+            start=start,
+            stop=stop,
+            checkpoint=checkpoint,
+            workers=workers,
+            worker_faults=worker_faults,
         )
         dataset.freeze()
         return dataset
 
-    def _collect_stored(self, store, workers=None) -> CampaignDataset:
+    def _collect_stored(
+        self, store, workers=None, worker_faults=None
+    ) -> CampaignDataset:
         """Store-backed collection: cache hit or collect-and-commit.
 
         Full-window collections only — the fingerprint names the whole
@@ -521,13 +605,25 @@ class Campaign:
         ):
             self._store_writer = writer
             try:
-                self.collect_into(dataset, workers=workers)
+                self.collect_into(
+                    dataset, workers=workers, worker_faults=worker_faults
+                )
             except BaseException:
                 writer.abort()
                 raise
             finally:
                 self._store_writer = None
             dataset.freeze()
+            if self.supervision is not None and self.supervision.degraded:
+                # A degraded window is not this fingerprint's dataset:
+                # committing it would poison every future cache hit.
+                writer.abort()
+                _log.warning(
+                    "degraded supervised collection: store NOT committed "
+                    "(%d windows quarantined)",
+                    len(self.supervision.quarantined),
+                )
+                return dataset
             writer.finalize()
         _log.info(
             "store committed: %s (%d rows, provenance %s)",
@@ -542,6 +638,7 @@ class Campaign:
         stop: int = None,
         checkpoint: CollectionCheckpoint = None,
         workers=None,
+        worker_faults=None,
     ) -> None:
         """Append one collection window into an existing (unfrozen) dataset.
 
@@ -567,6 +664,18 @@ class Campaign:
         canonical fleet order, so their output is identical byte for byte.
         """
         worker_count = resolve_workers(workers)
+        if worker_faults is not None:
+            from repro.atlas.faults import get_worker_profile
+            from repro.core.supervisor import Supervisor
+
+            profile = get_worker_profile(worker_faults)
+            if not profile.is_noop:
+                Supervisor(
+                    self, workers=worker_count, worker_faults=profile
+                ).collect_into(
+                    dataset, start=start, stop=stop, checkpoint=checkpoint
+                )
+                return
         if worker_count > 1:
             ParallelCollector(self, workers=worker_count).collect_into(
                 dataset, start=start, stop=stop, checkpoint=checkpoint
@@ -813,16 +922,18 @@ class Campaign:
         }
         return totals
 
-    def run(self, workers=None, store=None) -> CampaignDataset:
+    def run(self, workers=None, store=None, worker_faults=None) -> CampaignDataset:
         """Create measurements and collect everything.
 
         With ``store`` a cache hit skips measurement creation entirely —
         the store already holds the campaign's full frozen dataset.
         """
         if store is not None:
-            return self.collect(workers=workers, store=store)
+            return self.collect(
+                workers=workers, store=store, worker_faults=worker_faults
+            )
         self.create_measurements()
-        return self.collect(workers=workers)
+        return self.collect(workers=workers, worker_faults=worker_faults)
 
     # -- reporting convenience ---------------------------------------------------
 

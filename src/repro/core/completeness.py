@@ -136,6 +136,11 @@ def health_report(
         report["fleet"] = fleet_summary(
             completeness_frame(campaign, dataset), stats=campaign.collection_stats
         )
+    supervision = getattr(campaign, "supervision", None)
+    if supervision is not None:
+        # A supervised collection's casualty report: crashes, hangs,
+        # respawns, and any quarantined windows (degraded coverage).
+        report["supervision"] = supervision.as_dict()
     if campaign.obs.enabled:
         report["metrics"] = campaign.obs.registry.snapshot()
     return report

@@ -1,0 +1,322 @@
+"""Supervised collection: worker chaos, a watchdog, and degraded completion.
+
+The collection layer's failure story so far covers the *transport*
+(retries, circuit breakers, resumable interruption) — but the collector
+process itself was assumed immortal.  This module drops that assumption:
+a :class:`Supervisor` runs the collection fan-out while a seeded
+:class:`WorkerChaos` kills or wedges workers mid-shard, and a watchdog
+with per-shard deadlines reaps the casualties and reassigns their
+remaining work to fresh workers.
+
+**Determinism is the whole design.**  A chaos decision is drawn from
+:func:`repro.net.rng.stream` keyed by ``(seed, "worker-chaos", msm_id,
+window, attempt)`` — keyed by the *measurement window*, not the worker
+or shard, so the same windows die under every worker count; keyed by the
+*respawn attempt*, so a respawned worker re-rolls instead of dying at
+the same spot forever.  Combined with the transport's scoped fault
+schedules, a supervised collection that eventually completes every
+window produces a dataset byte-identical to an unsupervised run.
+
+Windows that keep dying past ``max_attempts`` are *quarantined*, not
+fatal: collection completes in **degraded mode**, the checkpoint never
+advances past a quarantined window (a later resume re-attempts it), and
+the gap is surfaced through :class:`SupervisionReport` /
+:func:`repro.core.completeness.health_report` instead of an exception.
+A store-backed collection refuses to commit a degraded window — a
+partial dataset must never become a fingerprint's cached truth.
+"""
+
+from __future__ import annotations
+
+import logging
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TransportError, WorkerCrashError, WorkerHungError
+from repro.net.rng import stream
+from repro.core.campaign import MeasurementRecord, plan_shards, resolve_workers
+
+_log = logging.getLogger("repro.supervisor")
+
+#: Simulated seconds a shard may spend on one window before the watchdog
+#: reaps its worker.  Sized between a slow-but-live fetch (retry backoff
+#: rarely accumulates more than ~2 minutes per window) and the injected
+#: hang durations (10+ minutes), so hangs are reaped and mere slowness
+#: is not.
+DEFAULT_DEADLINE_S = 300.0
+
+#: Attempts (1 initial + respawns) a window gets before quarantine.
+DEFAULT_MAX_ATTEMPTS = 4
+
+
+class WorkerChaos:
+    """Seeded per-window worker-fault decisions (crash / hang / none)."""
+
+    def __init__(self, seed: int, profile):
+        from repro.atlas.faults import get_worker_profile
+
+        self.seed = int(seed)
+        self.profile = get_worker_profile(profile)
+
+    def decide(
+        self, msm_id: int, fetch_from: int, stop: int, attempt: int
+    ) -> Optional[str]:
+        """The fault (if any) hitting this window's ``attempt``-th try."""
+        profile = self.profile
+        if profile.is_noop:
+            return None
+        rng = stream(
+            self.seed, "worker-chaos", msm_id, fetch_from, stop, attempt
+        )
+        draw = float(rng.random())
+        if draw < profile.crash:
+            return "crash"
+        if draw < profile.crash + profile.hang:
+            return "hang"
+        return None
+
+
+@dataclass
+class SupervisionReport:
+    """What a supervised collection survived (and what it gave up on)."""
+
+    profile: str
+    workers: int
+    deadline_s: float
+    max_attempts: int
+    windows: int = 0
+    collected: int = 0
+    crashes: int = 0
+    hangs: int = 0
+    hangs_recovered: int = 0
+    respawns: int = 0
+    #: ``(msm_id, target_key)`` of windows abandoned past ``max_attempts``.
+    quarantined: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.quarantined)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "profile": self.profile,
+            "workers": self.workers,
+            "deadline_s": self.deadline_s,
+            "max_attempts": self.max_attempts,
+            "windows": self.windows,
+            "collected": self.collected,
+            "crashes": self.crashes,
+            "hangs": self.hangs,
+            "hangs_recovered": self.hangs_recovered,
+            "respawns": self.respawns,
+            "degraded": self.degraded,
+            "quarantined": [
+                {"msm_id": msm_id, "target": target}
+                for msm_id, target in self.quarantined
+            ],
+        }
+
+
+@dataclass
+class _ShardDeath:
+    """One worker casualty: where it died, why, and what it orphaned."""
+
+    entry: Tuple[int, int, int, int]
+    kind: str  # "crash" | "hung" | "transport"
+    detail: str
+    #: The shard's untouched entries past the fatal one — requeued
+    #: as-is (their attempt counts are the fatal window's fault, not
+    #: theirs).
+    remaining: List[Tuple[int, int, int, int]] = field(default_factory=list)
+
+
+class Supervisor:
+    """Watchdog-supervised collection over crash/hang-prone workers.
+
+    Round-based: the pending windows are sharded across workers
+    (:func:`~repro.core.campaign.plan_shards`, thread executor — the
+    chaos is simulated, so true parallelism is beside the point); each
+    worker walks its shard on a fresh
+    :meth:`~repro.atlas.api.transport.Transport.worker_clone` until it
+    finishes or dies.  A death keeps the shard's completed records,
+    re-queues the fatal window with its attempt count bumped (quarantined
+    past ``max_attempts``) and the untouched remainder as-is, and the
+    next round respawns workers over whatever is left.  Records merge
+    into the dataset only after the queue drains, in canonical fleet
+    order — the same merge discipline as
+    :class:`~repro.core.campaign.ParallelCollector`, which is what keeps
+    the dataset (and any store stream) byte-identical to an
+    unsupervised run.
+    """
+
+    def __init__(
+        self,
+        campaign,
+        workers=None,
+        worker_faults="crashy",
+        deadline_s: float = DEFAULT_DEADLINE_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ):
+        self.campaign = campaign
+        self.workers = resolve_workers(workers)
+        self.chaos = WorkerChaos(campaign.platform.seed, worker_faults)
+        self.deadline_s = float(deadline_s)
+        self.max_attempts = int(max_attempts)
+
+    def collect_into(
+        self, dataset, start=None, stop=None, checkpoint=None
+    ) -> SupervisionReport:
+        campaign = self.campaign
+        window_start = campaign.start_time if start is None else int(start)
+        window_stop = campaign.stop_time if stop is None else int(stop)
+        pending = campaign._pending(window_start, window_stop, checkpoint)
+        report = SupervisionReport(
+            profile=self.chaos.profile.name,
+            workers=self.workers,
+            deadline_s=self.deadline_s,
+            max_attempts=self.max_attempts,
+            windows=len(pending),
+        )
+        obs = campaign.obs
+        # Queue entries are (fleet_index, msm_id, fetch_from, attempt).
+        queue = [(index, msm_id, fetch_from, 0) for index, msm_id, fetch_from in pending]
+        done: List[MeasurementRecord] = []
+        with obs.span(
+            "campaign.supervise",
+            workers=self.workers,
+            profile=self.chaos.profile.name,
+            measurements=len(pending),
+        ):
+            while queue:
+                queue.sort(key=lambda entry: entry[0])
+                shards = [
+                    [queue[i] for i in shard]
+                    for shard in plan_shards(len(queue), self.workers)
+                ]
+                queue = []
+                outcomes = self._run_round(shards, window_stop)
+                for records, death, recovered, transport_stats, obs_export in outcomes:
+                    done.extend(records)
+                    report.hangs_recovered += recovered
+                    campaign._worker_transport_stats.append(transport_stats)
+                    obs.merge(obs_export)
+                    if death is None:
+                        continue
+                    self._account_death(death, report, obs)
+                    queue.extend(death.remaining)
+                    index, msm_id, fetch_from, attempt = death.entry
+                    if attempt + 1 >= self.max_attempts:
+                        target = campaign.platform.fleet[index].key
+                        report.quarantined.append((msm_id, target))
+                        obs.inc("supervisor_quarantined_total")
+                        _log.warning(
+                            "window quarantined after %d attempts: "
+                            "measurement %d (%s)",
+                            attempt + 1, msm_id, target,
+                        )
+                    else:
+                        queue.append((index, msm_id, fetch_from, attempt + 1))
+                if queue:
+                    report.respawns += 1
+                    obs.inc("supervisor_respawns_total")
+            done.sort(key=lambda record: record.index)
+            for record in done:
+                campaign._merge_record(dataset, record, checkpoint, window_stop)
+            report.collected = len(done)
+        campaign.supervision = report
+        if report.degraded:
+            obs.event(
+                "supervisor.degraded",
+                quarantined=len(report.quarantined),
+                collected=report.collected,
+            )
+        return report
+
+    def _account_death(self, death: _ShardDeath, report, obs) -> None:
+        if death.kind == "crash":
+            report.crashes += 1
+            obs.inc("supervisor_crashes_total")
+        elif death.kind == "hung":
+            report.hangs += 1
+            obs.inc("supervisor_hangs_total")
+        else:
+            report.crashes += 1
+            obs.inc("supervisor_crashes_total", kind="transport")
+        _log.warning("worker died (%s): %s", death.kind, death.detail)
+
+    def _run_round(self, shards, window_stop):
+        """Run one round's shards; a single shard skips the pool."""
+        if len(shards) == 1:
+            return [self._supervised_shard(shards[0], window_stop, 0)]
+        with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+            futures = [
+                pool.submit(self._supervised_shard, shard, window_stop, number)
+                for number, shard in enumerate(shards)
+            ]
+            return [future.result() for future in futures]
+
+    def _supervised_shard(
+        self,
+        entries: Sequence[Tuple[int, int, int, int]],
+        window_stop: int,
+        shard_index: int,
+    ):
+        """One worker's life: walk the shard until it finishes or dies.
+
+        Returns ``(records, death, recovered_hangs, transport_stats,
+        obs_export)``; ``death`` is ``None`` for a natural death of old
+        age.  Chaos strikes *before* a window's fetch, so a respawned
+        attempt replays the identical scoped transport schedule and
+        yields the identical record bytes.
+        """
+        campaign = self.campaign
+        transport = campaign.transport.worker_clone()
+        records: List[MeasurementRecord] = []
+        death: Optional[_ShardDeath] = None
+        recovered = 0
+        with transport.obs.span(
+            "supervisor.shard", shard=shard_index, measurements=len(entries)
+        ):
+            for position, entry in enumerate(entries):
+                index, msm_id, fetch_from, attempt = entry
+                rest = list(entries[position + 1 :])
+                vm = campaign.platform.fleet[index]
+                fate = self.chaos.decide(msm_id, fetch_from, window_stop, attempt)
+                if fate == "crash":
+                    death = _ShardDeath(
+                        entry,
+                        "crash",
+                        str(WorkerCrashError(shard_index, msm_id)),
+                        remaining=rest,
+                    )
+                    break
+                if fate == "hang":
+                    hang_s = self.chaos.profile.hang_duration_s
+                    transport.clock.sleep(hang_s)
+                    if hang_s >= self.deadline_s:
+                        death = _ShardDeath(
+                            entry,
+                            "hung",
+                            str(
+                                WorkerHungError(
+                                    shard_index, msm_id, hang_s, self.deadline_s
+                                )
+                            ),
+                            remaining=rest,
+                        )
+                        break
+                    # Slow but under deadline: the watchdog lets it live.
+                try:
+                    record = campaign._fetch_measurement(
+                        transport, index, msm_id, vm, fetch_from, window_stop
+                    )
+                except TransportError as exc:
+                    death = _ShardDeath(entry, "transport", str(exc), remaining=rest)
+                    break
+                records.append(record)
+                if fate == "hang":
+                    # Survived its own hang: account the recovery.
+                    recovered += 1
+                    transport.obs.inc("supervisor_hangs_recovered_total")
+        return records, death, recovered, transport.stats(), transport.obs.export()

@@ -201,6 +201,29 @@ class CollectionInterruptedError(CampaignError):
         self.msm_id = msm_id
 
 
+class WorkerCrashError(CampaignError):
+    """A supervised collection worker died mid-shard (injected or real)."""
+
+    def __init__(self, shard: int, msm_id: int):
+        super().__init__(f"worker for shard {shard} crashed at measurement {msm_id}")
+        self.shard = shard
+        self.msm_id = msm_id
+
+
+class WorkerHungError(CampaignError):
+    """A supervised worker exceeded its watchdog deadline and was reaped."""
+
+    def __init__(self, shard: int, msm_id: int, elapsed_s: float, deadline_s: float):
+        super().__init__(
+            f"worker for shard {shard} hung at measurement {msm_id} "
+            f"({elapsed_s:.0f}s simulated, deadline {deadline_s:.0f}s)"
+        )
+        self.shard = shard
+        self.msm_id = msm_id
+        self.elapsed_s = elapsed_s
+        self.deadline_s = deadline_s
+
+
 class StoreError(ReproError):
     """Persistent campaign store misuse or unsupported layout.
 
@@ -218,6 +241,34 @@ class StoreIntegrityError(StoreError):
     contract is that damaged data is *reported*, never silently
     analyzed.
     """
+
+
+class StoreRepairError(StoreError):
+    """A damaged store cannot be (or failed to be) surgically repaired.
+
+    Raised when the manifest itself is damaged, the store carries no
+    provenance or window index to re-synthesize from, or a re-synthesized
+    chunk does not hash back to the manifest's recorded checksum.
+    """
+
+
+class SimulatedCrashError(ReproError):
+    """The filesystem fault injector killed the simulated process.
+
+    Raised by :mod:`repro.store.fsim` at an injected crash point, after
+    applying its power-loss model (unsynced data dropped, un-dirsynced
+    renames rolled back).  Code under test must treat it like a real
+    crash: no cleanup handlers get to run against the modeled disk.
+    """
+
+    def __init__(self, op: str, point: str, step: int, kind: str):
+        super().__init__(
+            f"simulated crash [{kind}] at step {step}: {op} ({point})"
+        )
+        self.op = op
+        self.point = point
+        self.step = step
+        self.kind = kind
 
 
 class CrawlerError(ReproError):

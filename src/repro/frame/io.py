@@ -137,19 +137,29 @@ def from_csv_text(text: str) -> Frame:
     return Frame(columns)
 
 
-def write_csv(frame: Frame, path: PathLike, dtypes: bool = False) -> None:
-    """Atomically write ``frame`` as CSV (temp file + rename)."""
-    _atomic_write_text(Path(path), to_csv_text(frame, dtypes=dtypes))
+def write_csv(
+    frame: Frame, path: PathLike, dtypes: bool = False, fs=None
+) -> None:
+    """Durably write ``frame`` as CSV (temp file + fsync + rename)."""
+    _atomic_write_text(Path(path), to_csv_text(frame, dtypes=dtypes), fs=fs)
 
 
 def read_csv(path: PathLike) -> Frame:
     return from_csv_text(Path(path).read_text(encoding="utf-8"))
 
 
-def _atomic_write_text(path: Path, text: str) -> None:
+def _atomic_write_text(path: Path, text: str, fs=None) -> None:
+    # Atomic *and* durable: fsync the temp file before the rename and
+    # the parent directory after it — os.replace alone leaves the new
+    # directory entry in cache, where a power cut rolls it back.
+    from repro.store.fsim import ensure_fs
+
+    fs = ensure_fs(fs)
     tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
-    tmp.write_text(text, encoding="utf-8")
-    os.replace(tmp, path)
+    fs.write_bytes(tmp, text.encode("utf-8"), point=path.name)
+    fs.fsync_path(tmp, point=path.name)
+    fs.replace(tmp, path, point=path.name)
+    fs.fsync_dir(path.parent, point=path.name)
 
 
 def to_json_text(frame: Frame, indent: int = None) -> str:

@@ -16,7 +16,13 @@ Entry points::
     dataset.save(path)                       # persist a frozen dataset
     CampaignDataset.open(path)               # zero-copy reload
     campaign.collect(store="stores/")        # collect-once / analyze-many
-    repro store {write,info,verify,gc}       # CLI maintenance
+    repro store {write,info,verify,scrub,repair,gc}   # CLI maintenance
+
+Durability is part of the contract: every write point is decomposed
+through the :mod:`repro.store.fsim` seam (so crash consistency is
+*tested*, at every fault point, not assumed), commits fsync file and
+directory, and a damaged store is surgically repairable
+(:mod:`repro.store.scrub`) from its provenance record.
 """
 
 from repro.store.catalog import (
@@ -33,24 +39,56 @@ from repro.store.format import (
     Manifest,
     is_store_dir,
 )
+from repro.store.fsim import (
+    FSIM_PROFILES,
+    CountingFS,
+    CrashPoint,
+    FaultyFS,
+    FsFaultProfile,
+    RealFS,
+    crash_points,
+    get_fs_profile,
+)
 from repro.store.reader import StoreReader, open_dataset
+from repro.store.scrub import (
+    Damage,
+    RepairReport,
+    ScrubReport,
+    repair,
+    scrub,
+    scrub_catalog,
+)
 from repro.store.writer import StoreWriter, compact, gc_store, write_dataset
 
 __all__ = [
     "CampaignCatalog",
+    "CountingFS",
+    "CrashPoint",
     "DEFAULT_ROWS_PER_SHARD",
+    "Damage",
     "FORMAT_VERSION",
+    "FSIM_PROFILES",
+    "FaultyFS",
+    "FsFaultProfile",
     "MANIFEST_NAME",
     "Manifest",
+    "RealFS",
+    "RepairReport",
     "SAMPLE_COLUMNS",
     "SAMPLE_SCHEMA",
+    "ScrubReport",
     "StoreReader",
     "StoreWriter",
     "campaign_fingerprint",
     "campaign_provenance",
     "compact",
+    "crash_points",
     "gc_store",
+    "get_fs_profile",
     "is_store_dir",
     "open_dataset",
+    "repair",
+    "scrub",
+    "scrub_catalog",
     "write_dataset",
 ]

@@ -75,10 +75,14 @@ class CampaignCatalog:
         root,
         rows_per_shard: int = DEFAULT_ROWS_PER_SHARD,
         verify: str = "full",
+        fs=None,
     ):
         self.root = Path(root)
         self.rows_per_shard = int(rows_per_shard)
         self.verify = verify
+        #: Filesystem seam (:mod:`repro.store.fsim`) its writers and gc
+        #: sweeps run through; ``None`` → real disk.
+        self.fs = fs
 
     @classmethod
     def ensure(cls, catalog) -> "CampaignCatalog":
@@ -121,6 +125,8 @@ class CampaignCatalog:
             provenance=provenance,
             rows_per_shard=self.rows_per_shard,
             obs=ensure_obs(obs),
+            fs=self.fs,
+            durable=True,
         )
 
     # -- maintenance -----------------------------------------------------------
@@ -174,6 +180,6 @@ class CampaignCatalog:
                     removed.append(child.name)
                     continue
             removed.extend(
-                f"{child.name}/{name}" for name in gc_store(child)
+                f"{child.name}/{name}" for name in gc_store(child, fs=self.fs)
             )
         return removed

@@ -60,12 +60,36 @@ SAMPLE_SCHEMA: Tuple[Tuple[str, str], ...] = (
 SAMPLE_COLUMNS: Tuple[str, ...] = tuple(name for name, _ in SAMPLE_SCHEMA)
 
 
-def atomic_write_bytes(path: Path, data: bytes) -> None:
-    """Write ``data`` to ``path`` via a private temp file + rename."""
+def atomic_write_bytes(
+    path: Path,
+    data: bytes,
+    fs=None,
+    point: Optional[str] = None,
+    fsync: bool = False,
+) -> None:
+    """Write ``data`` to ``path`` via a private temp file + rename.
+
+    ``fsync=True`` makes the write *durable*, not just atomic: the temp
+    file's data is flushed before the rename and the parent directory is
+    flushed after it, so the committed entry survives power loss.  Plain
+    atomicity (the default) is enough for chunk files, whose durability
+    the writer settles in bulk at finalize time.
+
+    ``fs`` is the :mod:`repro.store.fsim` seam (``None`` → real disk);
+    ``point`` labels this write's operations for fault targeting.
+    """
+    from repro.store.fsim import ensure_fs
+
+    fs = ensure_fs(fs)
     path = Path(path)
+    label = point if point is not None else path.name
     tmp = path.with_name(f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
-    tmp.write_bytes(data)
-    os.replace(tmp, path)
+    fs.write_bytes(tmp, data, point=label)
+    if fsync:
+        fs.fsync_path(tmp, point=label)
+    fs.replace(tmp, path, point=label)
+    if fsync:
+        fs.fsync_dir(path.parent, point=label)
 
 
 def sha256_hex(data: bytes) -> str:
@@ -150,6 +174,13 @@ class Manifest:
     rows_per_shard: int = DEFAULT_ROWS_PER_SHARD
     provenance: Optional[Dict[str, object]] = None
     shards: List[ShardMeta] = field(default_factory=list)
+    #: Run-length encoding of the ``target_index`` column over the full
+    #: row stream: ``((target_index, rows), ...)``.  A pure function of
+    #: the rows, maintained by the writer; it maps any damaged shard's
+    #: row range back to whole measurement windows, which is what lets
+    #: ``repair`` re-synthesize only the affected windows.  Optional so
+    #: hand-built or pre-windows manifests stay valid.
+    windows: Optional[Tuple[Tuple[int, int], ...]] = None
 
     @property
     def columns(self) -> Tuple[str, ...]:
@@ -185,6 +216,8 @@ class Manifest:
             "provenance": self.provenance,
             "shards": [shard.as_dict() for shard in self.shards],
         }
+        if self.windows is not None:
+            payload["windows"] = [[target, rows] for target, rows in self.windows]
         return json.dumps(payload, indent=1, sort_keys=True) + "\n"
 
     @classmethod
@@ -215,6 +248,14 @@ class Manifest:
                 ),
                 provenance=payload.get("provenance"),
                 shards=[ShardMeta.from_dict(s) for s in payload["shards"]],
+                windows=(
+                    tuple(
+                        (int(target), int(rows))
+                        for target, rows in payload["windows"]
+                    )
+                    if payload.get("windows") is not None
+                    else None
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise StoreIntegrityError(
@@ -223,10 +264,19 @@ class Manifest:
 
     # -- disk ------------------------------------------------------------------
 
-    def save(self, store_dir: Path) -> None:
-        """Atomically write the manifest — the store's commit point."""
+    def save(self, store_dir: Path, fs=None) -> None:
+        """Durably write the manifest — the store's commit point.
+
+        Always fsyncs (file and parent directory): a store whose chunks
+        survived a power cut but whose manifest rename did not would
+        read as "not a store", silently discarding a committed write.
+        """
         atomic_write_bytes(
-            Path(store_dir) / MANIFEST_NAME, self.to_json().encode("utf-8")
+            Path(store_dir) / MANIFEST_NAME,
+            self.to_json().encode("utf-8"),
+            fs=fs,
+            point="manifest",
+            fsync=True,
         )
 
     @classmethod

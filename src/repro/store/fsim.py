@@ -1,0 +1,439 @@
+"""Deterministic filesystem fault injection for the store's write path.
+
+The durability counterpart of :mod:`repro.atlas.faults`: where that
+module re-introduces the failures of a live REST API, this one
+re-introduces the failures of a live disk.  Every atomic write in the
+store and checkpoint layer decomposes into *named operations* routed
+through a filesystem seam —
+
+    ``write``    the private temp file's payload
+    ``fsync``    flushing one file's data to the device
+    ``rename``   ``os.replace`` of temp over target
+    ``dirsync``  fsyncing the parent directory (persists the rename)
+    ``unlink``   removing a file (gc, compaction sweep)
+
+— and the seam can fail any of them: torn writes, short writes, ENOSPC,
+a crash before or after the rename, a silently lost fsync.
+
+**The power-loss model.**  :class:`FaultyFS` tracks which of the bytes
+it wrote ever reached the simulated device: data written through the
+seam sits "in the page cache" until its file is fsynced, and a rename
+sits "in the directory cache" until the parent directory is fsynced.
+When a crash fires (or :meth:`FaultyFS.power_loss` is called), unsynced
+files are dropped and un-dirsynced renames are rolled back to the prior
+directory entry — exactly the states a real power cut can leave behind,
+which is what makes the missing ``fsync(parent)`` after ``os.replace``
+an observable bug rather than a stylistic nit.  A ``torn_write`` is the
+one exception: it models a device-level partial flush, so its prefix
+*is* on disk.
+
+Two driving modes, mirroring the network-fault module:
+
+* **crash-point replay** — run the code once against a
+  :class:`CountingFS` to enumerate every operation site, expand the
+  sites with :func:`crash_points`, then replay with
+  ``FaultyFS.at(point)`` to crash at exactly one site per run.  This is
+  the exhaustive crash matrix CI runs.
+* **seeded profiles** — ``FaultyFS(seed=..., profile="gremlin")`` draws
+  per-operation faults from :func:`repro.net.rng.stream` keyed by
+  ``(seed, "fsim", op, point, counter)``, so a soak run replays its
+  fault schedule byte for byte, like a chaos transport does.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError, SimulatedCrashError
+from repro.net.rng import stream
+
+#: Operation names the seam intercepts, in the order an atomic write
+#: performs them.
+FS_OPS = ("write", "fsync", "rename", "dirsync", "unlink")
+
+
+class RealFS:
+    """The pass-through seam: real filesystem operations, durably.
+
+    ``point`` labels are accepted (and ignored) on every method so call
+    sites read identically against the real and the faulty seam.
+    """
+
+    name = "real"
+
+    def write_bytes(self, path, data: bytes, point: str = "") -> None:
+        Path(path).write_bytes(data)
+
+    def fsync_path(self, path, point: str = "") -> None:
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def replace(self, src, dst, point: str = "") -> None:
+        os.replace(src, dst)
+
+    def fsync_dir(self, path, point: str = "") -> None:
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return  # platforms without directory fds: best effort
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass  # some filesystems refuse directory fsync; rename still landed
+        finally:
+            os.close(fd)
+
+    def unlink(self, path, point: str = "") -> None:
+        os.unlink(path)
+
+
+REAL_FS = RealFS()
+
+
+def ensure_fs(fs) -> RealFS:
+    """Normalize an optional seam argument (``None`` → the real seam)."""
+    return fs if fs is not None else REAL_FS
+
+
+@dataclass(frozen=True)
+class FsSite:
+    """One intercepted operation site from a counting run."""
+
+    step: int
+    op: str
+    point: str
+
+
+class CountingFS(RealFS):
+    """A recording seam: performs every operation, remembers the sites.
+
+    Run the code under test once against this to learn its ordered
+    operation sequence, then expand with :func:`crash_points` and replay
+    each with :meth:`FaultyFS.at`.
+    """
+
+    name = "counting"
+
+    def __init__(self):
+        self.sites: List[FsSite] = []
+
+    def _note(self, op: str, point: str) -> None:
+        self.sites.append(FsSite(step=len(self.sites), op=op, point=point))
+
+    def write_bytes(self, path, data, point=""):
+        self._note("write", point)
+        super().write_bytes(path, data, point)
+
+    def fsync_path(self, path, point=""):
+        self._note("fsync", point)
+        super().fsync_path(path, point)
+
+    def replace(self, src, dst, point=""):
+        self._note("rename", point)
+        super().replace(src, dst, point)
+
+    def fsync_dir(self, path, point=""):
+        self._note("dirsync", point)
+        super().fsync_dir(path, point)
+
+    def unlink(self, path, point=""):
+        self._note("unlink", point)
+        super().unlink(path, point)
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One (site, kind) cell of the crash matrix."""
+
+    step: int
+    op: str
+    point: str
+    kind: str
+
+
+#: Crash kinds applicable at each operation.  ``torn_write`` leaves a
+#: durable prefix; every ``crash_before_*`` kind crashes with the
+#: operation undone; ``crash_after_*`` performs it first.  (Error-path
+#: kinds — ``short_write``, ``enospc``, ``lost_fsync`` — are not crash
+#: kinds; they are injected via profiles or targeted tests.)
+CRASH_KINDS_BY_OP: Dict[str, Tuple[str, ...]] = {
+    "write": ("crash_before_write", "torn_write"),
+    "fsync": ("crash_before_fsync",),
+    "rename": ("crash_before_rename", "crash_after_rename"),
+    "dirsync": ("crash_before_dirsync", "crash_after_dirsync"),
+    "unlink": ("crash_before_unlink", "crash_after_unlink"),
+}
+
+
+def crash_points(sites: List[FsSite]) -> List[CrashPoint]:
+    """Expand a counting run's sites into every crash-matrix cell."""
+    return [
+        CrashPoint(step=site.step, op=site.op, point=site.point, kind=kind)
+        for site in sites
+        for kind in CRASH_KINDS_BY_OP[site.op]
+    ]
+
+
+@dataclass(frozen=True)
+class FsFaultProfile:
+    """Per-operation fault probabilities for one disk-chaos level.
+
+    ``torn_write`` / ``short_write`` / ``enospc`` apply to ``write``
+    operations, ``lost_fsync`` to ``fsync`` and ``dirsync``, and the
+    rename-crash pair to ``rename``.  All draws are per intercepted
+    operation, keyed by the operation's point label and counter.
+    """
+
+    name: str = "none"
+    torn_write: float = 0.0
+    short_write: float = 0.0
+    enospc: float = 0.0
+    lost_fsync: float = 0.0
+    crash_before_rename: float = 0.0
+    crash_after_rename: float = 0.0
+
+    @property
+    def is_noop(self) -> bool:
+        return (
+            self.torn_write == self.short_write == self.enospc
+            == self.lost_fsync == self.crash_before_rename
+            == self.crash_after_rename == 0.0
+        )
+
+
+#: Named disk-chaos levels, analogous to ``atlas.faults.PROFILES``.
+#: ``full-disk`` injects only error-path faults (the caller survives to
+#: handle them); ``power-loss`` injects only crash/durability faults;
+#: ``gremlin`` injects everything.
+FSIM_PROFILES: Dict[str, FsFaultProfile] = {
+    "none": FsFaultProfile(name="none"),
+    "full-disk": FsFaultProfile(name="full-disk", short_write=0.03, enospc=0.08),
+    "power-loss": FsFaultProfile(
+        name="power-loss",
+        torn_write=0.02,
+        lost_fsync=0.10,
+        crash_before_rename=0.02,
+        crash_after_rename=0.02,
+    ),
+    "gremlin": FsFaultProfile(
+        name="gremlin",
+        torn_write=0.02,
+        short_write=0.02,
+        enospc=0.03,
+        lost_fsync=0.08,
+        crash_before_rename=0.01,
+        crash_after_rename=0.01,
+    ),
+}
+
+
+def get_fs_profile(profile) -> FsFaultProfile:
+    """Resolve a profile name (or pass an :class:`FsFaultProfile` through)."""
+    if isinstance(profile, FsFaultProfile):
+        return profile
+    try:
+        return FSIM_PROFILES[profile]
+    except KeyError:
+        raise ReproError(
+            f"unknown fsim profile {profile!r}; choose from {sorted(FSIM_PROFILES)}"
+        ) from None
+
+
+#: Sentinel for "the prior directory entry did not exist" in the
+#: pending-rename rollback map.
+_ABSENT = object()
+
+
+class FaultyFS(RealFS):
+    """The fault-injecting seam (see module docstring for the model).
+
+    Construct either with a seeded profile for soak runs, or via
+    :meth:`at` with one :class:`CrashPoint` for matrix replay.  The
+    instance is single-use once it has crashed.
+    """
+
+    name = "faulty"
+
+    def __init__(self, seed: int = 0, profile="none", crash_point: CrashPoint = None):
+        self.seed = int(seed)
+        self.profile = get_fs_profile(profile)
+        self.crash_point = crash_point
+        self.counts: Counter = Counter()
+        self.crashed = False
+        self._step = 0
+        self._draws = Counter()  # per-(op, point) draw counters
+        #: Files whose seam-written data was never fsynced ("page cache").
+        self._unsynced: Dict[str, bool] = {}
+        #: Renames whose directory entry was never dirsynced: target path
+        #: → prior content bytes (or _ABSENT).
+        self._pending: Dict[str, object] = {}
+
+    @classmethod
+    def at(cls, crash_point: CrashPoint) -> "FaultyFS":
+        """A seam that crashes at exactly one enumerated site."""
+        return cls(crash_point=crash_point)
+
+    # -- decisions -----------------------------------------------------------
+
+    def _decide(self, op: str, point: str) -> Optional[str]:
+        step = self._step
+        self._step += 1
+        if self.crash_point is not None:
+            if step == self.crash_point.step:
+                if op != self.crash_point.op:
+                    raise ReproError(
+                        f"crash-point replay diverged: step {step} is {op} "
+                        f"({point}), expected {self.crash_point.op} "
+                        f"({self.crash_point.point})"
+                    )
+                return self.crash_point.kind
+            return None
+        if self.profile.is_noop:
+            return None
+        draw_index = self._draws[(op, point)]
+        self._draws[(op, point)] += 1
+        rng = stream(self.seed, "fsim", op, point, draw_index)
+        draw = float(rng.random())
+        profile = self.profile
+        if op == "write":
+            edge = profile.torn_write
+            if draw < edge:
+                return "torn_write"
+            edge += profile.short_write
+            if draw < edge:
+                return "short_write"
+            edge += profile.enospc
+            if draw < edge:
+                return "enospc"
+        elif op in ("fsync", "dirsync"):
+            if draw < profile.lost_fsync:
+                return "lost_fsync"
+        elif op == "rename":
+            edge = profile.crash_before_rename
+            if draw < edge:
+                return "crash_before_rename"
+            edge += profile.crash_after_rename
+            if draw < edge:
+                return "crash_after_rename"
+        return None
+
+    # -- the power-loss model ------------------------------------------------
+
+    def power_loss(self) -> None:
+        """Apply the model without raising: what a power cut leaves behind.
+
+        Un-dirsynced renames roll back to the prior directory entry;
+        files with unsynced data are dropped.  Idempotent.
+        """
+        for target, prior in self._pending.items():
+            path = Path(target)
+            if prior is _ABSENT:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            else:
+                path.write_bytes(prior)
+            self._unsynced.pop(target, None)
+        self._pending.clear()
+        for target in list(self._unsynced):
+            try:
+                Path(target).unlink()
+            except OSError:
+                pass
+        self._unsynced.clear()
+
+    def _crash(self, op: str, point: str, kind: str) -> None:
+        self.counts[kind] += 1
+        self.power_loss()
+        self.crashed = True
+        raise SimulatedCrashError(op=op, point=point, step=self._step - 1, kind=kind)
+
+    # -- intercepted operations ----------------------------------------------
+
+    def write_bytes(self, path, data, point=""):
+        kind = self._decide("write", point)
+        path = Path(path)
+        if kind == "crash_before_write":
+            self._crash("write", point, kind)
+        if kind == "torn_write":
+            # A device-level partial flush: the prefix IS durable.
+            path.write_bytes(data[: max(1, len(data) // 2)] if data else b"")
+            self._unsynced.pop(str(path), None)
+            self._crash("write", point, kind)
+        if kind == "short_write":
+            self.counts[kind] += 1
+            path.write_bytes(data[: len(data) // 2])
+            self._unsynced[str(path)] = True
+            raise OSError(errno.EIO, f"short write injected at {point}")
+        if kind == "enospc":
+            self.counts[kind] += 1
+            raise OSError(errno.ENOSPC, "No space left on device")
+        path.write_bytes(data)
+        self._unsynced[str(path)] = True
+
+    def fsync_path(self, path, point=""):
+        kind = self._decide("fsync", point)
+        if kind == "crash_before_fsync":
+            self._crash("fsync", point, kind)
+        if kind == "lost_fsync":
+            self.counts[kind] += 1
+            return  # silently dropped: the data stays in the page cache
+        super().fsync_path(path, point)
+        self._unsynced.pop(str(Path(path)), None)
+
+    def replace(self, src, dst, point=""):
+        kind = self._decide("rename", point)
+        if kind == "crash_before_rename":
+            self._crash("rename", point, kind)
+        src, dst = Path(src), Path(dst)
+        prior = dst.read_bytes() if dst.exists() else _ABSENT
+        os.replace(src, dst)
+        # Data durability travels with the inode; name durability waits
+        # for the parent dirsync.
+        if self._unsynced.pop(str(src), None):
+            self._unsynced[str(dst)] = True
+        self._pending[str(dst)] = prior
+        if kind == "crash_after_rename":
+            self._crash("rename", point, kind)
+
+    def fsync_dir(self, path, point=""):
+        kind = self._decide("dirsync", point)
+        if kind == "crash_before_dirsync":
+            self._crash("dirsync", point, kind)
+        if kind == "lost_fsync":
+            self.counts[kind] += 1
+            return  # renames under this directory stay rollback-able
+        super().fsync_dir(path, point)
+        parent = str(Path(path))
+        for target in [
+            t for t in self._pending if str(Path(t).parent) == parent
+        ]:
+            del self._pending[target]
+        if kind == "crash_after_dirsync":
+            self._crash("dirsync", point, kind)
+
+    def unlink(self, path, point=""):
+        kind = self._decide("unlink", point)
+        if kind == "crash_before_unlink":
+            self._crash("unlink", point, kind)
+        super().unlink(path, point)
+        target = str(Path(path))
+        self._unsynced.pop(target, None)
+        self._pending.pop(target, None)
+        if kind == "crash_after_unlink":
+            self._crash("unlink", point, kind)
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Injected-fault counts by kind (stable key order)."""
+        return {kind: self.counts[kind] for kind in sorted(self.counts)}

@@ -1,0 +1,486 @@
+"""Store scrubbing and surgical repair.
+
+``scrub`` is the read side: walk a store's manifest and every chunk it
+references, classify *all* damage (a verifying reader stops at the first
+problem; a scrub keeps going and returns the complete casualty list),
+and notice debris a crash left behind — orphaned temp files, chunks from
+a swept generation.
+
+``repair`` is the write side, and the reason the store records
+provenance and a window index at all.  The manifest's provenance names
+the exact campaign whose collection produced the store, and its
+``windows`` run-length encoding maps any damaged shard's row range back
+to whole measurement windows.  Because a window fetch is a pure function
+of ``(seed, fault profile, measurement, window)``, repair re-synthesizes
+*only the affected windows* through the normal collection path, rebuilds
+the damaged chunks, and proves the result byte-identical by hashing
+against the manifest's recorded SHA-256s — no full re-collection, no
+trust in the damaged bytes.  Damaged originals are moved to a
+``quarantine/`` subdirectory, never destroyed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import StoreError, StoreRepairError
+from repro.obs import ensure_obs
+from repro.store.format import (
+    MANIFEST_NAME,
+    Manifest,
+    atomic_write_bytes,
+    sha256_file,
+    sha256_hex,
+)
+from repro.store.fsim import ensure_fs
+
+#: Damaged originals are moved here (inside the store), never deleted.
+QUARANTINE_DIR = "quarantine"
+
+#: Damage kinds that break the store's integrity contract.  The
+#: remaining kinds (orphan debris) are cosmetic: the store still reads.
+INTEGRITY_KINDS = (
+    "manifest_missing",
+    "manifest_unreadable",
+    "missing_chunk",
+    "truncated_chunk",
+    "checksum_mismatch",
+)
+
+
+@dataclass(frozen=True)
+class Damage:
+    """One classified problem found by a scrub."""
+
+    kind: str
+    file: str
+    shard: Optional[int] = None
+    column: Optional[str] = None
+    detail: str = ""
+    #: Whether ``repair`` can fix this kind surgically (chunk-level
+    #: damage: yes, given provenance + window index; manifest damage: no).
+    repairable: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "file": self.file,
+            "shard": self.shard,
+            "column": self.column,
+            "detail": self.detail,
+            "repairable": self.repairable,
+        }
+
+
+@dataclass
+class ScrubReport:
+    """Everything one scrub pass found."""
+
+    path: str
+    rows: int = 0
+    shards: int = 0
+    chunks_checked: int = 0
+    damage: List[Damage] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """No damage of any kind, debris included."""
+        return not self.damage
+
+    @property
+    def intact(self) -> bool:
+        """No *integrity* damage (orphan debris allowed)."""
+        return not any(d.kind in INTEGRITY_KINDS for d in self.damage)
+
+    @property
+    def damaged_shards(self) -> Tuple[int, ...]:
+        return tuple(
+            sorted({d.shard for d in self.damage if d.shard is not None})
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "rows": self.rows,
+            "shards": self.shards,
+            "chunks_checked": self.chunks_checked,
+            "ok": self.ok,
+            "intact": self.intact,
+            "damage": [d.as_dict() for d in self.damage],
+        }
+
+
+def scrub(path, obs=None) -> ScrubReport:
+    """Walk one store and classify every problem without stopping.
+
+    Unlike :meth:`~repro.store.reader.StoreReader.verify` this never
+    raises on damage — the point is the complete list.
+    """
+    obs = ensure_obs(obs)
+    path = Path(path)
+    report = ScrubReport(path=str(path))
+    with obs.span("store.scrub", path=str(path)):
+        manifest = _load_manifest(path, report)
+        if manifest is None:
+            _account(report, obs)
+            return report
+        report.rows = manifest.rows
+        report.shards = len(manifest.shards)
+        referenced = {MANIFEST_NAME}
+        for shard_index, shard in enumerate(manifest.shards):
+            for column, meta in shard.chunks.items():
+                referenced.add(meta.file)
+                report.chunks_checked += 1
+                chunk = path / meta.file
+                if not chunk.is_file():
+                    report.damage.append(
+                        Damage(
+                            kind="missing_chunk",
+                            file=meta.file,
+                            shard=shard_index,
+                            column=column,
+                            detail=f"expected {meta.bytes} bytes",
+                            repairable=True,
+                        )
+                    )
+                    continue
+                size = chunk.stat().st_size
+                if size != meta.bytes:
+                    report.damage.append(
+                        Damage(
+                            kind="truncated_chunk",
+                            file=meta.file,
+                            shard=shard_index,
+                            column=column,
+                            detail=f"{size} bytes on disk, manifest says "
+                            f"{meta.bytes}",
+                            repairable=True,
+                        )
+                    )
+                    continue
+                digest = sha256_file(chunk)
+                if digest != meta.sha256:
+                    report.damage.append(
+                        Damage(
+                            kind="checksum_mismatch",
+                            file=meta.file,
+                            shard=shard_index,
+                            column=column,
+                            detail=f"sha256 {digest[:12]}… != manifest "
+                            f"{meta.sha256[:12]}…",
+                            repairable=True,
+                        )
+                    )
+        for entry in sorted(path.iterdir()):
+            if entry.is_dir() or entry.name in referenced:
+                continue
+            kind = "orphan_tmp" if entry.name.endswith(".tmp") else "orphan_chunk"
+            report.damage.append(
+                Damage(
+                    kind=kind,
+                    file=entry.name,
+                    detail=f"{entry.stat().st_size} bytes unreferenced",
+                )
+            )
+        _account(report, obs)
+    return report
+
+
+def _load_manifest(path: Path, report: ScrubReport) -> Optional[Manifest]:
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        report.damage.append(
+            Damage(
+                kind="manifest_missing",
+                file=MANIFEST_NAME,
+                detail=f"{path} has no committed manifest",
+            )
+        )
+        return None
+    try:
+        return Manifest.from_json(manifest_path.read_text(encoding="utf-8"))
+    except StoreError as exc:
+        report.damage.append(
+            Damage(
+                kind="manifest_unreadable",
+                file=MANIFEST_NAME,
+                detail=str(exc),
+            )
+        )
+        return None
+
+
+def _account(report: ScrubReport, obs) -> None:
+    for damage in report.damage:
+        obs.inc("store_scrub_damage_total", kind=damage.kind)
+
+
+def scrub_catalog(root, obs=None) -> Tuple[List[ScrubReport], List[Damage]]:
+    """Scrub every entry of a catalog directory.
+
+    Returns per-store reports plus catalog-level damage: uncommitted
+    entries (an interrupted write's debris) and dangling entries whose
+    directory name does not match their provenance fingerprint.
+    """
+    from repro.store.catalog import _looks_like_fingerprint, campaign_fingerprint
+
+    root = Path(root)
+    reports: List[ScrubReport] = []
+    catalog_damage: List[Damage] = []
+    if not root.is_dir():
+        return reports, catalog_damage
+    for child in sorted(root.iterdir()):
+        if not child.is_dir():
+            if child.name.endswith(".tmp"):
+                catalog_damage.append(
+                    Damage(kind="orphan_tmp", file=child.name)
+                )
+            continue
+        if not (child / MANIFEST_NAME).is_file():
+            catalog_damage.append(
+                Damage(
+                    kind="uncommitted_entry",
+                    file=child.name,
+                    detail="no manifest: interrupted write (gc sweeps it)",
+                )
+            )
+            continue
+        report = scrub(child, obs=obs)
+        reports.append(report)
+        if _looks_like_fingerprint(child.name):
+            try:
+                manifest = Manifest.load(child)
+            except StoreError:
+                continue  # already reported by the scrub
+            if manifest.provenance:
+                expected = campaign_fingerprint(manifest.provenance)
+                if expected != child.name:
+                    catalog_damage.append(
+                        Damage(
+                            kind="dangling_entry",
+                            file=child.name,
+                            detail=f"provenance hashes to {expected[:12]}…",
+                        )
+                    )
+    return reports, catalog_damage
+
+
+@dataclass
+class RepairReport:
+    """What a repair pass did."""
+
+    path: str
+    quarantined: List[str] = field(default_factory=list)
+    repaired_chunks: List[str] = field(default_factory=list)
+    resynthesized_windows: int = 0
+    swept: List[str] = field(default_factory=list)
+    verified: bool = False
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "quarantined": list(self.quarantined),
+            "repaired_chunks": list(self.repaired_chunks),
+            "resynthesized_windows": self.resynthesized_windows,
+            "swept": list(self.swept),
+            "verified": self.verified,
+        }
+
+
+def repair(path, obs=None, fs=None) -> RepairReport:
+    """Surgically restore a damaged store to its manifest's exact bytes.
+
+    Scrubs, quarantines every damaged chunk, re-synthesizes only the
+    measurement windows overlapping the damaged shards through the
+    campaign the manifest's provenance describes, verifies each rebuilt
+    chunk against the manifest's SHA-256, and finishes with a full
+    reader verification.  Raises :class:`~repro.errors.StoreRepairError`
+    when the store cannot be repaired (manifest damage, no provenance or
+    window index, or a rebuilt chunk that does not hash back — which
+    means the manifest and provenance disagree).
+    """
+    obs = ensure_obs(obs)
+    fs = ensure_fs(fs)
+    path = Path(path)
+    report = scrub(path, obs=obs)
+    result = RepairReport(path=str(path))
+    with obs.span("store.repair", path=str(path)):
+        if not report.intact:
+            manifest_damage = [
+                d for d in report.damage if d.kind.startswith("manifest_")
+            ]
+            if manifest_damage:
+                raise StoreRepairError(
+                    f"cannot repair {path}: {manifest_damage[0].detail} — the "
+                    f"manifest is the source of truth for repair; re-collect "
+                    f"the campaign instead"
+                )
+            manifest = Manifest.load(path)
+            _repair_chunks(path, manifest, report, result, obs, fs)
+        # Debris sweep (also runs on intact-but-littered stores).
+        for damage in report.damage:
+            if damage.kind == "orphan_tmp":
+                fs.unlink(path / damage.file, point=f"scrub-sweep:{damage.file}")
+                result.swept.append(damage.file)
+        # The final word: a repaired store must read clean end to end.
+        from repro.store.reader import StoreReader
+
+        try:
+            StoreReader(path, verify="full", obs=obs)
+        except StoreError as exc:
+            raise StoreRepairError(
+                f"repair of {path} did not converge: {exc}"
+            ) from exc
+        result.verified = True
+        obs.event(
+            "store.repaired",
+            path=str(path),
+            chunks=len(result.repaired_chunks),
+            windows=result.resynthesized_windows,
+        )
+    return result
+
+
+def _repair_chunks(
+    path: Path,
+    manifest: Manifest,
+    report: ScrubReport,
+    result: RepairReport,
+    obs,
+    fs,
+) -> None:
+    """Rebuild every damaged chunk from re-synthesized windows."""
+    if not manifest.provenance:
+        raise StoreRepairError(
+            f"cannot repair {path}: store carries no provenance record"
+        )
+    if manifest.windows is None:
+        raise StoreRepairError(
+            f"cannot repair {path}: store predates the window index "
+            f"(re-write it with this build to enable surgical repair)"
+        )
+    damaged = [d for d in report.damage if d.repairable]
+    shard_ranges = _shard_ranges(manifest)
+    window_ranges = _window_ranges(manifest)
+    # Which windows overlap any damaged shard's rows.
+    needed: List[int] = []
+    for shard_index in sorted({d.shard for d in damaged}):
+        lo, hi = shard_ranges[shard_index]
+        for position, (_, w_lo, w_hi) in enumerate(window_ranges):
+            if w_lo < hi and w_hi > lo and position not in needed:
+                needed.append(position)
+    columns_by_window = _resynthesize(path, manifest, window_ranges, needed, obs)
+    result.resynthesized_windows = len(needed)
+    quarantine = path / QUARANTINE_DIR
+    for damage in damaged:
+        meta = manifest.shards[damage.shard].chunks[damage.column]
+        lo, hi = shard_ranges[damage.shard]
+        parts: List[np.ndarray] = []
+        for position in needed:
+            _, w_lo, w_hi = window_ranges[position]
+            cut_lo, cut_hi = max(lo, w_lo), min(hi, w_hi)
+            if cut_lo >= cut_hi:
+                continue
+            window_column = columns_by_window[position][damage.column]
+            parts.append(window_column[cut_lo - w_lo : cut_hi - w_lo])
+        data = (
+            np.concatenate(parts).tobytes()
+            if parts
+            else b""
+        )
+        if len(data) != meta.bytes or sha256_hex(data) != meta.sha256:
+            raise StoreRepairError(
+                f"re-synthesized chunk {meta.file} does not match the "
+                f"manifest ({len(data)} bytes, sha256 "
+                f"{sha256_hex(data)[:12]}… vs recorded {meta.sha256[:12]}…) — "
+                f"the provenance does not reproduce this store"
+            )
+        original = path / meta.file
+        if original.is_file():
+            quarantine.mkdir(exist_ok=True)
+            fs.replace(
+                original,
+                quarantine / meta.file,
+                point=f"quarantine:{meta.file}",
+            )
+            result.quarantined.append(meta.file)
+        atomic_write_bytes(
+            original, data, fs=fs, point=f"repair:{meta.file}", fsync=True
+        )
+        result.repaired_chunks.append(meta.file)
+        obs.inc("store_repair_chunks_total")
+
+
+def _shard_ranges(manifest: Manifest) -> List[Tuple[int, int]]:
+    """Absolute row range ``[lo, hi)`` of each shard, in shard order."""
+    ranges: List[Tuple[int, int]] = []
+    cursor = 0
+    for shard in manifest.shards:
+        ranges.append((cursor, cursor + shard.rows))
+        cursor += shard.rows
+    return ranges
+
+
+def _window_ranges(manifest: Manifest) -> List[Tuple[int, int, int]]:
+    """``(target_index, lo, hi)`` absolute row range of each window."""
+    ranges: List[Tuple[int, int, int]] = []
+    cursor = 0
+    for target, rows in manifest.windows:
+        ranges.append((int(target), cursor, cursor + rows))
+        cursor += rows
+    return ranges
+
+
+def _resynthesize(
+    path: Path,
+    manifest: Manifest,
+    window_ranges: Sequence[Tuple[int, int, int]],
+    needed: Sequence[int],
+    obs,
+) -> Dict[int, Dict[str, np.ndarray]]:
+    """Re-fetch the needed windows through the provenance's campaign.
+
+    Returns per-window column arrays already cast to the manifest's
+    schema dtypes — the exact bytes the original writer buffered.
+    """
+    from repro.core.campaign import Campaign
+
+    campaign = Campaign.from_provenance(manifest.provenance, obs=obs)
+    campaign.create_measurements()
+    dtypes = dict(manifest.schema)
+    columns_by_window: Dict[int, Dict[str, np.ndarray]] = {}
+    for position in needed:
+        target_index, w_lo, w_hi = window_ranges[position]
+        vm = campaign.platform.fleet[target_index]
+        msm_id = campaign._msm_id_by_target[vm.key]
+        record = campaign._fetch_measurement(
+            campaign.transport,
+            target_index,
+            msm_id,
+            vm,
+            campaign.start_time,
+            campaign.stop_time,
+        )
+        if record.sample_count != w_hi - w_lo:
+            raise StoreRepairError(
+                f"window for target {vm.key} re-synthesized {record.sample_count} "
+                f"rows but the manifest's window index says {w_hi - w_lo} — "
+                f"the provenance does not reproduce this store"
+            )
+        columns_by_window[position] = {
+            "probe_id": np.asarray(record.probe_ids, dtype=dtypes["probe_id"]),
+            "target_index": np.full(
+                record.sample_count, target_index, dtype=dtypes["target_index"]
+            ),
+            "timestamp": np.asarray(record.timestamps, dtype=dtypes["timestamp"]),
+            "rtt_min": np.asarray(record.rtt_min, dtype=dtypes["rtt_min"]),
+            "rtt_avg": np.asarray(record.rtt_avg, dtype=dtypes["rtt_avg"]),
+            "sent": np.asarray(record.sent, dtype=dtypes["sent"]),
+            "rcvd": np.asarray(record.rcvd, dtype=dtypes["rcvd"]),
+        }
+        obs.inc("store_repair_windows_total")
+    return columns_by_window

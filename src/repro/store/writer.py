@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.errors import StoreError
 from repro.obs import ensure_obs
+from repro.store.fsim import ensure_fs
 from repro.store.format import (
     DEFAULT_ROWS_PER_SHARD,
     MANIFEST_NAME,
@@ -55,6 +56,8 @@ class StoreWriter:
         rows_per_shard: int = DEFAULT_ROWS_PER_SHARD,
         generation: int = 0,
         obs=None,
+        fs=None,
+        durable: bool = False,
     ):
         if rows_per_shard < 1:
             raise StoreError(f"rows_per_shard must be positive: {rows_per_shard}")
@@ -66,6 +69,13 @@ class StoreWriter:
         self.generation = int(generation)
         self.provenance = provenance
         self.obs = ensure_obs(obs)
+        self.fs = ensure_fs(fs)
+        #: With ``durable=True`` every chunk is fsynced (in bulk, at
+        #: finalize, before the manifest commit) so the committed store
+        #: survives power loss.  Off by default: a scratch writer's
+        #: durability ends at atomicity, which keeps tight write loops
+        #: (tests, benchmarks) off the fsync path.
+        self.durable = bool(durable)
         self.path.mkdir(parents=True, exist_ok=True)
         self._pending: Dict[str, List[np.ndarray]] = {
             name: [] for name, _ in self.schema
@@ -73,6 +83,7 @@ class StoreWriter:
         self._pending_rows = 0
         self._shards: List[ShardMeta] = []
         self._rows_written = 0
+        self._windows: List[List[int]] = []
         self._finalized = False
 
     # -- appending -------------------------------------------------------------
@@ -103,6 +114,8 @@ class StoreWriter:
             arrays[name] = array
         if not count:
             return 0
+        if "target_index" in arrays:
+            self._extend_windows(arrays["target_index"])
         for name, array in arrays.items():
             self._pending[name].append(array)
         self._pending_rows += count
@@ -140,6 +153,23 @@ class StoreWriter:
             }
         )
 
+    def _extend_windows(self, targets: np.ndarray) -> None:
+        """Fold one batch's target runs into the manifest window index.
+
+        Runs that continue across batch (and shard) boundaries merge, so
+        the encoding depends only on the concatenated row stream — the
+        same invariance the shard layout has.
+        """
+        boundaries = np.flatnonzero(np.diff(targets)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(targets)]))
+        for start, end in zip(starts, ends):
+            target = int(targets[start])
+            if self._windows and self._windows[-1][0] == target:
+                self._windows[-1][1] += int(end - start)
+            else:
+                self._windows.append([target, int(end - start)])
+
     # -- shard cutting ---------------------------------------------------------
 
     def _take_rows(self, name: str, rows: int) -> np.ndarray:
@@ -169,7 +199,18 @@ class StoreWriter:
                     self._take_rows(column, rows), dtype=np.dtype(dtype)
                 ).tobytes()
                 filename = chunk_filename(name, column)
-                atomic_write_bytes(self.path / filename, data)
+                try:
+                    atomic_write_bytes(
+                        self.path / filename,
+                        data,
+                        fs=self.fs,
+                        point=f"chunk:{filename}",
+                    )
+                except OSError as exc:
+                    raise StoreError(
+                        f"chunk write failed ({exc.strerror or exc}): partial "
+                        f"store left at {self.path} — sweep with `repro store gc`"
+                    ) from exc
                 chunks[column] = ChunkMeta(
                     file=filename, bytes=len(data), sha256=sha256_hex(data)
                 )
@@ -196,6 +237,16 @@ class StoreWriter:
         if self._finalized:
             raise StoreError("writer is already finalized")
         self.flush()
+        if self.durable:
+            # Settle chunk durability in one pass, *before* the manifest
+            # commit: once the manifest is durable, every byte it
+            # references must be too.
+            for shard in self._shards:
+                for meta in shard.chunks.values():
+                    self.fs.fsync_path(
+                        self.path / meta.file, point=f"chunk:{meta.file}"
+                    )
+            self.fs.fsync_dir(self.path, point="store-dir")
         manifest = Manifest(
             schema=self.schema,
             rows=self._rows_written,
@@ -203,8 +254,13 @@ class StoreWriter:
             rows_per_shard=self.rows_per_shard,
             provenance=self.provenance,
             shards=self._shards,
+            windows=(
+                tuple((target, rows) for target, rows in self._windows)
+                if "target_index" in dict(self.schema)
+                else None
+            ),
         )
-        manifest.save(self.path)
+        manifest.save(self.path, fs=self.fs)
         self._finalized = True
         self.obs.inc("store_rows_written_total", self._rows_written)
         self.obs.event(
@@ -213,12 +269,25 @@ class StoreWriter:
         return manifest
 
     def abort(self) -> None:
-        """Best-effort cleanup of an uncommitted store directory."""
+        """Best-effort cleanup of an uncommitted store directory.
+
+        Never removes a chunk the *committed* manifest references: when
+        finalize fails after the manifest rename landed (e.g. the final
+        directory sync errored), this writer's chunks are already the
+        store's live generation, and deleting them would corrupt a
+        committed store to clean up a phantom failure.
+        """
         self._finalized = True
         self._pending = {name: [] for name, _ in self.schema}
         self._pending_rows = 0
+        try:
+            referenced = set(Manifest.load(self.path).chunk_files())
+        except (StoreError, OSError):
+            referenced = set()
         for shard in self._shards:
             for meta in shard.chunks.values():
+                if meta.file in referenced:
+                    continue
                 try:
                     (self.path / meta.file).unlink()
                 except OSError:
@@ -236,17 +305,24 @@ def write_dataset(
     provenance: Optional[Dict[str, object]] = None,
     rows_per_shard: int = DEFAULT_ROWS_PER_SHARD,
     obs=None,
+    fs=None,
 ) -> Manifest:
     """Persist a (frozen) :class:`~repro.core.dataset.CampaignDataset`.
 
     One batched pass through the shard writer; byte-identical to having
-    streamed the same rows during collection.
+    streamed the same rows during collection.  Durable: the committed
+    store survives power loss.
     """
     obs = ensure_obs(obs if obs is not None else getattr(dataset, "obs", None))
     dataset.freeze()
     with obs.span("store.write", path=str(path), rows=dataset.num_samples):
         writer = StoreWriter(
-            path, provenance=provenance, rows_per_shard=rows_per_shard, obs=obs
+            path,
+            provenance=provenance,
+            rows_per_shard=rows_per_shard,
+            obs=obs,
+            fs=fs,
+            durable=True,
         )
         try:
             writer.append_columns(
@@ -275,6 +351,7 @@ def compact(
     path,
     rows_per_shard: int = DEFAULT_ROWS_PER_SHARD,
     obs=None,
+    fs=None,
 ) -> Manifest:
     """Merge a store's shards into canonical ``rows_per_shard`` slices.
 
@@ -288,6 +365,7 @@ def compact(
     from repro.store.reader import StoreReader
 
     obs = ensure_obs(obs)
+    fs = ensure_fs(fs)
     path = Path(path)
     reader = StoreReader(path, verify="full", obs=obs)
     manifest = reader.manifest
@@ -307,6 +385,8 @@ def compact(
             rows_per_shard=rows_per_shard,
             generation=manifest.generation + 1,
             obs=obs,
+            fs=fs,
+            durable=True,
         )
         try:
             writer.append_columns(
@@ -318,20 +398,23 @@ def compact(
             raise
         for filename in old_files:
             try:
-                (path / filename).unlink()
+                fs.unlink(path / filename, point=f"compact:{filename}")
             except OSError:
                 pass
         obs.inc("store_compactions_total")
         return compacted
 
 
-def gc_store(path) -> List[str]:
+def gc_store(path, fs=None) -> List[str]:
     """Remove files a store's manifest does not reference.
 
     Sweeps stray ``*.tmp`` files and orphaned chunks (e.g. a prior
     generation left by a crash mid-compaction).  Returns the removed
-    filenames.  ``path`` must hold a committed store.
+    filenames.  ``path`` must hold a committed store; the live
+    generation's files and subdirectories (e.g. ``quarantine/``) are
+    never touched.
     """
+    fs = ensure_fs(fs)
     path = Path(path)
     manifest = Manifest.load(path)
     referenced = set(manifest.chunk_files()) | {MANIFEST_NAME}
@@ -339,6 +422,6 @@ def gc_store(path) -> List[str]:
     for entry in sorted(path.iterdir()):
         if entry.name in referenced or entry.is_dir():
             continue
-        entry.unlink()
+        fs.unlink(entry, point=f"gc:{entry.name}")
         removed.append(entry.name)
     return removed

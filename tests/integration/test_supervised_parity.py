@@ -1,0 +1,87 @@
+"""Supervised collection is byte-identical to an unsupervised run.
+
+The strongest claim the supervisor makes: crash/hang chaos plus
+watchdog respawns change *nothing* about the dataset — across transport
+fault profiles (none / flaky / outage), worker counts, and worker-fault
+profiles, a supervised collection that completes every window produces
+the same bytes, the same checkpoint, and (store-backed) the same
+committed store as a run whose workers never died.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignScale, CollectionCheckpoint
+
+from tests.integration.conftest import dataset_fingerprint
+
+SEED = 7
+
+#: Transport-fault x worker-fault chaos levels the parity matrix covers.
+TRANSPORT_PROFILES = ("none", "flaky", "outage")
+
+
+def _campaign(profile: str) -> Campaign:
+    faults = None if profile == "none" else profile
+    campaign = Campaign.from_paper(
+        scale=CampaignScale.TINY, seed=SEED, faults=faults
+    )
+    campaign.create_measurements()
+    return campaign
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    """Serial unsupervised fingerprints, one per transport profile."""
+    results = {}
+    for profile in TRANSPORT_PROFILES:
+        campaign = _campaign(profile)
+        checkpoint = CollectionCheckpoint()
+        dataset = campaign.collect(checkpoint=checkpoint)
+        results[profile] = (dataset_fingerprint(dataset), checkpoint.high_water)
+    return results
+
+
+@pytest.mark.parametrize("profile", TRANSPORT_PROFILES)
+@pytest.mark.parametrize("workers", [1, 4])
+def test_supervised_run_is_byte_identical(baselines, profile, workers):
+    campaign = _campaign(profile)
+    checkpoint = CollectionCheckpoint()
+    dataset = campaign.collect(
+        checkpoint=checkpoint, workers=workers, worker_faults="pathological"
+    )
+    report = campaign.supervision
+    assert report is not None and not report.degraded
+    assert report.crashes + report.hangs > 0  # the chaos actually fired
+    expected_fp, expected_hw = baselines[profile]
+    assert dataset_fingerprint(dataset) == expected_fp
+    assert checkpoint.high_water == expected_hw
+
+
+@pytest.mark.parametrize("worker_faults", ["crashy", "wedged"])
+def test_every_worker_fault_profile_preserves_parity(baselines, worker_faults):
+    campaign = _campaign("none")
+    dataset = campaign.collect(workers=4, worker_faults=worker_faults)
+    assert not campaign.supervision.degraded
+    assert dataset_fingerprint(dataset) == baselines["none"][0]
+
+
+def test_supervised_store_commit_matches_unsupervised(tmp_path, baselines):
+    """A supervised (non-degraded) store-backed run commits the same
+    cache entry an unsupervised run would, and a later unsupervised
+    campaign gets a byte-identical cache hit from it."""
+    from repro.store import CampaignCatalog
+
+    catalog = CampaignCatalog(tmp_path / "catalog")
+    supervised = Campaign.from_paper(scale=CampaignScale.TINY, seed=SEED)
+    stored = supervised.run(
+        store=catalog, workers=4, worker_faults="pathological"
+    )
+    assert not supervised.supervision.degraded
+    assert dataset_fingerprint(stored) == baselines["none"][0]
+
+    fresh = Campaign.from_paper(scale=CampaignScale.TINY, seed=SEED)
+    assert catalog.lookup(fresh) is not None  # hit, not a re-collection
+    cached = fresh.run(store=catalog)
+    assert dataset_fingerprint(cached) == baselines["none"][0]

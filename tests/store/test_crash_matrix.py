@@ -1,0 +1,216 @@
+"""The exhaustive crash matrix: every fsim site x every crash kind.
+
+For each store write path — durable writer, compaction, checkpoint
+save, gc — the code under test runs once against a :class:`CountingFS`
+to enumerate its operation sites, the sites expand into every
+``(site, kind)`` crash cell, and each cell replays on a fresh copy of
+the inputs with ``FaultyFS.at(cell)``.  After every simulated crash the
+on-disk state must satisfy the layer's crash contract:
+
+* **writer** — the store is either fully committed and byte-correct, or
+  visibly uncommitted (no readable manifest); never a readable lie.
+* **compact** — some complete generation is always fully readable with
+  the same logical rows; debris is sweepable and the sweep converges.
+* **checkpoint** — the file is absent, the old state, or the new state;
+  never torn JSON.
+* **gc** — the live generation is never deleted, crash or no crash.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import pytest
+
+from repro.errors import SimulatedCrashError, StoreError
+from repro.store import CountingFS, FaultyFS, StoreReader, StoreWriter, crash_points
+from repro.store.format import MANIFEST_NAME
+from repro.store.scrub import scrub
+from repro.store.writer import compact, gc_store
+
+from tests.store.conftest import columns_equal, synthetic_columns
+
+ROWS, ROWS_PER_SHARD = 24, 16
+
+
+def _write_store(path, fs=None, rows_per_shard=ROWS_PER_SHARD):
+    writer = StoreWriter(
+        path,
+        provenance={"seed": 3},
+        rows_per_shard=rows_per_shard,
+        fs=fs,
+        durable=True,
+    )
+    writer.append_columns(synthetic_columns(ROWS, seed=8))
+    writer.finalize()
+
+
+def _read_columns(path):
+    reader = StoreReader(path, verify="full")
+    return {name: reader.column(name) for name in reader.manifest.columns}
+
+
+def _enumerate(run):
+    """Count one clean pass of ``run`` and expand its crash cells."""
+    counting = CountingFS()
+    run(counting)
+    assert counting.sites, "the path under test bypassed the fsim seam"
+    return crash_points(counting.sites)
+
+
+class TestWriterCrashMatrix:
+    def test_every_crash_leaves_committed_or_visibly_uncommitted(self, tmp_path):
+        cells = _enumerate(lambda fs: _write_store(tmp_path / "count", fs=fs))
+        expected = _read_columns(tmp_path / "count")
+        assert len(cells) > 50  # the durable write path is well-instrumented
+        for cell in cells:
+            path = tmp_path / f"cell-{cell.step}-{cell.kind}"
+            fs = FaultyFS.at(cell)
+            with pytest.raises(SimulatedCrashError):
+                _write_store(path, fs=fs)
+            fs.power_loss()
+            try:
+                reader = StoreReader(path, verify="full")
+            except StoreError:
+                # Uncommitted: the scrub must agree there is no store
+                # here (a manifest-level problem), not report a subtly
+                # damaged one it would try to repair.
+                report = scrub(path)
+                assert not report.intact, cell
+                assert any(
+                    d.kind.startswith("manifest_") for d in report.damage
+                ), cell
+            else:
+                assert reader.manifest.rows == ROWS, cell
+                assert columns_equal(_read_columns(path), expected), cell
+
+
+class TestCompactCrashMatrix:
+    @pytest.fixture
+    def fragmented(self, tmp_path):
+        """A store written at shard size 4 (uncanonical for 16)."""
+        origin = tmp_path / "origin"
+        _write_store(origin, rows_per_shard=4)
+        return origin
+
+    def test_previous_generation_survives_every_crash(self, fragmented, tmp_path):
+        expected = _read_columns(fragmented)
+        count_copy = tmp_path / "count"
+        shutil.copytree(fragmented, count_copy)
+        cells = _enumerate(
+            lambda fs: compact(count_copy, rows_per_shard=ROWS_PER_SHARD, fs=fs)
+        )
+        for cell in cells:
+            path = tmp_path / f"cell-{cell.step}-{cell.kind}"
+            shutil.copytree(fragmented, path)
+            fs = FaultyFS.at(cell)
+            with pytest.raises(SimulatedCrashError):
+                compact(path, rows_per_shard=ROWS_PER_SHARD, fs=fs)
+            fs.power_loss()
+            # Whichever generation's manifest is durable, the store it
+            # names is complete: full verify passes, rows identical.
+            assert columns_equal(_read_columns(path), expected), cell
+            # And the debris of the dead generation sweeps away cleanly.
+            gc_store(path)
+            assert columns_equal(_read_columns(path), expected), cell
+
+    def test_interrupted_compact_then_retry_converges(self, fragmented, tmp_path):
+        """Crash mid-compaction, then compact again: canonical result."""
+        expected = _read_columns(fragmented)
+        shutil.copytree(fragmented, tmp_path / "c2")
+        cells = [c for c in _enumerate(
+            lambda fs: compact(tmp_path / "c2", rows_per_shard=ROWS_PER_SHARD, fs=fs)
+        ) if c.op == "rename"]
+        shutil.rmtree(tmp_path / "c2")
+        shutil.copytree(fragmented, tmp_path / "c2")
+        mid = cells[len(cells) // 2]
+        fs = FaultyFS.at(mid)
+        with pytest.raises(SimulatedCrashError):
+            compact(tmp_path / "c2", rows_per_shard=ROWS_PER_SHARD, fs=fs)
+        fs.power_loss()
+        manifest = compact(tmp_path / "c2", rows_per_shard=ROWS_PER_SHARD)
+        assert manifest.rows_per_shard == ROWS_PER_SHARD
+        gc_store(tmp_path / "c2")
+        assert columns_equal(_read_columns(tmp_path / "c2"), expected)
+
+
+class TestCheckpointCrashMatrix:
+    OLD = {100001: 1_500_000_000}
+    NEW = {100001: 1_500_000_000, 100002: 1_500_100_000}
+
+    def _save(self, path, fs=None):
+        from repro.core.campaign import CollectionCheckpoint
+
+        CollectionCheckpoint(high_water=dict(self.NEW)).save(path, fs=fs)
+
+    def test_checkpoint_is_never_torn(self, tmp_path):
+        from repro.core.campaign import CollectionCheckpoint
+
+        cells = _enumerate(lambda fs: self._save(tmp_path / "count.json", fs=fs))
+        for cell in cells:
+            path = tmp_path / f"cell-{cell.step}-{cell.kind}.json"
+            CollectionCheckpoint(high_water=dict(self.OLD)).save(path)
+            fs = FaultyFS.at(cell)
+            with pytest.raises(SimulatedCrashError):
+                self._save(path, fs=fs)
+            fs.power_loss()
+            if path.exists():
+                state = CollectionCheckpoint.load(path).high_water
+                assert state in (self.OLD, self.NEW), cell
+            # Absent is also legal for a first-ever save; with a prior
+            # checkpoint present the rollback must restore it.
+            else:
+                pytest.fail(f"prior checkpoint vanished at {cell}")
+
+
+class TestGcCrashMatrix:
+    def _littered(self, path):
+        _write_store(path)
+        (path / "stray.tmp").write_bytes(b"debris")
+        (path / "shard-9999-000000.rtt_min.bin").write_bytes(b"old generation")
+
+    def test_gc_never_deletes_the_live_generation(self, tmp_path):
+        self._littered(tmp_path / "count")
+        expected = _read_columns(tmp_path / "count")
+        cells = _enumerate(lambda fs: gc_store(tmp_path / "count", fs=fs))
+        assert all(cell.op == "unlink" for cell in cells)
+        for cell in cells:
+            path = tmp_path / f"cell-{cell.step}-{cell.kind}"
+            path.mkdir()
+            self._littered(path)
+            fs = FaultyFS.at(cell)
+            with pytest.raises(SimulatedCrashError):
+                gc_store(path, fs=fs)
+            fs.power_loss()
+            # The live store is untouched no matter where gc died...
+            assert columns_equal(_read_columns(path), expected), cell
+            # ...and a rerun finishes the sweep.
+            gc_store(path)
+            assert scrub(path).ok, cell
+
+    def test_gc_refuses_a_directory_without_a_manifest(self, tmp_path):
+        (tmp_path / "notastore").mkdir()
+        (tmp_path / "notastore" / "x.bin").write_bytes(b"x")
+        with pytest.raises(StoreError):
+            gc_store(tmp_path / "notastore")
+        assert (tmp_path / "notastore" / "x.bin").exists()
+
+
+def test_manifest_json_is_valid_at_every_surviving_state(tmp_path):
+    """A manifest that exists always parses: no torn manifest state."""
+    cells = [
+        c
+        for c in _enumerate(lambda fs: _write_store(tmp_path / "count", fs=fs))
+        if c.point == "manifest"
+    ]
+    assert cells  # the manifest path is instrumented
+    for cell in cells:
+        path = tmp_path / f"m-{cell.step}-{cell.kind}"
+        fs = FaultyFS.at(cell)
+        with pytest.raises(SimulatedCrashError):
+            _write_store(path, fs=fs)
+        fs.power_loss()
+        manifest = path / MANIFEST_NAME
+        if manifest.exists():
+            json.loads(manifest.read_text())
