@@ -552,7 +552,7 @@ def _scrub_targets(path):
 
 def _cmd_store(args) -> int:
     """Persistent-store maintenance: write / info / verify / scrub /
-    repair / gc."""
+    repair / gc / stats (zone-map backfill)."""
     import json
     from pathlib import Path
 
@@ -587,9 +587,11 @@ def _cmd_store(args) -> int:
         if is_store_dir(path):
             manifest = Manifest.load(path)
             print(f"store: {path}")
+            zoned, total = manifest.zone_map_coverage()
             print(f"rows: {manifest.rows:,}  shards: {len(manifest.shards)}  "
                   f"generation: {manifest.generation}  "
-                  f"bytes: {manifest.total_chunk_bytes():,}")
+                  f"bytes: {manifest.total_chunk_bytes():,}  "
+                  f"zone maps: {zoned}/{total}")
             print("schema: " + ", ".join(
                 f"{name}:{dtype}" for name, dtype in manifest.schema
             ))
@@ -660,6 +662,27 @@ def _cmd_store(args) -> int:
             return 1
         if getattr(args, "strict", False) and littered:
             return 1
+        return 0
+
+    if args.action == "stats":
+        from repro.store import backfill_zone_maps
+
+        if is_store_dir(path):
+            targets = [path]
+        else:
+            catalog = CampaignCatalog(path)
+            targets = [catalog.path_for(f) for f in catalog.entries()]
+            if not targets:
+                print(f"{path}: no committed stores", file=sys.stderr)
+                return 2
+        for target in targets:
+            manifest, updated = backfill_zone_maps(
+                target, refresh=getattr(args, "refresh", False)
+            )
+            zoned, total = manifest.zone_map_coverage()
+            print(f"{target}: {updated} zone maps "
+                  f"{'refreshed' if getattr(args, 'refresh', False) else 'backfilled'}, "
+                  f"coverage {zoned}/{total} chunks")
         return 0
 
     if args.action == "repair":
@@ -805,17 +828,19 @@ def build_parser() -> argparse.ArgumentParser:
     store = sub.add_parser(
         "store",
         help="persistent campaign stores: write, inspect, verify, scrub, "
-        "repair, gc",
+        "repair, gc, stats (zone-map backfill)",
     )
     store.add_argument(
         "action",
-        choices=["write", "info", "verify", "scrub", "repair", "gc"],
+        choices=["write", "info", "verify", "scrub", "repair", "gc", "stats"],
         help="write: collect the campaign (common options) into a catalog "
         "at PATH; info: summarize a store or catalog; verify: full "
         "checksum pass (exit 1 on corruption); scrub: classify every "
         "problem without stopping at the first; repair: quarantine "
         "damaged chunks and rebuild them from re-synthesized windows; "
-        "gc: sweep uncommitted or orphaned store files",
+        "gc: sweep uncommitted or orphaned store files; stats: backfill "
+        "per-chunk zone maps (min/max/nulls) into pre-v2 manifests so "
+        "scans can prune",
     )
     store.add_argument("path", help="store directory or catalog root")
     store.add_argument(
@@ -823,6 +848,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="verify: exit nonzero on ANY damage, debris and catalog "
         "litter included (default: only integrity damage fails)",
+    )
+    store.add_argument(
+        "--refresh",
+        action="store_true",
+        help="stats: recompute every zone map from chunk bytes, not just "
+        "the missing ones",
     )
     store.add_argument(
         "--json",

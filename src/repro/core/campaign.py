@@ -631,6 +631,33 @@ class Campaign:
         )
         return dataset
 
+    def scan(self, store):
+        """An out-of-core :class:`~repro.store.scan.Scan` over this
+        campaign's committed store.
+
+        The store must already be committed (a prior
+        ``collect(store=...)`` against the same fingerprint); this never
+        collects.  The scan is wired to the catalog's shared aggregate
+        cache, so repeated summaries/ECDFs over unchanged shards are
+        cache hits and appending windows re-derives only new shards'
+        partials.
+        """
+        from repro.store import (
+            CampaignCatalog,
+            campaign_fingerprint,
+            campaign_provenance,
+        )
+
+        catalog = CampaignCatalog.ensure(store)
+        scan = catalog.scan(self, obs=self.obs)
+        if scan is None:
+            fingerprint = campaign_fingerprint(campaign_provenance(self))
+            raise CampaignError(
+                f"no committed store for fingerprint {fingerprint[:12]}… in "
+                f"{catalog.root}; run collect(store=...) first"
+            )
+        return scan
+
     def collect_into(
         self,
         dataset: CampaignDataset,

@@ -2,7 +2,14 @@
 
 from repro.frame.columns import Column, as_column_array
 from repro.frame.frame import Frame
-from repro.frame.groupby import REDUCERS, aggregate, count_by, group_by, group_indices
+from repro.frame.groupby import (
+    REDUCERS,
+    aggregate,
+    aggregate_chunks,
+    count_by,
+    group_by,
+    group_indices,
+)
 from repro.frame.io import (
     from_csv_text,
     from_json_text,
@@ -14,17 +21,33 @@ from repro.frame.io import (
     write_json,
 )
 from repro.frame.stats import ECDF, Summary, bucketize, ecdf, fraction_below, summarize
+from repro.frame.streaming import (
+    STREAMING_REDUCERS,
+    QuantileDigest,
+    StreamingECDF,
+    StreamingGroupBy,
+    StreamingSummary,
+    digest_rank_eps,
+    reduce_chunks,
+)
 
 __all__ = [
     "Column",
     "ECDF",
     "Frame",
+    "QuantileDigest",
     "REDUCERS",
+    "STREAMING_REDUCERS",
+    "StreamingECDF",
+    "StreamingGroupBy",
+    "StreamingSummary",
     "Summary",
     "aggregate",
+    "aggregate_chunks",
     "as_column_array",
     "bucketize",
     "count_by",
+    "digest_rank_eps",
     "ecdf",
     "fraction_below",
     "from_csv_text",
@@ -33,6 +56,7 @@ __all__ = [
     "group_indices",
     "read_csv",
     "read_json",
+    "reduce_chunks",
     "summarize",
     "to_csv_text",
     "to_json_text",

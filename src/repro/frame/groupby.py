@@ -109,3 +109,27 @@ def aggregate(
 def count_by(frame: Frame, key: str) -> Frame:
     """Convenience: rows per distinct value of ``key``."""
     return aggregate(frame, [key], {"count": (key, "count")})
+
+
+def aggregate_chunks(
+    chunks,
+    keys: Sequence[str],
+    spec: Mapping[str, Tuple[str, str]],
+    max_groups: int = 100_000,
+) -> Frame:
+    """Out-of-core :func:`aggregate` over an iterable of column chunks.
+
+    ``chunks`` yields ``Mapping[str, np.ndarray]`` dictionaries (what
+    ``Scan.chunks()`` produces); reducers must be *names* from
+    :data:`repro.frame.streaming.STREAMING_REDUCERS`, not callables —
+    streaming needs mergeable state, not an arbitrary function over a
+    materialized array.  Group insertion order and column layout match
+    :func:`aggregate` on the concatenated rows; parity classes per
+    reducer are documented in :mod:`repro.frame.streaming`.
+    """
+    from repro.frame.streaming import StreamingGroupBy
+
+    engine = StreamingGroupBy(keys, spec, max_groups=max_groups)
+    for chunk in chunks:
+        engine.update(chunk)
+    return engine.result()

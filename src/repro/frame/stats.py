@@ -42,22 +42,39 @@ class ECDF:
         return float(self.p[idx - 1])
 
     def quantile(self, q: float) -> float:
-        """Smallest x with cumulative probability >= q (q in [0, 1])."""
+        """Smallest x with cumulative probability >= q (q in [0, 1]).
+
+        ``q=0`` is the sample minimum and ``q=1`` the sample maximum,
+        even when accumulated probabilities stop just short of 1.0 in
+        floating point.
+        """
         if not 0.0 <= q <= 1.0:
             raise FrameError(f"quantile q must be in [0, 1], got {q}")
         if len(self.x) == 0:
             raise FrameError("quantile on empty ECDF")
+        if q <= 0.0:
+            return float(self.x[0])
+        if q >= 1.0:
+            return float(self.x[-1])
         idx = np.searchsorted(self.p, q, side="left")
         idx = min(idx, len(self.x) - 1)
         return float(self.x[idx])
 
     def sample_points(self, num: int = 100) -> "ECDF":
-        """Downsample to ~``num`` evenly spaced points for plotting/export."""
+        """Downsample to ~``num`` evenly spaced points for plotting/export.
+
+        The final point (p = 1) is always retained so the curve closes;
+        with ``num=1`` that final point is the one kept.  With
+        ``num >= 2`` the first point is retained too.
+        """
         if num <= 0:
             raise FrameError("sample_points needs num > 0")
         if len(self.x) <= num:
             return self
+        if num == 1:
+            return ECDF(self.x[-1:].copy(), self.p[-1:].copy())
         indices = np.linspace(0, len(self.x) - 1, num).astype(np.intp)
+        indices[-1] = len(self.x) - 1
         return ECDF(self.x[indices], self.p[indices])
 
 

@@ -16,7 +16,14 @@ Entry points::
     dataset.save(path)                       # persist a frozen dataset
     CampaignDataset.open(path)               # zero-copy reload
     campaign.collect(store="stores/")        # collect-once / analyze-many
-    repro store {write,info,verify,scrub,repair,gc}   # CLI maintenance
+    scan_store(path).filter("rtt_min", "<=", 30).summarize("rtt_min")
+    repro store {write,info,verify,scrub,repair,gc,stats}   # CLI maintenance
+
+Analysis never has to materialize a column: :mod:`repro.store.scan`
+walks the manifest's per-chunk zone maps (format v2), skips shards a
+predicate provably cannot match, and folds the survivors through the
+mergeable streaming reducers of :mod:`repro.frame.streaming`, caching
+per-shard partials content-addressed by chunk checksum.
 
 Durability is part of the contract: every write point is decomposed
 through the :mod:`repro.store.fsim` seam (so crash consistency is
@@ -37,6 +44,7 @@ from repro.store.format import (
     SAMPLE_COLUMNS,
     SAMPLE_SCHEMA,
     Manifest,
+    ZoneMap,
     is_store_dir,
 )
 from repro.store.fsim import (
@@ -50,6 +58,13 @@ from repro.store.fsim import (
     get_fs_profile,
 )
 from repro.store.reader import StoreReader, open_dataset
+from repro.store.scan import (
+    AggregateCache,
+    Predicate,
+    Scan,
+    backfill_zone_maps,
+    scan_store,
+)
 from repro.store.scrub import (
     Damage,
     RepairReport,
@@ -61,6 +76,7 @@ from repro.store.scrub import (
 from repro.store.writer import StoreWriter, compact, gc_store, write_dataset
 
 __all__ = [
+    "AggregateCache",
     "CampaignCatalog",
     "CountingFS",
     "CrashPoint",
@@ -72,13 +88,17 @@ __all__ = [
     "FsFaultProfile",
     "MANIFEST_NAME",
     "Manifest",
+    "Predicate",
     "RealFS",
     "RepairReport",
     "SAMPLE_COLUMNS",
     "SAMPLE_SCHEMA",
+    "Scan",
     "ScrubReport",
     "StoreReader",
     "StoreWriter",
+    "ZoneMap",
+    "backfill_zone_maps",
     "campaign_fingerprint",
     "campaign_provenance",
     "compact",
@@ -88,6 +108,7 @@ __all__ = [
     "is_store_dir",
     "open_dataset",
     "repair",
+    "scan_store",
     "scrub",
     "scrub_catalog",
     "write_dataset",

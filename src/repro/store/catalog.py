@@ -67,6 +67,13 @@ def _looks_like_fingerprint(name: str) -> bool:
     return len(name) == 64 and all(c in "0123456789abcdef" for c in name)
 
 
+#: Catalog-private directory holding content-addressed per-shard
+#: aggregate partials (see :class:`repro.store.scan.AggregateCache`).
+#: Hidden (dot-prefixed) children are catalog state, not store entries:
+#: gc and scrub skip them.
+AGGREGATE_CACHE_DIR = ".aggregates"
+
+
 class CampaignCatalog:
     """A directory of campaign stores keyed by fingerprint."""
 
@@ -129,6 +136,31 @@ class CampaignCatalog:
             durable=True,
         )
 
+    def aggregate_cache(self):
+        """The catalog's shared :class:`~repro.store.scan.AggregateCache`.
+
+        Partials are content-addressed by chunk checksum, so one cache
+        directory safely serves every store in the catalog.
+        """
+        from repro.store.scan import AggregateCache
+
+        return AggregateCache(self.root / AGGREGATE_CACHE_DIR)
+
+    def scan(self, campaign, obs=None):
+        """A :class:`~repro.store.scan.Scan` over a campaign's committed
+        store, wired to the catalog's aggregate cache, or ``None`` on a
+        cache miss.  Opens with verification off — scans exist to avoid
+        reading every byte; verify explicitly when integrity is in
+        question."""
+        from repro.store.scan import Scan
+
+        fingerprint = campaign_fingerprint(campaign_provenance(campaign))
+        path = self.path_for(fingerprint)
+        if not is_store_dir(path):
+            return None
+        reader = StoreReader(path, verify="off", obs=obs)
+        return Scan(reader, obs=obs, cache=self.aggregate_cache())
+
     # -- maintenance -----------------------------------------------------------
 
     def entries(self) -> List[str]:
@@ -154,6 +186,8 @@ class CampaignCatalog:
         if not self.root.is_dir():
             return removed
         for child in sorted(self.root.iterdir()):
+            if child.name.startswith("."):
+                continue  # catalog-private state (e.g. .aggregates)
             if not child.is_dir():
                 if child.name.endswith(".tmp"):
                     child.unlink()

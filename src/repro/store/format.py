@@ -29,11 +29,19 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.errors import StoreError, StoreIntegrityError
 
-#: Manifest ``format`` marker and the one layout version readers accept.
+#: Manifest ``format`` marker and the layout version this build writes.
+#: Version 2 added per-chunk zone maps (min/max/null-count) for scan
+#: pruning; the chunk byte layout is unchanged, so version-1 manifests
+#: (no zone maps) remain readable — scans over them simply cannot skip.
 FORMAT_NAME = "repro.store"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Manifest versions :meth:`Manifest.from_json` accepts.
+SUPPORTED_VERSIONS = (1, 2)
 
 MANIFEST_NAME = "manifest.json"
 
@@ -118,22 +126,92 @@ def chunk_filename(shard: str, column: str) -> str:
 
 
 @dataclass(frozen=True)
+class ZoneMap:
+    """Per-chunk value bounds: the pruning metadata of one column chunk.
+
+    ``minimum``/``maximum`` are over the chunk's non-NaN values and are
+    ``None`` when the chunk is empty or all-NaN; ``nulls`` counts NaNs.
+    Computed by one function (:meth:`from_array`) wherever zones are
+    produced — writer, backfill, scrub recheck — so recomputation from
+    chunk bytes is deterministic and scrub can treat a mismatch as
+    damage.
+    """
+
+    minimum: Optional[float]
+    maximum: Optional[float]
+    nulls: int = 0
+
+    @classmethod
+    def from_array(cls, array: "np.ndarray") -> "ZoneMap":
+        array = np.asarray(array).ravel()
+        if array.size == 0:
+            return cls(minimum=None, maximum=None, nulls=0)
+        if np.issubdtype(array.dtype, np.floating):
+            nulls = int(np.count_nonzero(np.isnan(array)))
+            if nulls == array.size:
+                return cls(minimum=None, maximum=None, nulls=nulls)
+            return cls(
+                minimum=float(np.nanmin(array)),
+                maximum=float(np.nanmax(array)),
+                nulls=nulls,
+            )
+        return cls(
+            minimum=int(np.min(array)), maximum=int(np.max(array)), nulls=0
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"min": self.minimum, "max": self.maximum, "nulls": self.nulls}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ZoneMap":
+        minimum = payload.get("min")
+        maximum = payload.get("max")
+        return cls(
+            minimum=minimum if minimum is None else _json_number(minimum),
+            maximum=maximum if maximum is None else _json_number(maximum),
+            nulls=int(payload.get("nulls", 0)),
+        )
+
+
+def _json_number(value: object):
+    """Round-trip a zone bound: ints stay int, floats stay float."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"zone map bound is not a number: {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
 class ChunkMeta:
-    """One column over one shard: its file, byte length, and checksum."""
+    """One column over one shard: its file, byte length, and checksum.
+
+    ``zone`` is the chunk's :class:`ZoneMap` (version-2 manifests);
+    ``None`` on manifests written before zone maps existed, in which
+    case scans read the chunk unconditionally.
+    """
 
     file: str
     bytes: int
     sha256: str
+    zone: Optional[ZoneMap] = None
 
     def as_dict(self) -> Dict[str, object]:
-        return {"file": self.file, "bytes": self.bytes, "sha256": self.sha256}
+        payload: Dict[str, object] = {
+            "file": self.file,
+            "bytes": self.bytes,
+            "sha256": self.sha256,
+        }
+        if self.zone is not None:
+            payload["zone"] = self.zone.as_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "ChunkMeta":
+        zone = payload.get("zone")
         return cls(
             file=str(payload["file"]),
             bytes=int(payload["bytes"]),
             sha256=str(payload["sha256"]),
+            zone=ZoneMap.from_dict(dict(zone)) if zone is not None else None,
         )
 
 
@@ -205,6 +283,16 @@ class Manifest:
             meta.bytes for shard in self.shards for meta in shard.chunks.values()
         )
 
+    def zone_map_coverage(self) -> Tuple[int, int]:
+        """``(chunks with zone maps, total chunks)``."""
+        total = zoned = 0
+        for shard in self.shards:
+            for meta in shard.chunks.values():
+                total += 1
+                if meta.zone is not None:
+                    zoned += 1
+        return zoned, total
+
     def to_json(self) -> str:
         payload = {
             "format": FORMAT_NAME,
@@ -231,10 +319,10 @@ class Manifest:
         if not isinstance(payload, dict) or payload.get("format") != FORMAT_NAME:
             raise StoreIntegrityError("store manifest is not a repro.store manifest")
         version = payload.get("version")
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise StoreError(
                 f"unsupported store format version {version!r} "
-                f"(this build reads version {FORMAT_VERSION})"
+                f"(this build reads versions {SUPPORTED_VERSIONS})"
             )
         try:
             return cls(

@@ -179,6 +179,17 @@ class StoreReader:
     def columns(self) -> Dict[str, np.ndarray]:
         return {name: self.column(name) for name in self.manifest.columns}
 
+    def scan(self, columns=None, cache=None):
+        """A :class:`~repro.store.scan.Scan` over this store.
+
+        The scan streams chunk by chunk through the *unmemoized* view
+        path — it never populates this reader's whole-column cache, so
+        scanning a huge store through a reader keeps the reader cheap.
+        """
+        from repro.store.scan import Scan
+
+        return Scan(self, columns=columns, obs=self.obs, cache=cache)
+
     # -- dataset rebuild -------------------------------------------------------
 
     def dataset(self, probes=None, targets=None, obs=None):

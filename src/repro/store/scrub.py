@@ -32,8 +32,8 @@ from repro.obs import ensure_obs
 from repro.store.format import (
     MANIFEST_NAME,
     Manifest,
+    ZoneMap,
     atomic_write_bytes,
-    sha256_file,
     sha256_hex,
 )
 from repro.store.fsim import ensure_fs
@@ -43,12 +43,15 @@ QUARANTINE_DIR = "quarantine"
 
 #: Damage kinds that break the store's integrity contract.  The
 #: remaining kinds (orphan debris) are cosmetic: the store still reads.
+#: ``zone_map_mismatch`` is integrity damage even though the chunk bytes
+#: are fine: a wrong zone map silently prunes rows out of every scan.
 INTEGRITY_KINDS = (
     "manifest_missing",
     "manifest_unreadable",
     "missing_chunk",
     "truncated_chunk",
     "checksum_mismatch",
+    "zone_map_mismatch",
 )
 
 
@@ -162,7 +165,10 @@ def scrub(path, obs=None) -> ScrubReport:
                         )
                     )
                     continue
-                digest = sha256_file(chunk)
+                # One read serves both checks: checksum, then (bytes now
+                # proven authentic) the zone map recomputation.
+                data = chunk.read_bytes()
+                digest = sha256_hex(data)
                 if digest != meta.sha256:
                     report.damage.append(
                         Damage(
@@ -175,6 +181,25 @@ def scrub(path, obs=None) -> ScrubReport:
                             repairable=True,
                         )
                     )
+                    continue
+                if meta.zone is not None:
+                    array = np.frombuffer(
+                        data, dtype=np.dtype(manifest.dtype_of(column))
+                    )
+                    expected_zone = ZoneMap.from_array(array)
+                    if expected_zone != meta.zone:
+                        report.damage.append(
+                            Damage(
+                                kind="zone_map_mismatch",
+                                file=meta.file,
+                                shard=shard_index,
+                                column=column,
+                                detail=f"manifest zone {meta.zone.as_dict()} "
+                                f"but chunk bytes give "
+                                f"{expected_zone.as_dict()}",
+                                repairable=True,
+                            )
+                        )
         for entry in sorted(path.iterdir()):
             if entry.is_dir() or entry.name in referenced:
                 continue
@@ -234,6 +259,8 @@ def scrub_catalog(root, obs=None) -> Tuple[List[ScrubReport], List[Damage]]:
     if not root.is_dir():
         return reports, catalog_damage
     for child in sorted(root.iterdir()):
+        if child.name.startswith("."):
+            continue  # catalog-private state (e.g. .aggregates cache)
         if not child.is_dir():
             if child.name.endswith(".tmp"):
                 catalog_damage.append(
@@ -277,6 +304,7 @@ class RepairReport:
     quarantined: List[str] = field(default_factory=list)
     repaired_chunks: List[str] = field(default_factory=list)
     resynthesized_windows: int = 0
+    zone_maps_rebuilt: int = 0
     swept: List[str] = field(default_factory=list)
     verified: bool = False
 
@@ -286,6 +314,7 @@ class RepairReport:
             "quarantined": list(self.quarantined),
             "repaired_chunks": list(self.repaired_chunks),
             "resynthesized_windows": self.resynthesized_windows,
+            "zone_maps_rebuilt": self.zone_maps_rebuilt,
             "swept": list(self.swept),
             "verified": self.verified,
         }
@@ -320,7 +349,23 @@ def repair(path, obs=None, fs=None) -> RepairReport:
                     f"the campaign instead"
                 )
             manifest = Manifest.load(path)
-            _repair_chunks(path, manifest, report, result, obs, fs)
+            chunk_damage = [
+                d
+                for d in report.damage
+                if d.repairable and d.kind != "zone_map_mismatch"
+            ]
+            if chunk_damage:
+                _repair_chunks(path, manifest, chunk_damage, result, obs, fs)
+            if any(d.kind == "zone_map_mismatch" for d in report.damage):
+                # The chunk bytes are authentic (their checksums held);
+                # only the manifest's pruning metadata lies.  Recompute
+                # every zone from the verified bytes and recommit.
+                from repro.store.scan import backfill_zone_maps
+
+                _, rebuilt = backfill_zone_maps(
+                    path, refresh=True, fs=fs, obs=obs
+                )
+                result.zone_maps_rebuilt = rebuilt
         # Debris sweep (also runs on intact-but-littered stores).
         for damage in report.damage:
             if damage.kind == "orphan_tmp":
@@ -348,7 +393,7 @@ def repair(path, obs=None, fs=None) -> RepairReport:
 def _repair_chunks(
     path: Path,
     manifest: Manifest,
-    report: ScrubReport,
+    damaged: Sequence[Damage],
     result: RepairReport,
     obs,
     fs,
@@ -363,7 +408,6 @@ def _repair_chunks(
             f"cannot repair {path}: store predates the window index "
             f"(re-write it with this build to enable surgical repair)"
         )
-    damaged = [d for d in report.damage if d.repairable]
     shard_ranges = _shard_ranges(manifest)
     window_ranges = _window_ranges(manifest)
     # Which windows overlap any damaged shard's rows.

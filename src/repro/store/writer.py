@@ -37,6 +37,7 @@ from repro.store.format import (
     ChunkMeta,
     Manifest,
     ShardMeta,
+    ZoneMap,
     atomic_write_bytes,
     chunk_filename,
     is_store_dir,
@@ -195,9 +196,11 @@ class StoreWriter:
         chunks: Dict[str, ChunkMeta] = {}
         with self.obs.span("store.shard", shard=name, rows=rows):
             for column, dtype in self.schema:
-                data = np.ascontiguousarray(
+                array = np.ascontiguousarray(
                     self._take_rows(column, rows), dtype=np.dtype(dtype)
-                ).tobytes()
+                )
+                data = array.tobytes()
+                zone = ZoneMap.from_array(array)
                 filename = chunk_filename(name, column)
                 try:
                     atomic_write_bytes(
@@ -212,7 +215,10 @@ class StoreWriter:
                         f"store left at {self.path} — sweep with `repro store gc`"
                     ) from exc
                 chunks[column] = ChunkMeta(
-                    file=filename, bytes=len(data), sha256=sha256_hex(data)
+                    file=filename,
+                    bytes=len(data),
+                    sha256=sha256_hex(data),
+                    zone=zone,
                 )
                 self.obs.inc("store_chunks_written_total")
                 self.obs.inc("store_bytes_written_total", len(data))

@@ -46,6 +46,26 @@ class TestECDFBasics:
     def test_quantile_bounds_checked(self):
         with pytest.raises(FrameError):
             ecdf([1.0]).quantile(1.5)
+        with pytest.raises(FrameError):
+            ecdf([1.0]).quantile(-0.1)
+
+    def test_quantile_empty_raises(self):
+        with pytest.raises(FrameError):
+            ecdf([]).quantile(0.5)
+
+    def test_quantile_extremes_despite_float_shortfall(self):
+        """p can stop short of 1.0 in floating point (e.g. 49 * (1/49)
+        < 1); q=1 must still return the sample maximum, and q=0 the
+        minimum, never fall off the array."""
+        values = list(range(49))
+        curve = ecdf(values)
+        assert curve.quantile(0.0) == 0.0
+        assert curve.quantile(1.0) == 48.0
+
+    def test_quantile_single_sample(self):
+        curve = ecdf([7.5])
+        for q in (0.0, 0.25, 0.5, 1.0):
+            assert curve.quantile(q) == 7.5
 
     def test_sample_points_downsamples(self):
         curve = ecdf(list(range(1000)))
@@ -57,6 +77,26 @@ class TestECDFBasics:
     def test_sample_points_noop_when_small(self):
         curve = ecdf([1.0, 2.0])
         assert curve.sample_points(100) is curve
+
+    def test_sample_points_one_keeps_curve_closure(self):
+        """num=1 keeps the final (p = 1) point so the curve still
+        closes, rather than dropping to an arbitrary interior point."""
+        curve = ecdf(list(range(100)))
+        sampled = curve.sample_points(1)
+        assert len(sampled) == 1
+        assert sampled.x[0] == curve.x[-1]
+        assert sampled.p[0] == 1.0
+
+    def test_sample_points_always_ends_at_one(self):
+        curve = ecdf(list(range(997)))  # prime length: awkward stride
+        for num in (2, 3, 7, 50):
+            sampled = curve.sample_points(num)
+            assert sampled.x[-1] == curve.x[-1]
+            assert sampled.p[-1] == 1.0
+
+    def test_sample_points_zero_rejected(self):
+        with pytest.raises(FrameError):
+            ecdf([1.0]).sample_points(0)
 
 
 class TestECDFProperties:
@@ -86,6 +126,22 @@ class TestECDFProperties:
         curve = ecdf(values)
         x = curve.quantile(q)
         assert curve.fraction_below(x) >= q - 1e-9
+
+    @given(samples_strategy)
+    @settings(max_examples=100)
+    def test_quantile_extremes_are_min_and_max(self, values):
+        curve = ecdf(values)
+        assert curve.quantile(0.0) == min(values)
+        assert curve.quantile(1.0) == max(values)
+
+    @given(samples_strategy, st.integers(min_value=1, max_value=20))
+    @settings(max_examples=100)
+    def test_sample_points_is_a_sub_ecdf(self, values, num):
+        curve = ecdf(values)
+        sampled = curve.sample_points(num)
+        assert len(sampled) <= max(num, len(curve))
+        assert set(sampled.x).issubset(set(curve.x))
+        assert sampled.p[-1] == curve.p[-1]
 
 
 class TestSummarize:

@@ -1,0 +1,148 @@
+"""Out-of-core analysis parity: store-backed figures match in-memory.
+
+The scan engine's end-to-end contract: pointing the CLI at a committed
+store (``--from-store``) must produce **byte-identical stdout** to the
+same command analyzing the freshly collected in-memory dataset — for
+the paper's CDF figures (5 and 6) and the full Markdown report, under
+every transport fault profile.  Zone-map pruning, streaming reduction,
+and aggregate caching are invisible to every downstream artifact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.campaign import Campaign, CampaignScale
+from repro.frame.stats import ecdf, summarize
+from repro.obs import Obs
+from repro.store import CampaignCatalog
+
+SEED = 7
+
+PROFILES = ("none", "flaky", "outage")
+
+
+def build_campaign(profile, obs=None):
+    return Campaign.from_paper(
+        scale=CampaignScale.TINY,
+        seed=SEED,
+        faults=None if profile == "none" else profile,
+        obs=obs,
+    )
+
+
+@pytest.fixture(scope="module")
+def committed(tmp_path_factory):
+    """One committed catalog per fault profile: (catalog_root, store_dir)."""
+    root = tmp_path_factory.mktemp("catalogs")
+    stores = {}
+    for profile in PROFILES:
+        catalog = root / profile
+        build_campaign(profile).run(store=catalog)
+        (fingerprint,) = CampaignCatalog(catalog).entries()
+        stores[profile] = (catalog, catalog / fingerprint)
+    return stores
+
+
+def run_cli(capsys, *argv):
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestCliParity:
+    @pytest.mark.parametrize("profile", PROFILES)
+    @pytest.mark.parametrize("number", ["5", "6"])
+    def test_figure_from_store_byte_identical(
+        self, capsys, committed, profile, number
+    ):
+        base = (
+            "figure", number,
+            "--scale", "tiny", "--seed", str(SEED), "--faults", profile,
+        )
+        in_memory = run_cli(capsys, *base)
+        _, store_dir = committed[profile]
+        from_store = run_cli(capsys, *base, "--from-store", str(store_dir))
+        assert from_store == in_memory
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_report_from_store_byte_identical(self, capsys, committed, profile):
+        base = (
+            "report",
+            "--scale", "tiny", "--seed", str(SEED), "--faults", profile,
+        )
+        in_memory = run_cli(capsys, *base)
+        _, store_dir = committed[profile]
+        from_store = run_cli(capsys, *base, "--from-store", str(store_dir))
+        assert from_store == in_memory
+
+
+class TestScanAnalysisParity:
+    """The scan path itself (no dataset materialization) agrees with the
+    in-memory reducers on the same committed bytes."""
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_campaign_scan_summary_matches_dataset(self, committed, profile):
+        catalog, _ = committed[profile]
+        obs = Obs()
+        campaign = build_campaign(profile, obs=obs)
+        dataset = campaign.run()
+        scan = campaign.scan(catalog)
+        column = dataset.column("rtt_min").astype(np.float64)
+        finite = column[~np.isnan(column)]
+        streamed = scan.filter("rtt_min", ">=", 0.0).summarize("rtt_min")
+        expected = summarize(finite)
+        assert streamed.count == expected.count
+        assert streamed.minimum == expected.minimum
+        assert streamed.maximum == expected.maximum
+        assert np.isclose(streamed.mean, expected.mean)
+        # Digest quantiles stay within their documented rank window.
+        exact = ecdf(finite)
+        for q, estimate in (
+            (0.5, streamed.median), (0.95, streamed.p95),
+        ):
+            eps = scan_rank_eps(len(finite))
+            lo = exact.quantile(max(0.0, q - eps))
+            hi = exact.quantile(min(1.0, q + eps))
+            assert lo <= estimate <= hi
+
+    def test_scan_prunes_on_selective_predicate(self, committed, tmp_path):
+        """Campaign rows arrive ordered by target, so a selective
+        ``target_index`` predicate must skip most shards of a
+        many-shard store — without changing a single answer."""
+        import shutil
+
+        from repro.store import compact, scan_store
+        from repro.store.writer import gc_store
+
+        _, store_dir = committed["none"]
+        small_shards = tmp_path / "sharded"
+        shutil.copytree(store_dir, small_shards)
+        compact(small_shards, rows_per_shard=2048)
+        gc_store(small_shards)
+        dataset = build_campaign("none").run()
+        targets = dataset.column("target_index")
+        cutoff = int(np.quantile(targets, 0.05))
+        obs = Obs()
+        scan = scan_store(small_shards, obs=obs).filter(
+            "target_index", "<=", cutoff
+        )
+        assert scan.count() == int((targets <= cutoff).sum())
+        skipped = obs.registry.counter("scan_chunks_skipped_total").value
+        scanned = obs.registry.counter("scan_rows_scanned_total").value
+        assert skipped > 0
+        assert scanned < len(targets)
+
+    def test_scan_misses_cleanly_without_a_store(self, tmp_path):
+        from repro.errors import CampaignError
+
+        campaign = build_campaign("none")
+        with pytest.raises(CampaignError):
+            campaign.scan(tmp_path / "empty-catalog")
+
+
+def scan_rank_eps(count):
+    from repro.frame.streaming import DEFAULT_COMPRESSION, digest_rank_eps
+
+    return digest_rank_eps(DEFAULT_COMPRESSION, count)

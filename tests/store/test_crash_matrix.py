@@ -14,6 +14,9 @@ on-disk state must satisfy the layer's crash contract:
 * **checkpoint** — the file is absent, the old state, or the new state;
   never torn JSON.
 * **gc** — the live generation is never deleted, crash or no crash.
+* **stats backfill** — the manifest is the old one (no zone maps) or
+  the new one (fully zoned); never torn, never partially zoned, and
+  the data bytes are never touched.
 """
 
 from __future__ import annotations
@@ -24,7 +27,15 @@ import shutil
 import pytest
 
 from repro.errors import SimulatedCrashError, StoreError
-from repro.store import CountingFS, FaultyFS, StoreReader, StoreWriter, crash_points
+from repro.store import (
+    CountingFS,
+    FaultyFS,
+    Manifest,
+    StoreReader,
+    StoreWriter,
+    backfill_zone_maps,
+    crash_points,
+)
 from repro.store.format import MANIFEST_NAME
 from repro.store.scrub import scrub
 from repro.store.writer import compact, gc_store
@@ -195,6 +206,49 @@ class TestGcCrashMatrix:
         with pytest.raises(StoreError):
             gc_store(tmp_path / "notastore")
         assert (tmp_path / "notastore" / "x.bin").exists()
+
+
+class TestBackfillCrashMatrix:
+    def _v1_store(self, path):
+        """A committed store hand-downgraded to a pre-zone-map manifest."""
+        _write_store(path)
+        manifest_path = path / MANIFEST_NAME
+        payload = json.loads(manifest_path.read_text())
+        payload["version"] = 1
+        for shard in payload["shards"]:
+            for chunk in shard["chunks"].values():
+                chunk.pop("zone", None)
+        manifest_path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+    def test_backfill_crash_never_corrupts_a_committed_manifest(self, tmp_path):
+        origin = tmp_path / "origin"
+        self._v1_store(origin)
+        expected = _read_columns(origin)
+        count_copy = tmp_path / "count"
+        shutil.copytree(origin, count_copy)
+        cells = _enumerate(lambda fs: backfill_zone_maps(count_copy, fs=fs))
+        for cell in cells:
+            path = tmp_path / f"cell-{cell.step}-{cell.kind}"
+            shutil.copytree(origin, path)
+            fs = FaultyFS.at(cell)
+            with pytest.raises(SimulatedCrashError):
+                backfill_zone_maps(path, fs=fs)
+            fs.power_loss()
+            # The manifest parses and names a fully verifiable store —
+            # the commit is all-or-nothing, so zone coverage is 0 or
+            # complete, and the version field agrees with it.
+            payload = json.loads((path / MANIFEST_NAME).read_text())
+            manifest = Manifest.load(path)
+            zoned, total = manifest.zone_map_coverage()
+            assert zoned in (0, total), cell
+            assert payload["version"] == (2 if zoned else 1), cell
+            assert columns_equal(_read_columns(path), expected), cell
+            assert scrub(path).intact, cell
+            # A rerun always completes the upgrade.
+            manifest, _ = backfill_zone_maps(path)
+            zoned, total = manifest.zone_map_coverage()
+            assert zoned == total > 0, cell
+            assert columns_equal(_read_columns(path), expected), cell
 
 
 def test_manifest_json_is_valid_at_every_surviving_state(tmp_path):
