@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from contextlib import ExitStack
 from functools import lru_cache
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.atlas.api.retry import RetryEngine, RetryPolicy, SimulatedClock
 from repro.atlas.faults import FaultInjector, FaultProfile, get_profile
@@ -234,6 +234,28 @@ class Transport:
         return self.platform.results_columns(
             msm_id, start, stop, probe_ids, obs=self.obs
         )
+
+    def results_count(
+        self,
+        msm_id: int,
+        start: int = None,
+        stop: int = None,
+        probe_ids: Sequence[int] = None,
+    ) -> Optional[int]:
+        """Exact row count a columnar window fetch would yield, or ``None``.
+
+        Gated exactly like :meth:`results_columns`: with a fault injector
+        attached the row stream is not precomputable (retries and mangled
+        pages shape it), so chaos runs return ``None`` and direct-to-store
+        planning is off the table — the caller takes the stitched record
+        path instead.
+        """
+        if self.injector is not None:
+            return None
+        count = self.platform.results_count(msm_id, start, stop, probe_ids)
+        if count is not None:
+            self.obs.inc("transport_calls_total", endpoint="results_count")
+        return count
 
     # -- reporting ----------------------------------------------------------
 

@@ -510,6 +510,43 @@ class AtlasPlatform:
             obs.inc("platform_results_served_total", len(columns), path="columnar")
         return columns
 
+    def results_count(
+        self,
+        msm_id: int,
+        start: int = None,
+        stop: int = None,
+        probe_ids: Sequence[int] = None,
+    ) -> Optional[int]:
+        """Exact row count :meth:`results_columns` would return — no synthesis.
+
+        Counting online ticks is pure schedule arithmetic
+        (:meth:`_online_timestamps`), so the count costs microseconds
+        where synthesis costs milliseconds.  This is what lets a
+        multiprocess collection plan global store-row offsets *before*
+        any worker synthesizes a sample.  ``None`` for measurements with
+        no batch path, mirroring :meth:`results_columns`.
+        """
+        if not self.supports_batch(msm_id):
+            return None
+        msm = self.measurement(msm_id)
+        window_start = msm.start_time if start is None else max(start, msm.start_time)
+        window_stop = (
+            msm.effective_stop_time
+            if stop is None
+            else min(stop, msm.effective_stop_time)
+        )
+        if probe_ids is None:
+            probes = msm.probes
+        else:
+            wanted = set(probe_ids)
+            probes = tuple(p for p in msm.probes if p.probe_id in wanted)
+        total = 0
+        for probe in probes:
+            timestamps = self._online_timestamps(msm, probe, window_stop)
+            if len(timestamps):
+                total += int((timestamps >= window_start).sum())
+        return total
+
     # -- result synthesis ---------------------------------------------------------------
 
     def _generate(

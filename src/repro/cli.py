@@ -92,6 +92,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "runs; 'on' fails instead of falling back; 'off' forces the "
         "scalar path).  Both paths produce bit-identical datasets",
     )
+    parser.add_argument(
+        "--executor",
+        choices=["auto", "process", "thread"],
+        default="auto",
+        help="parallel-collection executor (default auto: fork-based "
+        "process workers where os.fork exists, threads elsewhere). "
+        "Output is byte-identical either way",
+    )
+    parser.add_argument(
+        "--direct-store",
+        choices=["auto", "on", "off"],
+        default="auto",
+        dest="direct_store",
+        help="shared-nothing direct-to-store writes for multiprocess "
+        "--store runs: workers stream full shards to disk themselves "
+        "(default auto: used whenever eligible; 'on' fails instead of "
+        "falling back; 'off' forces the stitched record path).  The "
+        "committed store is byte-identical either way",
+    )
     from repro.obs import LOG_LEVELS
 
     parser.add_argument(
@@ -152,13 +171,19 @@ def _dataset_from_store(path, obs):
         raise SystemExit(f"cannot load store {path}: {exc}")
 
 
-def _run_with_store(campaign, workers, store, worker_faults=None):
+def _run_with_store(
+    campaign, workers, store, worker_faults=None, executor="auto", direct="auto"
+):
     """``campaign.run`` with store errors surfaced as clean exits."""
     from repro.errors import StoreError
 
     try:
         return campaign.run(
-            workers=workers, store=store, worker_faults=worker_faults
+            workers=workers,
+            store=store,
+            worker_faults=worker_faults,
+            executor=executor,
+            direct=direct,
         )
     except StoreError as exc:
         where = getattr(store, "root", store)
@@ -222,6 +247,18 @@ def _build_campaign(args):
             "--fast-path on cannot serve a --faults run: fault injection "
             "needs the raw result stream (use auto or off)"
         )
+    direct = getattr(args, "direct_store", "auto")
+    if direct == "on":
+        if faults != "none":
+            raise SystemExit(
+                "--direct-store on cannot serve a --faults run: the row "
+                "stream is not precomputable under chaos (use auto or off)"
+            )
+        if not getattr(args, "store", None):
+            raise SystemExit(
+                "--direct-store on requires --store PATH: workers stream "
+                "shards directly into the store directory"
+            )
     scale = next(s for s in CampaignScale if s.label == args.scale)
     return Campaign.from_paper(
         scale=scale,
@@ -265,6 +302,8 @@ def _run_campaign(args):
         _resolve_cli_workers(args),
         getattr(args, "store", None),
         worker_faults=_resolve_worker_faults(args),
+        executor=getattr(args, "executor", "auto"),
+        direct=getattr(args, "direct_store", "auto"),
     )
     _maybe_write_metrics(campaign, args)
     return campaign, dataset
@@ -286,7 +325,9 @@ def _cmd_footprint(args) -> int:
     return 0
 
 
-def _resume_collect(campaign, state_dir, workers=None, worker_faults=None):
+def _resume_collect(
+    campaign, state_dir, workers=None, worker_faults=None, executor="auto"
+):
     """Checkpointed collection: resume from (and persist to) ``state_dir``.
 
     Returns the completed dataset, or ``None`` after saving state when
@@ -328,6 +369,7 @@ def _resume_collect(campaign, state_dir, workers=None, worker_faults=None):
             dataset=dataset,
             workers=workers,
             worker_faults=worker_faults,
+            executor=executor,
         )
     except CollectionInterruptedError as exc:
         exc.checkpoint.save(checkpoint_path)
@@ -360,19 +402,26 @@ def _cmd_run(args) -> int:
                 "collection commits only complete campaigns)"
             )
         dataset = _run_with_store(
-            campaign, workers, args.store, worker_faults=worker_faults
+            campaign, workers, args.store, worker_faults=worker_faults,
+            executor=getattr(args, "executor", "auto"),
+            direct=getattr(args, "direct_store", "auto"),
         )
     elif args.resume:
         campaign.create_measurements()
         dataset = _resume_collect(
             campaign, Path(args.resume), workers=workers,
             worker_faults=worker_faults,
+            executor=getattr(args, "executor", "auto"),
         )
         if dataset is None:
             return 3
     else:
         campaign.create_measurements()
-        dataset = campaign.collect(workers=workers, worker_faults=worker_faults)
+        dataset = campaign.collect(
+            workers=workers, worker_faults=worker_faults,
+            executor=getattr(args, "executor", "auto"),
+            direct=getattr(args, "direct_store", "auto"),
+        )
     _maybe_write_metrics(campaign, args)
     _print_supervision(campaign)
     if args.faults != "none":
@@ -573,7 +622,9 @@ def _cmd_store(args) -> int:
                   f"({already.rows:,} rows)")
             return 0
         dataset = _run_with_store(
-            campaign, _resolve_cli_workers(args), catalog
+            campaign, _resolve_cli_workers(args), catalog,
+            executor=getattr(args, "executor", "auto"),
+            direct=getattr(args, "direct_store", "auto"),
         )
         _maybe_write_metrics(campaign, args)
         committed = catalog.lookup(campaign, obs=campaign.obs)
@@ -870,12 +921,18 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.obs import logging_config
 
+    from repro.errors import CampaignError
+
     args = build_parser().parse_args(argv)
     logging_config(
         level=getattr(args, "log_level", "warning"),
         json_logs=getattr(args, "json_logs", False),
     )
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CampaignError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

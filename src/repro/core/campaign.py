@@ -26,7 +26,12 @@ import logging
 import math
 import os
 import threading
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -272,6 +277,93 @@ def plan_shards(count: int, workers: int) -> List[List[int]]:
     return shards
 
 
+@dataclass(frozen=True)
+class RowShard:
+    """One worker's slice of a store-aware shard plan.
+
+    ``entries`` is a half-open index range into the pending-measurement
+    list; ``row_start``/``rows`` locate the slice's samples in the global
+    canonical row stream.  The store-shard geometry of the slice follows
+    arithmetically — the rows before the first global ``rows_per_shard``
+    boundary are the *head partial*, whole multiples after it are
+    *interior shards* the worker writes under their final global names,
+    and the remainder is the *tail partial* — which is exactly why any
+    contiguous cut of the row stream can be written shared-nothing and
+    merged back byte-identically.
+    """
+
+    entries: Tuple[int, int]
+    row_start: int
+    rows: int
+
+    def head_rows(self, rows_per_shard: int) -> int:
+        """Rows before this slice's first global shard boundary."""
+        return min(self.rows, (-self.row_start) % rows_per_shard)
+
+    def first_shard_index(self, rows_per_shard: int) -> int:
+        """Global index of the first interior shard (if any)."""
+        return (self.row_start + self.head_rows(rows_per_shard)) // rows_per_shard
+
+    def interior_shards(self, rows_per_shard: int) -> int:
+        """Whole ``rows_per_shard`` slices this worker writes itself."""
+        return (self.rows - self.head_rows(rows_per_shard)) // rows_per_shard
+
+    def tail_rows(self, rows_per_shard: int) -> int:
+        """Rows past the last interior shard boundary."""
+        return (
+            self.rows
+            - self.head_rows(rows_per_shard)
+            - self.interior_shards(rows_per_shard) * rows_per_shard
+        )
+
+
+def plan_row_shards(
+    counts: Sequence[int], workers: int, rows_per_shard: int
+) -> List[RowShard]:
+    """Partition pending measurements into row-balanced contiguous slices.
+
+    ``counts[i]`` is the exact sample-row count pending measurement ``i``
+    will produce (from
+    :meth:`~repro.atlas.api.transport.Transport.results_count`).  Cuts
+    happen only *between* measurements — a window is one worker's unit of
+    synthesis — placed where the cumulative row count crosses each
+    balanced target ``total * k / workers``, so workers carry near-equal
+    row loads even when window sizes vary.  Because every slice knows its
+    global ``row_start``, its interior store shards land on exact
+    ``rows_per_shard`` boundaries by construction (see
+    :class:`RowShard`); no alignment constraint is imposed on the cuts
+    themselves.  Empty slices are dropped; slices cover every measurement
+    exactly once, in canonical order.
+    """
+    if workers < 1:
+        raise CampaignError(f"workers must be positive: {workers}")
+    if rows_per_shard < 1:
+        raise CampaignError(f"rows_per_shard must be positive: {rows_per_shard}")
+    counts = [int(c) for c in counts]
+    if any(c < 0 for c in counts):
+        raise CampaignError("negative row count in shard plan")
+    total = sum(counts)
+    plan: List[RowShard] = []
+    cursor = 0
+    row_cursor = 0
+    for k in range(1, workers + 1):
+        target = (total * k) // workers
+        cut = cursor
+        rows = 0
+        while cut < len(counts) and (
+            k == workers or row_cursor + rows < target
+        ):
+            rows += counts[cut]
+            cut += 1
+        if cut > cursor:
+            plan.append(
+                RowShard(entries=(cursor, cut), row_start=row_cursor, rows=rows)
+            )
+        cursor = cut
+        row_cursor += rows
+    return plan
+
+
 class Campaign:
     """One full measurement campaign against a platform.
 
@@ -320,6 +412,11 @@ class Campaign:
         #: Fault/retry accounting of parallel-collection worker
         #: transports, folded into :meth:`transport_stats`.
         self._worker_transport_stats: List[Dict[str, object]] = []
+        #: Per-worker *process* metrics of the most recent direct-to-store
+        #: collection — rows, bytes written, wall-clock rows/s, peak RSS —
+        #: in shard order.  Wall-clock numbers live here, out-of-band,
+        #: precisely so the deterministic obs snapshot stays byte-stable.
+        self.worker_process_stats: List[Dict[str, object]] = []
         #: Live shard writer while a store-backed collection streams
         #: merged records to disk (see :meth:`collect`); ``None``
         #: otherwise.  Records always reach :meth:`_merge_record` in
@@ -516,6 +613,8 @@ class Campaign:
         workers=None,
         store=None,
         worker_faults=None,
+        executor: str = "auto",
+        direct: str = "auto",
     ) -> CampaignDataset:
         """Fetch and parse results into a dataset.
 
@@ -546,10 +645,29 @@ class Campaign:
         :class:`~repro.core.supervisor.Supervisor`: workers crash and
         hang on the simulated clock, a watchdog reassigns their shards,
         and a degraded completion is reported instead of raised.
+
+        ``executor`` picks the parallel fan-out (``"process"`` /
+        ``"thread"`` / ``"auto"``); ``direct`` gates the shared-nothing
+        direct-to-store write path (``"auto"`` uses it whenever eligible,
+        ``"on"`` demands it, ``"off"`` forces the stitched record path).
+        Either way the committed store bytes are identical.
         """
+        if direct not in ("auto", "on", "off"):
+            raise CampaignError(
+                f"direct must be 'auto', 'on', or 'off': {direct!r}"
+            )
         if store is not None:
             return self._collect_stored(
-                store, workers=workers, worker_faults=worker_faults
+                store,
+                workers=workers,
+                worker_faults=worker_faults,
+                executor=executor,
+                direct=direct,
+            )
+        if direct == "on":
+            raise CampaignError(
+                "direct='on' requires a store: the direct path writes "
+                "shards, not an in-memory dataset"
             )
         if not self.measurement_ids:
             raise CampaignError("create_measurements() must run first")
@@ -564,12 +682,14 @@ class Campaign:
             checkpoint=checkpoint,
             workers=workers,
             worker_faults=worker_faults,
+            executor=executor,
         )
         dataset.freeze()
         return dataset
 
     def _collect_stored(
-        self, store, workers=None, worker_faults=None
+        self, store, workers=None, worker_faults=None, executor="auto",
+        direct="auto",
     ) -> CampaignDataset:
         """Store-backed collection: cache hit or collect-and-commit.
 
@@ -594,6 +714,17 @@ class Campaign:
         self.obs.inc("store_cache_misses_total")
         if not self.measurement_ids:
             self.create_measurements()
+        if direct != "off":
+            blocker = self._direct_blocker(workers, executor)
+            if blocker is None:
+                return DirectStoreCollector(
+                    self,
+                    catalog,
+                    workers=workers,
+                    worker_faults=worker_faults,
+                ).collect()
+            if direct == "on":
+                raise CampaignError(f"direct='on' but {blocker}")
         dataset = CampaignDataset(
             self.platform.probes, self.platform.fleet, obs=self.obs
         )
@@ -606,7 +737,10 @@ class Campaign:
             self._store_writer = writer
             try:
                 self.collect_into(
-                    dataset, workers=workers, worker_faults=worker_faults
+                    dataset,
+                    workers=workers,
+                    worker_faults=worker_faults,
+                    executor=executor,
                 )
             except BaseException:
                 writer.abort()
@@ -630,6 +764,35 @@ class Campaign:
             writer.path, writer.rows_written, campaign_provenance(self),
         )
         return dataset
+
+    def _direct_blocker(self, workers, executor: str) -> Optional[str]:
+        """Why the shared-nothing direct-to-store path cannot run, or ``None``.
+
+        The direct path needs (a) more than one worker, (b) fork-based
+        process workers, (c) the columnar fast path, and (d) a
+        precomputable row stream — which
+        :meth:`~repro.atlas.api.transport.Transport.results_count` only
+        vouches for on a clean wire.  Anything else falls back to the
+        stitched record path, which commits identical bytes.
+        """
+        if resolve_workers(workers) <= 1:
+            return "the direct store path needs workers > 1"
+        if executor == "thread":
+            return "the direct store path needs process workers"
+        if not hasattr(os, "fork"):
+            return "this platform has no os.fork for process workers"
+        if self.fast_path == "off":
+            return "fast_path='off' disables columnar synthesis"
+        if self.transport.injector is not None:
+            return (
+                "a fault injector is attached: the row stream is not "
+                "precomputable under chaos"
+            )
+        if self.measurement_ids and (
+            self.transport.results_count(self.measurement_ids[0]) is None
+        ):
+            return "the transport cannot serve columnar results"
+        return None
 
     def scan(self, store):
         """An out-of-core :class:`~repro.store.scan.Scan` over this
@@ -666,6 +829,7 @@ class Campaign:
         checkpoint: CollectionCheckpoint = None,
         workers=None,
         worker_faults=None,
+        executor: str = "auto",
     ) -> None:
         """Append one collection window into an existing (unfrozen) dataset.
 
@@ -704,7 +868,9 @@ class Campaign:
                 )
                 return
         if worker_count > 1:
-            ParallelCollector(self, workers=worker_count).collect_into(
+            ParallelCollector(
+                self, workers=worker_count, executor=executor
+            ).collect_into(
                 dataset, start=start, stop=stop, checkpoint=checkpoint
             )
             return
@@ -949,7 +1115,14 @@ class Campaign:
         }
         return totals
 
-    def run(self, workers=None, store=None, worker_faults=None) -> CampaignDataset:
+    def run(
+        self,
+        workers=None,
+        store=None,
+        worker_faults=None,
+        executor: str = "auto",
+        direct: str = "auto",
+    ) -> CampaignDataset:
         """Create measurements and collect everything.
 
         With ``store`` a cache hit skips measurement creation entirely —
@@ -957,10 +1130,19 @@ class Campaign:
         """
         if store is not None:
             return self.collect(
-                workers=workers, store=store, worker_faults=worker_faults
+                workers=workers,
+                store=store,
+                worker_faults=worker_faults,
+                executor=executor,
+                direct=direct,
             )
         self.create_measurements()
-        return self.collect(workers=workers, worker_faults=worker_faults)
+        return self.collect(
+            workers=workers,
+            worker_faults=worker_faults,
+            executor=executor,
+            direct=direct,
+        )
 
     # -- reporting convenience ---------------------------------------------------
 
@@ -1061,6 +1243,14 @@ class ParallelCollector:
             executor = "process" if hasattr(os, "fork") else "thread"
         if executor not in ("process", "thread"):
             raise CampaignError(f"unknown executor {executor!r}")
+        if executor == "process" and not hasattr(os, "fork"):
+            # Catch this here, not as a pickle error from deep inside a
+            # spawn-context pool: forked workers inherit the campaign by
+            # copy-on-write, and no other start method can.
+            raise CampaignError(
+                "executor='process' needs os.fork (unavailable on this "
+                "platform); use executor='thread'"
+            )
         self.executor = executor
 
     def collect(
@@ -1152,27 +1342,523 @@ class ParallelCollector:
 
     def _run_shards(self, shards, window_stop):
         if self.executor == "thread":
-            with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+            pool = ThreadPoolExecutor(max_workers=len(shards))
+            try:
                 futures = [
                     pool.submit(
                         _collect_shard, self.campaign, shard, window_stop, number
                     )
                     for number, shard in enumerate(shards)
                 ]
-                return [future.result() for future in futures]
+                return self._drain(futures)
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
         import multiprocessing
 
         global _FORK_CAMPAIGN
         context = multiprocessing.get_context("fork")
         _FORK_CAMPAIGN = self.campaign
         try:
-            with ProcessPoolExecutor(
+            pool = ProcessPoolExecutor(
                 max_workers=len(shards), mp_context=context
-            ) as pool:
+            )
+            try:
                 futures = [
                     pool.submit(_forked_shard, shard, window_stop, number)
                     for number, shard in enumerate(shards)
                 ]
-                return [future.result() for future in futures]
+                return self._drain(futures)
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
         finally:
+            # Clear even when submission itself raises — a dangling
+            # campaign here would pin the whole platform in memory and
+            # leak into the next collection's forks.
             _FORK_CAMPAIGN = None
+
+    @staticmethod
+    def _drain(futures):
+        """Collect shard outcomes in shard order, failing fast.
+
+        Shards are contiguous in canonical order, so once shard ``k``
+        reports a terminal failure every record a *later* shard would
+        return lies past the failure index and is discarded by the
+        prefix-consistent merge anyway — cancel those siblings instead of
+        waiting for them.  Shards before ``k`` still complete (their
+        records are the prefix).  A cancelled shard simply yields no
+        outcome.
+        """
+        index_of = {future: number for number, future in enumerate(futures)}
+        outcomes: Dict[int, object] = {}
+        cutoff = len(futures)
+        pending = set(futures)
+        while pending:
+            done, pending = futures_wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                if future.cancelled():
+                    continue
+                number = index_of[future]
+                outcome = future.result()
+                outcomes[number] = outcome
+                if outcome[2] is not None and number < cutoff:
+                    cutoff = number
+                    for later, later_number in index_of.items():
+                        if later_number > cutoff:
+                            later.cancel()
+            # Stop waiting on shards past the cutoff outright — cancel
+            # only reaches futures the pool has not started yet.
+            pending = {f for f in pending if index_of[f] <= cutoff}
+        return [outcomes[n] for n in sorted(outcomes) if n <= cutoff]
+
+
+#: Exit codes a direct-to-store worker dies with under injected chaos.
+#: Distinct from any real Python exit so the parent can tell a scheduled
+#: casualty from an actual bug (which sends an ``("error", …)`` payload).
+DIRECT_CRASH_EXIT = 86
+DIRECT_HANG_EXIT = 87
+
+
+def _direct_range_worker(
+    conn,
+    campaign: Campaign,
+    entries: Sequence[Tuple[int, int, int, int]],
+    row_start: int,
+    window_stop: int,
+    store_path,
+    rows_per_shard: int,
+    fs,
+    worker_index: int,
+    chaos,
+    deadline_s: float,
+) -> None:
+    """Forked worker body: synthesize one row range straight into shards.
+
+    The shared-nothing hot loop — no :class:`MeasurementRecord`, no
+    pickled sample buffers, no parent merge.  Each window's columns go
+    from the vectorized synthesis call into a
+    :class:`~repro.store.writer.ShardRangeWriter` that cuts full interior
+    shards under their final global names; only the manifest fragment
+    (shard metadata + boundary partials) and per-worker stats return over
+    the pipe.  Chaos deaths exit abruptly via :func:`os._exit` — no
+    cleanup, exactly like a real crash — leaving partially-written chunks
+    for the respawn to overwrite idempotently (same bytes, atomic
+    rename).
+    """
+    import resource
+    import time
+
+    from repro.store.writer import ShardRangeWriter
+
+    try:
+        started = time.perf_counter()
+        transport = campaign.transport.worker_clone()
+        obs = transport.obs
+        writer = ShardRangeWriter(
+            store_path,
+            row_start=row_start,
+            rows_per_shard=rows_per_shard,
+            obs=obs,
+            fs=fs,
+            durable=True,
+        )
+        hangs_recovered = 0
+        with obs.span(
+            "campaign.direct_range",
+            worker=worker_index,
+            measurements=len(entries),
+            row_start=row_start,
+        ):
+            for index, msm_id, fetch_from, attempt in entries:
+                vm = campaign.platform.fleet[index]
+                if chaos is not None:
+                    fate = chaos.decide(msm_id, fetch_from, window_stop, attempt)
+                    if fate == "crash":
+                        os._exit(DIRECT_CRASH_EXIT)
+                    if fate == "hang":
+                        hang_s = chaos.profile.hang_duration_s
+                        transport.clock.sleep(hang_s)
+                        if hang_s >= deadline_s:
+                            os._exit(DIRECT_HANG_EXIT)
+                        hangs_recovered += 1
+                        obs.inc("supervisor_hangs_recovered_total")
+                with obs.span("campaign.fetch", msm_id=msm_id, target=vm.key):
+                    columns = transport.results_columns(
+                        msm_id, start=fetch_from, stop=window_stop
+                    )
+                    if columns is None:
+                        raise CampaignError(
+                            f"direct plan invalidated: measurement {msm_id} "
+                            f"lost its columnar path mid-collection"
+                        )
+                    obs.inc("campaign_fetch_path_total", path="columnar")
+                writer.append_batch(
+                    columns.probe_ids,
+                    index,
+                    columns.timestamps,
+                    columns.rtt_min,
+                    columns.rtt_avg,
+                    columns.sent,
+                    columns.rcvd,
+                )
+        fragment = writer.finish()
+        wall_s = time.perf_counter() - started
+        proc_stats = {
+            "worker": worker_index,
+            "pid": os.getpid(),
+            "rows": fragment.rows,
+            "bytes_written": fragment.bytes_written,
+            "interior_shards": len(fragment.shards),
+            "wall_s": round(wall_s, 4),
+            "rows_per_s": round(fragment.rows / wall_s) if wall_s > 0 else 0,
+            "max_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+            "hangs_recovered": hangs_recovered,
+        }
+        payload = ("ok", fragment, transport.stats(), obs.export(), proc_stats)
+    except BaseException as exc:  # noqa: BLE001 — must cross the process boundary
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (OSError, ValueError):
+            pass
+        conn.close()
+        os._exit(1)
+    conn.send(payload)
+    conn.close()
+    os._exit(0)
+
+
+class DirectStoreCollector:
+    """Shared-nothing multiprocess collection straight into a store.
+
+    The parent plans contiguous row ranges (:func:`plan_row_shards`) from
+    exact precomputed window row counts
+    (:meth:`~repro.atlas.api.transport.Transport.results_count`), forks
+    one worker per range, and afterwards only *stitches*: workers stream
+    full interior shards to disk themselves and hand back boundary
+    partials small enough for a pipe.  The committed manifest is
+    byte-identical to a serial write because the shard layout is a pure
+    function of the row stream and every worker knows its global row
+    offset.
+
+    **Failure is all-or-nothing.**  The manifest is the commit point: a
+    worker or parent death at any moment leaves an uncommitted directory
+    (invisible to readers, swept eagerly here and by gc).  Worker chaos
+    (``worker_faults``) is decided per window-and-attempt exactly like
+    :class:`~repro.core.supervisor.Supervisor` — the parent replays the
+    same seeded schedule to identify the casualty from its exit code,
+    respawns the range with the fatal window's attempt bumped, and past
+    ``max_attempts`` quarantines it: the store is *never* committed
+    degraded, and the dataset falls back to an in-process collection of
+    the surviving windows.
+    """
+
+    def __init__(
+        self,
+        campaign: Campaign,
+        catalog,
+        workers=None,
+        worker_faults=None,
+        deadline_s: float = None,
+        max_attempts: int = None,
+        worker_timeout_s: float = 600.0,
+    ):
+        import repro.core.supervisor as supervisor_module
+
+        self.campaign = campaign
+        self.catalog = catalog
+        self.workers = resolve_workers("auto" if workers is None else workers)
+        # Resolve the chaos policy through a Supervisor so the two
+        # collection paths can never disagree on deadlines, attempt
+        # budgets, or the seeded fault schedule.
+        policy = supervisor_module.Supervisor(
+            campaign,
+            workers=self.workers,
+            worker_faults="steady" if worker_faults is None else worker_faults,
+        )
+        self.deadline_s = (
+            policy.deadline_s if deadline_s is None else float(deadline_s)
+        )
+        self.max_attempts = (
+            policy.max_attempts if max_attempts is None else int(max_attempts)
+        )
+        self.worker_timeout_s = float(worker_timeout_s)
+        self.chaos = None
+        if worker_faults is not None and not policy.chaos.profile.is_noop:
+            self.chaos = policy.chaos
+
+    def collect(self) -> CampaignDataset:
+        """Run the full campaign window direct-to-store; return the dataset.
+
+        On success the dataset is re-opened from the committed store
+        (verified, zero-copy) — the parent never materializes the samples
+        it did not itself stitch.
+        """
+        import multiprocessing
+
+        from repro.core.supervisor import SupervisionReport
+        from repro.store.catalog import campaign_fingerprint, campaign_provenance
+        from repro.store.writer import assemble_direct_store
+
+        campaign = self.campaign
+        catalog = self.catalog
+        window_start, window_stop = campaign.start_time, campaign.stop_time
+        pending = campaign._pending(window_start, window_stop, None)
+        counts: List[int] = []
+        for _, msm_id, fetch_from in pending:
+            count = campaign.transport.results_count(
+                msm_id, start=fetch_from, stop=window_stop
+            )
+            if count is None:
+                raise CampaignError(
+                    f"direct store path needs precomputable row counts; "
+                    f"measurement {msm_id} has no columnar path"
+                )
+            counts.append(count)
+        plan = plan_row_shards(counts, self.workers, catalog.rows_per_shard)
+        provenance = campaign_provenance(campaign)
+        fingerprint = campaign_fingerprint(provenance)
+        path = catalog.path_for(fingerprint)
+        catalog.root.mkdir(parents=True, exist_ok=True)
+        report = None
+        if self.chaos is not None:
+            report = SupervisionReport(
+                profile=self.chaos.profile.name,
+                workers=len(plan),
+                deadline_s=self.deadline_s,
+                max_attempts=self.max_attempts,
+                windows=len(pending),
+            )
+        campaign.worker_process_stats = []
+        # Per-range work lists carry a per-window attempt counter, bumped
+        # only for the window the chaos schedule actually killed.
+        ranges = [
+            [(i, m, f, 0) for i, m, f in pending[shard.entries[0]:shard.entries[1]]]
+            for shard in plan
+        ]
+        fragments: List[Optional[object]] = [None] * len(plan)
+        stats: List[Optional[tuple]] = [None] * len(plan)
+        context = multiprocessing.get_context("fork")
+        live: Dict[int, tuple] = {}
+
+        def spawn(rid: int) -> None:
+            receiver, sender = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_direct_range_worker,
+                args=(
+                    sender,
+                    campaign,
+                    ranges[rid],
+                    plan[rid].row_start,
+                    window_stop,
+                    path,
+                    catalog.rows_per_shard,
+                    catalog.fs,
+                    rid,
+                    self.chaos,
+                    self.deadline_s,
+                ),
+            )
+            process.start()
+            sender.close()
+            live[rid] = (process, receiver)
+
+        degraded = False
+        with campaign.obs.span(
+            "campaign.collect",
+            workers=len(plan),
+            executor="process",
+            direct=True,
+            measurements=len(pending),
+        ):
+            try:
+                for rid in range(len(plan)):
+                    spawn(rid)
+                rid = 0
+                while rid < len(plan) and not degraded:
+                    process, receiver = live.pop(rid)
+                    payload = None
+                    timed_out = False
+                    try:
+                        if receiver.poll(self.worker_timeout_s):
+                            payload = receiver.recv()
+                        else:
+                            timed_out = True
+                            process.terminate()
+                    except EOFError:
+                        payload = None
+                    process.join()
+                    receiver.close()
+                    if payload is not None and payload[0] == "ok":
+                        _, fragment, tstats, obs_export, proc_stats = payload
+                        fragments[rid] = fragment
+                        stats[rid] = (tstats, obs_export, proc_stats)
+                        rid += 1
+                        continue
+                    if payload is not None and payload[0] == "error":
+                        raise CampaignError(
+                            f"direct worker {rid} failed: {payload[1]}"
+                        )
+                    if timed_out:
+                        raise CampaignError(
+                            f"direct worker {rid} produced nothing within "
+                            f"{self.worker_timeout_s:.0f}s; terminated"
+                        )
+                    degraded = self._handle_death(
+                        rid, process.exitcode, ranges[rid], window_stop, report
+                    )
+                    if not degraded:
+                        report.respawns += 1
+                        campaign.obs.inc("supervisor_respawns_total")
+                        spawn(rid)
+            except BaseException:
+                self._abort(live, path)
+                raise
+            if degraded:
+                self._abort(live, path)
+                campaign.supervision = report
+                campaign.obs.event(
+                    "supervisor.degraded",
+                    quarantined=len(report.quarantined),
+                    collected=report.windows - len(report.quarantined),
+                )
+                _log.warning(
+                    "degraded direct collection: store NOT committed "
+                    "(%d windows quarantined)",
+                    len(report.quarantined),
+                )
+                return self._degraded_dataset(pending, window_stop, report)
+            # All ranges landed: merge worker stats in shard order, then
+            # stitch the boundary shards and commit.
+            for tstats, obs_export, proc_stats in stats:
+                campaign._worker_transport_stats.append(tstats)
+                campaign.obs.merge(obs_export)
+                campaign.worker_process_stats.append(proc_stats)
+                if report is not None:
+                    report.hangs_recovered += proc_stats["hangs_recovered"]
+            manifest = assemble_direct_store(
+                path,
+                [fragment for fragment in fragments if fragment is not None],
+                provenance=provenance,
+                rows_per_shard=catalog.rows_per_shard,
+                obs=campaign.obs,
+                fs=catalog.fs,
+                durable=True,
+            )
+        campaign.collection_stats.measurements_collected += len(pending)
+        campaign.collection_stats.samples_appended += manifest.rows
+        if report is not None:
+            report.collected = len(pending)
+            campaign.supervision = report
+        _log.info(
+            "store committed (direct): %s (%d rows, %d workers)",
+            path, manifest.rows, len(plan),
+        )
+        reader = catalog.open(fingerprint, obs=campaign.obs)
+        return reader.dataset(
+            campaign.platform.probes, campaign.platform.fleet, obs=campaign.obs
+        )
+
+    def _handle_death(
+        self, rid: int, exitcode, entries, window_stop: int, report
+    ) -> bool:
+        """Account one worker casualty; returns True when it quarantines.
+
+        The worker died without a payload, so the parent *replays* the
+        deterministic chaos schedule over the range to locate the fatal
+        window — the same ``(msm_id, window, attempt)``-keyed draw the
+        worker made — and cross-checks the exit code against the expected
+        fate.  A mismatch means a real bug, not scheduled chaos, and
+        raises.
+        """
+        campaign = self.campaign
+        position, kind = self._expected_fate(entries, window_stop)
+        expected_exit = {
+            "crash": DIRECT_CRASH_EXIT, "hung": DIRECT_HANG_EXIT
+        }.get(kind)
+        if position is None or exitcode != expected_exit:
+            raise CampaignError(
+                f"direct worker {rid} died unexpectedly (exit {exitcode}, "
+                f"expected fate {kind or 'none'})"
+            )
+        if kind == "crash":
+            report.crashes += 1
+            campaign.obs.inc("supervisor_crashes_total")
+        else:
+            report.hangs += 1
+            campaign.obs.inc("supervisor_hangs_total")
+        index, msm_id, fetch_from, attempt = entries[position]
+        _log.warning(
+            "direct worker %d died (%s) at measurement %d, attempt %d",
+            rid, kind, msm_id, attempt + 1,
+        )
+        if attempt + 1 >= self.max_attempts:
+            target = campaign.platform.fleet[index].key
+            report.quarantined.append((msm_id, target))
+            campaign.obs.inc("supervisor_quarantined_total")
+            _log.warning(
+                "window quarantined after %d attempts: measurement %d (%s)",
+                attempt + 1, msm_id, target,
+            )
+            return True
+        entries[position] = (index, msm_id, fetch_from, attempt + 1)
+        return False
+
+    def _expected_fate(self, entries, window_stop: int):
+        """First scheduled death in a range: ``(position, kind)`` or Nones."""
+        if self.chaos is None:
+            return None, None
+        for position, (_, msm_id, fetch_from, attempt) in enumerate(entries):
+            fate = self.chaos.decide(msm_id, fetch_from, window_stop, attempt)
+            if fate == "crash":
+                return position, "crash"
+            if (
+                fate == "hang"
+                and self.chaos.profile.hang_duration_s >= self.deadline_s
+            ):
+                return position, "hung"
+        return None, None
+
+    def _abort(self, live: Dict[int, tuple], path) -> None:
+        """Kill surviving workers and sweep the uncommitted directory.
+
+        Never touches a committed store: if a manifest exists the
+        directory is someone's live data, not this collection's debris.
+        """
+        import shutil
+
+        from repro.store.format import is_store_dir
+
+        for process, receiver in live.values():
+            process.terminate()
+            process.join()
+            receiver.close()
+        live.clear()
+        if not is_store_dir(path):
+            shutil.rmtree(path, ignore_errors=True)
+
+    def _degraded_dataset(
+        self, pending, window_stop: int, report
+    ) -> CampaignDataset:
+        """In-process fallback dataset for a degraded direct collection.
+
+        The store was discarded, but the wire is clean (direct mode only
+        runs without transport chaos), so the surviving windows are
+        re-synthesized serially through the fast path — the same bytes
+        the workers wrote, minus the quarantined windows, matching the
+        supervised record path's degraded contract.
+        """
+        campaign = self.campaign
+        quarantined = {msm_id for msm_id, _ in report.quarantined}
+        dataset = CampaignDataset(
+            campaign.platform.probes, campaign.platform.fleet, obs=campaign.obs
+        )
+        for index, msm_id, fetch_from in pending:
+            if msm_id in quarantined:
+                continue
+            vm = campaign.platform.fleet[index]
+            record = campaign._fetch_measurement(
+                campaign.transport, index, msm_id, vm, fetch_from, window_stop
+            )
+            campaign._merge_record(dataset, record, None, window_stop)
+        dataset.freeze()
+        report.collected = report.windows - len(quarantined)
+        return dataset

@@ -186,22 +186,35 @@ class QuantileDigest:
         if len(means) == 1:
             return float(means[0])
         # Interpolate over centroid mid-ranks, clamped to true extremes.
+        # _lerp must be exact in two regimes float arithmetic conflates:
+        # at frac == 1.0 the one-sided a + (b-a)*frac cancels a
+        # sub-ULP |b| to a + (-a) == 0.0, and for a == b the two-sided
+        # a*(1-frac) + b*frac rounds one ULP off a. Short-circuiting the
+        # endpoints keeps both exact.
+        def _lerp(a: float, b: float, frac: float) -> float:
+            if frac <= 0.0:
+                return a
+            if frac >= 1.0:
+                return b
+            return a + (b - a) * frac
+
         ends = np.cumsum(weights)
         mids = ends - weights / 2.0
         target = q * self._count
         if target <= mids[0]:
             span = mids[0]
             frac = target / span if span else 1.0
-            return self._min + (float(means[0]) - self._min) * frac
-        if target >= mids[-1]:
+            value = _lerp(self._min, float(means[0]), frac)
+        elif target >= mids[-1]:
             span = self._count - mids[-1]
             frac = (target - mids[-1]) / span if span else 0.0
-            return float(means[-1]) + (self._max - float(means[-1])) * frac
-        hi = int(np.searchsorted(mids, target, side="left"))
-        lo = hi - 1
-        span = mids[hi] - mids[lo]
-        frac = (target - mids[lo]) / span if span else 0.0
-        value = float(means[lo]) + (float(means[hi]) - float(means[lo])) * frac
+            value = _lerp(float(means[-1]), self._max, frac)
+        else:
+            hi = int(np.searchsorted(mids, target, side="left"))
+            lo = hi - 1
+            span = mids[hi] - mids[lo]
+            frac = (target - mids[lo]) / span if span else 0.0
+            value = _lerp(float(means[lo]), float(means[hi]), frac)
         return min(max(value, self._min), self._max)
 
     # -- (de)serialization for the content-addressed aggregate cache --------
@@ -412,7 +425,10 @@ class StreamingECDF:
         if not (lo < hi):
             # Degenerate range (single distinct value): one exact edge.
             return cls(np.asarray([lo], dtype=np.float64))
-        return cls(np.linspace(lo, hi, bins))
+        # A range spanning fewer representable floats than ``bins``
+        # (e.g. lo=0.0, hi=5e-324) makes linspace repeat edges; collapse
+        # duplicates so the grid stays strictly ascending.
+        return cls(np.unique(np.linspace(lo, hi, bins)))
 
     def update(self, values: Sequence[float]) -> None:
         array = np.asarray(values, dtype=np.float64).ravel()

@@ -121,6 +121,39 @@ def shard_name(generation: int, index: int) -> str:
     return f"shard-{generation:04d}-{index:06d}"
 
 
+def shard_index_of(name: str) -> int:
+    """The global shard index a canonical shard name encodes."""
+    try:
+        prefix, generation, index = name.split("-")
+        if prefix != "shard":
+            raise ValueError(name)
+        return int(index)
+    except ValueError as exc:
+        raise StoreError(f"not a canonical shard name: {name!r}") from exc
+
+
+def merge_window_runs(fragments) -> Tuple[Tuple[int, int], ...]:
+    """Concatenate per-fragment ``windows`` RLEs into one stream RLE.
+
+    Each fragment is ``((target_index, rows), ...)`` over a contiguous
+    row range; fragments must arrive in row order.  Runs that continue
+    across a fragment join merge, so the result depends only on the
+    concatenated row stream — the same invariance the shard layout has,
+    which is what makes a manifest assembled from per-worker fragments
+    byte-identical to one written in a single pass.
+    """
+    merged: List[List[int]] = []
+    for runs in fragments:
+        for target, rows in runs:
+            if not rows:
+                continue
+            if merged and merged[-1][0] == int(target):
+                merged[-1][1] += int(rows)
+            else:
+                merged.append([int(target), int(rows)])
+    return tuple((target, rows) for target, rows in merged)
+
+
 def chunk_filename(shard: str, column: str) -> str:
     return f"{shard}.{column}.bin"
 

@@ -190,6 +190,29 @@ class TestQuantileDigestBounds:
             assert exact.quantile(max(0.0, q - eps)) <= estimate
             assert estimate <= exact.quantile(min(1.0, q + eps))
 
+    def test_subnormal_neighbours_do_not_cancel_to_zero(self):
+        # Regression: with a centroid mean below one ULP of its neighbour,
+        # the one-sided lerp a + (b - a) * frac collapsed to a + (-a) = 0.0
+        # at frac == 1.0, overshooting the rank bound. The two-sided form
+        # must return the centroid mean exactly.
+        values = [0.0, -1.0, -1.0, -1.0, -5.65e-219, -5.65e-219, -8.7e-226]
+        digests = []
+        for chunk in np.array_split(np.asarray(values, dtype=np.float64), 2):
+            digest = QuantileDigest(compression=100)
+            digest.update(chunk)
+            digests.append(digest)
+        merged = digests[0].merge(digests[1])
+        assert merged.quantile(0.5) == -5.65e-219
+
+    def test_equal_endpoint_lerp_is_exact_to_the_ulp(self):
+        # Regression: the two-sided lerp m*(1-f) + m*f rounds one ULP off
+        # m; interpolating between equal centroid means must return the
+        # mean bit-exactly or rank bounds fail on denormal-only data.
+        m = -1.1163929638093614e-125
+        digest = QuantileDigest(compression=50)
+        digest.update(np.asarray([0.0, 0.0, m, m, m]))
+        assert digest.quantile(0.03168444870336961) == m
+
     def test_state_round_trip_preserves_quantiles(self):
         digest = QuantileDigest(compression=100)
         digest.update(np.linspace(0, 100, 5000))
@@ -209,6 +232,17 @@ class TestStreamingECDFParity:
         for chunk in chunked(array, cuts):
             grid.update(chunk)
         exact = ecdf(array)
+        for edge in grid.edges:
+            assert grid.fraction_below(edge) == exact.fraction_below(edge)
+
+    def test_sub_ulp_range_collapses_duplicate_edges(self):
+        # Regression: a [lo, hi] range spanning fewer representable
+        # floats than bins makes linspace repeat edges; from_range must
+        # dedupe instead of rejecting its own grid.
+        grid = StreamingECDF.from_range(0.0, 5e-324, bins=4)
+        assert np.all(np.diff(grid.edges) > 0)
+        grid.update(np.asarray([0.0, 5e-324]))
+        exact = ecdf(np.asarray([0.0, 5e-324]))
         for edge in grid.edges:
             assert grid.fraction_below(edge) == exact.fraction_below(edge)
 

@@ -1,0 +1,174 @@
+"""Direct-to-store multiprocess ingest: byte parity with serial writes.
+
+The shared-nothing collector (:class:`~repro.core.campaign.
+DirectStoreCollector`) forks workers that stream interior store shards
+straight to disk.  Its entire correctness story is *byte identity*: for
+every fault profile and worker count — whichever path actually engages
+(direct for a clean wire, the stitched record path under chaos) — the
+committed store files are identical to a serial write, worker crashes
+and hangs included.  A degraded collection must never commit at all.
+"""
+
+import os
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignScale
+from repro.errors import CampaignError
+from repro.store import CampaignCatalog
+
+FIXTURE_SEED = 7
+
+PROFILES = ("none", "flaky", "outage")
+
+HAS_FORK = hasattr(os, "fork")
+
+
+def build_campaign(profile="none"):
+    return Campaign.from_paper(
+        scale=CampaignScale.TINY,
+        seed=FIXTURE_SEED,
+        faults=None if profile == "none" else profile,
+    )
+
+
+def store_files(root):
+    """name -> bytes for the single catalog entry under ``root``."""
+    (fingerprint,) = CampaignCatalog(root).entries()
+    return {
+        p.name: p.read_bytes() for p in sorted((root / fingerprint).iterdir())
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_files(tmp_path_factory):
+    """Serial store bytes, one entry per profile — the parity baseline."""
+    out = {}
+    for profile in PROFILES:
+        root = tmp_path_factory.mktemp(f"serial-{profile}")
+        build_campaign(profile).run(store=root)
+        out[profile] = store_files(root)
+    return out
+
+
+class TestDirectStoreByteParity:
+    @pytest.mark.parametrize("profile", PROFILES)
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_store_bytes_identical_across_paths(
+        self, serial_files, tmp_path, profile, workers
+    ):
+        """Every (profile, workers) combination commits the serial bytes.
+
+        With a clean wire and real parallelism the direct fork path
+        engages; chaos profiles and ``workers=1`` fall back to the
+        stitched record path — either way the files must match.
+        """
+        campaign = build_campaign(profile)
+        campaign.run(workers=workers, store=tmp_path / "catalog")
+        assert store_files(tmp_path / "catalog") == serial_files[profile]
+        direct_engaged = bool(campaign.worker_process_stats)
+        assert direct_engaged == (
+            HAS_FORK and workers > 1 and profile == "none"
+        )
+
+    @pytest.mark.skipif(not HAS_FORK, reason="direct path requires os.fork")
+    def test_threaded_executor_matches_direct_bytes(
+        self, serial_files, tmp_path
+    ):
+        """Forcing the thread executor (no direct path) changes nothing."""
+        campaign = build_campaign("none")
+        campaign.run(workers=4, store=tmp_path / "catalog", executor="thread")
+        assert not campaign.worker_process_stats
+        assert store_files(tmp_path / "catalog") == serial_files["none"]
+
+    @pytest.mark.skipif(not HAS_FORK, reason="direct path requires os.fork")
+    def test_direct_on_commits_and_reports_worker_stats(
+        self, serial_files, tmp_path
+    ):
+        campaign = build_campaign("none")
+        dataset = campaign.run(
+            workers=2, store=tmp_path / "catalog", direct="on"
+        )
+        assert store_files(tmp_path / "catalog") == serial_files["none"]
+        stats = campaign.worker_process_stats
+        assert len(stats) == 2
+        assert sum(s["rows"] for s in stats) == len(dataset)
+        for entry in stats:
+            assert entry["pid"] != os.getpid()  # really another process
+            assert entry["rows_per_s"] > 0
+
+    def test_direct_on_refuses_what_it_cannot_guarantee(self, tmp_path):
+        """``direct='on'`` is a demand, not a hint: anything that forces
+        the fallback (chaos wire, thread executor, no store) is an error
+        rather than a silent downgrade."""
+        with pytest.raises(CampaignError, match="direct"):
+            build_campaign("flaky").run(
+                workers=2, store=tmp_path / "c1", direct="on"
+            )
+        with pytest.raises(CampaignError, match="direct"):
+            build_campaign("none").run(
+                workers=2, store=tmp_path / "c2", direct="on",
+                executor="thread",
+            )
+        with pytest.raises(CampaignError):
+            build_campaign("none").run(workers=2, direct="on")
+
+    @pytest.mark.skipif(not HAS_FORK, reason="direct path requires os.fork")
+    def test_cache_hit_after_direct_commit(self, serial_files, tmp_path):
+        """A second run against the committed catalog opens, not collects."""
+        build_campaign("none").run(
+            workers=4, store=tmp_path / "catalog", direct="on"
+        )
+        reopening = build_campaign("none")
+        reopening.run(store=tmp_path / "catalog")
+        assert reopening.collection_stats.measurements_collected == 0
+        assert store_files(tmp_path / "catalog") == serial_files["none"]
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="direct path requires os.fork")
+class TestDirectStoreUnderWorkerChaos:
+    def test_crashes_and_respawns_still_commit_serial_bytes(
+        self, serial_files, tmp_path
+    ):
+        """Worker deaths mid-stream never leak into the committed bytes:
+        respawned ranges rewrite identical chunks."""
+        campaign = build_campaign("none")
+        campaign.run(
+            workers=2,
+            store=tmp_path / "catalog",
+            worker_faults="pathological",
+        )
+        report = campaign.supervision
+        assert report.crashes + report.hangs > 0
+        assert report.respawns == report.crashes + report.hangs
+        assert not report.degraded
+        assert store_files(tmp_path / "catalog") == serial_files["none"]
+
+    def test_degraded_run_never_commits_then_clean_rerun_does(
+        self, serial_files, tmp_path, monkeypatch
+    ):
+        """Interruption + resume: a quarantine-degraded direct run leaves
+        the catalog empty; the clean retry commits the serial bytes."""
+        import repro.core.supervisor as supervisor_module
+
+        original = supervisor_module.Supervisor
+
+        class OneStrike(original):
+            def __init__(self, campaign, **kwargs):
+                kwargs["max_attempts"] = 1
+                super().__init__(campaign, **kwargs)
+
+        monkeypatch.setattr(supervisor_module, "Supervisor", OneStrike)
+        catalog_root = tmp_path / "catalog"
+        degraded = build_campaign("none")
+        dataset = degraded.run(
+            workers=2, store=catalog_root, worker_faults="pathological"
+        )
+        assert degraded.supervision.degraded
+        assert degraded.supervision.quarantined
+        assert CampaignCatalog(catalog_root).entries() == []
+        # The fallback dataset still served the surviving windows.
+        assert len(dataset) > 0
+        monkeypatch.setattr(supervisor_module, "Supervisor", original)
+        build_campaign("none").run(workers=2, store=catalog_root)
+        assert store_files(catalog_root) == serial_files["none"]
